@@ -1,0 +1,70 @@
+//! Control-plane hot-path benchmarks: ACK-recorder max-merge and
+//! frontier-engine incremental re-evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stabilizer_core::{AckRecorder, FrontierEngine};
+use stabilizer_dsl::{AckTypeRegistry, NodeId, Predicate, Topology, RECEIVED};
+
+fn topo8() -> Topology {
+    Topology::builder()
+        .az("NC", &["n1", "n2"])
+        .az("NV", &["n3", "n4", "n5", "n6"])
+        .az("OR", &["n7"])
+        .az("OH", &["n8"])
+        .build()
+        .unwrap()
+}
+
+fn bench_recorder(c: &mut Criterion) {
+    let mut rec = AckRecorder::new(8, 3);
+    let mut seq = 0u64;
+    c.bench_function("recorder_observe_advancing", |b| {
+        b.iter(|| {
+            seq += 1;
+            rec.observe(NodeId(0), NodeId(3), RECEIVED, seq)
+        })
+    });
+    c.bench_function("recorder_observe_stale", |b| {
+        b.iter(|| rec.observe(NodeId(0), NodeId(3), RECEIVED, 1))
+    });
+}
+
+fn bench_frontier_engine(c: &mut Criterion) {
+    let topo = topo8();
+    let acks = AckTypeRegistry::new();
+    let mut g = c.benchmark_group("frontier_on_ack_advance");
+    for npreds in [1usize, 6, 24] {
+        let mut eng = FrontierEngine::new();
+        let mut rec = AckRecorder::new(8, 3);
+        let mut out = Vec::new();
+        let mut done = Vec::new();
+        for i in 0..npreds {
+            let pred =
+                Predicate::compile("MIN($ALLWNODES-$MYWNODE)", &topo, &acks, NodeId(0)).unwrap();
+            eng.register(NodeId(0), &format!("p{i}"), pred, &rec, &mut out, &mut done);
+        }
+        let mut seq = 0u64;
+        g.bench_function(BenchmarkId::from_parameter(npreds), |b| {
+            b.iter(|| {
+                seq += 1;
+                for node in 1..8u16 {
+                    rec.observe(NodeId(0), NodeId(node), RECEIVED, seq);
+                    eng.on_ack_advance(
+                        NodeId(0),
+                        NodeId(node),
+                        RECEIVED,
+                        &rec,
+                        &mut out,
+                        &mut done,
+                    );
+                }
+                out.clear();
+                done.clear();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_recorder, bench_frontier_engine);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Data-plane hot-path benchmarks: publish (sequence + buffer + fan-out),
+//! receive-path FIFO reassembly, and the wire codec.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stabilizer_core::data_plane::{ReceiveState, SendBuffer};
+use stabilizer_core::{ClusterConfig, NodeId, StabilizerNode, WireMsg};
+use stabilizer_dsl::AckTypeRegistry;
+use std::sync::Arc;
+
+fn cfg() -> ClusterConfig {
+    ClusterConfig::parse(
+        "az NC n1 n2\naz NV n3 n4 n5 n6\naz OR n7\naz OH n8\n\
+         predicate AllWNodes MIN($ALLWNODES-$MYWNODE)\n\
+         option send_buffer_bytes 8589934592\n",
+    )
+    .unwrap()
+}
+
+fn bench_publish(c: &mut Criterion) {
+    // One full publish/ack/reclaim cycle per iteration: publish at the
+    // origin, then process the `received` ACKs from every peer, which
+    // re-evaluates the predicate and reclaims the buffer slot (so the
+    // send buffer stays bounded no matter how long Criterion iterates).
+    let mut g = c.benchmark_group("publish_ack_cycle");
+    for size in [256usize, 8192] {
+        let mut node =
+            StabilizerNode::new(cfg(), NodeId(0), Arc::new(AckTypeRegistry::new())).unwrap();
+        let payload = Bytes::from(vec![0u8; size]);
+        let n = node.config().num_nodes() as u16;
+        g.bench_function(BenchmarkId::from_parameter(size), |b| {
+            b.iter(|| {
+                let seq = node.publish(payload.clone()).unwrap();
+                node.take_actions();
+                for peer in 1..n {
+                    node.on_message(
+                        0,
+                        NodeId(peer),
+                        stabilizer_core::WireMsg::AckBatch(vec![stabilizer_core::Ack {
+                            stream: NodeId(0),
+                            ty: stabilizer_core::RECEIVED,
+                            seq,
+                        }]),
+                    );
+                }
+                node.take_actions();
+                seq
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_receive_reassembly(c: &mut Criterion) {
+    c.bench_function("receive_in_order", |b| {
+        let mut rs = ReceiveState::new();
+        let payload = Bytes::from(vec![0u8; 8192]);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            rs.on_data(seq, payload.clone())
+        })
+    });
+    c.bench_function("send_buffer_publish_reclaim", |b| {
+        let mut sb = SendBuffer::new(usize::MAX);
+        let payload = Bytes::from(vec![0u8; 8192]);
+        b.iter(|| {
+            let s = sb.publish(payload.clone()).unwrap();
+            sb.reclaim(s);
+            s
+        })
+    });
+}
+
+fn bench_reorder_tolerance(c: &mut Criterion) {
+    // DESIGN.md ablation: cost of the receive-side reorder buffer when
+    // the transport is FIFO (in-order arrivals, the hot path) vs a
+    // worst-case fully reversed 64-message window.
+    c.bench_function("receive_reversed_window_64", |b| {
+        let payload = Bytes::from(vec![0u8; 1024]);
+        let mut base = 0u64;
+        let mut rs = ReceiveState::new();
+        b.iter(|| {
+            let mut delivered = 0;
+            for seq in (base + 1..=base + 64).rev() {
+                delivered += rs.on_data(seq, payload.clone()).len();
+            }
+            base += 64;
+            delivered
+        })
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = WireMsg::Data {
+        origin: NodeId(3),
+        seq: 12345,
+        payload: Bytes::from(vec![7u8; 8192]),
+    };
+    let encoded = msg.to_bytes();
+    c.bench_function("wire_encode_8k", |b| b.iter(|| msg.to_bytes()));
+    c.bench_function("wire_decode_8k", |b| {
+        b.iter(|| WireMsg::decode(&encoded).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_publish,
+    bench_receive_reassembly,
+    bench_reorder_tolerance,
+    bench_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 3: quorum read latency vs message size on CloudLab, with the
+//! reference RTTs the paper draws as dashed lines.
+
+use stabilizer_bench::{f, print_table};
+use stabilizer_quorum::{quorum_read_latency, quorum_write_latency, reference_rtts};
+
+fn main() {
+    for (name, rtt) in reference_rtts() {
+        println!("reference RTT {name:>10}: {:.3} ms", rtt.as_millis_f64());
+    }
+    println!();
+    let mut rows = Vec::new();
+    for kb in [1usize, 2, 4, 8, 16, 32, 64] {
+        let size = kb * 1024;
+        let read = quorum_read_latency(size, 42);
+        let write = quorum_write_latency(size, 42);
+        rows.push(vec![
+            format!("{kb}"),
+            f(read.latency.as_millis_f64(), 3),
+            f(write.as_millis_f64(), 3),
+        ]);
+    }
+    print_table(
+        "Fig. 3: quorum read latency (members UT1/WI/CLEM, writer UT2, reader UT1, Nr=Nw=2)",
+        &["size (KB)", "read latency (ms)", "write commit (ms)"],
+        &rows,
+    );
+}

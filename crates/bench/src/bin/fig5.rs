@@ -1,0 +1,73 @@
+//! Fig. 5: stability-frontier latency per message for the six Table III
+//! predicates, driven by the Dropbox trace on the Fig. 2 topology.
+//!
+//! Usage: `fig5 [scale] [jitter_ms]` — trace scale in (0,1], default
+//! 0.05 (pass 1.0 for the paper's full 3.87 GB / ≈517k-message run), and
+//! optional per-message link jitter in milliseconds (the real testbed's
+//! natural variance, which separates MajorityWNodes from AllWNodes).
+
+use stabilizer_bench::{f, print_table};
+use stabilizer_filebackup::{fig5_run, fig5_run_jittered, summarize};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.05);
+    let jitter_ms: f64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.0);
+    eprintln!("running trace at scale {scale}, jitter {jitter_ms}ms ...");
+    let r = if jitter_ms > 0.0 {
+        fig5_run_jittered(scale, jitter_ms, 42)
+    } else {
+        fig5_run(scale, 42)
+    };
+    println!("messages sent: {}", r.messages);
+    println!();
+
+    let mut rows = Vec::new();
+    for (key, lat) in &r.series {
+        let s = summarize(lat, usize::MAX);
+        rows.push(vec![
+            key.clone(),
+            f(s.mean.as_secs_f64(), 3),
+            f(s.max.as_secs_f64(), 3),
+            s.covered.to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 5 summary: frontier latency per predicate",
+        &["predicate", "mean (s)", "max/spike (s)", "covered"],
+        &rows,
+    );
+
+    // Plot-style series: one sample every N messages.
+    let every = (r.messages as usize / 40).max(1);
+    let mut rows = Vec::new();
+    let samples: Vec<_> = r
+        .series
+        .iter()
+        .map(|(k, lat)| (k, summarize(lat, every)))
+        .collect();
+    for i in 0..samples[0].1.samples.len() {
+        let mut row = vec![samples[0].1.samples[i].0.to_string()];
+        for (_, s) in &samples {
+            row.push(
+                s.samples
+                    .get(i)
+                    .map(|(_, l)| f(l.as_secs_f64(), 3))
+                    .unwrap_or_default(),
+            );
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["seq".to_owned()];
+    header.extend(r.series.iter().map(|(k, _)| k.clone()));
+    print_table(
+        "Fig. 5 series: latency (s) sampled along the trace",
+        &header,
+        &rows,
+    );
+}

@@ -1,0 +1,39 @@
+//! Fig. 6: single-file synchronization time vs file size — topology-
+//! aware predicates against the multi-Paxos (PhxPaxos stand-in)
+//! baseline — plus the headline average-improvement number.
+
+use stabilizer_bench::{bytes, f, print_table};
+use stabilizer_filebackup::{average_improvement, fig6_point, fig6_sizes, FIG6_SERIES};
+
+fn main() {
+    let points: Vec<_> = fig6_sizes()
+        .into_iter()
+        .map(|s| fig6_point(s, 42))
+        .collect();
+    let mut rows = Vec::new();
+    for p in &points {
+        let mut row = vec![bytes(p.size)];
+        for series in FIG6_SERIES {
+            let t = p
+                .sync_times
+                .iter()
+                .find(|(k, _)| k == series)
+                .expect("series")
+                .1;
+            row.push(f(t.as_millis_f64(), 1));
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["file size".to_owned()];
+    header.extend(FIG6_SERIES.iter().map(|s| format!("{s} (ms)")));
+    print_table("Fig. 6: file synchronization time", &header, &rows);
+
+    println!(
+        "average improvement MajorityRegions vs PhxPaxos: {:.2}% (paper: 24.75%)",
+        average_improvement(&points, "MajorityRegions", "PhxPaxos")
+    );
+    println!(
+        "average |PhxPaxos - MajorityWNodes| gap: {:.2}% (paper: curves mostly overlap)",
+        average_improvement(&points, "MajorityWNodes", "PhxPaxos").abs()
+    );
+}

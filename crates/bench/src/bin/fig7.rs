@@ -1,0 +1,50 @@
+//! Fig. 7: pub/sub latency (a) and throughput (b) versus sending rate,
+//! Stabilizer prototype vs the Pulsar-like baseline, per subscriber
+//! site.
+//!
+//! Usage: `fig7 [count]` — messages per run (default 4000; paper: 10000).
+
+use stabilizer_bench::{f, print_table};
+use stabilizer_pubsub::{fig7_point, System};
+
+fn main() {
+    let count: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4000);
+    let rates = [250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0];
+    let sites = ["UT2", "WI", "CLEM", "MA"];
+
+    for (label, system) in [
+        ("Stabilizer", System::Stabilizer),
+        ("Pulsar-like", System::PulsarLike),
+    ] {
+        let mut lat_rows = Vec::new();
+        let mut thr_rows = Vec::new();
+        for rate in rates {
+            eprintln!("{label} @ {rate} msg/s ...");
+            let r = fig7_point(system, rate, count, 8192, 42);
+            let mut lrow = vec![f(rate, 0)];
+            let mut trow = vec![f(rate, 0)];
+            for site in sites {
+                let s = r.iter().find(|x| x.name == site).expect("site");
+                lrow.push(f(s.avg_latency.as_millis_f64(), 2));
+                trow.push(f(s.throughput_mbit, 1));
+            }
+            lat_rows.push(lrow);
+            thr_rows.push(trow);
+        }
+        let mut header = vec!["rate (msg/s)".to_owned()];
+        header.extend(sites.iter().map(|s| (*s).to_owned()));
+        print_table(
+            &format!("Fig. 7a [{label}]: avg latency (ms)"),
+            &header,
+            &lat_rows,
+        );
+        print_table(
+            &format!("Fig. 7b [{label}]: throughput (Mbit/s)"),
+            &header,
+            &thr_rows,
+        );
+    }
+}

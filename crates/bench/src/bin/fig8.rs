@@ -1,0 +1,34 @@
+//! Fig. 8: end-to-end latency under dynamic predicate reconfiguration —
+//! static all-sites, static three-sites, and a predicate flipped every
+//! five seconds via `change_predicate`.
+
+use stabilizer_bench::{f, print_table};
+use stabilizer_pubsub::{fig8_run, Fig8Mode};
+
+fn main() {
+    let all = fig8_run(Fig8Mode::AllSites, 42);
+    let three = fig8_run(Fig8Mode::ThreeSites, 42);
+    let changing = fig8_run(Fig8Mode::Changing, 42);
+
+    let lookup = |pts: &[stabilizer_pubsub::Fig8Point], sec: u64| {
+        pts.iter()
+            .find(|p| p.second == sec)
+            .map(|p| f(p.avg_latency.as_millis_f64(), 2))
+            .unwrap_or_default()
+    };
+    let max_sec = all.iter().map(|p| p.second).max().unwrap_or(0);
+    let mut rows = Vec::new();
+    for sec in 0..=max_sec {
+        rows.push(vec![
+            sec.to_string(),
+            lookup(&all, sec),
+            lookup(&three, sec),
+            lookup(&changing, sec),
+        ]);
+    }
+    print_table(
+        "Fig. 8: per-second avg end-to-end latency (ms), predicate change every 5 s",
+        &["second", "all sites", "three sites", "changing predicate"],
+        &rows,
+    );
+}

@@ -1,0 +1,42 @@
+//! Table I: network status between North California and the other
+//! regions — configured values versus what the simulator's ping and
+//! bulk-transfer probes actually measure.
+
+use stabilizer_bench::{f, print_table};
+use stabilizer_netsim::{measure_rtt, measure_throughput, NetTopology};
+
+fn main() {
+    let net = NetTopology::ec2_fig2();
+    // Sender n1 (index 0) to a representative node of each Table I row.
+    let rows_spec: [(&str, usize); 4] = [
+        ("North California*", 1),
+        ("Ohio", 7),
+        ("Oregon", 6),
+        ("North Virginia", 2),
+    ];
+    let mut rows = Vec::new();
+    for (region, idx) in rows_spec {
+        let spec = net.link(0, idx).expect("link exists");
+        let rtt = measure_rtt(&net, 0, idx);
+        let thr = measure_throughput(&net, 0, idx, 16 * 1024 * 1024, 8192);
+        rows.push(vec![
+            region.to_owned(),
+            f(spec.rtt().as_millis_f64(), 2),
+            f(rtt.as_millis_f64(), 2),
+            f(spec.mbit_per_sec(), 1),
+            f(thr, 1),
+        ]);
+    }
+    print_table(
+        "Table I: North California <-> other regions (emulated EC2, halved throughput)",
+        &[
+            "Region",
+            "Lat cfg (ms)",
+            "Lat meas (ms)",
+            "Half Thp cfg (Mbit/s)",
+            "Thp meas (Mbit/s)",
+        ],
+        &rows,
+    );
+    println!("* between availability zones within the North California region");
+}

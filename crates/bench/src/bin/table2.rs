@@ -1,0 +1,39 @@
+//! Table II: network performance between Utah1 and the other CloudLab
+//! servers — configured versus simulator-measured.
+
+use stabilizer_bench::{f, print_table};
+use stabilizer_netsim::{measure_rtt, measure_throughput, NetTopology};
+
+fn main() {
+    let net = NetTopology::cloudlab_table2();
+    let rows_spec: [(&str, usize); 4] = [
+        ("Utah2", 1),
+        ("Wisconsin", 2),
+        ("Clemson", 3),
+        ("Massachusetts", 4),
+    ];
+    let mut rows = Vec::new();
+    for (name, idx) in rows_spec {
+        let spec = net.link(0, idx).expect("link exists");
+        let rtt = measure_rtt(&net, 0, idx);
+        let thr = measure_throughput(&net, 0, idx, 64 * 1024 * 1024, 8192);
+        rows.push(vec![
+            name.to_owned(),
+            f(spec.mbit_per_sec(), 2),
+            f(thr, 2),
+            f(spec.rtt().as_millis_f64(), 3),
+            f(rtt.as_millis_f64(), 3),
+        ]);
+    }
+    print_table(
+        "Table II: Utah1 <-> other servers (CloudLab)",
+        &[
+            "Server",
+            "Thp cfg (Mbit/s)",
+            "Thp meas (Mbit/s)",
+            "Lat cfg (ms)",
+            "Lat meas (ms)",
+        ],
+        &rows,
+    );
+}

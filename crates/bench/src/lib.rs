@@ -1,0 +1,75 @@
+//! # Experiment harness
+//!
+//! One binary per table and figure of the paper's evaluation (§VI),
+//! regenerating the same rows/series over the simulated testbeds, plus
+//! Criterion micro-benchmarks (`cargo bench -p stabilizer-bench`) for
+//! the DSL-cost study and the design-choice ablations.
+//!
+//! Run e.g. `cargo run --release -p stabilizer-bench --bin fig6`.
+
+use std::fmt::Display;
+
+/// Render an aligned plain-text table: `header` then `rows`.
+pub fn print_table<H: Display, C: Display>(title: &str, header: &[H], rows: &[Vec<C>]) {
+    println!("== {title} ==");
+    let header: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    let rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in &rows {
+        for (i, c) in r.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate().take(cols) {
+            line.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", line.trim_end());
+    };
+    fmt_row(&header);
+    for r in &rows {
+        fmt_row(r);
+    }
+    println!();
+}
+
+/// Format a float with `digits` decimals.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Human-readable byte size.
+pub fn bytes(v: u64) -> String {
+    if v >= 1 << 30 {
+        format!("{:.2}GiB", v as f64 / (1u64 << 30) as f64)
+    } else if v >= 1 << 20 {
+        format!("{:.1}MiB", v as f64 / (1u64 << 20) as f64)
+    } else if v >= 1 << 10 {
+        format!("{:.0}KiB", v as f64 / 1024.0)
+    } else {
+        format!("{v}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_formats_units() {
+        assert_eq!(bytes(512), "512B");
+        assert_eq!(bytes(8192), "8KiB");
+        assert_eq!(bytes(100 << 20), "100.0MiB");
+        assert_eq!(bytes(4 << 30), "4.00GiB");
+    }
+
+    #[test]
+    fn f_formats_decimals() {
+        assert_eq!(f(24.7512, 2), "24.75");
+    }
+}

@@ -1,0 +1,358 @@
+//! Cluster and node configuration.
+//!
+//! The paper's Stabilizer reads a configuration file listing the data
+//! centers of the deployment (with a subset notation designating
+//! availability zones) plus initially registered predicates; nodes look
+//! up their own name to learn their rank (§III-C). [`ClusterConfig`]
+//! models that file and [`ClusterConfig::parse`] reads the same
+//! information from a simple line-oriented text format:
+//!
+//! ```text
+//! # comment
+//! az North_California n1 n2
+//! az North_Virginia n3 n4 n5 n6
+//! predicate AllWNodes MIN($ALLWNODES-$MYWNODE)
+//! option ack_flush_micros 500
+//! ```
+
+use crate::error::CoreError;
+use stabilizer_dsl::{NodeId, Topology};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Tunable per-node options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Outgoing-ACK coalescing interval in microseconds. `0` flushes
+    /// eagerly after every processed message (lowest latency); larger
+    /// values batch control traffic (§III-A notes Stabilizer batches
+    /// actions and reports via monotonic upcalls).
+    pub ack_flush_micros: u64,
+    /// Send-buffer capacity in bytes; `publish` returns backpressure once
+    /// exceeded (the data plane "can also buffer data for later
+    /// transmission if needed", §III-B).
+    pub send_buffer_bytes: usize,
+    /// Failure-suspicion timeout in milliseconds: a peer is suspected
+    /// after this long without any traffic (§III-E's "predicate update
+    /// timer"). `0` disables failure detection (the default — enable it
+    /// for deployments and fault experiments; a disabled detector keeps
+    /// simulations free of periodic wake-ups so `run_until_idle`
+    /// terminates).
+    pub failure_timeout_millis: u64,
+    /// Heartbeat period in milliseconds, keeping control channels alive
+    /// when there is no data traffic. `0` disables heartbeats (default).
+    pub heartbeat_millis: u64,
+    /// If true, a suspected node is automatically excluded from all
+    /// registered predicates ("the primary can adjust the predicate to
+    /// eliminate the impact", §III-E).
+    pub auto_exclude_suspects: bool,
+    /// Maximum payload bytes per data message; larger publishes are
+    /// rejected (applications chunk above this, as the Dropbox-like app
+    /// does at 8 KB).
+    pub max_payload_bytes: usize,
+    /// Retransmission timeout in milliseconds for the paper's "basic
+    /// reliability mechanism that ensures lossless FIFO delivery"
+    /// (§III-A): if a peer's `received` counter makes no progress for
+    /// this long while data is outstanding, the unacknowledged window is
+    /// resent (go-back-N). `0` (default) disables it — appropriate when
+    /// the transport is already reliable FIFO (TCP, the loss-free
+    /// simulator).
+    pub retransmit_millis: u64,
+}
+
+impl Options {
+    /// Set the ACK-coalescing interval (µs); `0` = eager.
+    pub fn ack_flush_micros(mut self, v: u64) -> Self {
+        self.ack_flush_micros = v;
+        self
+    }
+
+    /// Set the send-buffer capacity in bytes.
+    pub fn send_buffer_bytes(mut self, v: usize) -> Self {
+        self.send_buffer_bytes = v;
+        self
+    }
+
+    /// Enable failure detection with the given timeout (ms).
+    pub fn failure_timeout_millis(mut self, v: u64) -> Self {
+        self.failure_timeout_millis = v;
+        self
+    }
+
+    /// Enable heartbeats with the given period (ms).
+    pub fn heartbeat_millis(mut self, v: u64) -> Self {
+        self.heartbeat_millis = v;
+        self
+    }
+
+    /// Automatically exclude suspected nodes from predicates.
+    pub fn auto_exclude_suspects(mut self, v: bool) -> Self {
+        self.auto_exclude_suspects = v;
+        self
+    }
+
+    /// Set the maximum payload size per message.
+    pub fn max_payload_bytes(mut self, v: usize) -> Self {
+        self.max_payload_bytes = v;
+        self
+    }
+
+    /// Enable the reliability mechanism with the given timeout (ms).
+    pub fn retransmit_millis(mut self, v: u64) -> Self {
+        self.retransmit_millis = v;
+        self
+    }
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            ack_flush_micros: 0,
+            send_buffer_bytes: 256 * 1024 * 1024,
+            failure_timeout_millis: 0,
+            heartbeat_millis: 0,
+            auto_exclude_suspects: false,
+            max_payload_bytes: 64 * 1024,
+            retransmit_millis: 0,
+        }
+    }
+}
+
+/// The deployment-wide configuration: topology, initial predicates, and
+/// options. Shared (via `Arc`) by every local Stabilizer component.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    topology: Arc<Topology>,
+    predicates: BTreeMap<String, String>,
+    options: Options,
+}
+
+impl ClusterConfig {
+    /// Build from an existing topology with default options.
+    pub fn new(topology: Topology) -> Self {
+        ClusterConfig {
+            topology: Arc::new(topology),
+            predicates: BTreeMap::new(),
+            options: Options::default(),
+        }
+    }
+
+    /// Add a predicate to be registered at startup.
+    pub fn with_predicate(mut self, key: &str, source: &str) -> Self {
+        self.predicates.insert(key.to_owned(), source.to_owned());
+        self
+    }
+
+    /// Replace the options.
+    pub fn with_options(mut self, options: Options) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The WAN topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    /// Startup predicates as `(key, source)` pairs.
+    pub fn predicates(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.predicates
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Node options.
+    pub fn options(&self) -> &Options {
+        &self.options
+    }
+
+    /// Number of WAN nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.topology.num_nodes()
+    }
+
+    /// Parse the line-oriented configuration format shown in the module
+    /// docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] on unknown directives, malformed
+    /// lines, duplicate names, or invalid option values.
+    pub fn parse(text: &str) -> Result<Self, CoreError> {
+        let mut builder = Topology::builder();
+        let mut predicates = BTreeMap::new();
+        let mut options = Options::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let directive = parts.next().unwrap();
+            let err = |msg: String| CoreError::Config(format!("line {}: {msg}", lineno + 1));
+            match directive {
+                "az" => {
+                    let name = parts.next().ok_or_else(|| err("az needs a name".into()))?;
+                    let nodes: Vec<&str> = parts.collect();
+                    if nodes.is_empty() {
+                        return Err(err(format!("az {name} lists no nodes")));
+                    }
+                    builder = builder.az(name, &nodes);
+                }
+                "predicate" => {
+                    let key = parts
+                        .next()
+                        .ok_or_else(|| err("predicate needs a key".into()))?;
+                    let rest: Vec<&str> = parts.collect();
+                    if rest.is_empty() {
+                        return Err(err(format!("predicate {key} has no body")));
+                    }
+                    predicates.insert(key.to_owned(), rest.join(" "));
+                }
+                "option" => {
+                    let key = parts
+                        .next()
+                        .ok_or_else(|| err("option needs a key".into()))?;
+                    let val = parts
+                        .next()
+                        .ok_or_else(|| err(format!("option {key} has no value")))?;
+                    let parse_u64 = |v: &str| {
+                        v.parse::<u64>()
+                            .map_err(|_| err(format!("option {key}: bad number {v}")))
+                    };
+                    match key {
+                        "ack_flush_micros" => options.ack_flush_micros = parse_u64(val)?,
+                        "send_buffer_bytes" => options.send_buffer_bytes = parse_u64(val)? as usize,
+                        "failure_timeout_millis" => {
+                            options.failure_timeout_millis = parse_u64(val)?
+                        }
+                        "heartbeat_millis" => options.heartbeat_millis = parse_u64(val)?,
+                        "max_payload_bytes" => options.max_payload_bytes = parse_u64(val)? as usize,
+                        "retransmit_millis" => options.retransmit_millis = parse_u64(val)?,
+                        "auto_exclude_suspects" => {
+                            options.auto_exclude_suspects = match val {
+                                "true" => true,
+                                "false" => false,
+                                _ => return Err(err(format!("option {key}: expected true/false"))),
+                            }
+                        }
+                        other => return Err(err(format!("unknown option {other}"))),
+                    }
+                }
+                other => return Err(err(format!("unknown directive {other}"))),
+            }
+        }
+        let topology = builder
+            .build()
+            .map_err(|e| CoreError::Config(e.to_string()))?;
+        Ok(ClusterConfig {
+            topology: Arc::new(topology),
+            predicates,
+            options,
+        })
+    }
+
+    /// Peers of `me`: every node id except `me`.
+    pub fn peers(&self, me: NodeId) -> Vec<NodeId> {
+        self.topology
+            .all_nodes()
+            .into_iter()
+            .filter(|n| *n != me)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# Fig. 2 deployment
+az North_California n1 n2
+az North_Virginia n3 n4 n5 n6
+az Oregon n7
+az Ohio n8
+predicate AllWNodes MIN($ALLWNODES-$MYWNODE)
+predicate MajorityRegions KTH_MAX(2, MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))
+option ack_flush_micros 500
+option auto_exclude_suspects true
+";
+
+    #[test]
+    fn parses_topology_predicates_and_options() {
+        let cfg = ClusterConfig::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.num_nodes(), 8);
+        assert_eq!(cfg.topology().node("n7"), Some(NodeId(6)));
+        let preds: Vec<_> = cfg.predicates().collect();
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].0, "AllWNodes");
+        assert!(preds[1].1.starts_with("KTH_MAX(2,"));
+        assert_eq!(cfg.options().ack_flush_micros, 500);
+        assert!(cfg.options().auto_exclude_suspects);
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        assert!(matches!(
+            ClusterConfig::parse("frobnicate x"),
+            Err(CoreError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_option() {
+        assert!(ClusterConfig::parse("az A x\noption nope 3").is_err());
+        assert!(ClusterConfig::parse("az A x\noption ack_flush_micros many").is_err());
+        assert!(ClusterConfig::parse("az A x\noption auto_exclude_suspects yes").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_az_and_missing_bodies() {
+        assert!(ClusterConfig::parse("az Lonely").is_err());
+        assert!(ClusterConfig::parse("az A x\npredicate P").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let cfg = ClusterConfig::parse("# hi\n\naz A x y\n").unwrap();
+        assert_eq!(cfg.num_nodes(), 2);
+    }
+
+    #[test]
+    fn peers_excludes_self() {
+        let cfg = ClusterConfig::parse("az A x y z").unwrap();
+        assert_eq!(cfg.peers(NodeId(1)), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn options_builder_chains() {
+        let o = Options::default()
+            .ack_flush_micros(7)
+            .send_buffer_bytes(1024)
+            .failure_timeout_millis(9)
+            .heartbeat_millis(3)
+            .auto_exclude_suspects(true)
+            .max_payload_bytes(512)
+            .retransmit_millis(11);
+        assert_eq!(o.ack_flush_micros, 7);
+        assert_eq!(o.send_buffer_bytes, 1024);
+        assert_eq!(o.failure_timeout_millis, 9);
+        assert_eq!(o.heartbeat_millis, 3);
+        assert!(o.auto_exclude_suspects);
+        assert_eq!(o.max_payload_bytes, 512);
+        assert_eq!(o.retransmit_millis, 11);
+    }
+
+    #[test]
+    fn builder_style_construction() {
+        let topo = Topology::builder().az("A", &["a", "b"]).build().unwrap();
+        let cfg = ClusterConfig::new(topo)
+            .with_predicate("P", "MAX($ALLWNODES)")
+            .with_options(Options {
+                ack_flush_micros: 9,
+                ..Options::default()
+            });
+        assert_eq!(cfg.predicates().count(), 1);
+        assert_eq!(cfg.options().ack_flush_micros, 9);
+    }
+}

@@ -1,0 +1,294 @@
+//! Data-plane state: the origin's send buffer and the per-stream receive
+//! reassembly state.
+//!
+//! The send side assigns sequence numbers and transmits aggressively "as
+//! soon as \[data\] has been assigned a sequence number" (§III-B), keeping
+//! a copy buffered until every peer has acknowledged receipt, at which
+//! point "the buffer space is reclaimed". When the buffer is full,
+//! `publish` reports backpressure instead of blocking the caller.
+//!
+//! The receive side delivers each origin's stream in FIFO order. The
+//! simulator's links and the TCP transport are already FIFO, but the
+//! reorder buffer makes the core robust to any reliable, possibly
+//! reordering transport (and to replays after reconnection).
+
+use crate::error::CoreError;
+use bytes::Bytes;
+use stabilizer_dsl::SeqNo;
+use std::collections::BTreeMap;
+
+/// The origin-side buffer for this node's own stream.
+#[derive(Debug)]
+pub struct SendBuffer {
+    last_assigned: SeqNo,
+    buffered: BTreeMap<SeqNo, Bytes>,
+    buffered_bytes: usize,
+    capacity: usize,
+    reclaimed_up_to: SeqNo,
+}
+
+impl SendBuffer {
+    /// An empty buffer holding at most `capacity` payload bytes.
+    pub fn new(capacity: usize) -> Self {
+        SendBuffer {
+            last_assigned: 0,
+            buffered: BTreeMap::new(),
+            buffered_bytes: 0,
+            capacity,
+            reclaimed_up_to: 0,
+        }
+    }
+
+    /// Assign the next sequence number to `payload` and buffer it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WouldBlock`] if the buffer is full; the caller should
+    /// retry after the global-receipt point advances.
+    pub fn publish(&mut self, payload: Bytes) -> Result<SeqNo, CoreError> {
+        if self.buffered_bytes + payload.len() > self.capacity && !self.buffered.is_empty() {
+            return Err(CoreError::WouldBlock {
+                buffered: self.buffered_bytes,
+                capacity: self.capacity,
+            });
+        }
+        self.last_assigned += 1;
+        self.buffered_bytes += payload.len();
+        self.buffered.insert(self.last_assigned, payload);
+        Ok(self.last_assigned)
+    }
+
+    /// Drop buffered payloads up to and including `min_acked` (every peer
+    /// has them). Returns the number of payloads freed.
+    pub fn reclaim(&mut self, min_acked: SeqNo) -> usize {
+        let mut freed = 0;
+        while let Some((&seq, payload)) = self.buffered.first_key_value() {
+            if seq > min_acked {
+                break;
+            }
+            self.buffered_bytes -= payload.len();
+            self.buffered.remove(&seq);
+            freed += 1;
+        }
+        if min_acked > self.reclaimed_up_to {
+            self.reclaimed_up_to = min_acked;
+        }
+        freed
+    }
+
+    /// The payload for `seq`, if still buffered (used by transports to
+    /// resend after a reconnect).
+    pub fn get(&self, seq: SeqNo) -> Option<&Bytes> {
+        self.buffered.get(&seq)
+    }
+
+    /// Iterate over `(seq, payload)` still buffered, from `from` upward.
+    pub fn iter_from(&self, from: SeqNo) -> impl Iterator<Item = (SeqNo, &Bytes)> {
+        self.buffered.range(from..).map(|(s, p)| (*s, p))
+    }
+
+    /// Highest assigned sequence number (0 before the first publish).
+    pub fn last_assigned(&self) -> SeqNo {
+        self.last_assigned
+    }
+
+    /// Sequence numbers at or below this are reclaimed everywhere.
+    pub fn reclaimed_up_to(&self) -> SeqNo {
+        self.reclaimed_up_to
+    }
+
+    /// Number of buffered payloads.
+    pub fn len(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buffered.is_empty()
+    }
+
+    /// Buffered payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.buffered_bytes
+    }
+}
+
+/// Receive-side reassembly for one remote origin's stream.
+#[derive(Debug, Default)]
+pub struct ReceiveState {
+    delivered: SeqNo,
+    pending: BTreeMap<SeqNo, Bytes>,
+}
+
+impl ReceiveState {
+    /// Fresh state: nothing delivered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accept `(seq, payload)`; returns the messages now deliverable in
+    /// FIFO order (empty if `seq` leaves a gap). Duplicates and
+    /// already-delivered sequences are dropped.
+    pub fn on_data(&mut self, seq: SeqNo, payload: Bytes) -> Vec<(SeqNo, Bytes)> {
+        if seq <= self.delivered {
+            return Vec::new();
+        }
+        self.pending.insert(seq, payload);
+        let mut out = Vec::new();
+        while let Some(payload) = self.pending.remove(&(self.delivered + 1)) {
+            self.delivered += 1;
+            out.push((self.delivered, payload));
+        }
+        out
+    }
+
+    /// Highest sequence number delivered in order — the value this node
+    /// advertises as its `received` ACK.
+    pub fn delivered(&self) -> SeqNo {
+        self.delivered
+    }
+
+    /// Declare that everything up to `seq` was obtained out of band
+    /// (storage-system state transfer after a long absence, §III-E);
+    /// delivery resumes at `seq + 1`. Parked messages at or below `seq`
+    /// are discarded; later ones may now become deliverable and are
+    /// returned in order.
+    pub fn fast_forward(&mut self, seq: SeqNo) -> Vec<(SeqNo, Bytes)> {
+        if seq <= self.delivered {
+            return Vec::new();
+        }
+        self.delivered = seq;
+        self.pending.retain(|s, _| *s > seq);
+        let mut out = Vec::new();
+        while let Some(payload) = self.pending.remove(&(self.delivered + 1)) {
+            self.delivered += 1;
+            out.push((self.delivered, payload));
+        }
+        out
+    }
+
+    /// Number of out-of-order messages parked.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(n: usize) -> Bytes {
+        Bytes::from(vec![0u8; n])
+    }
+
+    #[test]
+    fn publish_assigns_sequential_numbers() {
+        let mut sb = SendBuffer::new(1024);
+        assert_eq!(sb.publish(b(10)).unwrap(), 1);
+        assert_eq!(sb.publish(b(10)).unwrap(), 2);
+        assert_eq!(sb.last_assigned(), 2);
+        assert_eq!(sb.len(), 2);
+        assert_eq!(sb.bytes(), 20);
+    }
+
+    #[test]
+    fn backpressure_when_full() {
+        let mut sb = SendBuffer::new(100);
+        sb.publish(b(60)).unwrap();
+        assert!(matches!(
+            sb.publish(b(60)),
+            Err(CoreError::WouldBlock { .. })
+        ));
+        // Reclaim frees space; publish succeeds again.
+        assert_eq!(sb.reclaim(1), 1);
+        assert_eq!(sb.publish(b(60)).unwrap(), 2);
+    }
+
+    #[test]
+    fn oversized_first_message_is_accepted_when_buffer_empty() {
+        // A single payload larger than capacity must not deadlock.
+        let mut sb = SendBuffer::new(10);
+        assert_eq!(sb.publish(b(50)).unwrap(), 1);
+        assert!(matches!(
+            sb.publish(b(1)),
+            Err(CoreError::WouldBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn reclaim_is_idempotent_and_partial() {
+        let mut sb = SendBuffer::new(1024);
+        for _ in 0..5 {
+            sb.publish(b(10)).unwrap();
+        }
+        assert_eq!(sb.reclaim(3), 3);
+        assert_eq!(sb.reclaim(3), 0);
+        assert_eq!(sb.len(), 2);
+        assert_eq!(sb.reclaimed_up_to(), 3);
+        assert!(sb.get(3).is_none());
+        assert!(sb.get(4).is_some());
+    }
+
+    #[test]
+    fn iter_from_resumes_at_sequence() {
+        let mut sb = SendBuffer::new(1024);
+        for _ in 0..5 {
+            sb.publish(b(1)).unwrap();
+        }
+        sb.reclaim(2);
+        let seqs: Vec<SeqNo> = sb.iter_from(4).map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![4, 5]);
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let mut rs = ReceiveState::new();
+        assert_eq!(rs.on_data(1, b(1)).len(), 1);
+        assert_eq!(rs.on_data(2, b(1)).len(), 1);
+        assert_eq!(rs.delivered(), 2);
+    }
+
+    #[test]
+    fn gaps_are_held_back_and_released() {
+        let mut rs = ReceiveState::new();
+        assert!(rs.on_data(2, b(1)).is_empty());
+        assert!(rs.on_data(3, b(1)).is_empty());
+        assert_eq!(rs.pending(), 2);
+        let delivered = rs.on_data(1, b(1));
+        assert_eq!(
+            delivered.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(rs.delivered(), 3);
+        assert_eq!(rs.pending(), 0);
+    }
+
+    #[test]
+    fn fast_forward_skips_and_releases() {
+        let mut rs = ReceiveState::new();
+        rs.on_data(5, b(1)); // parked
+        rs.on_data(7, b(1)); // parked
+        let released = rs.fast_forward(4);
+        assert_eq!(
+            released.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![5]
+        );
+        assert_eq!(rs.delivered(), 5);
+        assert_eq!(rs.pending(), 1);
+        assert!(rs.fast_forward(3).is_empty()); // backwards is a no-op
+        assert_eq!(rs.delivered(), 5);
+    }
+
+    #[test]
+    fn duplicates_and_replays_ignored() {
+        let mut rs = ReceiveState::new();
+        rs.on_data(1, b(1));
+        assert!(rs.on_data(1, b(1)).is_empty());
+        // Replay of an already-delivered prefix after a reconnect.
+        assert!(rs.on_data(1, b(1)).is_empty());
+        // Duplicate of a parked message.
+        assert!(rs.on_data(3, b(1)).is_empty());
+        assert!(rs.on_data(3, b(1)).is_empty());
+        assert_eq!(rs.pending(), 1);
+    }
+}

@@ -1,0 +1,522 @@
+//! The stability-frontier engine: the control plane's predicate registry
+//! plus incremental re-evaluation.
+//!
+//! Every registered predicate tracks one *stream* (a primary's sequence
+//! space). When an ACK counter advances, only the predicates that read
+//! the changed `(node, ack-type)` cell are re-evaluated (their dependency
+//! sets are known at compile time). Within one predicate *generation* the
+//! frontier is monotonic; [`FrontierEngine::change`] starts a new
+//! generation, and the frontier may start lower — the paper's §VI-D
+//! "gap", which the application is responsible for handling, is surfaced
+//! through the `generation` field of [`FrontierUpdate`].
+
+use crate::recorder::AckRecorder;
+use stabilizer_dsl::{AckTypeId, NodeId, Predicate, SeqNo};
+use std::collections::HashMap;
+
+/// Token identifying a blocked `waitfor` call; returned to the driver
+/// when the wait completes.
+pub type WaitToken = u64;
+
+/// A frontier advancement notice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierUpdate {
+    /// The stream whose frontier moved.
+    pub stream: NodeId,
+    /// The predicate key.
+    pub key: String,
+    /// The new frontier: highest sequence number satisfying the predicate.
+    pub seq: SeqNo,
+    /// Predicate generation (bumped by [`FrontierEngine::change`]).
+    pub generation: u32,
+}
+
+#[derive(Debug)]
+struct Entry {
+    predicate: Predicate,
+    frontier: SeqNo,
+    generation: u32,
+}
+
+#[derive(Debug)]
+struct Waiter {
+    stream: NodeId,
+    key: String,
+    seq: SeqNo,
+    token: WaitToken,
+}
+
+/// Registry of compiled predicates with per-entry frontier state and
+/// blocked waiters.
+#[derive(Debug, Default)]
+pub struct FrontierEngine {
+    entries: HashMap<(NodeId, String), Entry>,
+    waiters: Vec<Waiter>,
+}
+
+impl FrontierEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a compiled predicate for `stream` under `key`, evaluating
+    /// it immediately. Returns an update if the initial frontier is
+    /// non-zero. Registering over an existing key replaces it (generation
+    /// is preserved and bumped, like [`FrontierEngine::change`]).
+    pub fn register(
+        &mut self,
+        stream: NodeId,
+        key: &str,
+        predicate: Predicate,
+        recorder: &AckRecorder,
+        out: &mut Vec<FrontierUpdate>,
+        completed: &mut Vec<WaitToken>,
+    ) {
+        let generation = self
+            .entries
+            .get(&(stream, key.to_owned()))
+            .map(|e| e.generation + 1)
+            .unwrap_or(0);
+        let frontier = predicate.eval(&recorder.stream_view(stream));
+        let entry = Entry {
+            predicate,
+            frontier,
+            generation,
+        };
+        self.entries.insert((stream, key.to_owned()), entry);
+        if frontier > 0 {
+            out.push(FrontierUpdate {
+                stream,
+                key: key.to_owned(),
+                seq: frontier,
+                generation,
+            });
+        }
+        self.drain_waiters(stream, key, frontier, completed);
+    }
+
+    /// Replace the predicate under an existing key, bumping its
+    /// generation (the paper's `change_predicate`). The new frontier may
+    /// be lower than the old one; an update carrying the new generation
+    /// is always emitted so the application can observe the gap.
+    ///
+    /// Returns `false` if the key is unknown.
+    pub fn change(
+        &mut self,
+        stream: NodeId,
+        key: &str,
+        predicate: Predicate,
+        recorder: &AckRecorder,
+        out: &mut Vec<FrontierUpdate>,
+        completed: &mut Vec<WaitToken>,
+    ) -> bool {
+        let Some(entry) = self.entries.get_mut(&(stream, key.to_owned())) else {
+            return false;
+        };
+        entry.generation += 1;
+        entry.predicate = predicate;
+        entry.frontier = entry.predicate.eval(&recorder.stream_view(stream));
+        let update = FrontierUpdate {
+            stream,
+            key: key.to_owned(),
+            seq: entry.frontier,
+            generation: entry.generation,
+        };
+        let frontier = entry.frontier;
+        out.push(update);
+        self.drain_waiters(stream, key, frontier, completed);
+        true
+    }
+
+    /// Remove a predicate. Pending waiters on it stay blocked forever, so
+    /// callers should drain or fail them; returns the tokens of waiters
+    /// that were watching the key.
+    pub fn unregister(&mut self, stream: NodeId, key: &str) -> Vec<WaitToken> {
+        self.entries.remove(&(stream, key.to_owned()));
+        let mut orphaned = Vec::new();
+        self.waiters.retain(|w| {
+            if w.stream == stream && w.key == key {
+                orphaned.push(w.token);
+                false
+            } else {
+                true
+            }
+        });
+        orphaned
+    }
+
+    /// Current `(frontier, generation)` for a key.
+    pub fn frontier(&self, stream: NodeId, key: &str) -> Option<(SeqNo, u32)> {
+        self.entries
+            .get(&(stream, key.to_owned()))
+            .map(|e| (e.frontier, e.generation))
+    }
+
+    /// The compiled predicate registered under a key.
+    pub fn predicate(&self, stream: NodeId, key: &str) -> Option<&Predicate> {
+        self.entries
+            .get(&(stream, key.to_owned()))
+            .map(|e| &e.predicate)
+    }
+
+    /// Registered keys for a stream.
+    pub fn keys(&self, stream: NodeId) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .entries
+            .keys()
+            .filter(|(s, _)| *s == stream)
+            .map(|(_, k)| k.clone())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Block `token` until the frontier of `(stream, key)` reaches `seq`.
+    /// If it already has, the completion is pushed to `completed`
+    /// immediately.
+    pub fn waitfor(
+        &mut self,
+        stream: NodeId,
+        key: &str,
+        seq: SeqNo,
+        token: WaitToken,
+        completed: &mut Vec<WaitToken>,
+    ) -> Result<(), crate::error::CoreError> {
+        let Some(entry) = self.entries.get(&(stream, key.to_owned())) else {
+            return Err(crate::error::CoreError::UnknownPredicate(key.to_owned()));
+        };
+        if entry.frontier >= seq {
+            completed.push(token);
+        } else {
+            self.waiters.push(Waiter {
+                stream,
+                key: key.to_owned(),
+                seq,
+                token,
+            });
+        }
+        Ok(())
+    }
+
+    /// Re-evaluate the predicates of `stream` affected by an advance of
+    /// `(node, ty)`, appending frontier updates and completed wait tokens.
+    pub fn on_ack_advance(
+        &mut self,
+        stream: NodeId,
+        node: NodeId,
+        ty: AckTypeId,
+        recorder: &AckRecorder,
+        out: &mut Vec<FrontierUpdate>,
+        completed: &mut Vec<WaitToken>,
+    ) {
+        let view = recorder.stream_view(stream);
+        let mut advanced: Vec<(String, SeqNo)> = Vec::new();
+        for ((s, key), entry) in self.entries.iter_mut() {
+            if *s != stream {
+                continue;
+            }
+            if !entry.predicate.dependencies().contains(&(node, ty)) {
+                continue;
+            }
+            let new = entry.predicate.eval(&view);
+            if new > entry.frontier {
+                entry.frontier = new;
+                out.push(FrontierUpdate {
+                    stream,
+                    key: key.clone(),
+                    seq: new,
+                    generation: entry.generation,
+                });
+                advanced.push((key.clone(), new));
+            }
+        }
+        for (key, new) in advanced {
+            self.drain_waiters(stream, &key, new, completed);
+        }
+    }
+
+    /// Rewrite every registered predicate to exclude `node` (§III-E fault
+    /// handling), re-evaluating each. Predicates that cannot be rewritten
+    /// (they would become empty) are left untouched and reported.
+    pub fn exclude_node(
+        &mut self,
+        node: NodeId,
+        recorder: &AckRecorder,
+        out: &mut Vec<FrontierUpdate>,
+        completed: &mut Vec<WaitToken>,
+    ) -> Vec<String> {
+        let mut failed = Vec::new();
+        let keys: Vec<(NodeId, String)> = self.entries.keys().cloned().collect();
+        for (stream, key) in keys {
+            let entry = self.entries.get(&(stream, key.clone())).unwrap();
+            if !entry
+                .predicate
+                .dependencies()
+                .iter()
+                .any(|(n, _)| *n == node)
+            {
+                continue;
+            }
+            match entry.predicate.excluding(node) {
+                Ok(rewritten) => {
+                    self.change(stream, &key, rewritten, recorder, out, completed);
+                }
+                Err(_) => failed.push(key.clone()),
+            }
+        }
+        failed
+    }
+
+    /// Number of registered predicates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no predicates are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of blocked waiters (for tests and introspection).
+    pub fn pending_waiters(&self) -> usize {
+        self.waiters.len()
+    }
+
+    fn drain_waiters(
+        &mut self,
+        stream: NodeId,
+        key: &str,
+        frontier: SeqNo,
+        completed: &mut Vec<WaitToken>,
+    ) {
+        self.waiters.retain(|w| {
+            if w.stream == stream && w.key == key && w.seq <= frontier {
+                completed.push(w.token);
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabilizer_dsl::{AckTypeRegistry, Topology, RECEIVED};
+
+    fn topo() -> Topology {
+        Topology::builder()
+            .az("A", &["a", "b"])
+            .az("B", &["c", "d"])
+            .build()
+            .unwrap()
+    }
+
+    fn pred(src: &str) -> Predicate {
+        Predicate::compile(src, &topo(), &AckTypeRegistry::new(), NodeId(0)).unwrap()
+    }
+
+    fn setup() -> (
+        FrontierEngine,
+        AckRecorder,
+        Vec<FrontierUpdate>,
+        Vec<WaitToken>,
+    ) {
+        (
+            FrontierEngine::new(),
+            AckRecorder::new(4, 3),
+            Vec::new(),
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn frontier_advances_only_when_predicate_satisfied() {
+        let (mut eng, mut rec, mut out, mut done) = setup();
+        eng.register(
+            NodeId(0),
+            "all",
+            pred("MIN($ALLWNODES-$MYWNODE)"),
+            &rec,
+            &mut out,
+            &mut done,
+        );
+        assert!(out.is_empty());
+        // Two of three remotes ack seq 5: MIN still 0.
+        for n in [1u16, 2] {
+            rec.observe(NodeId(0), NodeId(n), RECEIVED, 5);
+            eng.on_ack_advance(NodeId(0), NodeId(n), RECEIVED, &rec, &mut out, &mut done);
+        }
+        assert!(out.is_empty());
+        rec.observe(NodeId(0), NodeId(3), RECEIVED, 4);
+        eng.on_ack_advance(NodeId(0), NodeId(3), RECEIVED, &rec, &mut out, &mut done);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seq, 4);
+        assert_eq!(eng.frontier(NodeId(0), "all"), Some((4, 0)));
+    }
+
+    #[test]
+    fn unrelated_acks_do_not_reevaluate() {
+        let (mut eng, mut rec, mut out, mut done) = setup();
+        eng.register(NodeId(0), "one", pred("MAX($2)"), &rec, &mut out, &mut done);
+        // An ack from node 3 is not a dependency of MAX($2).
+        rec.observe(NodeId(0), NodeId(2), RECEIVED, 9);
+        eng.on_ack_advance(NodeId(0), NodeId(2), RECEIVED, &rec, &mut out, &mut done);
+        assert!(out.is_empty());
+        rec.observe(NodeId(0), NodeId(1), RECEIVED, 9);
+        eng.on_ack_advance(NodeId(0), NodeId(1), RECEIVED, &rec, &mut out, &mut done);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn waitfor_completes_when_frontier_reaches_seq() {
+        let (mut eng, mut rec, mut out, mut done) = setup();
+        eng.register(
+            NodeId(0),
+            "one",
+            pred("MAX($ALLWNODES-$MYWNODE)"),
+            &rec,
+            &mut out,
+            &mut done,
+        );
+        eng.waitfor(NodeId(0), "one", 10, 77, &mut done).unwrap();
+        assert!(done.is_empty());
+        assert_eq!(eng.pending_waiters(), 1);
+        rec.observe(NodeId(0), NodeId(2), RECEIVED, 12);
+        eng.on_ack_advance(NodeId(0), NodeId(2), RECEIVED, &rec, &mut out, &mut done);
+        assert_eq!(done, vec![77]);
+        assert_eq!(eng.pending_waiters(), 0);
+    }
+
+    #[test]
+    fn waitfor_already_satisfied_completes_immediately() {
+        let (mut eng, mut rec, mut out, mut done) = setup();
+        rec.observe(NodeId(0), NodeId(1), RECEIVED, 20);
+        eng.register(
+            NodeId(0),
+            "one",
+            pred("MAX($ALLWNODES-$MYWNODE)"),
+            &rec,
+            &mut out,
+            &mut done,
+        );
+        assert_eq!(out[0].seq, 20); // initial eval reported
+        eng.waitfor(NodeId(0), "one", 15, 5, &mut done).unwrap();
+        assert_eq!(done, vec![5]);
+    }
+
+    #[test]
+    fn waitfor_unknown_key_errors() {
+        let (mut eng, _rec, _out, mut done) = setup();
+        assert!(eng.waitfor(NodeId(0), "nope", 1, 0, &mut done).is_err());
+    }
+
+    #[test]
+    fn change_bumps_generation_and_may_regress() {
+        let (mut eng, mut rec, mut out, mut done) = setup();
+        // Weak predicate: any remote. Strong predicate: all remotes.
+        rec.observe(NodeId(0), NodeId(1), RECEIVED, 30);
+        eng.register(
+            NodeId(0),
+            "p",
+            pred("MAX($ALLWNODES-$MYWNODE)"),
+            &rec,
+            &mut out,
+            &mut done,
+        );
+        assert_eq!(eng.frontier(NodeId(0), "p"), Some((30, 0)));
+        out.clear();
+        assert!(eng.change(
+            NodeId(0),
+            "p",
+            pred("MIN($ALLWNODES-$MYWNODE)"),
+            &rec,
+            &mut out,
+            &mut done
+        ));
+        // The gap: new generation starts at 0 because nodes 2,3 have not acked.
+        assert_eq!(
+            out,
+            vec![FrontierUpdate {
+                stream: NodeId(0),
+                key: "p".into(),
+                seq: 0,
+                generation: 1
+            }]
+        );
+        assert!(!eng.change(
+            NodeId(0),
+            "missing",
+            pred("MAX($2)"),
+            &rec,
+            &mut out,
+            &mut done
+        ));
+    }
+
+    #[test]
+    fn unregister_orphans_waiters() {
+        let (mut eng, rec, mut out, mut done) = setup();
+        eng.register(NodeId(0), "p", pred("MAX($2)"), &rec, &mut out, &mut done);
+        eng.waitfor(NodeId(0), "p", 4, 9, &mut done).unwrap();
+        let orphans = eng.unregister(NodeId(0), "p");
+        assert_eq!(orphans, vec![9]);
+        assert_eq!(eng.len(), 0);
+        assert!(eng.is_empty());
+    }
+
+    #[test]
+    fn exclude_node_rewrites_affected_predicates() {
+        let (mut eng, mut rec, mut out, mut done) = setup();
+        eng.register(
+            NodeId(0),
+            "all",
+            pred("MIN($ALLWNODES-$MYWNODE)"),
+            &rec,
+            &mut out,
+            &mut done,
+        );
+        eng.register(
+            NodeId(0),
+            "pair",
+            pred("MIN($2, $3)"),
+            &rec,
+            &mut out,
+            &mut done,
+        );
+        // Node 3 (id 2) dies. Nodes 1 and 3 acked far; node 3 was the straggler.
+        rec.observe(NodeId(0), NodeId(1), RECEIVED, 50);
+        rec.observe(NodeId(0), NodeId(3), RECEIVED, 50);
+        eng.on_ack_advance(NodeId(0), NodeId(1), RECEIVED, &rec, &mut out, &mut done);
+        eng.on_ack_advance(NodeId(0), NodeId(3), RECEIVED, &rec, &mut out, &mut done);
+        assert_eq!(eng.frontier(NodeId(0), "all"), Some((0, 0)));
+        out.clear();
+        let failed = eng.exclude_node(NodeId(2), &rec, &mut out, &mut done);
+        assert!(failed.is_empty());
+        // With node 2 excluded, MIN over {1,3} = 50; "pair" becomes MIN($2)=50.
+        assert_eq!(eng.frontier(NodeId(0), "all"), Some((50, 1)));
+        assert_eq!(eng.frontier(NodeId(0), "pair"), Some((50, 1)));
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let (mut eng, mut rec, mut out, mut done) = setup();
+        eng.register(NodeId(0), "p", pred("MAX($2)"), &rec, &mut out, &mut done);
+        eng.register(NodeId(1), "p", pred("MAX($2)"), &rec, &mut out, &mut done);
+        rec.observe(NodeId(1), NodeId(1), RECEIVED, 7);
+        eng.on_ack_advance(NodeId(1), NodeId(1), RECEIVED, &rec, &mut out, &mut done);
+        assert_eq!(eng.frontier(NodeId(0), "p"), Some((0, 0)));
+        assert_eq!(eng.frontier(NodeId(1), "p"), Some((7, 0)));
+        assert_eq!(eng.keys(NodeId(0)), vec!["p".to_owned()]);
+    }
+
+    #[test]
+    fn reregister_bumps_generation() {
+        let (mut eng, rec, mut out, mut done) = setup();
+        eng.register(NodeId(0), "p", pred("MAX($2)"), &rec, &mut out, &mut done);
+        eng.register(NodeId(0), "p", pred("MAX($3)"), &rec, &mut out, &mut done);
+        assert_eq!(eng.frontier(NodeId(0), "p"), Some((0, 1)));
+    }
+}

@@ -1,0 +1,284 @@
+//! Wire messages and their hand-rolled binary codec.
+//!
+//! Stabilizer keeps the data plane and the control plane separate
+//! (§III-A): [`WireMsg::Data`] carries sequenced payloads, while
+//! [`WireMsg::AckBatch`] carries monotonic stability reports that can be
+//! coalesced (a newer counter value subsumes an older one).
+//!
+//! The codec is deliberately simple — fixed little-endian fields behind a
+//! one-byte tag — so the framing layer in `stabilizer-transport` and the
+//! simulator share identical message sizes.
+
+use crate::error::CoreError;
+use bytes::Bytes;
+use stabilizer_dsl::{AckTypeId, NodeId, SeqNo};
+use stabilizer_netsim::MsgSize;
+
+/// Modeled per-message network overhead (framing length prefix plus
+/// TCP/IP headers), included in [`MsgSize::wire_size`] so simulated
+/// bandwidth accounting matches a real deployment.
+pub const WIRE_OVERHEAD: usize = 64;
+
+/// One monotonic stability report: "node X's `ty` counter for stream
+/// `stream` has reached `seq`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// The stream (identified by its origin node) being acknowledged.
+    pub stream: NodeId,
+    /// The stability level.
+    pub ty: AckTypeId,
+    /// Highest sequence number reaching that level.
+    pub seq: SeqNo,
+}
+
+/// Messages exchanged between Stabilizer instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Data-plane: one sequenced payload of stream `origin`.
+    Data {
+        /// Stream origin (the primary that published it).
+        origin: NodeId,
+        /// Per-stream sequence number, starting at 1.
+        seq: SeqNo,
+        /// Application payload.
+        payload: Bytes,
+    },
+    /// Control-plane: a batch of coalesced stability reports from the
+    /// sending node.
+    AckBatch(Vec<Ack>),
+    /// Control-plane keepalive (also drives failure detection).
+    Heartbeat,
+}
+
+impl WireMsg {
+    const TAG_DATA: u8 = 0;
+    const TAG_ACKS: u8 = 1;
+    const TAG_HEARTBEAT: u8 = 2;
+
+    /// Encoded size in bytes (without [`WIRE_OVERHEAD`]).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            WireMsg::Data { payload, .. } => 1 + 2 + 8 + 4 + payload.len(),
+            WireMsg::AckBatch(acks) => 1 + 2 + acks.len() * (2 + 2 + 8),
+            WireMsg::Heartbeat => 1,
+        }
+    }
+
+    /// Serialize into `out` (appended).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WireMsg::Data {
+                origin,
+                seq,
+                payload,
+            } => {
+                out.push(Self::TAG_DATA);
+                out.extend_from_slice(&origin.0.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.extend_from_slice(payload);
+            }
+            WireMsg::AckBatch(acks) => {
+                out.push(Self::TAG_ACKS);
+                out.extend_from_slice(&(acks.len() as u16).to_le_bytes());
+                for a in acks {
+                    out.extend_from_slice(&a.stream.0.to_le_bytes());
+                    out.extend_from_slice(&a.ty.0.to_le_bytes());
+                    out.extend_from_slice(&a.seq.to_le_bytes());
+                }
+            }
+            WireMsg::Heartbeat => out.push(Self::TAG_HEARTBEAT),
+        }
+    }
+
+    /// Serialize into a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut out);
+        out
+    }
+
+    /// Deserialize a message that was produced by [`WireMsg::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Wire`] on truncation, an unknown tag, or
+    /// trailing garbage.
+    pub fn decode(buf: &[u8]) -> Result<WireMsg, CoreError> {
+        let mut r = Reader { buf, at: 0 };
+        let msg = match r.u8()? {
+            Self::TAG_DATA => {
+                let origin = NodeId(r.u16()?);
+                let seq = r.u64()?;
+                let len = r.u32()? as usize;
+                let payload = Bytes::copy_from_slice(r.take(len)?);
+                WireMsg::Data {
+                    origin,
+                    seq,
+                    payload,
+                }
+            }
+            Self::TAG_ACKS => {
+                let count = r.u16()? as usize;
+                let mut acks = Vec::with_capacity(count);
+                for _ in 0..count {
+                    acks.push(Ack {
+                        stream: NodeId(r.u16()?),
+                        ty: AckTypeId(r.u16()?),
+                        seq: r.u64()?,
+                    });
+                }
+                WireMsg::AckBatch(acks)
+            }
+            Self::TAG_HEARTBEAT => WireMsg::Heartbeat,
+            tag => return Err(CoreError::Wire(format!("unknown message tag {tag}"))),
+        };
+        if r.at != buf.len() {
+            return Err(CoreError::Wire(format!(
+                "{} trailing bytes",
+                buf.len() - r.at
+            )));
+        }
+        Ok(msg)
+    }
+
+    /// True for control-plane messages (ACKs and heartbeats).
+    pub fn is_control(&self) -> bool {
+        !matches!(self, WireMsg::Data { .. })
+    }
+}
+
+impl MsgSize for WireMsg {
+    fn wire_size(&self) -> usize {
+        self.encoded_len() + WIRE_OVERHEAD
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
+        if self.at + n > self.buf.len() {
+            return Err(CoreError::Wire(format!(
+                "truncated message: wanted {n} bytes at offset {}, have {}",
+                self.at,
+                self.buf.len() - self.at
+            )));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: WireMsg) {
+        let bytes = msg.to_bytes();
+        assert_eq!(bytes.len(), msg.encoded_len());
+        assert_eq!(WireMsg::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn data_roundtrips() {
+        roundtrip(WireMsg::Data {
+            origin: NodeId(3),
+            seq: 99,
+            payload: Bytes::from_static(b"hello"),
+        });
+        roundtrip(WireMsg::Data {
+            origin: NodeId(0),
+            seq: 0,
+            payload: Bytes::new(),
+        });
+    }
+
+    #[test]
+    fn ack_batch_roundtrips() {
+        roundtrip(WireMsg::AckBatch(vec![
+            Ack {
+                stream: NodeId(0),
+                ty: AckTypeId(0),
+                seq: 17,
+            },
+            Ack {
+                stream: NodeId(7),
+                ty: AckTypeId(3),
+                seq: u64::MAX,
+            },
+        ]));
+        roundtrip(WireMsg::AckBatch(vec![]));
+    }
+
+    #[test]
+    fn heartbeat_roundtrips() {
+        roundtrip(WireMsg::Heartbeat);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = WireMsg::Data {
+            origin: NodeId(1),
+            seq: 2,
+            payload: Bytes::from_static(b"abcdef"),
+        }
+        .to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                WireMsg::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut bytes = WireMsg::Heartbeat.to_bytes();
+        bytes.push(0);
+        assert!(matches!(WireMsg::decode(&bytes), Err(CoreError::Wire(_))));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(WireMsg::decode(&[42]), Err(CoreError::Wire(_))));
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(WireMsg::Heartbeat.is_control());
+        assert!(WireMsg::AckBatch(vec![]).is_control());
+        assert!(!WireMsg::Data {
+            origin: NodeId(0),
+            seq: 1,
+            payload: Bytes::new()
+        }
+        .is_control());
+    }
+
+    #[test]
+    fn wire_size_includes_overhead() {
+        let m = WireMsg::Heartbeat;
+        assert_eq!(m.wire_size(), 1 + WIRE_OVERHEAD);
+    }
+}

@@ -1,0 +1,1292 @@
+//! The Stabilizer node: a sans-IO state machine combining the data plane
+//! (sequencing, buffering, FIFO delivery) and the control plane (ACK
+//! recorder, stability-frontier engine, failure suspicion).
+//!
+//! All I/O and time are injected: drivers feed [`StabilizerNode::on_message`]
+//! and the timer callbacks, and collect [`Action`]s to execute (send a
+//! message, deliver an upcall, report a frontier advance). The same state
+//! machine therefore runs unchanged under the deterministic simulator
+//! (`sim_driver`) and the threaded TCP runtime (`stabilizer-transport`) —
+//! the control-plane/data-plane separation of §III-A is structural, not
+//! an artifact of a particular runtime.
+
+use crate::config::ClusterConfig;
+use crate::data_plane::{ReceiveState, SendBuffer};
+use crate::error::CoreError;
+use crate::frontier::{FrontierEngine, FrontierUpdate, WaitToken};
+use crate::messages::{Ack, WireMsg};
+use crate::recorder::AckRecorder;
+use bytes::Bytes;
+use stabilizer_dsl::{
+    AckTypeId, AckTypeRegistry, NodeId, Predicate, SeqNo, DELIVERED, PERSISTED, RECEIVED,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Effects requested by the state machine, executed by the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Transmit `msg` to peer `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: WireMsg,
+    },
+    /// Deliver a mirrored payload to the local application (upcall).
+    Deliver {
+        /// Stream origin.
+        origin: NodeId,
+        /// Sequence number within the stream.
+        seq: SeqNo,
+        /// The payload.
+        payload: Bytes,
+    },
+    /// A stability frontier advanced (or regenerated after a predicate
+    /// change); drivers invoke `monitor_stability_frontier` lambdas here.
+    Frontier(FrontierUpdate),
+    /// A `waitfor` call completed.
+    WaitDone {
+        /// The token returned by [`StabilizerNode::waitfor`].
+        token: WaitToken,
+    },
+    /// A peer has gone silent past the failure timeout (§III-E).
+    Suspected {
+        /// The suspect.
+        node: NodeId,
+    },
+    /// A previously suspected peer produced traffic again and was
+    /// un-suspected (and, under `auto_exclude_suspects`, reinstated into
+    /// the predicates it had been excluded from).
+    Recovered {
+        /// The returning node.
+        node: NodeId,
+    },
+    /// Auto-exclusion could not rewrite this predicate (it would become
+    /// empty); the application must change or unregister it.
+    PredicateBroken {
+        /// Stream of the broken predicate.
+        stream: NodeId,
+        /// Its key.
+        key: String,
+    },
+}
+
+/// A consistent snapshot of the control-plane state, for crash recovery
+/// via the integrated storage system (§III-E: "the Derecho object store
+/// can also persist the stability frontier information").
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The ACK table.
+    pub recorder: AckRecorder,
+    /// Highest sequence number this node assigned to its own stream.
+    pub last_assigned: SeqNo,
+}
+
+/// The Stabilizer library instance for one WAN node.
+#[derive(Debug)]
+pub struct StabilizerNode {
+    me: NodeId,
+    cfg: ClusterConfig,
+    acks: Arc<AckTypeRegistry>,
+    peers: Vec<NodeId>,
+    recorder: AckRecorder,
+    engine: FrontierEngine,
+    send_buf: SendBuffer,
+    recv: Vec<ReceiveState>,
+    /// Coalesced outgoing stability reports: newest value per cell.
+    pending_acks: BTreeMap<(NodeId, AckTypeId), SeqNo>,
+    last_heard_nanos: Vec<u64>,
+    suspected: Vec<bool>,
+    next_token: WaitToken,
+    actions: Vec<Action>,
+    /// Original DSL sources per (stream, key), kept so predicates can be
+    /// restored verbatim when an excluded node rejoins.
+    predicate_sources: std::collections::HashMap<(NodeId, String), String>,
+    metrics: Metrics,
+    /// Per-peer: `(last received-ack seen, nanos when it last advanced)`,
+    /// for the retransmission timeout.
+    retransmit_state: Vec<(SeqNo, u64)>,
+}
+
+/// Traffic counters, split by plane (the §III-A separation is observable
+/// in the numbers: control messages stay small and coalescible while the
+/// data plane moves the volume).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Data messages sent (to all peers combined).
+    pub data_msgs_sent: u64,
+    /// Data payload bytes sent.
+    pub data_bytes_sent: u64,
+    /// Control (ACK batch + heartbeat) messages sent.
+    pub control_msgs_sent: u64,
+    /// Individual ACK cells carried in those batches.
+    pub acks_sent: u64,
+    /// Data messages delivered to the application.
+    pub deliveries: u64,
+    /// ACK cells received and merged.
+    pub acks_received: u64,
+    /// Stale/duplicate ACK cells ignored by the max-merge.
+    pub acks_stale: u64,
+    /// Data messages retransmitted by the reliability mechanism.
+    pub retransmits: u64,
+}
+
+impl StabilizerNode {
+    /// Create the node `me`, registering the configuration file's
+    /// predicates for this node's own stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a configured predicate does not compile.
+    pub fn new(
+        cfg: ClusterConfig,
+        me: NodeId,
+        acks: Arc<AckTypeRegistry>,
+    ) -> Result<Self, CoreError> {
+        let n = cfg.num_nodes();
+        let peers = cfg.peers(me);
+        let mut node = StabilizerNode {
+            me,
+            recorder: AckRecorder::new(n, acks.len()),
+            engine: FrontierEngine::new(),
+            send_buf: SendBuffer::new(cfg.options().send_buffer_bytes),
+            recv: (0..n).map(|_| ReceiveState::new()).collect(),
+            pending_acks: BTreeMap::new(),
+            last_heard_nanos: vec![0; n],
+            suspected: vec![false; n],
+            next_token: 1,
+            actions: Vec::new(),
+            predicate_sources: std::collections::HashMap::new(),
+            metrics: Metrics::default(),
+            retransmit_state: vec![(0, 0); n],
+            peers,
+            acks,
+            cfg,
+        };
+        let configured: Vec<(String, String)> = node
+            .cfg
+            .predicates()
+            .map(|(k, v)| (k.to_owned(), v.to_owned()))
+            .collect();
+        for (key, source) in configured {
+            node.register_predicate(me, &key, &source)?;
+        }
+        Ok(node)
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The ACK-type registry shared with the application.
+    pub fn ack_types(&self) -> &Arc<AckTypeRegistry> {
+        &self.acks
+    }
+
+    /// Read-only view of the ACK recorder (Fig. 1's table).
+    pub fn recorder(&self) -> &AckRecorder {
+        &self.recorder
+    }
+
+    /// Drain the pending actions for the driver to execute, in order.
+    pub fn take_actions(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// True if any actions are pending.
+    pub fn has_actions(&self) -> bool {
+        !self.actions.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
+    /// Publish a payload on this node's stream: assign the next sequence
+    /// number, buffer for retransmission, send to every peer, and apply
+    /// the origin self-acknowledgment rule (§III-C).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::PayloadTooLarge`] or [`CoreError::WouldBlock`] (send
+    /// buffer full — retry once the frontier advances).
+    pub fn publish(&mut self, payload: Bytes) -> Result<SeqNo, CoreError> {
+        let max = self.cfg.options().max_payload_bytes;
+        if payload.len() > max {
+            return Err(CoreError::PayloadTooLarge {
+                size: payload.len(),
+                max,
+            });
+        }
+        let seq = self.send_buf.publish(payload.clone())?;
+        for &peer in &self.peers {
+            self.metrics.data_msgs_sent += 1;
+            self.metrics.data_bytes_sent += payload.len() as u64;
+            self.actions.push(Action::Send {
+                to: peer,
+                msg: WireMsg::Data {
+                    origin: self.me,
+                    seq,
+                    payload: payload.clone(),
+                },
+            });
+        }
+        // Origin self-ack: every stability level holds at the origin.
+        if self.recorder.observe_all_types(self.me, self.me, seq) {
+            for ty in 0..self.recorder.num_types() as u16 {
+                self.advance(self.me, self.me, AckTypeId(ty));
+                self.queue_ack(self.me, AckTypeId(ty), seq);
+            }
+        }
+        self.maybe_flush_eager();
+        Ok(seq)
+    }
+
+    /// Highest sequence number assigned to this node's own stream.
+    pub fn last_published(&self) -> SeqNo {
+        self.send_buf.last_assigned()
+    }
+
+    /// Bytes currently held in the send buffer.
+    pub fn send_buffer_bytes(&self) -> usize {
+        self.send_buf.bytes()
+    }
+
+    /// Payload for a still-buffered own-stream message (transport resend).
+    pub fn buffered_payload(&self, seq: SeqNo) -> Option<Bytes> {
+        self.send_buf.get(seq).cloned()
+    }
+
+    /// Re-emit `Send` actions for every buffered own-stream message at or
+    /// after `from`, to `peer` — used when a transport reconnects and must
+    /// restore lossless FIFO.
+    pub fn resend_from(&mut self, peer: NodeId, from: SeqNo) {
+        let me = self.me;
+        let msgs: Vec<(SeqNo, Bytes)> = self
+            .send_buf
+            .iter_from(from)
+            .map(|(s, p)| (s, p.clone()))
+            .collect();
+        for (seq, payload) in msgs {
+            self.actions.push(Action::Send {
+                to: peer,
+                msg: WireMsg::Data {
+                    origin: me,
+                    seq,
+                    payload,
+                },
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling
+    // ------------------------------------------------------------------
+
+    /// Process an incoming wire message. `now_nanos` drives failure
+    /// detection bookkeeping.
+    pub fn on_message(&mut self, now_nanos: u64, from: NodeId, msg: WireMsg) {
+        self.heard(from, now_nanos);
+        match msg {
+            WireMsg::Data {
+                origin,
+                seq,
+                payload,
+            } => self.on_data(origin, seq, payload),
+            WireMsg::AckBatch(acks) => self.on_acks(from, &acks),
+            WireMsg::Heartbeat => {}
+        }
+        self.maybe_flush_eager();
+    }
+
+    fn on_data(&mut self, origin: NodeId, seq: SeqNo, payload: Bytes) {
+        if origin == self.me || origin.0 as usize >= self.recv.len() {
+            return; // nonsensical: we are the origin, or unknown stream
+        }
+        let delivered = self.recv[origin.0 as usize].on_data(seq, payload);
+        if delivered.is_empty() {
+            // A duplicate of an already-delivered message means the
+            // sender has not seen our ACK (it was lost): re-announce the
+            // current counters so the retransmission loop terminates.
+            let current = self.recv[origin.0 as usize].delivered();
+            if seq <= current {
+                for ty in [RECEIVED, PERSISTED, DELIVERED] {
+                    let level = self.recorder.get(origin, self.me, ty);
+                    if level > 0 {
+                        self.queue_ack(origin, ty, level);
+                    }
+                }
+            }
+            return;
+        }
+        let high = delivered.last().map(|(s, _)| *s).unwrap_or(0);
+        for (seq, payload) in delivered {
+            self.metrics.deliveries += 1;
+            self.actions.push(Action::Deliver {
+                origin,
+                seq,
+                payload,
+            });
+        }
+        // This node now holds, has persisted, and has delivered the
+        // prefix up to `high` (persistence is the local storage layer's
+        // write, done by the driver before acks flush in a real system;
+        // the built-in levels move together here and custom levels are
+        // reported via `report_stability`).
+        for ty in [RECEIVED, PERSISTED, DELIVERED] {
+            if self.recorder.observe(origin, self.me, ty, high) {
+                self.advance(origin, self.me, ty);
+                self.queue_ack(origin, ty, high);
+            }
+        }
+    }
+
+    fn on_acks(&mut self, from: NodeId, acks: &[Ack]) {
+        for ack in acks {
+            if ack.stream.0 as usize >= self.recv.len()
+                || ack.ty.0 as usize >= self.recorder.num_types()
+            {
+                continue; // unknown stream/type: ignore (monotonic data, safe to drop)
+            }
+            if self.recorder.observe(ack.stream, from, ack.ty, ack.seq) {
+                self.metrics.acks_received += 1;
+                self.advance(ack.stream, from, ack.ty);
+                if ack.stream == self.me && ack.ty == RECEIVED {
+                    self.try_reclaim();
+                }
+            } else {
+                self.metrics.acks_stale += 1;
+            }
+        }
+    }
+
+    fn try_reclaim(&mut self) {
+        // Reclaim once every live node has received a prefix. Suspected
+        // nodes are excluded so a dead peer cannot pin the buffer.
+        let live: Vec<NodeId> = self
+            .cfg
+            .topology()
+            .all_nodes()
+            .into_iter()
+            .filter(|n| !self.suspected[n.0 as usize])
+            .collect();
+        let min = self.recorder.min_over(self.me, RECEIVED, &live);
+        self.send_buf.reclaim(min);
+    }
+
+    /// Declare that this node obtained `origin`'s stream up to `seq` out
+    /// of band — the §III-E state-transfer path: after an absence long
+    /// enough that the origin reclaimed its buffer, the returning mirror
+    /// recovers the data from the integrated storage system (e.g. a WAL
+    /// shipped from a peer) and resumes live delivery from `seq + 1`.
+    /// Parked out-of-order messages beyond `seq` are released in order.
+    pub fn fast_forward_stream(&mut self, origin: NodeId, seq: SeqNo) {
+        if origin == self.me || origin.0 as usize >= self.recv.len() {
+            return;
+        }
+        let released = self.recv[origin.0 as usize].fast_forward(seq);
+        let high = released
+            .last()
+            .map(|(s, _)| *s)
+            .unwrap_or(self.recv[origin.0 as usize].delivered());
+        for (seq, payload) in released {
+            self.metrics.deliveries += 1;
+            self.actions.push(Action::Deliver {
+                origin,
+                seq,
+                payload,
+            });
+        }
+        for ty in [RECEIVED, PERSISTED, DELIVERED] {
+            if self.recorder.observe(origin, self.me, ty, high) {
+                self.advance(origin, self.me, ty);
+                self.queue_ack(origin, ty, high);
+            }
+        }
+        self.maybe_flush_eager();
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane API (§III-D interfaces)
+    // ------------------------------------------------------------------
+
+    /// Register a new predicate under `key` for `stream`, compiled at
+    /// this node (the paper's `register_predicate`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DSL compile errors.
+    pub fn register_predicate(
+        &mut self,
+        stream: NodeId,
+        key: &str,
+        source: &str,
+    ) -> Result<(), CoreError> {
+        let pred = Predicate::compile(source, self.cfg.topology(), &self.acks, self.me)?;
+        let mut updates = Vec::new();
+        let mut done = Vec::new();
+        self.engine
+            .register(stream, key, pred, &self.recorder, &mut updates, &mut done);
+        self.predicate_sources
+            .insert((stream, key.to_owned()), source.to_owned());
+        self.emit(updates, done);
+        Ok(())
+    }
+
+    /// Replace the predicate under `key` (the paper's `change_predicate`),
+    /// bumping its generation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownPredicate`] if the key was never registered, or
+    /// a DSL compile error.
+    pub fn change_predicate(
+        &mut self,
+        stream: NodeId,
+        key: &str,
+        source: &str,
+    ) -> Result<(), CoreError> {
+        let pred = Predicate::compile(source, self.cfg.topology(), &self.acks, self.me)?;
+        let mut updates = Vec::new();
+        let mut done = Vec::new();
+        if !self
+            .engine
+            .change(stream, key, pred, &self.recorder, &mut updates, &mut done)
+        {
+            return Err(CoreError::UnknownPredicate(key.to_owned()));
+        }
+        self.predicate_sources
+            .insert((stream, key.to_owned()), source.to_owned());
+        self.emit(updates, done);
+        Ok(())
+    }
+
+    /// Remove a predicate; any pending waiters complete immediately (with
+    /// the frontier they were waiting for never confirmed) so callers are
+    /// not stranded.
+    pub fn unregister_predicate(&mut self, stream: NodeId, key: &str) {
+        for token in self.engine.unregister(stream, key) {
+            self.actions.push(Action::WaitDone { token });
+        }
+    }
+
+    /// Current `(frontier, generation)` of a predicate (the K/V store's
+    /// `get_stability_frontier`).
+    pub fn stability_frontier(&self, stream: NodeId, key: &str) -> Option<(SeqNo, u32)> {
+        self.engine.frontier(stream, key)
+    }
+
+    /// Block until `(stream, key)`'s frontier reaches `seq`; completion is
+    /// reported as [`Action::WaitDone`] with the returned token (the
+    /// paper's `waitfor`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownPredicate`] for an unregistered key.
+    pub fn waitfor(
+        &mut self,
+        stream: NodeId,
+        key: &str,
+        seq: SeqNo,
+    ) -> Result<WaitToken, CoreError> {
+        let token = self.next_token;
+        self.next_token += 1;
+        let mut done = Vec::new();
+        self.engine.waitfor(stream, key, seq, token, &mut done)?;
+        for t in done {
+            self.actions.push(Action::WaitDone { token: t });
+        }
+        Ok(token)
+    }
+
+    /// Register a new application-defined stability level (e.g.
+    /// `verified`); its counters start at zero everywhere except this
+    /// node's own stream, which self-acks everything already published.
+    pub fn register_ack_type(&mut self, name: &str) -> AckTypeId {
+        let ty = self.acks.register(name);
+        self.recorder.ensure_types(self.acks.len());
+        let last = self.send_buf.last_assigned();
+        if last > 0 && self.recorder.observe(self.me, self.me, ty, last) {
+            self.advance(self.me, self.me, ty);
+            self.queue_ack(self.me, ty, last);
+        }
+        ty
+    }
+
+    /// Report that this node reached stability level `ty` for `stream` up
+    /// to `seq` (application-supplied validation such as `verified`,
+    /// §III-C "Suffixes"). The report is broadcast on the control plane.
+    pub fn report_stability(&mut self, stream: NodeId, ty: AckTypeId, seq: SeqNo) {
+        if ty.0 as usize >= self.recorder.num_types() {
+            return;
+        }
+        if self.recorder.observe(stream, self.me, ty, seq) {
+            self.advance(stream, self.me, ty);
+            self.queue_ack(stream, ty, seq);
+            self.maybe_flush_eager();
+        }
+    }
+
+    /// Queue a full re-announcement of this node's own stability rows to
+    /// `peer` (used by transports after a reconnect, since ACK batches
+    /// lost while the link was down are only implicitly repaired by
+    /// future traffic).
+    pub fn announce_acks_to(&mut self, peer: NodeId) {
+        let mut acks = Vec::new();
+        for stream in 0..self.recorder.num_nodes() as u16 {
+            for ty in 0..self.recorder.num_types() as u16 {
+                let seq = self.recorder.get(NodeId(stream), self.me, AckTypeId(ty));
+                if seq > 0 {
+                    acks.push(Ack {
+                        stream: NodeId(stream),
+                        ty: AckTypeId(ty),
+                        seq,
+                    });
+                }
+            }
+        }
+        if !acks.is_empty() {
+            self.actions.push(Action::Send {
+                to: peer,
+                msg: WireMsg::AckBatch(acks),
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Flush coalesced ACKs (drivers call this on the
+    /// `ack_flush_micros` period when coalescing is enabled).
+    pub fn on_ack_flush(&mut self) {
+        self.flush_acks();
+    }
+
+    /// Emit a heartbeat to every peer (drivers call this on the
+    /// `heartbeat_millis` period).
+    pub fn on_heartbeat(&mut self) {
+        for &peer in &self.peers {
+            self.metrics.control_msgs_sent += 1;
+            self.actions.push(Action::Send {
+                to: peer,
+                msg: WireMsg::Heartbeat,
+            });
+        }
+    }
+
+    /// Check for silent peers (drivers call this periodically). Newly
+    /// suspected nodes produce [`Action::Suspected`] and, when
+    /// `auto_exclude_suspects` is set, predicate rewrites.
+    pub fn on_failure_check(&mut self, now_nanos: u64) {
+        let timeout = self.cfg.options().failure_timeout_millis * 1_000_000;
+        if timeout == 0 {
+            return; // failure detection disabled
+        }
+        let peers = self.peers.clone();
+        for peer in peers {
+            let idx = peer.0 as usize;
+            let heard = self.last_heard_nanos[idx];
+            if self.suspected[idx] || now_nanos.saturating_sub(heard) < timeout {
+                continue;
+            }
+            self.suspected[idx] = true;
+            self.actions.push(Action::Suspected { node: peer });
+            if self.cfg.options().auto_exclude_suspects {
+                self.exclude_node(peer);
+            }
+            self.try_reclaim();
+        }
+    }
+
+    /// Drive the §III-A reliability mechanism (drivers call this
+    /// periodically when `retransmit_millis > 0`): any peer whose
+    /// `received` counter has not advanced for a full timeout while data
+    /// remains unacknowledged gets the unacked window resent (go-back-N,
+    /// capped at 64 messages per round to bound burstiness). Safe with
+    /// duplicating transports: receivers drop duplicates and the ACK
+    /// table is monotonic.
+    pub fn on_retransmit_check(&mut self, now_nanos: u64) {
+        let timeout = self.cfg.options().retransmit_millis * 1_000_000;
+        if timeout == 0 {
+            return;
+        }
+        let last_sent = self.send_buf.last_assigned();
+        let peers = self.peers.clone();
+        for peer in peers {
+            if self.suspected[peer.0 as usize] {
+                continue;
+            }
+            let acked = self.recorder.get(self.me, peer, RECEIVED);
+            let idx = peer.0 as usize;
+            let (prev_acked, since) = self.retransmit_state[idx];
+            if acked > prev_acked || acked >= last_sent {
+                self.retransmit_state[idx] = (acked, now_nanos);
+                continue;
+            }
+            if now_nanos.saturating_sub(since) < timeout {
+                continue;
+            }
+            // Stalled: resend the unacked window.
+            let msgs: Vec<(SeqNo, Bytes)> = self
+                .send_buf
+                .iter_from(acked + 1)
+                .take(64)
+                .map(|(s, p)| (s, p.clone()))
+                .collect();
+            for (seq, payload) in msgs {
+                self.metrics.retransmits += 1;
+                self.actions.push(Action::Send {
+                    to: peer,
+                    msg: WireMsg::Data {
+                        origin: self.me,
+                        seq,
+                        payload,
+                    },
+                });
+            }
+            self.retransmit_state[idx] = (acked, now_nanos);
+        }
+    }
+
+    /// Rewrite every predicate to stop observing `node` (§III-E). Broken
+    /// predicates (that would become empty) are reported via
+    /// [`Action::PredicateBroken`].
+    pub fn exclude_node(&mut self, node: NodeId) {
+        let mut updates = Vec::new();
+        let mut done = Vec::new();
+        let failed = self
+            .engine
+            .exclude_node(node, &self.recorder, &mut updates, &mut done);
+        self.emit(updates, done);
+        for key in failed {
+            self.actions.push(Action::PredicateBroken {
+                stream: self.me,
+                key,
+            });
+        }
+    }
+
+    /// Whether `node` is currently suspected.
+    pub fn is_suspected(&self, node: NodeId) -> bool {
+        self.suspected[node.0 as usize]
+    }
+
+    /// Clear suspicion after a node returns (driver observed traffic or
+    /// reconnection).
+    pub fn clear_suspicion(&mut self, node: NodeId) {
+        self.suspected[node.0 as usize] = false;
+    }
+
+    /// Re-admit a previously excluded node: clear its suspicion and
+    /// restore every predicate to its original registered source (the
+    /// inverse of [`StabilizerNode::exclude_node`]). Each restored
+    /// predicate gets a new generation, like `change_predicate`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any original source no longer compiles (e.g. its ACK
+    /// type registry entries disappeared — not possible through this
+    /// API, but surfaced rather than ignored).
+    pub fn reinstate_node(&mut self, node: NodeId) -> Result<(), CoreError> {
+        self.clear_suspicion(node);
+        let sources: Vec<((NodeId, String), String)> = self
+            .predicate_sources
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for ((stream, key), source) in sources {
+            let pred = Predicate::compile(&source, self.cfg.topology(), &self.acks, self.me)?;
+            // Only touch predicates that currently lack the node.
+            let has_node = self
+                .engine
+                .predicate(stream, &key)
+                .map(|p| p.dependencies().iter().any(|(n, _)| *n == node))
+                .unwrap_or(false);
+            let should_have = pred.dependencies().iter().any(|(n, _)| *n == node);
+            if has_node || !should_have {
+                continue;
+            }
+            let mut updates = Vec::new();
+            let mut done = Vec::new();
+            self.engine
+                .change(stream, &key, pred, &self.recorder, &mut updates, &mut done);
+            self.emit(updates, done);
+        }
+        Ok(())
+    }
+
+    /// Traffic counters for this node.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery (§III-E)
+    // ------------------------------------------------------------------
+
+    /// Capture the control-plane state for persistence by the integrated
+    /// storage system.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            recorder: self.recorder.clone(),
+            last_assigned: self.send_buf.last_assigned(),
+        }
+    }
+
+    /// Rebuild a node from a persisted snapshot after a primary restart.
+    /// Payload buffers are not restored (peers that already received the
+    /// prefix have acked it; unacked suffixes must be re-published by the
+    /// storage system's recovery log, as with Derecho's view change).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a configured predicate does not compile.
+    pub fn restore(
+        cfg: ClusterConfig,
+        me: NodeId,
+        acks: Arc<AckTypeRegistry>,
+        snapshot: Snapshot,
+    ) -> Result<Self, CoreError> {
+        let mut node = StabilizerNode::new(cfg, me, acks)?;
+        node.recorder = snapshot.recorder;
+        node.recorder.ensure_types(node.acks.len());
+        // Restore the sequence counter by replaying publishes of empty
+        // payloads is wrong; instead rebuild the send buffer state.
+        let mut sb = SendBuffer::new(node.cfg.options().send_buffer_bytes);
+        for _ in 0..snapshot.last_assigned {
+            let _ = sb.publish(Bytes::new());
+        }
+        sb.reclaim(snapshot.last_assigned);
+        node.send_buf = sb;
+        // Re-evaluate configured predicates against the restored table.
+        let keys = node.engine.keys(me);
+        let mut updates = Vec::new();
+        let mut done = Vec::new();
+        for key in keys {
+            if let Some(pred) = node.engine.predicate(me, &key).cloned() {
+                node.engine
+                    .register(me, &key, pred, &node.recorder, &mut updates, &mut done);
+            }
+        }
+        node.emit(updates, done);
+        Ok(node)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn heard(&mut self, from: NodeId, now_nanos: u64) {
+        let idx = from.0 as usize;
+        if idx >= self.last_heard_nanos.len() {
+            return;
+        }
+        self.last_heard_nanos[idx] = now_nanos;
+        if self.suspected[idx] {
+            // The "crashed" peer is talking again: §III-E's recovery path.
+            self.suspected[idx] = false;
+            self.actions.push(Action::Recovered { node: from });
+            if self.cfg.options().auto_exclude_suspects {
+                // Reinstatement mirrors the automatic exclusion. Original
+                // sources always recompile (they did at registration), so
+                // the expect documents an invariant rather than a
+                // recoverable failure.
+                self.reinstate_node(from)
+                    .expect("original predicate sources recompile");
+            }
+        }
+    }
+
+    fn advance(&mut self, stream: NodeId, node: NodeId, ty: AckTypeId) {
+        let mut updates = Vec::new();
+        let mut done = Vec::new();
+        self.engine
+            .on_ack_advance(stream, node, ty, &self.recorder, &mut updates, &mut done);
+        self.emit(updates, done);
+    }
+
+    fn emit(&mut self, updates: Vec<FrontierUpdate>, done: Vec<WaitToken>) {
+        for u in updates {
+            self.actions.push(Action::Frontier(u));
+        }
+        for token in done {
+            self.actions.push(Action::WaitDone { token });
+        }
+    }
+
+    fn queue_ack(&mut self, stream: NodeId, ty: AckTypeId, seq: SeqNo) {
+        let cell = self.pending_acks.entry((stream, ty)).or_insert(0);
+        if seq > *cell {
+            *cell = seq;
+        }
+    }
+
+    fn maybe_flush_eager(&mut self) {
+        if self.cfg.options().ack_flush_micros == 0 {
+            self.flush_acks();
+        }
+    }
+
+    fn flush_acks(&mut self) {
+        if self.pending_acks.is_empty() {
+            return;
+        }
+        let acks: Vec<Ack> = self
+            .pending_acks
+            .iter()
+            .map(|(&(stream, ty), &seq)| Ack { stream, ty, seq })
+            .collect();
+        self.pending_acks.clear();
+        for &peer in &self.peers {
+            self.metrics.control_msgs_sent += 1;
+            self.metrics.acks_sent += acks.len() as u64;
+            self.actions.push(Action::Send {
+                to: peer,
+                msg: WireMsg::AckBatch(acks.clone()),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Options;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::parse("az A a b\naz B c\npredicate All MIN($ALLWNODES-$MYWNODE)\n").unwrap()
+    }
+
+    fn node(me: u16) -> StabilizerNode {
+        StabilizerNode::new(cfg(), NodeId(me), Arc::new(AckTypeRegistry::new())).unwrap()
+    }
+
+    fn sends(actions: &[Action]) -> Vec<(NodeId, &WireMsg)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg } => Some((*to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn publish_fans_out_to_every_peer_with_self_ack() {
+        let mut n = node(0);
+        let seq = n.publish(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(seq, 1);
+        let actions = n.take_actions();
+        let data: Vec<_> = sends(&actions)
+            .into_iter()
+            .filter(|(_, m)| matches!(m, WireMsg::Data { .. }))
+            .collect();
+        assert_eq!(data.len(), 2, "one data message per peer");
+        // Self-ack rule: all types at the origin equal the new seq.
+        for ty in 0..n.recorder().num_types() as u16 {
+            assert_eq!(n.recorder().get(NodeId(0), NodeId(0), AckTypeId(ty)), 1);
+        }
+        // Eager mode also broadcast the self-ack batch.
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                msg: WireMsg::AckBatch(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn receive_delivers_and_acks_all_builtin_levels() {
+        let mut n = node(1);
+        n.on_message(
+            0,
+            NodeId(0),
+            WireMsg::Data {
+                origin: NodeId(0),
+                seq: 1,
+                payload: Bytes::from_static(b"p"),
+            },
+        );
+        let actions = n.take_actions();
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Deliver { origin, seq: 1, .. } if *origin == NodeId(0))));
+        for ty in [RECEIVED, PERSISTED, DELIVERED] {
+            assert_eq!(n.recorder().get(NodeId(0), NodeId(1), ty), 1);
+        }
+        // The ack batch goes to every peer, not just the origin.
+        let acked_to: Vec<NodeId> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    to,
+                    msg: WireMsg::AckBatch(_),
+                } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acked_to.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_data_is_held_until_the_gap_fills() {
+        let mut n = node(1);
+        let data = |seq| WireMsg::Data {
+            origin: NodeId(0),
+            seq,
+            payload: Bytes::new(),
+        };
+        n.on_message(0, NodeId(0), data(2));
+        assert!(!n
+            .take_actions()
+            .iter()
+            .any(|a| matches!(a, Action::Deliver { .. })));
+        assert_eq!(n.recorder().get(NodeId(0), NodeId(1), RECEIVED), 0);
+        n.on_message(0, NodeId(0), data(1));
+        let delivered: Vec<u64> = n
+            .take_actions()
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![1, 2]);
+        assert_eq!(n.recorder().get(NodeId(0), NodeId(1), RECEIVED), 2);
+    }
+
+    #[test]
+    fn stale_and_unknown_acks_are_ignored() {
+        let mut n = node(0);
+        n.publish(Bytes::from_static(b"x")).unwrap();
+        n.take_actions();
+        let good = Ack {
+            stream: NodeId(0),
+            ty: RECEIVED,
+            seq: 1,
+        };
+        n.on_message(0, NodeId(1), WireMsg::AckBatch(vec![good]));
+        assert_eq!(n.metrics().acks_received, 1);
+        // Stale repeat.
+        n.on_message(0, NodeId(1), WireMsg::AckBatch(vec![good]));
+        assert_eq!(n.metrics().acks_stale, 1);
+        // Unknown stream / type: silently dropped, no panic.
+        n.on_message(
+            0,
+            NodeId(1),
+            WireMsg::AckBatch(vec![
+                Ack {
+                    stream: NodeId(99),
+                    ty: RECEIVED,
+                    seq: 5,
+                },
+                Ack {
+                    stream: NodeId(0),
+                    ty: AckTypeId(99),
+                    seq: 5,
+                },
+            ]),
+        );
+        assert_eq!(n.metrics().acks_received, 1);
+    }
+
+    #[test]
+    fn reclamation_needs_every_live_peer() {
+        let mut n = node(0);
+        n.publish(Bytes::from(vec![0u8; 100])).unwrap();
+        n.take_actions();
+        assert_eq!(n.send_buffer_bytes(), 100);
+        n.on_message(
+            0,
+            NodeId(1),
+            WireMsg::AckBatch(vec![Ack {
+                stream: NodeId(0),
+                ty: RECEIVED,
+                seq: 1,
+            }]),
+        );
+        assert_eq!(n.send_buffer_bytes(), 100, "one peer is not enough");
+        n.on_message(
+            0,
+            NodeId(2),
+            WireMsg::AckBatch(vec![Ack {
+                stream: NodeId(0),
+                ty: RECEIVED,
+                seq: 1,
+            }]),
+        );
+        assert_eq!(n.send_buffer_bytes(), 0);
+    }
+
+    #[test]
+    fn suspected_peer_unpins_the_buffer() {
+        let mut opts = Options::default();
+        opts.failure_timeout_millis = 10;
+        let cfg = cfg().with_options(opts);
+        let mut n = StabilizerNode::new(cfg, NodeId(0), Arc::new(AckTypeRegistry::new())).unwrap();
+        n.publish(Bytes::from(vec![0u8; 100])).unwrap();
+        n.take_actions();
+        // Peer 1 acks; peer 2 is dead.
+        n.on_message(
+            1,
+            NodeId(1),
+            WireMsg::AckBatch(vec![Ack {
+                stream: NodeId(0),
+                ty: RECEIVED,
+                seq: 1,
+            }]),
+        );
+        assert_eq!(n.send_buffer_bytes(), 100);
+        n.on_failure_check(1_000_000_000); // 1s >> 10ms timeout
+        assert!(n.is_suspected(NodeId(2)));
+        assert_eq!(
+            n.send_buffer_bytes(),
+            0,
+            "dead peer must not pin the buffer"
+        );
+    }
+
+    #[test]
+    fn exclude_then_reinstate_roundtrips_the_predicate() {
+        let mut n = node(0);
+        let deps_with = n.stability_frontier(NodeId(0), "All").map(|_| {
+            // dependency count before exclusion
+            n.take_actions();
+        });
+        let _ = deps_with;
+        n.exclude_node(NodeId(2));
+        n.take_actions();
+        // Publishing and getting acks from peer 1 alone now satisfies All.
+        n.publish(Bytes::new()).unwrap();
+        n.take_actions();
+        n.on_message(
+            0,
+            NodeId(1),
+            WireMsg::AckBatch(vec![Ack {
+                stream: NodeId(0),
+                ty: RECEIVED,
+                seq: 1,
+            }]),
+        );
+        n.take_actions();
+        assert_eq!(n.stability_frontier(NodeId(0), "All").unwrap().0, 1);
+        // Reinstate: the original source (including node 2) is restored
+        // with a new generation, and the frontier regresses to 0.
+        n.reinstate_node(NodeId(2)).unwrap();
+        let (frontier, generation) = n.stability_frontier(NodeId(0), "All").unwrap();
+        assert_eq!(frontier, 0);
+        assert!(generation >= 2);
+        n.take_actions();
+        // Node 2 finally acks; the frontier catches back up.
+        n.on_message(
+            0,
+            NodeId(2),
+            WireMsg::AckBatch(vec![Ack {
+                stream: NodeId(0),
+                ty: RECEIVED,
+                seq: 1,
+            }]),
+        );
+        n.take_actions();
+        assert_eq!(n.stability_frontier(NodeId(0), "All").unwrap().0, 1);
+    }
+
+    #[test]
+    fn reinstate_is_a_noop_for_predicates_never_excluded() {
+        let mut n = node(0);
+        let before = n.stability_frontier(NodeId(0), "All").unwrap();
+        n.reinstate_node(NodeId(1)).unwrap();
+        assert_eq!(n.stability_frontier(NodeId(0), "All").unwrap(), before);
+    }
+
+    #[test]
+    fn announce_acks_resends_own_rows_only() {
+        let mut n = node(1);
+        n.on_message(
+            0,
+            NodeId(0),
+            WireMsg::Data {
+                origin: NodeId(0),
+                seq: 3,
+                payload: Bytes::new(),
+            },
+        );
+        n.take_actions(); // out-of-order: nothing to announce yet
+        n.on_message(
+            0,
+            NodeId(0),
+            WireMsg::Data {
+                origin: NodeId(0),
+                seq: 1,
+                payload: Bytes::new(),
+            },
+        );
+        n.on_message(
+            0,
+            NodeId(0),
+            WireMsg::Data {
+                origin: NodeId(0),
+                seq: 2,
+                payload: Bytes::new(),
+            },
+        );
+        n.take_actions();
+        n.announce_acks_to(NodeId(0));
+        let actions = n.take_actions();
+        let batch = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Send {
+                    to,
+                    msg: WireMsg::AckBatch(acks),
+                } if *to == NodeId(0) => Some(acks),
+                _ => None,
+            })
+            .expect("announcement sent");
+        assert!(batch.iter().all(|a| a.seq == 3));
+        assert!(batch
+            .iter()
+            .any(|a| a.ty == RECEIVED && a.stream == NodeId(0)));
+    }
+
+    #[test]
+    fn coalescing_defers_ack_sends_until_flush() {
+        let mut opts = Options::default();
+        opts.ack_flush_micros = 1000;
+        let cfg = cfg().with_options(opts);
+        let mut n = StabilizerNode::new(cfg, NodeId(1), Arc::new(AckTypeRegistry::new())).unwrap();
+        for seq in 1..=5 {
+            n.on_message(
+                0,
+                NodeId(0),
+                WireMsg::Data {
+                    origin: NodeId(0),
+                    seq,
+                    payload: Bytes::new(),
+                },
+            );
+        }
+        let actions = n.take_actions();
+        assert!(
+            !actions.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    msg: WireMsg::AckBatch(_),
+                    ..
+                }
+            )),
+            "acks must be held while coalescing"
+        );
+        n.on_ack_flush();
+        let actions = n.take_actions();
+        let batches: Vec<&Vec<Ack>> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    msg: WireMsg::AckBatch(b),
+                    ..
+                } => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches.len(), 2, "one coalesced batch per peer");
+        // Only the newest counter per cell is sent (monotonic overwrite).
+        assert!(batches[0].iter().all(|a| a.seq == 5));
+    }
+
+    #[test]
+    fn metrics_track_both_planes() {
+        let mut n = node(0);
+        n.publish(Bytes::from(vec![0u8; 64])).unwrap();
+        n.take_actions();
+        let m = n.metrics();
+        assert_eq!(m.data_msgs_sent, 2);
+        assert_eq!(m.data_bytes_sent, 128);
+        assert!(m.control_msgs_sent >= 2);
+        assert!(m.acks_sent > 0);
+        assert_eq!(m.deliveries, 0);
+    }
+
+    #[test]
+    fn payload_size_limit_is_enforced() {
+        let mut opts = Options::default();
+        opts.max_payload_bytes = 8;
+        let cfg = cfg().with_options(opts);
+        let mut n = StabilizerNode::new(cfg, NodeId(0), Arc::new(AckTypeRegistry::new())).unwrap();
+        assert!(matches!(
+            n.publish(Bytes::from(vec![0u8; 9])),
+            Err(CoreError::PayloadTooLarge { size: 9, max: 8 })
+        ));
+        assert!(n.publish(Bytes::from(vec![0u8; 8])).is_ok());
+    }
+
+    #[test]
+    fn data_for_own_stream_or_unknown_origin_is_dropped() {
+        let mut n = node(0);
+        n.on_message(
+            0,
+            NodeId(1),
+            WireMsg::Data {
+                origin: NodeId(0),
+                seq: 1,
+                payload: Bytes::new(),
+            },
+        );
+        n.on_message(
+            0,
+            NodeId(1),
+            WireMsg::Data {
+                origin: NodeId(88),
+                seq: 1,
+                payload: Bytes::new(),
+            },
+        );
+        assert!(!n
+            .take_actions()
+            .iter()
+            .any(|a| matches!(a, Action::Deliver { .. })));
+    }
+
+    #[test]
+    fn resend_from_skips_reclaimed_prefix() {
+        let mut n = node(0);
+        for _ in 0..3 {
+            n.publish(Bytes::from(vec![0u8; 10])).unwrap();
+        }
+        n.take_actions();
+        for peer in [1u16, 2] {
+            n.on_message(
+                0,
+                NodeId(peer),
+                WireMsg::AckBatch(vec![Ack {
+                    stream: NodeId(0),
+                    ty: RECEIVED,
+                    seq: 1,
+                }]),
+            );
+        }
+        n.take_actions();
+        n.resend_from(NodeId(1), 1);
+        let resends: Vec<u64> = n
+            .take_actions()
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    to,
+                    msg: WireMsg::Data { seq, .. },
+                } if *to == NodeId(1) => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(resends, vec![2, 3], "seq 1 was reclaimed everywhere");
+    }
+}

@@ -1,0 +1,307 @@
+//! Driver that runs a [`StabilizerNode`] inside the deterministic
+//! simulator: it maps [`Action`]s to simulated sends, schedules the
+//! periodic control-plane timers, and exposes application hooks plus
+//! timestamped logs that the experiment harnesses read.
+
+use crate::config::ClusterConfig;
+use crate::error::CoreError;
+use crate::frontier::{FrontierUpdate, WaitToken};
+use crate::messages::WireMsg;
+use crate::node::{Action, StabilizerNode};
+use bytes::Bytes;
+use stabilizer_dsl::{AckTypeRegistry, NodeId, SeqNo};
+use stabilizer_netsim::{Actor, Ctx, SimDuration, SimTime, TimerId};
+use std::sync::Arc;
+
+const TAG_ACK_FLUSH: u64 = 1;
+const TAG_HEARTBEAT: u64 = 2;
+const TAG_FAILURE: u64 = 3;
+const TAG_RETRANSMIT: u64 = 4;
+
+/// Application callbacks invoked as the simulation runs. All methods have
+/// default empty bodies; implement only what the experiment needs.
+pub trait AppHooks {
+    /// A mirrored payload was delivered (upcall).
+    fn on_deliver(&mut self, _now: SimTime, _origin: NodeId, _seq: SeqNo, _payload: &Bytes) {}
+    /// A stability frontier advanced (the `monitor_stability_frontier`
+    /// mechanism of §III-D).
+    fn on_frontier(&mut self, _now: SimTime, _update: &FrontierUpdate) {}
+    /// A `waitfor` completed.
+    fn on_wait_done(&mut self, _now: SimTime, _token: WaitToken) {}
+    /// A peer became suspected.
+    fn on_suspected(&mut self, _now: SimTime, _node: NodeId) {}
+}
+
+/// Hooks that do nothing (logs on [`SimNode`] still record everything).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHooks;
+impl AppHooks for NoHooks {}
+
+/// A Stabilizer node embedded in the simulator.
+pub struct SimNode<H: AppHooks = NoHooks> {
+    /// The protocol state machine.
+    node: StabilizerNode,
+    /// Application hooks.
+    pub hooks: H,
+    /// Timestamped frontier log: `(time, update)`.
+    pub frontier_log: Vec<(SimTime, FrontierUpdate)>,
+    /// Timestamped delivery log: `(time, origin, seq)` (payloads omitted
+    /// to keep memory bounded in long runs).
+    pub delivery_log: Vec<(SimTime, NodeId, SeqNo)>,
+    /// Completed wait tokens.
+    pub completed_waits: Vec<(SimTime, WaitToken)>,
+    /// Suspected peers.
+    pub suspected_log: Vec<(SimTime, NodeId)>,
+    /// Peers that came back after suspicion.
+    pub recovered_log: Vec<(SimTime, NodeId)>,
+    record_deliveries: bool,
+}
+
+impl<H: AppHooks> SimNode<H> {
+    /// Wrap a node with hooks.
+    pub fn new(node: StabilizerNode, hooks: H) -> Self {
+        SimNode {
+            node,
+            hooks,
+            frontier_log: Vec::new(),
+            delivery_log: Vec::new(),
+            completed_waits: Vec::new(),
+            suspected_log: Vec::new(),
+            recovered_log: Vec::new(),
+            record_deliveries: true,
+        }
+    }
+
+    /// Disable the delivery log (for multi-hundred-thousand-message runs
+    /// where only the frontier log matters).
+    pub fn without_delivery_log(mut self) -> Self {
+        self.record_deliveries = false;
+        self
+    }
+
+    /// Access the underlying state machine (for assertions).
+    pub fn inner(&self) -> &StabilizerNode {
+        &self.node
+    }
+
+    /// Mutable access for *query-only* operations outside the event loop.
+    /// To perform operations that emit actions, use the `*_in` methods
+    /// with a simulation [`Ctx`].
+    pub fn inner_mut(&mut self) -> &mut StabilizerNode {
+        &mut self.node
+    }
+
+    /// Publish inside the simulation (drains actions into sends).
+    pub fn publish_in(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg>,
+        payload: Bytes,
+    ) -> Result<SeqNo, CoreError> {
+        let seq = self.node.publish(payload)?;
+        self.drain(ctx);
+        Ok(seq)
+    }
+
+    /// Register a predicate inside the simulation.
+    pub fn register_predicate_in(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg>,
+        stream: NodeId,
+        key: &str,
+        source: &str,
+    ) -> Result<(), CoreError> {
+        self.node.register_predicate(stream, key, source)?;
+        self.drain(ctx);
+        Ok(())
+    }
+
+    /// Change a predicate inside the simulation.
+    pub fn change_predicate_in(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg>,
+        stream: NodeId,
+        key: &str,
+        source: &str,
+    ) -> Result<(), CoreError> {
+        self.node.change_predicate(stream, key, source)?;
+        self.drain(ctx);
+        Ok(())
+    }
+
+    /// `waitfor` inside the simulation; completion lands in
+    /// [`SimNode::completed_waits`].
+    pub fn waitfor_in(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg>,
+        stream: NodeId,
+        key: &str,
+        seq: SeqNo,
+    ) -> Result<WaitToken, CoreError> {
+        let token = self.node.waitfor(stream, key, seq)?;
+        self.drain(ctx);
+        Ok(token)
+    }
+
+    /// Report application-defined stability inside the simulation.
+    pub fn report_stability_in(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg>,
+        stream: NodeId,
+        ty: stabilizer_dsl::AckTypeId,
+        seq: SeqNo,
+    ) {
+        self.node.report_stability(stream, ty, seq);
+        self.drain(ctx);
+    }
+
+    fn drain(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
+        let actions = self.node.take_actions();
+        self.process_actions(ctx, actions);
+    }
+
+    /// Execute a batch of externally drained [`Action`]s through this
+    /// driver's bookkeeping (sends, hooks, logs). Application layers that
+    /// need to observe actions before the driver consumes them — e.g. the
+    /// geo K/V store applying deliveries to its pools — call
+    /// [`StabilizerNode::take_actions`] themselves and then hand the batch
+    /// here.
+    pub fn process_actions(&mut self, ctx: &mut Ctx<'_, WireMsg>, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => ctx.send(to.0 as usize, msg),
+                Action::Deliver {
+                    origin,
+                    seq,
+                    payload,
+                } => {
+                    self.hooks.on_deliver(ctx.now(), origin, seq, &payload);
+                    if self.record_deliveries {
+                        self.delivery_log.push((ctx.now(), origin, seq));
+                    }
+                }
+                Action::Frontier(update) => {
+                    self.hooks.on_frontier(ctx.now(), &update);
+                    self.frontier_log.push((ctx.now(), update));
+                }
+                Action::WaitDone { token } => {
+                    self.hooks.on_wait_done(ctx.now(), token);
+                    self.completed_waits.push((ctx.now(), token));
+                }
+                Action::Suspected { node } => {
+                    self.hooks.on_suspected(ctx.now(), node);
+                    self.suspected_log.push((ctx.now(), node));
+                }
+                Action::Recovered { node } => {
+                    self.recovered_log.push((ctx.now(), node));
+                }
+                Action::PredicateBroken { .. } => {
+                    // Surfaced through the frontier log staying frozen; the
+                    // application is expected to re-register.
+                }
+            }
+        }
+    }
+}
+
+impl<H: AppHooks> Actor for SimNode<H> {
+    type Msg = WireMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
+        let opts = self.node.config().options().clone();
+        if opts.ack_flush_micros > 0 {
+            ctx.set_timer(
+                SimDuration::from_micros(opts.ack_flush_micros),
+                TAG_ACK_FLUSH,
+            );
+        }
+        if opts.heartbeat_millis > 0 {
+            ctx.set_timer(
+                SimDuration::from_millis(opts.heartbeat_millis),
+                TAG_HEARTBEAT,
+            );
+        }
+        if opts.failure_timeout_millis > 0 {
+            ctx.set_timer(
+                SimDuration::from_millis(opts.failure_timeout_millis / 2),
+                TAG_FAILURE,
+            );
+        }
+        if opts.retransmit_millis > 0 {
+            ctx.set_timer(
+                SimDuration::from_millis((opts.retransmit_millis / 2).max(1)),
+                TAG_RETRANSMIT,
+            );
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, WireMsg>, from: usize, msg: WireMsg) {
+        self.node
+            .on_message(ctx.now().as_nanos(), NodeId(from as u16), msg);
+        self.drain(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, WireMsg>, _timer: TimerId, tag: u64) {
+        let opts = self.node.config().options().clone();
+        match tag {
+            TAG_ACK_FLUSH => {
+                self.node.on_ack_flush();
+                ctx.set_timer(
+                    SimDuration::from_micros(opts.ack_flush_micros.max(1)),
+                    TAG_ACK_FLUSH,
+                );
+            }
+            TAG_HEARTBEAT => {
+                self.node.on_heartbeat();
+                ctx.set_timer(
+                    SimDuration::from_millis(opts.heartbeat_millis.max(1)),
+                    TAG_HEARTBEAT,
+                );
+            }
+            TAG_FAILURE => {
+                self.node.on_failure_check(ctx.now().as_nanos());
+                ctx.set_timer(
+                    SimDuration::from_millis((opts.failure_timeout_millis / 2).max(1)),
+                    TAG_FAILURE,
+                );
+            }
+            TAG_RETRANSMIT => {
+                self.node.on_retransmit_check(ctx.now().as_nanos());
+                ctx.set_timer(
+                    SimDuration::from_millis((opts.retransmit_millis / 2).max(1)),
+                    TAG_RETRANSMIT,
+                );
+            }
+            _ => {}
+        }
+        self.drain(ctx);
+    }
+}
+
+/// Build a ready-to-run simulated cluster: one [`SimNode`] per topology
+/// node with shared ACK-type registry, over the given network topology.
+///
+/// # Errors
+///
+/// Fails if a configured predicate does not compile.
+///
+/// # Panics
+///
+/// Panics if `net.len()` differs from the cluster topology size.
+pub fn build_cluster(
+    cfg: &ClusterConfig,
+    net: stabilizer_netsim::NetTopology,
+    seed: u64,
+) -> Result<stabilizer_netsim::Simulation<SimNode>, CoreError> {
+    assert_eq!(
+        net.len(),
+        cfg.num_nodes(),
+        "network and cluster sizes must match"
+    );
+    let acks = Arc::new(AckTypeRegistry::new());
+    let mut nodes = Vec::with_capacity(cfg.num_nodes());
+    for i in 0..cfg.num_nodes() {
+        let node = StabilizerNode::new(cfg.clone(), NodeId(i as u16), Arc::clone(&acks))?;
+        nodes.push(SimNode::new(node, NoHooks));
+    }
+    Ok(stabilizer_netsim::Simulation::new(net, nodes, seed))
+}

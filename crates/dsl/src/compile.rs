@@ -1,0 +1,197 @@
+//! Bytecode compiler: lowers a [`Resolved`] predicate into a flat
+//! [`Program`] for the stack VM in [`crate::vm`].
+//!
+//! This plays the role of the paper's libgccjit back end: after a one-time
+//! compilation, evaluation on the control-plane critical path is a tight,
+//! allocation-free loop over a handful of instructions.
+
+use crate::resolve::{Operand, ReduceKind, Resolved, ResolvedExpr};
+use crate::types::{AckTypeId, AckView, NodeId, SeqNo};
+use crate::vm::{self, EvalScratch};
+
+/// One VM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Push the ACK-table cell `(node, ty)`.
+    PushCell(NodeId, AckTypeId),
+    /// Push a constant.
+    PushConst(SeqNo),
+    /// Pop `n` values, push the `k`-th largest (1-based).
+    KthLargest { n: u32, k: u32 },
+    /// Pop `n` values, push the `k`-th smallest (1-based).
+    KthSmallest { n: u32, k: u32 },
+}
+
+/// A compiled predicate program.
+///
+/// Evaluation is stack-based and allocation-free when used with
+/// [`Program::eval_with`]; [`Program::eval`] allocates a scratch on the
+/// fly for convenience.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    deps: Vec<(NodeId, AckTypeId)>,
+    max_stack: usize,
+}
+
+impl Program {
+    /// The instruction sequence.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Deduplicated `(node, ack-type)` cells read by this program.
+    pub fn dependencies(&self) -> &[(NodeId, AckTypeId)] {
+        &self.deps
+    }
+
+    /// Worst-case evaluation stack depth (used to pre-size scratch).
+    pub fn max_stack(&self) -> usize {
+        self.max_stack
+    }
+
+    /// Evaluate the program against an ACK view, allocating scratch.
+    pub fn eval<V: AckView>(&self, view: &V) -> SeqNo {
+        let mut scratch = EvalScratch::with_capacity(self.max_stack);
+        self.eval_with(view, &mut scratch)
+    }
+
+    /// Evaluate with caller-provided scratch; allocation-free once the
+    /// scratch has grown to `max_stack`.
+    pub fn eval_with<V: AckView>(&self, view: &V, scratch: &mut EvalScratch) -> SeqNo {
+        vm::run(&self.instrs, view, scratch)
+    }
+}
+
+/// Compile a resolved predicate.
+pub fn compile(resolved: &Resolved) -> Program {
+    let mut instrs = Vec::new();
+    emit(&resolved.expr, &mut instrs);
+    let deps = resolved.expr.dependencies();
+    let max_stack = simulate_stack(&instrs);
+    Program {
+        instrs,
+        deps,
+        max_stack,
+    }
+}
+
+fn emit(expr: &ResolvedExpr, out: &mut Vec<Instr>) {
+    for op in &expr.operands {
+        match op {
+            Operand::Cell(node, ty) => out.push(Instr::PushCell(*node, *ty)),
+            Operand::Const(v) => out.push(Instr::PushConst(*v)),
+            Operand::Nested(inner) => emit(inner, out),
+        }
+    }
+    let n = expr.operands.len() as u32;
+    match expr.kind {
+        ReduceKind::Largest => out.push(Instr::KthLargest { n, k: expr.k }),
+        ReduceKind::Smallest => out.push(Instr::KthSmallest { n, k: expr.k }),
+    }
+}
+
+/// Compute the maximum stack depth a program can reach. Compilation
+/// guarantees the stack never underflows; this is asserted in debug
+/// builds by the VM.
+fn simulate_stack(instrs: &[Instr]) -> usize {
+    let mut depth = 0usize;
+    let mut max = 0usize;
+    for i in instrs {
+        match i {
+            Instr::PushCell(..) | Instr::PushConst(_) => depth += 1,
+            Instr::KthLargest { n, .. } | Instr::KthSmallest { n, .. } => {
+                depth = depth - *n as usize + 1;
+            }
+        }
+        max = max.max(depth);
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::resolve::resolve;
+    use crate::topology::Topology;
+    use crate::types::{AckTypeRegistry, RECEIVED};
+
+    struct FlatAcks(Vec<u64>);
+    impl AckView for FlatAcks {
+        fn ack(&self, node: NodeId, _ty: AckTypeId) -> u64 {
+            self.0[node.0 as usize]
+        }
+    }
+
+    fn topo() -> Topology {
+        Topology::builder()
+            .az("A", &["a1", "a2"])
+            .az("B", &["b1", "b2"])
+            .build()
+            .unwrap()
+    }
+
+    fn program(src: &str) -> Program {
+        let acks = AckTypeRegistry::new();
+        compile(&resolve(&parse(src).unwrap(), &topo(), &acks, NodeId(0)).unwrap())
+    }
+
+    #[test]
+    fn compiles_flat_reduction() {
+        let p = program("MAX($ALLWNODES)");
+        assert_eq!(p.instrs().len(), 5);
+        assert_eq!(p.instrs()[4], Instr::KthLargest { n: 4, k: 1 });
+        assert_eq!(p.max_stack(), 4);
+    }
+
+    #[test]
+    fn evaluates_nested_reductions() {
+        let p = program("MIN(MAX($AZ_A), MAX($AZ_B))");
+        let v = FlatAcks(vec![5, 9, 3, 4]);
+        assert_eq!(p.eval(&v), 4); // min(max(5,9)=9, max(3,4)=4)
+        assert_eq!(p.max_stack(), 3);
+    }
+
+    #[test]
+    fn kth_selection() {
+        let p = program("KTH_MAX(2, $ALLWNODES)");
+        let v = FlatAcks(vec![10, 40, 20, 30]);
+        assert_eq!(p.eval(&v), 30);
+        let p = program("KTH_MIN(3, $ALLWNODES)");
+        assert_eq!(p.eval(&v), 30);
+    }
+
+    #[test]
+    fn constants_participate() {
+        let p = program("MAX($1, SIZEOF($ALLWNODES)*100)");
+        let v = FlatAcks(vec![7, 0, 0, 0]);
+        assert_eq!(p.eval(&v), 400);
+    }
+
+    #[test]
+    fn dependencies_are_exposed() {
+        let p = program("MAX($1, $2)");
+        assert_eq!(
+            p.dependencies(),
+            &[(NodeId(0), RECEIVED), (NodeId(1), RECEIVED)]
+        );
+    }
+
+    #[test]
+    fn eval_with_reuses_scratch() {
+        let p = program("MIN($ALLWNODES)");
+        let mut scratch = EvalScratch::with_capacity(p.max_stack());
+        let v = FlatAcks(vec![4, 2, 8, 6]);
+        assert_eq!(p.eval_with(&v, &mut scratch), 2);
+        assert_eq!(p.eval_with(&v, &mut scratch), 2);
+    }
+
+    #[test]
+    fn duplicate_operands_both_counted() {
+        // MAX($1,$1) is legal: two operands, same cell.
+        let p = program("KTH_MAX(2, $1, $1)");
+        let v = FlatAcks(vec![5, 0, 0, 0]);
+        assert_eq!(p.eval(&v), 5);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for every stage of the DSL pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while lexing, parsing, resolving, or transforming a
+/// stability-frontier predicate, or while building a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DslError {
+    /// Lexical error: unexpected character or malformed token.
+    Lex { pos: usize, msg: String },
+    /// Syntax error with the byte position of the offending token.
+    Parse { pos: usize, msg: String },
+    /// Name-resolution error (unknown node, AZ, or ACK type).
+    Resolve(String),
+    /// Type error (e.g. set where a number is required).
+    Type(String),
+    /// Statically invalid predicate (empty reduction, rank out of range,
+    /// division by zero in a constant expression).
+    Invalid(String),
+    /// Topology construction error.
+    Topology(String),
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::Lex { pos, msg } => write!(f, "lexical error at byte {pos}: {msg}"),
+            DslError::Parse { pos, msg } => write!(f, "syntax error at byte {pos}: {msg}"),
+            DslError::Resolve(msg) => write!(f, "resolution error: {msg}"),
+            DslError::Type(msg) => write!(f, "type error: {msg}"),
+            DslError::Invalid(msg) => write!(f, "invalid predicate: {msg}"),
+            DslError::Topology(msg) => write!(f, "topology error: {msg}"),
+        }
+    }
+}
+
+impl Error for DslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_position() {
+        let e = DslError::Parse {
+            pos: 7,
+            msg: "expected ','".into(),
+        };
+        assert_eq!(e.to_string(), "syntax error at byte 7: expected ','");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(DslError::Resolve("x".into()));
+    }
+}

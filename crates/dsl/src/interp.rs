@@ -1,0 +1,104 @@
+//! Direct AST interpreter — the "no JIT" baseline.
+//!
+//! This performs the full resolve-and-evaluate work on every call, the way
+//! a naive implementation without the paper's just-in-time compilation
+//! would. It exists for two reasons: as an independent oracle for
+//! differential testing against the compiled VM, and as the baseline in
+//! the compiled-vs-interpreted ablation benchmark (§VI-A measures the JIT
+//! overhead precisely because the alternative is paying this cost per
+//! evaluation).
+
+use crate::ast::Expr;
+use crate::error::DslError;
+use crate::resolve::{resolve, Operand, ReduceKind, ResolvedExpr};
+use crate::topology::Topology;
+use crate::types::{AckTypeRegistry, AckView, NodeId, SeqNo};
+
+/// Evaluate a parsed predicate directly, resolving names on the fly.
+///
+/// # Errors
+///
+/// Returns the same errors as [`resolve`].
+pub fn interpret<V: AckView>(
+    expr: &Expr,
+    topo: &Topology,
+    acks: &AckTypeRegistry,
+    me: NodeId,
+    view: &V,
+) -> Result<SeqNo, DslError> {
+    let resolved = resolve(expr, topo, acks, me)?;
+    Ok(eval_resolved(&resolved.expr, view))
+}
+
+/// Evaluate an already resolved expression tree recursively (used by the
+/// interpreter and as a second oracle for the VM).
+pub fn eval_resolved<V: AckView>(expr: &ResolvedExpr, view: &V) -> SeqNo {
+    let mut vals: Vec<SeqNo> = Vec::with_capacity(expr.operands.len());
+    for op in &expr.operands {
+        vals.push(match op {
+            Operand::Cell(node, ty) => view.ack(*node, *ty),
+            Operand::Const(v) => *v,
+            Operand::Nested(inner) => eval_resolved(inner, view),
+        });
+    }
+    match expr.kind {
+        ReduceKind::Largest => vals.sort_unstable_by(|a, b| b.cmp(a)),
+        ReduceKind::Smallest => vals.sort_unstable(),
+    }
+    vals[(expr.k - 1) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse;
+    use crate::types::AckTypeId;
+
+    struct FlatAcks(Vec<u64>);
+    impl AckView for FlatAcks {
+        fn ack(&self, node: NodeId, ty: AckTypeId) -> u64 {
+            self.0[node.0 as usize].saturating_sub(ty.0 as u64)
+        }
+    }
+
+    fn topo() -> Topology {
+        Topology::builder()
+            .az("A", &["a1", "a2", "a3"])
+            .az("B", &["b1", "b2"])
+            .az("C", &["c1"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn interpreter_matches_vm_on_representative_predicates() {
+        let topo = topo();
+        let acks = AckTypeRegistry::new();
+        let view = FlatAcks(vec![14, 3, 27, 9, 31, 6]);
+        let preds = [
+            "MAX($ALLWNODES)",
+            "MIN($ALLWNODES-$MYWNODE)",
+            "KTH_MIN(SIZEOF($ALLWNODES)/2+1, $ALLWNODES)",
+            "MIN(MAX($AZ_A), MAX($AZ_B), MAX($AZ_C))",
+            "KTH_MAX(2, MAX($AZ_A), MAX($AZ_B), MAX($AZ_C))",
+            "MIN(MIN($MYAZWNODES-$MYWNODE), MAX($ALLWNODES-$MYAZWNODES))",
+            "MAX($ALLWNODES.persisted)",
+        ];
+        for src in preds {
+            let ast = parse(src).unwrap();
+            let interpreted = interpret(&ast, &topo, &acks, NodeId(0), &view).unwrap();
+            let resolved = resolve(&ast, &topo, &acks, NodeId(0)).unwrap();
+            let compiled = compile(&resolved).eval(&view);
+            assert_eq!(interpreted, compiled, "mismatch for {src}");
+        }
+    }
+
+    #[test]
+    fn interpreter_reports_resolution_errors() {
+        let topo = topo();
+        let acks = AckTypeRegistry::new();
+        let ast = parse("MAX($AZ_Nowhere)").unwrap();
+        assert!(interpret(&ast, &topo, &acks, NodeId(0), &FlatAcks(vec![0; 6])).is_err());
+    }
+}

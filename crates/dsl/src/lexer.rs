@@ -1,0 +1,281 @@
+//! Hand-written lexer for the predicate DSL (the paper uses Flex; a
+//! hand-rolled scanner keeps the crate dependency-free and the token set
+//! is tiny).
+
+use crate::error::DslError;
+use crate::token::{Spanned, Token};
+
+/// Tokenize `src` into a vector of spanned tokens, terminated by
+/// [`Token::Eof`].
+///
+/// Comments of the form `/* ... */` are skipped (used by
+/// [`Predicate::excluding`](crate::Predicate::excluding) to annotate
+/// rewritten sources).
+///
+/// # Errors
+///
+/// Returns [`DslError::Lex`] on an unexpected character, an unterminated
+/// comment, a malformed `$` operand, or an integer that overflows `u64`.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, DslError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(DslError::Lex {
+                            pos: start,
+                            msg: "unterminated comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Spanned {
+                    pos: i,
+                    tok: Token::LParen,
+                });
+                i += 1;
+            }
+            b')' => {
+                out.push(Spanned {
+                    pos: i,
+                    tok: Token::RParen,
+                });
+                i += 1;
+            }
+            b',' => {
+                out.push(Spanned {
+                    pos: i,
+                    tok: Token::Comma,
+                });
+                i += 1;
+            }
+            b'.' => {
+                out.push(Spanned {
+                    pos: i,
+                    tok: Token::Dot,
+                });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Spanned {
+                    pos: i,
+                    tok: Token::Plus,
+                });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Spanned {
+                    pos: i,
+                    tok: Token::Minus,
+                });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Spanned {
+                    pos: i,
+                    tok: Token::Star,
+                });
+                i += 1;
+            }
+            b'/' => {
+                out.push(Spanned {
+                    pos: i,
+                    tok: Token::Slash,
+                });
+                i += 1;
+            }
+            b'$' => {
+                let start = i;
+                i += 1;
+                let word_start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[word_start..i];
+                if word.is_empty() {
+                    return Err(DslError::Lex {
+                        pos: start,
+                        msg: "lone '$'".into(),
+                    });
+                }
+                let tok = if word.bytes().all(|b| b.is_ascii_digit()) {
+                    let n: u64 = word.parse().map_err(|_| DslError::Lex {
+                        pos: start,
+                        msg: "node operand overflows".into(),
+                    })?;
+                    Token::NodeOperand(n)
+                } else {
+                    match word {
+                        "ALLWNODES" => Token::AllWNodes,
+                        "MYAZWNODES" => Token::MyAzWNodes,
+                        // The paper writes both $MYWNODE and $MYWNODES.
+                        "MYWNODE" | "MYWNODES" => Token::MyWNode,
+                        _ => {
+                            if let Some(name) = word.strip_prefix("WNODE_") {
+                                Token::WNodeVar(name.to_owned())
+                            } else if let Some(name) = word.strip_prefix("AZ_") {
+                                Token::AzVar(name.to_owned())
+                            } else {
+                                return Err(DslError::Lex {
+                                    pos: start,
+                                    msg: format!("unknown macro or variable ${word}"),
+                                });
+                            }
+                        }
+                    }
+                };
+                out.push(Spanned { pos: start, tok });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: u64 = src[start..i].parse().map_err(|_| DslError::Lex {
+                    pos: start,
+                    msg: "integer overflows".into(),
+                })?;
+                out.push(Spanned {
+                    pos: start,
+                    tok: Token::Int(n),
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "MAX" => Token::Max,
+                    "MIN" => Token::Min,
+                    "KTH_MAX" => Token::KthMax,
+                    "KTH_MIN" => Token::KthMin,
+                    "SIZEOF" => Token::Sizeof,
+                    _ => Token::Ident(word.to_owned()),
+                };
+                out.push(Spanned { pos: start, tok });
+            }
+            other => {
+                return Err(DslError::Lex {
+                    pos: i,
+                    msg: format!("unexpected character {:?}", other as char),
+                });
+            }
+        }
+    }
+    out.push(Spanned {
+        pos: src.len(),
+        tok: Token::Eof,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_the_fig1_predicate() {
+        assert_eq!(
+            toks("MAX($ALLWNODES-$MYWNODE)"),
+            vec![
+                Token::Max,
+                Token::LParen,
+                Token::AllWNodes,
+                Token::Minus,
+                Token::MyWNode,
+                Token::RParen,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operands_and_variables() {
+        assert_eq!(
+            toks("$1, $WNODE_Foo, $AZ_North_Virginia"),
+            vec![
+                Token::NodeOperand(1),
+                Token::Comma,
+                Token::WNodeVar("Foo".into()),
+                Token::Comma,
+                Token::AzVar("North_Virginia".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_suffix_and_arith() {
+        assert_eq!(
+            toks("KTH_MIN(SIZEOF($ALLWNODES)/2+1, $ALLWNODES.persisted)"),
+            vec![
+                Token::KthMin,
+                Token::LParen,
+                Token::Sizeof,
+                Token::LParen,
+                Token::AllWNodes,
+                Token::RParen,
+                Token::Slash,
+                Token::Int(2),
+                Token::Plus,
+                Token::Int(1),
+                Token::Comma,
+                Token::AllWNodes,
+                Token::Dot,
+                Token::Ident("persisted".into()),
+                Token::RParen,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn plural_mywnodes_is_accepted() {
+        assert_eq!(toks("$MYWNODES"), vec![Token::MyWNode, Token::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("MAX($1) /* removed $2 */"), toks("MAX($1)"));
+    }
+
+    #[test]
+    fn rejects_unknown_dollar_word() {
+        assert!(matches!(lex("$NOPE"), Err(DslError::Lex { .. })));
+        assert!(matches!(lex("$"), Err(DslError::Lex { .. })));
+    }
+
+    #[test]
+    fn rejects_unexpected_character() {
+        assert!(matches!(lex("MAX(#)"), Err(DslError::Lex { pos: 4, .. })));
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(matches!(lex("MAX($1) /* oops"), Err(DslError::Lex { .. })));
+    }
+
+    #[test]
+    fn whitespace_everywhere_is_fine() {
+        assert_eq!(toks("  MAX ( $1 ,\n\t$2 )  "), toks("MAX($1,$2)"));
+    }
+}

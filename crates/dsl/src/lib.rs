@@ -1,0 +1,261 @@
+//! # Stabilizer predicate DSL
+//!
+//! This crate implements the stability-frontier predicate language from
+//! *Stabilizer: Geo-Replication with User-defined Consistency* (ICDCS 2022),
+//! §III-C. A predicate is a variadic expression over the per-WAN-node
+//! acknowledged sequence numbers recorded by the control plane:
+//!
+//! ```text
+//! p = O(x)        O ∈ { MAX, MIN, KTH_MAX, KTH_MIN }
+//! ```
+//!
+//! where the parameter list `x` contains node operands (`$3`), macros
+//! (`$ALLWNODES`, `$MYAZWNODES`, `$MYWNODE`), variables (`$WNODE_Foo`,
+//! `$AZ_Wisc`), set differences (`$ALLWNODES-$MYWNODE`), ACK-type suffixes
+//! (`.received`, `.persisted`, or user-defined), `SIZEOF(...)` arithmetic,
+//! and nested predicates.
+//!
+//! The paper compiles predicates with Flex/Bison + libgccjit. Here the
+//! pipeline is: [`parse`] → [`resolve`](resolve::resolve) against a
+//! [`Topology`] (macro/variable expansion, set evaluation, constant
+//! folding) → [`compile`](compile::compile) into a flat, allocation-free
+//! bytecode [`Program`] evaluated by a small stack VM. An AST
+//! [`interpreter`](interp) is retained as the un-JIT-ed baseline for the
+//! ablation benchmark.
+//!
+//! ## Example
+//!
+//! ```
+//! use stabilizer_dsl::{parse, Topology, AckTypeRegistry, Predicate, AckView, NodeId};
+//!
+//! # fn main() -> Result<(), stabilizer_dsl::DslError> {
+//! // Two availability zones with two nodes each.
+//! let topo = Topology::builder()
+//!     .az("East", &["e1", "e2"])
+//!     .az("West", &["w1", "w2"])
+//!     .build()?;
+//! let acks = AckTypeRegistry::new();
+//!
+//! // "Stable once every node other than me has received it."
+//! let pred = Predicate::compile("MIN($ALLWNODES-$MYWNODE)", &topo, &acks, topo.node("e1").unwrap())?;
+//!
+//! // A toy ack table: node i has acknowledged sequence number 10*i.
+//! struct Table;
+//! impl AckView for Table {
+//!     fn ack(&self, node: NodeId, _ty: stabilizer_dsl::AckTypeId) -> u64 { 10 * node.0 as u64 }
+//! }
+//! assert_eq!(pred.eval(&Table), 10); // min over nodes 1,2,3
+//! # Ok(()) }
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod optimize;
+pub mod parser;
+pub mod pretty;
+pub mod resolve;
+pub mod token;
+pub mod topology;
+pub mod transform;
+pub mod types;
+pub mod vm;
+
+pub use ast::{AckTypeName, BinOp, Expr, Op, SetExpr};
+pub use compile::{compile, Program};
+pub use error::DslError;
+pub use interp::interpret;
+pub use optimize::optimize;
+pub use parser::parse;
+pub use resolve::{resolve, Resolved, ResolvedExpr};
+pub use topology::{Topology, TopologyBuilder};
+pub use transform::exclude_node;
+pub use types::{
+    AckTypeId, AckTypeRegistry, AckView, AzId, NodeId, SeqNo, DELIVERED, PERSISTED, RECEIVED,
+};
+pub use vm::EvalScratch;
+
+use std::fmt;
+
+/// A fully compiled stability-frontier predicate, ready for repeated
+/// low-overhead evaluation on the control-plane critical path.
+///
+/// This bundles the original source text, the resolved expression (used by
+/// fault handling to rewrite the predicate when a node is excluded), and
+/// the compiled bytecode program.
+#[derive(Debug, Clone)]
+pub struct Predicate {
+    source: String,
+    resolved: Resolved,
+    program: Program,
+}
+
+impl Predicate {
+    /// Parse, resolve, and compile `source` for execution at node `me`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DslError`] for lexical/syntax errors, unknown node or
+    /// availability-zone names, unknown ACK types, type errors (e.g.
+    /// subtracting a set from a number), or statically invalid predicates
+    /// (empty reductions, `KTH_*` rank out of range).
+    pub fn compile(
+        source: &str,
+        topo: &Topology,
+        acks: &AckTypeRegistry,
+        me: NodeId,
+    ) -> Result<Self, DslError> {
+        let ast = parse(source)?;
+        let resolved = optimize::optimize(&resolve(&ast, topo, acks, me)?);
+        let program = compile(&resolved);
+        Ok(Predicate {
+            source: source.to_owned(),
+            resolved,
+            program,
+        })
+    }
+
+    /// Like [`Predicate::compile`] but skipping the optimizer — used by
+    /// the optimizer-equivalence property tests and the compile-cost
+    /// ablation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Predicate::compile`].
+    pub fn compile_unoptimized(
+        source: &str,
+        topo: &Topology,
+        acks: &AckTypeRegistry,
+        me: NodeId,
+    ) -> Result<Self, DslError> {
+        let ast = parse(source)?;
+        let resolved = resolve(&ast, topo, acks, me)?;
+        let program = compile(&resolved);
+        Ok(Predicate {
+            source: source.to_owned(),
+            resolved,
+            program,
+        })
+    }
+
+    /// Evaluate the predicate against an ACK table, returning the stability
+    /// frontier: the highest sequence number for which the user-defined
+    /// stability property holds (and, by monotonicity, for all prior ones).
+    pub fn eval<V: AckView>(&self, view: &V) -> SeqNo {
+        self.program.eval(view)
+    }
+
+    /// Evaluate using a caller-provided scratch buffer, avoiding all
+    /// allocation. Useful when evaluating at high rates.
+    pub fn eval_with<V: AckView>(&self, view: &V, scratch: &mut EvalScratch) -> SeqNo {
+        self.program.eval_with(view, scratch)
+    }
+
+    /// The original DSL source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The resolved (macro-expanded, constant-folded) form.
+    pub fn resolved(&self) -> &Resolved {
+        &self.resolved
+    }
+
+    /// The compiled bytecode program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The set of `(node, ack-type)` cells this predicate reads. The
+    /// control plane uses this to re-evaluate only the predicates affected
+    /// by an incoming ACK.
+    pub fn dependencies(&self) -> &[(NodeId, AckTypeId)] {
+        self.program.dependencies()
+    }
+
+    /// Rewrite this predicate so it no longer observes `node` (used when a
+    /// secondary crashes, §III-E). `KTH_*` ranks are clamped to the shrunk
+    /// set sizes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if removing the node would leave a reduction with no operands.
+    pub fn excluding(&self, node: NodeId) -> Result<Self, DslError> {
+        let resolved = exclude_node(&self.resolved, node)?;
+        let program = compile(&resolved);
+        Ok(Predicate {
+            source: format!("{} /* -{} */", self.source, node.0),
+            resolved,
+            program,
+        })
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FlatAcks(Vec<u64>);
+    impl AckView for FlatAcks {
+        fn ack(&self, node: NodeId, _ty: AckTypeId) -> u64 {
+            self.0[node.0 as usize]
+        }
+    }
+
+    fn topo8() -> Topology {
+        // The paper's Fig. 2 topology: 4 regions, 8 nodes.
+        Topology::builder()
+            .az("North_California", &["n1", "n2"])
+            .az("North_Virginia", &["n3", "n4", "n5", "n6"])
+            .az("Oregon", &["n7"])
+            .az("Ohio", &["n8"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fig1_example_max_of_remotes() {
+        let topo = topo8();
+        let acks = AckTypeRegistry::new();
+        let p = Predicate::compile("MAX($ALLWNODES-$MYWNODE)", &topo, &acks, NodeId(0)).unwrap();
+        // Fig. 1 ack table: [33, 25, 19, 21, 23, 28] for 6 nodes; pad to 8.
+        let v = FlatAcks(vec![33, 25, 19, 21, 23, 28, 0, 0]);
+        assert_eq!(p.eval(&v), 28);
+    }
+
+    #[test]
+    fn majority_regions_predicate_from_table3() {
+        let topo = topo8();
+        let acks = AckTypeRegistry::new();
+        let p = Predicate::compile(
+            "KTH_MAX(2, MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))",
+            &topo,
+            &acks,
+            NodeId(0),
+        )
+        .unwrap();
+        // Regions: NV max = 7, OR = 3, OH = 9 -> 2nd largest = 7.
+        let v = FlatAcks(vec![0, 0, 5, 7, 2, 1, 3, 9]);
+        assert_eq!(p.eval(&v), 7);
+    }
+
+    #[test]
+    fn excluding_a_node_rewrites_sets() {
+        let topo = topo8();
+        let acks = AckTypeRegistry::new();
+        let p = Predicate::compile("MIN($ALLWNODES-$MYWNODE)", &topo, &acks, NodeId(0)).unwrap();
+        let v = FlatAcks(vec![100, 9, 8, 7, 6, 5, 4, 3]);
+        assert_eq!(p.eval(&v), 3);
+        let p2 = p.excluding(NodeId(7)).unwrap();
+        assert_eq!(p2.eval(&v), 4);
+        assert!(p2.dependencies().iter().all(|(n, _)| *n != NodeId(7)));
+    }
+}

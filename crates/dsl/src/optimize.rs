@@ -1,0 +1,264 @@
+//! Resolved-predicate optimizer: semantics-preserving rewrites applied
+//! between resolution and compilation, shrinking the instruction stream
+//! the VM executes on the control plane's critical path.
+//!
+//! Rewrites:
+//!
+//! 1. **Singleton collapse** — `KTH_*(1; x)` over exactly one operand is
+//!    that operand.
+//! 2. **Same-kind rank-1 flattening** — a rank-1 reduction absorbs
+//!    nested rank-1 reductions of the same kind
+//!    (`MAX(a, MAX(b, c)) = MAX(a, b, c)`).
+//! 3. **Duplicate-cell elimination** — for *rank-1* reductions only,
+//!    repeated cells/constants cannot change a max or min and are
+//!    dropped. (For `k > 1`, duplicates are significant: the 2nd-largest
+//!    of `{x, x}` is `x`.)
+//! 4. **Constant folding of constant-only reductions.**
+//!
+//! Equivalence against the unoptimized form is property-tested in
+//! `tests/proptest_dsl.rs`.
+
+use crate::resolve::{Operand, ReduceKind, Resolved, ResolvedExpr};
+
+/// Optimize a resolved predicate. The result evaluates to the same value
+/// as the input for every ACK table.
+pub fn optimize(resolved: &Resolved) -> Resolved {
+    Resolved {
+        expr: optimize_expr(&resolved.expr),
+        me: resolved.me,
+    }
+}
+
+fn optimize_expr(expr: &ResolvedExpr) -> ResolvedExpr {
+    // Optimize children first.
+    let mut operands: Vec<Operand> = expr
+        .operands
+        .iter()
+        .map(|op| match op {
+            Operand::Nested(inner) => {
+                let inner = optimize_expr(inner);
+                // Singleton collapse: a reduction over one operand *is*
+                // that operand (rank must be 1 by the resolver's range
+                // check).
+                if inner.operands.len() == 1 {
+                    inner.operands.into_iter().next().unwrap()
+                } else {
+                    Operand::Nested(inner)
+                }
+            }
+            other => other.clone(),
+        })
+        .collect();
+
+    // Flatten same-kind rank-1 nests into this reduction (only valid
+    // when *both* levels are rank 1).
+    if expr.k == 1 {
+        let mut flattened = Vec::with_capacity(operands.len());
+        for op in operands {
+            match op {
+                Operand::Nested(inner) if inner.kind == expr.kind && inner.k == 1 => {
+                    flattened.extend(inner.operands);
+                }
+                other => flattened.push(other),
+            }
+        }
+        operands = flattened;
+
+        // Duplicate elimination is only sound at rank 1.
+        let mut seen = Vec::new();
+        operands.retain(|op| match op {
+            Operand::Cell(n, t) => {
+                if seen.contains(&(*n, *t)) {
+                    false
+                } else {
+                    seen.push((*n, *t));
+                    true
+                }
+            }
+            _ => true,
+        });
+
+        // Collapse multiple constants to the single winning constant.
+        let consts: Vec<u64> = operands
+            .iter()
+            .filter_map(|op| match op {
+                Operand::Const(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        if consts.len() > 1 {
+            let keep = match expr.kind {
+                ReduceKind::Largest => consts.iter().copied().max().unwrap(),
+                ReduceKind::Smallest => consts.iter().copied().min().unwrap(),
+            };
+            let mut kept_one = false;
+            operands.retain(|op| match op {
+                Operand::Const(v) => {
+                    if *v == keep && !kept_one {
+                        kept_one = true;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => true,
+            });
+        }
+    }
+
+    ResolvedExpr {
+        kind: expr.kind,
+        k: expr.k,
+        operands,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse;
+    use crate::resolve::resolve;
+    use crate::topology::Topology;
+    use crate::types::{AckTypeId, AckTypeRegistry, AckView, NodeId};
+
+    struct FlatAcks(Vec<u64>);
+    impl AckView for FlatAcks {
+        fn ack(&self, node: NodeId, _ty: AckTypeId) -> u64 {
+            self.0[node.0 as usize]
+        }
+    }
+
+    fn topo() -> Topology {
+        Topology::builder()
+            .az("A", &["a", "b"])
+            .az("B", &["c", "d"])
+            .build()
+            .unwrap()
+    }
+
+    fn resolved(src: &str) -> Resolved {
+        resolve(
+            &parse(src).unwrap(),
+            &topo(),
+            &AckTypeRegistry::new(),
+            NodeId(0),
+        )
+        .unwrap()
+    }
+
+    fn instr_count(r: &Resolved) -> usize {
+        compile(r).instrs().len()
+    }
+
+    #[test]
+    fn flattens_nested_same_kind_reductions() {
+        let r = resolved("MAX($1, MAX($2, MAX($3, $4)))");
+        let o = optimize(&r);
+        assert_eq!(o.expr.operands.len(), 4);
+        assert!(o
+            .expr
+            .operands
+            .iter()
+            .all(|op| matches!(op, Operand::Cell(..))));
+        assert!(instr_count(&o) < instr_count(&r));
+        let v = FlatAcks(vec![3, 9, 2, 7]);
+        assert_eq!(compile(&o).eval(&v), compile(&r).eval(&v));
+    }
+
+    #[test]
+    fn does_not_flatten_mixed_kinds_or_ranks() {
+        let r = resolved("MAX($1, MIN($2, $3))");
+        let o = optimize(&r);
+        assert!(o
+            .expr
+            .operands
+            .iter()
+            .any(|op| matches!(op, Operand::Nested(_))));
+        let r = resolved("KTH_MAX(2, $1, MAX($2, $3), $4)");
+        let o = optimize(&r);
+        // Outer rank is 2: nested rank-1 MAX must stay nested.
+        assert!(o
+            .expr
+            .operands
+            .iter()
+            .any(|op| matches!(op, Operand::Nested(_))));
+    }
+
+    #[test]
+    fn singleton_reductions_collapse() {
+        // Table III's regional predicates contain MAX($AZ_x) over
+        // single-node regions at resolution time.
+        let r = resolved("MIN(MAX($1), MAX($2))");
+        let o = optimize(&r);
+        assert_eq!(o.expr.operands.len(), 2);
+        assert!(o
+            .expr
+            .operands
+            .iter()
+            .all(|op| matches!(op, Operand::Cell(..))));
+    }
+
+    #[test]
+    fn duplicates_dropped_at_rank_one_only() {
+        let r = resolved("MAX($1, $1, $2)");
+        let o = optimize(&r);
+        assert_eq!(o.expr.operands.len(), 2);
+
+        // KTH_MAX(2, $1, $1): the duplicate is load-bearing.
+        let r = resolved("KTH_MAX(2, $1, $1)");
+        let o = optimize(&r);
+        assert_eq!(o.expr.operands.len(), 2);
+        let v = FlatAcks(vec![5, 0, 0, 0]);
+        assert_eq!(compile(&o).eval(&v), 5);
+    }
+
+    #[test]
+    fn constant_only_sets_collapse_to_one() {
+        let r = resolved("MAX($1, SIZEOF($ALLWNODES), SIZEOF($ALLWNODES)*2)");
+        let o = optimize(&r);
+        let consts: Vec<_> = o
+            .expr
+            .operands
+            .iter()
+            .filter(|op| matches!(op, Operand::Const(_)))
+            .collect();
+        assert_eq!(consts.len(), 1);
+        let v = FlatAcks(vec![3, 0, 0, 0]);
+        assert_eq!(compile(&o).eval(&v), 8);
+    }
+
+    #[test]
+    fn table3_predicates_shrink_but_agree() {
+        let acks = AckTypeRegistry::new();
+        let topo8 = Topology::builder()
+            .az("North_California", &["n1", "n2"])
+            .az("North_Virginia", &["n3", "n4", "n5", "n6"])
+            .az("Oregon", &["n7"])
+            .az("Ohio", &["n8"])
+            .build()
+            .unwrap();
+        let v = FlatAcks(vec![14, 3, 27, 9, 31, 6, 8, 22]);
+        for src in [
+            "MAX(MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))",
+            "KTH_MAX(2, MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))",
+            "MIN(MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))",
+            "MIN($ALLWNODES-$MYWNODE)",
+        ] {
+            let r = resolve(&parse(src).unwrap(), &topo8, &acks, NodeId(0)).unwrap();
+            let o = optimize(&r);
+            assert!(instr_count(&o) <= instr_count(&r), "{src} grew");
+            assert_eq!(compile(&o).eval(&v), compile(&r).eval(&v), "{src} diverged");
+        }
+        // OneRegion flattens fully: MAX of MAXes (singletons included).
+        let r = resolve(
+            &parse("MAX(MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))").unwrap(),
+            &topo8,
+            &acks,
+            NodeId(0),
+        )
+        .unwrap();
+        let o = optimize(&r);
+        assert_eq!(instr_count(&o), 7, "6 cells + 1 reduce");
+    }
+}

@@ -1,0 +1,371 @@
+//! Recursive-descent parser for the predicate DSL (the paper uses Bison;
+//! the grammar is small enough that a hand-written parser is clearer and
+//! gives better error messages).
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! predicate := call EOF
+//! call      := OP '(' expr (',' expr)* ')'
+//! expr      := term (('+'|'-') term)*         -- '-' is set difference when
+//! term      := postfix (('*'|'/') postfix)*      both sides are sets
+//! postfix   := primary ('.' IDENT)?           -- ACK-type suffix on sets
+//! primary   := call | SIZEOF '(' expr ')' | INT | set-atom | '(' expr ')'
+//! set-atom  := '$'N | $ALLWNODES | $MYAZWNODES | $MYWNODE | $WNODE_x | $AZ_x
+//! ```
+
+use crate::ast::{AckTypeName, BinOp, Expr, Op, SetExpr};
+use crate::error::DslError;
+use crate::lexer::lex;
+use crate::token::{Spanned, Token};
+
+/// Parse a predicate source string into an [`Expr`].
+///
+/// The top level must be a reduction call (`MAX(...)`, `MIN(...)`,
+/// `KTH_MAX(...)`, `KTH_MIN(...)`), per the paper's predicate form
+/// `p = O(x)`.
+///
+/// # Errors
+///
+/// Returns [`DslError::Lex`] or [`DslError::Parse`] describing the first
+/// problem encountered, or [`DslError::Type`] when `-` mixes a set with a
+/// number or a suffix is attached to a non-set.
+pub fn parse(src: &str) -> Result<Expr, DslError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, at: 0 };
+    let expr = p.parse_call()?;
+    p.expect(Token::Eof)?;
+    Ok(expr)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.at].tok
+    }
+
+    fn pos(&self) -> usize {
+        self.toks[self.at].pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.at].tok.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Token) -> Result<(), DslError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(DslError::Parse {
+                pos: self.pos(),
+                msg: format!("expected {want}, found {}", self.peek()),
+            })
+        }
+    }
+
+    fn parse_call(&mut self) -> Result<Expr, DslError> {
+        let op = match self.peek() {
+            Token::Max => Op::Max,
+            Token::Min => Op::Min,
+            Token::KthMax => Op::KthMax,
+            Token::KthMin => Op::KthMin,
+            other => {
+                return Err(DslError::Parse {
+                    pos: self.pos(),
+                    msg: format!("expected MAX, MIN, KTH_MAX or KTH_MIN, found {other}"),
+                })
+            }
+        };
+        self.bump();
+        self.expect(Token::LParen)?;
+        let mut args = vec![self.parse_expr()?];
+        while *self.peek() == Token::Comma {
+            self.bump();
+            args.push(self.parse_expr()?);
+        }
+        self.expect(Token::RParen)?;
+        Ok(Expr::Call(op, args))
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.parse_term()?;
+            lhs = combine(lhs, op, rhs, pos)?;
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.parse_postfix()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.parse_postfix()?;
+            lhs = combine(lhs, op, rhs, pos)?;
+        }
+        Ok(lhs)
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, DslError> {
+        let e = self.parse_primary()?;
+        if *self.peek() == Token::Dot {
+            let pos = self.pos();
+            self.bump();
+            let name = match self.bump() {
+                Token::Ident(name) => name,
+                other => {
+                    return Err(DslError::Parse {
+                        pos,
+                        msg: format!("expected ACK-type name after '.', found {other}"),
+                    })
+                }
+            };
+            return match e {
+                Expr::Values(set, None) => Ok(Expr::Values(set, Some(AckTypeName(name)))),
+                Expr::Values(_, Some(prev)) => Err(DslError::Type(format!(
+                    "operand already has suffix .{prev}; cannot add .{name}"
+                ))),
+                _ => Err(DslError::Type(format!(
+                    "suffix .{name} can only be applied to a WAN-node set"
+                ))),
+            };
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, DslError> {
+        match self.peek().clone() {
+            Token::Max | Token::Min | Token::KthMax | Token::KthMin => self.parse_call(),
+            Token::Sizeof => {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let inner = self.parse_expr()?;
+                self.expect(Token::RParen)?;
+                match inner {
+                    Expr::Values(set, None) => Ok(Expr::Sizeof(set)),
+                    Expr::Values(_, Some(suf)) => Err(DslError::Type(format!(
+                        "SIZEOF takes a bare node set, not one suffixed with .{suf}"
+                    ))),
+                    _ => Err(DslError::Type("SIZEOF requires a WAN-node set".into())),
+                }
+            }
+            Token::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            Token::NodeOperand(n) => {
+                self.bump();
+                Ok(Expr::Values(SetExpr::Node(n), None))
+            }
+            Token::AllWNodes => {
+                self.bump();
+                Ok(Expr::Values(SetExpr::All, None))
+            }
+            Token::MyAzWNodes => {
+                self.bump();
+                Ok(Expr::Values(SetExpr::MyAz, None))
+            }
+            Token::MyWNode => {
+                self.bump();
+                Ok(Expr::Values(SetExpr::Me, None))
+            }
+            Token::WNodeVar(name) => {
+                self.bump();
+                Ok(Expr::Values(SetExpr::NodeVar(name), None))
+            }
+            Token::AzVar(name) => {
+                self.bump();
+                Ok(Expr::Values(SetExpr::AzVar(name), None))
+            }
+            Token::LParen => {
+                self.bump();
+                let inner = self.parse_expr()?;
+                self.expect(Token::RParen)?;
+                Ok(inner)
+            }
+            other => Err(DslError::Parse {
+                pos: self.pos(),
+                msg: format!("expected an operand, found {other}"),
+            }),
+        }
+    }
+}
+
+/// Combine two operands under a binary operator, giving `-` its
+/// set-difference meaning when both sides are (unsuffixed) sets.
+fn combine(lhs: Expr, op: BinOp, rhs: Expr, pos: usize) -> Result<Expr, DslError> {
+    match (op, &lhs, &rhs) {
+        (BinOp::Sub, Expr::Values(_, None), Expr::Values(_, None)) => {
+            let (Expr::Values(a, None), Expr::Values(b, None)) = (lhs, rhs) else {
+                unreachable!()
+            };
+            Ok(Expr::Values(SetExpr::Diff(Box::new(a), Box::new(b)), None))
+        }
+        _ => {
+            if !lhs.is_scalar() || !rhs.is_scalar() {
+                return Err(DslError::Parse {
+                    pos,
+                    msg: format!(
+                        "operator '{op}' requires numeric operands (or '-' between two node sets)"
+                    ),
+                });
+            }
+            Ok(Expr::Arith(op, Box::new(lhs), Box::new(rhs)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_reduction() {
+        let e = parse("MAX($1, $2, $3)").unwrap();
+        let Expr::Call(Op::Max, args) = e else {
+            panic!()
+        };
+        assert_eq!(args.len(), 3);
+        assert_eq!(args[0], Expr::Values(SetExpr::Node(1), None));
+    }
+
+    #[test]
+    fn parses_set_difference() {
+        let e = parse("MIN($ALLWNODES-$MYWNODE)").unwrap();
+        let Expr::Call(Op::Min, args) = e else {
+            panic!()
+        };
+        assert_eq!(
+            args[0],
+            Expr::Values(
+                SetExpr::Diff(Box::new(SetExpr::All), Box::new(SetExpr::Me)),
+                None
+            )
+        );
+    }
+
+    #[test]
+    fn parses_suffix_on_parenthesized_difference() {
+        let e = parse("MIN(($MYAZWNODES-$MYWNODE).verified)").unwrap();
+        let Expr::Call(Op::Min, args) = e else {
+            panic!()
+        };
+        let Expr::Values(SetExpr::Diff(..), Some(AckTypeName(name))) = &args[0] else {
+            panic!("got {:?}", args[0])
+        };
+        assert_eq!(name, "verified");
+    }
+
+    #[test]
+    fn parses_quorum_write_predicate() {
+        let e = parse("KTH_MIN(SIZEOF($ALLWNODES)/2+1, $ALLWNODES)").unwrap();
+        let Expr::Call(Op::KthMin, args) = e else {
+            panic!()
+        };
+        assert!(args[0].is_scalar());
+        // (SIZEOF(all) / 2) + 1 — '*'/'/' bind tighter than '+'.
+        let Expr::Arith(BinOp::Add, l, r) = &args[0] else {
+            panic!("got {:?}", args[0])
+        };
+        assert_eq!(**r, Expr::Int(1));
+        let Expr::Arith(BinOp::Div, sl, sr) = &**l else {
+            panic!()
+        };
+        assert_eq!(**sl, Expr::Sizeof(SetExpr::All));
+        assert_eq!(**sr, Expr::Int(2));
+    }
+
+    #[test]
+    fn parses_nested_calls_from_table3() {
+        let e =
+            parse("KTH_MAX(2, MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))").unwrap();
+        let Expr::Call(Op::KthMax, args) = e else {
+            panic!()
+        };
+        assert_eq!(args.len(), 4);
+        assert_eq!(args[0], Expr::Int(2));
+        assert!(matches!(args[1], Expr::Call(Op::Max, _)));
+    }
+
+    #[test]
+    fn parses_az_use_case_predicate() {
+        // §IV-A: fully AZ-replicated AND at least one remote site.
+        let e = parse("MIN(MIN($MYAZWNODES-$MYWNODE), MAX($ALLWNODES-$MYAZWNODES))").unwrap();
+        assert!(matches!(e, Expr::Call(Op::Min, _)));
+    }
+
+    #[test]
+    fn top_level_must_be_a_call() {
+        assert!(matches!(parse("$1"), Err(DslError::Parse { .. })));
+        assert!(matches!(parse("42"), Err(DslError::Parse { .. })));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(matches!(parse("MAX($1) $2"), Err(DslError::Parse { .. })));
+    }
+
+    #[test]
+    fn mixing_set_and_number_under_minus_is_an_error() {
+        assert!(parse("MAX($ALLWNODES - 1)").is_err());
+        assert!(parse("MAX(1 - $ALLWNODES)").is_err());
+    }
+
+    #[test]
+    fn suffix_on_number_is_an_error() {
+        assert!(matches!(parse("MAX(3.received)"), Err(DslError::Type(_))));
+    }
+
+    #[test]
+    fn double_suffix_is_an_error() {
+        assert!(parse("MAX($1.received.persisted)").is_err());
+    }
+
+    #[test]
+    fn sizeof_of_number_is_an_error() {
+        assert!(matches!(parse("MAX(SIZEOF(3))"), Err(DslError::Type(_))));
+        assert!(parse("MAX(SIZEOF($ALLWNODES.persisted))").is_err());
+    }
+
+    #[test]
+    fn missing_paren_reported_with_position() {
+        let Err(DslError::Parse { pos, .. }) = parse("MAX($1") else {
+            panic!()
+        };
+        assert_eq!(pos, 6);
+    }
+
+    #[test]
+    fn arithmetic_on_call_results_is_allowed() {
+        // Generalization beyond the paper's examples: calls are scalars.
+        let e = parse("KTH_MAX(MAX($1)+1, $ALLWNODES)").unwrap();
+        assert!(matches!(e, Expr::Call(Op::KthMax, _)));
+    }
+
+    #[test]
+    fn empty_argument_list_rejected() {
+        assert!(parse("MAX()").is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Token set for the predicate DSL.
+
+use std::fmt;
+
+/// A lexical token with its byte position in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// Byte offset of the first character of the token.
+    pub pos: usize,
+    /// The token itself.
+    pub tok: Token,
+}
+
+/// The tokens of the predicate language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `MAX`
+    Max,
+    /// `MIN`
+    Min,
+    /// `KTH_MAX`
+    KthMax,
+    /// `KTH_MIN`
+    KthMin,
+    /// `SIZEOF`
+    Sizeof,
+    /// `$ALLWNODES`
+    AllWNodes,
+    /// `$MYAZWNODES`
+    MyAzWNodes,
+    /// `$MYWNODE` (the paper also writes the plural `$MYWNODES`)
+    MyWNode,
+    /// `$WNODE_<name>` — node variable, carries `<name>`.
+    WNodeVar(String),
+    /// `$AZ_<name>` — availability-zone variable, carries `<name>`.
+    AzVar(String),
+    /// `$<number>` — 1-based node operand as written in predicates.
+    NodeOperand(u64),
+    /// Integer literal.
+    Int(u64),
+    /// Identifier (used after `.` for ACK-type suffixes).
+    Ident(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Max => write!(f, "MAX"),
+            Token::Min => write!(f, "MIN"),
+            Token::KthMax => write!(f, "KTH_MAX"),
+            Token::KthMin => write!(f, "KTH_MIN"),
+            Token::Sizeof => write!(f, "SIZEOF"),
+            Token::AllWNodes => write!(f, "$ALLWNODES"),
+            Token::MyAzWNodes => write!(f, "$MYAZWNODES"),
+            Token::MyWNode => write!(f, "$MYWNODE"),
+            Token::WNodeVar(n) => write!(f, "$WNODE_{n}"),
+            Token::AzVar(n) => write!(f, "$AZ_{n}"),
+            Token::NodeOperand(n) => write!(f, "${n}"),
+            Token::Int(n) => write!(f, "{n}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the predicate DSL:
+//!
+//! 1. Pretty-print → parse round-trips every generated AST.
+//! 2. The compiled VM and the AST interpreter agree on every valid
+//!    predicate and random ACK table (differential testing).
+//! 3. Predicate evaluation is monotonic in the ACK table: raising any
+//!    cell never lowers the frontier (the property the control plane's
+//!    correctness depends on).
+
+use proptest::prelude::*;
+use stabilizer_dsl::{
+    compile, interp::eval_resolved, parse, resolve, AckTypeId, AckTypeRegistry, AckView, Expr,
+    NodeId, Topology,
+};
+
+const NODES: u16 = 6;
+
+fn topo() -> Topology {
+    Topology::builder()
+        .az("A", &["a1", "a2"])
+        .az("B", &["b1", "b2", "b3"])
+        .az("C", &["c1"])
+        .build()
+        .unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct Table(Vec<Vec<u64>>);
+
+impl AckView for Table {
+    fn ack(&self, node: NodeId, ty: AckTypeId) -> u64 {
+        self.0[node.0 as usize][ty.0 as usize]
+    }
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    proptest::collection::vec(proptest::collection::vec(0u64..1000, 3), NODES as usize)
+        .prop_map(Table)
+}
+
+/// Generate a random set expression as a source-text fragment.
+fn arb_set(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        Just("$ALLWNODES".to_owned()),
+        Just("$MYAZWNODES".to_owned()),
+        Just("$MYWNODE".to_owned()),
+        (1u64..=NODES as u64).prop_map(|n| format!("${n}")),
+        prop_oneof![
+            Just("a1"),
+            Just("a2"),
+            Just("b1"),
+            Just("b2"),
+            Just("b3"),
+            Just("c1")
+        ]
+        .prop_map(|n| format!("$WNODE_{n}")),
+        prop_oneof![Just("A"), Just("B"), Just("C")].prop_map(|n| format!("$AZ_{n}")),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = arb_set(depth - 1);
+        prop_oneof![
+            4 => leaf,
+            1 => (inner.clone(), inner).prop_map(|(a, b)| format!("($ALLWNODES-({a}-{b}))")),
+        ]
+        .boxed()
+    }
+}
+
+/// Generate a random predicate source string. Always reduces over
+/// `$ALLWNODES` plus extras so the operand list is never empty and ranks
+/// up to 3 are always valid.
+fn arb_pred(depth: u32) -> BoxedStrategy<String> {
+    let op = prop_oneof![Just("MAX"), Just("MIN"), Just("KTH_MAX"), Just("KTH_MIN")];
+    let suffix = prop_oneof![
+        3 => Just(String::new()),
+        1 => Just(".received".to_owned()),
+        1 => Just(".persisted".to_owned()),
+        1 => Just(".delivered".to_owned()),
+    ];
+    let base = (op, 1u32..=3, arb_set(1), suffix).prop_map(|(op, k, set, suf)| {
+        let set_arg = if suf.is_empty() {
+            set
+        } else if set.starts_with('(') {
+            format!("{set}{suf}")
+        } else {
+            format!("({set}){suf}")
+        };
+        match op {
+            "MAX" | "MIN" => format!("{op}($ALLWNODES, {set_arg})"),
+            _ => format!("{op}({k}, $ALLWNODES, {set_arg})"),
+        }
+    });
+    if depth == 0 {
+        base.boxed()
+    } else {
+        let inner = arb_pred(depth - 1);
+        prop_oneof![
+            2 => base,
+            1 => (inner.clone(), inner).prop_map(|(a, b)| format!("MIN({a}, {b})")),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pretty_print_roundtrips(src in arb_pred(2)) {
+        let ast = parse(&src).unwrap();
+        let printed = ast.to_string();
+        let reparsed = parse(&printed).unwrap();
+        prop_assert_eq!(ast, reparsed);
+    }
+
+    #[test]
+    fn vm_matches_interpreter(src in arb_pred(2), table in arb_table(), me in 0u16..NODES) {
+        let topo = topo();
+        let acks = AckTypeRegistry::new();
+        let ast: Expr = parse(&src).unwrap();
+        if let Ok(resolved) = resolve(&ast, &topo, &acks, NodeId(me)) {
+            let program = compile(&resolved);
+            prop_assert_eq!(program.eval(&table), eval_resolved(&resolved.expr, &table));
+        }
+    }
+
+    #[test]
+    fn evaluation_is_monotonic(
+        src in arb_pred(2),
+        table in arb_table(),
+        bump_node in 0u16..NODES,
+        bump_ty in 0u16..3,
+        bump_by in 1u64..500,
+    ) {
+        let topo = topo();
+        let acks = AckTypeRegistry::new();
+        let ast: Expr = parse(&src).unwrap();
+        if let Ok(resolved) = resolve(&ast, &topo, &acks, NodeId(0)) {
+            let program = compile(&resolved);
+            let before = program.eval(&table);
+            let mut bumped = table.clone();
+            bumped.0[bump_node as usize][bump_ty as usize] += bump_by;
+            let after = program.eval(&bumped);
+            prop_assert!(after >= before, "raising ({bump_node},{bump_ty}) lowered {before} -> {after} for {src}");
+        }
+    }
+
+    #[test]
+    fn optimizer_preserves_semantics(src in arb_pred(2), table in arb_table(), me in 0u16..NODES) {
+        let topo = topo();
+        let acks = AckTypeRegistry::new();
+        if let (Ok(opt), Ok(unopt)) = (
+            stabilizer_dsl::Predicate::compile(&src, &topo, &acks, NodeId(me)),
+            stabilizer_dsl::Predicate::compile_unoptimized(&src, &topo, &acks, NodeId(me)),
+        ) {
+            prop_assert_eq!(opt.eval(&table), unopt.eval(&table), "optimizer diverged on {}", src);
+            prop_assert!(
+                opt.program().instrs().len() <= unopt.program().instrs().len(),
+                "optimizer grew the program for {}", src
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(src in "[ -~]{0,40}") {
+        let _ = parse(&src); // must return Ok or Err, never panic
+    }
+
+    #[test]
+    fn excluding_always_removes_dependencies(src in arb_pred(1), dead in 0u16..NODES) {
+        let topo = topo();
+        let acks = AckTypeRegistry::new();
+        let ast: Expr = parse(&src).unwrap();
+        if let Ok(resolved) = resolve(&ast, &topo, &acks, NodeId(0)) {
+            if let Ok(rewritten) = stabilizer_dsl::exclude_node(&resolved, NodeId(dead)) {
+                let program = compile(&rewritten);
+                prop_assert!(program.dependencies().iter().all(|(n, _)| *n != NodeId(dead)));
+            }
+        }
+    }
+}

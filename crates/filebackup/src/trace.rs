@@ -1,0 +1,236 @@
+//! Synthetic Dropbox sync trace (Fig. 4 substitute).
+//!
+//! The paper drives its backup experiments with a real Dropbox trace
+//! from Li et al. (IMC'14): sync activity from 16:40:45 to 16:57:08 on
+//! 2012-09-20 (983 seconds) totalling ≈3.87 GB, where "most of the sync
+//! requests in each day are concentrated within one hour or several
+//! minutes" and three huge files dominate Fig. 4's size plot. The trace
+//! itself is not redistributable, so this generator reproduces its
+//! aggregate statistics: the duration, the total volume, a heavy-tailed
+//! small-file size distribution, bursty arrivals, and three large-file
+//! spikes — the properties Figs. 4–6 actually depend on.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stabilizer_netsim::SimDuration;
+
+/// One sync request: a file of `size` bytes submitted at `offset` from
+/// the trace start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Offset from trace start.
+    pub offset: SimDuration,
+    /// File size in bytes.
+    pub size: u64,
+}
+
+/// A generated trace, sorted by offset.
+#[derive(Debug, Clone)]
+pub struct DropboxTrace {
+    records: Vec<TraceRecord>,
+}
+
+/// Trace duration: 16:40:45 → 16:57:08.
+pub const TRACE_SECONDS: u64 = 983;
+/// Total volume ≈ 3.87 GiB.
+pub const TRACE_TOTAL_BYTES: u64 = (3.87 * 1024.0 * 1024.0 * 1024.0) as u64;
+/// The chunk size the backup service splits files into (§VI-B).
+pub const CHUNK_BYTES: u64 = 8192;
+
+/// The three Fig. 4 spikes: `(offset seconds, size bytes)`.
+const SPIKES: [(u64, u64); 3] = [
+    (235, 125 * 1024 * 1024),
+    (500, 150 * 1024 * 1024),
+    (860, 100 * 1024 * 1024),
+];
+
+impl DropboxTrace {
+    /// Generate the Fig. 4-statistics trace deterministically from
+    /// `seed`, scaled by `scale` in `(0, 1]` (1.0 = the paper's full
+    /// 3.87 GB; smaller values shrink every file proportionally, which
+    /// keeps the arrival process and the spike structure intact while
+    /// shortening simulation runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn generate(seed: u64, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut records = Vec::new();
+
+        // The three large-file spikes.
+        let mut large_total = 0u64;
+        for (at, size) in SPIKES {
+            records.push(TraceRecord {
+                offset: SimDuration::from_secs(at),
+                size,
+            });
+            large_total += size;
+        }
+
+        // Bursty small files: arrivals cluster into episodes (users sync
+        // directories, not single files). Heavy-tailed sizes via a
+        // log-uniform draw across 4 KB..32 MB.
+        let target_small = TRACE_TOTAL_BYTES - large_total;
+        let mut raw: Vec<(u64, u64)> = Vec::new(); // (millis offset, size)
+        let mut small_total = 0u64;
+        while small_total < target_small {
+            // An episode starts anywhere in the trace and lasts up to a
+            // minute, containing up to a few dozen files.
+            let episode_start = rng.gen_range(0..TRACE_SECONDS * 1000);
+            let files = rng.gen_range(1..=40);
+            for _ in 0..files {
+                let at = episode_start + rng.gen_range(0..60_000);
+                if at >= TRACE_SECONDS * 1000 {
+                    continue;
+                }
+                let log_size = rng.gen_range(12.0..25.0); // 2^12 .. 2^25
+                let size = (2f64.powf(log_size)) as u64;
+                raw.push((at, size));
+                small_total += size;
+                if small_total >= target_small {
+                    break;
+                }
+            }
+        }
+        // Trim overshoot from the last file so totals land on target.
+        if small_total > target_small {
+            let overshoot = small_total - target_small;
+            if let Some(last) = raw.last_mut() {
+                last.1 = last.1.saturating_sub(overshoot).max(CHUNK_BYTES);
+            }
+        }
+        for (at, size) in raw {
+            records.push(TraceRecord {
+                offset: SimDuration::from_nanos(at * 1_000_000),
+                size,
+            });
+        }
+
+        records.sort_by_key(|r| r.offset);
+        if scale < 1.0 {
+            for r in &mut records {
+                r.size = ((r.size as f64 * scale) as u64).max(CHUNK_BYTES);
+            }
+        }
+        DropboxTrace { records }
+    }
+
+    /// The records, sorted by offset.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of sync requests.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the trace is empty (never, for valid parameters).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.size).sum()
+    }
+
+    /// Total 8 KiB messages after chunking (the paper reports 517,294
+    /// for the real trace).
+    pub fn total_chunks(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| r.size.div_ceil(CHUNK_BYTES))
+            .sum()
+    }
+
+    /// Duration from the first to the last request.
+    pub fn duration(&self) -> SimDuration {
+        match (self.records.first(), self.records.last()) {
+            (Some(f), Some(l)) => l.offset - f.offset,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Per-minute volume histogram (for the Fig. 4 harness).
+    pub fn per_minute_mbytes(&self) -> Vec<f64> {
+        let minutes = (TRACE_SECONDS / 60 + 1) as usize;
+        let mut out = vec![0.0; minutes];
+        for r in &self.records {
+            let m = (r.offset.as_secs_f64() / 60.0) as usize;
+            out[m.min(minutes - 1)] += r.size as f64 / 1e6;
+        }
+        out
+    }
+
+    /// The largest file size (Fig. 4's y-axis peak, ≈150 MB).
+    pub fn max_file_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.size).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_statistics() {
+        let t = DropboxTrace::generate(42, 1.0);
+        // Total ≈ 3.87 GiB (within 1%).
+        let total = t.total_bytes() as f64;
+        assert!((total - TRACE_TOTAL_BYTES as f64).abs() / (TRACE_TOTAL_BYTES as f64) < 0.01);
+        // Chunk count in the paper's ballpark (517,294 ± 5%).
+        let chunks = t.total_chunks() as f64;
+        assert!(
+            (chunks - 517_294.0).abs() / 517_294.0 < 0.05,
+            "chunks {chunks}"
+        );
+        // Duration fits the 983-second window.
+        assert!(t.duration().as_secs_f64() <= TRACE_SECONDS as f64);
+        // The 150 MB spike is the largest file.
+        assert_eq!(t.max_file_bytes(), 150 * 1024 * 1024);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DropboxTrace::generate(7, 0.5);
+        let b = DropboxTrace::generate(7, 0.5);
+        assert_eq!(a.records(), b.records());
+        let c = DropboxTrace::generate(8, 0.5);
+        assert_ne!(a.records(), c.records());
+    }
+
+    #[test]
+    fn records_are_sorted_and_nonempty() {
+        let t = DropboxTrace::generate(1, 0.1);
+        assert!(!t.is_empty());
+        assert!(t.records().windows(2).all(|w| w[0].offset <= w[1].offset));
+        assert!(t.records().iter().all(|r| r.size >= CHUNK_BYTES));
+    }
+
+    #[test]
+    fn scaling_shrinks_proportionally() {
+        let full = DropboxTrace::generate(3, 1.0);
+        let half = DropboxTrace::generate(3, 0.5);
+        assert_eq!(full.len(), half.len());
+        let ratio = half.total_bytes() as f64 / full.total_bytes() as f64;
+        assert!((ratio - 0.5).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn per_minute_histogram_shows_spikes() {
+        let t = DropboxTrace::generate(42, 1.0);
+        let hist = t.per_minute_mbytes();
+        // The spike minutes carry well above the mean volume.
+        let mean = hist.iter().sum::<f64>() / hist.len() as f64;
+        for (at, size) in SPIKES {
+            let m = (at / 60) as usize;
+            assert!(
+                hist[m] > mean && hist[m] > size as f64 / 1e6,
+                "minute {m} not a spike"
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Shape tests for the §VI-B experiments at reduced trace scale: the
+//! Fig. 5 ordering and spike structure, and the Fig. 6 Paxos comparison.
+
+use stabilizer_filebackup::{average_improvement, fig5_run, fig6_point, summarize};
+
+#[test]
+fn fig5_predicate_ordering_holds_under_the_trace() {
+    let r = fig5_run(0.02, 42);
+    assert!(r.messages > 1000, "trace too small: {}", r.messages);
+    let mean = |name: &str| {
+        let (_, lat) = r.series.iter().find(|(k, _)| k == name).unwrap();
+        summarize(lat, 1000).mean.as_secs_f64()
+    };
+    // Weaker consistency stabilizes no later on average.
+    assert!(mean("OneRegion") <= mean("MajorityRegions") + 1e-9);
+    assert!(mean("MajorityRegions") <= mean("AllRegions") + 1e-9);
+    assert!(mean("OneWNode") <= mean("MajorityWNodes") + 1e-9);
+    assert!(mean("MajorityWNodes") <= mean("AllWNodes") + 1e-9);
+    // The paper's §VI-B observation: MajorityWNodes is more vulnerable
+    // to the load spikes than MajorityRegions.
+    assert!(mean("MajorityRegions") < mean("MajorityWNodes"));
+}
+
+#[test]
+fn fig5_every_message_is_eventually_covered() {
+    let r = fig5_run(0.01, 7);
+    for (key, lat) in &r.series {
+        let s = summarize(lat, 1_000_000);
+        assert_eq!(s.covered, r.messages, "{key} left messages uncovered");
+    }
+}
+
+#[test]
+fn fig5_spikes_appear_in_strong_predicates() {
+    let r = fig5_run(0.02, 42);
+    let (_, all_nodes) = r.series.iter().find(|(k, _)| k == "AllWNodes").unwrap();
+    let s = summarize(all_nodes, 1000);
+    // Large-file bursts back the WAN links up: worst-case latency is far
+    // above the mean (the three spikes of Fig. 5).
+    assert!(
+        s.max.as_secs_f64() > 4.0 * s.mean.as_secs_f64(),
+        "no spike: mean {} max {}",
+        s.mean,
+        s.max
+    );
+}
+
+#[test]
+fn fig6_majority_regions_beats_paxos_and_gap_grows() {
+    let small = fig6_point(64 * 1024, 1);
+    let large = fig6_point(8 * 1024 * 1024, 1);
+    let get = |p: &stabilizer_filebackup::Fig6Point, name: &str| {
+        p.sync_times
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap()
+            .1
+            .as_secs_f64()
+    };
+    // MajorityRegions < PhxPaxos at every size.
+    assert!(get(&small, "MajorityRegions") < get(&small, "PhxPaxos"));
+    assert!(get(&large, "MajorityRegions") < get(&large, "PhxPaxos"));
+    // PhxPaxos ≈ MajorityWNodes (the curves "mostly overlap").
+    let ratio = get(&large, "PhxPaxos") / get(&large, "MajorityWNodes");
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "Paxos/MajorityWNodes ratio {ratio}"
+    );
+    // The absolute gap grows with file size (the paper: "this
+    // difference becomes larger as the file becomes larger"; on its
+    // log-log axes the nearly parallel curves diverge in absolute
+    // seconds as transfers become bandwidth-bound).
+    let abs_gap =
+        |p: &stabilizer_filebackup::Fig6Point| get(p, "PhxPaxos") - get(p, "MajorityRegions");
+    assert!(
+        abs_gap(&large) > 10.0 * abs_gap(&small),
+        "absolute gap did not grow: {} vs {}",
+        abs_gap(&small),
+        abs_gap(&large)
+    );
+    // OneWNode is fastest.
+    assert!(get(&large, "OneWNode") < get(&large, "MajorityRegions"));
+}
+
+#[test]
+fn fig6_average_improvement_is_in_the_papers_ballpark() {
+    // The paper reports 24.75% average end-to-end improvement of
+    // MajorityRegions over PhxPaxos across its file-size sweep. Exact
+    // percentages depend on the testbed; we assert a substantial
+    // improvement with the same sign and order of magnitude.
+    let points: Vec<_> = [64 << 10, 512 << 10, 4 << 20, 16 << 20]
+        .iter()
+        .map(|s| fig6_point(*s, 2))
+        .collect();
+    let imp = average_improvement(&points, "MajorityRegions", "PhxPaxos");
+    assert!((10.0..60.0).contains(&imp), "improvement {imp}%");
+}
+
+#[test]
+fn jittered_trace_run_still_covers_everything() {
+    let r = stabilizer_filebackup::fig5_run_jittered(0.01, 3.0, 11);
+    for (key, lat) in &r.series {
+        let s = stabilizer_filebackup::summarize(lat, usize::MAX);
+        assert_eq!(
+            s.covered, r.messages,
+            "{key} left messages uncovered under jitter"
+        );
+    }
+}

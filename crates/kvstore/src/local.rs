@@ -1,0 +1,250 @@
+//! The local object store: a stand-in for the Derecho object store the
+//! paper integrates with (§V-A) — a versioned in-process K/V store with
+//! `put`, `get`, `get_by_version`, and `get_by_time`, backed by a
+//! write-ahead log that supports replay-based recovery.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// A single version of a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Version {
+    /// Monotonic per-store version number (1-based).
+    pub version: u64,
+    /// Logical timestamp supplied by the caller (virtual nanos in
+    /// simulations, wall-clock nanos in deployments).
+    pub timestamp: u64,
+    /// The value; `None` is a tombstone.
+    pub value: Option<Bytes>,
+}
+
+/// One record of the write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// The key written.
+    pub key: String,
+    /// The version it produced.
+    pub version: Version,
+}
+
+/// A versioned in-memory K/V store with full version history per key and
+/// a write-ahead log.
+#[derive(Debug, Default)]
+pub struct LocalStore {
+    map: HashMap<String, Vec<Version>>,
+    log: Vec<LogRecord>,
+    next_version: u64,
+}
+
+impl LocalStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write `value` under `key` at `timestamp`; returns the new version
+    /// number. Versions are totally ordered per store.
+    pub fn put(&mut self, key: &str, value: Bytes, timestamp: u64) -> u64 {
+        self.apply(key, Some(value), timestamp)
+    }
+
+    /// Write a tombstone for `key`; subsequent `get` returns `None`.
+    pub fn delete(&mut self, key: &str, timestamp: u64) -> u64 {
+        self.apply(key, None, timestamp)
+    }
+
+    fn apply(&mut self, key: &str, value: Option<Bytes>, timestamp: u64) -> u64 {
+        self.next_version += 1;
+        let v = Version {
+            version: self.next_version,
+            timestamp,
+            value,
+        };
+        self.log.push(LogRecord {
+            key: key.to_owned(),
+            version: v.clone(),
+        });
+        self.map.entry(key.to_owned()).or_default().push(v);
+        self.next_version
+    }
+
+    /// Latest value of `key` (`None` if absent or tombstoned).
+    pub fn get(&self, key: &str) -> Option<Bytes> {
+        self.map.get(key)?.last()?.value.clone()
+    }
+
+    /// Latest version entry of `key`, including tombstones.
+    pub fn get_version_entry(&self, key: &str) -> Option<&Version> {
+        self.map.get(key)?.last()
+    }
+
+    /// Value of `key` as of store version `version` (the newest entry
+    /// with `entry.version <= version`).
+    pub fn get_by_version(&self, key: &str, version: u64) -> Option<Bytes> {
+        let versions = self.map.get(key)?;
+        versions
+            .iter()
+            .rev()
+            .find(|v| v.version <= version)?
+            .value
+            .clone()
+    }
+
+    /// Value of `key` as of `timestamp` (the newest entry with
+    /// `entry.timestamp <= timestamp`) — the paper's `get_by_time`.
+    pub fn get_by_time(&self, key: &str, timestamp: u64) -> Option<Bytes> {
+        let versions = self.map.get(key)?;
+        versions
+            .iter()
+            .rev()
+            .find(|v| v.timestamp <= timestamp)?
+            .value
+            .clone()
+    }
+
+    /// All versions of `key`, oldest first.
+    pub fn history(&self, key: &str) -> &[Version] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys (including tombstoned ones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no key was ever written.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Highest version number issued.
+    pub fn current_version(&self) -> u64 {
+        self.next_version
+    }
+
+    /// The write-ahead log, oldest first.
+    pub fn log(&self) -> &[LogRecord] {
+        &self.log
+    }
+
+    /// Live (non-tombstoned) keys starting with `prefix`, sorted — the
+    /// scan primitive applications like the file-backup manifest use.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .map
+            .iter()
+            .filter(|(k, versions)| {
+                k.starts_with(prefix) && versions.last().map(|v| v.value.is_some()).unwrap_or(false)
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Rebuild a store by replaying a write-ahead log (crash recovery).
+    pub fn replay(log: &[LogRecord]) -> Self {
+        let mut store = LocalStore::new();
+        for rec in log {
+            match &rec.version.value {
+                Some(v) => store.put(&rec.key, v.clone(), rec.version.timestamp),
+                None => store.delete(&rec.key, rec.version.timestamp),
+            };
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = LocalStore::new();
+        let v1 = s.put("k", Bytes::from_static(b"a"), 100);
+        assert_eq!(v1, 1);
+        assert_eq!(s.get("k"), Some(Bytes::from_static(b"a")));
+        let v2 = s.put("k", Bytes::from_static(b"b"), 200);
+        assert_eq!(v2, 2);
+        assert_eq!(s.get("k"), Some(Bytes::from_static(b"b")));
+        assert_eq!(s.history("k").len(), 2);
+    }
+
+    #[test]
+    fn get_missing_is_none() {
+        let s = LocalStore::new();
+        assert_eq!(s.get("nope"), None);
+        assert_eq!(s.get_by_time("nope", u64::MAX), None);
+        assert!(s.history("nope").is_empty());
+    }
+
+    #[test]
+    fn tombstones_hide_values_but_keep_history() {
+        let mut s = LocalStore::new();
+        s.put("k", Bytes::from_static(b"a"), 100);
+        s.delete("k", 200);
+        assert_eq!(s.get("k"), None);
+        assert_eq!(s.get_by_time("k", 150), Some(Bytes::from_static(b"a")));
+        assert_eq!(s.get_by_time("k", 250), None);
+    }
+
+    #[test]
+    fn get_by_time_picks_newest_at_or_before() {
+        let mut s = LocalStore::new();
+        s.put("k", Bytes::from_static(b"a"), 100);
+        s.put("k", Bytes::from_static(b"b"), 200);
+        s.put("k", Bytes::from_static(b"c"), 300);
+        assert_eq!(s.get_by_time("k", 99), None);
+        assert_eq!(s.get_by_time("k", 100), Some(Bytes::from_static(b"a")));
+        assert_eq!(s.get_by_time("k", 299), Some(Bytes::from_static(b"b")));
+        assert_eq!(s.get_by_time("k", u64::MAX), Some(Bytes::from_static(b"c")));
+    }
+
+    #[test]
+    fn get_by_version_tracks_store_versions() {
+        let mut s = LocalStore::new();
+        s.put("a", Bytes::from_static(b"1"), 0); // version 1
+        s.put("b", Bytes::from_static(b"2"), 0); // version 2
+        s.put("a", Bytes::from_static(b"3"), 0); // version 3
+        assert_eq!(s.get_by_version("a", 2), Some(Bytes::from_static(b"1")));
+        assert_eq!(s.get_by_version("a", 3), Some(Bytes::from_static(b"3")));
+        assert_eq!(s.get_by_version("b", 1), None);
+    }
+
+    #[test]
+    fn keys_with_prefix_scans_live_keys() {
+        let mut s = LocalStore::new();
+        s.put("file/1/0", Bytes::from_static(b"a"), 0);
+        s.put("file/1/1", Bytes::from_static(b"b"), 0);
+        s.put("file/2/0", Bytes::from_static(b"c"), 0);
+        s.put("other", Bytes::from_static(b"d"), 0);
+        s.delete("file/1/1", 1);
+        assert_eq!(s.keys_with_prefix("file/1/"), vec!["file/1/0".to_owned()]);
+        assert_eq!(s.keys_with_prefix("file/").len(), 2);
+        assert!(s.keys_with_prefix("zzz").is_empty());
+    }
+
+    #[test]
+    fn replay_reconstructs_state() {
+        let mut s = LocalStore::new();
+        s.put("a", Bytes::from_static(b"1"), 10);
+        s.put("b", Bytes::from_static(b"2"), 20);
+        s.delete("a", 30);
+        let replayed = LocalStore::replay(s.log());
+        assert_eq!(replayed.get("a"), None);
+        assert_eq!(replayed.get("b"), Some(Bytes::from_static(b"2")));
+        assert_eq!(replayed.current_version(), s.current_version());
+        assert_eq!(replayed.log(), s.log());
+    }
+
+    #[test]
+    fn len_counts_keys_not_versions() {
+        let mut s = LocalStore::new();
+        s.put("a", Bytes::from_static(b"1"), 0);
+        s.put("a", Bytes::from_static(b"2"), 0);
+        s.put("b", Bytes::from_static(b"3"), 0);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

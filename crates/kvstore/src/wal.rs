@@ -1,0 +1,183 @@
+//! Write-ahead-log file persistence for [`LocalStore`]: the durability
+//! half of the Derecho-object-store substitute, enabling the §III-E
+//! recovery flow (restart → replay WAL → re-join → Stabilizer resumes
+//! from a persisted snapshot).
+//!
+//! Format: `KVWL` magic + u16 version, then length-prefixed records
+//! `(key_len u16, key, timestamp u64, tag u8, [value_len u32, value])`.
+
+use crate::local::{LocalStore, LogRecord};
+use bytes::Bytes;
+use stabilizer_core::CoreError;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"KVWL";
+const VERSION: u16 = 1;
+const TAG_PUT: u8 = 0;
+const TAG_DELETE: u8 = 1;
+
+/// Serialize a store's write-ahead log to `path` (atomic via temp file +
+/// rename).
+///
+/// # Errors
+///
+/// Propagates I/O errors as [`CoreError::Wire`].
+pub fn save_wal(store: &LocalStore, path: &Path) -> Result<(), CoreError> {
+    let io = |e: std::io::Error| CoreError::Wire(format!("wal write: {e}"));
+    let tmp = path.with_extension("wal.tmp");
+    {
+        let file = std::fs::File::create(&tmp).map_err(io)?;
+        let mut w = BufWriter::new(file);
+        w.write_all(MAGIC).map_err(io)?;
+        w.write_all(&VERSION.to_le_bytes()).map_err(io)?;
+        w.write_all(&(store.log().len() as u64).to_le_bytes())
+            .map_err(io)?;
+        for rec in store.log() {
+            w.write_all(&(rec.key.len() as u16).to_le_bytes())
+                .map_err(io)?;
+            w.write_all(rec.key.as_bytes()).map_err(io)?;
+            w.write_all(&rec.version.timestamp.to_le_bytes())
+                .map_err(io)?;
+            match &rec.version.value {
+                Some(v) => {
+                    w.write_all(&[TAG_PUT]).map_err(io)?;
+                    w.write_all(&(v.len() as u32).to_le_bytes()).map_err(io)?;
+                    w.write_all(v).map_err(io)?;
+                }
+                None => w.write_all(&[TAG_DELETE]).map_err(io)?,
+            }
+        }
+        w.flush().map_err(io)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+/// Rebuild a store by replaying the WAL at `path`.
+///
+/// # Errors
+///
+/// [`CoreError::Wire`] on I/O errors or a corrupt/truncated log.
+pub fn load_wal(path: &Path) -> Result<LocalStore, CoreError> {
+    let io = |e: std::io::Error| CoreError::Wire(format!("wal read: {e}"));
+    let bad = |m: &str| CoreError::Wire(format!("wal corrupt: {m}"));
+    let file = std::fs::File::open(path).map_err(io)?;
+    let mut r = BufReader::new(file);
+
+    let mut hdr = [0u8; 4 + 2 + 8];
+    r.read_exact(&mut hdr).map_err(io)?;
+    if &hdr[0..4] != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    if u16::from_le_bytes(hdr[4..6].try_into().unwrap()) != VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let count = u64::from_le_bytes(hdr[6..14].try_into().unwrap());
+
+    let mut log = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let mut klen = [0u8; 2];
+        r.read_exact(&mut klen).map_err(io)?;
+        let mut key = vec![0u8; u16::from_le_bytes(klen) as usize];
+        r.read_exact(&mut key).map_err(io)?;
+        let key = String::from_utf8(key).map_err(|_| bad("key not UTF-8"))?;
+        let mut ts = [0u8; 8];
+        r.read_exact(&mut ts).map_err(io)?;
+        let timestamp = u64::from_le_bytes(ts);
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag).map_err(io)?;
+        let value = match tag[0] {
+            TAG_PUT => {
+                let mut vlen = [0u8; 4];
+                r.read_exact(&mut vlen).map_err(io)?;
+                let mut v = vec![0u8; u32::from_le_bytes(vlen) as usize];
+                r.read_exact(&mut v).map_err(io)?;
+                Some(Bytes::from(v))
+            }
+            TAG_DELETE => None,
+            t => return Err(bad(&format!("unknown tag {t}"))),
+        };
+        log.push(LogRecord {
+            key,
+            version: crate::local::Version {
+                version: 0,
+                timestamp,
+                value,
+            },
+        });
+    }
+    let mut rest = Vec::new();
+    r.read_to_end(&mut rest).map_err(io)?;
+    if !rest.is_empty() {
+        return Err(bad("trailing bytes"));
+    }
+    Ok(LocalStore::replay(&log))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("stabilizer-wal-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn wal_roundtrips_through_a_file() {
+        let mut store = LocalStore::new();
+        store.put("a", Bytes::from_static(b"1"), 10);
+        store.put("b", Bytes::from_static(b"22"), 20);
+        store.delete("a", 30);
+        store.put("a", Bytes::from_static(b"333"), 40);
+
+        let path = tmp("roundtrip");
+        save_wal(&store, &path).unwrap();
+        let restored = load_wal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(restored.get("a"), Some(Bytes::from_static(b"333")));
+        assert_eq!(restored.get("b"), Some(Bytes::from_static(b"22")));
+        assert_eq!(restored.get_by_time("a", 35), None); // tombstone era
+        assert_eq!(restored.current_version(), store.current_version());
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let path = tmp("empty");
+        save_wal(&LocalStore::new(), &path).unwrap();
+        let restored = load_wal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        let path = tmp("corrupt");
+        let mut store = LocalStore::new();
+        store.put("k", Bytes::from_static(b"v"), 1);
+        save_wal(&store, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Truncations fail.
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(load_wal(&path).is_err());
+        // Bad magic fails.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(load_wal(&path).is_err());
+        // Trailing garbage fails.
+        let mut trailing = bytes;
+        trailing.push(7);
+        std::fs::write(&path, &trailing).unwrap();
+        assert!(load_wal(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error_not_a_panic() {
+        assert!(load_wal(std::path::Path::new("/nonexistent/stabilizer.wal")).is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! Integration tests for the geo-replicated K/V store over the simulated
+//! EC2 WAN: mirroring, read-your-writes at the primary, get_by_time on
+//! mirrors, stability frontiers gating reads, and tombstones.
+
+use bytes::Bytes;
+use stabilizer_core::{ClusterConfig, NodeId};
+use stabilizer_kvstore::build_kv_cluster;
+use stabilizer_netsim::NetTopology;
+
+fn cfg() -> ClusterConfig {
+    ClusterConfig::parse(
+        "az North_California n1 n2\n\
+         az North_Virginia n3 n4 n5 n6\n\
+         az Oregon n7\n\
+         az Ohio n8\n\
+         predicate AllWNodes MIN($ALLWNODES-$MYWNODE)\n\
+         predicate OneWNode MAX($ALLWNODES-$MYWNODE)\n",
+    )
+    .unwrap()
+}
+
+#[test]
+fn put_is_locally_stable_and_mirrors_everywhere() {
+    let mut sim = build_kv_cluster(&cfg(), NetTopology::ec2_fig2(), 1).unwrap();
+    let seq = sim
+        .with_ctx(0, |kv, ctx| {
+            kv.put_in(ctx, "user/alice", Bytes::from_static(b"v1"))
+        })
+        .unwrap();
+    // Locally stable on return (read-your-writes at the primary).
+    assert_eq!(
+        sim.actor(0).get(NodeId(0), "user/alice"),
+        Some(Bytes::from_static(b"v1"))
+    );
+    // Remote mirrors do not have it yet (WAN latency).
+    assert_eq!(sim.actor(7).get(NodeId(0), "user/alice"), None);
+    sim.run_until_idle();
+    for i in 0..8 {
+        assert_eq!(
+            sim.actor(i).get(NodeId(0), "user/alice"),
+            Some(Bytes::from_static(b"v1")),
+            "mirror {i} missing the value"
+        );
+    }
+    let (frontier, _) = sim.actor(0).get_stability_frontier("AllWNodes").unwrap();
+    assert_eq!(frontier, seq);
+}
+
+#[test]
+fn pools_are_per_owner_and_do_not_collide() {
+    let mut sim = build_kv_cluster(&cfg(), NetTopology::ec2_fig2(), 2).unwrap();
+    sim.with_ctx(0, |kv, ctx| {
+        kv.put_in(ctx, "k", Bytes::from_static(b"from-n1"))
+    })
+    .unwrap();
+    sim.with_ctx(6, |kv, ctx| {
+        kv.put_in(ctx, "k", Bytes::from_static(b"from-n7"))
+    })
+    .unwrap();
+    sim.run_until_idle();
+    for i in 0..8 {
+        assert_eq!(
+            sim.actor(i).get(NodeId(0), "k"),
+            Some(Bytes::from_static(b"from-n1"))
+        );
+        assert_eq!(
+            sim.actor(i).get(NodeId(6), "k"),
+            Some(Bytes::from_static(b"from-n7"))
+        );
+    }
+}
+
+#[test]
+fn get_by_time_on_a_mirror_sees_origin_timestamps() {
+    let mut sim = build_kv_cluster(&cfg(), NetTopology::ec2_fig2(), 3).unwrap();
+    sim.with_ctx(0, |kv, ctx| {
+        kv.put_in(ctx, "cfg", Bytes::from_static(b"old"))
+    })
+    .unwrap();
+    let t_between = {
+        sim.run_until_idle();
+        sim.now().as_nanos() + 1
+    };
+    sim.run_for(stabilizer_netsim::SimDuration::from_millis(10));
+    sim.with_ctx(0, |kv, ctx| {
+        kv.put_in(ctx, "cfg", Bytes::from_static(b"new"))
+    })
+    .unwrap();
+    sim.run_until_idle();
+    let mirror = sim.actor(5);
+    assert_eq!(
+        mirror.get(NodeId(0), "cfg"),
+        Some(Bytes::from_static(b"new"))
+    );
+    assert_eq!(
+        mirror.get_by_time(NodeId(0), "cfg", t_between),
+        Some(Bytes::from_static(b"old"))
+    );
+}
+
+#[test]
+fn deletes_propagate_as_tombstones() {
+    let mut sim = build_kv_cluster(&cfg(), NetTopology::ec2_fig2(), 4).unwrap();
+    sim.with_ctx(0, |kv, ctx| {
+        kv.put_in(ctx, "gone", Bytes::from_static(b"x"))
+    })
+    .unwrap();
+    sim.run_until_idle();
+    assert_eq!(
+        sim.actor(3).get(NodeId(0), "gone"),
+        Some(Bytes::from_static(b"x"))
+    );
+    sim.with_ctx(0, |kv, ctx| kv.delete_in(ctx, "gone"))
+        .unwrap();
+    sim.run_until_idle();
+    for i in 0..8 {
+        assert_eq!(
+            sim.actor(i).get(NodeId(0), "gone"),
+            None,
+            "mirror {i} kept deleted key"
+        );
+    }
+}
+
+#[test]
+fn waitfor_gates_on_the_chosen_consistency_model() {
+    let mut sim = build_kv_cluster(&cfg(), NetTopology::ec2_fig2(), 5).unwrap();
+    let seq = sim
+        .with_ctx(0, |kv, ctx| kv.put_in(ctx, "doc", Bytes::from_static(b"d")))
+        .unwrap();
+    let t_one = sim
+        .with_ctx(0, |kv, ctx| kv.waitfor_in(ctx, "OneWNode", seq))
+        .unwrap();
+    let t_all = sim
+        .with_ctx(0, |kv, ctx| kv.waitfor_in(ctx, "AllWNodes", seq))
+        .unwrap();
+    sim.run_until_idle();
+    let waits = sim.actor(0).completed_waits();
+    let at = |tok| {
+        waits
+            .iter()
+            .find(|(_, t)| *t == tok)
+            .map(|(at, _)| *at)
+            .unwrap()
+    };
+    assert!(
+        at(t_one) <= at(t_all),
+        "weaker consistency must not wait longer"
+    );
+}
+
+#[test]
+fn runtime_registered_predicate_over_kv() {
+    let mut sim = build_kv_cluster(&cfg(), NetTopology::ec2_fig2(), 6).unwrap();
+    // §IV-A's topology-aware predicate: AZ-replicated plus one remote site.
+    sim.with_ctx(0, |kv, ctx| {
+        kv.register_predicate_in(
+            ctx,
+            "AzPlusRemote",
+            "MIN(MIN($MYAZWNODES-$MYWNODE), MAX($ALLWNODES-$MYAZWNODES))",
+        )
+    })
+    .unwrap();
+    let seq = sim
+        .with_ctx(0, |kv, ctx| {
+            kv.put_in(ctx, "backup", Bytes::from(vec![1u8; 4096]))
+        })
+        .unwrap();
+    sim.run_until_idle();
+    let log = sim.actor(0).frontier_log();
+    let reached = log
+        .iter()
+        .find(|(_, u)| u.key == "AzPlusRemote" && u.seq >= seq)
+        .unwrap()
+        .0;
+    // Gated by the slower of: intra-AZ RTT (3.7ms) and fastest remote
+    // region RTT (Oregon, 23.29ms) -> about 23-25 ms.
+    let ms = reached.as_millis_f64();
+    assert!(
+        (20.0..30.0).contains(&ms),
+        "AzPlusRemote stabilized at {ms}ms"
+    );
+}
+
+#[test]
+fn primary_crash_restart_with_wal_and_snapshot() {
+    // Full §III-E recovery at the K/V layer: persist the pools' WALs and
+    // the control-plane snapshot, crash the primary, rebuild it from
+    // both, and resume writing.
+    let mut sim = build_kv_cluster(&cfg(), NetTopology::ec2_fig2(), 31).unwrap();
+    sim.with_ctx(0, |kv, ctx| {
+        kv.put_in(ctx, "cfg/a", Bytes::from_static(b"1"))
+    })
+    .unwrap();
+    sim.with_ctx(0, |kv, ctx| {
+        kv.put_in(ctx, "cfg/b", Bytes::from_static(b"2"))
+    })
+    .unwrap();
+    sim.run_until_idle();
+
+    // "Persist" everything the storage system would.
+    let dir = std::env::temp_dir();
+    let snapshot_bytes = sim.actor(0).stabilizer().snapshot().to_bytes();
+    let mut wal_paths = Vec::new();
+    for origin in 0..8u16 {
+        let path = dir.join(format!("geo-recovery-{}-{origin}.wal", std::process::id()));
+        stabilizer_kvstore::save_wal(sim.actor(0).pool(NodeId(origin)), &path).unwrap();
+        wal_paths.push(path);
+    }
+    let acks = std::sync::Arc::clone(sim.actor(0).stabilizer().ack_types());
+
+    // Crash + rebuild from the persisted artifacts.
+    let snapshot = stabilizer_core::Snapshot::from_bytes(&snapshot_bytes).unwrap();
+    let pools: Vec<_> = wal_paths
+        .iter()
+        .map(|p| stabilizer_kvstore::load_wal(p).unwrap())
+        .collect();
+    let restored =
+        stabilizer_kvstore::GeoKvNode::restore(cfg(), NodeId(0), acks, snapshot, pools).unwrap();
+    sim.replace_actor(0, restored);
+    for p in &wal_paths {
+        std::fs::remove_file(p).ok();
+    }
+
+    // State survived...
+    assert_eq!(
+        sim.actor(0).get(NodeId(0), "cfg/a"),
+        Some(Bytes::from_static(b"1"))
+    );
+    // ...and the stream resumes at the right sequence number.
+    let seq = sim
+        .with_ctx(0, |kv, ctx| {
+            kv.put_in(ctx, "cfg/c", Bytes::from_static(b"3"))
+        })
+        .unwrap();
+    assert_eq!(seq, 3);
+    sim.run_until_idle();
+    for i in 1..8 {
+        assert_eq!(
+            sim.actor(i).get(NodeId(0), "cfg/c"),
+            Some(Bytes::from_static(b"3")),
+            "mirror {i} missed the post-restart write"
+        );
+    }
+    let (frontier, _) = sim.actor(0).get_stability_frontier("AllWNodes").unwrap();
+    assert_eq!(frontier, 3);
+}

@@ -1,0 +1,58 @@
+//! # Deterministic discrete-event WAN simulator
+//!
+//! The paper evaluates Stabilizer on (a) an emulated Amazon EC2 WAN built
+//! with `tc`-shaped links between eight physical servers (Table I /
+//! Fig. 2) and (b) a real five-site CloudLab deployment (Table II). This
+//! crate replaces both with a deterministic discrete-event network
+//! simulator: every link has a configurable propagation delay and
+//! bandwidth, messages experience serialization delay plus FIFO queueing
+//! exactly as they would behind a traffic shaper, and virtual time makes
+//! every experiment reproducible bit-for-bit.
+//!
+//! The model per directed link is the classic store-and-forward shaper:
+//!
+//! ```text
+//! start    = max(now, link.busy_until)        -- FIFO queueing
+//! tx_done  = start + size / bandwidth         -- serialization delay
+//! arrival  = tx_done + propagation_delay      -- one-way latency
+//! ```
+//!
+//! which is precisely what `tc netem delay X rate Y` imposes.
+//!
+//! Actors (one per WAN node) implement [`Actor`] and exchange typed
+//! messages; the [`Simulation`] drives them in virtual time.
+//!
+//! ```
+//! use stabilizer_netsim::{Actor, Ctx, MsgSize, NetTopology, Simulation, SimDuration};
+//!
+//! #[derive(Clone)]
+//! struct Ping(u32);
+//! impl MsgSize for Ping { fn wire_size(&self) -> usize { 64 } }
+//!
+//! struct Node { got: u32 }
+//! impl Actor for Node {
+//!     type Msg = Ping;
+//!     fn on_message(&mut self, ctx: &mut Ctx<'_, Ping>, from: usize, msg: Ping) {
+//!         self.got = msg.0;
+//!         if ctx.me() == 1 { ctx.send(from, Ping(msg.0 + 1)); }
+//!     }
+//! }
+//!
+//! let topo = NetTopology::full_mesh(2, SimDuration::from_millis(10), 1_000_000_000.0);
+//! let mut sim = Simulation::new(topo, vec![Node { got: 0 }, Node { got: 0 }], 42);
+//! sim.with_ctx(0, |node, ctx| { let _ = node; ctx.send(1, Ping(1)); });
+//! sim.run_until_idle();
+//! assert_eq!(sim.actor(0).got, 2); // ping went out and came back
+//! ```
+
+pub mod link;
+pub mod probe;
+pub mod sim;
+pub mod time;
+pub mod topology;
+
+pub use link::{LinkSpec, LinkStats};
+pub use probe::{measure_rtt, measure_throughput};
+pub use sim::{Actor, Ctx, MsgSize, Simulation, TimerId};
+pub use time::{SimDuration, SimTime};
+pub use topology::NetTopology;

@@ -1,0 +1,198 @@
+//! Directed link model: propagation delay + bandwidth + FIFO queueing,
+//! mirroring what the paper imposes with `tc` (§VI, Table I/II).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Static description of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation delay. The paper's tables report ping RTTs;
+    /// [`LinkSpec::from_rtt_mbit`] halves them.
+    pub one_way: SimDuration,
+    /// Bandwidth in bytes per second of virtual time.
+    pub bytes_per_sec: f64,
+    /// Maximum extra one-way delay, drawn uniformly per message from the
+    /// simulation's deterministic RNG. Zero (the default) models a
+    /// `tc netem` shaper without variance; real WANs have some. FIFO is
+    /// preserved regardless (a jittered message never overtakes an
+    /// earlier one on the same link).
+    pub jitter: SimDuration,
+}
+
+impl LinkSpec {
+    /// Build from a measured RTT in milliseconds and a throughput in
+    /// Mbit/s — the units used by Table I and Table II.
+    pub fn from_rtt_mbit(rtt_ms: f64, mbit_per_sec: f64) -> Self {
+        LinkSpec {
+            one_way: SimDuration::from_millis_f64(rtt_ms / 2.0),
+            bytes_per_sec: mbit_per_sec * 1e6 / 8.0,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// Add uniform per-message jitter of up to `jitter` one-way.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// A link with the given one-way delay and effectively infinite
+    /// bandwidth (useful for tests that only care about latency).
+    pub fn delay_only(one_way: SimDuration) -> Self {
+        LinkSpec {
+            one_way,
+            bytes_per_sec: f64::INFINITY,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// Serialization delay for a message of `size` bytes.
+    pub fn tx_time(&self, size: usize) -> SimDuration {
+        if self.bytes_per_sec.is_infinite() || size == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(size as f64 / self.bytes_per_sec)
+        }
+    }
+
+    /// Bandwidth in Mbit/s (for reporting).
+    pub fn mbit_per_sec(&self) -> f64 {
+        self.bytes_per_sec * 8.0 / 1e6
+    }
+
+    /// RTT assuming a symmetric reverse link (for reporting).
+    pub fn rtt(&self) -> SimDuration {
+        self.one_way + self.one_way
+    }
+}
+
+/// Mutable per-link simulation state plus accounting.
+#[derive(Debug, Clone, Default)]
+pub struct LinkState {
+    /// Virtual time until which the transmitter is busy.
+    pub busy_until: SimTime,
+    /// Latest arrival handed out (enforces FIFO under jitter).
+    pub last_arrival: SimTime,
+    /// Accumulated statistics.
+    pub stats: LinkStats,
+}
+
+/// Counters exposed for experiments (backlog is the key signal for the
+/// pub/sub saturation figure).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkStats {
+    /// Messages ever enqueued on this link.
+    pub messages: u64,
+    /// Payload bytes ever enqueued.
+    pub bytes: u64,
+    /// Worst queueing delay (time a message waited behind earlier ones).
+    pub max_queue_delay: SimDuration,
+}
+
+impl LinkState {
+    /// Enqueue a `size`-byte message at `now`; returns its arrival time at
+    /// the far end and updates busy/accounting state. `jitter_ns` is the
+    /// extra delay drawn by the caller (0 for jitter-free links); FIFO is
+    /// preserved by clamping arrivals to be non-decreasing.
+    pub fn transmit(&mut self, spec: &LinkSpec, now: SimTime, size: usize) -> SimTime {
+        self.transmit_jittered(spec, now, size, 0)
+    }
+
+    /// [`LinkState::transmit`] with an explicit jitter draw in nanos.
+    pub fn transmit_jittered(
+        &mut self,
+        spec: &LinkSpec,
+        now: SimTime,
+        size: usize,
+        jitter_ns: u64,
+    ) -> SimTime {
+        let start = self.busy_until.max(now);
+        let queue_delay = start.since(now);
+        let done = start + spec.tx_time(size);
+        self.busy_until = done;
+        self.stats.messages += 1;
+        self.stats.bytes += size as u64;
+        if queue_delay > self.stats.max_queue_delay {
+            self.stats.max_queue_delay = queue_delay;
+        }
+        let arrival =
+            (done + spec.one_way + SimDuration::from_nanos(jitter_ns)).max(self.last_arrival);
+        self.last_arrival = arrival;
+        arrival
+    }
+
+    /// Bytes currently unsent, given `now` (approximation derived from
+    /// `busy_until`; exact for constant-size backlogs).
+    pub fn backlog(&self, spec: &LinkSpec, now: SimTime) -> f64 {
+        if self.busy_until <= now || spec.bytes_per_sec.is_infinite() {
+            0.0
+        } else {
+            self.busy_until.since(now).as_secs_f64() * spec.bytes_per_sec
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_is_halved_into_one_way() {
+        let l = LinkSpec::from_rtt_mbit(53.87, 44.5);
+        assert_eq!(l.one_way, SimDuration::from_millis_f64(26.935));
+        assert!((l.mbit_per_sec() - 44.5).abs() < 1e-9);
+        assert_eq!(l.rtt(), SimDuration::from_millis_f64(53.87));
+    }
+
+    #[test]
+    fn tx_time_scales_with_size() {
+        let l = LinkSpec::from_rtt_mbit(0.0, 8.0); // 1 MB/s
+        assert_eq!(l.tx_time(1_000_000), SimDuration::from_secs(1));
+        assert_eq!(l.tx_time(0), SimDuration::ZERO);
+        assert_eq!(
+            LinkSpec::delay_only(SimDuration::from_millis(5)).tx_time(1 << 30),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn fifo_queueing_serializes_transmissions() {
+        let spec = LinkSpec::from_rtt_mbit(20.0, 8.0); // 10ms one-way, 1 MB/s
+        let mut st = LinkState::default();
+        // Two 1 MB messages sent back-to-back at t=0.
+        let a1 = st.transmit(&spec, SimTime::ZERO, 1_000_000);
+        let a2 = st.transmit(&spec, SimTime::ZERO, 1_000_000);
+        assert_eq!(a1, SimTime::ZERO + SimDuration::from_millis(1010));
+        assert_eq!(a2, SimTime::ZERO + SimDuration::from_millis(2010));
+        assert_eq!(st.stats.messages, 2);
+        assert_eq!(st.stats.bytes, 2_000_000);
+        assert_eq!(st.stats.max_queue_delay, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn arrivals_are_monotonic_even_with_gaps() {
+        let spec = LinkSpec::from_rtt_mbit(10.0, 80.0);
+        let mut st = LinkState::default();
+        let mut last = SimTime::ZERO;
+        let mut now = SimTime::ZERO;
+        for i in 0..50 {
+            now = now + SimDuration::from_micros((i % 7) * 100);
+            let arr = st.transmit(&spec, now, 8192);
+            assert!(arr >= last, "FIFO violated");
+            last = arr;
+        }
+    }
+
+    #[test]
+    fn backlog_reflects_pending_bytes() {
+        let spec = LinkSpec::from_rtt_mbit(0.0, 8.0); // 1 MB/s
+        let mut st = LinkState::default();
+        st.transmit(&spec, SimTime::ZERO, 2_000_000);
+        let backlog = st.backlog(&spec, SimTime::ZERO + SimDuration::from_secs(1));
+        assert!((backlog - 1_000_000.0).abs() < 1.0);
+        assert_eq!(
+            st.backlog(&spec, SimTime::ZERO + SimDuration::from_secs(3)),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Measurement probes: `ping`-style RTT and `iperf`-style bulk-transfer
+//! throughput over a simulated topology. The Table I/II harnesses use
+//! these to validate that the simulator reproduces the paper's configured
+//! link characteristics.
+
+use crate::sim::{Actor, Ctx, MsgSize, Simulation};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NetTopology;
+
+#[derive(Clone)]
+enum ProbeMsg {
+    Ping,
+    Pong,
+    /// Bulk chunk carrying `size` payload bytes; `last` marks the final one.
+    Chunk {
+        size: usize,
+        last: bool,
+    },
+    /// Receiver's note that the final chunk arrived.
+    Done,
+}
+
+impl MsgSize for ProbeMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            ProbeMsg::Ping | ProbeMsg::Pong | ProbeMsg::Done => 64,
+            ProbeMsg::Chunk { size, .. } => *size,
+        }
+    }
+}
+
+#[derive(Default)]
+struct ProbeActor {
+    pong_at: Option<SimTime>,
+    done_at: Option<SimTime>,
+}
+
+impl Actor for ProbeActor {
+    type Msg = ProbeMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ProbeMsg>, from: usize, msg: ProbeMsg) {
+        match msg {
+            ProbeMsg::Ping => ctx.send(from, ProbeMsg::Pong),
+            ProbeMsg::Pong => self.pong_at = Some(ctx.now()),
+            ProbeMsg::Chunk { last, .. } => {
+                if last {
+                    ctx.send(from, ProbeMsg::Done);
+                }
+            }
+            ProbeMsg::Done => self.done_at = Some(ctx.now()),
+        }
+    }
+}
+
+/// Measure the round-trip time between sites `a` and `b` with a small
+/// ping message (the serialization time of the 64-byte probe is included,
+/// as it is for a real `ping`).
+pub fn measure_rtt(topo: &NetTopology, a: usize, b: usize) -> SimDuration {
+    let actors = (0..topo.len()).map(|_| ProbeActor::default()).collect();
+    let mut sim = Simulation::new(topo.clone(), actors, 7);
+    sim.with_ctx(a, |_, ctx| ctx.send(b, ProbeMsg::Ping));
+    sim.run_until_idle();
+    sim.actor(a)
+        .pong_at
+        .expect("pong lost — is there a link a<->b?")
+        .since(SimTime::ZERO)
+}
+
+/// Measure achievable one-way throughput from `a` to `b` in Mbit/s by
+/// streaming `total_bytes` in `chunk`-byte messages and timing until the
+/// last chunk arrives (propagation delay subtracted out by the volume).
+pub fn measure_throughput(
+    topo: &NetTopology,
+    a: usize,
+    b: usize,
+    total_bytes: u64,
+    chunk: usize,
+) -> f64 {
+    let actors = (0..topo.len()).map(|_| ProbeActor::default()).collect();
+    let mut sim = Simulation::new(topo.clone(), actors, 7);
+    let chunks = (total_bytes as usize).div_ceil(chunk);
+    sim.with_ctx(a, |_, ctx| {
+        for i in 0..chunks {
+            ctx.send(
+                b,
+                ProbeMsg::Chunk {
+                    size: chunk,
+                    last: i + 1 == chunks,
+                },
+            );
+        }
+    });
+    sim.run_until_idle();
+    let done = sim.actor(a).done_at.expect("bulk transfer never completed");
+    // One-way transfer time: total time minus the return hop of `Done`.
+    let rtt = measure_rtt(topo, a, b);
+    let one_way_back = SimDuration::from_nanos(rtt.as_nanos() / 2);
+    let elapsed = done.since(SimTime::ZERO) - one_way_back;
+    (chunks * chunk) as f64 * 8.0 / 1e6 / elapsed.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+
+    #[test]
+    fn rtt_matches_configured_latency() {
+        let topo = NetTopology::ec2_fig2();
+        // n1 <-> n8 (Ohio) configured at 53.87 ms RTT; 64-byte probes add
+        // negligible serialization time.
+        let rtt = measure_rtt(&topo, 0, 7);
+        assert!((rtt.as_millis_f64() - 53.87).abs() < 0.1, "got {rtt}");
+    }
+
+    #[test]
+    fn throughput_approaches_configured_bandwidth() {
+        let topo = NetTopology::ec2_fig2();
+        // n1 -> n8 configured at 44.5 Mbit/s.
+        let thr = measure_throughput(&topo, 0, 7, 8 * 1024 * 1024, 8192);
+        assert!((thr - 44.5).abs() / 44.5 < 0.05, "got {thr} Mbit/s");
+    }
+
+    #[test]
+    fn throughput_on_fast_lan() {
+        let topo = NetTopology::cloudlab_table2();
+        // UT1 -> UT2 configured at 9246.99 Mbit/s.
+        let thr = measure_throughput(&topo, 0, 1, 64 * 1024 * 1024, 8192);
+        assert!((thr - 9246.99).abs() / 9246.99 < 0.10, "got {thr} Mbit/s");
+    }
+
+    #[test]
+    fn rtt_includes_serialization_of_probe() {
+        let mut topo = NetTopology::new(&["a", "b"]);
+        // 1 KB/s: a 64-byte probe takes 64 ms each way; zero propagation.
+        topo.set_symmetric(
+            0,
+            1,
+            LinkSpec {
+                one_way: SimDuration::ZERO,
+                bytes_per_sec: 1000.0,
+                jitter: SimDuration::ZERO,
+            },
+        );
+        let rtt = measure_rtt(&topo, 0, 1);
+        assert!((rtt.as_millis_f64() - 128.0).abs() < 1.0, "got {rtt}");
+    }
+}

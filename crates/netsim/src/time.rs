@@ -1,0 +1,172 @@
+//! Virtual time: nanosecond-resolution instants and durations.
+//!
+//! Newtypes (rather than `std::time`) keep simulated time statically
+//! distinct from wall-clock time and make saturating arithmetic explicit.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since the epoch.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds since the epoch, as a float (for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Build from nanoseconds.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Build from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Build from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Build from fractional milliseconds (as the paper's tables report).
+    pub fn from_millis_f64(ms: f64) -> Self {
+        SimDuration((ms * 1e6).round() as u64)
+    }
+
+    /// Build from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Build from fractional seconds.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Length in nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Length in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Multiply by an integer factor (saturating).
+    pub fn saturating_mul(self, n: u64) -> Self {
+        SimDuration(self.0.saturating_mul(n))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimDuration::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(SimDuration::from_millis_f64(3.7).as_millis_f64(), 3.7);
+        assert_eq!(SimDuration::from_secs(2).as_secs_f64(), 2.0);
+        assert_eq!(SimDuration::from_micros(7).as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(10);
+        assert_eq!(t.as_millis_f64(), 10.0);
+        assert_eq!(t.since(SimTime::ZERO), SimDuration::from_millis(10));
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO); // saturates
+        assert_eq!(
+            SimDuration::from_millis(3) + SimDuration::from_millis(4),
+            SimDuration::from_millis(7)
+        );
+        assert_eq!(
+            SimDuration::from_millis(3).saturating_mul(4),
+            SimDuration::from_millis(12)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_millis_f64(53.87).to_string(), "53.870ms");
+        assert_eq!(
+            (SimTime::ZERO + SimDuration::from_secs(1)).to_string(),
+            "1.000000s"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the simulator's delivery guarantees: per-link
+//! FIFO, message conservation, latency lower bounds, and bandwidth
+//! upper bounds — the invariants every experiment in this repository
+//! leans on.
+
+use proptest::prelude::*;
+use stabilizer_netsim::{
+    Actor, Ctx, LinkSpec, MsgSize, NetTopology, SimDuration, SimTime, Simulation,
+};
+
+#[derive(Clone, Debug)]
+struct Tagged {
+    from_batch: usize,
+    idx: u64,
+    size: usize,
+}
+
+impl MsgSize for Tagged {
+    fn wire_size(&self) -> usize {
+        self.size
+    }
+}
+
+#[derive(Default)]
+struct Sink {
+    got: Vec<(SimTime, usize, u64)>,
+}
+
+impl Actor for Sink {
+    type Msg = Tagged;
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Tagged>, _from: usize, msg: Tagged) {
+        self.got.push((ctx.now(), msg.from_batch, msg.idx));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    n: usize,
+    rtt_ms: u64,
+    mbit: u64,
+    /// batches of (destination, count, size) sent from node 0
+    batches: Vec<(usize, u64, usize)>,
+    gap_us: u64,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (2usize..=5).prop_flat_map(|n| {
+        (
+            1u64..100,
+            1u64..1000,
+            proptest::collection::vec((1..n, 1u64..30, 1usize..4096), 1..6),
+            0u64..5000,
+        )
+            .prop_map(move |(rtt_ms, mbit, batches, gap_us)| Case {
+                n,
+                rtt_ms,
+                mbit,
+                batches,
+                gap_us,
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fifo_conservation_and_latency_bounds(case in arb_case()) {
+        let mut net = NetTopology::full_mesh(case.n, SimDuration::ZERO, 1e12);
+        let spec = LinkSpec::from_rtt_mbit(case.rtt_ms as f64, case.mbit as f64);
+        for a in 0..case.n {
+            for b in 0..case.n {
+                if a != b {
+                    net.set_link(a, b, spec);
+                }
+            }
+        }
+        let actors = (0..case.n).map(|_| Sink::default()).collect();
+        let mut sim = Simulation::new(net, actors, 1);
+
+        let mut sent_per_dest = vec![0u64; case.n];
+        for (batch_no, (dest, count, size)) in case.batches.iter().enumerate() {
+            for idx in 0..*count {
+                sim.with_ctx(0, |_, ctx| {
+                    ctx.send(*dest, Tagged { from_batch: batch_no, idx, size: *size })
+                });
+            }
+            sent_per_dest[*dest] += count;
+            sim.run_for(SimDuration::from_micros(case.gap_us));
+        }
+        sim.run_until_idle();
+
+        let one_way = SimDuration::from_millis_f64(case.rtt_ms as f64 / 2.0);
+        for dest in 1..case.n {
+            let got = &sim.actor(dest).got;
+            // Conservation: everything sent arrives, exactly once.
+            prop_assert_eq!(got.len() as u64, sent_per_dest[dest]);
+            // FIFO per link: (batch, idx) arrive in send order.
+            for w in got.windows(2) {
+                prop_assert!((w[0].1, w[0].2) < (w[1].1, w[1].2), "FIFO violated at {dest}");
+            }
+            // Latency lower bound: nothing beats the propagation delay.
+            for (t, batch, _) in got {
+                let _ = batch;
+                prop_assert!(t.as_nanos() >= one_way.as_nanos());
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_never_exceeds_configured_bandwidth(
+        mbit in 1u64..500,
+        count in 2u64..200,
+        size in 64usize..8192,
+    ) {
+        let mut net = NetTopology::new(&["a", "b"]);
+        net.set_symmetric(0, 1, LinkSpec::from_rtt_mbit(1.0, mbit as f64));
+        let mut sim = Simulation::new(net, vec![Sink::default(), Sink::default()], 1);
+        sim.with_ctx(0, |_, ctx| {
+            for idx in 0..count {
+                ctx.send(1, Tagged { from_batch: 0, idx, size });
+            }
+        });
+        sim.run_until_idle();
+        let got = &sim.actor(1).got;
+        prop_assert_eq!(got.len() as u64, count);
+        let last = got.last().unwrap().0;
+        // Achieved goodput cannot exceed the configured line rate.
+        let bits = (count * size as u64 * 8) as f64;
+        let achieved = bits / last.as_secs_f64() / 1e6;
+        prop_assert!(achieved <= mbit as f64 * 1.001, "achieved {achieved} > configured {mbit}");
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically(case in arb_case()) {
+        let run = |seed: u64| {
+            let net = NetTopology::full_mesh(case.n, SimDuration::from_millis(case.rtt_ms / 2 + 1), 1e9);
+            let actors = (0..case.n).map(|_| Sink::default()).collect();
+            let mut sim = Simulation::new(net, actors, seed);
+            for (batch_no, (dest, count, size)) in case.batches.iter().enumerate() {
+                for idx in 0..*count {
+                    sim.with_ctx(0, |_, ctx| {
+                        ctx.send(*dest, Tagged { from_batch: batch_no, idx, size: *size })
+                    });
+                }
+            }
+            sim.run_until_idle();
+            (1..case.n).map(|i| sim.actor(i).got.clone()).collect::<Vec<_>>()
+        };
+        let a: Vec<Vec<(SimTime, usize, u64)>> = run(7);
+        let b = run(7);
+        prop_assert_eq!(a, b);
+    }
+}

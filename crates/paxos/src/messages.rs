@@ -1,0 +1,158 @@
+//! Paxos message types and wire-size model.
+
+use stabilizer_netsim::MsgSize;
+
+/// A ballot number: `(round, proposer)` ordered lexicographically so
+/// every proposer owns an unbounded, disjoint ballot sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ballot {
+    /// Monotonic round counter.
+    pub round: u64,
+    /// Proposer node index (tie breaker).
+    pub node: u16,
+}
+
+impl Ballot {
+    /// The null ballot, smaller than any real one.
+    pub const ZERO: Ballot = Ballot { round: 0, node: 0 };
+
+    /// The next ballot owned by `node` that exceeds `self`.
+    pub fn next_for(self, node: u16) -> Ballot {
+        Ballot {
+            round: self.round + 1,
+            node,
+        }
+    }
+}
+
+/// A proposed value. Payload content is irrelevant to the protocol and
+/// the network model; only identity and size matter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value {
+    /// Unique id (0 is the no-op used for gap filling).
+    pub id: u64,
+    /// Payload size in bytes.
+    pub size: usize,
+}
+
+impl Value {
+    /// The gap-filling no-op.
+    pub const NOOP: Value = Value { id: 0, size: 0 };
+
+    /// True if this is the no-op.
+    pub fn is_noop(&self) -> bool {
+        self.id == 0
+    }
+}
+
+/// The messages of multi-Paxos.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaxosMsg {
+    /// Phase 1a: leader candidate solicits promises.
+    Prepare {
+        /// The candidate's ballot.
+        ballot: Ballot,
+    },
+    /// Phase 1b: acceptor promises not to accept lower ballots and
+    /// reports everything it has accepted so far (for value recovery).
+    Promise {
+        /// The ballot being promised.
+        ballot: Ballot,
+        /// Previously accepted `(slot, ballot, value)` triples.
+        accepted: Vec<(u64, Ballot, Value)>,
+    },
+    /// Phase 2a: leader asks acceptors to accept `value` at `slot`.
+    Accept {
+        /// The leader's ballot.
+        ballot: Ballot,
+        /// Log position.
+        slot: u64,
+        /// Proposed value.
+        value: Value,
+    },
+    /// Phase 2b: acceptor accepted.
+    Accepted {
+        /// Echoed ballot.
+        ballot: Ballot,
+        /// Echoed slot.
+        slot: u64,
+    },
+    /// Rejection: the acceptor has promised `promised > ballot`.
+    Nack {
+        /// The rejected ballot.
+        ballot: Ballot,
+        /// The higher promise that caused the rejection.
+        promised: Ballot,
+    },
+    /// Commit notification to learners.
+    Learn {
+        /// Decided slot.
+        slot: u64,
+        /// Decided value.
+        value: Value,
+    },
+}
+
+impl MsgSize for PaxosMsg {
+    fn wire_size(&self) -> usize {
+        const HDR: usize = 64;
+        match self {
+            PaxosMsg::Prepare { .. } | PaxosMsg::Accepted { .. } | PaxosMsg::Nack { .. } => HDR,
+            PaxosMsg::Promise { accepted, .. } => HDR + accepted.len() * 32,
+            // Accept and Learn carry the payload.
+            PaxosMsg::Accept { value, .. } | PaxosMsg::Learn { value, .. } => HDR + value.size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballots_order_by_round_then_node() {
+        let a = Ballot { round: 1, node: 5 };
+        let b = Ballot { round: 2, node: 0 };
+        assert!(a < b);
+        assert!(Ballot::ZERO < a);
+        let c = a.next_for(2);
+        assert!(c > a);
+        assert_eq!(c, Ballot { round: 2, node: 2 });
+        assert!(Ballot { round: 1, node: 1 } < Ballot { round: 1, node: 2 });
+    }
+
+    #[test]
+    fn value_sizes_drive_wire_size() {
+        let v = Value { id: 7, size: 8192 };
+        assert_eq!(
+            PaxosMsg::Accept {
+                ballot: Ballot::ZERO,
+                slot: 1,
+                value: v
+            }
+            .wire_size(),
+            64 + 8192
+        );
+        assert_eq!(
+            PaxosMsg::Prepare {
+                ballot: Ballot::ZERO
+            }
+            .wire_size(),
+            64
+        );
+        assert_eq!(
+            PaxosMsg::Promise {
+                ballot: Ballot::ZERO,
+                accepted: vec![(1, Ballot::ZERO, v); 3]
+            }
+            .wire_size(),
+            64 + 96
+        );
+    }
+
+    #[test]
+    fn noop_identification() {
+        assert!(Value::NOOP.is_noop());
+        assert!(!Value { id: 3, size: 0 }.is_noop());
+    }
+}

@@ -1,0 +1,518 @@
+//! The combined proposer/acceptor/learner node.
+
+use crate::messages::{Ballot, PaxosMsg, Value};
+use stabilizer_netsim::{Actor, Ctx, NetTopology, SimDuration, SimTime, Simulation};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+const TAG_RETRY_PREPARE: u64 = 1;
+
+/// One Paxos participant. Every node is acceptor and learner; any node
+/// can campaign for leadership with [`PaxosNode::start_leadership_in`].
+pub struct PaxosNode {
+    me: u16,
+    n: usize,
+    // --- Acceptor state ---
+    promised: Ballot,
+    accepted: BTreeMap<u64, (Ballot, Value)>,
+    // --- Leader/proposer state ---
+    ballot: Ballot,
+    preparing: bool,
+    prepared: bool,
+    promises: HashSet<u16>,
+    recovered: BTreeMap<u64, (Ballot, Value)>,
+    next_slot: u64,
+    queue: Vec<Value>,
+    accept_votes: HashMap<u64, HashSet<u16>>,
+    in_flight: HashMap<u64, Value>,
+    next_value_id: u64,
+    // --- Learner state ---
+    /// Committed log: slot -> value.
+    pub log: BTreeMap<u64, Value>,
+    /// When each slot committed at this node (leader: on majority
+    /// Accepted; others: on Learn).
+    pub commit_times: BTreeMap<u64, SimTime>,
+    /// When each value id was first proposed (for latency measurement).
+    pub proposed_at: HashMap<u64, SimTime>,
+}
+
+impl PaxosNode {
+    /// Node `me` of an `n`-node ensemble.
+    pub fn new(me: u16, n: usize) -> Self {
+        PaxosNode {
+            me,
+            n,
+            promised: Ballot::ZERO,
+            accepted: BTreeMap::new(),
+            ballot: Ballot::ZERO,
+            preparing: false,
+            prepared: false,
+            promises: HashSet::new(),
+            recovered: BTreeMap::new(),
+            next_slot: 1,
+            queue: Vec::new(),
+            accept_votes: HashMap::new(),
+            in_flight: HashMap::new(),
+            next_value_id: 1,
+            log: BTreeMap::new(),
+            commit_times: BTreeMap::new(),
+            proposed_at: HashMap::new(),
+        }
+    }
+
+    fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Campaign for leadership: run phase 1 with a ballot above anything
+    /// seen so far.
+    pub fn start_leadership_in(&mut self, ctx: &mut Ctx<'_, PaxosMsg>) {
+        self.ballot = self.promised.max(self.ballot).next_for(self.me);
+        self.preparing = true;
+        self.prepared = false;
+        self.promises.clear();
+        self.recovered.clear();
+        let ballot = self.ballot;
+        self.broadcast_and_self(ctx, PaxosMsg::Prepare { ballot });
+    }
+
+    /// Propose a client value of `size` bytes; returns its value id. If
+    /// this node is not yet a prepared leader, it campaigns first and the
+    /// value is queued.
+    pub fn propose_in(&mut self, ctx: &mut Ctx<'_, PaxosMsg>, size: usize) -> u64 {
+        let id = (self.me as u64) << 48 | self.next_value_id;
+        self.next_value_id += 1;
+        let value = Value { id, size };
+        self.proposed_at.insert(id, ctx.now());
+        if self.prepared {
+            self.send_accept(ctx, value);
+        } else {
+            self.queue.push(value);
+            if !self.preparing {
+                self.start_leadership_in(ctx);
+            }
+        }
+        id
+    }
+
+    /// Commit time of the value with `id`, if this node learned it.
+    pub fn commit_time_of(&self, id: u64) -> Option<SimTime> {
+        let (slot, _) = self.log.iter().find(|(_, v)| v.id == id)?;
+        self.commit_times.get(slot).copied()
+    }
+
+    /// True if this node currently believes it is the prepared leader.
+    pub fn is_leader(&self) -> bool {
+        self.prepared
+    }
+
+    /// Highest contiguous committed slot (commit point).
+    pub fn commit_point(&self) -> u64 {
+        let mut p = 0;
+        while self.log.contains_key(&(p + 1)) {
+            p += 1;
+        }
+        p
+    }
+
+    fn send_accept(&mut self, ctx: &mut Ctx<'_, PaxosMsg>, value: Value) {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.in_flight.insert(slot, value);
+        self.accept_votes.insert(slot, HashSet::new());
+        let ballot = self.ballot;
+        self.broadcast_and_self(
+            ctx,
+            PaxosMsg::Accept {
+                ballot,
+                slot,
+                value,
+            },
+        );
+    }
+
+    fn broadcast_and_self(&mut self, ctx: &mut Ctx<'_, PaxosMsg>, msg: PaxosMsg) {
+        for peer in 0..self.n {
+            if peer != self.me as usize {
+                ctx.send(peer, msg.clone());
+            }
+        }
+        // Loopback: the proposer is also an acceptor.
+        ctx.send(ctx.me(), msg);
+    }
+
+    fn on_prepare(&mut self, ctx: &mut Ctx<'_, PaxosMsg>, from: usize, ballot: Ballot) {
+        if ballot > self.promised {
+            self.promised = ballot;
+            // Losing leadership: a higher ballot exists.
+            if ballot.node != self.me {
+                self.prepared = false;
+                self.preparing = false;
+            }
+            let accepted: Vec<(u64, Ballot, Value)> = self
+                .accepted
+                .iter()
+                .map(|(s, (b, v))| (*s, *b, *v))
+                .collect();
+            ctx.send(from, PaxosMsg::Promise { ballot, accepted });
+        } else {
+            ctx.send(
+                from,
+                PaxosMsg::Nack {
+                    ballot,
+                    promised: self.promised,
+                },
+            );
+        }
+    }
+
+    fn on_promise(
+        &mut self,
+        ctx: &mut Ctx<'_, PaxosMsg>,
+        from: usize,
+        ballot: Ballot,
+        accepted: Vec<(u64, Ballot, Value)>,
+    ) {
+        if !self.preparing || ballot != self.ballot {
+            return; // stale
+        }
+        self.promises.insert(from as u16);
+        for (slot, b, v) in accepted {
+            let replace = self
+                .recovered
+                .get(&slot)
+                .map(|(rb, _)| b > *rb)
+                .unwrap_or(true);
+            if replace {
+                self.recovered.insert(slot, (b, v));
+            }
+        }
+        if self.promises.len() >= self.majority() {
+            self.preparing = false;
+            self.prepared = true;
+            // Value recovery: re-propose the highest-ballot accepted value
+            // for every slot reported, and fill gaps below with no-ops.
+            let max_slot = self.recovered.keys().max().copied().unwrap_or(0);
+            let recovered = std::mem::take(&mut self.recovered);
+            for slot in 1..=max_slot {
+                if self.log.contains_key(&slot) {
+                    continue; // already learned
+                }
+                let value = recovered.get(&slot).map(|(_, v)| *v).unwrap_or(Value::NOOP);
+                self.in_flight.insert(slot, value);
+                self.accept_votes.insert(slot, HashSet::new());
+                let b = self.ballot;
+                self.broadcast_and_self(
+                    ctx,
+                    PaxosMsg::Accept {
+                        ballot: b,
+                        slot,
+                        value,
+                    },
+                );
+            }
+            self.next_slot = self.next_slot.max(max_slot + 1);
+            // Drain queued client proposals.
+            for value in std::mem::take(&mut self.queue) {
+                self.send_accept(ctx, value);
+            }
+        }
+    }
+
+    fn on_accept(
+        &mut self,
+        ctx: &mut Ctx<'_, PaxosMsg>,
+        from: usize,
+        ballot: Ballot,
+        slot: u64,
+        value: Value,
+    ) {
+        if ballot >= self.promised {
+            self.promised = ballot;
+            if ballot.node != self.me {
+                self.prepared = false;
+                self.preparing = false;
+            }
+            self.accepted.insert(slot, (ballot, value));
+            ctx.send(from, PaxosMsg::Accepted { ballot, slot });
+        } else {
+            ctx.send(
+                from,
+                PaxosMsg::Nack {
+                    ballot,
+                    promised: self.promised,
+                },
+            );
+        }
+    }
+
+    fn on_accepted(&mut self, ctx: &mut Ctx<'_, PaxosMsg>, from: usize, ballot: Ballot, slot: u64) {
+        if ballot != self.ballot || !self.in_flight.contains_key(&slot) {
+            return; // stale
+        }
+        let Some(votes) = self.accept_votes.get_mut(&slot) else {
+            return;
+        };
+        votes.insert(from as u16);
+        if votes.len() >= self.majority() {
+            let value = self.in_flight.remove(&slot).expect("in flight");
+            self.accept_votes.remove(&slot);
+            self.learn(ctx.now(), slot, value);
+            let msg = PaxosMsg::Learn { slot, value };
+            for peer in 0..self.n {
+                if peer != self.me as usize {
+                    ctx.send(peer, msg.clone());
+                }
+            }
+        }
+    }
+
+    fn on_nack(&mut self, ctx: &mut Ctx<'_, PaxosMsg>, promised: Ballot) {
+        if promised <= self.ballot {
+            return; // stale
+        }
+        // Preempted: back off and retry phase 1 with a higher ballot,
+        // re-queueing in-flight proposals.
+        self.prepared = false;
+        self.preparing = false;
+        self.ballot = promised;
+        for (_, value) in std::mem::take(&mut self.in_flight) {
+            if !value.is_noop() {
+                self.queue.push(value);
+            }
+        }
+        self.accept_votes.clear();
+        if !self.queue.is_empty() {
+            let jitter = 1 + (self.me as u64) * 7;
+            ctx.set_timer(SimDuration::from_millis(jitter), TAG_RETRY_PREPARE);
+        }
+    }
+
+    fn learn(&mut self, now: SimTime, slot: u64, value: Value) {
+        if let Some(existing) = self.log.get(&slot) {
+            assert_eq!(
+                existing.id, value.id,
+                "SAFETY VIOLATION: slot {slot} relearned differently"
+            );
+            return;
+        }
+        self.log.insert(slot, value);
+        self.commit_times.insert(slot, now);
+    }
+}
+
+impl Actor for PaxosNode {
+    type Msg = PaxosMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, PaxosMsg>, from: usize, msg: PaxosMsg) {
+        match msg {
+            PaxosMsg::Prepare { ballot } => self.on_prepare(ctx, from, ballot),
+            PaxosMsg::Promise { ballot, accepted } => self.on_promise(ctx, from, ballot, accepted),
+            PaxosMsg::Accept {
+                ballot,
+                slot,
+                value,
+            } => self.on_accept(ctx, from, ballot, slot, value),
+            PaxosMsg::Accepted { ballot, slot } => self.on_accepted(ctx, from, ballot, slot),
+            PaxosMsg::Nack { promised, .. } => self.on_nack(ctx, promised),
+            PaxosMsg::Learn { slot, value } => self.learn(ctx.now(), slot, value),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, PaxosMsg>, _t: stabilizer_netsim::TimerId, tag: u64) {
+        if tag == TAG_RETRY_PREPARE && !self.prepared && !self.preparing {
+            self.start_leadership_in(ctx);
+        }
+    }
+}
+
+/// Build an `n`-node Paxos ensemble over `net`.
+///
+/// # Panics
+///
+/// Panics if `net` is empty.
+pub fn build_paxos(net: NetTopology, seed: u64) -> Simulation<PaxosNode> {
+    let n = net.len();
+    assert!(n > 0);
+    let nodes = (0..n).map(|i| PaxosNode::new(i as u16, n)).collect();
+    Simulation::new(net, nodes, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(n: usize) -> NetTopology {
+        NetTopology::full_mesh(n, SimDuration::from_millis(10), 1e9)
+    }
+
+    #[test]
+    fn single_leader_commits_values_in_order() {
+        let mut sim = build_paxos(mesh(5), 1);
+        let ids: Vec<u64> = (0..5)
+            .map(|_| sim.with_ctx(0, |p, ctx| p.propose_in(ctx, 1024)))
+            .collect();
+        sim.run_until_idle();
+        let leader = sim.actor(0);
+        assert!(leader.is_leader());
+        assert_eq!(leader.commit_point(), 5);
+        for (slot, id) in ids.iter().enumerate() {
+            assert_eq!(leader.log.get(&(slot as u64 + 1)).unwrap().id, *id);
+        }
+        // Everyone learned the same log.
+        for i in 1..5 {
+            assert_eq!(sim.actor(i).log, leader.log);
+        }
+    }
+
+    #[test]
+    fn commit_latency_is_one_round_trip_after_prepare() {
+        let mut sim = build_paxos(mesh(5), 2);
+        // Prepare once up front.
+        sim.with_ctx(0, |p, ctx| p.start_leadership_in(ctx));
+        sim.run_until_idle();
+        let id = sim.with_ctx(0, |p, ctx| p.propose_in(ctx, 100));
+        let t0 = sim.now();
+        sim.run_until_idle();
+        let dt = sim.actor(0).commit_time_of(id).unwrap().since(t0);
+        // Accept out (10ms) + Accepted back (10ms) = 20ms.
+        assert!(
+            (19.0..22.0).contains(&dt.as_millis_f64()),
+            "commit took {dt}"
+        );
+    }
+
+    #[test]
+    fn dueling_proposers_preserve_agreement() {
+        let mut sim = build_paxos(mesh(5), 3);
+        sim.with_ctx(0, |p, ctx| {
+            p.propose_in(ctx, 10);
+        });
+        sim.with_ctx(4, |p, ctx| {
+            p.propose_in(ctx, 10);
+        });
+        sim.run_until_idle();
+        // Both values commit somewhere, and all logs agree slot by slot.
+        let reference = sim.actor(0).log.clone();
+        assert!(!reference.is_empty());
+        for i in 1..5 {
+            for (slot, v) in &sim.actor(i).log {
+                assert_eq!(
+                    reference.get(slot).map(|r| r.id),
+                    Some(v.id),
+                    "slot {slot} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leader_failover_recovers_accepted_values() {
+        let mut sim = build_paxos(mesh(5), 4);
+        sim.with_ctx(0, |p, ctx| p.start_leadership_in(ctx));
+        sim.run_until_idle();
+        let id = sim.with_ctx(0, |p, ctx| p.propose_in(ctx, 64));
+        // Let the Accept reach acceptors but cut the leader off before it
+        // can learn/broadcast the commit.
+        sim.run_for(SimDuration::from_millis(10));
+        for i in 1..5 {
+            sim.set_link_up(0, i, false);
+            sim.set_link_up(i, 0, false);
+        }
+        sim.run_until_idle();
+        // New leader recovers the accepted value.
+        sim.with_ctx(1, |p, ctx| p.start_leadership_in(ctx));
+        sim.run_until_idle();
+        let new_leader = sim.actor(1);
+        assert!(new_leader.is_leader());
+        assert!(
+            new_leader.log.values().any(|v| v.id == id),
+            "accepted value lost on failover: log {:?}",
+            new_leader.log
+        );
+    }
+
+    #[test]
+    fn three_node_minimum_ensemble_works() {
+        let mut sim = build_paxos(mesh(3), 5);
+        let id = sim.with_ctx(2, |p, ctx| p.propose_in(ctx, 8192));
+        sim.run_until_idle();
+        assert!(sim.actor(2).commit_time_of(id).is_some());
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use crate::messages::{Ballot, PaxosMsg, Value};
+
+    fn mesh(n: usize) -> NetTopology {
+        NetTopology::full_mesh(n, SimDuration::from_millis(5), 1e9)
+    }
+
+    #[test]
+    fn promise_recovery_prefers_the_highest_ballot_value() {
+        // Hand-craft divergent acceptor states: slot 1 was accepted under
+        // two different ballots at different acceptors; a new leader must
+        // re-propose the higher-ballot value.
+        let mut sim = build_paxos(mesh(3), 9);
+        let low = Value { id: 111, size: 8 };
+        let high = Value { id: 222, size: 8 };
+        sim.with_ctx(1, |p, ctx| {
+            p.on_message(
+                ctx,
+                0,
+                PaxosMsg::Accept {
+                    ballot: Ballot { round: 1, node: 0 },
+                    slot: 1,
+                    value: low,
+                },
+            );
+        });
+        sim.with_ctx(2, |p, ctx| {
+            p.on_message(
+                ctx,
+                0,
+                PaxosMsg::Accept {
+                    ballot: Ballot { round: 2, node: 0 },
+                    slot: 1,
+                    value: high,
+                },
+            );
+        });
+        // Discard the Accepted replies heading to node 0.
+        sim.set_link_up(1, 0, false);
+        sim.set_link_up(2, 0, false);
+        sim.run_until_idle();
+        sim.set_link_up(1, 0, true);
+        sim.set_link_up(2, 0, true);
+        // Keep node 0 out of the promise quorum so node 1's majority is
+        // {1, 2}: Paxos then must re-propose node 2's higher-ballot value
+        // (a quorum of {0, 1} would legitimately choose 111 instead,
+        // since neither value was chosen by a full accept quorum).
+        sim.set_link_up(0, 1, false);
+        sim.with_ctx(1, |p, ctx| p.start_leadership_in(ctx));
+        sim.run_until_idle();
+        assert_eq!(sim.actor(1).log.get(&1).map(|v| v.id), Some(222));
+    }
+
+    #[test]
+    fn preempted_proposer_retries_and_its_value_still_commits() {
+        let mut sim = build_paxos(mesh(5), 10);
+        // Node 4 grabs a high ballot first.
+        sim.with_ctx(4, |p, ctx| p.start_leadership_in(ctx));
+        sim.run_until_idle();
+        // Node 0 proposes with a stale ballot; it gets NACKed, backs off,
+        // re-prepares with a higher ballot, and the value commits.
+        let id = sim.with_ctx(0, |p, ctx| p.propose_in(ctx, 32));
+        sim.run_until_idle();
+        let committed_somewhere = (0..5).any(|i| sim.actor(i).log.values().any(|v| v.id == id));
+        assert!(committed_somewhere, "preempted value lost");
+        // Agreement still holds everywhere.
+        let reference = sim.actor(0).log.clone();
+        for i in 1..5 {
+            for (slot, v) in &sim.actor(i).log {
+                assert_eq!(reference.get(slot).map(|r| r.id), Some(v.id));
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for Paxos safety under randomized conditions:
+//! agreement (no two nodes learn different values for a slot) and
+//! stability (a learned value never changes) must hold for arbitrary
+//! link latencies, proposer sets, partitions, and value sizes.
+
+use proptest::prelude::*;
+use stabilizer_netsim::{LinkSpec, NetTopology, SimDuration};
+use stabilizer_paxos::build_paxos;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    lat_ms: Vec<u64>,
+    proposers: Vec<usize>,
+    proposals_each: usize,
+    cut: Option<(usize, usize)>,
+    seed: u64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (3usize..=7).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(1u64..50, n),
+            proptest::collection::vec(0..n, 1..=3),
+            1usize..=3,
+            proptest::option::of((0..n, 0..n)),
+            0u64..10_000,
+        )
+            .prop_map(
+                move |(lat_ms, proposers, proposals_each, cut, seed)| Scenario {
+                    n,
+                    lat_ms,
+                    proposers,
+                    proposals_each,
+                    cut,
+                    seed,
+                },
+            )
+    })
+}
+
+fn topology(lat_ms: &[u64]) -> NetTopology {
+    let n = lat_ms.len();
+    let names: Vec<String> = (0..n).map(|i| format!("p{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut t = NetTopology::new(&refs);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            t.set_symmetric(
+                i,
+                j,
+                LinkSpec::from_rtt_mbit((lat_ms[i] + lat_ms[j]) as f64, 300.0),
+            );
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn agreement_holds_under_contention_and_partitions(s in arb_scenario()) {
+        let mut sim = build_paxos(topology(&s.lat_ms), s.seed);
+        // Optionally cut one directed link for the whole run (a minority
+        // partition cannot block a majority).
+        if let Some((a, b)) = s.cut {
+            if a != b {
+                sim.set_link_up(a, b, false);
+            }
+        }
+        for &p in &s.proposers {
+            for _ in 0..s.proposals_each {
+                sim.with_ctx(p, |node, ctx| { node.propose_in(ctx, 512); });
+            }
+        }
+        // Bound the run: contention with a cut link can retry a few times.
+        sim.run_until(stabilizer_netsim::SimTime::ZERO + SimDuration::from_secs(120));
+
+        // Agreement: for every slot, all learners agree.
+        for slot in 1..=64u64 {
+            let mut learned: Option<u64> = None;
+            for i in 0..s.n {
+                if let Some(v) = sim.actor(i).log.get(&slot) {
+                    match learned {
+                        None => learned = Some(v.id),
+                        Some(prev) => prop_assert_eq!(prev, v.id, "slot {} diverged", slot),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logs_are_gapless_prefixes_at_the_leader(s in arb_scenario()) {
+        // Single proposer, no partition: the leader's log must be a
+        // gapless prefix containing every proposal exactly once.
+        let mut sim = build_paxos(topology(&s.lat_ms), s.seed);
+        let p = s.proposers[0];
+        let mut ids = Vec::new();
+        for _ in 0..s.proposals_each {
+            ids.push(sim.with_ctx(p, |node, ctx| node.propose_in(ctx, 128)));
+        }
+        sim.run_until_idle();
+        let leader = sim.actor(p);
+        prop_assert_eq!(leader.commit_point() as usize, s.proposals_each);
+        for id in ids {
+            prop_assert!(leader.log.values().filter(|v| v.id == id).count() == 1);
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Multi-topic pub/sub — the extension the paper defers ("like support
+//! for multiple topics, persistence would be easy to introduce").
+//!
+//! Topics ride on the same Stabilizer streams: every broker publishes
+//! `Publish`/`Subscribe`/`Unsubscribe` records on its own stream, and
+//! since every broker mirrors every stream, subscription state converges
+//! everywhere without a separate membership protocol. A publishing
+//! broker maintains, per topic, a stability predicate over exactly the
+//! sites that currently have subscribers (the "active broker list" of
+//! §V-B), rebuilding it with `change_predicate` as subscriptions come
+//! and go — the mechanism behind the Fig. 8 experiment, generalized to
+//! per-topic granularity.
+
+use bytes::Bytes;
+use stabilizer_core::{Action, ClusterConfig, CoreError, NodeId, SeqNo, StabilizerNode, WireMsg};
+use stabilizer_dsl::AckTypeRegistry;
+use stabilizer_netsim::{Actor, Ctx, NetTopology, SimTime, Simulation, TimerId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Records carried in broker stream messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopicRecord {
+    /// A message of `topic`.
+    Publish {
+        /// Topic name.
+        topic: String,
+        /// Payload.
+        body: Bytes,
+    },
+    /// The sending broker gained its first local subscriber of `topic`.
+    Subscribe {
+        /// Topic name.
+        topic: String,
+    },
+    /// The sending broker lost its last local subscriber of `topic`.
+    Unsubscribe {
+        /// Topic name.
+        topic: String,
+    },
+}
+
+impl TopicRecord {
+    const TAG_PUBLISH: u8 = 0;
+    const TAG_SUBSCRIBE: u8 = 1;
+    const TAG_UNSUBSCRIBE: u8 = 2;
+
+    /// Serialize for the data plane.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut out = Vec::new();
+        let (tag, topic, body) = match self {
+            TopicRecord::Publish { topic, body } => (Self::TAG_PUBLISH, topic, Some(body)),
+            TopicRecord::Subscribe { topic } => (Self::TAG_SUBSCRIBE, topic, None),
+            TopicRecord::Unsubscribe { topic } => (Self::TAG_UNSUBSCRIBE, topic, None),
+        };
+        out.push(tag);
+        out.extend_from_slice(&(topic.len() as u16).to_le_bytes());
+        out.extend_from_slice(topic.as_bytes());
+        if let Some(body) = body {
+            out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            out.extend_from_slice(body);
+        }
+        Bytes::from(out)
+    }
+
+    /// Deserialize a record produced by [`TopicRecord::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<TopicRecord, CoreError> {
+        let fail = |m: &str| CoreError::Wire(format!("topic record: {m}"));
+        let tag = *buf.first().ok_or_else(|| fail("empty"))?;
+        if buf.len() < 3 {
+            return Err(fail("truncated"));
+        }
+        let tlen = u16::from_le_bytes(buf[1..3].try_into().unwrap()) as usize;
+        if buf.len() < 3 + tlen {
+            return Err(fail("truncated topic"));
+        }
+        let topic = std::str::from_utf8(&buf[3..3 + tlen])
+            .map_err(|_| fail("topic not UTF-8"))?
+            .to_owned();
+        let rest = &buf[3 + tlen..];
+        match tag {
+            Self::TAG_PUBLISH => {
+                if rest.len() < 4 {
+                    return Err(fail("truncated body length"));
+                }
+                let blen = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+                if rest.len() != 4 + blen {
+                    return Err(fail("body length mismatch"));
+                }
+                Ok(TopicRecord::Publish {
+                    topic,
+                    body: Bytes::copy_from_slice(&rest[4..]),
+                })
+            }
+            Self::TAG_SUBSCRIBE if rest.is_empty() => Ok(TopicRecord::Subscribe { topic }),
+            Self::TAG_UNSUBSCRIBE if rest.is_empty() => Ok(TopicRecord::Unsubscribe { topic }),
+            Self::TAG_SUBSCRIBE | Self::TAG_UNSUBSCRIBE => Err(fail("trailing bytes")),
+            _ => Err(fail("unknown tag")),
+        }
+    }
+}
+
+/// A multi-topic broker in the simulator.
+pub struct TopicBroker {
+    node: StabilizerNode,
+    /// Topics with local subscribers.
+    local_subs: BTreeSet<String>,
+    /// Global subscription map: topic -> subscribed sites (converges via
+    /// mirrored streams).
+    remote_subs: BTreeMap<String, BTreeSet<NodeId>>,
+    /// Messages delivered to local subscribers: `(time, topic, body len)`.
+    pub deliveries: Vec<(SimTime, String, usize)>,
+    /// Frontier log of per-topic tracking predicates.
+    pub frontier_log: Vec<(SimTime, String, SeqNo)>,
+    /// Send time per own-stream seq (1-based).
+    pub send_times: Vec<SimTime>,
+    /// Retained messages for replay to late subscribers (newest last),
+    /// capped at [`TopicBroker::retain_limit`].
+    retained: Vec<(String, Bytes)>,
+    retain_limit: usize,
+}
+
+impl TopicBroker {
+    /// Build broker `me`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn new(
+        cfg: ClusterConfig,
+        me: NodeId,
+        acks: Arc<AckTypeRegistry>,
+    ) -> Result<Self, CoreError> {
+        Ok(TopicBroker {
+            node: StabilizerNode::new(cfg, me, acks)?,
+            local_subs: BTreeSet::new(),
+            remote_subs: BTreeMap::new(),
+            deliveries: Vec::new(),
+            frontier_log: Vec::new(),
+            send_times: Vec::new(),
+            retained: Vec::new(),
+            retain_limit: 10_000,
+        })
+    }
+
+    /// Cap the per-broker message-retention buffer used by
+    /// [`TopicBroker::subscribe_with_replay_in`] (default 10,000).
+    pub fn set_retain_limit(&mut self, limit: usize) {
+        self.retain_limit = limit;
+        let len = self.retained.len();
+        if len > limit {
+            self.retained.drain(0..len - limit);
+        }
+    }
+
+    /// Subscribe and immediately replay every retained message of
+    /// `topic` into the delivery log — the "persistence" extension the
+    /// paper defers: late subscribers catch up from the broker's
+    /// retained mirror rather than missing history.
+    ///
+    /// # Errors
+    ///
+    /// Data-plane errors while announcing.
+    pub fn subscribe_with_replay_in(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg>,
+        topic: &str,
+    ) -> Result<usize, CoreError> {
+        self.subscribe_in(ctx, topic)?;
+        let mut replayed = 0;
+        let now = ctx.now();
+        let matches: Vec<usize> = self
+            .retained
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, _))| t == topic)
+            .map(|(i, _)| i)
+            .collect();
+        for i in matches {
+            let (t, body) = &self.retained[i];
+            self.deliveries.push((now, t.clone(), body.len()));
+            replayed += 1;
+        }
+        Ok(replayed)
+    }
+
+    /// Publish `body` on `topic`. The returned sequence number can be
+    /// waited on via the topic's tracking predicate.
+    ///
+    /// # Errors
+    ///
+    /// Data-plane errors.
+    pub fn publish_in(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg>,
+        topic: &str,
+        body: Bytes,
+    ) -> Result<SeqNo, CoreError> {
+        let rec = TopicRecord::Publish {
+            topic: topic.to_owned(),
+            body,
+        };
+        let seq = self.node.publish(rec.to_bytes())?;
+        self.send_times.push(ctx.now());
+        self.drain(ctx);
+        Ok(seq)
+    }
+
+    /// Subscribe locally to `topic`; announces to all brokers when this
+    /// is the first local subscriber.
+    ///
+    /// # Errors
+    ///
+    /// Data-plane errors while announcing.
+    pub fn subscribe_in(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg>,
+        topic: &str,
+    ) -> Result<(), CoreError> {
+        if self.local_subs.insert(topic.to_owned()) {
+            let me = self.node.me();
+            self.remote_subs
+                .entry(topic.to_owned())
+                .or_default()
+                .insert(me);
+            self.node.publish(
+                TopicRecord::Subscribe {
+                    topic: topic.to_owned(),
+                }
+                .to_bytes(),
+            )?;
+            self.send_times.push(ctx.now());
+            self.refresh_predicate(topic);
+            self.drain(ctx);
+        }
+        Ok(())
+    }
+
+    /// Drop the local subscription to `topic`.
+    ///
+    /// # Errors
+    ///
+    /// Data-plane errors while announcing.
+    pub fn unsubscribe_in(
+        &mut self,
+        ctx: &mut Ctx<'_, WireMsg>,
+        topic: &str,
+    ) -> Result<(), CoreError> {
+        if self.local_subs.remove(topic) {
+            let me = self.node.me();
+            self.remote_subs
+                .entry(topic.to_owned())
+                .or_default()
+                .remove(&me);
+            self.node.publish(
+                TopicRecord::Unsubscribe {
+                    topic: topic.to_owned(),
+                }
+                .to_bytes(),
+            )?;
+            self.send_times.push(ctx.now());
+            self.refresh_predicate(topic);
+            self.drain(ctx);
+        }
+        Ok(())
+    }
+
+    /// Sites currently known to subscribe to `topic`.
+    pub fn subscribers(&self, topic: &str) -> Vec<NodeId> {
+        self.remote_subs
+            .get(topic)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Current frontier of the topic's tracking predicate ("every
+    /// subscribed site received it"), if anyone subscribes.
+    pub fn topic_frontier(&self, topic: &str) -> Option<SeqNo> {
+        self.node
+            .stability_frontier(self.node.me(), &Self::key(topic))
+            .map(|(s, _)| s)
+    }
+
+    /// The embedded Stabilizer node.
+    pub fn stabilizer(&self) -> &StabilizerNode {
+        &self.node
+    }
+
+    fn key(topic: &str) -> String {
+        format!("topic:{topic}")
+    }
+
+    /// Rebuild the tracking predicate for `topic` from the current
+    /// remote-subscriber set (§V-B's dynamically managed predicate).
+    fn refresh_predicate(&mut self, topic: &str) {
+        let me = self.node.me();
+        let subs: Vec<NodeId> = self
+            .remote_subs
+            .get(topic)
+            .map(|s| s.iter().copied().filter(|n| *n != me).collect())
+            .unwrap_or_default();
+        let key = Self::key(topic);
+        if subs.is_empty() {
+            self.node.unregister_predicate(me, &key);
+            return;
+        }
+        let operands: Vec<String> = subs.iter().map(|n| format!("${}", n.0 + 1)).collect();
+        let source = format!("MIN({})", operands.join(", "));
+        let existing = self.node.stability_frontier(me, &key).is_some();
+        let result = if existing {
+            self.node.change_predicate(me, &key, &source)
+        } else {
+            self.node.register_predicate(me, &key, &source)
+        };
+        debug_assert!(result.is_ok(), "generated predicate must compile: {source}");
+    }
+
+    fn apply_record(&mut self, now: SimTime, origin: NodeId, payload: &Bytes) {
+        match TopicRecord::decode(payload) {
+            Ok(TopicRecord::Publish { topic, body }) => {
+                if self.local_subs.contains(&topic) {
+                    self.deliveries.push((now, topic.clone(), body.len()));
+                }
+                self.retained.push((topic, body));
+                if self.retained.len() > self.retain_limit {
+                    self.retained.remove(0);
+                }
+            }
+            Ok(TopicRecord::Subscribe { topic }) => {
+                self.remote_subs
+                    .entry(topic.clone())
+                    .or_default()
+                    .insert(origin);
+                self.refresh_predicate(&topic);
+            }
+            Ok(TopicRecord::Unsubscribe { topic }) => {
+                self.remote_subs
+                    .entry(topic.clone())
+                    .or_default()
+                    .remove(&origin);
+                self.refresh_predicate(&topic);
+            }
+            Err(e) => debug_assert!(false, "undecodable topic record from {origin}: {e}"),
+        }
+    }
+
+    fn drain(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
+        for action in self.node.take_actions() {
+            match action {
+                Action::Send { to, msg } => ctx.send(to.0 as usize, msg),
+                Action::Deliver {
+                    origin, payload, ..
+                } => self.apply_record(ctx.now(), origin, &payload),
+                Action::Frontier(u) => {
+                    if let Some(topic) = u.key.strip_prefix("topic:") {
+                        self.frontier_log.push((ctx.now(), topic.to_owned(), u.seq));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Actor for TopicBroker {
+    type Msg = WireMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, WireMsg>, from: usize, msg: WireMsg) {
+        self.node
+            .on_message(ctx.now().as_nanos(), NodeId(from as u16), msg);
+        self.drain(ctx);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, WireMsg>, _t: TimerId, _tag: u64) {}
+}
+
+/// Build a multi-topic broker deployment over `net`.
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+///
+/// # Panics
+///
+/// Panics if sizes mismatch.
+pub fn build_topic_brokers(
+    cfg: &ClusterConfig,
+    net: NetTopology,
+    seed: u64,
+) -> Result<Simulation<TopicBroker>, CoreError> {
+    assert_eq!(net.len(), cfg.num_nodes());
+    let acks = Arc::new(AckTypeRegistry::new());
+    let mut brokers = Vec::with_capacity(cfg.num_nodes());
+    for i in 0..cfg.num_nodes() {
+        brokers.push(TopicBroker::new(
+            cfg.clone(),
+            NodeId(i as u16),
+            Arc::clone(&acks),
+        )?);
+    }
+    Ok(Simulation::new(net, brokers, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_roundtrip() {
+        for rec in [
+            TopicRecord::Publish {
+                topic: "stocks".into(),
+                body: Bytes::from_static(b"AAPL"),
+            },
+            TopicRecord::Publish {
+                topic: String::new(),
+                body: Bytes::new(),
+            },
+            TopicRecord::Subscribe {
+                topic: "news".into(),
+            },
+            TopicRecord::Unsubscribe {
+                topic: "news".into(),
+            },
+        ] {
+            assert_eq!(TopicRecord::decode(&rec.to_bytes()).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn malformed_records_rejected() {
+        assert!(TopicRecord::decode(&[]).is_err());
+        assert!(TopicRecord::decode(&[9, 0, 0]).is_err());
+        let bytes = TopicRecord::Subscribe { topic: "t".into() }.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(TopicRecord::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = bytes.to_vec();
+        trailing.push(1);
+        assert!(TopicRecord::decode(&trailing).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Shape tests for the §VI-C/§VI-D experiments: the qualitative claims
+//! of Figs. 7 and 8 must hold in the reproduction.
+
+use stabilizer_pubsub::{fig7_point, fig8_run, Fig8Mode, System};
+
+#[test]
+fn fig7_low_rate_latency_is_one_way_delay() {
+    // At 250 msg/s nothing saturates: latency per site is its RTT
+    // (one-way data + one-way ack).
+    let r = fig7_point(System::Stabilizer, 250.0, 500, 8192, 1);
+    let by_name = |n: &str| {
+        r.iter()
+            .find(|s| s.name == n)
+            .unwrap()
+            .avg_latency
+            .as_millis_f64()
+    };
+    assert!(by_name("UT2") < 2.0, "LAN latency {}", by_name("UT2"));
+    assert!(
+        (34.0..40.0).contains(&by_name("WI")),
+        "WI {}",
+        by_name("WI")
+    );
+    assert!(
+        (49.0..56.0).contains(&by_name("CLEM")),
+        "CLEM {}",
+        by_name("CLEM")
+    );
+    assert!(
+        (46.0..53.0).contains(&by_name("MA")),
+        "MA {}",
+        by_name("MA")
+    );
+}
+
+#[test]
+fn fig7_wan_sites_bottleneck_at_link_bandwidth() {
+    // 8000 msg/s * 8 KiB = 524 Mbit/s: beyond every WAN link's capacity.
+    // Throughput must plateau near each link's configured bandwidth and
+    // latency must blow up relative to the unloaded case.
+    let loaded = fig7_point(System::Stabilizer, 8000.0, 4000, 8192, 2);
+    let wi = loaded.iter().find(|s| s.name == "WI").unwrap();
+    assert!(
+        (0.75 * 361.82..=361.82 * 1.05).contains(&wi.throughput_mbit),
+        "WI throughput {}",
+        wi.throughput_mbit
+    );
+    assert!(
+        wi.avg_latency.as_millis_f64() > 100.0,
+        "WI queued latency {}",
+        wi.avg_latency
+    );
+    // The LAN pair does not saturate.
+    let ut2 = loaded.iter().find(|s| s.name == "UT2").unwrap();
+    assert!(
+        ut2.avg_latency.as_millis_f64() < 5.0,
+        "UT2 latency {}",
+        ut2.avg_latency
+    );
+}
+
+#[test]
+fn fig7_both_systems_bottleneck_alike_on_wan() {
+    let stab = fig7_point(System::Stabilizer, 8000.0, 3000, 8192, 3);
+    let puls = fig7_point(System::PulsarLike, 8000.0, 3000, 8192, 3);
+    for name in ["WI", "CLEM", "MA"] {
+        let s = stab
+            .iter()
+            .find(|x| x.name == name)
+            .unwrap()
+            .throughput_mbit;
+        let p = puls
+            .iter()
+            .find(|x| x.name == name)
+            .unwrap()
+            .throughput_mbit;
+        let ratio = s / p;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "{name}: stab {s} vs pulsar {p}"
+        );
+    }
+}
+
+#[test]
+fn fig7_pulsar_gc_inflates_lan_latency_at_high_rate() {
+    // On the 10 Gb LAN pair no backlog forms, yet the Pulsar-like broker
+    // shows latency growth with rate (GC pauses); Stabilizer stays flat.
+    let stab_hi = fig7_point(System::Stabilizer, 16000.0, 8000, 8192, 4);
+    let puls_lo = fig7_point(System::PulsarLike, 500.0, 2000, 8192, 4);
+    let puls_hi = fig7_point(System::PulsarLike, 16000.0, 8000, 8192, 4);
+    let ut2 = |r: &[stabilizer_pubsub::SiteResult]| {
+        r.iter()
+            .find(|s| s.name == "UT2")
+            .unwrap()
+            .avg_latency
+            .as_millis_f64()
+    };
+    assert!(
+        ut2(&stab_hi) < 2.0,
+        "Stabilizer LAN latency grew: {}",
+        ut2(&stab_hi)
+    );
+    assert!(
+        ut2(&puls_hi) > ut2(&puls_lo) * 2.0,
+        "Pulsar LAN latency did not grow with rate: {} vs {}",
+        ut2(&puls_lo),
+        ut2(&puls_hi)
+    );
+}
+
+#[test]
+fn fig8_reconfiguration_moves_latency_between_levels() {
+    let all = fig8_run(Fig8Mode::AllSites, 5);
+    let three = fig8_run(Fig8Mode::ThreeSites, 5);
+    let changing = fig8_run(Fig8Mode::Changing, 5);
+
+    let mean = |pts: &[stabilizer_pubsub::Fig8Point]| {
+        pts.iter()
+            .map(|p| p.avg_latency.as_millis_f64())
+            .sum::<f64>()
+            / pts.len() as f64
+    };
+    let all_ms = mean(&all);
+    let three_ms = mean(&three);
+    // All sites is gated by Clemson (~51 ms RTT); three sites by
+    // Massachusetts (~48 ms) — a difference of about 3 ms.
+    assert!((49.0..55.0).contains(&all_ms), "all-sites at {all_ms}ms");
+    assert!(
+        (46.0..52.0).contains(&three_ms),
+        "three-sites at {three_ms}ms"
+    );
+    assert!(all_ms > three_ms, "all {all_ms} <= three {three_ms}");
+    // The changing series visits both levels: its per-second averages
+    // span (roughly) from the three-sites level to the all-sites level.
+    let lo = changing
+        .iter()
+        .map(|p| p.avg_latency.as_millis_f64())
+        .fold(f64::MAX, f64::min);
+    let hi = changing
+        .iter()
+        .map(|p| p.avg_latency.as_millis_f64())
+        .fold(0.0, f64::max);
+    assert!(
+        lo < three_ms + 1.0,
+        "changing never dropped to three-sites level: {lo}"
+    );
+    assert!(
+        hi > all_ms - 2.0,
+        "changing never rose to all-sites level: {hi}"
+    );
+}

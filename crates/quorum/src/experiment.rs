@@ -1,0 +1,127 @@
+//! The Fig. 3 experiment: quorum read latency versus message size on the
+//! CloudLab topology, with writer at Utah2 and reader at Utah1.
+
+use crate::protocol::{build_quorum, QuorumSetup};
+use stabilizer_core::ClusterConfig;
+use stabilizer_netsim::{NetTopology, SimDuration, SimTime};
+
+/// One point of the Fig. 3 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadLatencyPoint {
+    /// Message (register value) size in bytes.
+    pub size: usize,
+    /// Latency from the writer's send to the reader observing the value.
+    pub latency: SimDuration,
+}
+
+/// CloudLab cluster config matching [`NetTopology::cloudlab_table2`].
+pub fn cloudlab_cfg() -> ClusterConfig {
+    ClusterConfig::parse(
+        "az Utah UT1 UT2\n\
+         az Wisconsin WI\n\
+         az Clemson CLEM\n\
+         az Massachusetts MA\n",
+    )
+    .expect("static config parses")
+}
+
+/// Measure the quorum read latency for one message size: the writer
+/// (UT2) publishes a version; the reader (UT1) polls a read quorum until
+/// it observes it. Latency runs from the *send* time, per §VI-A.
+pub fn quorum_read_latency(size: usize, seed: u64) -> ReadLatencyPoint {
+    let cfg = cloudlab_cfg();
+    let setup = QuorumSetup::fig3();
+    let mut sim = build_quorum(&cfg, NetTopology::cloudlab_table2(), setup.clone(), seed)
+        .expect("fig3 setup is valid");
+    for i in 0..cfg.num_nodes() {
+        sim.actor_mut(i).set_value_size(size);
+    }
+    let sent_at = sim.now();
+    let seq = sim
+        .with_ctx(setup.writer, |a, ctx| a.write_in(ctx, size))
+        .expect("write");
+    let deadline = sim.now() + SimDuration::from_secs(30);
+    sim.with_ctx(setup.reader, |a, ctx| a.chase_version(ctx, seq, deadline));
+    sim.run_until(deadline);
+    let observed = sim
+        .actor(setup.reader)
+        .read_observed_at(seq)
+        .expect("read quorum never observed the write");
+    ReadLatencyPoint {
+        size,
+        latency: observed.since(sent_at),
+    }
+}
+
+/// The reference RTTs drawn as dashed lines in Fig. 3.
+pub fn reference_rtts() -> Vec<(String, SimDuration)> {
+    let net = NetTopology::cloudlab_table2();
+    [("Utah1", 1usize), ("Wisconsin", 2), ("Clemson", 3)]
+        .into_iter()
+        .map(|(name, idx)| {
+            (
+                name.to_owned(),
+                stabilizer_netsim::measure_rtt(&net, 0, idx),
+            )
+        })
+        .collect()
+}
+
+/// Convenience: when the writer's quorum-write committed, for write
+/// latency reporting.
+pub fn quorum_write_latency(size: usize, seed: u64) -> SimDuration {
+    let cfg = cloudlab_cfg();
+    let setup = QuorumSetup::fig3();
+    let mut sim = build_quorum(&cfg, NetTopology::cloudlab_table2(), setup.clone(), seed)
+        .expect("fig3 setup is valid");
+    let seq = sim
+        .with_ctx(setup.writer, |a, ctx| a.write_in(ctx, size))
+        .expect("write");
+    sim.run_until_idle();
+    sim.actor(setup.writer)
+        .write_committed_at(seq)
+        .expect("write never committed")
+        .since(SimTime::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_read_latency_tracks_wisconsin_rtt() {
+        // The paper: "the quorum read latency is comparable to the RTT of
+        // Wisconsin" (35.612 ms) because WI is the second-fastest member.
+        let p = quorum_read_latency(1024, 1);
+        let ms = p.latency.as_millis_f64();
+        assert!((34.0..42.0).contains(&ms), "1 KiB read latency {ms}ms");
+    }
+
+    #[test]
+    fn latency_increases_slightly_with_size() {
+        let small = quorum_read_latency(1024, 2).latency;
+        let large = quorum_read_latency(64 * 1024, 2).latency;
+        assert!(large > small);
+        // "a slight increase": well under 2x at 64 KiB.
+        assert!(
+            large.as_millis_f64() < small.as_millis_f64() * 2.0,
+            "{small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn write_commits_at_second_fastest_member() {
+        // Write quorum of 2: UT1 (LAN, ~0.06 ms one-way) and WI
+        // (~17.85 ms one-way + ack back = ~35.7 ms).
+        let ms = quorum_write_latency(1024, 3).as_millis_f64();
+        assert!((34.0..40.0).contains(&ms), "write commit at {ms}ms");
+    }
+
+    #[test]
+    fn reference_rtts_match_table2() {
+        let rtts = reference_rtts();
+        assert_eq!(rtts.len(), 3);
+        assert!((rtts[1].1.as_millis_f64() - 35.612).abs() < 0.5); // Wisconsin
+        assert!((rtts[2].1.as_millis_f64() - 50.918).abs() < 0.5); // Clemson
+    }
+}

@@ -1,0 +1,33 @@
+//! # Quorum replication via stability-frontier predicates (§IV-B)
+//!
+//! Gifford's weighted-voting quorum protocol expressed with Stabilizer:
+//! a write is committed once the *write predicate* — "at least `Nw`
+//! quorum members acknowledged" (`KTH_MAX(Nw, $members)`) — covers its
+//! sequence number, and a read gathers versions from at least `Nr`
+//! members and returns the newest. With `Nw + Nr > N` every read quorum
+//! intersects every write quorum, so a read that begins after a
+//! non-concurrent committed write always observes it (verified by the
+//! property tests in `tests/quorum_props.rs`).
+//!
+//! A note on operator choice: the paper's §IV-B text writes the majority
+//! write predicate with `KTH_MIN(majority, ...)`, while its own Table III
+//! expresses "at least k nodes acknowledged" as `KTH_MAX(k, ...)`. The
+//! two differ: the k-th *largest* counter is `>= s` exactly when at least
+//! `k` members have acknowledged `s`, which is the quorum condition, so
+//! this crate follows Table III and uses `KTH_MAX(Nw, ...)`.
+
+//! ```
+//! use stabilizer_quorum::QuorumSetup;
+//!
+//! let setup = QuorumSetup::fig3();
+//! assert!(setup.overlaps()); // Nr + Nw > N
+//! assert_eq!(setup.write_predicate(), "KTH_MAX(2, $1, $3, $4)");
+//! ```
+
+pub mod experiment;
+pub mod protocol;
+
+pub use experiment::{
+    cloudlab_cfg, quorum_read_latency, quorum_write_latency, reference_rtts, ReadLatencyPoint,
+};
+pub use protocol::{build_quorum, QuorumActor, QuorumMsg, QuorumSetup, ReadResult};

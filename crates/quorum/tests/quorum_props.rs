@@ -1,0 +1,108 @@
+//! Property tests for the quorum protocol's serial-consistency guarantee
+//! (§IV-B): "a reader always sees the data committed by a previous
+//! non-concurrent write". Topologies, link latencies, write counts, and
+//! quorum parameters are randomized; the overlap property `Nw + Nr > N`
+//! must make every post-commit read return the committed version.
+
+use proptest::prelude::*;
+use stabilizer_core::ClusterConfig;
+use stabilizer_netsim::{LinkSpec, NetTopology, SimDuration, SimTime};
+use stabilizer_quorum::protocol::build_quorum;
+use stabilizer_quorum::QuorumSetup;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// One-way latencies (ms) for each of the 5 sites' links to the rest.
+    lat_ms: Vec<u64>,
+    nr: usize,
+    nw: usize,
+    writes: usize,
+    seed: u64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::collection::vec(1u64..60, 5),
+        1usize..=3,
+        1usize..=3,
+        1usize..4,
+        0u64..1000,
+    )
+        .prop_map(|(lat_ms, nr, nw, writes, seed)| Scenario {
+            lat_ms,
+            nr,
+            nw,
+            writes,
+            seed,
+        })
+        .prop_filter("quorums must overlap", |s| s.nr + s.nw > 3)
+}
+
+fn topology(lat_ms: &[u64]) -> NetTopology {
+    let mut t = NetTopology::new(&["a", "b", "c", "d", "e"]);
+    for i in 0..5 {
+        for j in (i + 1)..5 {
+            let ms = lat_ms[i].max(lat_ms[j]);
+            t.set_symmetric(i, j, LinkSpec::from_rtt_mbit(ms as f64, 500.0));
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn committed_writes_are_visible_to_later_reads(s in arb_scenario()) {
+        let cfg = ClusterConfig::parse("az A a b\naz B c d\naz C e").unwrap();
+        let setup = QuorumSetup { writer: 1, reader: 0, members: vec![0, 2, 3], nr: s.nr, nw: s.nw };
+        let mut sim = build_quorum(&cfg, topology(&s.lat_ms), setup.clone(), s.seed).unwrap();
+
+        let mut last_seq = 0;
+        for _ in 0..s.writes {
+            last_seq = sim.with_ctx(setup.writer, |a, ctx| a.write_in(ctx, 256)).unwrap();
+        }
+        // Let the write commit (run until the write predicate covers it).
+        sim.run_until_idle();
+        let committed = sim.actor(setup.writer).write_committed_at(last_seq);
+        prop_assert!(committed.is_some(), "write never committed");
+
+        // A strictly-later, non-concurrent read.
+        let deadline = sim.now() + SimDuration::from_secs(60);
+        sim.with_ctx(setup.reader, |a, ctx| a.chase_version(ctx, last_seq, deadline));
+        sim.run_until(deadline);
+        let reader = sim.actor(setup.reader);
+        // The FIRST completed read after commit must already return the
+        // committed version (overlap guarantee) — not merely eventually.
+        let first = reader.reads.first().expect("no read completed");
+        prop_assert!(
+            first.version >= last_seq,
+            "first post-commit read returned {} < committed {last_seq}",
+            first.version
+        );
+    }
+
+    #[test]
+    fn read_version_never_regresses(s in arb_scenario()) {
+        let cfg = ClusterConfig::parse("az A a b\naz B c d\naz C e").unwrap();
+        let setup = QuorumSetup { writer: 1, reader: 0, members: vec![0, 2, 3], nr: s.nr, nw: s.nw };
+        let mut sim = build_quorum(&cfg, topology(&s.lat_ms), setup.clone(), s.seed).unwrap();
+        let mut last_seq = 0;
+        for _ in 0..s.writes {
+            last_seq = sim.with_ctx(setup.writer, |a, ctx| a.write_in(ctx, 64)).unwrap();
+        }
+        let deadline = SimTime::ZERO + SimDuration::from_secs(120);
+        sim.with_ctx(setup.reader, |a, ctx| a.chase_version(ctx, last_seq, deadline));
+        sim.run_until(deadline);
+        let reads = &sim.actor(setup.reader).reads;
+        prop_assert!(!reads.is_empty());
+        // Reads complete in order; quorum_version <= version always, and
+        // both are monotone over time in a single-writer register.
+        for w in reads.windows(2) {
+            prop_assert!(w[1].version >= w[0].version);
+        }
+        for r in reads {
+            prop_assert!(r.quorum_version <= r.version);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Length-prefixed framing over TCP streams.
+//!
+//! Frame layout: `u32` little-endian payload length, then the encoded
+//! [`WireMsg`]. The first frame on every outbound connection is a hello
+//! carrying the sender's node id, so the accepting side can demultiplex
+//! peers without configuration-order coupling.
+
+use stabilizer_core::{CoreError, WireMsg};
+use std::io::{Read, Write};
+
+/// Maximum accepted frame size (1 GiB would be absurd for a control or
+/// 64 KiB-capped data message; this guards against corrupt prefixes).
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Write one frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_frame<W: Write>(w: &mut W, msg: &WireMsg) -> std::io::Result<()> {
+    let body = msg.to_bytes();
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)?;
+    Ok(())
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// I/O errors, oversized frames, or undecodable bodies.
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<WireMsg>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let msg = WireMsg::decode(&body).map_err(|e: CoreError| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    })?;
+    Ok(Some(msg))
+}
+
+/// Encode a hello frame announcing `node_id` (a zero-length `Data`
+/// message is reserved for this; real data always has `seq >= 1`).
+pub fn hello(node_id: u16) -> WireMsg {
+    WireMsg::Data {
+        origin: stabilizer_core::NodeId(node_id),
+        seq: 0,
+        payload: bytes::Bytes::new(),
+    }
+}
+
+/// If `msg` is a hello, return the announced node id.
+pub fn parse_hello(msg: &WireMsg) -> Option<u16> {
+    match msg {
+        WireMsg::Data {
+            origin,
+            seq: 0,
+            payload,
+        } if payload.is_empty() => Some(origin.0),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use stabilizer_core::NodeId;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_roundtrip() {
+        let msgs = vec![
+            WireMsg::Heartbeat,
+            WireMsg::Data {
+                origin: NodeId(2),
+                seq: 5,
+                payload: Bytes::from_static(b"xyz"),
+            },
+            WireMsg::AckBatch(vec![]),
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for m in &msgs {
+            assert_eq!(read_frame(&mut cur).unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(read_frame(&mut cur).unwrap(), None);
+    }
+
+    #[test]
+    fn clean_eof_mid_prefix_is_none_mid_body_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireMsg::Heartbeat).unwrap();
+        let mut cur = Cursor::new(&buf[..2]); // truncated length prefix
+        assert!(cur.get_ref().len() < 4);
+        assert!(read_frame(&mut cur).unwrap().is_none());
+        let mut cur = Cursor::new(&buf[..4]); // prefix but no body
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(read_frame(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let h = hello(6);
+        assert_eq!(parse_hello(&h), Some(6));
+        let not_hello = WireMsg::Data {
+            origin: NodeId(6),
+            seq: 1,
+            payload: Bytes::new(),
+        };
+        assert_eq!(parse_hello(&not_hello), None);
+        assert_eq!(parse_hello(&WireMsg::Heartbeat), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! The application-facing handle for a running Stabilizer node: the
+//! paper's §III-D interfaces (`waitfor`, `monitor_stability_frontier`,
+//! `register_predicate`, `change_predicate`) in blocking form.
+
+use crate::runtime::Shared;
+use bytes::Bytes;
+use stabilizer_core::{AckTypeId, CoreError, FrontierUpdate, NodeId, SeqNo};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Callback invoked on every frontier advance of a watched predicate.
+pub type MonitorFn = Box<dyn FnMut(&FrontierUpdate) + Send>;
+/// Callback invoked when a mirrored payload is delivered.
+pub type DeliverFn = Box<dyn FnMut(NodeId, SeqNo, &Bytes) + Send>;
+
+/// Handle to a node running on the threaded TCP runtime.
+///
+/// Cloning is cheap; all clones talk to the same node.
+#[derive(Clone)]
+pub struct NodeHandle {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl NodeHandle {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.shared.me
+    }
+
+    /// Publish a payload on this node's stream.
+    ///
+    /// Retries transparently on send-buffer backpressure until
+    /// `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WouldBlock`] if the buffer stayed full for the whole
+    /// timeout, or [`CoreError::PayloadTooLarge`].
+    pub fn publish(&self, payload: Bytes, timeout: Duration) -> Result<SeqNo, CoreError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let result = self.shared.with_node(|node| node.publish(payload.clone()));
+            match result {
+                Err(CoreError::WouldBlock { .. }) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Register a predicate for `stream` under `key` (§III-D
+    /// `register_predicate`).
+    ///
+    /// # Errors
+    ///
+    /// DSL compile errors.
+    pub fn register_predicate(
+        &self,
+        stream: NodeId,
+        key: &str,
+        source: &str,
+    ) -> Result<(), CoreError> {
+        self.shared
+            .with_node(|node| node.register_predicate(stream, key, source))
+    }
+
+    /// Replace a predicate at runtime (§III-D `change_predicate`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownPredicate`] or DSL compile errors.
+    pub fn change_predicate(
+        &self,
+        stream: NodeId,
+        key: &str,
+        source: &str,
+    ) -> Result<(), CoreError> {
+        self.shared
+            .with_node(|node| node.change_predicate(stream, key, source))
+    }
+
+    /// Current `(frontier, generation)` of a predicate.
+    pub fn stability_frontier(&self, stream: NodeId, key: &str) -> Option<(SeqNo, u32)> {
+        self.shared.node.lock().stability_frontier(stream, key)
+    }
+
+    /// Block until the predicate's frontier reaches `seq` or `timeout`
+    /// elapses; returns `true` on success (§III-D `waitfor`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownPredicate`] for an unregistered key.
+    pub fn waitfor(
+        &self,
+        stream: NodeId,
+        key: &str,
+        seq: SeqNo,
+        timeout: Duration,
+    ) -> Result<bool, CoreError> {
+        let token = self
+            .shared
+            .with_node(|node| node.waitfor(stream, key, seq))?;
+        let deadline = Instant::now() + timeout;
+        let mut done = self.shared.completed.lock();
+        loop {
+            if done.remove(&token) {
+                return Ok(true);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(false);
+            }
+            self.shared.completed_cv.wait_for(&mut done, deadline - now);
+        }
+    }
+
+    /// Register `lambda` to run on every frontier advance of
+    /// `(stream, key)` (§III-D `monitor_stability_frontier`).
+    pub fn monitor_stability_frontier(
+        &self,
+        stream: NodeId,
+        key: &str,
+        lambda: impl FnMut(&FrontierUpdate) + Send + 'static,
+    ) {
+        self.shared
+            .monitors
+            .lock()
+            .entry((stream, key.to_owned()))
+            .or_default()
+            .push(Box::new(lambda));
+    }
+
+    /// Register a delivery upcall for mirrored data.
+    pub fn on_deliver(&self, f: impl FnMut(NodeId, SeqNo, &Bytes) + Send + 'static) {
+        self.shared.deliver_fns.lock().push(Box::new(f));
+    }
+
+    /// Register an application-defined stability level.
+    pub fn register_ack_type(&self, name: &str) -> AckTypeId {
+        self.shared.with_node(|node| node.register_ack_type(name))
+    }
+
+    /// Report application-level stability for a stream (e.g. `verified`).
+    pub fn report_stability(&self, stream: NodeId, ty: AckTypeId, seq: SeqNo) {
+        self.shared
+            .with_node(|node| node.report_stability(stream, ty, seq));
+    }
+
+    /// Highest sequence number published locally.
+    pub fn last_published(&self) -> SeqNo {
+        self.shared.node.lock().last_published()
+    }
+
+    /// Whether the failure detector currently suspects `node`.
+    pub fn is_suspected(&self, node: NodeId) -> bool {
+        self.shared.node.lock().is_suspected(node)
+    }
+
+    /// Current traffic counters.
+    pub fn metrics(&self) -> stabilizer_core::Metrics {
+        self.shared.node.lock().metrics()
+    }
+
+    /// Highest in-order sequence this node has received of `stream`
+    /// (its own `received` counter).
+    pub fn received_of(&self, stream: NodeId) -> SeqNo {
+        let node = self.shared.node.lock();
+        let me = node.me();
+        node.recorder().get(stream, me, stabilizer_core::RECEIVED)
+    }
+
+    /// Ask the runtime to stop its threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown();
+    }
+}
+
+impl std::fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeHandle")
+            .field("me", &self.shared.me)
+            .finish()
+    }
+}

@@ -1,0 +1,39 @@
+//! # Stabilizer TCP runtime
+//!
+//! Runs the sans-IO [`StabilizerNode`](stabilizer_core::StabilizerNode)
+//! over real TCP sockets with a thread-per-connection layout. The paper's
+//! prototype uses an asynchronous runtime for the same purpose; plain
+//! threads plus crossbeam channels give identical control/data-plane
+//! separation with a dependency footprint limited to the approved crate
+//! set (see DESIGN.md).
+//!
+//! [`spawn_local_cluster`] boots an N-node deployment on localhost for
+//! tests and demos; [`spawn_node`] wires one node given a listener plus
+//! peer addresses, for genuinely distributed runs.
+//!
+//! ```no_run
+//! use stabilizer_transport::spawn_local_cluster;
+//! use stabilizer_core::{ClusterConfig, NodeId};
+//! use bytes::Bytes;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = ClusterConfig::parse("
+//!     az East e1 e2
+//!     az West w1
+//!     predicate AllRemote MIN($ALLWNODES-$MYWNODE)
+//! ")?;
+//! let cluster = spawn_local_cluster(&cfg)?;
+//! let h = cluster[0].handle();
+//! let seq = h.publish(Bytes::from_static(b"hi"), Duration::from_secs(1))?;
+//! assert!(h.waitfor(NodeId(0), "AllRemote", seq, Duration::from_secs(5))?);
+//! for n in &cluster { n.handle().shutdown(); }
+//! # Ok(()) }
+//! ```
+
+pub mod framing;
+pub mod handle;
+pub mod runtime;
+
+pub use handle::NodeHandle;
+pub use runtime::{spawn_local_cluster, spawn_node, TcpNode};

@@ -1,0 +1,372 @@
+//! The threaded TCP runtime: drives the sans-IO [`StabilizerNode`] with
+//! real sockets and wall-clock timers.
+//!
+//! Thread layout per node:
+//!
+//! * one **accept** thread taking inbound connections, each handed to a
+//!   **reader** thread that decodes frames and feeds the state machine;
+//! * one **writer** thread per peer, draining a channel of outbound
+//!   messages into a (re)connecting socket — data lost while a link is
+//!   down is repaired on reconnect from the send buffer
+//!   ([`StabilizerNode::resend_from`]) plus a full ACK re-announcement;
+//! * one **ticker** thread running the ACK-flush / heartbeat / failure
+//!   timers.
+//!
+//! Locking discipline: the node mutex is held only while mutating the
+//! state machine; emitted [`Action`]s are executed *after* release so
+//! user callbacks (monitors, delivery upcalls) can re-enter the handle
+//! without deadlocking.
+
+use crate::framing::{hello, parse_hello, read_frame, write_frame};
+use crate::handle::{DeliverFn, MonitorFn, NodeHandle};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use stabilizer_core::{
+    AckTypeRegistry, Action, ClusterConfig, CoreError, NodeId, StabilizerNode, WaitToken, WireMsg,
+    RECEIVED,
+};
+use std::collections::{HashMap, HashSet};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// State shared between the handle and the runtime threads.
+pub struct Shared {
+    /// This node's id.
+    pub me: NodeId,
+    /// The protocol state machine.
+    pub node: Mutex<StabilizerNode>,
+    /// Tokens of completed `waitfor`s.
+    pub completed: Mutex<HashSet<WaitToken>>,
+    /// Signalled when `completed` grows.
+    pub completed_cv: Condvar,
+    /// Frontier monitors, keyed by `(stream, key)`.
+    pub monitors: Mutex<HashMap<(NodeId, String), Vec<MonitorFn>>>,
+    /// Delivery upcalls.
+    pub deliver_fns: Mutex<Vec<DeliverFn>>,
+    /// Per-peer outbound channels.
+    pub senders: Mutex<HashMap<NodeId, Sender<WireMsg>>>,
+    /// Cleared on shutdown.
+    pub running: AtomicBool,
+    /// Monotonic epoch for failure-detector timestamps.
+    pub started: Instant,
+}
+
+impl Shared {
+    /// Mutate the state machine under the lock, then execute the emitted
+    /// actions *outside* it.
+    pub fn with_node<R>(&self, f: impl FnOnce(&mut StabilizerNode) -> R) -> R {
+        let (r, actions) = {
+            let mut node = self.node.lock();
+            let r = f(&mut node);
+            (r, node.take_actions())
+        };
+        self.process(actions);
+        r
+    }
+
+    /// Execute actions: forward sends to writer channels, run callbacks,
+    /// wake waiters.
+    pub fn process(&self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    if let Some(tx) = self.senders.lock().get(&to) {
+                        let _ = tx.send(msg); // writer gone => shutting down
+                    }
+                }
+                Action::Deliver {
+                    origin,
+                    seq,
+                    payload,
+                } => {
+                    for f in self.deliver_fns.lock().iter_mut() {
+                        f(origin, seq, &payload);
+                    }
+                }
+                Action::Frontier(update) => {
+                    let mut monitors = self.monitors.lock();
+                    if let Some(fns) = monitors.get_mut(&(update.stream, update.key.clone())) {
+                        for f in fns.iter_mut() {
+                            f(&update);
+                        }
+                    }
+                }
+                Action::WaitDone { token } => {
+                    self.completed.lock().insert(token);
+                    self.completed_cv.notify_all();
+                }
+                Action::Suspected { .. }
+                | Action::Recovered { .. }
+                | Action::PredicateBroken { .. } => {
+                    // Surfaced through `is_suspected` and monitor silence;
+                    // a production deployment would plug an alerting hook
+                    // here.
+                }
+            }
+        }
+    }
+
+    /// Stop all runtime threads (idempotent).
+    pub fn shutdown(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.senders.lock().clear(); // disconnect writer channels
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+}
+
+/// A node running on the TCP runtime. Dropping the cluster handle does
+/// not stop nodes; call [`NodeHandle::shutdown`].
+pub struct TcpNode {
+    handle: NodeHandle,
+}
+
+impl TcpNode {
+    /// The application handle.
+    pub fn handle(&self) -> NodeHandle {
+        self.handle.clone()
+    }
+}
+
+/// Launch node `me` of `cfg`, listening on `listener` and connecting out
+/// to `peer_addrs[j]` for every peer `j`.
+///
+/// # Errors
+///
+/// Fails if a configured predicate does not compile.
+pub fn spawn_node(
+    cfg: ClusterConfig,
+    me: NodeId,
+    acks: Arc<AckTypeRegistry>,
+    listener: TcpListener,
+    peer_addrs: Vec<(NodeId, SocketAddr)>,
+) -> Result<TcpNode, CoreError> {
+    let node = StabilizerNode::new(cfg.clone(), me, acks)?;
+    let shared = Arc::new(Shared {
+        me,
+        node: Mutex::new(node),
+        completed: Mutex::new(HashSet::new()),
+        completed_cv: Condvar::new(),
+        monitors: Mutex::new(HashMap::new()),
+        deliver_fns: Mutex::new(Vec::new()),
+        senders: Mutex::new(HashMap::new()),
+        running: AtomicBool::new(true),
+        started: Instant::now(),
+    });
+
+    // Writer thread per peer.
+    for (peer, addr) in &peer_addrs {
+        let (tx, rx) = unbounded::<WireMsg>();
+        shared.senders.lock().insert(*peer, tx);
+        let shared2 = Arc::clone(&shared);
+        let peer = *peer;
+        let addr = *addr;
+        std::thread::Builder::new()
+            .name(format!("stab-{}-w{}", me.0, peer.0))
+            .spawn(move || writer_loop(shared2, peer, addr, rx))
+            .expect("spawn writer");
+    }
+
+    // Accept thread.
+    {
+        let shared2 = Arc::clone(&shared);
+        listener.set_nonblocking(false).ok();
+        std::thread::Builder::new()
+            .name(format!("stab-{}-accept", me.0))
+            .spawn(move || accept_loop(shared2, listener))
+            .expect("spawn acceptor");
+    }
+
+    // Ticker thread.
+    {
+        let shared2 = Arc::clone(&shared);
+        let opts = cfg.options().clone();
+        std::thread::Builder::new()
+            .name(format!("stab-{}-tick", me.0))
+            .spawn(move || ticker_loop(shared2, opts))
+            .expect("spawn ticker");
+    }
+
+    Ok(TcpNode {
+        handle: NodeHandle { shared },
+    })
+}
+
+/// Launch an in-process cluster on localhost (one runtime per topology
+/// node), for tests and single-machine demos.
+///
+/// # Errors
+///
+/// Propagates listener-bind and predicate-compile failures.
+pub fn spawn_local_cluster(cfg: &ClusterConfig) -> Result<Vec<TcpNode>, CoreError> {
+    let n = cfg.num_nodes();
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| CoreError::Config(format!("bind: {e}")))?;
+        addrs.push(
+            l.local_addr()
+                .map_err(|e| CoreError::Config(format!("addr: {e}")))?,
+        );
+        listeners.push(l);
+    }
+    let acks = Arc::new(AckTypeRegistry::new());
+    let mut nodes = Vec::with_capacity(n);
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let peer_addrs: Vec<(NodeId, SocketAddr)> = (0..n)
+            .filter(|j| *j != i)
+            .map(|j| (NodeId(j as u16), addrs[j]))
+            .collect();
+        nodes.push(spawn_node(
+            cfg.clone(),
+            NodeId(i as u16),
+            Arc::clone(&acks),
+            listener,
+            peer_addrs,
+        )?);
+    }
+    Ok(nodes)
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    listener.set_nonblocking(true).ok();
+    while shared.running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).ok();
+                let shared2 = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stab-{}-r", shared.me.0))
+                    .spawn(move || reader_loop(shared2, stream))
+                    .expect("spawn reader");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
+    let mut reader = std::io::BufReader::new(stream);
+    // First frame must be the hello announcing the peer.
+    let peer = match read_frame(&mut reader) {
+        Ok(Some(msg)) => match parse_hello(&msg) {
+            Some(id) => NodeId(id),
+            None => return, // protocol violation: drop connection
+        },
+        _ => return,
+    };
+    while shared.running.load(Ordering::SeqCst) {
+        match read_frame(&mut reader) {
+            Ok(Some(msg)) => {
+                let now = shared.now_nanos();
+                shared.with_node(|n| n.on_message(now, peer, msg));
+            }
+            Ok(None) | Err(_) => return, // EOF or broken pipe
+        }
+    }
+}
+
+fn writer_loop(shared: Arc<Shared>, peer: NodeId, addr: SocketAddr, rx: Receiver<WireMsg>) {
+    let mut first_connect = true;
+    'reconnect: while shared.running.load(Ordering::SeqCst) {
+        let Some(mut stream) = connect_with_retry(&shared, addr) else {
+            return;
+        };
+        if write_frame(&mut stream, &hello(shared.me.0)).is_err() {
+            continue 'reconnect;
+        }
+        if !first_connect {
+            // Repair the stream: resend unacked data and re-announce acks.
+            shared.with_node(|n| {
+                let from = n.recorder().get(n.me(), peer, RECEIVED) + 1;
+                n.resend_from(peer, from);
+                n.announce_acks_to(peer);
+            });
+        }
+        first_connect = false;
+        loop {
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(msg) => {
+                    if write_frame(&mut stream, &msg).is_err() {
+                        continue 'reconnect;
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if !shared.running.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}
+
+fn connect_with_retry(shared: &Arc<Shared>, addr: SocketAddr) -> Option<TcpStream> {
+    let mut backoff = Duration::from_millis(10);
+    while shared.running.load(Ordering::SeqCst) {
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+            Ok(s) => {
+                s.set_nodelay(true).ok();
+                return Some(s);
+            }
+            Err(_) => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
+        }
+    }
+    None
+}
+
+fn ticker_loop(shared: Arc<Shared>, opts: stabilizer_core::Options) {
+    let mut last_flush = Instant::now();
+    let mut last_heartbeat = Instant::now();
+    let mut last_failure = Instant::now();
+    let mut last_retransmit = Instant::now();
+    let tick = Duration::from_micros(if opts.ack_flush_micros > 0 {
+        opts.ack_flush_micros.min(1000)
+    } else {
+        1000
+    });
+    while shared.running.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        let now = Instant::now();
+        if opts.ack_flush_micros > 0
+            && now.duration_since(last_flush) >= Duration::from_micros(opts.ack_flush_micros)
+        {
+            shared.with_node(|n| n.on_ack_flush());
+            last_flush = now;
+        }
+        if opts.heartbeat_millis > 0
+            && now.duration_since(last_heartbeat) >= Duration::from_millis(opts.heartbeat_millis)
+        {
+            shared.with_node(|n| n.on_heartbeat());
+            last_heartbeat = now;
+        }
+        if opts.failure_timeout_millis > 0
+            && now.duration_since(last_failure)
+                >= Duration::from_millis(opts.failure_timeout_millis / 2)
+        {
+            let t = shared.now_nanos();
+            shared.with_node(|n| n.on_failure_check(t));
+            last_failure = now;
+        }
+        if opts.retransmit_millis > 0
+            && now.duration_since(last_retransmit)
+                >= Duration::from_millis((opts.retransmit_millis / 2).max(1))
+        {
+            let t = shared.now_nanos();
+            shared.with_node(|n| n.on_retransmit_check(t));
+            last_retransmit = now;
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! End-to-end tests of the threaded TCP runtime on localhost: the same
+//! protocol that the simulator exercises, over real sockets.
+
+use bytes::Bytes;
+use stabilizer_core::{ClusterConfig, NodeId};
+use stabilizer_transport::spawn_local_cluster;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CFG: &str = "\
+az East e1 e2
+az West w1
+predicate AllRemote MIN($ALLWNODES-$MYWNODE)
+predicate OneRemote MAX($ALLWNODES-$MYWNODE)
+";
+
+fn cluster() -> Vec<stabilizer_transport::TcpNode> {
+    spawn_local_cluster(&ClusterConfig::parse(CFG).unwrap()).unwrap()
+}
+
+#[test]
+fn publish_waitfor_roundtrip() {
+    let nodes = cluster();
+    let h = nodes[0].handle();
+    let seq = h
+        .publish(Bytes::from_static(b"hello wan"), Duration::from_secs(1))
+        .unwrap();
+    assert!(h
+        .waitfor(NodeId(0), "AllRemote", seq, Duration::from_secs(10))
+        .unwrap());
+    let (frontier, _) = h.stability_frontier(NodeId(0), "AllRemote").unwrap();
+    assert!(frontier >= seq);
+    for n in &nodes {
+        n.handle().shutdown();
+    }
+}
+
+#[test]
+fn deliveries_reach_every_peer_in_order() {
+    let nodes = cluster();
+    let h0 = nodes[0].handle();
+    let seen: Arc<parking_lot::Mutex<Vec<u64>>> = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    {
+        let seen = Arc::clone(&seen);
+        nodes[2].handle().on_deliver(move |origin, seq, payload| {
+            assert_eq!(origin, NodeId(0));
+            assert_eq!(payload.len(), 32);
+            seen.lock().push(seq);
+        });
+    }
+    let mut last = 0;
+    for _ in 0..50 {
+        last = h0
+            .publish(Bytes::from(vec![9u8; 32]), Duration::from_secs(1))
+            .unwrap();
+    }
+    assert!(h0
+        .waitfor(NodeId(0), "AllRemote", last, Duration::from_secs(10))
+        .unwrap());
+    let seen = seen.lock();
+    assert_eq!(
+        *seen,
+        (1..=50).collect::<Vec<u64>>(),
+        "FIFO delivery violated"
+    );
+    for n in &nodes {
+        n.handle().shutdown();
+    }
+}
+
+#[test]
+fn monitor_fires_monotonically() {
+    let nodes = cluster();
+    let h = nodes[0].handle();
+    let high = Arc::new(AtomicU64::new(0));
+    {
+        let high = Arc::clone(&high);
+        h.monitor_stability_frontier(NodeId(0), "AllRemote", move |u| {
+            let prev = high.swap(u.seq, Ordering::SeqCst);
+            assert!(u.seq >= prev, "frontier regressed {prev} -> {}", u.seq);
+        });
+    }
+    let mut last = 0;
+    for _ in 0..20 {
+        last = h
+            .publish(Bytes::from(vec![0u8; 64]), Duration::from_secs(1))
+            .unwrap();
+    }
+    assert!(h
+        .waitfor(NodeId(0), "AllRemote", last, Duration::from_secs(10))
+        .unwrap());
+    assert_eq!(high.load(Ordering::SeqCst), last);
+    for n in &nodes {
+        n.handle().shutdown();
+    }
+}
+
+#[test]
+fn change_predicate_over_tcp() {
+    let nodes = cluster();
+    let h = nodes[0].handle();
+    let seq = h
+        .publish(Bytes::from_static(b"x"), Duration::from_secs(1))
+        .unwrap();
+    assert!(h
+        .waitfor(NodeId(0), "OneRemote", seq, Duration::from_secs(10))
+        .unwrap());
+    // Swap OneRemote to the stronger all-remotes form; frontier catches up.
+    h.change_predicate(NodeId(0), "OneRemote", "MIN($ALLWNODES-$MYWNODE)")
+        .unwrap();
+    assert!(h
+        .waitfor(NodeId(0), "OneRemote", seq, Duration::from_secs(10))
+        .unwrap());
+    for n in &nodes {
+        n.handle().shutdown();
+    }
+}
+
+#[test]
+fn waitfor_times_out_without_acks() {
+    let nodes = cluster();
+    let h = nodes[1].handle();
+    // Waiting on a sequence that was never published times out cleanly.
+    let ok = h
+        .waitfor(NodeId(1), "AllRemote", 999, Duration::from_millis(200))
+        .unwrap();
+    assert!(!ok);
+    for n in &nodes {
+        n.handle().shutdown();
+    }
+}
+
+#[test]
+fn remote_stream_watching_over_tcp() {
+    let nodes = cluster();
+    // Node 2 watches node 0's stream with its own predicate.
+    let h2 = nodes[2].handle();
+    h2.register_predicate(NodeId(0), "mine", "MAX($3)").unwrap(); // $3 == node id 2 (1-based)
+    let h0 = nodes[0].handle();
+    let seq = h0
+        .publish(Bytes::from_static(b"watched"), Duration::from_secs(1))
+        .unwrap();
+    assert!(h2
+        .waitfor(NodeId(0), "mine", seq, Duration::from_secs(10))
+        .unwrap());
+    assert_eq!(h2.received_of(NodeId(0)), seq);
+    for n in &nodes {
+        n.handle().shutdown();
+    }
+}
+
+#[test]
+fn concurrent_publishers_share_one_handle_safely() {
+    let nodes = cluster();
+    let h = nodes[0].handle();
+    let mut threads = Vec::new();
+    for _ in 0..4 {
+        let h = h.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut seqs = Vec::new();
+            for _ in 0..25 {
+                seqs.push(
+                    h.publish(Bytes::from(vec![0u8; 128]), Duration::from_secs(2))
+                        .unwrap(),
+                );
+            }
+            seqs
+        }));
+    }
+    let mut all: Vec<u64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().unwrap())
+        .collect();
+    all.sort_unstable();
+    // 100 unique, gapless sequence numbers despite concurrent callers.
+    assert_eq!(all, (1..=100).collect::<Vec<u64>>());
+    assert!(h
+        .waitfor(NodeId(0), "AllRemote", 100, Duration::from_secs(15))
+        .unwrap());
+    for n in &nodes {
+        n.handle().shutdown();
+    }
+}

@@ -1,0 +1,180 @@
+//! `stabilizer-node` — run one WAN node of a real Stabilizer deployment
+//! from the command line, with an interactive console for publishing and
+//! inspecting stability frontiers.
+//!
+//! ```text
+//! stabilizer-node <config-file> <my-node-name> <listen-addr> [<peer-name>=<addr> ...]
+//! ```
+//!
+//! Example (three shells on one machine):
+//!
+//! ```text
+//! stabilizer-node cluster.cfg e1 127.0.0.1:7001 e2=127.0.0.1:7002 w1=127.0.0.1:7003
+//! stabilizer-node cluster.cfg e2 127.0.0.1:7002 e1=127.0.0.1:7001 w1=127.0.0.1:7003
+//! stabilizer-node cluster.cfg w1 127.0.0.1:7003 e1=127.0.0.1:7001 e2=127.0.0.1:7002
+//! ```
+//!
+//! Console commands: `pub <text>`, `frontier <predicate>`,
+//! `wait <predicate> <seq>`, `register <key> <predicate...>`,
+//! `change <key> <predicate...>`, `metrics`, `help`, `quit`.
+
+use bytes::Bytes;
+use stabilizer::transport::spawn_node;
+use stabilizer::{AckTypeRegistry, ClusterConfig, NodeId};
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        return Err("usage: stabilizer-node <config> <name> <listen-addr> [peer=addr ...]".into());
+    }
+    let cfg_text = std::fs::read_to_string(&args[0])?;
+    let cfg = ClusterConfig::parse(&cfg_text)?;
+    let me = cfg
+        .topology()
+        .node(&args[1])
+        .ok_or_else(|| format!("node {:?} not in the configuration", args[1]))?;
+    let listener = TcpListener::bind(&args[2])?;
+
+    let mut peer_addrs = Vec::new();
+    for spec in &args[3..] {
+        let (name, addr) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad peer spec {spec:?}"))?;
+        let id = cfg
+            .topology()
+            .node(name)
+            .ok_or_else(|| format!("peer {name:?} not in the configuration"))?;
+        peer_addrs.push((id, addr.parse()?));
+    }
+    for peer in cfg.peers(me) {
+        if !peer_addrs.iter().any(|(id, _)| *id == peer) {
+            return Err(format!(
+                "missing address for peer {}",
+                cfg.topology().node_name(peer)
+            )
+            .into());
+        }
+    }
+
+    let node = spawn_node(
+        cfg.clone(),
+        me,
+        Arc::new(AckTypeRegistry::new()),
+        listener,
+        peer_addrs,
+    )?;
+    let h = node.handle();
+    println!("node {} up, listening on {}", args[1], args[2]);
+
+    // Echo deliveries and frontier advances to the console.
+    {
+        let topo = Arc::clone(cfg.topology());
+        h.on_deliver(move |origin, seq, payload| {
+            println!(
+                "<- {}/{}: {}",
+                topo.node_name(origin),
+                seq,
+                String::from_utf8_lossy(payload)
+            );
+        });
+    }
+    for (key, _) in cfg.predicates() {
+        h.monitor_stability_frontier(me, key, {
+            let key = key.to_owned();
+            move |u| println!(".. {key} -> {} (gen {})", u.seq, u.generation)
+        });
+    }
+
+    let stdin = std::io::stdin();
+    print!("> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("pub") => {
+                let text = line.splitn(2, ' ').nth(1).unwrap_or("").to_owned();
+                match h.publish(Bytes::from(text), Duration::from_secs(5)) {
+                    Ok(seq) => println!("published as seq {seq}"),
+                    Err(e) => println!("publish failed: {e}"),
+                }
+            }
+            Some("frontier") => match parts.next() {
+                Some(key) => match h.stability_frontier(me, key) {
+                    Some((seq, generation)) => println!("{key} = {seq} (gen {generation})"),
+                    None => println!("unknown predicate {key:?}"),
+                },
+                None => println!("usage: frontier <predicate>"),
+            },
+            Some("wait") => {
+                let (Some(key), Some(seq)) = (parts.next(), parts.next()) else {
+                    println!("usage: wait <predicate> <seq>");
+                    print!("> ");
+                    std::io::stdout().flush().ok();
+                    continue;
+                };
+                match seq.parse::<u64>() {
+                    Ok(seq) => match h.waitfor(me, key, seq, Duration::from_secs(30)) {
+                        Ok(true) => println!("{key} reached {seq}"),
+                        Ok(false) => println!("timed out"),
+                        Err(e) => println!("error: {e}"),
+                    },
+                    Err(_) => println!("bad sequence number"),
+                }
+            }
+            Some(cmd @ ("register" | "change")) => {
+                let key = parts.next();
+                let rest: Vec<&str> = parts.collect();
+                match (key, rest.is_empty()) {
+                    (Some(key), false) => {
+                        let src = rest.join(" ");
+                        let r = if cmd == "register" {
+                            h.register_predicate(me, key, &src)
+                        } else {
+                            h.change_predicate(me, key, &src)
+                        };
+                        match r {
+                            Ok(()) => println!("{cmd}ed {key}"),
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    _ => println!("usage: {cmd} <key> <predicate...>"),
+                }
+            }
+            Some("metrics") => {
+                let m = h.metrics();
+                println!(
+                    "data: {} msgs / {} bytes out, {} delivered; control: {} msgs, {} acks out, {} acks in ({} stale)",
+                    m.data_msgs_sent,
+                    m.data_bytes_sent,
+                    m.deliveries,
+                    m.control_msgs_sent,
+                    m.acks_sent,
+                    m.acks_received,
+                    m.acks_stale
+                );
+            }
+            Some("help") => {
+                println!("commands: pub <text> | frontier <key> | wait <key> <seq> | register <key> <pred> | change <key> <pred> | metrics | quit");
+            }
+            Some("quit") | Some("exit") => break,
+            Some(other) => println!("unknown command {other:?} (try `help`)"),
+            None => {}
+        }
+        print!("> ");
+        std::io::stdout().flush().ok();
+    }
+    h.shutdown();
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # Stabilizer
+//!
+//! A from-scratch Rust reproduction of *Stabilizer: Geo-Replication with
+//! User-defined Consistency* (ICDCS 2022): a geo-replication library in
+//! which applications define their consistency model as a **stability
+//! frontier predicate** over per-node acknowledgment counters, written
+//! in a small compiled DSL.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`dsl`] | the predicate language: parser, resolver, bytecode compiler, VM |
+//! | [`netsim`] | deterministic discrete-event WAN simulator (Table I/II testbeds) |
+//! | [`core`] | the Stabilizer library: data plane, control plane, sans-IO node |
+//! | [`transport`] | threaded TCP runtime for real deployments |
+//! | [`kvstore`] | geo-replicated K/V store (§V-A) |
+//! | [`quorum`] | quorum replication via predicates (§IV-B) |
+//! | [`paxos`] | multi-Paxos baseline (PhxPaxos stand-in) |
+//! | [`pubsub`] | pub/sub prototype and Pulsar-like baseline (§V-B) |
+//! | [`filebackup`] | Dropbox-like backup service and trace generator (§VI-B) |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and DESIGN.md /
+//! EXPERIMENTS.md for the experiment index.
+
+pub use stabilizer_core as core;
+pub use stabilizer_dsl as dsl;
+pub use stabilizer_filebackup as filebackup;
+pub use stabilizer_kvstore as kvstore;
+pub use stabilizer_netsim as netsim;
+pub use stabilizer_paxos as paxos;
+pub use stabilizer_pubsub as pubsub;
+pub use stabilizer_quorum as quorum;
+pub use stabilizer_transport as transport;
+
+// The most commonly used items, at the crate root.
+pub use stabilizer_core::{
+    Action, ClusterConfig, CoreError, FrontierUpdate, Options, StabilizerNode, WireMsg,
+};
+pub use stabilizer_dsl::{
+    AckTypeId, AckTypeRegistry, AckView, DslError, NodeId, Predicate, SeqNo, Topology,
+};

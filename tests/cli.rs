@@ -1,0 +1,81 @@
+//! Integration test for the `stabilizer-node` CLI: two real processes
+//! form a cluster over TCP, publish, and observe each other.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+const CFG: &str = "az A a b\npredicate AllRemote MIN($ALLWNODES-$MYWNODE)\n";
+
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+#[test]
+fn two_cli_processes_replicate_and_report_frontiers() {
+    let dir = std::env::temp_dir();
+    let cfg_path = dir.join(format!("stabilizer-cli-test-{}.cfg", std::process::id()));
+    std::fs::write(&cfg_path, CFG).unwrap();
+    let (pa, pb) = (free_port(), free_port());
+    let bin = env!("CARGO_BIN_EXE_stabilizer-node");
+
+    let mut node_a = Command::new(bin)
+        .args([
+            cfg_path.to_str().unwrap(),
+            "a",
+            &format!("127.0.0.1:{pa}"),
+            &format!("b=127.0.0.1:{pb}"),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn node a");
+    let mut node_b = Command::new(bin)
+        .args([
+            cfg_path.to_str().unwrap(),
+            "b",
+            &format!("127.0.0.1:{pb}"),
+            &format!("a=127.0.0.1:{pa}"),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn node b");
+
+    // Drive node a: publish, wait for full stability, quit.
+    {
+        let stdin = node_a.stdin.as_mut().unwrap();
+        std::thread::sleep(Duration::from_millis(300)); // let both boot
+        writeln!(stdin, "pub hello from process a").unwrap();
+        writeln!(stdin, "wait AllRemote 1").unwrap();
+        writeln!(stdin, "frontier AllRemote").unwrap();
+        writeln!(stdin, "metrics").unwrap();
+        writeln!(stdin, "quit").unwrap();
+    }
+    {
+        let stdin = node_b.stdin.as_mut().unwrap();
+        std::thread::sleep(Duration::from_millis(1500));
+        writeln!(stdin, "quit").unwrap();
+    }
+
+    let out_a = node_a.wait_with_output().expect("node a exits");
+    let out_b = node_b.wait_with_output().expect("node b exits");
+    let a = String::from_utf8_lossy(&out_a.stdout);
+    let b = String::from_utf8_lossy(&out_b.stdout);
+    std::fs::remove_file(&cfg_path).ok();
+
+    assert!(a.contains("published as seq 1"), "node a output:\n{a}");
+    assert!(a.contains("AllRemote reached 1"), "node a output:\n{a}");
+    assert!(a.contains("AllRemote = 1"), "node a output:\n{a}");
+    assert!(a.contains("data: 1 msgs"), "node a output:\n{a}");
+    assert!(
+        b.contains("<- a/1: hello from process a"),
+        "node b output:\n{b}"
+    );
+}
