@@ -12,8 +12,7 @@ use stabilizer_netsim::{NetTopology, SimDuration};
 const COUNT: u64 = 200;
 
 fn run(loss: f64) -> (f64, u64, u64) {
-    let mut opts = Options::default();
-    opts.retransmit_millis = 50;
+    let opts = Options::default().retransmit_millis(50);
     let cfg = ClusterConfig::parse("az A a b\naz B c d\npredicate All MIN($ALLWNODES-$MYWNODE)\n")
         .expect("static config")
         .with_options(opts);

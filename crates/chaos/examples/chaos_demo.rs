@@ -1,0 +1,47 @@
+//! Run one randomized chaos scenario from the command line.
+//!
+//! ```text
+//! cargo run -p stabilizer-chaos --example chaos_demo -- <seed>
+//! ```
+//!
+//! Expands the seed into a `(topology, workload, fault plan)` triple,
+//! runs it with the invariant checker after every step, and prints the
+//! determinism fingerprint. Running the same seed twice must print the
+//! same trace hash. On a violation, prints the replay command and the
+//! minimized fault plan.
+
+use stabilizer_chaos::{minimize_plan, Scenario};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: chaos_demo <seed>");
+        std::process::exit(2);
+    });
+    let seed: u64 = arg.parse().unwrap_or_else(|e| {
+        eprintln!("error: seed {arg:?} is not a u64: {e}");
+        std::process::exit(2);
+    });
+
+    let scenario = Scenario::from_seed(seed);
+    println!("scenario: {}", scenario.summary());
+    match scenario.run() {
+        Ok(report) => {
+            println!(
+                "ok: trace_hash={:016x} events={} steps={} dropped={} final_time={:?}",
+                report.trace_hash,
+                report.trace_events,
+                report.steps,
+                report.dropped,
+                report.final_time
+            );
+        }
+        Err(failure) => {
+            eprintln!("{failure}");
+            let minimal = minimize_plan(&failure.plan, |candidate| {
+                scenario.run_with_plan(candidate).is_err()
+            });
+            eprintln!("minimized fault plan: {minimal:?}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,559 @@
+//! Cross-crate invariant checking: a shadow-state checker that runs
+//! after every simulator step and verifies the safety properties the
+//! paper's design rests on, independently of any particular predicate:
+//!
+//! 1. **ACK monotonicity** — every `(stream, node, type)` cell of every
+//!    node's recorder only ever grows (§III-A's overwrite semantics).
+//! 2. **Belief ≤ truth** — node `n`'s view of how far node `m` has
+//!    acknowledged a stream never exceeds `m`'s own recorder cell.
+//!    Acks only propagate *from* the acking node, so a remote view can
+//!    never run ahead; this holds under any predicate, any partition,
+//!    and across exclusion/reinstatement.
+//! 3. **Delivered ⇒ received** — a node's own DELIVERED cell never
+//!    exceeds its RECEIVED cell, and never exceeds the high-water mark
+//!    of deliveries it actually up-called.
+//! 4. **Delivery is an origin prefix** — per `(node, origin)`,
+//!    deliveries are consecutive: `1, 2, 3, …` with no gap or repeat
+//!    (within one incarnation; a restart resumes from its snapshot).
+//! 5. **Frontier never regresses within a generation** — predicate
+//!    changes, auto-exclusion, and restore bump the generation; inside
+//!    one generation the frontier is monotone, and never exceeds what
+//!    the origin actually published.
+//! 6. **Suspicion/recovery consistency** — recoveries pair with prior
+//!    suspicions, nodes never suspect themselves, and the logs agree
+//!    with `StabilizerNode::is_suspected`.
+
+use stabilizer_core::sim_driver::{AppHooks, SimNode};
+use stabilizer_core::{FrontierUpdate, StabilizerNode};
+use stabilizer_dsl::{AckTypeId, NodeId, SeqNo, DELIVERED, RECEIVED};
+use stabilizer_netsim::SimTime;
+use std::collections::HashMap;
+
+/// A read-only view of one node's observable state, assembled by
+/// [`ChaosObservable::chaos_view`]. The checker consumes one view per
+/// node per step.
+pub struct NodeView<'a> {
+    /// The protocol state machine.
+    pub node: &'a StabilizerNode,
+    /// Timestamped frontier log.
+    pub frontier_log: &'a [(SimTime, FrontierUpdate)],
+    /// Timestamped delivery log.
+    pub delivery_log: &'a [(SimTime, NodeId, SeqNo)],
+    /// Suspicion log.
+    pub suspected_log: &'a [(SimTime, NodeId)],
+    /// Recovery log.
+    pub recovered_log: &'a [(SimTime, NodeId)],
+    /// Whether the delivery log is populated.
+    pub records_deliveries: bool,
+}
+
+/// Anything the checker can observe. Implemented for [`SimNode`] so the
+/// kvstore/pubsub/quorum harnesses (which embed or expose `SimNode`s)
+/// reuse the checker unchanged.
+pub trait ChaosObservable {
+    /// Assemble the checker's view of this node.
+    fn chaos_view(&self) -> NodeView<'_>;
+}
+
+impl<H: AppHooks> ChaosObservable for SimNode<H> {
+    fn chaos_view(&self) -> NodeView<'_> {
+        NodeView {
+            node: self.inner(),
+            frontier_log: &self.frontier_log,
+            delivery_log: &self.delivery_log,
+            suspected_log: &self.suspected_log,
+            recovered_log: &self.recovered_log,
+            records_deliveries: self.records_deliveries(),
+        }
+    }
+}
+
+/// A detected invariant violation: which property broke, where, and a
+/// human-readable account with the offending values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Virtual time of the check that tripped.
+    pub at: SimTime,
+    /// The node whose state violated the property.
+    pub node: u16,
+    /// Short property name (stable, used by tests).
+    pub property: &'static str,
+    /// Full account.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:?}] node {}: {} violated: {}",
+            self.at, self.node, self.property, self.detail
+        )
+    }
+}
+
+/// The shadow-state invariant checker. Feed it every node's view after
+/// every simulator step; it incrementally consumes the logs (cursors)
+/// and rescans the dense ACK tables (small: `n² · types` cells/node).
+pub struct InvariantChecker {
+    n: usize,
+    types: usize,
+    /// Shadow copy of each node's recorder table, flat
+    /// `[node][(stream*n + peer)*types + ty]`.
+    shadow_acks: Vec<Vec<SeqNo>>,
+    /// Per-node cursor into `frontier_log`.
+    frontier_cursor: Vec<usize>,
+    /// Last `(generation, seq)` seen per `(node, stream, key)`.
+    frontier_shadow: HashMap<(u16, u16, String), (u32, SeqNo)>,
+    /// Per-node cursor into `delivery_log`.
+    delivery_cursor: Vec<usize>,
+    /// Last delivered seq per `(node, origin)` in the current
+    /// incarnation (prefix check).
+    last_delivered: HashMap<(u16, u16), SeqNo>,
+    /// All-time high-water mark of deliveries per `(node, origin)`
+    /// (survives restarts; bounds the DELIVERED self-cell).
+    delivered_high: HashMap<(u16, u16), SeqNo>,
+    /// Per-node cursors into the suspicion/recovery logs.
+    suspected_cursor: Vec<usize>,
+    recovered_cursor: Vec<usize>,
+    /// Shadow suspicion sets: `suspects[n][p]`.
+    suspects: Vec<Vec<bool>>,
+}
+
+impl InvariantChecker {
+    /// Checker for an `n`-node cluster tracking `types` ACK types.
+    pub fn new(n: usize, types: usize) -> Self {
+        InvariantChecker {
+            n,
+            types,
+            shadow_acks: vec![vec![0; n * n * types]; n],
+            frontier_cursor: vec![0; n],
+            frontier_shadow: HashMap::new(),
+            delivery_cursor: vec![0; n],
+            last_delivered: HashMap::new(),
+            delivered_high: HashMap::new(),
+            suspected_cursor: vec![0; n],
+            recovered_cursor: vec![0; n],
+            suspects: vec![vec![false; n]; n],
+        }
+    }
+
+    /// Cluster size.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Tell the checker node `i` was crash-restarted from a snapshot:
+    /// its logs are empty again (fresh `SimNode`), its predicate
+    /// generations are fresh, its suspicion state is clear, and its
+    /// delivery prefix resumes from the restored DELIVERED self-cells.
+    /// Call *after* `replace_actor`, passing the restored machine.
+    pub fn note_restart(&mut self, i: usize, restored: &StabilizerNode) {
+        self.frontier_cursor[i] = 0;
+        self.delivery_cursor[i] = 0;
+        self.suspected_cursor[i] = 0;
+        self.recovered_cursor[i] = 0;
+        self.frontier_shadow
+            .retain(|(node, _, _), _| *node as usize != i);
+        for p in 0..self.n {
+            self.suspects[i][p] = false;
+        }
+        // The restored recorder may legitimately be behind the crashed
+        // zombie's table (in-flight messages processed after the
+        // snapshot are lost, as in a real crash): resync the shadow.
+        let rec = restored.recorder();
+        for s in 0..self.n {
+            for m in 0..self.n {
+                for t in 0..self.types {
+                    self.shadow_acks[i][(s * self.n + m) * self.types + t] =
+                        rec.get(NodeId(s as u16), NodeId(m as u16), AckTypeId(t as u16));
+                }
+            }
+            // Delivery resumes from the restored DELIVERED cell (the
+            // harness fast-forwards the receive state to exactly there).
+            // State transfer recovers that prefix out of band, so it
+            // counts toward the upcall high-water mark even though no
+            // in-simulation upcall happened for it.
+            let resumed = rec.get(NodeId(s as u16), NodeId(i as u16), DELIVERED);
+            self.last_delivered.insert((i as u16, s as u16), resumed);
+            let high = self.delivered_high.entry((i as u16, s as u16)).or_insert(0);
+            *high = (*high).max(resumed);
+        }
+    }
+
+    /// Run every check against the current views. `views[i]` must be
+    /// node `i`'s view. Returns the first violation found, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `views.len()` differs from the configured cluster size.
+    pub fn check(
+        &mut self,
+        now: SimTime,
+        views: &[NodeView<'_>],
+    ) -> Result<(), InvariantViolation> {
+        assert_eq!(views.len(), self.n, "one view per node");
+        self.check_deliveries(now, views)?;
+        self.check_acks(now, views)?;
+        self.check_frontiers(now, views)?;
+        self.check_suspicion(now, views)?;
+        Ok(())
+    }
+
+    /// Invariant 4 (and the high-water input to invariant 3).
+    fn check_deliveries(
+        &mut self,
+        now: SimTime,
+        views: &[NodeView<'_>],
+    ) -> Result<(), InvariantViolation> {
+        for (i, view) in views.iter().enumerate() {
+            if !view.records_deliveries {
+                self.delivery_cursor[i] = view.delivery_log.len();
+                continue;
+            }
+            let log = view.delivery_log;
+            for &(at, origin, seq) in &log[self.delivery_cursor[i]..] {
+                let key = (i as u16, origin.0);
+                let prev = *self.last_delivered.get(&key).unwrap_or(&0);
+                if seq != prev + 1 {
+                    return Err(InvariantViolation {
+                        at: now,
+                        node: i as u16,
+                        property: "delivery-prefix",
+                        detail: format!(
+                            "delivery of ({origin:?}, {seq}) at {at:?} is not consecutive: \
+                             previous delivered seq for this origin was {prev}"
+                        ),
+                    });
+                }
+                self.last_delivered.insert(key, seq);
+                let high = self.delivered_high.entry(key).or_insert(0);
+                *high = (*high).max(seq);
+            }
+            self.delivery_cursor[i] = log.len();
+        }
+        Ok(())
+    }
+
+    /// Invariants 1–3: full rescan of every recorder table.
+    fn check_acks(
+        &mut self,
+        now: SimTime,
+        views: &[NodeView<'_>],
+    ) -> Result<(), InvariantViolation> {
+        let n = self.n;
+        for (i, view) in views.iter().enumerate() {
+            let rec = view.node.recorder();
+            if rec.num_types() > self.types {
+                self.grow_types(rec.num_types());
+            }
+            let shadow = &mut self.shadow_acks[i];
+            for s in 0..n {
+                let stream = NodeId(s as u16);
+                for (m, view_m) in views.iter().enumerate() {
+                    let peer = NodeId(m as u16);
+                    for t in 0..self.types {
+                        let ty = AckTypeId(t as u16);
+                        let cur = rec.get(stream, peer, ty);
+                        let idx = (s * n + m) * self.types + t;
+                        if cur < shadow[idx] {
+                            return Err(InvariantViolation {
+                                at: now,
+                                node: i as u16,
+                                property: "ack-monotonicity",
+                                detail: format!(
+                                    "cell (stream {s}, node {m}, type {t}) regressed \
+                                     {} -> {cur}",
+                                    shadow[idx]
+                                ),
+                            });
+                        }
+                        shadow[idx] = cur;
+                        if m != i {
+                            let truth = view_m.node.recorder().get(stream, peer, ty);
+                            if cur > truth {
+                                return Err(InvariantViolation {
+                                    at: now,
+                                    node: i as u16,
+                                    property: "belief-beyond-truth",
+                                    detail: format!(
+                                        "believes node {m} acked stream {s} type {t} up to \
+                                         {cur}, but node {m}'s own cell is {truth}"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                // Invariant 3 on this node's own cells for stream `s`.
+                let me = NodeId(i as u16);
+                let received = rec.get(stream, me, RECEIVED);
+                let delivered = rec.get(stream, me, DELIVERED);
+                if delivered > received {
+                    return Err(InvariantViolation {
+                        at: now,
+                        node: i as u16,
+                        property: "delivered-beyond-received",
+                        detail: format!(
+                            "stream {s}: DELIVERED cell {delivered} > RECEIVED cell {received}"
+                        ),
+                    });
+                }
+                if view.records_deliveries && s != i {
+                    let high = *self.delivered_high.get(&(i as u16, s as u16)).unwrap_or(&0);
+                    if delivered > high {
+                        return Err(InvariantViolation {
+                            at: now,
+                            node: i as u16,
+                            property: "delivered-without-upcall",
+                            detail: format!(
+                                "stream {s}: DELIVERED cell claims {delivered} but only \
+                                 {high} deliveries were ever up-called"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Invariant 5.
+    fn check_frontiers(
+        &mut self,
+        now: SimTime,
+        views: &[NodeView<'_>],
+    ) -> Result<(), InvariantViolation> {
+        for (i, view) in views.iter().enumerate() {
+            let log = view.frontier_log;
+            for (at, update) in &log[self.frontier_cursor[i]..] {
+                let last_published = views[update.stream.0 as usize].node.last_published();
+                if update.seq > last_published {
+                    return Err(InvariantViolation {
+                        at: now,
+                        node: i as u16,
+                        property: "frontier-beyond-published",
+                        detail: format!(
+                            "frontier for (stream {:?}, key {:?}) reached {} at {at:?}, \
+                             but the origin only published {last_published}",
+                            update.stream, update.key, update.seq
+                        ),
+                    });
+                }
+                let key = (i as u16, update.stream.0, update.key.clone());
+                if let Some(&(gen, seq)) = self.frontier_shadow.get(&key) {
+                    if update.generation == gen && update.seq < seq {
+                        return Err(InvariantViolation {
+                            at: now,
+                            node: i as u16,
+                            property: "frontier-regression",
+                            detail: format!(
+                                "frontier for (stream {:?}, key {:?}) regressed {seq} -> {} \
+                                 within generation {gen}",
+                                update.stream, update.key, update.seq
+                            ),
+                        });
+                    }
+                }
+                self.frontier_shadow
+                    .insert(key, (update.generation, update.seq));
+            }
+            self.frontier_cursor[i] = log.len();
+        }
+        Ok(())
+    }
+
+    /// Invariant 6.
+    fn check_suspicion(
+        &mut self,
+        now: SimTime,
+        views: &[NodeView<'_>],
+    ) -> Result<(), InvariantViolation> {
+        for (i, view) in views.iter().enumerate() {
+            for &(at, peer) in &view.suspected_log[self.suspected_cursor[i]..] {
+                if peer.0 as usize == i {
+                    return Err(InvariantViolation {
+                        at: now,
+                        node: i as u16,
+                        property: "self-suspicion",
+                        detail: format!("suspected itself at {at:?}"),
+                    });
+                }
+                self.suspects[i][peer.0 as usize] = true;
+            }
+            self.suspected_cursor[i] = view.suspected_log.len();
+            for &(at, peer) in &view.recovered_log[self.recovered_cursor[i]..] {
+                if !self.suspects[i][peer.0 as usize] {
+                    return Err(InvariantViolation {
+                        at: now,
+                        node: i as u16,
+                        property: "unpaired-recovery",
+                        detail: format!(
+                            "recovery of {peer:?} at {at:?} without a preceding suspicion"
+                        ),
+                    });
+                }
+                self.suspects[i][peer.0 as usize] = false;
+            }
+            self.recovered_cursor[i] = view.recovered_log.len();
+            for p in 0..self.n {
+                let actual = view.node.is_suspected(NodeId(p as u16));
+                if actual != self.suspects[i][p] {
+                    return Err(InvariantViolation {
+                        at: now,
+                        node: i as u16,
+                        property: "suspicion-log-disagreement",
+                        detail: format!(
+                            "is_suspected({p}) = {actual} but the suspicion/recovery logs \
+                             imply {}",
+                            self.suspects[i][p]
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn grow_types(&mut self, types: usize) {
+        let n = self.n;
+        for shadow in &mut self.shadow_acks {
+            let mut new = vec![0; n * n * types];
+            for cell in 0..n * n {
+                for t in 0..self.types {
+                    new[cell * types + t] = shadow[cell * self.types + t];
+                }
+            }
+            *shadow = new;
+        }
+        self.types = types;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use stabilizer_core::ClusterConfig;
+    use stabilizer_dsl::AckTypeRegistry;
+    use std::sync::Arc;
+
+    fn two_nodes() -> Vec<StabilizerNode> {
+        let cfg = ClusterConfig::parse("az A 0 1\n").unwrap();
+        let acks = Arc::new(AckTypeRegistry::new());
+        (0..2)
+            .map(|i| StabilizerNode::new(cfg.clone(), NodeId(i), Arc::clone(&acks)).unwrap())
+            .collect()
+    }
+
+    fn view(node: &StabilizerNode) -> NodeView<'_> {
+        NodeView {
+            node,
+            frontier_log: &[],
+            delivery_log: &[],
+            suspected_log: &[],
+            recovered_log: &[],
+            records_deliveries: false,
+        }
+    }
+
+    #[test]
+    fn clean_cluster_passes() {
+        let mut nodes = two_nodes();
+        let _ = nodes[0].publish(Bytes::from_static(b"x")).unwrap();
+        let mut checker = InvariantChecker::new(2, 3);
+        let views: Vec<NodeView<'_>> = nodes.iter().map(view).collect();
+        checker.check(SimTime::ZERO, &views).unwrap();
+    }
+
+    #[test]
+    fn belief_beyond_truth_is_caught() {
+        let mut nodes = two_nodes();
+        let mut checker = InvariantChecker::new(2, 3);
+        // Forge node 0's belief through the wire path: an AckBatch from
+        // node 1 claiming it received stream 0 up to seq 7, while node
+        // 1's own recorder still says 0.
+        use stabilizer_core::{Ack, WireMsg};
+        nodes[0].on_message(
+            0,
+            NodeId(1),
+            WireMsg::AckBatch(vec![Ack {
+                stream: NodeId(0),
+                ty: RECEIVED,
+                seq: 7,
+            }]),
+        );
+        let views: Vec<NodeView<'_>> = nodes.iter().map(view).collect();
+        let err = checker.check(SimTime::ZERO, &views).unwrap_err();
+        assert_eq!(err.property, "belief-beyond-truth");
+    }
+
+    #[test]
+    fn delivery_gap_is_caught() {
+        let nodes = two_nodes();
+        let mut checker = InvariantChecker::new(2, 3);
+        let gap_log = [(SimTime::ZERO, NodeId(1), 2u64)]; // seq 1 missing
+        let views = vec![
+            NodeView {
+                delivery_log: &gap_log,
+                records_deliveries: true,
+                ..view(&nodes[0])
+            },
+            view(&nodes[1]),
+        ];
+        let err = checker.check(SimTime::ZERO, &views).unwrap_err();
+        assert_eq!(err.property, "delivery-prefix");
+    }
+
+    #[test]
+    fn frontier_regression_within_generation_is_caught() {
+        let mut nodes = two_nodes();
+        for _ in 0..5 {
+            nodes[0].publish(Bytes::from_static(b"p")).unwrap();
+        }
+        let mk = |seq, generation| FrontierUpdate {
+            stream: NodeId(0),
+            key: "k".to_string(),
+            seq,
+            generation,
+        };
+        let log = [
+            (SimTime::ZERO, mk(3, 0)),
+            (SimTime::ZERO, mk(2, 0)), // regression, same generation
+        ];
+        let mut checker = InvariantChecker::new(2, 3);
+        let views = vec![
+            NodeView {
+                frontier_log: &log,
+                ..view(&nodes[0])
+            },
+            view(&nodes[1]),
+        ];
+        let err = checker.check(SimTime::ZERO, &views).unwrap_err();
+        assert_eq!(err.property, "frontier-regression");
+    }
+
+    #[test]
+    fn frontier_drop_across_generations_is_allowed() {
+        let mut nodes = two_nodes();
+        for _ in 0..5 {
+            nodes[0].publish(Bytes::from_static(b"p")).unwrap();
+        }
+        let mk = |seq, generation| FrontierUpdate {
+            stream: NodeId(0),
+            key: "k".to_string(),
+            seq,
+            generation,
+        };
+        let log = [(SimTime::ZERO, mk(3, 0)), (SimTime::ZERO, mk(1, 1))];
+        let mut checker = InvariantChecker::new(2, 3);
+        let views = vec![
+            NodeView {
+                frontier_log: &log,
+                ..view(&nodes[0])
+            },
+            view(&nodes[1]),
+        ];
+        checker.check(SimTime::ZERO, &views).unwrap();
+    }
+}

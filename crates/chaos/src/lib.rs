@@ -1,0 +1,36 @@
+//! Deterministic chaos harness for the Stabilizer reproduction.
+//!
+//! Three pieces, designed to compose with every application crate in
+//! the workspace:
+//!
+//! - **Fault plans** ([`plan`]): declarative schedules of partitions,
+//!   asymmetric loss, bandwidth collapse, crash/restart, and
+//!   control-plane delay skew, compiled to primitive timed operations.
+//! - **Invariant checking** ([`invariants`]): a shadow-state checker
+//!   run after *every* simulator step, verifying predicate-independent
+//!   safety properties (ACK monotonicity, belief ≤ truth, delivery
+//!   prefixes, frontier monotonicity per generation, suspicion
+//!   bookkeeping) through the [`AppHooks`]-level observer seam.
+//! - **Randomized scenarios with seed replay** ([`scenario`]): a run is
+//!   fully determined by `(topology, workload, fault plan, u64 seed)`;
+//!   a violation prints a one-line replay command, and the greedy
+//!   minimizer ([`minimize`]) shrinks the fault plan to a minimal
+//!   still-failing core.
+//!
+//! [`AppHooks`]: stabilizer_core::sim_driver::AppHooks
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod invariants;
+pub mod minimize;
+pub mod plan;
+pub mod scenario;
+pub mod trace;
+
+pub use harness::{ChaosError, ChaosHarness, RunReport, TimedWork, WorkItem};
+pub use invariants::{ChaosObservable, InvariantChecker, InvariantViolation, NodeView};
+pub use minimize::minimize_plan;
+pub use plan::{Fault, FaultEvent, FaultPlan, Op, PlanError, TimedOp};
+pub use scenario::{ChaosFailure, Scenario, TopologyKind};
+pub use trace::{shared_trace, ChaosObserver, EventTrace, SharedTrace, TraceEvent, TraceEventKind};

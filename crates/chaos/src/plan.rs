@@ -1,0 +1,485 @@
+//! Declarative fault plans and their compilation into timed operations.
+//!
+//! A [`FaultPlan`] is data: a list of faults with virtual start times and
+//! durations. [`FaultPlan::compile`] lowers it into a sorted sequence of
+//! primitive [`Op`]s (apply + revert) that the harness interleaves with
+//! the simulator's event loop. Keeping plans declarative makes them
+//! hashable, printable on failure, and shrinkable by the minimizer.
+
+use stabilizer_netsim::SimDuration;
+use std::fmt;
+
+/// One fault category. Durations are relative to the fault's start.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Cut every link between `side` and its complement (both
+    /// directions); heal after `heal_after`.
+    Partition {
+        /// One side of the cut (non-empty, proper subset).
+        side: Vec<usize>,
+        /// Time until the partition heals.
+        heal_after: SimDuration,
+    },
+    /// Independent per-message loss on the directed link `from -> to`
+    /// only — the reverse direction stays clean (asymmetric loss).
+    AsymmetricLoss {
+        /// Sender side of the lossy direction.
+        from: usize,
+        /// Receiver side.
+        to: usize,
+        /// Loss probability in `[0, 1]`.
+        probability: f64,
+        /// Time until the loss clears.
+        clear_after: SimDuration,
+    },
+    /// Collapse a node's egress NIC to a trickle, then restore it.
+    BandwidthCollapse {
+        /// The throttled node.
+        node: usize,
+        /// Collapsed rate in bytes/second.
+        bytes_per_sec: f64,
+        /// Time until the NIC recovers.
+        restore_after: SimDuration,
+    },
+    /// Crash a node (snapshot its control plane, cut its links) and
+    /// restart it from the snapshot after `down_for`.
+    CrashRestart {
+        /// The crashing node.
+        node: usize,
+        /// Downtime before the restart.
+        down_for: SimDuration,
+    },
+    /// Add extra one-way delay on the directed link `from -> to` — a
+    /// skewed control plane or a flapped route; clears after
+    /// `clear_after`.
+    DelaySkew {
+        /// Sender side of the skewed direction.
+        from: usize,
+        /// Receiver side.
+        to: usize,
+        /// Extra one-way delay.
+        extra: SimDuration,
+        /// Time until the skew clears.
+        clear_after: SimDuration,
+    },
+}
+
+/// A fault with its virtual start time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Start time, relative to the run's start.
+    pub at: SimDuration,
+    /// The fault.
+    pub fault: Fault,
+}
+
+/// A declarative schedule of faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled faults (any order; compilation sorts).
+    pub events: Vec<FaultEvent>,
+}
+
+/// A plan that cannot be executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(pub String);
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A primitive operation the harness applies to the simulator at a
+/// specific virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Set the given directed links up or down.
+    SetLinks {
+        /// Directed `(from, to)` pairs.
+        pairs: Vec<(usize, usize)>,
+        /// Up (`true`) or down (`false`).
+        up: bool,
+    },
+    /// Set loss probability on one directed link.
+    SetLoss {
+        /// Sender side.
+        from: usize,
+        /// Receiver side.
+        to: usize,
+        /// Probability in `[0, 1]` (0 clears).
+        probability: f64,
+    },
+    /// Set a node's egress rate (restore passes a huge rate).
+    SetEgress {
+        /// The node.
+        node: usize,
+        /// Bytes per second.
+        bytes_per_sec: f64,
+    },
+    /// Set extra one-way delay on one directed link (ZERO clears).
+    SetDelay {
+        /// Sender side.
+        from: usize,
+        /// Receiver side.
+        to: usize,
+        /// The extra delay.
+        extra: SimDuration,
+    },
+    /// Snapshot and cut off a node.
+    Crash {
+        /// The crashing node.
+        node: usize,
+    },
+    /// Restore the node from its crash snapshot and reconnect it.
+    Restart {
+        /// The restarting node.
+        node: usize,
+    },
+}
+
+/// An [`Op`] scheduled at a virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedOp {
+    /// When to apply, relative to the run's start.
+    pub at: SimDuration,
+    /// What to apply.
+    pub op: Op,
+}
+
+/// The egress rate used to "restore" a collapsed NIC (effectively
+/// unlimited; the simulator has no explicit un-limit knob).
+pub const EGRESS_RESTORED: f64 = 1e12;
+
+fn cut_pairs(side: &[usize], n: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for &a in side {
+        for b in 0..n {
+            if !side.contains(&b) {
+                pairs.push((a, b));
+                pairs.push((b, a));
+            }
+        }
+    }
+    pairs
+}
+
+fn node_pairs(node: usize, n: usize) -> Vec<(usize, usize)> {
+    (0..n)
+        .filter(|&x| x != node)
+        .flat_map(|x| [(node, x), (x, node)])
+        .collect()
+}
+
+impl FaultPlan {
+    /// Check the plan against a cluster of `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found: out-of-range nodes,
+    /// bad probabilities, degenerate partitions, or overlapping crash
+    /// windows on the same node (a node cannot crash while down).
+    pub fn validate(&self, n: usize) -> Result<(), PlanError> {
+        let mut crash_windows: Vec<(usize, SimDuration, SimDuration)> = Vec::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            let bad = |msg: String| Err(PlanError(format!("event {i}: {msg}")));
+            match &ev.fault {
+                Fault::Partition {
+                    side,
+                    heal_after: _,
+                } => {
+                    if side.is_empty() || side.len() >= n {
+                        return bad(format!(
+                            "partition side must be a non-empty proper subset, got {side:?}"
+                        ));
+                    }
+                    if side.iter().any(|&x| x >= n) {
+                        return bad(format!("partition side {side:?} out of range (n={n})"));
+                    }
+                }
+                Fault::AsymmetricLoss {
+                    from,
+                    to,
+                    probability,
+                    ..
+                } => {
+                    if *from >= n || *to >= n || from == to {
+                        return bad(format!("bad loss link {from}->{to} (n={n})"));
+                    }
+                    if !(0.0..=1.0).contains(probability) {
+                        return bad(format!("loss probability {probability} outside [0,1]"));
+                    }
+                }
+                Fault::BandwidthCollapse {
+                    node,
+                    bytes_per_sec,
+                    ..
+                } => {
+                    if *node >= n {
+                        return bad(format!("node {node} out of range (n={n})"));
+                    }
+                    if *bytes_per_sec <= 0.0 {
+                        return bad(format!("collapse rate {bytes_per_sec} must be positive"));
+                    }
+                }
+                Fault::CrashRestart { node, down_for } => {
+                    if *node >= n {
+                        return bad(format!("node {node} out of range (n={n})"));
+                    }
+                    if *down_for == SimDuration::ZERO {
+                        return bad("crash downtime must be positive".into());
+                    }
+                    let (start, end) = (ev.at, ev.at + *down_for);
+                    for &(other, s, e) in &crash_windows {
+                        if other == *node && start < e && s < end {
+                            return bad(format!(
+                                "crash windows overlap on node {node} ([{s}, {e}] vs [{start}, {end}])"
+                            ));
+                        }
+                    }
+                    crash_windows.push((*node, start, end));
+                }
+                Fault::DelaySkew { from, to, .. } => {
+                    if *from >= n || *to >= n || from == to {
+                        return bad(format!("bad skew link {from}->{to} (n={n})"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower into primitive timed operations, sorted by time (stable on
+    /// ties, so compilation is deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlan::validate`] failures.
+    pub fn compile(&self, n: usize) -> Result<Vec<TimedOp>, PlanError> {
+        self.validate(n)?;
+        let mut ops = Vec::new();
+        for ev in &self.events {
+            match &ev.fault {
+                Fault::Partition { side, heal_after } => {
+                    let pairs = cut_pairs(side, n);
+                    ops.push(TimedOp {
+                        at: ev.at,
+                        op: Op::SetLinks {
+                            pairs: pairs.clone(),
+                            up: false,
+                        },
+                    });
+                    ops.push(TimedOp {
+                        at: ev.at + *heal_after,
+                        op: Op::SetLinks { pairs, up: true },
+                    });
+                }
+                Fault::AsymmetricLoss {
+                    from,
+                    to,
+                    probability,
+                    clear_after,
+                } => {
+                    ops.push(TimedOp {
+                        at: ev.at,
+                        op: Op::SetLoss {
+                            from: *from,
+                            to: *to,
+                            probability: *probability,
+                        },
+                    });
+                    ops.push(TimedOp {
+                        at: ev.at + *clear_after,
+                        op: Op::SetLoss {
+                            from: *from,
+                            to: *to,
+                            probability: 0.0,
+                        },
+                    });
+                }
+                Fault::BandwidthCollapse {
+                    node,
+                    bytes_per_sec,
+                    restore_after,
+                } => {
+                    ops.push(TimedOp {
+                        at: ev.at,
+                        op: Op::SetEgress {
+                            node: *node,
+                            bytes_per_sec: *bytes_per_sec,
+                        },
+                    });
+                    ops.push(TimedOp {
+                        at: ev.at + *restore_after,
+                        op: Op::SetEgress {
+                            node: *node,
+                            bytes_per_sec: EGRESS_RESTORED,
+                        },
+                    });
+                }
+                Fault::CrashRestart { node, down_for } => {
+                    ops.push(TimedOp {
+                        at: ev.at,
+                        op: Op::Crash { node: *node },
+                    });
+                    ops.push(TimedOp {
+                        at: ev.at + *down_for,
+                        op: Op::Restart { node: *node },
+                    });
+                }
+                Fault::DelaySkew {
+                    from,
+                    to,
+                    extra,
+                    clear_after,
+                } => {
+                    ops.push(TimedOp {
+                        at: ev.at,
+                        op: Op::SetDelay {
+                            from: *from,
+                            to: *to,
+                            extra: *extra,
+                        },
+                    });
+                    ops.push(TimedOp {
+                        at: ev.at + *clear_after,
+                        op: Op::SetDelay {
+                            from: *from,
+                            to: *to,
+                            extra: SimDuration::ZERO,
+                        },
+                    });
+                }
+            }
+        }
+        ops.sort_by_key(|op| op.at);
+        Ok(ops)
+    }
+
+    /// Links touched by `Crash`/`Restart` ops for `node` (used by the
+    /// harness; exposed for tests).
+    pub fn crash_pairs(node: usize, n: usize) -> Vec<(usize, usize)> {
+        node_pairs(node, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn compile_sorts_and_pairs_reverts() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at: ms(500),
+                    fault: Fault::AsymmetricLoss {
+                        from: 0,
+                        to: 1,
+                        probability: 0.3,
+                        clear_after: ms(100),
+                    },
+                },
+                FaultEvent {
+                    at: ms(100),
+                    fault: Fault::Partition {
+                        side: vec![0],
+                        heal_after: ms(200),
+                    },
+                },
+            ],
+        };
+        let ops = plan.compile(3).unwrap();
+        let times: Vec<u64> = ops.iter().map(|o| o.at.as_nanos() / 1_000_000).collect();
+        assert_eq!(times, vec![100, 300, 500, 600]);
+        assert!(matches!(ops[0].op, Op::SetLinks { up: false, .. }));
+        assert!(matches!(ops[1].op, Op::SetLinks { up: true, .. }));
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_across_the_cut_only() {
+        let pairs = cut_pairs(&[0, 2], 4);
+        assert!(pairs.contains(&(0, 1)) && pairs.contains(&(1, 0)));
+        assert!(pairs.contains(&(2, 3)) && pairs.contains(&(3, 2)));
+        assert!(!pairs.contains(&(0, 2)) && !pairs.contains(&(1, 3)));
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        let bad = |fault| {
+            FaultPlan {
+                events: vec![FaultEvent { at: ms(0), fault }],
+            }
+            .validate(4)
+        };
+        assert!(bad(Fault::Partition {
+            side: vec![0, 1, 2, 3],
+            heal_after: ms(1)
+        })
+        .is_err());
+        assert!(bad(Fault::AsymmetricLoss {
+            from: 0,
+            to: 0,
+            probability: 0.5,
+            clear_after: ms(1)
+        })
+        .is_err());
+        assert!(bad(Fault::AsymmetricLoss {
+            from: 0,
+            to: 1,
+            probability: 1.5,
+            clear_after: ms(1)
+        })
+        .is_err());
+        assert!(bad(Fault::CrashRestart {
+            node: 9,
+            down_for: ms(1)
+        })
+        .is_err());
+        // Overlapping crashes on one node are rejected; disjoint pass.
+        let overlap = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at: ms(0),
+                    fault: Fault::CrashRestart {
+                        node: 1,
+                        down_for: ms(500),
+                    },
+                },
+                FaultEvent {
+                    at: ms(300),
+                    fault: Fault::CrashRestart {
+                        node: 1,
+                        down_for: ms(500),
+                    },
+                },
+            ],
+        };
+        assert!(overlap.validate(4).is_err());
+        let disjoint = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at: ms(0),
+                    fault: Fault::CrashRestart {
+                        node: 1,
+                        down_for: ms(200),
+                    },
+                },
+                FaultEvent {
+                    at: ms(300),
+                    fault: Fault::CrashRestart {
+                        node: 1,
+                        down_for: ms(200),
+                    },
+                },
+            ],
+        };
+        assert!(disjoint.validate(4).is_ok());
+    }
+}

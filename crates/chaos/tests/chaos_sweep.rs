@@ -1,0 +1,146 @@
+//! The randomized chaos sweep, seed replay, determinism fingerprint,
+//! and (feature-gated) recorder mutation tests.
+//!
+//! Normal builds run the sweep and expect zero violations. Builds with
+//! `--features chaos-unclamped-acks` deliberately break the ACK
+//! recorder's monotonic clamp and expect the invariant checker to catch
+//! it — proving the checker actually has teeth.
+
+use stabilizer_chaos::{minimize_plan, Scenario};
+
+/// Replay one scenario from `CHAOS_SEED` (printed by a failing sweep).
+/// Without the variable this is a no-op, so the test is always safe to
+/// run unfiltered.
+#[test]
+fn replay_from_env() {
+    let Ok(seed) = std::env::var("CHAOS_SEED") else {
+        return;
+    };
+    let seed: u64 = seed.parse().expect("CHAOS_SEED must be a u64");
+    let scenario = Scenario::from_seed(seed);
+    println!("replaying seed {seed}: {}", scenario.summary());
+    println!("fault plan: {:#?}", scenario.plan);
+    match scenario.run() {
+        Ok(report) => println!(
+            "no violation: {} steps, {} trace events, hash {:016x}",
+            report.steps, report.trace_events, report.trace_hash
+        ),
+        Err(failure) => {
+            let minimal = minimize_plan(&failure.plan, |candidate| {
+                scenario.run_with_plan(candidate).is_err()
+            });
+            panic!(
+                "{failure}\nminimized fault plan ({} events): {minimal:#?}",
+                minimal.events.len()
+            );
+        }
+    }
+}
+
+#[cfg(not(feature = "chaos-unclamped-acks"))]
+mod clean {
+    use super::*;
+    use stabilizer_chaos::TopologyKind;
+
+    /// ≥200 randomized scenarios, all three topology families, zero
+    /// invariant violations. On failure the panic message carries the
+    /// seed, the replay command, and a greedily minimized fault plan.
+    #[test]
+    fn sweep_200_randomized_scenarios() {
+        let mut by_topology = [0usize; 3];
+        for seed in 0..200u64 {
+            let scenario = Scenario::from_seed(seed);
+            match scenario.topology {
+                TopologyKind::Ec2Fig2 => by_topology[0] += 1,
+                TopologyKind::CloudlabTable2 => by_topology[1] += 1,
+                TopologyKind::FullMesh { .. } => by_topology[2] += 1,
+            }
+            if let Err(failure) = scenario.run() {
+                let minimal = minimize_plan(&failure.plan, |candidate| {
+                    scenario.run_with_plan(candidate).is_err()
+                });
+                panic!(
+                    "{failure}\nminimized fault plan ({} events): {minimal:#?}",
+                    minimal.events.len()
+                );
+            }
+        }
+        assert!(
+            by_topology.iter().all(|&c| c > 0),
+            "sweep must exercise every topology family, got {by_topology:?}"
+        );
+    }
+
+    /// Acceptance criterion: the same `(plan, workload, seed)` twice
+    /// produces byte-identical event traces (compared via hash).
+    #[test]
+    fn same_seed_twice_is_trace_identical() {
+        for seed in [3u64, 17, 91] {
+            let a = Scenario::from_seed(seed).run().expect("clean run");
+            let b = Scenario::from_seed(seed).run().expect("clean run");
+            assert_eq!(
+                a.trace_hash, b.trace_hash,
+                "seed {seed}: nondeterminism leaked into the event trace"
+            );
+            assert_eq!(a.trace_events, b.trace_events);
+            assert_eq!(a.steps, b.steps);
+        }
+    }
+}
+
+/// Mutation tests: with the monotonic clamp compiled out of
+/// `AckRecorder::observe`, the checker must report a violation.
+#[cfg(feature = "chaos-unclamped-acks")]
+mod mutation {
+    use stabilizer_chaos::{ChaosHarness, Fault, FaultEvent, FaultPlan, TimedWork, WorkItem};
+    use stabilizer_core::ClusterConfig;
+    use stabilizer_netsim::{NetTopology, SimDuration};
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    /// A delay-skew clear reorders in-flight ACK batches (messages sent
+    /// under the old, larger delay land *after* messages sent under the
+    /// new, smaller one). The real recorder max-merges, so reordered
+    /// reports are harmless; the unclamped mutant regresses the cell and
+    /// the checker must catch it.
+    #[test]
+    fn unclamped_recorder_trips_the_checker() {
+        let cfg = ClusterConfig::parse(
+            "az A w0\naz B w1\naz C w2\n\
+             predicate All MIN($ALLWNODES-$MYWNODE)\n\
+             option ack_flush_micros 1000\n\
+             option heartbeat_millis 50\n\
+             option retransmit_millis 100\n",
+        )
+        .unwrap();
+        // Skew the ack path w1 -> w0 by 100 ms, then clear it mid-burst.
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at: ms(50),
+                fault: Fault::DelaySkew {
+                    from: 1,
+                    to: 0,
+                    extra: ms(100),
+                    clear_after: ms(250),
+                },
+            }],
+        };
+        let workload: Vec<TimedWork> = (0..40)
+            .map(|i| TimedWork {
+                at: ms(10 + i * 10),
+                item: WorkItem::Publish { node: 0, len: 64 },
+            })
+            .collect();
+        let net = NetTopology::full_mesh(3, ms(5), 1e9);
+        let mut harness = ChaosHarness::new(&cfg, net, 5, &plan, workload).unwrap();
+        let violation = harness
+            .run(ms(1000))
+            .expect_err("the unclamped recorder must trip an invariant");
+        assert!(
+            violation.property == "ack-monotonicity" || violation.property == "belief-beyond-truth",
+            "unexpected property: {violation}"
+        );
+    }
+}

@@ -12,7 +12,7 @@
 
 use crate::recorder::AckRecorder;
 use stabilizer_dsl::{AckTypeId, NodeId, Predicate, SeqNo};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Token identifying a blocked `waitfor` call; returned to the driver
 /// when the wait completes.
@@ -50,7 +50,10 @@ struct Waiter {
 /// blocked waiters.
 #[derive(Debug, Default)]
 pub struct FrontierEngine {
-    entries: HashMap<(NodeId, String), Entry>,
+    // BTreeMap, not HashMap: `on_ack_advance` and `exclude_node` iterate
+    // this map and emit `FrontierUpdate`s in iteration order, which must
+    // be identical across processes for seed replay to be byte-stable.
+    entries: BTreeMap<(NodeId, String), Entry>,
     waiters: Vec<Waiter>,
 }
 

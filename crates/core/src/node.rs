@@ -101,8 +101,10 @@ pub struct StabilizerNode {
     next_token: WaitToken,
     actions: Vec<Action>,
     /// Original DSL sources per (stream, key), kept so predicates can be
-    /// restored verbatim when an excluded node rejoins.
-    predicate_sources: std::collections::HashMap<(NodeId, String), String>,
+    /// restored verbatim when an excluded node rejoins. Ordered map:
+    /// `reinstate_node` iterates it and emits frontier updates, whose
+    /// order must be stable across processes for deterministic replay.
+    predicate_sources: std::collections::BTreeMap<(NodeId, String), String>,
     metrics: Metrics,
     /// Per-peer: `(last received-ack seen, nanos when it last advanced)`,
     /// for the retransmission timeout.
@@ -157,7 +159,7 @@ impl StabilizerNode {
             suspected: vec![false; n],
             next_token: 1,
             actions: Vec::new(),
-            predicate_sources: std::collections::HashMap::new(),
+            predicate_sources: std::collections::BTreeMap::new(),
             metrics: Metrics::default(),
             retransmit_state: vec![(0, 0); n],
             peers,
@@ -1029,8 +1031,7 @@ mod tests {
 
     #[test]
     fn suspected_peer_unpins_the_buffer() {
-        let mut opts = Options::default();
-        opts.failure_timeout_millis = 10;
+        let opts = Options::default().failure_timeout_millis(10);
         let cfg = cfg().with_options(opts);
         let mut n = StabilizerNode::new(cfg, NodeId(0), Arc::new(AckTypeRegistry::new())).unwrap();
         n.publish(Bytes::from(vec![0u8; 100])).unwrap();
@@ -1160,8 +1161,7 @@ mod tests {
 
     #[test]
     fn coalescing_defers_ack_sends_until_flush() {
-        let mut opts = Options::default();
-        opts.ack_flush_micros = 1000;
+        let opts = Options::default().ack_flush_micros(1000);
         let cfg = cfg().with_options(opts);
         let mut n = StabilizerNode::new(cfg, NodeId(1), Arc::new(AckTypeRegistry::new())).unwrap();
         for seq in 1..=5 {
@@ -1218,8 +1218,7 @@ mod tests {
 
     #[test]
     fn payload_size_limit_is_enforced() {
-        let mut opts = Options::default();
-        opts.max_payload_bytes = 8;
+        let opts = Options::default().max_payload_bytes(8);
         let cfg = cfg().with_options(opts);
         let mut n = StabilizerNode::new(cfg, NodeId(0), Arc::new(AckTypeRegistry::new())).unwrap();
         assert!(matches!(

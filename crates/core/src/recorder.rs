@@ -70,6 +70,18 @@ impl AckRecorder {
     /// advanced (only advances trigger predicate re-evaluation).
     pub fn observe(&mut self, stream: NodeId, node: NodeId, ty: AckTypeId, seq: SeqNo) -> bool {
         let idx = self.idx(stream, node, ty);
+        // Mutation hook for the chaos harness: with this feature the
+        // monotonic max-merge clamp is skipped, so stale or reordered
+        // reports overwrite newer state. The chaos invariant checker
+        // must flag this as an ACK-counter regression; a build that
+        // doesn't is a broken checker. Never enable outside that test.
+        #[cfg(feature = "chaos-unclamped-acks")]
+        {
+            let advanced = seq != self.table[idx];
+            self.table[idx] = seq;
+            return advanced;
+        }
+        #[cfg(not(feature = "chaos-unclamped-acks"))]
         if seq > self.table[idx] {
             self.table[idx] = seq;
             true

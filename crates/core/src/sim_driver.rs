@@ -84,6 +84,12 @@ impl<H: AppHooks> SimNode<H> {
         &self.node
     }
 
+    /// Whether [`SimNode::delivery_log`] is being populated (external
+    /// checkers skip delivery-order invariants when it is not).
+    pub fn records_deliveries(&self) -> bool {
+        self.record_deliveries
+    }
+
     /// Mutable access for *query-only* operations outside the event loop.
     /// To perform operations that emit actions, use the `*_in` methods
     /// with a simulation [`Ctx`].
@@ -292,6 +298,27 @@ pub fn build_cluster(
     net: stabilizer_netsim::NetTopology,
     seed: u64,
 ) -> Result<stabilizer_netsim::Simulation<SimNode>, CoreError> {
+    build_cluster_with_hooks(cfg, net, seed, |_| NoHooks)
+}
+
+/// [`build_cluster`] with per-node application hooks: `mk_hooks(i)`
+/// produces the [`AppHooks`] for node `i`. This is how external
+/// observers (e.g. the chaos harness's invariant checker) attach to
+/// every node of a cluster without changing the drivers.
+///
+/// # Errors
+///
+/// Fails if a configured predicate does not compile.
+///
+/// # Panics
+///
+/// Panics if `net.len()` differs from the cluster topology size.
+pub fn build_cluster_with_hooks<H: AppHooks>(
+    cfg: &ClusterConfig,
+    net: stabilizer_netsim::NetTopology,
+    seed: u64,
+    mut mk_hooks: impl FnMut(usize) -> H,
+) -> Result<stabilizer_netsim::Simulation<SimNode<H>>, CoreError> {
     assert_eq!(
         net.len(),
         cfg.num_nodes(),
@@ -301,7 +328,7 @@ pub fn build_cluster(
     let mut nodes = Vec::with_capacity(cfg.num_nodes());
     for i in 0..cfg.num_nodes() {
         let node = StabilizerNode::new(cfg.clone(), NodeId(i as u16), Arc::clone(&acks))?;
-        nodes.push(SimNode::new(node, NoHooks));
+        nodes.push(SimNode::new(node, mk_hooks(i)));
     }
     Ok(stabilizer_netsim::Simulation::new(net, nodes, seed))
 }

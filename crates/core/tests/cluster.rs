@@ -183,10 +183,10 @@ fn change_predicate_exposes_generation_gap() {
 
 #[test]
 fn crashed_secondary_is_suspected_and_excluded() {
-    let mut opts = Options::default();
-    opts.failure_timeout_millis = 500;
-    opts.heartbeat_millis = 100;
-    opts.auto_exclude_suspects = true;
+    let opts = Options::default()
+        .failure_timeout_millis(500)
+        .heartbeat_millis(100)
+        .auto_exclude_suspects(true);
     let cfg = ec2_cfg("predicate AllWNodes MIN($ALLWNODES-$MYWNODE)").with_options(opts);
     let mut sim = build_cluster(&cfg, NetTopology::ec2_fig2(), 6).unwrap();
 
@@ -244,8 +244,7 @@ fn send_buffer_reclaims_after_global_receipt() {
 
 #[test]
 fn backpressure_then_progress() {
-    let mut opts = Options::default();
-    opts.send_buffer_bytes = 3 * 8192;
+    let opts = Options::default().send_buffer_bytes(3 * 8192);
     let cfg = ec2_cfg("predicate AllWNodes MIN($ALLWNODES-$MYWNODE)").with_options(opts);
     let mut sim = build_cluster(&cfg, NetTopology::ec2_fig2(), 8).unwrap();
     let mut published = 0;
@@ -445,8 +444,7 @@ fn reliability_mechanism_recovers_from_heavy_loss() {
     // FIFO delivery." Inject 20% independent message loss on every link
     // of a 4-node mesh; the go-back-N retransmitter must still deliver
     // every message, in order, to every peer.
-    let mut opts = Options::default();
-    opts.retransmit_millis = 50;
+    let opts = Options::default().retransmit_millis(50);
     let cfg = ClusterConfig::parse("az A a b\naz B c d\npredicate All MIN($ALLWNODES-$MYWNODE)\n")
         .unwrap()
         .with_options(opts);
@@ -513,8 +511,7 @@ fn reliability_mechanism_recovers_from_heavy_loss() {
 
 #[test]
 fn retransmission_stays_quiet_on_clean_links() {
-    let mut opts = Options::default();
-    opts.retransmit_millis = 20;
+    let opts = Options::default().retransmit_millis(20);
     let cfg = ClusterConfig::parse("az A a b c\npredicate All MIN($ALLWNODES-$MYWNODE)\n")
         .unwrap()
         .with_options(opts);
@@ -637,5 +634,152 @@ fn recovered_secondary_is_automatically_reinstated() {
             .unwrap()
             .0,
         2
+    );
+}
+
+/// Assert the frontier log entries for `key` at `node` never regress
+/// within a generation, and that generations themselves never decrease.
+/// This is the chaos harness's frontier invariant, stated inline so the
+/// core crate needs no dev-dependency on `stabilizer-chaos` (which
+/// depends on this crate).
+fn assert_frontier_monotone(
+    sim: &stabilizer_netsim::Simulation<stabilizer_core::sim_driver::SimNode>,
+    node: usize,
+    key: &str,
+) {
+    let mut last: Option<(u32, SeqNo)> = None;
+    for (at, u) in sim.actor(node).frontier_log.iter() {
+        if u.key != key {
+            continue;
+        }
+        if let Some((gen, seq)) = last {
+            assert!(
+                u.generation >= gen,
+                "generation regressed {gen} -> {} at {at:?}",
+                u.generation
+            );
+            if u.generation == gen {
+                assert!(
+                    u.seq >= seq,
+                    "frontier for {key} regressed {seq} -> {} within generation {gen} at {at:?}",
+                    u.seq
+                );
+            }
+        }
+        last = Some((u.generation, u.seq));
+    }
+    assert!(
+        last.is_some(),
+        "no frontier updates for {key} at node {node}"
+    );
+}
+
+#[test]
+fn frontier_never_regresses_across_mid_stream_predicate_changes() {
+    // Regression test: flip the predicate weaker->stronger->weaker while
+    // messages are still in flight. Each change bumps the generation;
+    // within every generation the reported frontier must be monotone.
+    let cfg = ec2_cfg("predicate P MAX($ALLWNODES-$MYWNODE)");
+    let mut sim = build_cluster(&cfg, NetTopology::ec2_fig2(), 51).unwrap();
+    let sources = [
+        "MIN($ALLWNODES-$MYWNODE)",                             // strongest
+        "KTH_MAX(SIZEOF($ALLWNODES)/2+1, $ALLWNODES-$MYWNODE)", // majority
+        "MAX($ALLWNODES-$MYWNODE)",                             // weakest
+    ];
+    for (round, source) in sources.iter().enumerate() {
+        for i in 0..4 {
+            sim.with_ctx(0, |n, ctx| {
+                n.publish_in(ctx, Bytes::from(vec![(round * 4 + i) as u8; 2048]))
+            })
+            .unwrap();
+        }
+        // Change mid-flight: the just-published burst has not stabilized.
+        sim.with_ctx(0, |n, ctx| {
+            n.change_predicate_in(ctx, NodeId(0), "P", source)
+        })
+        .unwrap();
+        sim.run_for(SimDuration::from_millis(40));
+    }
+    sim.run_until_idle();
+    assert_frontier_monotone(&sim, 0, "P");
+    let (frontier, generation) = sim
+        .actor(0)
+        .inner()
+        .stability_frontier(NodeId(0), "P")
+        .unwrap();
+    assert_eq!(frontier, 12, "all bursts eventually stabilize");
+    assert_eq!(generation, 3, "one bump per change_predicate");
+}
+
+#[test]
+fn frontier_never_regresses_across_exclusion_and_reinstatement() {
+    // Regression test: the §III-E exclusion/reinstatement cycle rewrites
+    // the predicate twice (drop node 7, re-add node 7). The frontier the
+    // application sees must stay monotone within each generation even
+    // though the *set* of required ackers shrank and grew back.
+    let opts = Options::default()
+        .failure_timeout_millis(400)
+        .heartbeat_millis(100)
+        .auto_exclude_suspects(true)
+        .retransmit_millis(100);
+    let cfg = ec2_cfg("predicate AllWNodes MIN($ALLWNODES-$MYWNODE)").with_options(opts);
+    let mut sim = build_cluster(&cfg, NetTopology::ec2_fig2(), 52).unwrap();
+
+    for _ in 0..3 {
+        sim.with_ctx(0, |n, ctx| n.publish_in(ctx, Bytes::from(vec![0u8; 512])))
+            .unwrap();
+    }
+    // `run_until_idle` would never return here: the heartbeat and
+    // retransmit timers re-arm forever. Bounded slices instead.
+    sim.run_for(SimDuration::from_millis(500));
+
+    // Node 7 drops off; publish into the partition; auto-exclusion lets
+    // the frontier advance without it.
+    for i in 0..7 {
+        sim.set_link_up(7, i, false);
+        sim.set_link_up(i, 7, false);
+    }
+    sim.with_ctx(0, |n, ctx| n.publish_in(ctx, Bytes::from(vec![1u8; 512])))
+        .unwrap();
+    sim.run_for(SimDuration::from_millis(1500));
+    assert!(sim.actor(0).inner().is_suspected(NodeId(7)));
+    assert_eq!(
+        sim.actor(0)
+            .inner()
+            .stability_frontier(NodeId(0), "AllWNodes")
+            .unwrap()
+            .0,
+        4
+    );
+
+    // Node 7 returns, catches up out of band, and is reinstated.
+    for i in 0..7 {
+        sim.set_link_up(7, i, true);
+        sim.set_link_up(i, 7, true);
+    }
+    sim.run_for(SimDuration::from_millis(800));
+    assert!(!sim.actor(0).inner().is_suspected(NodeId(7)));
+    sim.with_ctx(7, |n, ctx| {
+        n.inner_mut().fast_forward_stream(NodeId(0), 4);
+        let actions = n.inner_mut().take_actions();
+        n.process_actions(ctx, actions);
+    });
+    sim.with_ctx(0, |n, ctx| n.publish_in(ctx, Bytes::from(vec![2u8; 512])))
+        .unwrap();
+    sim.run_for(SimDuration::from_secs(2));
+
+    assert_frontier_monotone(&sim, 0, "AllWNodes");
+    let (frontier, generation) = sim
+        .actor(0)
+        .inner()
+        .stability_frontier(NodeId(0), "AllWNodes")
+        .unwrap();
+    assert_eq!(
+        frontier, 5,
+        "post-reinstatement message stabilized on all nodes"
+    );
+    assert!(
+        generation >= 2,
+        "exclusion and reinstatement each bump the generation (got {generation})"
     );
 }

@@ -200,8 +200,7 @@ proptest! {
         count in 5u64..40,
         seed in 0u64..1000,
     ) {
-        let mut opts = stabilizer_core::Options::default();
-        opts.retransmit_millis = 40;
+        let opts = stabilizer_core::Options::default().retransmit_millis(40);
         let cfg = ClusterConfig::parse(
             "az A a b\naz B c\npredicate All MIN($ALLWNODES-$MYWNODE)\n",
         )

@@ -19,8 +19,7 @@ fn chaos_run(seed: u64) {
     let mut cfg_text = format!("az Z {}\n", names.join(" "));
     cfg_text.push_str("predicate All MIN($ALLWNODES-$MYWNODE)\n");
     cfg_text.push_str("predicate Majority KTH_MAX(SIZEOF($ALLWNODES)/2+1, $ALLWNODES)\n");
-    let mut opts = Options::default();
-    opts.retransmit_millis = 50;
+    let opts = Options::default().retransmit_millis(50);
     let cfg = ClusterConfig::parse(&cfg_text).unwrap().with_options(opts);
 
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
@@ -127,8 +126,7 @@ fn chaos_run(seed: u64) {
     }
 
     // Invariants.
-    for origin in 0..n {
-        let expect = published[origin];
+    for (origin, &expect) in published.iter().enumerate() {
         let (frontier, _) = sim
             .actor(origin)
             .inner()

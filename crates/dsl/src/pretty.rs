@@ -118,7 +118,7 @@ impl fmt::Display for ResolvedExpr {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::parser::parse;
 
     fn roundtrip(src: &str) {

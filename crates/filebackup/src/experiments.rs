@@ -96,7 +96,7 @@ pub fn paxos_sync_time(size: u64, seed: u64) -> SimDuration {
     let chunks = size.div_ceil(CHUNK_BYTES).max(1);
     let mut last_id = 0;
     for i in 0..chunks {
-        let chunk_size = if i + 1 == chunks && size % CHUNK_BYTES != 0 {
+        let chunk_size = if i + 1 == chunks && !size.is_multiple_of(CHUNK_BYTES) {
             (size % CHUNK_BYTES) as usize
         } else {
             CHUNK_BYTES as usize

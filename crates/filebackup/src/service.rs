@@ -121,7 +121,7 @@ impl BackupNode {
         let mut first = 0;
         let mut last = 0;
         for i in 0..chunks {
-            let payload = if i + 1 == chunks && size % CHUNK_BYTES != 0 {
+            let payload = if i + 1 == chunks && !size.is_multiple_of(CHUNK_BYTES) {
                 // Final partial chunk: exact size for faithful bandwidth
                 // accounting.
                 self.full_chunk.slice(0..(size % CHUNK_BYTES) as usize)

@@ -201,6 +201,13 @@ impl GeoKvNode {
         self.sim.inner()
     }
 
+    /// The embedded simulator driver, exposed read-only so external
+    /// observers (e.g. the chaos harness's invariant checker) can view
+    /// this node exactly as they view a bare `SimNode` cluster.
+    pub fn driver(&self) -> &SimNode<NoHooks> {
+        &self.sim
+    }
+
     fn apply_delivery(&mut self, origin: NodeId, payload: &Bytes) {
         // Malformed records are dropped; in a real deployment this would
         // be an integration bug worth surfacing loudly, so debug builds

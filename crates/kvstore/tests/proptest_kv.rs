@@ -57,9 +57,7 @@ proptest! {
         for probe in [0u64, 5, 15, 100, 305, u64::MAX] {
             for key in ["a", "b", "c"] {
                 let expected = journal
-                    .iter()
-                    .filter(|(k, _, ts)| k == key && *ts <= probe)
-                    .next_back()
+                    .iter().rfind(|(k, _, ts)| k == key && *ts <= probe)
                     .and_then(|(_, v, _)| v.map(|b| Bytes::from(vec![b])));
                 prop_assert_eq!(store.get_by_time(key, probe), expected, "key {} at {}", key, probe);
             }

@@ -176,7 +176,7 @@ mod tests {
         let mut last = SimTime::ZERO;
         let mut now = SimTime::ZERO;
         for i in 0..50 {
-            now = now + SimDuration::from_micros((i % 7) * 100);
+            now += SimDuration::from_micros((i % 7) * 100);
             let arr = st.transmit(&spec, now, 8192);
             assert!(arr >= last, "FIFO violated");
             last = arr;

@@ -156,6 +156,8 @@ pub struct Simulation<A: Actor> {
     loss: Vec<f64>,
     /// Optional per-node egress NIC model: `(bytes_per_sec, busy_until)`.
     egress: Vec<Option<(f64, SimTime)>>,
+    /// Runtime extra one-way delay per directed link (delay skew).
+    extra_delay: Vec<crate::time::SimDuration>,
     rng: SmallRng,
 }
 
@@ -182,6 +184,7 @@ impl<A: Actor> Simulation<A> {
             dropped: 0,
             loss: vec![0.0; n * n],
             egress: vec![None; n],
+            extra_delay: vec![crate::time::SimDuration::ZERO; n * n],
             rng: SmallRng::seed_from_u64(seed),
         };
         for i in 0..n {
@@ -266,6 +269,23 @@ impl<A: Actor> Simulation<A> {
         ));
     }
 
+    /// Add a runtime extra one-way delay on the directed link `a -> b`,
+    /// on top of the topology's propagation delay — a `tc netem delay`
+    /// change applied mid-run (route flap, congested backbone, skewed
+    /// control plane). Messages already in flight keep their original
+    /// arrival time, so *reducing* the skew can reorder across the change
+    /// point, exactly as on a real route change; the per-link FIFO shaper
+    /// still orders everything sent after the change.
+    pub fn set_link_extra_delay(&mut self, a: usize, b: usize, extra: crate::time::SimDuration) {
+        let n = self.topo.len();
+        self.extra_delay[a * n + b] = extra;
+    }
+
+    /// The current extra delay injected on the directed link `a -> b`.
+    pub fn link_extra_delay(&self, a: usize, b: usize) -> crate::time::SimDuration {
+        self.extra_delay[a * self.topo.len() + b]
+    }
+
     /// Messages dropped due to cut or missing links, or injected loss.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -274,6 +294,13 @@ impl<A: Actor> Simulation<A> {
     /// Number of events waiting in the queue.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Virtual time of the next queued event, if any — lets an external
+    /// driver (e.g. a fault injector) interleave scheduled actions with
+    /// the event loop at exact times without consuming the event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(ev)| ev.time)
     }
 
     /// Process the next event, if any. Returns `false` when idle.
@@ -392,8 +419,9 @@ impl<A: Actor> Simulation<A> {
                 } else {
                     0
                 };
-                let arrival =
-                    self.links[from * n + to].transmit_jittered(spec, link_clock, size, jitter_ns);
+                let arrival = self.links[from * n + to]
+                    .transmit_jittered(spec, link_clock, size, jitter_ns)
+                    + self.extra_delay[from * n + to];
                 self.push(arrival, EventKind::Deliver { to, from, msg });
             }
             Effect::SetTimer { id, delay, tag } => {
@@ -630,6 +658,31 @@ mod tests {
             "shared NIC not modeled: last at {last}s"
         );
         // Without the cap, all three would arrive at ~1 byte-time.
+    }
+
+    #[test]
+    fn extra_delay_skews_one_direction_only() {
+        let mut sim = two_nodes(10);
+        sim.set_link_extra_delay(0, 1, SimDuration::from_millis(25));
+        sim.with_ctx(0, |_, ctx| ctx.send(1, Num(1)));
+        sim.with_ctx(1, |_, ctx| ctx.send(0, Num(2)));
+        sim.run_until_idle();
+        assert_eq!(
+            sim.actor(1).got[0].0,
+            SimTime::ZERO + SimDuration::from_millis(35),
+            "forward direction must carry the skew"
+        );
+        assert_eq!(
+            sim.actor(0).got[0].0,
+            SimTime::ZERO + SimDuration::from_millis(10),
+            "reverse direction must not"
+        );
+        // Clearing the skew restores the base latency.
+        sim.set_link_extra_delay(0, 1, SimDuration::ZERO);
+        let t0 = sim.now();
+        sim.with_ctx(0, |_, ctx| ctx.send(1, Num(3)));
+        sim.run_until_idle();
+        assert_eq!(sim.actor(1).got[1].0, t0 + SimDuration::from_millis(10));
     }
 
     #[test]

@@ -91,10 +91,10 @@ proptest! {
         sim.run_until_idle();
 
         let one_way = SimDuration::from_millis_f64(case.rtt_ms as f64 / 2.0);
-        for dest in 1..case.n {
+        for (dest, &sent) in sent_per_dest.iter().enumerate().skip(1) {
             let got = &sim.actor(dest).got;
             // Conservation: everything sent arrives, exactly once.
-            prop_assert_eq!(got.len() as u64, sent_per_dest[dest]);
+            prop_assert_eq!(got.len() as u64, sent);
             // FIFO per link: (batch, idx) arrive in send order.
             for w in got.windows(2) {
                 prop_assert!((w[0].1, w[0].2) < (w[1].1, w[1].2), "FIFO violated at {dest}");
@@ -150,5 +150,104 @@ proptest! {
         let a: Vec<Vec<(SimTime, usize, u64)>> = run(7);
         let b = run(7);
         prop_assert_eq!(a, b);
+    }
+}
+
+// --- Fault-knob properties: the chaos harness's injection primitives ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `set_link_loss` drops some messages but never reorders the
+    /// survivors: per-link FIFO holds for whatever gets through.
+    #[test]
+    fn loss_drops_but_never_reorders(
+        loss in 0.05f64..0.9,
+        count in 10u64..150,
+        size in 64usize..2048,
+        seed in 0u64..1000,
+    ) {
+        let mut net = NetTopology::new(&["a", "b"]);
+        net.set_symmetric(0, 1, LinkSpec::from_rtt_mbit(10.0, 100.0));
+        let mut sim = Simulation::new(net, vec![Sink::default(), Sink::default()], seed);
+        sim.set_link_loss(0, 1, loss);
+        sim.with_ctx(0, |_, ctx| {
+            for idx in 0..count {
+                ctx.send(1, Tagged { from_batch: 0, idx, size });
+            }
+        });
+        sim.run_until_idle();
+        let got = &sim.actor(1).got;
+        // Conservation with loss: delivered + dropped == sent.
+        prop_assert_eq!(got.len() as u64 + sim.dropped(), count);
+        // Survivors keep send order (no reordering, no duplication).
+        for w in got.windows(2) {
+            prop_assert!(w[0].2 < w[1].2, "loss reordered the survivors");
+        }
+    }
+
+    /// While a link is administratively down, nothing sent on it is
+    /// delivered; re-upping it restores delivery for later sends (the
+    /// in-flight-at-cut messages still arrive — cuts are at send time).
+    #[test]
+    fn downed_link_delivers_nothing(
+        count in 1u64..50,
+        size in 64usize..2048,
+        seed in 0u64..1000,
+    ) {
+        let mut net = NetTopology::new(&["a", "b"]);
+        net.set_symmetric(0, 1, LinkSpec::from_rtt_mbit(10.0, 100.0));
+        let mut sim = Simulation::new(net, vec![Sink::default(), Sink::default()], seed);
+        sim.set_link_up(0, 1, false);
+        sim.with_ctx(0, |_, ctx| {
+            for idx in 0..count {
+                ctx.send(1, Tagged { from_batch: 0, idx, size });
+            }
+        });
+        sim.run_until_idle();
+        prop_assert_eq!(sim.actor(1).got.len(), 0, "downed link leaked a message");
+        prop_assert_eq!(sim.dropped(), count);
+
+        // Heal and send a second batch: all of it arrives.
+        sim.set_link_up(0, 1, true);
+        sim.with_ctx(0, |_, ctx| {
+            for idx in 0..count {
+                ctx.send(1, Tagged { from_batch: 1, idx, size });
+            }
+        });
+        sim.run_until_idle();
+        let got = &sim.actor(1).got;
+        prop_assert_eq!(got.len() as u64, count);
+        prop_assert!(got.iter().all(|(_, batch, _)| *batch == 1));
+    }
+
+    /// `set_egress_limit` caps achieved throughput at the limit even
+    /// when the links themselves are much faster.
+    #[test]
+    fn egress_limit_caps_throughput(
+        limit_kbps in 50u64..5000,   // kilobytes/second
+        count in 5u64..80,
+        size in 256usize..4096,
+    ) {
+        let mut net = NetTopology::new(&["a", "b"]);
+        // A fat, fast link: 1 Gbit, 1 ms RTT. The egress limit must bind.
+        net.set_symmetric(0, 1, LinkSpec::from_rtt_mbit(1.0, 1000.0));
+        let mut sim = Simulation::new(net, vec![Sink::default(), Sink::default()], 1);
+        let limit = limit_kbps as f64 * 1000.0; // bytes/sec
+        sim.set_egress_limit(0, limit);
+        sim.with_ctx(0, |_, ctx| {
+            for idx in 0..count {
+                ctx.send(1, Tagged { from_batch: 0, idx, size });
+            }
+        });
+        sim.run_until_idle();
+        let got = &sim.actor(1).got;
+        prop_assert_eq!(got.len() as u64, count);
+        let last = got.last().unwrap().0;
+        let achieved = (count * size as u64) as f64 / last.as_secs_f64();
+        prop_assert!(
+            achieved <= limit * 1.01,
+            "achieved {achieved} B/s > egress limit {limit} B/s"
+        );
     }
 }

@@ -15,6 +15,7 @@ use stabilizer_netsim::{Actor, Ctx, NetTopology, SimDuration, SimTime, Simulatio
 use std::sync::Arc;
 
 const TAG_PUBLISH: u64 = 10;
+const TAG_RETRANSMIT: u64 = 11;
 
 /// A paced publishing workload: `count` messages of `size` bytes at
 /// `interval` spacing.
@@ -224,6 +225,20 @@ impl StabBroker {
 impl Actor for StabBroker {
     type Msg = WireMsg;
 
+    fn on_start(&mut self, ctx: &mut Ctx<'_, WireMsg>) {
+        // The experiments run over loss-free links, so the broker never
+        // needed a retransmission driver; with `retransmit_millis`
+        // configured (e.g. under injected loss) pump the reliability
+        // check like the core `SimNode` driver does.
+        let retransmit = self.node.config().options().retransmit_millis;
+        if retransmit > 0 {
+            ctx.set_timer(
+                SimDuration::from_millis((retransmit / 2).max(1)),
+                TAG_RETRANSMIT,
+            );
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, WireMsg>, from: usize, msg: WireMsg) {
         self.node
             .on_message(ctx.now().as_nanos(), NodeId(from as u16), msg);
@@ -231,8 +246,18 @@ impl Actor for StabBroker {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, WireMsg>, _t: TimerId, tag: u64) {
-        if tag == TAG_PUBLISH {
-            self.publish_next(ctx);
+        match tag {
+            TAG_PUBLISH => self.publish_next(ctx),
+            TAG_RETRANSMIT => {
+                self.node.on_retransmit_check(ctx.now().as_nanos());
+                self.drain(ctx);
+                let retransmit = self.node.config().options().retransmit_millis;
+                ctx.set_timer(
+                    SimDuration::from_millis((retransmit / 2).max(1)),
+                    TAG_RETRANSMIT,
+                );
+            }
+            _ => {}
         }
     }
 }

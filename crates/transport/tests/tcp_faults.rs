@@ -78,9 +78,9 @@ fn messages_published_before_peers_start_still_arrive() {
 
 #[test]
 fn silent_peer_is_suspected_over_tcp() {
-    let mut opts = Options::default();
-    opts.heartbeat_millis = 50;
-    opts.failure_timeout_millis = 400;
+    let opts = Options::default()
+        .heartbeat_millis(50)
+        .failure_timeout_millis(400);
     let cfg = cfg(Some(opts));
     let cluster = stabilizer_transport::spawn_local_cluster(&cfg).unwrap();
     let h0 = cluster[0].handle();

@@ -9,7 +9,7 @@
 
 use bytes::Bytes;
 use stabilizer::core::sim_driver::build_cluster;
-use stabilizer::{ClusterConfig, NodeId};
+use stabilizer::ClusterConfig;
 use stabilizer_netsim::NetTopology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -20,7 +20,7 @@
 
 use bytes::Bytes;
 use stabilizer::transport::spawn_node;
-use stabilizer::{AckTypeRegistry, ClusterConfig, NodeId};
+use stabilizer::{AckTypeRegistry, ClusterConfig};
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -104,7 +104,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("pub") => {
-                let text = line.splitn(2, ' ').nth(1).unwrap_or("").to_owned();
+                let text = line.split_once(' ').map(|x| x.1).unwrap_or("").to_owned();
                 match h.publish(Bytes::from(text), Duration::from_secs(5)) {
                     Ok(seq) => println!("published as seq {seq}"),
                     Err(e) => println!("publish failed: {e}"),
@@ -145,7 +145,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                             h.change_predicate(me, key, &src)
                         };
                         match r {
-                            Ok(()) => println!("{cmd}ed {key}"),
+                            Ok(()) => println!(
+                                "{} {key}",
+                                if cmd == "register" {
+                                    "registered"
+                                } else {
+                                    "changed"
+                                }
+                            ),
                             Err(e) => println!("error: {e}"),
                         }
                     }

@@ -1,0 +1,44 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy yielding `Some(value)` or `None` (see [`of`]).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Real proptest defaults to Some with high probability; an even
+        // split keeps both arms well-exercised at our case counts.
+        if rng.gen_bool(0.5) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `proptest::option::of(strategy)`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn emits_both_variants() {
+        let s = of(0u32..100);
+        let mut rng = new_rng(2);
+        let draws: Vec<_> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|d| d.is_some()));
+        assert!(draws.iter().any(|d| d.is_none()));
+        assert!(draws.iter().flatten().all(|v| *v < 100));
+    }
+}

@@ -1,0 +1,145 @@
+//! Tiny regex-to-generator: supports the pattern subset used by this
+//! workspace's tests — character classes with ranges (`[a-z/]`,
+//! `[ -~]`), literal characters, and `{n}` / `{min,max}` quantifiers.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Flattened set of candidate characters from a `[...]` class.
+    Class(Vec<char>),
+    /// A single literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+                    for c in lo..=hi {
+                        set.push(c);
+                    }
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+            i = close + 1;
+            Atom::Class(set)
+        } else if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 2;
+            Atom::Literal(chars[i - 1])
+        } else {
+            i += 1;
+            Atom::Literal(chars[i - 1])
+        };
+
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier min"),
+                    hi.trim().parse().expect("bad quantifier max"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "quantifier min > max in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generate a string matching `pattern` (within the supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let reps = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..reps {
+            match &piece.atom {
+                Atom::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+                Atom::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn class_with_range_and_bounded_repeat() {
+        let mut rng = new_rng(5);
+        for _ in 0..500 {
+            let s = generate_matching("[a-z/]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '/'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = new_rng(6);
+        for _ in 0..500 {
+            let s = generate_matching("[ -~]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn bare_class_emits_one_char() {
+        let mut rng = new_rng(7);
+        for _ in 0..200 {
+            let s = generate_matching("[a-c]", &mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(matches!(s.chars().next().unwrap(), 'a'..='c'));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = new_rng(8);
+        let s = generate_matching("ab[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

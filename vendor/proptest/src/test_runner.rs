@@ -1,0 +1,95 @@
+//! Deterministic case driving: config, per-case seeds, and the error
+//! type returned by `prop_assert*!`.
+
+use std::fmt;
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::SmallRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed assertion inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Construct a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Cases to actually run: `PROPTEST_CASES` overrides the config, and a
+/// pinned `PROPTEST_SEED` replays exactly one case.
+pub fn effective_cases(configured: u32) -> u32 {
+    if std::env::var("PROPTEST_SEED").is_ok() {
+        return 1;
+    }
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(configured)
+        .max(1)
+}
+
+/// Stable base seed for a property, derived from its name (FNV-1a).
+pub fn base_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Seed for one case; `PROPTEST_SEED` pins it for replay.
+pub fn case_seed(base: u64, case: u32) -> u64 {
+    if let Ok(v) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = v.parse::<u64>() {
+            return seed;
+        }
+    }
+    // SplitMix64 step over (base + case) decorrelates adjacent cases.
+    let mut z = base
+        .wrapping_add(case as u64)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Build the per-case RNG.
+pub fn new_rng(seed: u64) -> TestRng {
+    use rand::SeedableRng;
+    TestRng::seed_from_u64(seed)
+}

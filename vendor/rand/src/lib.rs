@@ -1,0 +1,228 @@
+//! Offline stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Provides [`rngs::SmallRng`] (an xoshiro256++ generator), the
+//! [`SeedableRng`] and [`Rng`] traits, and uniform range sampling for the
+//! integer and float types this workspace draws. Determinism is the only
+//! property the workspace relies on: every simulator run is keyed by a
+//! `u64` seed and must replay bit-for-bit.
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (only the `seed_from_u64` entry point is used).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+mod splitmix {
+    pub fn next(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that can be sampled uniformly from a range, mirroring
+/// `rand::distributions::uniform::SampleUniform` far enough for
+/// `Rng::gen_range`.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Sample uniformly from `[low, high]` (both inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// The largest value strictly below `high` (for half-open ranges).
+    fn prev(high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                debug_assert!(low <= high);
+                let span = (high as u128).wrapping_sub(low as u128).wrapping_add(1) as u128;
+                if span == 0 {
+                    // Full u128-wide span cannot occur for <=64-bit types
+                    // except [MIN, MAX]; fall back to raw bits.
+                    return rng.next_u64() as $t;
+                }
+                // Multiply-shift rejection-free mapping is fine here: the
+                // simulator needs determinism, not cryptographic-grade
+                // uniformity, and spans are tiny relative to 2^64.
+                let r = rng.next_u64() as u128;
+                (low as u128).wrapping_add((r * span) >> 64) as $t
+            }
+            fn prev(high: Self) -> Self {
+                high - 1
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+    fn prev(high: Self) -> Self {
+        // Half-open float ranges: the unit sampler above never returns
+        // exactly 1.0 for high > low, so treat the bound as-is.
+        high
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_inclusive(rng, low as f64, high as f64) as f32
+    }
+    fn prev(high: Self) -> Self {
+        high
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_inclusive(rng, self.start, T::prev(self.end))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range: empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Convenience sampling methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from a (half-open or inclusive) range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} outside [0,1]");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{splitmix, RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm the real `SmallRng` uses on 64-bit
+    /// platforms. Small state, fast, and deterministic across platforms.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix::next(&mut sm);
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports.
+    pub use crate::rngs::SmallRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let same: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..u64::MAX)).collect();
+        let mut d = SmallRng::seed_from_u64(42);
+        let other: Vec<u64> = (0..8).map(|_| d.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(same, other);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3u32..10);
+            assert!((3..10).contains(&v));
+            let w = r.gen_range(5u64..=6);
+            assert!((5..=6).contains(&w));
+            let f = r.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+            let neg = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&heads), "p=0.3 gave {heads}/10000");
+    }
+}
