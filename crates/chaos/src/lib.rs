@@ -17,6 +17,13 @@
 //!   minimizer ([`minimize`]) shrinks the fault plan to a minimal
 //!   still-failing core.
 //!
+//! The same fault plans and invariant checker also run against the
+//! *real* threaded TCP transport: [`tcp_proxy`] routes every inter-node
+//! connection through a fault-injecting proxy, and [`tcp_harness`]
+//! drives a proxied cluster through a plan plus workload under
+//! wall-clock time, closing the gap between simulated and real-socket
+//! executions.
+//!
 //! [`AppHooks`]: stabilizer_core::sim_driver::AppHooks
 
 #![warn(missing_docs)]
@@ -26,6 +33,8 @@ pub mod invariants;
 pub mod minimize;
 pub mod plan;
 pub mod scenario;
+pub mod tcp_harness;
+pub mod tcp_proxy;
 pub mod trace;
 
 pub use harness::{ChaosError, ChaosHarness, RunReport, TimedWork, WorkItem};
@@ -33,4 +42,6 @@ pub use invariants::{ChaosObservable, InvariantChecker, InvariantViolation, Node
 pub use minimize::minimize_plan;
 pub use plan::{Fault, FaultEvent, FaultPlan, Op, PlanError, TimedOp};
 pub use scenario::{ChaosFailure, Scenario, TopologyKind};
+pub use tcp_harness::{ChaosTcpCluster, TcpRunReport};
+pub use tcp_proxy::ProxyNet;
 pub use trace::{shared_trace, ChaosObserver, EventTrace, SharedTrace, TraceEvent, TraceEventKind};

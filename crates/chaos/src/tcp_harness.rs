@@ -1,0 +1,548 @@
+//! The TCP chaos harness: runs a real threaded-transport cluster behind
+//! the fault-injecting proxy ([`crate::tcp_proxy`]), drives the same
+//! declarative [`FaultPlan`] and workload vocabulary as the simulator
+//! harness, and checks the same invariants — over real sockets, real
+//! threads, and wall-clock time.
+//!
+//! The division of labor with [`ChaosHarness`](crate::ChaosHarness):
+//! the simulator explores schedules deterministically; this harness
+//! validates that the *transport* (framing, reconnect repair,
+//! thread/lock discipline) upholds the same safety properties under the
+//! same faults. A wall-clock run is not bit-reproducible, but the same
+//! `(plan, workload, seed)` must always produce the same **verdict** and
+//! converge to the same final protocol state — the replay tests pin
+//! that.
+//!
+//! ## Consistent cuts over threads
+//!
+//! The checker needs a simultaneous view of all nodes. [`check_now`]
+//! locks every node's state machine in index order (safe: each runtime
+//! thread only ever takes its own node's lock), then reads each node's
+//! observer log. Observers run *under* the node lock
+//! ([`stabilizer_core::RuntimeObserver`]), so each per-node view is
+//! internally consistent; across nodes, freezing believers before (or
+//! after) truth-holders is safe either way because acknowledgments only
+//! flow forward from the acking node.
+//!
+//! ## Crash ordering
+//!
+//! A TCP crash is a sequence, and its order is what preserves
+//! belief ≤ truth: **cut** the node's links (down + epoch-kill every
+//! proxied connection), **drain** (wait for the old conn threads to
+//! exit, so nothing more escapes), **snapshot** the control plane (now a
+//! superset of everything that escaped), then **shut down** the runtime.
+//! The dead incarnation's handle is kept as a "zombie" so the checker
+//! can keep viewing its frozen state while the node is down. Restart
+//! kills the links a second time — discarding any held frames the
+//! zombie wrote between snapshot and shutdown — before pointing the
+//! proxy at the restarted node's fresh listener.
+//!
+//! [`check_now`]: ChaosTcpCluster::check_now
+
+use crate::harness::{ChaosError, TimedWork, WorkItem};
+use crate::invariants::{InvariantChecker, InvariantViolation, NodeView};
+use crate::plan::{FaultPlan, Op, TimedOp};
+use crate::tcp_proxy::ProxyNet;
+use bytes::Bytes;
+use stabilizer_core::{
+    shared_runtime_log, AckTypeRegistry, ClusterConfig, CoreError, LogObserver, NodeId,
+    SharedRuntimeLog, Snapshot,
+};
+use stabilizer_dsl::{SeqNo, RECEIVED};
+use stabilizer_netsim::SimTime;
+use stabilizer_transport::{spawn_node_with, NodeHandle, SpawnOptions};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often the run loop re-checks invariants between scheduled events.
+const CHECK_EVERY: Duration = Duration::from_millis(5);
+
+/// Bound on the crash-time connection drain (exceeding it is a harness
+/// bug, not a protocol violation — conn threads poll every few ms).
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Post-cut settle time letting the zombie's readers finish frames that
+/// were already forwarded, so the snapshot covers them.
+const SETTLE: Duration = Duration::from_millis(50);
+
+/// Summary of a clean TCP chaos run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpRunReport {
+    /// Invariant sweeps performed.
+    pub checks: u64,
+    /// Frames dropped by injected loss.
+    pub dropped: u64,
+    /// Wall-clock duration of the run, nanoseconds.
+    pub elapsed_nanos: u64,
+}
+
+enum ScheduledKind {
+    Fault(Op),
+    Work(WorkItem),
+}
+
+struct Scheduled {
+    at: Duration,
+    kind: ScheduledKind,
+}
+
+/// An N-node threaded-transport cluster behind fault-injecting proxies.
+/// Build with [`ChaosTcpCluster::new`], run with
+/// [`ChaosTcpCluster::run`], then optionally
+/// [`ChaosTcpCluster::verify_liveness`].
+pub struct ChaosTcpCluster {
+    cfg: ClusterConfig,
+    n: usize,
+    seed: u64,
+    proxy: ProxyNet,
+    acks: Arc<AckTypeRegistry>,
+    nodes: Vec<NodeHandle>,
+    logs: Vec<SharedRuntimeLog>,
+    checker: InvariantChecker,
+    schedule: Vec<Scheduled>,
+    next_action: usize,
+    /// Crash snapshots of currently-down nodes.
+    snapshots: Vec<Option<Snapshot>>,
+    /// Whether each node is currently crashed (its handle is a zombie).
+    down: Vec<bool>,
+    /// Desired per-link state from partition faults; the effective link
+    /// is up iff desired AND neither endpoint is down (same layering as
+    /// the simulator harness).
+    desired_up: Vec<bool>,
+    restarts: u64,
+    checks: u64,
+    started: Instant,
+}
+
+impl ChaosTcpCluster {
+    /// Boot the cluster behind proxies and merge the compiled plan with
+    /// the workload into one wall-clock schedule.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid plan, a predicate that does not compile, or a
+    /// socket setup error.
+    pub fn new(
+        cfg: &ClusterConfig,
+        seed: u64,
+        plan: &FaultPlan,
+        workload: Vec<TimedWork>,
+    ) -> Result<Self, ChaosError> {
+        let n = cfg.num_nodes();
+        let ops = plan.compile(n)?;
+        let proxy = ProxyNet::new(n, seed)
+            .map_err(|e| ChaosError::Core(CoreError::Config(format!("proxy: {e}"))))?;
+
+        // Bind every node's listener and register all destinations
+        // before any node spawns, so no proxy connection can observe a
+        // missing destination.
+        let mut listeners = Vec::with_capacity(n);
+        for i in 0..n {
+            let l = TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| ChaosError::Core(CoreError::Config(format!("bind: {e}"))))?;
+            let addr = l
+                .local_addr()
+                .map_err(|e| ChaosError::Core(CoreError::Config(format!("addr: {e}"))))?;
+            proxy.set_dest(i, addr);
+            listeners.push(l);
+        }
+
+        let acks = Arc::new(AckTypeRegistry::new());
+        let mut nodes = Vec::with_capacity(n);
+        let mut logs = Vec::with_capacity(n);
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let log = shared_runtime_log();
+            let peer_addrs = (0..n)
+                .filter(|j| *j != i)
+                .map(|j| (NodeId(j as u16), proxy.proxy_addr(i, j)))
+                .collect();
+            let node = spawn_node_with(
+                cfg.clone(),
+                NodeId(i as u16),
+                Arc::clone(&acks),
+                listener,
+                peer_addrs,
+                SpawnOptions {
+                    observer: Some(Box::new(LogObserver::new(log.clone()))),
+                    snapshot: None,
+                    jitter_seed: seed,
+                },
+            )
+            .map_err(ChaosError::Core)?;
+            nodes.push(node.handle());
+            logs.push(log);
+        }
+
+        let types = nodes[0].lock_state().recorder().num_types();
+        let mut schedule: Vec<Scheduled> = ops
+            .into_iter()
+            .map(|TimedOp { at, op }| Scheduled {
+                at: Duration::from_nanos(at.as_nanos()),
+                kind: ScheduledKind::Fault(op),
+            })
+            .chain(
+                workload
+                    .into_iter()
+                    .map(|TimedWork { at, item }| Scheduled {
+                        at: Duration::from_nanos(at.as_nanos()),
+                        kind: ScheduledKind::Work(item),
+                    }),
+            )
+            .collect();
+        schedule.sort_by_key(|s| s.at); // stable: faults stay before work on ties
+
+        Ok(ChaosTcpCluster {
+            cfg: cfg.clone(),
+            n,
+            seed,
+            proxy,
+            acks,
+            nodes,
+            logs,
+            checker: InvariantChecker::new(n, types),
+            schedule,
+            next_action: 0,
+            snapshots: vec![None; n],
+            down: vec![false; n],
+            desired_up: vec![true; n * n],
+            restarts: 0,
+            checks: 0,
+            started: Instant::now(),
+        })
+    }
+
+    /// The current handle of node `i` (a frozen zombie while crashed).
+    pub fn handle(&self, i: usize) -> NodeHandle {
+        self.nodes[i].clone()
+    }
+
+    /// Nanoseconds since the cluster booted, as the checker's timestamp.
+    fn now(&self) -> SimTime {
+        SimTime(self.started.elapsed().as_nanos() as u64)
+    }
+
+    fn sync_link(&self, a: usize, b: usize) {
+        let up = self.desired_up[a * self.n + b] && !self.down[a] && !self.down[b];
+        self.proxy.set_link_up(a, b, up);
+    }
+
+    /// Run one invariant sweep over a consistent cut of all nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check_now(&mut self) -> Result<(), InvariantViolation> {
+        let now = self.now();
+        // Lock order: all node states (index order), then all logs —
+        // runtime threads take their own node lock then their own log
+        // lock, so this global order cannot deadlock.
+        let states: Vec<_> = self.nodes.iter().map(|h| h.lock_state()).collect();
+        let logs: Vec<_> = self.logs.iter().map(|l| l.lock()).collect();
+        let views: Vec<NodeView<'_>> = (0..self.n)
+            .map(|i| NodeView {
+                node: &states[i],
+                frontier_log: &logs[i].frontier_log,
+                delivery_log: &logs[i].delivery_log,
+                suspected_log: &logs[i].suspected_log,
+                recovered_log: &logs[i].recovered_log,
+                records_deliveries: true,
+            })
+            .collect();
+        self.checks += 1;
+        self.checker.check(now, &views)
+    }
+
+    /// Execute the schedule against wall-clock time, checking invariants
+    /// after every event and every [`CHECK_EVERY`] in between, until
+    /// `horizon` has elapsed *and* the schedule is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] detected.
+    pub fn run(&mut self, horizon: Duration) -> Result<TcpRunReport, InvariantViolation> {
+        self.started = Instant::now();
+        loop {
+            let elapsed = self.started.elapsed();
+            while self
+                .schedule
+                .get(self.next_action)
+                .is_some_and(|s| s.at <= elapsed)
+            {
+                self.apply_next_action();
+                self.check_now()?;
+            }
+            self.check_now()?;
+            if elapsed >= horizon && self.next_action >= self.schedule.len() {
+                break;
+            }
+            std::thread::sleep(CHECK_EVERY);
+        }
+        Ok(TcpRunReport {
+            checks: self.checks,
+            dropped: self.proxy.dropped(),
+            elapsed_nanos: self.started.elapsed().as_nanos() as u64,
+        })
+    }
+
+    /// Wall-clock-bounded liveness: once the schedule has run (all
+    /// faults cleared, all crashed nodes restarted), every published
+    /// message must stabilize within `deadline` — every node's RECEIVED
+    /// for each stream reaches the origin's last published sequence, and
+    /// each origin's own frontier under every startup predicate reaches
+    /// it too. Safety keeps being checked while waiting.
+    ///
+    /// # Errors
+    ///
+    /// A `post-fault-liveness` violation naming the first lagging node,
+    /// or any safety violation observed while waiting.
+    pub fn verify_liveness(&mut self, deadline: Duration) -> Result<(), InvariantViolation> {
+        let keys: Vec<String> = self.cfg.predicates().map(|(k, _)| k.to_owned()).collect();
+        let targets: Vec<SeqNo> = self.nodes.iter().map(|h| h.last_published()).collect();
+        let until = Instant::now() + deadline;
+        loop {
+            self.check_now()?;
+            match self.liveness_gap(&keys, &targets) {
+                None => return Ok(()),
+                Some((node, detail)) if Instant::now() >= until => {
+                    return Err(InvariantViolation {
+                        at: self.now(),
+                        node,
+                        property: "post-fault-liveness",
+                        detail,
+                    });
+                }
+                Some(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// The first node still short of full stabilization, if any.
+    fn liveness_gap(&self, keys: &[String], targets: &[SeqNo]) -> Option<(u16, String)> {
+        for (s, &target) in targets.iter().enumerate() {
+            if target == 0 {
+                continue;
+            }
+            for i in 0..self.n {
+                if i == s {
+                    continue;
+                }
+                let got = self.nodes[i].received_of(NodeId(s as u16));
+                if got < target {
+                    return Some((
+                        i as u16,
+                        format!(
+                            "node {i} has received only {got}/{target} of stream {s} \
+                             after faults cleared"
+                        ),
+                    ));
+                }
+            }
+            for key in keys {
+                let frontier = self.nodes[s]
+                    .stability_frontier(NodeId(s as u16), key)
+                    .map(|(seq, _gen)| seq)
+                    .unwrap_or(0);
+                if frontier < target {
+                    return Some((
+                        s as u16,
+                        format!(
+                            "origin {s}'s frontier for predicate {key} is {frontier}/{target} \
+                             after faults cleared"
+                        ),
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    fn apply_next_action(&mut self) {
+        let Scheduled { kind, .. } = &self.schedule[self.next_action];
+        self.next_action += 1;
+        match kind {
+            ScheduledKind::Fault(op) => {
+                let op = op.clone();
+                self.apply_fault(op);
+            }
+            ScheduledKind::Work(item) => {
+                let item = item.clone();
+                self.apply_work(item);
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, op: Op) {
+        match op {
+            Op::SetLinks { pairs, up } => {
+                for &(a, b) in &pairs {
+                    self.desired_up[a * self.n + b] = up;
+                    self.sync_link(a, b);
+                }
+            }
+            Op::SetLoss {
+                from,
+                to,
+                probability,
+            } => self.proxy.set_loss(from, to, probability),
+            Op::SetEgress {
+                node,
+                bytes_per_sec,
+            } => self.proxy.set_rate(node, bytes_per_sec),
+            Op::SetDelay { from, to, extra } => {
+                self.proxy.set_delay(from, to, extra.as_nanos());
+            }
+            Op::Crash { node } => self.crash(node),
+            Op::Restart { node } => self.restart(node),
+        }
+    }
+
+    /// Crash `node`: cut, drain, snapshot, shut down — in that order
+    /// (see module docs for why the order is load-bearing).
+    fn crash(&mut self, node: usize) {
+        self.down[node] = true;
+        for (a, b) in FaultPlan::crash_pairs(node, self.n) {
+            self.sync_link(a, b);
+        }
+        self.proxy.kill_links_of(node);
+        self.proxy.drain_links_of(node, DRAIN_TIMEOUT);
+        std::thread::sleep(SETTLE);
+        let snapshot = self.nodes[node].snapshot();
+        let snapshot =
+            Snapshot::from_bytes(&snapshot.to_bytes()).expect("snapshot byte format round-trips");
+        self.snapshots[node] = Some(snapshot);
+        self.nodes[node].shutdown();
+    }
+
+    /// Restart `node` from its crash snapshot on a fresh listener,
+    /// repointing the proxy so peers reconnect transparently.
+    fn restart(&mut self, node: usize) {
+        let snapshot = self.snapshots[node]
+            .take()
+            .expect("plan validation guarantees restart follows crash");
+        // Discard anything the zombie wrote into held connections after
+        // the snapshot, and force peers onto fresh (hello-first) streams.
+        self.proxy.kill_links_of(node);
+        self.proxy.drain_links_of(node, DRAIN_TIMEOUT);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind restart listener");
+        self.proxy
+            .set_dest(node, listener.local_addr().expect("restart addr"));
+        let log = shared_runtime_log();
+        let peer_addrs = (0..self.n)
+            .filter(|j| *j != node)
+            .map(|j| (NodeId(j as u16), self.proxy.proxy_addr(node, j)))
+            .collect();
+        self.restarts += 1;
+        let restarted = spawn_node_with(
+            self.cfg.clone(),
+            NodeId(node as u16),
+            Arc::clone(&self.acks),
+            listener,
+            peer_addrs,
+            SpawnOptions {
+                observer: Some(Box::new(LogObserver::new(log.clone()))),
+                snapshot: Some(snapshot),
+                jitter_seed: self.seed ^ (self.restarts << 48),
+            },
+        )
+        .expect("predicates compiled at startup recompile on restore");
+        self.nodes[node] = restarted.handle();
+        self.logs[node] = log;
+        // Resync the checker *before* opening the links: once traffic
+        // flows, the fresh log gains entries the reset cursors must not
+        // double-count against the restored baseline.
+        {
+            let state = self.nodes[node].lock_state();
+            self.checker.note_restart(node, &state);
+        }
+        self.down[node] = false;
+        for (a, b) in FaultPlan::crash_pairs(node, self.n) {
+            self.sync_link(a, b);
+        }
+    }
+
+    fn apply_work(&mut self, item: WorkItem) {
+        let node = match &item {
+            WorkItem::Publish { node, .. }
+            | WorkItem::ChangePredicate { node, .. }
+            | WorkItem::WaitFor { node, .. } => *node,
+        };
+        if self.down[node] {
+            return; // a crashed node cannot act
+        }
+        match item {
+            WorkItem::Publish { node, len } => {
+                // Same deterministic fill as the simulator harness, so
+                // differential runs publish identical payloads.
+                let fill = (node as u8).wrapping_add(len as u8);
+                // Backpressure (buffer full under a partition) is a
+                // legitimate outcome, not a failure.
+                let _ = self.nodes[node]
+                    .publish(Bytes::from(vec![fill; len]), Duration::from_millis(20));
+            }
+            WorkItem::ChangePredicate {
+                node,
+                stream,
+                key,
+                source,
+            } => {
+                let _ = self.nodes[node].change_predicate(NodeId(stream as u16), &key, &source);
+            }
+            WorkItem::WaitFor {
+                node,
+                stream,
+                key,
+                seq,
+            } => {
+                // Non-blocking: completion lands in the wait-done log.
+                let _ = self.nodes[node].begin_waitfor(NodeId(stream as u16), &key, seq);
+            }
+        }
+    }
+
+    /// Per-node delivery order `(origin, seq)` as observed by the
+    /// upcalls, for differential comparison against the simulator.
+    pub fn delivery_order(&self, node: usize) -> Vec<(u16, SeqNo)> {
+        self.logs[node]
+            .lock()
+            .delivery_log
+            .iter()
+            .map(|&(_, origin, seq)| (origin.0, seq))
+            .collect()
+    }
+
+    /// Every node's RECEIVED cell for every stream:
+    /// `table[node][stream]`.
+    pub fn received_table(&self) -> Vec<Vec<SeqNo>> {
+        (0..self.n)
+            .map(|i| {
+                let state = self.nodes[i].lock_state();
+                let me = state.me();
+                (0..self.n)
+                    .map(|s| state.recorder().get(NodeId(s as u16), me, RECEIVED))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// A node's current frontier for `(stream, key)`.
+    pub fn frontier(&self, node: usize, stream: usize, key: &str) -> Option<SeqNo> {
+        self.nodes[node]
+            .stability_frontier(NodeId(stream as u16), key)
+            .map(|(seq, _gen)| seq)
+    }
+
+    /// Stop every node runtime and the proxy mesh.
+    pub fn shutdown(&self) {
+        for h in &self.nodes {
+            h.shutdown();
+        }
+        self.proxy.shutdown();
+    }
+}
+
+impl Drop for ChaosTcpCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

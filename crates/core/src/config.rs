@@ -58,6 +58,12 @@ pub struct Options {
     /// the transport is already reliable FIFO (TCP, the loss-free
     /// simulator).
     pub retransmit_millis: u64,
+    /// Maximum consecutive failed connect attempts a transport writer
+    /// makes per (re)connect episode before declaring the peer
+    /// unreachable and surfacing a permanent connect failure. `0`
+    /// (default) retries forever — appropriate for deployments where a
+    /// peer joining late is normal.
+    pub connect_retry_limit: u64,
 }
 
 impl Options {
@@ -102,6 +108,12 @@ impl Options {
         self.retransmit_millis = v;
         self
     }
+
+    /// Cap consecutive failed connect attempts (`0` = retry forever).
+    pub fn connect_retry_limit(mut self, v: u64) -> Self {
+        self.connect_retry_limit = v;
+        self
+    }
 }
 
 impl Default for Options {
@@ -114,6 +126,7 @@ impl Default for Options {
             auto_exclude_suspects: false,
             max_payload_bytes: 64 * 1024,
             retransmit_millis: 0,
+            connect_retry_limit: 0,
         }
     }
 }
@@ -229,6 +242,7 @@ impl ClusterConfig {
                         "heartbeat_millis" => options.heartbeat_millis = parse_u64(val)?,
                         "max_payload_bytes" => options.max_payload_bytes = parse_u64(val)? as usize,
                         "retransmit_millis" => options.retransmit_millis = parse_u64(val)?,
+                        "connect_retry_limit" => options.connect_retry_limit = parse_u64(val)?,
                         "auto_exclude_suspects" => {
                             options.auto_exclude_suspects = match val {
                                 "true" => true,

@@ -56,6 +56,7 @@ pub mod error;
 pub mod frontier;
 pub mod messages;
 pub mod node;
+pub mod observe;
 pub mod persist;
 pub mod recorder;
 pub mod sim_driver;
@@ -65,6 +66,7 @@ pub use error::CoreError;
 pub use frontier::{FrontierEngine, FrontierUpdate, WaitToken};
 pub use messages::{Ack, WireMsg, WIRE_OVERHEAD};
 pub use node::{Action, Metrics, Snapshot, StabilizerNode};
+pub use observe::{shared_runtime_log, LogObserver, RuntimeLog, RuntimeObserver, SharedRuntimeLog};
 pub use recorder::AckRecorder;
 
 // Re-export the DSL surface users need to interact with predicates.

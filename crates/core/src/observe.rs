@@ -1,0 +1,155 @@
+//! Observer plumbing for threaded (non-simulated) runtimes.
+//!
+//! The simulator exposes every protocol upcall through
+//! [`AppHooks`](crate::sim_driver::AppHooks) plus the timestamped logs on
+//! [`SimNode`](crate::sim_driver::SimNode); external checkers (the chaos
+//! harness's invariant checker) consume those. The threaded TCP runtime
+//! needs the same seam, but its upcalls arrive from multiple OS threads
+//! with wall-clock timestamps. [`RuntimeObserver`] is that seam: the
+//! runtime invokes it for every action **while still holding the node's
+//! state lock**, so an external checker that locks the state machine and
+//! then reads an observer's log always sees a log at least as fresh as
+//! the state — the property the chaos checker's `delivered-without-
+//! upcall` invariant depends on.
+//!
+//! [`RuntimeLog`] is the ready-made observer used by the TCP chaos
+//! harness: it records the same four logs a `SimNode` keeps, timestamped
+//! with [`SimTime`] (nanoseconds since the run's start) so the
+//! runtime-agnostic checker consumes both runtimes' logs identically.
+
+use crate::frontier::{FrontierUpdate, WaitToken};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use stabilizer_dsl::{NodeId, SeqNo};
+use stabilizer_netsim::SimTime;
+use std::sync::Arc;
+
+/// Callbacks the threaded runtime invokes for every emitted action. All
+/// methods have default empty bodies; implement only what you observe.
+///
+/// Implementations must be cheap and must not call back into the node
+/// handle: the runtime invokes them with the state-machine lock held.
+pub trait RuntimeObserver: Send {
+    /// A mirrored payload was delivered (upcall).
+    fn on_deliver(&mut self, _now_nanos: u64, _origin: NodeId, _seq: SeqNo, _payload: &Bytes) {}
+    /// A stability frontier advanced.
+    fn on_frontier(&mut self, _now_nanos: u64, _update: &FrontierUpdate) {}
+    /// A `waitfor` completed.
+    fn on_wait_done(&mut self, _now_nanos: u64, _token: WaitToken) {}
+    /// A peer became suspected.
+    fn on_suspected(&mut self, _now_nanos: u64, _node: NodeId) {}
+    /// A suspected peer came back.
+    fn on_recovered(&mut self, _now_nanos: u64, _node: NodeId) {}
+    /// A writer gave up (re)connecting to a peer permanently (its
+    /// configured retry budget ran out).
+    fn on_connect_failed(&mut self, _now_nanos: u64, _peer: NodeId) {}
+}
+
+/// Timestamped logs of one threaded node's upcalls, shaped exactly like
+/// the logs a simulated `SimNode` keeps so runtime-agnostic checkers
+/// read both the same way.
+#[derive(Debug, Default)]
+pub struct RuntimeLog {
+    /// Frontier advances: `(time, update)`.
+    pub frontier_log: Vec<(SimTime, FrontierUpdate)>,
+    /// Deliveries: `(time, origin, seq)` (payloads elided).
+    pub delivery_log: Vec<(SimTime, NodeId, SeqNo)>,
+    /// Completed waits.
+    pub wait_done_log: Vec<(SimTime, WaitToken)>,
+    /// Suspicions raised.
+    pub suspected_log: Vec<(SimTime, NodeId)>,
+    /// Suspicions cleared.
+    pub recovered_log: Vec<(SimTime, NodeId)>,
+    /// Peers a writer permanently failed to connect to.
+    pub connect_failures: Vec<(SimTime, NodeId)>,
+}
+
+/// Shared handle to a [`RuntimeLog`]: the runtime's observer writes, the
+/// harness reads.
+pub type SharedRuntimeLog = Arc<Mutex<RuntimeLog>>;
+
+/// Create an empty shared runtime log.
+pub fn shared_runtime_log() -> SharedRuntimeLog {
+    Arc::new(Mutex::new(RuntimeLog::default()))
+}
+
+/// The [`RuntimeObserver`] that appends every upcall to a shared
+/// [`RuntimeLog`].
+pub struct LogObserver {
+    log: SharedRuntimeLog,
+}
+
+impl LogObserver {
+    /// Observer appending into `log`.
+    pub fn new(log: SharedRuntimeLog) -> Self {
+        LogObserver { log }
+    }
+}
+
+impl RuntimeObserver for LogObserver {
+    fn on_deliver(&mut self, now_nanos: u64, origin: NodeId, seq: SeqNo, _payload: &Bytes) {
+        self.log
+            .lock()
+            .delivery_log
+            .push((SimTime(now_nanos), origin, seq));
+    }
+
+    fn on_frontier(&mut self, now_nanos: u64, update: &FrontierUpdate) {
+        self.log
+            .lock()
+            .frontier_log
+            .push((SimTime(now_nanos), update.clone()));
+    }
+
+    fn on_wait_done(&mut self, now_nanos: u64, token: WaitToken) {
+        self.log
+            .lock()
+            .wait_done_log
+            .push((SimTime(now_nanos), token));
+    }
+
+    fn on_suspected(&mut self, now_nanos: u64, node: NodeId) {
+        self.log
+            .lock()
+            .suspected_log
+            .push((SimTime(now_nanos), node));
+    }
+
+    fn on_recovered(&mut self, now_nanos: u64, node: NodeId) {
+        self.log
+            .lock()
+            .recovered_log
+            .push((SimTime(now_nanos), node));
+    }
+
+    fn on_connect_failed(&mut self, now_nanos: u64, peer: NodeId) {
+        self.log
+            .lock()
+            .connect_failures
+            .push((SimTime(now_nanos), peer));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_observer_records_in_order() {
+        let log = shared_runtime_log();
+        let mut obs = LogObserver::new(log.clone());
+        obs.on_deliver(5, NodeId(1), 1, &Bytes::from_static(b"x"));
+        obs.on_deliver(9, NodeId(1), 2, &Bytes::from_static(b"y"));
+        obs.on_suspected(11, NodeId(2));
+        obs.on_recovered(12, NodeId(2));
+        obs.on_connect_failed(13, NodeId(3));
+        let log = log.lock();
+        assert_eq!(
+            log.delivery_log,
+            vec![(SimTime(5), NodeId(1), 1), (SimTime(9), NodeId(1), 2)]
+        );
+        assert_eq!(log.suspected_log, vec![(SimTime(11), NodeId(2))]);
+        assert_eq!(log.recovered_log, vec![(SimTime(12), NodeId(2))]);
+        assert_eq!(log.connect_failures, vec![(SimTime(13), NodeId(3))]);
+    }
+}

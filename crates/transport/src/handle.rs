@@ -4,7 +4,11 @@
 
 use crate::runtime::Shared;
 use bytes::Bytes;
-use stabilizer_core::{AckTypeId, CoreError, FrontierUpdate, NodeId, SeqNo};
+use stabilizer_core::{
+    AckTypeId, CoreError, FrontierUpdate, NodeId, RuntimeObserver, SeqNo, Snapshot, StabilizerNode,
+    WaitToken,
+};
+use std::ops::Deref;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -170,9 +174,89 @@ impl NodeHandle {
         node.recorder().get(stream, me, stabilizer_core::RECEIVED)
     }
 
+    /// Highest in-order sequence this node has *delivered* of `stream`.
+    pub fn delivered_of(&self, stream: NodeId) -> SeqNo {
+        let node = self.shared.node.lock();
+        let me = node.me();
+        node.recorder().get(stream, me, stabilizer_core::DELIVERED)
+    }
+
+    /// Attach a [`RuntimeObserver`]; it sees every action emitted from
+    /// this point on, invoked under the state-machine lock.
+    pub fn attach_observer(&self, obs: Box<dyn RuntimeObserver>) {
+        self.shared.observers.lock().push(obs);
+    }
+
+    /// Lock the state machine for read access. While the guard lives the
+    /// runtime threads are paused at the lock, so the view is a
+    /// consistent cut — and any attached observer's log is at least as
+    /// fresh as it (observers run under this same lock).
+    ///
+    /// Hold the guard briefly: every runtime thread of this node blocks
+    /// on it.
+    pub fn lock_state(&self) -> StateGuard<'_> {
+        StateGuard(self.shared.node.lock())
+    }
+
+    /// Control-plane snapshot (§III-E) for restart-from-snapshot via
+    /// [`SpawnOptions`](crate::runtime::SpawnOptions).
+    pub fn snapshot(&self) -> Snapshot {
+        self.shared.node.lock().snapshot()
+    }
+
+    /// Non-blocking `waitfor`: registers the wait and returns its token;
+    /// completion shows up in [`RuntimeObserver::on_wait_done`] and in
+    /// [`NodeHandle::wait_is_done`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownPredicate`] for an unregistered key.
+    pub fn begin_waitfor(
+        &self,
+        stream: NodeId,
+        key: &str,
+        seq: SeqNo,
+    ) -> Result<WaitToken, CoreError> {
+        self.shared.with_node(|node| node.waitfor(stream, key, seq))
+    }
+
+    /// Whether a wait registered with [`NodeHandle::begin_waitfor`] has
+    /// completed (consumes the completion).
+    pub fn wait_is_done(&self, token: WaitToken) -> bool {
+        self.shared.completed.lock().remove(&token)
+    }
+
+    /// Peers a writer thread permanently gave up connecting to (empty
+    /// unless `connect_retry_limit` is configured).
+    pub fn connect_failures(&self) -> Vec<NodeId> {
+        self.shared.connect_failed.lock().clone()
+    }
+
+    /// Inject a wire message as if it had arrived from `from` — the
+    /// chaos harness's seam for forging protocol traffic (mutation
+    /// checks that prove the invariant checker catches corrupted state).
+    #[doc(hidden)]
+    pub fn inject_message(&self, from: NodeId, msg: stabilizer_core::WireMsg) {
+        let now = self.shared.now_nanos();
+        self.shared
+            .with_node(|node| node.on_message(now, from, msg));
+    }
+
     /// Ask the runtime to stop its threads. Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutdown();
+    }
+}
+
+/// Read guard over the state machine returned by
+/// [`NodeHandle::lock_state`]; dereferences to [`StabilizerNode`].
+pub struct StateGuard<'a>(parking_lot::MutexGuard<'a, StabilizerNode>);
+
+impl Deref for StateGuard<'_> {
+    type Target = StabilizerNode;
+
+    fn deref(&self) -> &StabilizerNode {
+        &self.0
     }
 }
 

@@ -31,9 +31,10 @@
 //! # Ok(()) }
 //! ```
 
+pub mod backoff;
 pub mod framing;
 pub mod handle;
 pub mod runtime;
 
-pub use handle::NodeHandle;
-pub use runtime::{spawn_local_cluster, spawn_node, TcpNode};
+pub use handle::{NodeHandle, StateGuard};
+pub use runtime::{spawn_local_cluster, spawn_node, spawn_node_with, SpawnOptions, TcpNode};

@@ -15,15 +15,19 @@
 //! Locking discipline: the node mutex is held only while mutating the
 //! state machine; emitted [`Action`]s are executed *after* release so
 //! user callbacks (monitors, delivery upcalls) can re-enter the handle
-//! without deadlocking.
+//! without deadlocking. Attached [`RuntimeObserver`]s are the one
+//! exception: they run *before* release, so an external checker that
+//! locks the state machine and then reads an observer's log never sees
+//! machine state the log has not caught up with.
 
+use crate::backoff::{link_seed, Backoff};
 use crate::framing::{hello, parse_hello, read_frame, write_frame};
 use crate::handle::{DeliverFn, MonitorFn, NodeHandle};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use stabilizer_core::{
-    AckTypeRegistry, Action, ClusterConfig, CoreError, NodeId, StabilizerNode, WaitToken, WireMsg,
-    RECEIVED,
+    AckTypeRegistry, Action, ClusterConfig, CoreError, NodeId, RuntimeObserver, Snapshot,
+    StabilizerNode, WaitToken, WireMsg, RECEIVED,
 };
 use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -47,6 +51,11 @@ pub struct Shared {
     pub deliver_fns: Mutex<Vec<DeliverFn>>,
     /// Per-peer outbound channels.
     pub senders: Mutex<HashMap<NodeId, Sender<WireMsg>>>,
+    /// External observers, invoked under the node lock.
+    pub observers: Mutex<Vec<Box<dyn RuntimeObserver>>>,
+    /// Peers a writer permanently gave up connecting to (only populated
+    /// when `connect_retry_limit` is configured).
+    pub connect_failed: Mutex<Vec<NodeId>>,
     /// Cleared on shutdown.
     pub running: AtomicBool,
     /// Monotonic epoch for failure-detector timestamps.
@@ -55,15 +64,44 @@ pub struct Shared {
 
 impl Shared {
     /// Mutate the state machine under the lock, then execute the emitted
-    /// actions *outside* it.
+    /// actions *outside* it (observers excepted, see module docs).
     pub fn with_node<R>(&self, f: impl FnOnce(&mut StabilizerNode) -> R) -> R {
         let (r, actions) = {
             let mut node = self.node.lock();
             let r = f(&mut node);
-            (r, node.take_actions())
+            let actions = node.take_actions();
+            self.observe(&actions);
+            (r, actions)
         };
         self.process(actions);
         r
+    }
+
+    /// Feed every action to the attached observers. Called with the node
+    /// lock held so observer logs are never behind the machine state.
+    fn observe(&self, actions: &[Action]) {
+        let mut observers = self.observers.lock();
+        if observers.is_empty() {
+            return;
+        }
+        let now = self.now_nanos();
+        for action in actions {
+            for obs in observers.iter_mut() {
+                match action {
+                    Action::Send { .. } => {}
+                    Action::Deliver {
+                        origin,
+                        seq,
+                        payload,
+                    } => obs.on_deliver(now, *origin, *seq, payload),
+                    Action::Frontier(update) => obs.on_frontier(now, update),
+                    Action::WaitDone { token } => obs.on_wait_done(now, *token),
+                    Action::Suspected { node } => obs.on_suspected(now, *node),
+                    Action::Recovered { node } => obs.on_recovered(now, *node),
+                    Action::PredicateBroken { .. } => {}
+                }
+            }
+        }
     }
 
     /// Execute actions: forward sends to writer channels, run callbacks,
@@ -100,11 +138,20 @@ impl Shared {
                 Action::Suspected { .. }
                 | Action::Recovered { .. }
                 | Action::PredicateBroken { .. } => {
-                    // Surfaced through `is_suspected` and monitor silence;
-                    // a production deployment would plug an alerting hook
-                    // here.
+                    // Surfaced through `is_suspected`, the observers, and
+                    // monitor silence; a production deployment would plug
+                    // an alerting hook here.
                 }
             }
+        }
+    }
+
+    /// A writer exhausted its connect-retry budget for `peer`.
+    fn connect_gave_up(&self, peer: NodeId) {
+        self.connect_failed.lock().push(peer);
+        let now = self.now_nanos();
+        for obs in self.observers.lock().iter_mut() {
+            obs.on_connect_failed(now, peer);
         }
     }
 
@@ -114,7 +161,7 @@ impl Shared {
         self.senders.lock().clear(); // disconnect writer channels
     }
 
-    fn now_nanos(&self) -> u64 {
+    pub(crate) fn now_nanos(&self) -> u64 {
         self.started.elapsed().as_nanos() as u64
     }
 }
@@ -132,6 +179,23 @@ impl TcpNode {
     }
 }
 
+/// Extra knobs for [`spawn_node_with`]. `Default` reproduces
+/// [`spawn_node`]'s behavior exactly.
+#[derive(Default)]
+pub struct SpawnOptions {
+    /// Observer invoked for every emitted action (under the node lock).
+    pub observer: Option<Box<dyn RuntimeObserver>>,
+    /// Restart from this control-plane snapshot instead of booting
+    /// fresh: the recorder is restored, every remote stream is
+    /// fast-forwarded to its snapshotted RECEIVED cell (§III-E state
+    /// transfer), and the writers re-announce ACKs on their first
+    /// connect so peers resynchronize immediately.
+    pub snapshot: Option<Snapshot>,
+    /// Seed for the reconnect backoff jitter (per-link streams are
+    /// derived from it, so two nodes never share a retry schedule).
+    pub jitter_seed: u64,
+}
+
 /// Launch node `me` of `cfg`, listening on `listener` and connecting out
 /// to `peer_addrs[j]` for every peer `j`.
 ///
@@ -145,7 +209,38 @@ pub fn spawn_node(
     listener: TcpListener,
     peer_addrs: Vec<(NodeId, SocketAddr)>,
 ) -> Result<TcpNode, CoreError> {
-    let node = StabilizerNode::new(cfg.clone(), me, acks)?;
+    spawn_node_with(cfg, me, acks, listener, peer_addrs, SpawnOptions::default())
+}
+
+/// [`spawn_node`] with chaos/recovery knobs: an action observer, a
+/// restart-from-snapshot path, and a seeded reconnect jitter.
+///
+/// # Errors
+///
+/// Fails if a configured predicate does not compile (both the fresh and
+/// the restore path recompile every predicate).
+pub fn spawn_node_with(
+    cfg: ClusterConfig,
+    me: NodeId,
+    acks: Arc<AckTypeRegistry>,
+    listener: TcpListener,
+    peer_addrs: Vec<(NodeId, SocketAddr)>,
+    opts: SpawnOptions,
+) -> Result<TcpNode, CoreError> {
+    let restored = opts.snapshot.is_some();
+    let node = match opts.snapshot {
+        None => StabilizerNode::new(cfg.clone(), me, acks)?,
+        Some(snapshot) => {
+            let mut node = StabilizerNode::restore(cfg.clone(), me, acks, snapshot)?;
+            // §III-E state transfer: the mirror resumes every remote
+            // stream exactly where its durable acknowledgment left off.
+            for (peer, _) in &peer_addrs {
+                let high = node.recorder().get(*peer, me, RECEIVED);
+                node.fast_forward_stream(*peer, high);
+            }
+            node
+        }
+    };
     let shared = Arc::new(Shared {
         me,
         node: Mutex::new(node),
@@ -154,9 +249,12 @@ pub fn spawn_node(
         monitors: Mutex::new(HashMap::new()),
         deliver_fns: Mutex::new(Vec::new()),
         senders: Mutex::new(HashMap::new()),
+        observers: Mutex::new(opts.observer.into_iter().collect()),
+        connect_failed: Mutex::new(Vec::new()),
         running: AtomicBool::new(true),
         started: Instant::now(),
     });
+    let retry_limit = cfg.options().connect_retry_limit;
 
     // Writer thread per peer.
     for (peer, addr) in &peer_addrs {
@@ -165,9 +263,10 @@ pub fn spawn_node(
         let shared2 = Arc::clone(&shared);
         let peer = *peer;
         let addr = *addr;
+        let seed = link_seed(opts.jitter_seed, me.0, peer.0);
         std::thread::Builder::new()
             .name(format!("stab-{}-w{}", me.0, peer.0))
-            .spawn(move || writer_loop(shared2, peer, addr, rx))
+            .spawn(move || writer_loop(shared2, peer, addr, rx, restored, retry_limit, seed))
             .expect("spawn writer");
     }
 
@@ -190,6 +289,11 @@ pub fn spawn_node(
             .spawn(move || ticker_loop(shared2, opts))
             .expect("spawn ticker");
     }
+
+    // Flush actions queued during construction (a restore re-evaluates
+    // every predicate, which can emit frontier updates) now that the
+    // writer channels and observers are in place.
+    shared.with_node(|_| ());
 
     Ok(TcpNode {
         handle: NodeHandle { shared },
@@ -274,24 +378,45 @@ fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
     }
 }
 
-fn writer_loop(shared: Arc<Shared>, peer: NodeId, addr: SocketAddr, rx: Receiver<WireMsg>) {
-    let mut first_connect = true;
+fn writer_loop(
+    shared: Arc<Shared>,
+    peer: NodeId,
+    addr: SocketAddr,
+    rx: Receiver<WireMsg>,
+    mut repair_on_connect: bool,
+    retry_limit: u64,
+    jitter_seed: u64,
+) {
+    let mut backoff = Backoff::new(
+        Duration::from_millis(10),
+        Duration::from_millis(500),
+        jitter_seed,
+    );
     'reconnect: while shared.running.load(Ordering::SeqCst) {
-        let Some(mut stream) = connect_with_retry(&shared, addr) else {
-            return;
+        let mut stream = match connect_with_retry(&shared, addr, &mut backoff, retry_limit) {
+            ConnectOutcome::Connected(s) => s,
+            ConnectOutcome::Shutdown => return,
+            ConnectOutcome::GaveUp => {
+                shared.connect_gave_up(peer);
+                return;
+            }
         };
+        backoff.reset();
         if write_frame(&mut stream, &hello(shared.me.0)).is_err() {
             continue 'reconnect;
         }
-        if !first_connect {
+        if repair_on_connect {
             // Repair the stream: resend unacked data and re-announce acks.
+            // Fresh nodes skip this on their very first connect (nothing
+            // to repair); restored nodes run it immediately so peers see
+            // the recovered ACK state without waiting for new traffic.
             shared.with_node(|n| {
                 let from = n.recorder().get(n.me(), peer, RECEIVED) + 1;
                 n.resend_from(peer, from);
                 n.announce_acks_to(peer);
             });
         }
-        first_connect = false;
+        repair_on_connect = true;
         loop {
             match rx.recv_timeout(Duration::from_millis(100)) {
                 Ok(msg) => {
@@ -310,21 +435,37 @@ fn writer_loop(shared: Arc<Shared>, peer: NodeId, addr: SocketAddr, rx: Receiver
     }
 }
 
-fn connect_with_retry(shared: &Arc<Shared>, addr: SocketAddr) -> Option<TcpStream> {
-    let mut backoff = Duration::from_millis(10);
+enum ConnectOutcome {
+    Connected(TcpStream),
+    Shutdown,
+    GaveUp,
+}
+
+/// Connect with capped exponential backoff and seeded jitter. Gives up
+/// after `retry_limit` consecutive failures (`0` = never), so a
+/// misconfigured or permanently dead peer surfaces as a
+/// [`RuntimeObserver::on_connect_failed`] instead of a silent spin.
+fn connect_with_retry(
+    shared: &Arc<Shared>,
+    addr: SocketAddr,
+    backoff: &mut Backoff,
+    retry_limit: u64,
+) -> ConnectOutcome {
     while shared.running.load(Ordering::SeqCst) {
         match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
             Ok(s) => {
                 s.set_nodelay(true).ok();
-                return Some(s);
+                return ConnectOutcome::Connected(s);
             }
             Err(_) => {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(Duration::from_secs(1));
+                if retry_limit > 0 && backoff.attempts() + 1 >= retry_limit {
+                    return ConnectOutcome::GaveUp;
+                }
+                std::thread::sleep(backoff.next_delay());
             }
         }
     }
-    None
+    ConnectOutcome::Shutdown
 }
 
 fn ticker_loop(shared: Arc<Shared>, opts: stabilizer_core::Options) {

@@ -127,6 +127,43 @@ fn shared_suspected(h: &stabilizer_transport::NodeHandle, node: NodeId) -> bool 
 }
 
 #[test]
+fn exhausted_connect_retries_surface_the_unreachable_peer() {
+    // Nothing ever listens at peer 1's address: with a finite retry
+    // budget the writer must give up and *report* it instead of spinning
+    // silently forever.
+    let opts = Options::default().connect_retry_limit(4);
+    let cfg = cfg(Some(opts));
+    let (mut ls, mut addrs) = listeners(3);
+    // Point node 0 at a port that is bound by nobody.
+    let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+    addrs[1] = dead.local_addr().unwrap();
+    drop(dead); // release the port: connects now fail fast
+    let acks = Arc::new(AckTypeRegistry::new());
+    let peers: Vec<(NodeId, std::net::SocketAddr)> =
+        (1..3).map(|j| (NodeId(j as u16), addrs[j])).collect();
+    let n0 = spawn_node(cfg, NodeId(0), acks, ls.remove(0), peers).unwrap();
+    let h0 = n0.handle();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let failures = h0.connect_failures();
+        if failures.contains(&NodeId(1)) {
+            // Only the genuinely dead peer is reported; node 2's writer
+            // keeps retrying its (also unreachable) peer within the same
+            // budget, so it may appear too — but node 0 itself never does.
+            assert!(!failures.contains(&NodeId(0)));
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "writer never surfaced the permanent connect failure"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    h0.shutdown();
+}
+
+#[test]
 fn garbage_first_frame_is_rejected_without_crashing() {
     use std::io::Write;
     let cfg = cfg(None);
