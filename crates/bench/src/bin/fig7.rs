@@ -2,18 +2,39 @@
 //! Stabilizer prototype vs the Pulsar-like baseline, per subscriber
 //! site.
 //!
-//! Usage: `fig7 [count]` — messages per run (default 4000; paper: 10000).
+//! Usage: `fig7 [count] [--metrics-out <path>]` — messages per run
+//! (default 4000; paper: 10000). With `--metrics-out`, every per-message
+//! end-to-end latency is additionally recorded into log-scale telemetry
+//! histograms keyed `{system, site, rate}` and the full snapshot is
+//! written to `path` as JSON (plus `<path>.prom` in Prometheus text).
 
 use stabilizer_bench::{f, print_table};
 use stabilizer_pubsub::{fig7_point, System};
+use stabilizer_telemetry::{render_json_snapshot, render_prometheus_snapshot, MetricsRegistry};
 
 fn main() {
-    let count: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(4000);
+    let mut count: u64 = 4000;
+    let mut metrics_out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics-out" => match it.next() {
+                Some(path) => metrics_out = Some(path),
+                None => {
+                    eprintln!("usage: fig7 [count] [--metrics-out <path>]");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                if let Ok(v) = other.parse() {
+                    count = v;
+                }
+            }
+        }
+    }
     let rates = [250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0];
     let sites = ["UT2", "WI", "CLEM", "MA"];
+    let registry = MetricsRegistry::new();
 
     for (label, system) in [
         ("Stabilizer", System::Stabilizer),
@@ -30,6 +51,18 @@ fn main() {
                 let s = r.iter().find(|x| x.name == site).expect("site");
                 lrow.push(f(s.avg_latency.as_millis_f64(), 2));
                 trow.push(f(s.throughput_mbit, 1));
+                if metrics_out.is_some() {
+                    let rate_s = format!("{rate}");
+                    let labels: &[(&str, &str)] =
+                        &[("system", label), ("site", site), ("rate", &rate_s)];
+                    let hist = registry.histogram("fig7_e2e_latency_ns", labels);
+                    for &lat in &s.latencies_ns {
+                        hist.record(lat);
+                    }
+                    registry
+                        .counter("fig7_delivered_total", labels)
+                        .add(s.delivered);
+                }
             }
             lat_rows.push(lrow);
             thr_rows.push(trow);
@@ -46,5 +79,19 @@ fn main() {
             &header,
             &thr_rows,
         );
+    }
+
+    if let Some(path) = metrics_out {
+        let snap = registry.snapshot();
+        if let Err(e) = std::fs::write(&path, render_json_snapshot(&snap)) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        let prom = format!("{path}.prom");
+        if let Err(e) = std::fs::write(&prom, render_prometheus_snapshot(&snap)) {
+            eprintln!("error: writing {prom}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics: {path} (json), {prom} (prometheus text)");
     }
 }

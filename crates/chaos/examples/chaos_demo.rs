@@ -1,7 +1,7 @@
 //! Run one randomized chaos scenario from the command line.
 //!
 //! ```text
-//! cargo run -p stabilizer-chaos --example chaos_demo -- <seed>
+//! cargo run -p stabilizer-chaos --example chaos_demo -- <seed> [--metrics-out <path>]
 //! ```
 //!
 //! Expands the seed into a `(topology, workload, fault plan)` triple,
@@ -9,22 +9,54 @@
 //! determinism fingerprint. Running the same seed twice must print the
 //! same trace hash. On a violation, prints the replay command and the
 //! minimized fault plan.
+//!
+//! With `--metrics-out <path>`, the run is instrumented with a
+//! deterministic telemetry hub and the final metrics snapshot —
+//! counters, gauges, and the publish→deliver / publish→stable latency
+//! histograms — is written to `path` as JSON (plus a Prometheus text
+//! rendering next to it at `<path>.prom`). Same seed, same bytes.
 
 use stabilizer_chaos::{minimize_plan, Scenario};
+use stabilizer_telemetry::Telemetry;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!("usage: chaos_demo <seed> [--metrics-out <path>]");
+    std::process::exit(2);
+}
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: chaos_demo <seed>");
-        std::process::exit(2);
-    });
-    let seed: u64 = arg.parse().unwrap_or_else(|e| {
-        eprintln!("error: seed {arg:?} is not a u64: {e}");
-        std::process::exit(2);
-    });
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: Option<u64> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics-out" => match it.next() {
+                Some(path) => metrics_out = Some(path),
+                None => usage(),
+            },
+            _ => match arg.parse() {
+                Ok(v) if seed.is_none() => seed = Some(v),
+                _ => {
+                    eprintln!("error: {arg:?} is not a u64 seed");
+                    usage();
+                }
+            },
+        }
+    }
+    let Some(seed) = seed else { usage() };
 
     let scenario = Scenario::from_seed(seed);
     println!("scenario: {}", scenario.summary());
-    match scenario.run() {
+    let telemetry = metrics_out
+        .as_ref()
+        .map(|_| Arc::new(Telemetry::new_sim_with_trace(4096)));
+    let result = match &telemetry {
+        Some(t) => scenario.run_with_telemetry(Arc::clone(t)),
+        None => scenario.run(),
+    };
+    match result {
         Ok(report) => {
             println!(
                 "ok: trace_hash={:016x} events={} steps={} dropped={} final_time={:?}",
@@ -34,6 +66,18 @@ fn main() {
                 report.dropped,
                 report.final_time
             );
+            if let (Some(path), Some(t)) = (&metrics_out, &telemetry) {
+                if let Err(e) = std::fs::write(path, t.render_json()) {
+                    eprintln!("error: writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                let prom = format!("{path}.prom");
+                if let Err(e) = std::fs::write(&prom, t.render_prometheus()) {
+                    eprintln!("error: writing {prom}: {e}");
+                    std::process::exit(1);
+                }
+                println!("metrics: {path} (json), {prom} (prometheus text)");
+            }
         }
         Err(failure) => {
             eprintln!("{failure}");

@@ -15,6 +15,7 @@ use stabilizer_core::sim_driver::{build_cluster_with_hooks, SimNode};
 use stabilizer_core::{ClusterConfig, CoreError, Snapshot, StabilizerNode};
 use stabilizer_dsl::{NodeId, SeqNo, RECEIVED};
 use stabilizer_netsim::{Actor, NetTopology, SimDuration, SimTime, Simulation};
+use stabilizer_telemetry::Telemetry;
 use std::sync::Arc;
 
 /// Trace `node` value for cluster-wide harness actions.
@@ -141,6 +142,7 @@ pub struct ChaosHarness {
     desired_up: Vec<bool>,
     steps: u64,
     n: usize,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl ChaosHarness {
@@ -158,12 +160,38 @@ impl ChaosHarness {
         plan: &FaultPlan,
         workload: Vec<TimedWork>,
     ) -> Result<Self, ChaosError> {
+        Self::new_with_telemetry(cfg, net, seed, plan, workload, None)
+    }
+
+    /// [`ChaosHarness::new`] with an optional telemetry hub: every
+    /// node's upcalls additionally feed a
+    /// [`MetricsObserver`](stabilizer_telemetry::MetricsObserver), and
+    /// publishes are stamped so the hub can compute publish→deliver and
+    /// publish→stable latency histograms. Use a hub built with
+    /// [`Telemetry::new_sim`] so timestamps stay deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ChaosHarness::new`].
+    pub fn new_with_telemetry(
+        cfg: &ClusterConfig,
+        net: NetTopology,
+        seed: u64,
+        plan: &FaultPlan,
+        workload: Vec<TimedWork>,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Result<Self, ChaosError> {
         let n = cfg.num_nodes();
         let ops = plan.compile(n)?;
         let trace = shared_trace();
         let hook_trace = trace.clone();
+        let hook_telemetry = telemetry.clone();
         let sim = build_cluster_with_hooks(cfg, net, seed, |i| {
-            ChaosObserver::new(i as u16, hook_trace.clone())
+            ChaosObserver::new(i as u16, hook_trace.clone()).with_metrics(
+                hook_telemetry
+                    .as_ref()
+                    .map(|t| t.observer(NodeId(i as u16))),
+            )
         })?;
         let types = sim.actor(0).inner().recorder().num_types();
         let mut schedule: Vec<Scheduled> = ops
@@ -193,6 +221,7 @@ impl ChaosHarness {
             desired_up: vec![true; n * n],
             steps: 0,
             n,
+            telemetry,
         })
     }
 
@@ -381,7 +410,11 @@ impl ChaosHarness {
                 .get(NodeId(s as u16), NodeId(node as u16), RECEIVED);
             restored.fast_forward_stream(NodeId(s as u16), high);
         }
-        let observer = ChaosObserver::new(node as u16, self.trace.clone());
+        let observer = ChaosObserver::new(node as u16, self.trace.clone()).with_metrics(
+            self.telemetry
+                .as_ref()
+                .map(|t| t.observer(NodeId(node as u16))),
+        );
         self.sim
             .replace_actor(node, SimNode::new(restored, observer));
         // `crashed[node]` was taken above, so sync restores each link to
@@ -419,7 +452,12 @@ impl ChaosHarness {
                     actor.publish_in(ctx, Bytes::from(vec![fill; len]))
                 });
                 match res {
-                    Ok(seq) => self.note(at, node as u16, format!("publish seq {seq} ({len} B)")),
+                    Ok(seq) => {
+                        if let Some(t) = &self.telemetry {
+                            t.note_publish(at.as_nanos(), NodeId(node as u16), seq, len);
+                        }
+                        self.note(at, node as u16, format!("publish seq {seq} ({len} B)"));
+                    }
                     // Backpressure (buffer full under a partition) is a
                     // legitimate outcome, not a failure.
                     Err(e) => self.note(at, node as u16, format!("publish refused: {e}")),

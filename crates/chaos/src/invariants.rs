@@ -38,7 +38,7 @@ pub struct NodeView<'a> {
     /// Timestamped frontier log.
     pub frontier_log: &'a [(SimTime, FrontierUpdate)],
     /// Timestamped delivery log.
-    pub delivery_log: &'a [(SimTime, NodeId, SeqNo)],
+    pub delivery_log: &'a [(SimTime, NodeId, SeqNo, usize)],
     /// Suspicion log.
     pub suspected_log: &'a [(SimTime, NodeId)],
     /// Recovery log.
@@ -212,7 +212,7 @@ impl InvariantChecker {
                 continue;
             }
             let log = view.delivery_log;
-            for &(at, origin, seq) in &log[self.delivery_cursor[i]..] {
+            for &(at, origin, seq, _len) in &log[self.delivery_cursor[i]..] {
                 let key = (i as u16, origin.0);
                 let prev = *self.last_delivered.get(&key).unwrap_or(&0);
                 if seq != prev + 1 {
@@ -492,7 +492,7 @@ mod tests {
     fn delivery_gap_is_caught() {
         let nodes = two_nodes();
         let mut checker = InvariantChecker::new(2, 3);
-        let gap_log = [(SimTime::ZERO, NodeId(1), 2u64)]; // seq 1 missing
+        let gap_log = [(SimTime::ZERO, NodeId(1), 2u64, 0usize)]; // seq 1 missing
         let views = vec![
             NodeView {
                 delivery_log: &gap_log,

@@ -13,7 +13,9 @@ use crate::plan::{Fault, FaultEvent, FaultPlan};
 use rand::prelude::*;
 use stabilizer_core::ClusterConfig;
 use stabilizer_netsim::{NetTopology, SimDuration};
+use stabilizer_telemetry::Telemetry;
 use std::fmt;
+use std::sync::Arc;
 
 /// Which network the scenario runs on.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -358,13 +360,40 @@ impl Scenario {
     ///
     /// Panics if the generated config or the plan is invalid.
     pub fn run_with_plan(&self, plan: &FaultPlan) -> Result<RunReport, ChaosFailure> {
+        self.run_instrumented(plan, None)
+    }
+
+    /// [`Scenario::run`] feeding an attached telemetry hub: publishes
+    /// are stamped and every upcall is mirrored into the hub's metrics
+    /// and trace ring, so the run yields stability-latency histograms
+    /// alongside the invariant verdict. Build the hub with
+    /// [`Telemetry::new_sim`] (or `new_sim_with_trace`) so its
+    /// timestamps are the simulator's deterministic virtual clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ChaosFailure`] on any invariant violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated config or plan is invalid.
+    pub fn run_with_telemetry(&self, telemetry: Arc<Telemetry>) -> Result<RunReport, ChaosFailure> {
+        self.run_instrumented(&self.plan, Some(telemetry))
+    }
+
+    fn run_instrumented(
+        &self,
+        plan: &FaultPlan,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Result<RunReport, ChaosFailure> {
         let cfg = ClusterConfig::parse(&self.cfg_text).expect("generated config parses");
-        let mut harness = ChaosHarness::new(
+        let mut harness = ChaosHarness::new_with_telemetry(
             &cfg,
             self.topology.build(),
             self.seed,
             plan,
             self.workload.clone(),
+            telemetry,
         )
         .expect("generated scenario is valid");
         harness.run(self.horizon).map_err(|violation| ChaosFailure {

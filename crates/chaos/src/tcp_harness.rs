@@ -46,10 +46,11 @@ use crate::tcp_proxy::ProxyNet;
 use bytes::Bytes;
 use stabilizer_core::{
     shared_runtime_log, AckTypeRegistry, ClusterConfig, CoreError, LogObserver, NodeId,
-    SharedRuntimeLog, Snapshot,
+    ObserverChain, RuntimeObserver, SharedRuntimeLog, Snapshot,
 };
 use stabilizer_dsl::{SeqNo, RECEIVED};
 use stabilizer_netsim::SimTime;
+use stabilizer_telemetry::Telemetry;
 use stabilizer_transport::{spawn_node_with, NodeHandle, SpawnOptions};
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -113,6 +114,24 @@ pub struct ChaosTcpCluster {
     restarts: u64,
     checks: u64,
     started: Instant,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+/// Observer for one TCP node: the invariant checker's log, plus the
+/// telemetry hub's metrics observer when a hub is attached.
+fn make_observer(
+    log: &SharedRuntimeLog,
+    telemetry: Option<&Arc<Telemetry>>,
+    node: NodeId,
+) -> Box<dyn RuntimeObserver> {
+    match telemetry {
+        None => Box::new(LogObserver::new(log.clone())),
+        Some(t) => Box::new(
+            ObserverChain::new()
+                .with(Box::new(LogObserver::new(log.clone())))
+                .with(Box::new(t.observer(node))),
+        ),
+    }
 }
 
 impl ChaosTcpCluster {
@@ -128,6 +147,26 @@ impl ChaosTcpCluster {
         seed: u64,
         plan: &FaultPlan,
         workload: Vec<TimedWork>,
+    ) -> Result<Self, ChaosError> {
+        Self::new_with_telemetry(cfg, seed, plan, workload, None)
+    }
+
+    /// [`ChaosTcpCluster::new`] with an optional telemetry hub: every
+    /// node gets transport counters plus a
+    /// [`MetricsObserver`](stabilizer_telemetry::MetricsObserver) chained
+    /// after the invariant log, and publishes are stamped for the
+    /// latency histograms. Use a hub built with
+    /// [`Telemetry::new_wall_clock`] so all nodes share one epoch.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ChaosTcpCluster::new`].
+    pub fn new_with_telemetry(
+        cfg: &ClusterConfig,
+        seed: u64,
+        plan: &FaultPlan,
+        workload: Vec<TimedWork>,
+        telemetry: Option<Arc<Telemetry>>,
     ) -> Result<Self, ChaosError> {
         let n = cfg.num_nodes();
         let ops = plan.compile(n)?;
@@ -164,9 +203,11 @@ impl ChaosTcpCluster {
                 listener,
                 peer_addrs,
                 SpawnOptions {
-                    observer: Some(Box::new(LogObserver::new(log.clone()))),
+                    observer: Some(make_observer(&log, telemetry.as_ref(), NodeId(i as u16))),
                     snapshot: None,
                     jitter_seed: seed,
+                    telemetry: telemetry.clone(),
+                    metrics_dump: None,
                 },
             )
             .map_err(ChaosError::Core)?;
@@ -209,6 +250,7 @@ impl ChaosTcpCluster {
             restarts: 0,
             checks: 0,
             started: Instant::now(),
+            telemetry,
         })
     }
 
@@ -440,9 +482,15 @@ impl ChaosTcpCluster {
             listener,
             peer_addrs,
             SpawnOptions {
-                observer: Some(Box::new(LogObserver::new(log.clone()))),
+                observer: Some(make_observer(
+                    &log,
+                    self.telemetry.as_ref(),
+                    NodeId(node as u16),
+                )),
                 snapshot: Some(snapshot),
                 jitter_seed: self.seed ^ (self.restarts << 48),
+                telemetry: self.telemetry.clone(),
+                metrics_dump: None,
             },
         )
         .expect("predicates compiled at startup recompile on restore");
@@ -477,8 +525,11 @@ impl ChaosTcpCluster {
                 let fill = (node as u8).wrapping_add(len as u8);
                 // Backpressure (buffer full under a partition) is a
                 // legitimate outcome, not a failure.
-                let _ = self.nodes[node]
+                let res = self.nodes[node]
                     .publish(Bytes::from(vec![fill; len]), Duration::from_millis(20));
+                if let (Ok(seq), Some(t)) = (res, &self.telemetry) {
+                    t.note_publish_now(NodeId(node as u16), seq, len);
+                }
             }
             WorkItem::ChangePredicate {
                 node,
@@ -507,7 +558,7 @@ impl ChaosTcpCluster {
             .lock()
             .delivery_log
             .iter()
-            .map(|&(_, origin, seq)| (origin.0, seq))
+            .map(|&(_, origin, seq, _)| (origin.0, seq))
             .collect()
     }
 

@@ -142,15 +142,31 @@ pub fn shared_trace() -> SharedTrace {
 
 /// The [`AppHooks`] implementation that records every upcall into the
 /// shared trace. Attach one per node via `build_cluster_with_hooks`.
+/// Optionally fans each upcall out to a telemetry
+/// [`MetricsObserver`](stabilizer_telemetry::MetricsObserver) so the
+/// same simulated run also yields latency histograms.
 pub struct ChaosObserver {
     node: u16,
     trace: SharedTrace,
+    metrics: Option<stabilizer_telemetry::MetricsObserver>,
 }
 
 impl ChaosObserver {
     /// Observer for node `node` appending into `trace`.
     pub fn new(node: u16, trace: SharedTrace) -> Self {
-        ChaosObserver { node, trace }
+        ChaosObserver {
+            node,
+            trace,
+            metrics: None,
+        }
+    }
+
+    /// Also forward every upcall to `metrics` (a telemetry hub's
+    /// per-node observer), when given.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Option<stabilizer_telemetry::MetricsObserver>) -> Self {
+        self.metrics = metrics;
+        self
     }
 }
 
@@ -165,6 +181,9 @@ impl AppHooks for ChaosObserver {
                 len: payload.len(),
             },
         });
+        if let Some(m) = &mut self.metrics {
+            AppHooks::on_deliver(m, now, origin, seq, payload);
+        }
     }
 
     fn on_frontier(&mut self, now: SimTime, update: &FrontierUpdate) {
@@ -178,6 +197,9 @@ impl AppHooks for ChaosObserver {
                 generation: update.generation,
             },
         });
+        if let Some(m) = &mut self.metrics {
+            AppHooks::on_frontier(m, now, update);
+        }
     }
 
     fn on_wait_done(&mut self, now: SimTime, token: WaitToken) {
@@ -186,6 +208,9 @@ impl AppHooks for ChaosObserver {
             node: self.node,
             kind: TraceEventKind::WaitDone { token },
         });
+        if let Some(m) = &mut self.metrics {
+            AppHooks::on_wait_done(m, now, token);
+        }
     }
 
     fn on_suspected(&mut self, now: SimTime, node: NodeId) {
@@ -194,6 +219,9 @@ impl AppHooks for ChaosObserver {
             node: self.node,
             kind: TraceEventKind::Suspected { peer: node.0 },
         });
+        if let Some(m) = &mut self.metrics {
+            AppHooks::on_suspected(m, now, node);
+        }
     }
 }
 

@@ -67,8 +67,8 @@ fn sim_run() -> FinalState {
                         .actor(i)
                         .delivery_log
                         .iter()
-                        .filter(|(_, o, _)| o.0 as usize == origin)
-                        .map(|&(_, _, seq)| seq)
+                        .filter(|(_, o, _, _)| o.0 as usize == origin)
+                        .map(|&(_, _, seq, _)| seq)
                         .collect()
                 })
                 .collect()

@@ -55,6 +55,7 @@ pub struct FrontierEngine {
     // be identical across processes for seed replay to be byte-stable.
     entries: BTreeMap<(NodeId, String), Entry>,
     waiters: Vec<Waiter>,
+    evals: u64,
 }
 
 impl FrontierEngine {
@@ -81,6 +82,7 @@ impl FrontierEngine {
             .get(&(stream, key.to_owned()))
             .map(|e| e.generation + 1)
             .unwrap_or(0);
+        self.evals += 1;
         let frontier = predicate.eval(&recorder.stream_view(stream));
         let entry = Entry {
             predicate,
@@ -117,6 +119,7 @@ impl FrontierEngine {
         let Some(entry) = self.entries.get_mut(&(stream, key.to_owned())) else {
             return false;
         };
+        self.evals += 1;
         entry.generation += 1;
         entry.predicate = predicate;
         entry.frontier = entry.predicate.eval(&recorder.stream_view(stream));
@@ -222,6 +225,7 @@ impl FrontierEngine {
             if !entry.predicate.dependencies().contains(&(node, ty)) {
                 continue;
             }
+            self.evals += 1;
             let new = entry.predicate.eval(&view);
             if new > entry.frontier {
                 entry.frontier = new;
@@ -284,6 +288,12 @@ impl FrontierEngine {
     /// Number of blocked waiters (for tests and introspection).
     pub fn pending_waiters(&self) -> usize {
         self.waiters.len()
+    }
+
+    /// Total predicate evaluations performed (registration, change, and
+    /// incremental re-evaluation on ACK advances).
+    pub fn evaluations(&self) -> u64 {
+        self.evals
     }
 
     fn drain_waiters(

@@ -66,7 +66,9 @@ pub use error::CoreError;
 pub use frontier::{FrontierEngine, FrontierUpdate, WaitToken};
 pub use messages::{Ack, WireMsg, WIRE_OVERHEAD};
 pub use node::{Action, Metrics, Snapshot, StabilizerNode};
-pub use observe::{shared_runtime_log, LogObserver, RuntimeLog, RuntimeObserver, SharedRuntimeLog};
+pub use observe::{
+    shared_runtime_log, LogObserver, ObserverChain, RuntimeLog, RuntimeObserver, SharedRuntimeLog,
+};
 pub use recorder::AckRecorder;
 
 // Re-export the DSL surface users need to interact with predicates.

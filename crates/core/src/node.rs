@@ -132,6 +132,11 @@ pub struct Metrics {
     pub acks_stale: u64,
     /// Data messages retransmitted by the reliability mechanism.
     pub retransmits: u64,
+    /// Predicate evaluations performed by the frontier engine
+    /// (registration, change, and incremental re-evaluation).
+    pub predicate_evals: u64,
+    /// Frontier-advance actions emitted.
+    pub frontier_updates: u64,
 }
 
 impl StabilizerNode {
@@ -725,9 +730,16 @@ impl StabilizerNode {
         Ok(())
     }
 
+    /// Number of `waitfor` calls still blocked on a frontier.
+    pub fn pending_waiters(&self) -> usize {
+        self.engine.pending_waiters()
+    }
+
     /// Traffic counters for this node.
     pub fn metrics(&self) -> Metrics {
-        self.metrics
+        let mut m = self.metrics;
+        m.predicate_evals = self.engine.evaluations();
+        m
     }
 
     // ------------------------------------------------------------------
@@ -817,6 +829,7 @@ impl StabilizerNode {
 
     fn emit(&mut self, updates: Vec<FrontierUpdate>, done: Vec<WaitToken>) {
         for u in updates {
+            self.metrics.frontier_updates += 1;
             self.actions.push(Action::Frontier(u));
         }
         for token in done {

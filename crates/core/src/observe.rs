@@ -52,8 +52,10 @@ pub trait RuntimeObserver: Send {
 pub struct RuntimeLog {
     /// Frontier advances: `(time, update)`.
     pub frontier_log: Vec<(SimTime, FrontierUpdate)>,
-    /// Deliveries: `(time, origin, seq)` (payloads elided).
-    pub delivery_log: Vec<(SimTime, NodeId, SeqNo)>,
+    /// Deliveries: `(time, origin, seq, payload_len)` — lengths instead
+    /// of payloads so byte-level accounting works without keeping the
+    /// data alive.
+    pub delivery_log: Vec<(SimTime, NodeId, SeqNo, usize)>,
     /// Completed waits.
     pub wait_done_log: Vec<(SimTime, WaitToken)>,
     /// Suspicions raised.
@@ -87,11 +89,11 @@ impl LogObserver {
 }
 
 impl RuntimeObserver for LogObserver {
-    fn on_deliver(&mut self, now_nanos: u64, origin: NodeId, seq: SeqNo, _payload: &Bytes) {
+    fn on_deliver(&mut self, now_nanos: u64, origin: NodeId, seq: SeqNo, payload: &Bytes) {
         self.log
             .lock()
             .delivery_log
-            .push((SimTime(now_nanos), origin, seq));
+            .push((SimTime(now_nanos), origin, seq, payload.len()));
     }
 
     fn on_frontier(&mut self, now_nanos: u64, update: &FrontierUpdate) {
@@ -130,6 +132,82 @@ impl RuntimeObserver for LogObserver {
     }
 }
 
+/// Fan-out observer: forwards every upcall to each observer in the
+/// chain, in order. Lets the chaos `LogObserver` and a telemetry
+/// `MetricsObserver` both watch one node even where the runtime accepts
+/// exactly one observer slot (`SpawnOptions`).
+#[derive(Default)]
+pub struct ObserverChain {
+    observers: Vec<Box<dyn RuntimeObserver>>,
+}
+
+impl ObserverChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an observer (builder style).
+    #[must_use]
+    pub fn with(mut self, obs: Box<dyn RuntimeObserver>) -> Self {
+        self.observers.push(obs);
+        self
+    }
+
+    /// Append an observer.
+    pub fn push(&mut self, obs: Box<dyn RuntimeObserver>) {
+        self.observers.push(obs);
+    }
+
+    /// Number of chained observers.
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// True when no observers are chained.
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+}
+
+impl RuntimeObserver for ObserverChain {
+    fn on_deliver(&mut self, now_nanos: u64, origin: NodeId, seq: SeqNo, payload: &Bytes) {
+        for obs in &mut self.observers {
+            obs.on_deliver(now_nanos, origin, seq, payload);
+        }
+    }
+
+    fn on_frontier(&mut self, now_nanos: u64, update: &FrontierUpdate) {
+        for obs in &mut self.observers {
+            obs.on_frontier(now_nanos, update);
+        }
+    }
+
+    fn on_wait_done(&mut self, now_nanos: u64, token: WaitToken) {
+        for obs in &mut self.observers {
+            obs.on_wait_done(now_nanos, token);
+        }
+    }
+
+    fn on_suspected(&mut self, now_nanos: u64, node: NodeId) {
+        for obs in &mut self.observers {
+            obs.on_suspected(now_nanos, node);
+        }
+    }
+
+    fn on_recovered(&mut self, now_nanos: u64, node: NodeId) {
+        for obs in &mut self.observers {
+            obs.on_recovered(now_nanos, node);
+        }
+    }
+
+    fn on_connect_failed(&mut self, now_nanos: u64, peer: NodeId) {
+        for obs in &mut self.observers {
+            obs.on_connect_failed(now_nanos, peer);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,17 +217,35 @@ mod tests {
         let log = shared_runtime_log();
         let mut obs = LogObserver::new(log.clone());
         obs.on_deliver(5, NodeId(1), 1, &Bytes::from_static(b"x"));
-        obs.on_deliver(9, NodeId(1), 2, &Bytes::from_static(b"y"));
+        obs.on_deliver(9, NodeId(1), 2, &Bytes::from_static(b"yy"));
         obs.on_suspected(11, NodeId(2));
         obs.on_recovered(12, NodeId(2));
         obs.on_connect_failed(13, NodeId(3));
         let log = log.lock();
         assert_eq!(
             log.delivery_log,
-            vec![(SimTime(5), NodeId(1), 1), (SimTime(9), NodeId(1), 2)]
+            vec![(SimTime(5), NodeId(1), 1, 1), (SimTime(9), NodeId(1), 2, 2)]
         );
         assert_eq!(log.suspected_log, vec![(SimTime(11), NodeId(2))]);
         assert_eq!(log.recovered_log, vec![(SimTime(12), NodeId(2))]);
         assert_eq!(log.connect_failures, vec![(SimTime(13), NodeId(3))]);
+    }
+
+    #[test]
+    fn observer_chain_fans_out_in_order() {
+        let first = shared_runtime_log();
+        let second = shared_runtime_log();
+        let mut chain = ObserverChain::new()
+            .with(Box::new(LogObserver::new(first.clone())))
+            .with(Box::new(LogObserver::new(second.clone())));
+        assert_eq!(chain.len(), 2);
+        assert!(!chain.is_empty());
+        chain.on_deliver(7, NodeId(0), 1, &Bytes::from_static(b"abc"));
+        chain.on_suspected(8, NodeId(2));
+        for log in [&first, &second] {
+            let log = log.lock();
+            assert_eq!(log.delivery_log, vec![(SimTime(7), NodeId(0), 1, 3)]);
+            assert_eq!(log.suspected_log, vec![(SimTime(8), NodeId(2))]);
+        }
     }
 }

@@ -45,9 +45,10 @@ pub struct SimNode<H: AppHooks = NoHooks> {
     pub hooks: H,
     /// Timestamped frontier log: `(time, update)`.
     pub frontier_log: Vec<(SimTime, FrontierUpdate)>,
-    /// Timestamped delivery log: `(time, origin, seq)` (payloads omitted
-    /// to keep memory bounded in long runs).
-    pub delivery_log: Vec<(SimTime, NodeId, SeqNo)>,
+    /// Timestamped delivery log: `(time, origin, seq, payload_len)`
+    /// (payload bytes omitted to keep memory bounded in long runs;
+    /// lengths kept for byte-level accounting).
+    pub delivery_log: Vec<(SimTime, NodeId, SeqNo, usize)>,
     /// Completed wait tokens.
     pub completed_waits: Vec<(SimTime, WaitToken)>,
     /// Suspected peers.
@@ -182,7 +183,8 @@ impl<H: AppHooks> SimNode<H> {
                 } => {
                     self.hooks.on_deliver(ctx.now(), origin, seq, &payload);
                     if self.record_deliveries {
-                        self.delivery_log.push((ctx.now(), origin, seq));
+                        self.delivery_log
+                            .push((ctx.now(), origin, seq, payload.len()));
                     }
                 }
                 Action::Frontier(update) => {

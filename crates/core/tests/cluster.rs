@@ -498,8 +498,8 @@ fn reliability_mechanism_recovers_from_heavy_loss() {
             .actor(i)
             .delivery_log
             .iter()
-            .filter(|(_, o, _)| *o == NodeId(0))
-            .map(|(_, _, s)| *s)
+            .filter(|(_, o, _, _)| *o == NodeId(0))
+            .map(|(_, _, s, _)| *s)
             .collect();
         assert_eq!(
             seqs,

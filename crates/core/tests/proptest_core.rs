@@ -234,8 +234,8 @@ proptest! {
                 .actor(i)
                 .delivery_log
                 .iter()
-                .filter(|(_, o, _)| *o == NodeId(0))
-                .map(|(_, _, s)| *s)
+                .filter(|(_, o, _, _)| *o == NodeId(0))
+                .map(|(_, _, s, _)| *s)
                 .collect();
             prop_assert_eq!(&seqs, &(1..=count).collect::<Vec<u64>>(), "receiver {} broke FIFO", i);
         }

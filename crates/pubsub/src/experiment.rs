@@ -30,6 +30,10 @@ pub struct SiteResult {
     pub throughput_mbit: f64,
     /// Messages that reached the site.
     pub delivered: u64,
+    /// Raw per-message end-to-end latencies (nanoseconds, in sequence
+    /// order over delivered messages) — feed these to a telemetry
+    /// histogram for distribution plots instead of re-running.
+    pub latencies_ns: Vec<u64>,
 }
 
 /// CloudLab cluster config matching [`NetTopology::cloudlab_table2`],
@@ -117,9 +121,11 @@ fn collect(
     for site in 1..net.len() {
         let mut sum_ns = 0u128;
         let mut n = 0u64;
+        let mut latencies_ns = Vec::new();
         for seq in 1..=count {
             if let Some(lat) = latency_of(site, seq) {
                 sum_ns += lat.as_nanos() as u128;
+                latencies_ns.push(lat.as_nanos());
                 n += 1;
             }
         }
@@ -143,6 +149,7 @@ fn collect(
             avg_latency: avg,
             throughput_mbit: throughput,
             delivered: n,
+            latencies_ns,
         });
     }
     out

@@ -12,7 +12,7 @@ use stabilizer_pubsub::build_brokers;
 const PUBLISHER: usize = 0;
 const N: usize = 5;
 
-type DeliveryLog = Vec<(SimTime, NodeId, SeqNo)>;
+type DeliveryLog = Vec<(SimTime, NodeId, SeqNo, usize)>;
 
 #[test]
 fn pubsub_workload_upholds_every_invariant_per_step() {
@@ -81,7 +81,7 @@ fn check(
             sim.actor(i)
                 .deliveries
                 .iter()
-                .map(|&(at, seq)| (at, NodeId(PUBLISHER as u16), seq))
+                .map(|&(at, seq)| (at, NodeId(PUBLISHER as u16), seq, 0usize))
                 .collect()
         })
         .collect();

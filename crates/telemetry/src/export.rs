@@ -1,0 +1,204 @@
+//! Exporters: Prometheus text format and a machine-readable JSON
+//! snapshot.
+//!
+//! Both render from a [`RegistrySnapshot`](crate::registry::RegistrySnapshot),
+//! whose `BTreeMap`s fix the iteration order — identical recorded values
+//! always render to identical bytes, which is what the sim replay
+//! acceptance test pins. Histogram bucket bounds are integers
+//! (nanoseconds), never floats, for the same reason.
+
+use crate::histogram::HistogramSnapshot;
+use crate::json::push_key;
+use crate::registry::RegistrySnapshot;
+use crate::stability::Telemetry;
+
+/// Quantiles reported in the JSON export.
+const QUANTILES: &[(&str, f64)] = &[("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)];
+
+fn series_name(name: &str, labels: &str) -> String {
+    if labels.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{name}{{{labels}}}")
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+pub fn render_prometheus_snapshot(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_type_hdr = String::new();
+    let mut type_header = |out: &mut String, name: &str, kind: &str| {
+        if last_type_hdr != name {
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
+            last_type_hdr = name.to_owned();
+        }
+    };
+    for ((name, labels), v) in &snap.counters {
+        type_header(&mut out, name, "counter");
+        out.push_str(&series_name(name, labels));
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    for ((name, labels), v) in &snap.gauges {
+        type_header(&mut out, name, "gauge");
+        out.push_str(&series_name(name, labels));
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    for ((name, labels), h) in &snap.histograms {
+        type_header(&mut out, name, "histogram");
+        // Cumulative buckets over the non-empty slots plus +Inf; bounds
+        // are integer nanoseconds so the text is bit-stable.
+        let mut cumulative = 0u64;
+        for (upper, count) in h.nonzero_buckets() {
+            cumulative += count;
+            let le = format!("le=\"{upper}\"");
+            let labels = if labels.is_empty() {
+                le
+            } else {
+                format!("{labels},{le}")
+            };
+            out.push_str(&format!("{name}_bucket{{{labels}}} {cumulative}\n"));
+        }
+        let inf = if labels.is_empty() {
+            "le=\"+Inf\"".to_owned()
+        } else {
+            format!("{labels},le=\"+Inf\"")
+        };
+        out.push_str(&format!("{name}_bucket{{{inf}}} {}\n", h.count));
+        out.push_str(&series_name(&format!("{name}_sum"), labels));
+        out.push_str(&format!(" {}\n", h.sum));
+        out.push_str(&series_name(&format!("{name}_count"), labels));
+        out.push_str(&format!(" {}\n", h.count));
+    }
+    out
+}
+
+fn push_histogram_json(out: &mut String, h: &HistogramSnapshot) {
+    out.push_str(&format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}",
+        h.count,
+        h.sum,
+        h.min,
+        h.max,
+        h.mean()
+    ));
+    for (label, q) in QUANTILES {
+        out.push_str(&format!(",\"{label}\":{}", h.quantile(*q)));
+    }
+    out.push_str(",\"buckets\":[");
+    for (i, (upper, count)) in h.nonzero_buckets().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{upper},{count}]"));
+    }
+    out.push_str("]}");
+}
+
+/// Render a snapshot as one JSON object:
+/// `{"counters": {...}, "gauges": {...}, "histograms": {...}}` with
+/// series keyed `name{labels}`. Histogram values carry count/sum/min/
+/// max/mean, quantiles, and `[upper_bound, count]` bucket pairs.
+pub fn render_json_snapshot(snap: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, ((name, labels), v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_key(&mut out, &series_name(name, labels));
+        out.push_str(&v.to_string());
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, ((name, labels), v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_key(&mut out, &series_name(name, labels));
+        out.push_str(&v.to_string());
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, ((name, labels), h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_key(&mut out, &series_name(name, labels));
+        push_histogram_json(&mut out, h);
+    }
+    out.push_str("}}");
+    out
+}
+
+impl Telemetry {
+    /// Prometheus text snapshot of every registered series.
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus_snapshot(&self.registry().snapshot())
+    }
+
+    /// JSON snapshot of every registered series (see
+    /// [`render_json_snapshot`]).
+    pub fn render_json(&self) -> String {
+        render_json_snapshot(&self.registry().snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("x_total", &[("node", "0")]).add(3);
+        reg.counter("x_total", &[("node", "1")]).add(5);
+        reg.gauge("depth", &[]).set(-2);
+        let h = reg.histogram("lat_ns", &[("key", "All")]);
+        h.record(100);
+        h.record(100);
+        h.record(5_000);
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = render_prometheus_snapshot(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE x_total counter\n"));
+        assert!(text.contains("x_total{node=\"0\"} 3\n"));
+        assert!(text.contains("x_total{node=\"1\"} 5\n"));
+        assert!(text.contains("# TYPE depth gauge\ndepth -2\n"));
+        assert!(text.contains("# TYPE lat_ns histogram\n"));
+        assert!(text.contains("lat_ns_bucket{key=\"All\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_ns_sum{key=\"All\"} 5200\n"));
+        assert!(text.contains("lat_ns_count{key=\"All\"} 3\n"));
+        // One TYPE line per metric name even with multiple series.
+        assert_eq!(text.matches("# TYPE x_total").count(), 1);
+    }
+
+    #[test]
+    fn json_is_stable_and_parseable_shape() {
+        let a = render_json_snapshot(&sample_registry().snapshot());
+        let b = render_json_snapshot(&sample_registry().snapshot());
+        assert_eq!(a, b, "identical values must render identically");
+        assert!(a.starts_with("{\"counters\":{"));
+        assert!(a.contains("\"x_total{node=\\\"0\\\"}\":3"));
+        assert!(a.contains("\"depth\":-2"));
+        assert!(a.contains("\"count\":3,\"sum\":5200"));
+        assert!(a.ends_with("}}"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_objects() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(
+            render_json_snapshot(&reg.snapshot()),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+        assert_eq!(render_prometheus_snapshot(&reg.snapshot()), "");
+    }
+}

@@ -1,0 +1,238 @@
+//! Fixed-bucket log-scale histograms with atomic recording.
+//!
+//! The record path is a handful of relaxed atomic operations — no
+//! allocation, no locking — because observers run **under the node
+//! lock** (see `stabilizer_core::observe`): anything slower would
+//! serialize the runtime threads behind the metrics layer.
+//!
+//! Buckets are log-linear ("HDR-lite"): values 0–3 are exact, and every
+//! power-of-two range above that is split into four sub-buckets, so the
+//! relative quantization error is bounded by 25% while the whole `u64`
+//! range fits in [`NUM_BUCKETS`] fixed slots. Stability latencies span
+//! six orders of magnitude (micros on a LAN pair to seconds under WAN
+//! faults), which is exactly the regime where log-scale buckets beat
+//! linear ones.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of fixed buckets: 4 exact + 62 octaves × 4 sub-buckets.
+pub const NUM_BUCKETS: usize = 252;
+
+/// Bucket index for a value (total function over `u64`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // floor(log2 v), >= 2
+        (exp - 1) * 4 + ((v >> (exp - 2)) & 3) as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+#[inline]
+pub fn bucket_lower(i: usize) -> u64 {
+    if i < 4 {
+        i as u64
+    } else {
+        let exp = i / 4 + 1;
+        let frac = (i % 4) as u64;
+        (1u64 << exp) + (frac << (exp - 2))
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(i + 1) - 1
+    }
+}
+
+/// A log-scale histogram of `u64` samples (latencies in nanoseconds,
+/// sizes in bytes, queue depths — anything non-negative).
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: Box::new([const { AtomicU64::new(0) }; NUM_BUCKETS]),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample: five relaxed atomic RMWs, nothing else.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for quantile math and export.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`LogHistogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (length [`NUM_BUCKETS`]).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Quantile estimate: the upper bound of the bucket containing the
+    /// `q`-th sample, clamped to the observed max. `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs, in order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_range() {
+        // Every bucket's lower bound is one past the previous upper
+        // bound, starting at 0 and ending at u64::MAX.
+        assert_eq!(bucket_lower(0), 0);
+        for i in 1..NUM_BUCKETS {
+            assert_eq!(
+                bucket_lower(i),
+                bucket_upper(i - 1) + 1,
+                "gap or overlap at bucket {i}"
+            );
+        }
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn values_land_in_their_own_bucket() {
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 100, 1_000_000, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(
+                bucket_lower(i) <= v && v <= bucket_upper(i),
+                "{v} outside bucket {i} [{}, {}]",
+                bucket_lower(i),
+                bucket_upper(i)
+            );
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // For v >= 4, the bucket width is at most a quarter of its lower
+        // bound: quantization error <= 25%.
+        for v in [4u64, 1000, 12_345, 1 << 40] {
+            let i = bucket_index(v);
+            let width = bucket_upper(i) - bucket_lower(i) + 1;
+            assert!(width * 4 <= bucket_lower(i).max(4), "bucket {i} too wide");
+        }
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.mean(), 500);
+        let p50 = s.quantile(0.5);
+        // Within one bucket (25%) of the exact median.
+        assert!((375..=625).contains(&p50), "p50 = {p50}");
+        assert_eq!(s.quantile(1.0), 1000);
+        assert!(s.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = LogHistogram::new().snapshot();
+        assert_eq!((s.count, s.sum, s.min, s.max, s.mean()), (0, 0, 0, 0, 0));
+        assert_eq!(s.quantile(0.99), 0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+}

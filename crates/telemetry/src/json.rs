@@ -1,0 +1,44 @@
+//! Minimal hand-rolled JSON writing.
+//!
+//! The workspace deliberately carries no serialization dependency (the
+//! vendored shims cover rand/proptest/criterion only), so the telemetry
+//! exporters build their JSON by hand. Everything we emit is flat enough
+//! — strings, integers, arrays of integers — that a string escaper and a
+//! few push helpers suffice.
+
+/// Append `s` as a JSON string literal (with quotes) onto `out`.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `"key":` onto `out`.
+pub fn push_key(out: &mut String, key: &str) {
+    push_json_str(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,276 @@
+//! Structured trace: a bounded ring buffer of typed protocol events.
+//!
+//! Timestamps are whatever the runtime passes — deterministic
+//! [`SimTime`](stabilizer_netsim::SimTime) nanoseconds in the simulator,
+//! monotonic nanoseconds since the telemetry epoch on the TCP runtime —
+//! so a sim trace is byte-identical across replays of the same seed.
+//! When the ring is full the oldest event is dropped and a counter
+//! remembers how many were lost; export is JSONL, one event per line.
+
+use crate::json::{push_json_str, push_key};
+use parking_lot::Mutex;
+use stabilizer_dsl::{NodeId, SeqNo};
+use std::collections::VecDeque;
+
+/// What happened. Payloads are reduced to lengths; keys are cloned only
+/// when a frontier event is pushed (trace pushes are already off the
+/// per-message hot path for high-rate runs — disable the ring if not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A payload was published locally.
+    Publish {
+        /// Sequence assigned to the payload.
+        seq: SeqNo,
+        /// Payload size in bytes.
+        len: usize,
+    },
+    /// A mirrored payload was delivered.
+    Deliver {
+        /// Stream the payload originated on.
+        origin: NodeId,
+        /// Its sequence number.
+        seq: SeqNo,
+        /// Payload size in bytes.
+        len: usize,
+    },
+    /// A stability frontier advanced.
+    Frontier {
+        /// Stream whose frontier moved.
+        stream: NodeId,
+        /// Predicate key.
+        key: String,
+        /// New frontier.
+        seq: SeqNo,
+        /// Predicate generation.
+        generation: u32,
+    },
+    /// A `waitfor` completed.
+    WaitDone {
+        /// The wait's token.
+        token: u64,
+    },
+    /// A peer became suspected.
+    Suspected {
+        /// The suspected peer.
+        peer: NodeId,
+    },
+    /// A suspected peer came back.
+    Recovered {
+        /// The recovered peer.
+        peer: NodeId,
+    },
+    /// A writer permanently gave up connecting to a peer.
+    ConnectFailed {
+        /// The unreachable peer.
+        peer: NodeId,
+    },
+}
+
+impl TraceKind {
+    fn name(&self) -> &'static str {
+        match self {
+            TraceKind::Publish { .. } => "publish",
+            TraceKind::Deliver { .. } => "deliver",
+            TraceKind::Frontier { .. } => "frontier",
+            TraceKind::WaitDone { .. } => "wait_done",
+            TraceKind::Suspected { .. } => "suspected",
+            TraceKind::Recovered { .. } => "recovered",
+            TraceKind::ConnectFailed { .. } => "connect_failed",
+        }
+    }
+}
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds: virtual in sim, monotonic-since-epoch on TCP.
+    pub at_nanos: u64,
+    /// The node the event happened on.
+    pub node: NodeId,
+    /// The event itself.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Render as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"at_ns\":");
+        s.push_str(&self.at_nanos.to_string());
+        s.push_str(",\"node\":");
+        s.push_str(&self.node.0.to_string());
+        s.push_str(",\"event\":");
+        push_json_str(&mut s, self.kind.name());
+        match &self.kind {
+            TraceKind::Publish { seq, len } => {
+                s.push_str(&format!(",\"seq\":{seq},\"len\":{len}"));
+            }
+            TraceKind::Deliver { origin, seq, len } => {
+                s.push_str(&format!(
+                    ",\"origin\":{},\"seq\":{seq},\"len\":{len}",
+                    origin.0
+                ));
+            }
+            TraceKind::Frontier {
+                stream,
+                key,
+                seq,
+                generation,
+            } => {
+                s.push_str(&format!(",\"stream\":{},", stream.0));
+                push_key(&mut s, "key");
+                push_json_str(&mut s, key);
+                s.push_str(&format!(",\"seq\":{seq},\"generation\":{generation}"));
+            }
+            TraceKind::WaitDone { token } => s.push_str(&format!(",\"token\":{token}")),
+            TraceKind::Suspected { peer }
+            | TraceKind::Recovered { peer }
+            | TraceKind::ConnectFailed { peer } => {
+                s.push_str(&format!(",\"peer\":{}", peer.0));
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// Bounded ring of [`TraceEvent`]s. Thread-safe; pushes from observers
+/// take a short uncontended mutex (observers of one node never race each
+/// other — they already run under the node lock).
+#[derive(Debug)]
+pub struct TraceRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+/// Default ring capacity: enough for a full chaos scenario.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events (0 disables tracing).
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            inner: Mutex::new(RingInner::default()),
+            capacity,
+        }
+    }
+
+    /// Append an event, evicting the oldest if full.
+    pub fn push(&self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(ev);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Copy out the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Render the buffer as JSONL: one event object per line, oldest
+    /// first, trailing newline after the last line.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::with_capacity(inner.events.len() * 96);
+        for ev in &inner.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, seq: SeqNo) -> TraceEvent {
+        TraceEvent {
+            at_nanos: at,
+            node: NodeId(0),
+            kind: TraceKind::Publish { seq, len: 8 },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let ring = TraceRing::new(2);
+        ring.push(ev(1, 1));
+        ring.push(ev(2, 2));
+        ring.push(ev(3, 3));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let snap = ring.snapshot();
+        assert_eq!(snap[0].at_nanos, 2);
+        assert_eq!(snap[1].at_nanos, 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let ring = TraceRing::new(0);
+        ring.push(ev(1, 1));
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let ring = TraceRing::new(8);
+        ring.push(ev(5, 1));
+        ring.push(TraceEvent {
+            at_nanos: 9,
+            node: NodeId(2),
+            kind: TraceKind::Frontier {
+                stream: NodeId(0),
+                key: "All".to_owned(),
+                seq: 1,
+                generation: 0,
+            },
+        });
+        let jsonl = ring.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"at_ns\":5,\"node\":0,\"event\":\"publish\",\"seq\":1,\"len\":8}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"at_ns\":9,\"node\":2,\"event\":\"frontier\",\"stream\":0,\
+             \"key\":\"All\",\"seq\":1,\"generation\":0}"
+        );
+    }
+}

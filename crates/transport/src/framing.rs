@@ -12,16 +12,17 @@ use std::io::{Read, Write};
 /// 64 KiB-capped data message; this guards against corrupt prefixes).
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
-/// Write one frame.
+/// Write one frame, returning the number of bytes put on the wire
+/// (length prefix included) so the transport can account traffic.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the underlying writer.
-pub fn write_frame<W: Write>(w: &mut W, msg: &WireMsg) -> std::io::Result<()> {
+pub fn write_frame<W: Write>(w: &mut W, msg: &WireMsg) -> std::io::Result<usize> {
     let body = msg.to_bytes();
     w.write_all(&(body.len() as u32).to_le_bytes())?;
     w.write_all(&body)?;
-    Ok(())
+    Ok(4 + body.len())
 }
 
 /// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
@@ -30,6 +31,16 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &WireMsg) -> std::io::Result<()> {
 ///
 /// I/O errors, oversized frames, or undecodable bodies.
 pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<WireMsg>> {
+    Ok(read_frame_counted(r)?.map(|(msg, _)| msg))
+}
+
+/// [`read_frame`] that also reports the wire size of the frame (length
+/// prefix included), for transport traffic accounting.
+///
+/// # Errors
+///
+/// I/O errors, oversized frames, or undecodable bodies.
+pub fn read_frame_counted<R: Read>(r: &mut R) -> std::io::Result<Option<(WireMsg, usize)>> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
         Ok(()) => {}
@@ -48,7 +59,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<WireMsg>> {
     let msg = WireMsg::decode(&body).map_err(|e: CoreError| {
         std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
     })?;
-    Ok(Some(msg))
+    Ok(Some((msg, 4 + len as usize)))
 }
 
 /// Encode a hello frame announcing `node_id` (a zero-length `Data`
@@ -118,6 +129,21 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
         assert!(read_frame(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn wire_sizes_match_both_directions() {
+        let msg = WireMsg::Data {
+            origin: NodeId(1),
+            seq: 3,
+            payload: Bytes::from_static(b"hello"),
+        };
+        let mut buf = Vec::new();
+        let wrote = write_frame(&mut buf, &msg).unwrap();
+        assert_eq!(wrote, buf.len());
+        let (got, read) = read_frame_counted(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(read, wrote);
     }
 
     #[test]

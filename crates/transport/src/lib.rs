@@ -37,4 +37,7 @@ pub mod handle;
 pub mod runtime;
 
 pub use handle::{NodeHandle, StateGuard};
-pub use runtime::{spawn_local_cluster, spawn_node, spawn_node_with, SpawnOptions, TcpNode};
+pub use runtime::{
+    spawn_local_cluster, spawn_node, spawn_node_with, MetricsDump, SpawnOptions, TcpNode,
+    TransportMetrics,
+};

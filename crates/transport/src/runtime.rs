@@ -21,7 +21,7 @@
 //! machine state the log has not caught up with.
 
 use crate::backoff::{link_seed, Backoff};
-use crate::framing::{hello, parse_hello, read_frame, write_frame};
+use crate::framing::{hello, parse_hello, read_frame_counted, write_frame};
 use crate::handle::{DeliverFn, MonitorFn, NodeHandle};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -29,11 +29,65 @@ use stabilizer_core::{
     AckTypeRegistry, Action, ClusterConfig, CoreError, NodeId, RuntimeObserver, Snapshot,
     StabilizerNode, WaitToken, WireMsg, RECEIVED,
 };
+use stabilizer_telemetry::{Counter, Gauge, Telemetry};
 use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Transport-level counters and gauges for one node, registered in the
+/// attached [`Telemetry`] hub's registry. Handles are plain atomics, so
+/// the I/O threads record without locking.
+pub struct TransportMetrics {
+    /// Frames written to peers (hello and repair traffic included).
+    pub frames_out: Counter,
+    /// Bytes written to peers (length prefixes included).
+    pub bytes_out: Counter,
+    /// Frames read from peers (the hello excluded — consumed before the
+    /// reader attaches accounting).
+    pub frames_in: Counter,
+    /// Bytes read from peers.
+    pub bytes_in: Counter,
+    /// Successful connects after the first per link (i.e. reconnects).
+    pub reconnects: Counter,
+    /// Failed connect attempts (each is followed by a backoff sleep).
+    pub connect_attempts: Counter,
+    /// Total nanoseconds writer threads spent in backoff sleeps.
+    pub backoff_sleep_ns: Counter,
+    /// Current send-buffer occupancy (sampled by the ticker).
+    pub send_buffer_bytes: Gauge,
+    /// Blocked `waitfor`s (sampled by the ticker).
+    pub pending_waiters: Gauge,
+}
+
+impl TransportMetrics {
+    fn new(t: &Telemetry, me: NodeId) -> Self {
+        let id = me.0.to_string();
+        let labels: &[(&str, &str)] = &[("node", &id)];
+        let reg = t.registry();
+        TransportMetrics {
+            frames_out: reg.counter("stab_tcp_frames_out_total", labels),
+            bytes_out: reg.counter("stab_tcp_bytes_out_total", labels),
+            frames_in: reg.counter("stab_tcp_frames_in_total", labels),
+            bytes_in: reg.counter("stab_tcp_bytes_in_total", labels),
+            reconnects: reg.counter("stab_tcp_reconnects_total", labels),
+            connect_attempts: reg.counter("stab_tcp_connect_attempts_total", labels),
+            backoff_sleep_ns: reg.counter("stab_tcp_backoff_sleep_ns_total", labels),
+            send_buffer_bytes: reg.gauge("stab_tcp_send_buffer_bytes", labels),
+            pending_waiters: reg.gauge("stab_tcp_pending_waiters", labels),
+        }
+    }
+}
+
+/// Periodic Prometheus text dump written by the ticker thread.
+pub struct MetricsDump {
+    /// File to (re)write; each dump replaces the previous snapshot.
+    pub path: PathBuf,
+    /// Dump cadence.
+    pub every: Duration,
+}
 
 /// State shared between the handle and the runtime threads.
 pub struct Shared {
@@ -60,6 +114,10 @@ pub struct Shared {
     pub running: AtomicBool,
     /// Monotonic epoch for failure-detector timestamps.
     pub started: Instant,
+    /// Telemetry hub, when attached via [`SpawnOptions::telemetry`].
+    pub telemetry: Option<Arc<Telemetry>>,
+    /// Transport counters (present iff `telemetry` is).
+    pub(crate) metrics: Option<TransportMetrics>,
 }
 
 impl Shared {
@@ -194,6 +252,17 @@ pub struct SpawnOptions {
     /// Seed for the reconnect backoff jitter (per-link streams are
     /// derived from it, so two nodes never share a retry schedule).
     pub jitter_seed: u64,
+    /// Telemetry hub to feed: registers this node's transport counters
+    /// and lets the ticker mirror the control-plane [`Metrics`]
+    /// (`stabilizer_core::Metrics`) into gauges. Attach the hub's
+    /// [`MetricsObserver`](stabilizer_telemetry::MetricsObserver) via
+    /// [`SpawnOptions::observer`] (or an
+    /// [`ObserverChain`](stabilizer_core::ObserverChain)) to also get
+    /// latency histograms.
+    pub telemetry: Option<Arc<Telemetry>>,
+    /// Periodically write a Prometheus text snapshot of the attached
+    /// telemetry (no-op without `telemetry`).
+    pub metrics_dump: Option<MetricsDump>,
 }
 
 /// Launch node `me` of `cfg`, listening on `listener` and connecting out
@@ -225,9 +294,10 @@ pub fn spawn_node_with(
     acks: Arc<AckTypeRegistry>,
     listener: TcpListener,
     peer_addrs: Vec<(NodeId, SocketAddr)>,
-    opts: SpawnOptions,
+    mut opts: SpawnOptions,
 ) -> Result<TcpNode, CoreError> {
     let restored = opts.snapshot.is_some();
+    let metrics_dump = opts.metrics_dump.take();
     let node = match opts.snapshot {
         None => StabilizerNode::new(cfg.clone(), me, acks)?,
         Some(snapshot) => {
@@ -241,6 +311,10 @@ pub fn spawn_node_with(
             node
         }
     };
+    let metrics = opts
+        .telemetry
+        .as_ref()
+        .map(|t| TransportMetrics::new(t, me));
     let shared = Arc::new(Shared {
         me,
         node: Mutex::new(node),
@@ -253,6 +327,8 @@ pub fn spawn_node_with(
         connect_failed: Mutex::new(Vec::new()),
         running: AtomicBool::new(true),
         started: Instant::now(),
+        telemetry: opts.telemetry,
+        metrics,
     });
     let retry_limit = cfg.options().connect_retry_limit;
 
@@ -286,7 +362,7 @@ pub fn spawn_node_with(
         let opts = cfg.options().clone();
         std::thread::Builder::new()
             .name(format!("stab-{}-tick", me.0))
-            .spawn(move || ticker_loop(shared2, opts))
+            .spawn(move || ticker_loop(shared2, opts, metrics_dump))
             .expect("spawn ticker");
     }
 
@@ -360,16 +436,20 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
 fn reader_loop(shared: Arc<Shared>, stream: TcpStream) {
     let mut reader = std::io::BufReader::new(stream);
     // First frame must be the hello announcing the peer.
-    let peer = match read_frame(&mut reader) {
-        Ok(Some(msg)) => match parse_hello(&msg) {
+    let peer = match read_frame_counted(&mut reader) {
+        Ok(Some((msg, _))) => match parse_hello(&msg) {
             Some(id) => NodeId(id),
             None => return, // protocol violation: drop connection
         },
         _ => return,
     };
     while shared.running.load(Ordering::SeqCst) {
-        match read_frame(&mut reader) {
-            Ok(Some(msg)) => {
+        match read_frame_counted(&mut reader) {
+            Ok(Some((msg, wire_len))) => {
+                if let Some(m) = &shared.metrics {
+                    m.frames_in.inc();
+                    m.bytes_in.add(wire_len as u64);
+                }
                 let now = shared.now_nanos();
                 shared.with_node(|n| n.on_message(now, peer, msg));
             }
@@ -392,6 +472,7 @@ fn writer_loop(
         Duration::from_millis(500),
         jitter_seed,
     );
+    let mut connects = 0u64;
     'reconnect: while shared.running.load(Ordering::SeqCst) {
         let mut stream = match connect_with_retry(&shared, addr, &mut backoff, retry_limit) {
             ConnectOutcome::Connected(s) => s,
@@ -402,8 +483,20 @@ fn writer_loop(
             }
         };
         backoff.reset();
-        if write_frame(&mut stream, &hello(shared.me.0)).is_err() {
-            continue 'reconnect;
+        connects += 1;
+        if connects > 1 {
+            if let Some(m) = &shared.metrics {
+                m.reconnects.inc();
+            }
+        }
+        match write_frame(&mut stream, &hello(shared.me.0)) {
+            Ok(wire_len) => {
+                if let Some(m) = &shared.metrics {
+                    m.frames_out.inc();
+                    m.bytes_out.add(wire_len as u64);
+                }
+            }
+            Err(_) => continue 'reconnect,
         }
         if repair_on_connect {
             // Repair the stream: resend unacked data and re-announce acks.
@@ -419,11 +512,15 @@ fn writer_loop(
         repair_on_connect = true;
         loop {
             match rx.recv_timeout(Duration::from_millis(100)) {
-                Ok(msg) => {
-                    if write_frame(&mut stream, &msg).is_err() {
-                        continue 'reconnect;
+                Ok(msg) => match write_frame(&mut stream, &msg) {
+                    Ok(wire_len) => {
+                        if let Some(m) = &shared.metrics {
+                            m.frames_out.inc();
+                            m.bytes_out.add(wire_len as u64);
+                        }
                     }
-                }
+                    Err(_) => continue 'reconnect,
+                },
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                     if !shared.running.load(Ordering::SeqCst) {
                         return;
@@ -461,18 +558,26 @@ fn connect_with_retry(
                 if retry_limit > 0 && backoff.attempts() + 1 >= retry_limit {
                     return ConnectOutcome::GaveUp;
                 }
-                std::thread::sleep(backoff.next_delay());
+                let delay = backoff.next_delay();
+                if let Some(m) = &shared.metrics {
+                    m.connect_attempts.inc();
+                    m.backoff_sleep_ns.add(delay.as_nanos() as u64);
+                }
+                std::thread::sleep(delay);
             }
         }
     }
     ConnectOutcome::Shutdown
 }
 
-fn ticker_loop(shared: Arc<Shared>, opts: stabilizer_core::Options) {
+fn ticker_loop(shared: Arc<Shared>, opts: stabilizer_core::Options, dump: Option<MetricsDump>) {
     let mut last_flush = Instant::now();
     let mut last_heartbeat = Instant::now();
     let mut last_failure = Instant::now();
     let mut last_retransmit = Instant::now();
+    let mut last_sample = Instant::now();
+    let mut last_dump = Instant::now();
+    let sample_every = Duration::from_millis(20);
     let tick = Duration::from_micros(if opts.ack_flush_micros > 0 {
         opts.ack_flush_micros.min(1000)
     } else {
@@ -508,6 +613,30 @@ fn ticker_loop(shared: Arc<Shared>, opts: stabilizer_core::Options) {
             let t = shared.now_nanos();
             shared.with_node(|n| n.on_retransmit_check(t));
             last_retransmit = now;
+        }
+        if let Some(telemetry) = &shared.telemetry {
+            if now.duration_since(last_sample) >= sample_every {
+                let (buf, waiters, core) = {
+                    let node = shared.node.lock();
+                    (
+                        node.send_buffer_bytes(),
+                        node.pending_waiters(),
+                        node.metrics(),
+                    )
+                };
+                if let Some(m) = &shared.metrics {
+                    m.send_buffer_bytes.set(buf as i64);
+                    m.pending_waiters.set(waiters as i64);
+                }
+                telemetry.record_node_metrics(shared.me, &core);
+                last_sample = now;
+            }
+            if let Some(dump) = &dump {
+                if now.duration_since(last_dump) >= dump.every {
+                    let _ = std::fs::write(&dump.path, telemetry.render_prometheus());
+                    last_dump = now;
+                }
+            }
         }
     }
 }

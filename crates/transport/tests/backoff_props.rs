@@ -1,0 +1,110 @@
+//! Property tests for the reconnect backoff: for every `(base, max,
+//! seed)` the jittered schedule stays inside the equal-jitter envelope
+//! `[cur/2, cur)` of the capped doubling sequence, is fully determined
+//! by its seed, and restarts from the base window after a reset.
+
+use proptest::prelude::*;
+use stabilizer_transport::backoff::{link_seed, Backoff};
+use std::time::Duration;
+
+/// The deterministic envelope the `k`-th delay must fall in:
+/// `cur_k = min(base * 2^k, max)`, delay in `[max(cur_k/2, 1ns), cur_k)`.
+fn envelope(base_ns: u64, max_ns: u64, steps: usize) -> Vec<(u64, u64)> {
+    let max_ns = max_ns.max(base_ns);
+    let mut cur = base_ns;
+    (0..steps)
+        .map(|_| {
+            let lo = (cur / 2).max(1);
+            let bounds = (lo, cur);
+            cur = (cur * 2).min(max_ns);
+            bounds
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every delay sits inside the capped-doubling jitter window, for
+    /// arbitrary base/max (including degenerate max < base, which the
+    /// constructor clamps) and any seed.
+    #[test]
+    fn delays_stay_within_jitter_envelope(
+        base_ms in 1u64..200,
+        max_ms in 1u64..2_000,
+        seed in any::<u64>(),
+    ) {
+        let mut b = Backoff::new(
+            Duration::from_millis(base_ms),
+            Duration::from_millis(max_ms),
+            seed,
+        );
+        let env = envelope(base_ms * 1_000_000, max_ms * 1_000_000, 16);
+        for (k, &(lo, hi)) in env.iter().enumerate() {
+            let d = b.next_delay().as_nanos() as u64;
+            prop_assert!(
+                d >= lo && d < hi,
+                "delay {k} = {d}ns outside [{lo}, {hi})"
+            );
+        }
+        prop_assert_eq!(b.attempts(), 16);
+    }
+
+    /// The schedule is a pure function of the seed: same seed replays
+    /// byte-identically, and a reset replays the prefix again.
+    #[test]
+    fn schedule_is_deterministic_per_seed(
+        base_ms in 1u64..100,
+        max_ms in 100u64..1_000,
+        seed in any::<u64>(),
+    ) {
+        let schedule = |seed: u64| {
+            let mut b = Backoff::new(
+                Duration::from_millis(base_ms),
+                Duration::from_millis(max_ms),
+                seed,
+            );
+            (0..12).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(schedule(seed), schedule(seed));
+        // A different seed diverges somewhere in the window (jitter is
+        // 50% of each step, so 12 identical draws from two splitmix
+        // streams would be a collision of astronomically low odds).
+        prop_assert_ne!(schedule(seed), schedule(seed ^ 0x9e37_79b9));
+    }
+
+    /// After `reset()` the very next delay is drawn from the base
+    /// window again, however far the schedule had escalated.
+    #[test]
+    fn reset_returns_to_base_window(
+        base_ms in 2u64..100,
+        grow in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let mut b = Backoff::new(base, Duration::from_millis(base_ms * 64), seed);
+        for _ in 0..grow {
+            b.next_delay();
+        }
+        b.reset();
+        prop_assert_eq!(b.attempts(), 0);
+        let d = b.next_delay();
+        prop_assert!(
+            d >= base / 2 && d < base,
+            "post-reset delay {d:?} not in [{:?}, {base:?})", base / 2
+        );
+    }
+
+    /// Link seeds separate directions and clusters: the derived seed for
+    /// `me -> peer` never equals `peer -> me` (distinct links must not
+    /// share a retry schedule), and it is stable per input.
+    #[test]
+    fn link_seed_distinguishes_directions(
+        cluster in any::<u64>(),
+        me in 0u16..512,
+        peer in 0u16..512,
+    ) {
+        // The shim has no prop_assume; dodge the diagonal directly.
+        let peer = if peer == me { peer ^ 1 } else { peer };
+        prop_assert_ne!(link_seed(cluster, me, peer), link_seed(cluster, peer, me));
+        prop_assert_eq!(link_seed(cluster, me, peer), link_seed(cluster, me, peer));
+    }
+}
