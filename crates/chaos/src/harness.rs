@@ -186,13 +186,19 @@ impl ChaosHarness {
         let trace = shared_trace();
         let hook_trace = trace.clone();
         let hook_telemetry = telemetry.clone();
-        let sim = build_cluster_with_hooks(cfg, net, seed, |i| {
+        let mut sim = build_cluster_with_hooks(cfg, net, seed, |i| {
             ChaosObserver::new(i as u16, hook_trace.clone()).with_metrics(
                 hook_telemetry
                     .as_ref()
                     .map(|t| t.observer(NodeId(i as u16))),
             )
         })?;
+        // Journal recorder writes from the very first step so the
+        // invariant checker can examine only dirty cells instead of
+        // rescanning every ACK table after every event.
+        for i in 0..n {
+            sim.actor_mut(i).inner_mut().enable_ack_journal();
+        }
         let types = sim.actor(0).inner().recorder().num_types();
         let mut schedule: Vec<Scheduled> = ops
             .into_iter()
@@ -291,8 +297,19 @@ impl ChaosHarness {
 
     fn check(&mut self) -> Result<(), InvariantViolation> {
         let now = self.sim.now();
+        // Drain each node's dirty-cell journal first (mutable pass),
+        // then build the immutable views the checker consumes.
+        let dirty: Vec<Vec<_>> = (0..self.n)
+            .map(|i| self.sim.actor_mut(i).inner_mut().take_ack_journal())
+            .collect();
         let sim = &self.sim;
-        let views: Vec<NodeView<'_>> = (0..self.n).map(|i| sim.actor(i).chaos_view()).collect();
+        let views: Vec<NodeView<'_>> = (0..self.n)
+            .zip(dirty)
+            .map(|(i, d)| NodeView {
+                dirty: Some(d),
+                ..sim.actor(i).chaos_view()
+            })
+            .collect();
         self.checker.check(now, &views)
     }
 
@@ -432,6 +449,9 @@ impl ChaosHarness {
         });
         self.checker
             .note_restart(node, self.sim.actor(node).inner());
+        // The fresh machine starts with journaling off; the resync above
+        // re-baselined the shadow, so journaling resumes from here.
+        self.sim.actor_mut(node).inner_mut().enable_ack_journal();
         self.note(at, node as u16, format!("restart {node}"));
     }
 

@@ -24,7 +24,7 @@
 //!    with `StabilizerNode::is_suspected`.
 
 use stabilizer_core::sim_driver::{AppHooks, SimNode};
-use stabilizer_core::{FrontierUpdate, StabilizerNode};
+use stabilizer_core::{DirtyCell, FrontierUpdate, StabilizerNode};
 use stabilizer_dsl::{AckTypeId, NodeId, SeqNo, DELIVERED, RECEIVED};
 use stabilizer_netsim::SimTime;
 use std::collections::HashMap;
@@ -45,6 +45,14 @@ pub struct NodeView<'a> {
     pub recovered_log: &'a [(SimTime, NodeId)],
     /// Whether the delivery log is populated.
     pub records_deliveries: bool,
+    /// Recorder cells written since the previous check, drained from the
+    /// node's dirty-cell journal (see
+    /// [`StabilizerNode::take_ack_journal`]). `Some(cells)` makes the
+    /// ACK checks incremental — only those cells are examined, so the
+    /// journal must cover **every** write since the last check (or
+    /// [`InvariantChecker::note_restart`] resync). `None` falls back to
+    /// a full `n² · types` rescan.
+    pub dirty: Option<Vec<DirtyCell>>,
 }
 
 /// Anything the checker can observe. Implemented for [`SimNode`] so the
@@ -64,6 +72,7 @@ impl<H: AppHooks> ChaosObservable for SimNode<H> {
             suspected_log: &self.suspected_log,
             recovered_log: &self.recovered_log,
             records_deliveries: self.records_deliveries(),
+            dirty: None,
         }
     }
 }
@@ -94,7 +103,10 @@ impl std::fmt::Display for InvariantViolation {
 
 /// The shadow-state invariant checker. Feed it every node's view after
 /// every simulator step; it incrementally consumes the logs (cursors)
-/// and rescans the dense ACK tables (small: `n² · types` cells/node).
+/// and the recorder tables: when a view carries a drained dirty-cell
+/// journal ([`NodeView::dirty`]) only the written cells are examined,
+/// otherwise it falls back to rescanning the dense table
+/// (`n² · types` cells/node).
 pub struct InvariantChecker {
     n: usize,
     types: usize,
@@ -235,85 +247,157 @@ impl InvariantChecker {
         Ok(())
     }
 
-    /// Invariants 1–3: full rescan of every recorder table.
+    /// Invariants 1–3, incremental per node where a journal is present.
     fn check_acks(
         &mut self,
         now: SimTime,
         views: &[NodeView<'_>],
     ) -> Result<(), InvariantViolation> {
-        let n = self.n;
         for (i, view) in views.iter().enumerate() {
-            let rec = view.node.recorder();
-            if rec.num_types() > self.types {
-                self.grow_types(rec.num_types());
+            let num_types = view.node.recorder().num_types();
+            if num_types > self.types {
+                self.grow_types(num_types);
             }
-            let shadow = &mut self.shadow_acks[i];
-            for s in 0..n {
-                let stream = NodeId(s as u16);
-                for (m, view_m) in views.iter().enumerate() {
-                    let peer = NodeId(m as u16);
-                    for t in 0..self.types {
-                        let ty = AckTypeId(t as u16);
-                        let cur = rec.get(stream, peer, ty);
-                        let idx = (s * n + m) * self.types + t;
-                        if cur < shadow[idx] {
-                            return Err(InvariantViolation {
-                                at: now,
-                                node: i as u16,
-                                property: "ack-monotonicity",
-                                detail: format!(
-                                    "cell (stream {s}, node {m}, type {t}) regressed \
-                                     {} -> {cur}",
-                                    shadow[idx]
-                                ),
-                            });
-                        }
-                        shadow[idx] = cur;
-                        if m != i {
-                            let truth = view_m.node.recorder().get(stream, peer, ty);
-                            if cur > truth {
-                                return Err(InvariantViolation {
-                                    at: now,
-                                    node: i as u16,
-                                    property: "belief-beyond-truth",
-                                    detail: format!(
-                                        "believes node {m} acked stream {s} type {t} up to \
-                                         {cur}, but node {m}'s own cell is {truth}"
-                                    ),
-                                });
-                            }
-                        }
-                    }
-                }
-                // Invariant 3 on this node's own cells for stream `s`.
-                let me = NodeId(i as u16);
-                let received = rec.get(stream, me, RECEIVED);
-                let delivered = rec.get(stream, me, DELIVERED);
-                if delivered > received {
-                    return Err(InvariantViolation {
-                        at: now,
-                        node: i as u16,
-                        property: "delivered-beyond-received",
-                        detail: format!(
-                            "stream {s}: DELIVERED cell {delivered} > RECEIVED cell {received}"
-                        ),
-                    });
-                }
-                if view.records_deliveries && s != i {
-                    let high = *self.delivered_high.get(&(i as u16, s as u16)).unwrap_or(&0);
-                    if delivered > high {
-                        return Err(InvariantViolation {
-                            at: now,
-                            node: i as u16,
-                            property: "delivered-without-upcall",
-                            detail: format!(
-                                "stream {s}: DELIVERED cell claims {delivered} but only \
-                                 {high} deliveries were ever up-called"
-                            ),
-                        });
-                    }
+            match &view.dirty {
+                Some(cells) => self.check_acks_dirty(now, i, cells, views)?,
+                None => self.check_acks_full(now, i, views)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// One ACK-table cell against the shadow: invariant 1 (monotone) and
+    /// invariant 2 (belief ≤ truth).
+    fn check_one_cell(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        stream: NodeId,
+        peer: NodeId,
+        ty: AckTypeId,
+        views: &[NodeView<'_>],
+    ) -> Result<(), InvariantViolation> {
+        let (s, m, t) = (stream.0 as usize, peer.0 as usize, ty.0 as usize);
+        let cur = views[i].node.recorder().get(stream, peer, ty);
+        let idx = (s * self.n + m) * self.types + t;
+        let shadow = &mut self.shadow_acks[i];
+        if cur < shadow[idx] {
+            return Err(InvariantViolation {
+                at: now,
+                node: i as u16,
+                property: "ack-monotonicity",
+                detail: format!(
+                    "cell (stream {s}, node {m}, type {t}) regressed {} -> {cur}",
+                    shadow[idx]
+                ),
+            });
+        }
+        shadow[idx] = cur;
+        if m != i {
+            let truth = views[m].node.recorder().get(stream, peer, ty);
+            if cur > truth {
+                return Err(InvariantViolation {
+                    at: now,
+                    node: i as u16,
+                    property: "belief-beyond-truth",
+                    detail: format!(
+                        "believes node {m} acked stream {s} type {t} up to {cur}, \
+                         but node {m}'s own cell is {truth}"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Invariant 3 on node `i`'s own cells for one stream.
+    fn check_own_cells(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        stream: NodeId,
+        view: &NodeView<'_>,
+    ) -> Result<(), InvariantViolation> {
+        let s = stream.0 as usize;
+        let me = NodeId(i as u16);
+        let rec = view.node.recorder();
+        let received = rec.get(stream, me, RECEIVED);
+        let delivered = rec.get(stream, me, DELIVERED);
+        if delivered > received {
+            return Err(InvariantViolation {
+                at: now,
+                node: i as u16,
+                property: "delivered-beyond-received",
+                detail: format!(
+                    "stream {s}: DELIVERED cell {delivered} > RECEIVED cell {received}"
+                ),
+            });
+        }
+        if view.records_deliveries && s != i {
+            let high = *self.delivered_high.get(&(i as u16, s as u16)).unwrap_or(&0);
+            if delivered > high {
+                return Err(InvariantViolation {
+                    at: now,
+                    node: i as u16,
+                    property: "delivered-without-upcall",
+                    detail: format!(
+                        "stream {s}: DELIVERED cell claims {delivered} but only \
+                         {high} deliveries were ever up-called"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Incremental ACK checks for node `i`: examine exactly the cells
+    /// its journal reports written since the previous check. Sound
+    /// because every checked property can only newly fail at a cell
+    /// when *that node's copy of that cell* changes: unwritten cells
+    /// keep their shadow (invariant 1); a remote truth cell only grows,
+    /// so an unwritten belief that satisfied `belief ≤ truth` still
+    /// does (invariant 2); and the upcall high-water mark only grows,
+    /// so invariant 3 needs re-checking only when an own RECEIVED /
+    /// DELIVERED cell moved.
+    fn check_acks_dirty(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        cells: &[DirtyCell],
+        views: &[NodeView<'_>],
+    ) -> Result<(), InvariantViolation> {
+        let me = NodeId(i as u16);
+        for &(stream, peer, ty) in cells {
+            self.check_one_cell(now, i, stream, peer, ty, views)?;
+            if peer == me && (ty == RECEIVED || ty == DELIVERED) {
+                self.check_own_cells(now, i, stream, &views[i])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Full rescan of node `i`'s recorder table (no journal available).
+    fn check_acks_full(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        views: &[NodeView<'_>],
+    ) -> Result<(), InvariantViolation> {
+        for s in 0..self.n {
+            let stream = NodeId(s as u16);
+            for m in 0..self.n {
+                for t in 0..self.types {
+                    self.check_one_cell(
+                        now,
+                        i,
+                        stream,
+                        NodeId(m as u16),
+                        AckTypeId(t as u16),
+                        views,
+                    )?;
                 }
             }
+            self.check_own_cells(now, i, stream, &views[i])?;
         }
         Ok(())
     }
@@ -454,6 +538,7 @@ mod tests {
             suspected_log: &[],
             recovered_log: &[],
             records_deliveries: false,
+            dirty: None,
         }
     }
 
@@ -531,6 +616,73 @@ mod tests {
         ];
         let err = checker.check(SimTime::ZERO, &views).unwrap_err();
         assert_eq!(err.property, "frontier-regression");
+    }
+
+    #[test]
+    fn journaled_writes_drive_the_incremental_ack_checks() {
+        let mut nodes = two_nodes();
+        nodes[0].enable_ack_journal();
+        use stabilizer_core::{Ack, WireMsg};
+        nodes[0].on_message(
+            0,
+            NodeId(1),
+            WireMsg::AckBatch(vec![Ack {
+                stream: NodeId(0),
+                ty: RECEIVED,
+                seq: 7,
+            }]),
+        );
+        let dirty = nodes[0].take_ack_journal();
+        assert!(!dirty.is_empty(), "the forged ack write was journaled");
+        let mut checker = InvariantChecker::new(2, 3);
+        let views = vec![
+            NodeView {
+                dirty: Some(dirty),
+                ..view(&nodes[0])
+            },
+            NodeView {
+                dirty: Some(Vec::new()),
+                ..view(&nodes[1])
+            },
+        ];
+        let err = checker.check(SimTime::ZERO, &views).unwrap_err();
+        assert_eq!(err.property, "belief-beyond-truth");
+    }
+
+    #[test]
+    fn incremental_mode_examines_only_dirty_cells() {
+        // A forged belief that is NOT in the journal goes unexamined:
+        // the contract is that every recorder write must be journaled.
+        // This pins down that the dirty path really is incremental (a
+        // full rescan would catch the forgery, as the fallback does).
+        let mut nodes = two_nodes();
+        use stabilizer_core::{Ack, WireMsg};
+        nodes[0].on_message(
+            0,
+            NodeId(1),
+            WireMsg::AckBatch(vec![Ack {
+                stream: NodeId(0),
+                ty: RECEIVED,
+                seq: 7,
+            }]),
+        );
+        let mut checker = InvariantChecker::new(2, 3);
+        let views = vec![
+            NodeView {
+                dirty: Some(Vec::new()), // journal silent about the write
+                ..view(&nodes[0])
+            },
+            NodeView {
+                dirty: Some(Vec::new()),
+                ..view(&nodes[1])
+            },
+        ];
+        checker.check(SimTime::ZERO, &views).unwrap();
+        // The same state under the full-rescan fallback trips.
+        let mut checker = InvariantChecker::new(2, 3);
+        let views: Vec<NodeView<'_>> = nodes.iter().map(view).collect();
+        let err = checker.check(SimTime::ZERO, &views).unwrap_err();
+        assert_eq!(err.property, "belief-beyond-truth");
     }
 
     #[test]

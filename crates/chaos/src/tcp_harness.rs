@@ -211,6 +211,9 @@ impl ChaosTcpCluster {
                 },
             )
             .map_err(ChaosError::Core)?;
+            // Journal recorder writes from the first frame so the
+            // checker's ACK pass examines dirty cells only.
+            node.handle().lock_state().enable_ack_journal();
             nodes.push(node.handle());
             logs.push(log);
         }
@@ -279,16 +282,21 @@ impl ChaosTcpCluster {
         // Lock order: all node states (index order), then all logs —
         // runtime threads take their own node lock then their own log
         // lock, so this global order cannot deadlock.
-        let states: Vec<_> = self.nodes.iter().map(|h| h.lock_state()).collect();
+        let mut states: Vec<_> = self.nodes.iter().map(|h| h.lock_state()).collect();
+        // Drain the dirty-cell journals while the cut is held, before
+        // the guards are borrowed immutably by the views.
+        let dirty: Vec<Vec<_>> = states.iter_mut().map(|s| s.take_ack_journal()).collect();
         let logs: Vec<_> = self.logs.iter().map(|l| l.lock()).collect();
         let views: Vec<NodeView<'_>> = (0..self.n)
-            .map(|i| NodeView {
+            .zip(dirty)
+            .map(|(i, d)| NodeView {
                 node: &states[i],
                 frontier_log: &logs[i].frontier_log,
                 delivery_log: &logs[i].delivery_log,
                 suspected_log: &logs[i].suspected_log,
                 recovered_log: &logs[i].recovered_log,
                 records_deliveries: true,
+                dirty: Some(d),
             })
             .collect();
         self.checks += 1;
@@ -500,8 +508,11 @@ impl ChaosTcpCluster {
         // flows, the fresh log gains entries the reset cursors must not
         // double-count against the restored baseline.
         {
-            let state = self.nodes[node].lock_state();
+            let mut state = self.nodes[node].lock_state();
             self.checker.note_restart(node, &state);
+            // The restored machine starts unjournaled; the resync above
+            // re-baselined the shadow, so journaling resumes from here.
+            state.enable_ack_journal();
         }
         self.down[node] = false;
         for (a, b) in FaultPlan::crash_pairs(node, self.n) {

@@ -64,6 +64,12 @@ pub struct Options {
     /// (default) retries forever — appropriate for deployments where a
     /// peer joining late is normal.
     pub connect_retry_limit: u64,
+    /// Number of stream shards per node (`stabilizer-shard`): each shard
+    /// runs its own sequencer, send buffer, ACK recorder, and frontier
+    /// engine, and the node-level stability frontier is the min-combine
+    /// over shards. `1` (default) keeps the paper's single-stream data
+    /// plane.
+    pub shards: u16,
 }
 
 impl Options {
@@ -114,6 +120,12 @@ impl Options {
         self.connect_retry_limit = v;
         self
     }
+
+    /// Set the number of stream shards per node (clamped to at least 1).
+    pub fn shards(mut self, v: u16) -> Self {
+        self.shards = v.max(1);
+        self
+    }
 }
 
 impl Default for Options {
@@ -127,6 +139,7 @@ impl Default for Options {
             max_payload_bytes: 64 * 1024,
             retransmit_millis: 0,
             connect_retry_limit: 0,
+            shards: 1,
         }
     }
 }
@@ -243,6 +256,13 @@ impl ClusterConfig {
                         "max_payload_bytes" => options.max_payload_bytes = parse_u64(val)? as usize,
                         "retransmit_millis" => options.retransmit_millis = parse_u64(val)?,
                         "connect_retry_limit" => options.connect_retry_limit = parse_u64(val)?,
+                        "shards" => {
+                            let v = parse_u64(val)?;
+                            if v == 0 || v > u64::from(u16::MAX) {
+                                return Err(err(format!("option shards: out of range {v}")));
+                            }
+                            options.shards = v as u16;
+                        }
                         "auto_exclude_suspects" => {
                             options.auto_exclude_suspects = match val {
                                 "true" => true,
@@ -318,6 +338,16 @@ option auto_exclude_suspects true
         assert!(ClusterConfig::parse("az A x\noption nope 3").is_err());
         assert!(ClusterConfig::parse("az A x\noption ack_flush_micros many").is_err());
         assert!(ClusterConfig::parse("az A x\noption auto_exclude_suspects yes").is_err());
+        assert!(ClusterConfig::parse("az A x\noption shards 0").is_err());
+        assert!(ClusterConfig::parse("az A x\noption shards 70000").is_err());
+    }
+
+    #[test]
+    fn shards_option_parses_and_defaults_to_one() {
+        assert_eq!(ClusterConfig::parse("az A x").unwrap().options().shards, 1);
+        let cfg = ClusterConfig::parse("az A x\noption shards 4").unwrap();
+        assert_eq!(cfg.options().shards, 4);
+        assert_eq!(Options::default().shards(0).shards, 1, "clamped");
     }
 
     #[test]

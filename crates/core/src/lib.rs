@@ -69,7 +69,7 @@ pub use node::{Action, Metrics, Snapshot, StabilizerNode};
 pub use observe::{
     shared_runtime_log, LogObserver, ObserverChain, RuntimeLog, RuntimeObserver, SharedRuntimeLog,
 };
-pub use recorder::AckRecorder;
+pub use recorder::{AckRecorder, DirtyCell};
 
 // Re-export the DSL surface users need to interact with predicates.
 pub use stabilizer_dsl::{

@@ -66,6 +66,21 @@ impl WireMsg {
 
     /// Serialize into `out` (appended).
     pub fn encode(&self, out: &mut Vec<u8>) {
+        if let Some(payload) = self.encode_prefix(out) {
+            out.extend_from_slice(payload);
+        }
+    }
+
+    /// Serialize everything **except** a [`WireMsg::Data`] payload's
+    /// bytes into `out`, returning the payload the caller must put on
+    /// the wire right after the prefix. Control messages encode fully
+    /// and return `None`.
+    ///
+    /// This is the transport's zero-copy path: a `Data` payload is
+    /// shared (reference-counted) across all fan-out peers, and writing
+    /// it straight from the shared buffer avoids materializing a
+    /// contiguous per-peer copy of the whole message.
+    pub fn encode_prefix<'a>(&'a self, out: &mut Vec<u8>) -> Option<&'a Bytes> {
         match self {
             WireMsg::Data {
                 origin,
@@ -76,7 +91,7 @@ impl WireMsg {
                 out.extend_from_slice(&origin.0.to_le_bytes());
                 out.extend_from_slice(&seq.to_le_bytes());
                 out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-                out.extend_from_slice(payload);
+                Some(payload)
             }
             WireMsg::AckBatch(acks) => {
                 out.push(Self::TAG_ACKS);
@@ -86,8 +101,12 @@ impl WireMsg {
                     out.extend_from_slice(&a.ty.0.to_le_bytes());
                     out.extend_from_slice(&a.seq.to_le_bytes());
                 }
+                None
             }
-            WireMsg::Heartbeat => out.push(Self::TAG_HEARTBEAT),
+            WireMsg::Heartbeat => {
+                out.push(Self::TAG_HEARTBEAT);
+                None
+            }
         }
     }
 
@@ -274,6 +293,32 @@ mod tests {
             payload: Bytes::new()
         }
         .is_control());
+    }
+
+    #[test]
+    fn encode_prefix_plus_payload_equals_encode() {
+        let msgs = vec![
+            WireMsg::Data {
+                origin: NodeId(3),
+                seq: 7,
+                payload: Bytes::from_static(b"body"),
+            },
+            WireMsg::AckBatch(vec![Ack {
+                stream: NodeId(1),
+                ty: AckTypeId(0),
+                seq: 5,
+            }]),
+            WireMsg::Heartbeat,
+        ];
+        for msg in msgs {
+            let mut split = Vec::new();
+            let payload = msg.encode_prefix(&mut split);
+            assert_eq!(payload.is_some(), !msg.is_control());
+            if let Some(p) = payload {
+                split.extend_from_slice(p);
+            }
+            assert_eq!(split, msg.to_bytes());
+        }
     }
 
     #[test]

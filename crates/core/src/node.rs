@@ -202,6 +202,19 @@ impl StabilizerNode {
         &self.recorder
     }
 
+    /// Start journaling recorder writes (see
+    /// [`AckRecorder::enable_journal`]); used by incremental external
+    /// checkers. Idempotent.
+    pub fn enable_ack_journal(&mut self) {
+        self.recorder.enable_journal();
+    }
+
+    /// Drain the coordinates of every recorder cell written since the
+    /// last drain. Empty when journaling was never enabled.
+    pub fn take_ack_journal(&mut self) -> Vec<crate::recorder::DirtyCell> {
+        self.recorder.take_journal()
+    }
+
     /// Drain the pending actions for the driver to execute, in order.
     pub fn take_actions(&mut self) -> Vec<Action> {
         std::mem::take(&mut self.actions)

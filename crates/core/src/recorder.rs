@@ -10,6 +10,10 @@
 
 use stabilizer_dsl::{AckTypeId, AckView, NodeId, SeqNo};
 
+/// Coordinates of one ACK-table cell that was written since the journal
+/// was last drained (see [`AckRecorder::enable_journal`]).
+pub type DirtyCell = (NodeId, NodeId, AckTypeId);
+
 /// Dense `(stream × node × ack-type)` table of highest acknowledged
 /// sequence numbers.
 #[derive(Debug, Clone)]
@@ -17,6 +21,12 @@ pub struct AckRecorder {
     nodes: usize,
     types: usize,
     table: Vec<SeqNo>,
+    /// Opt-in dirty-cell journal: coordinates of every cell written since
+    /// the last [`AckRecorder::take_journal`]. `None` = disabled (the
+    /// default; the hot path pays one branch). External checkers (the
+    /// chaos invariant checker) enable it to replace full-table rescans
+    /// with incremental verification.
+    journal: Option<Vec<DirtyCell>>,
 }
 
 impl AckRecorder {
@@ -26,6 +36,30 @@ impl AckRecorder {
             nodes,
             types,
             table: vec![0; nodes * nodes * types],
+            journal: None,
+        }
+    }
+
+    /// Start journaling the coordinates of every written cell. Idempotent;
+    /// an already-collected journal is kept.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Whether the dirty-cell journal is enabled.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Drain the dirty-cell journal: every cell written (via
+    /// [`AckRecorder::observe`]) since the previous drain, in write
+    /// order, possibly with duplicates. Empty when journaling is off.
+    pub fn take_journal(&mut self) -> Vec<DirtyCell> {
+        match self.journal.as_mut() {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
         }
     }
 
@@ -79,11 +113,19 @@ impl AckRecorder {
         {
             let advanced = seq != self.table[idx];
             self.table[idx] = seq;
+            if advanced {
+                if let Some(j) = self.journal.as_mut() {
+                    j.push((stream, node, ty));
+                }
+            }
             return advanced;
         }
         #[cfg(not(feature = "chaos-unclamped-acks"))]
         if seq > self.table[idx] {
             self.table[idx] = seq;
+            if let Some(j) = self.journal.as_mut() {
+                j.push((stream, node, ty));
+            }
             true
         } else {
             false
@@ -190,6 +232,27 @@ mod tests {
         let v = r.stream_view(NodeId(1));
         assert_eq!(v.ack(NodeId(0), RECEIVED), 8);
         assert_eq!(v.ack(NodeId(1), RECEIVED), 0);
+    }
+
+    #[test]
+    fn journal_records_writes_and_drains() {
+        let mut r = AckRecorder::new(2, 2);
+        r.observe(NodeId(0), NodeId(1), RECEIVED, 1); // before enabling: unrecorded
+        r.enable_journal();
+        assert!(r.journal_enabled());
+        assert!(r.take_journal().is_empty());
+        r.observe(NodeId(0), NodeId(1), RECEIVED, 5);
+        r.observe(NodeId(0), NodeId(1), RECEIVED, 3); // stale: no write
+        r.observe(NodeId(1), NodeId(0), AckTypeId(1), 2);
+        let j = r.take_journal();
+        assert_eq!(
+            j,
+            vec![
+                (NodeId(0), NodeId(1), RECEIVED),
+                (NodeId(1), NodeId(0), AckTypeId(1)),
+            ]
+        );
+        assert!(r.take_journal().is_empty(), "drain resets");
     }
 
     #[test]

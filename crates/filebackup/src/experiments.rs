@@ -33,9 +33,32 @@ pub fn fig5_run_jittered(scale: f64, jitter_ms: f64, seed: u64) -> Fig5Result {
     fig5_run_on(net, scale, seed)
 }
 
+/// [`fig5_run`] with every node reporting into `hub`: alongside the
+/// returned latency series, the hub's `stab_stability_latency_ns{key}`
+/// histograms hold the same distribution (per Table III predicate) and
+/// the per-node counters account publishes/deliveries/frontier
+/// advances — the telemetry-native view of the experiment.
+pub fn fig5_run_with_telemetry(
+    scale: f64,
+    seed: u64,
+    hub: &std::sync::Arc<stabilizer_telemetry::Telemetry>,
+) -> Fig5Result {
+    fig5_run_inner(NetTopology::ec2_fig2(), scale, seed, Some(hub.clone()))
+}
+
 fn fig5_run_on(net: NetTopology, scale: f64, seed: u64) -> Fig5Result {
+    fig5_run_inner(net, scale, seed, None)
+}
+
+fn fig5_run_inner(
+    net: NetTopology,
+    scale: f64,
+    seed: u64,
+    telemetry: Option<std::sync::Arc<stabilizer_telemetry::Telemetry>>,
+) -> Fig5Result {
     let cfg = ec2_backup_cfg();
-    let mut sim = build_backup(&cfg, net, seed).expect("cfg valid");
+    let mut sim =
+        crate::service::build_backup_with_telemetry(&cfg, net, seed, telemetry).expect("cfg valid");
     let trace = DropboxTrace::generate(seed, scale);
     sim.with_ctx(0, |n, ctx| n.schedule_trace(ctx, &trace));
     sim.run_until_idle();

@@ -20,8 +20,11 @@ pub mod service;
 pub mod trace;
 
 pub use experiments::{
-    average_improvement, fig5_run, fig5_run_jittered, fig6_point, fig6_sizes, paxos_sync_time,
-    summarize, Fig5Result, Fig5Summary, Fig6Point, FIG6_SERIES,
+    average_improvement, fig5_run, fig5_run_jittered, fig5_run_with_telemetry, fig6_point,
+    fig6_sizes, paxos_sync_time, summarize, Fig5Result, Fig5Summary, Fig6Point, FIG6_SERIES,
 };
-pub use service::{build_backup, ec2_backup_cfg, BackupNode, FileSpan, TABLE3_PREDICATES};
+pub use service::{
+    build_backup, build_backup_with_telemetry, ec2_backup_cfg, BackupNode, FileSpan,
+    TABLE3_PREDICATES,
+};
 pub use trace::{DropboxTrace, TraceRecord, CHUNK_BYTES, TRACE_SECONDS, TRACE_TOTAL_BYTES};

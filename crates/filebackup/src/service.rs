@@ -14,9 +14,12 @@
 
 use crate::trace::{DropboxTrace, CHUNK_BYTES};
 use bytes::Bytes;
-use stabilizer_core::{Action, ClusterConfig, CoreError, NodeId, SeqNo, StabilizerNode, WireMsg};
+use stabilizer_core::{
+    Action, ClusterConfig, CoreError, NodeId, RuntimeObserver, SeqNo, StabilizerNode, WireMsg,
+};
 use stabilizer_dsl::AckTypeRegistry;
 use stabilizer_netsim::{Actor, Ctx, NetTopology, SimTime, Simulation, TimerId};
+use stabilizer_telemetry::{MetricsObserver, Telemetry};
 use std::sync::Arc;
 
 /// The six predicates of Table III, keyed by their paper names.
@@ -83,6 +86,8 @@ pub struct BackupNode {
     /// Trace records scheduled for publication, keyed by timer tag.
     pending_trace: Vec<crate::trace::TraceRecord>,
     full_chunk: Bytes,
+    telemetry: Option<Arc<Telemetry>>,
+    observer: Option<MetricsObserver>,
 }
 
 impl BackupNode {
@@ -103,7 +108,20 @@ impl BackupNode {
             files: Vec::new(),
             pending_trace: Vec::new(),
             full_chunk: Bytes::from(vec![0u8; CHUNK_BYTES as usize]),
+            telemetry: None,
+            observer: None,
         })
+    }
+
+    /// Attach a telemetry hub: each published chunk is stamped for
+    /// stability latency, and frontier advances feed the hub's per-key
+    /// `stab_stability_latency_ns` histograms (a telemetry-native view
+    /// of the Fig. 5 series).
+    #[must_use]
+    pub fn with_telemetry(mut self, hub: &Arc<Telemetry>) -> Self {
+        self.observer = Some(hub.observer(self.node.me()));
+        self.telemetry = Some(Arc::clone(hub));
+        self
     }
 
     /// Store a file of `size` bytes: split into 8 KiB chunks and publish
@@ -128,7 +146,11 @@ impl BackupNode {
             } else {
                 self.full_chunk.clone()
             };
+            let payload_len = payload.len();
             let seq = self.node.publish(payload)?;
+            if let Some(t) = &self.telemetry {
+                t.note_publish(ctx.now().as_nanos(), self.node.me(), seq, payload_len);
+            }
             self.send_times.push(ctx.now());
             if i == 0 {
                 first = seq;
@@ -209,7 +231,21 @@ impl BackupNode {
         for action in self.node.take_actions() {
             match action {
                 Action::Send { to, msg } => ctx.send(to.0 as usize, msg),
-                Action::Frontier(u) => self.frontier_log.push((ctx.now(), u.key, u.seq)),
+                Action::Frontier(u) => {
+                    if let Some(obs) = &mut self.observer {
+                        obs.on_frontier(ctx.now().as_nanos(), &u);
+                    }
+                    self.frontier_log.push((ctx.now(), u.key, u.seq));
+                }
+                Action::Deliver {
+                    origin,
+                    seq,
+                    payload,
+                } => {
+                    if let Some(obs) = &mut self.observer {
+                        obs.on_deliver(ctx.now().as_nanos(), origin, seq, &payload);
+                    }
+                }
                 _ => {}
             }
         }
@@ -250,15 +286,34 @@ pub fn build_backup(
     net: NetTopology,
     seed: u64,
 ) -> Result<Simulation<BackupNode>, CoreError> {
+    build_backup_with_telemetry(cfg, net, seed, None)
+}
+
+/// [`build_backup`] with every node reporting into a shared telemetry
+/// hub.
+///
+/// # Errors
+///
+/// Propagates configuration and predicate-compile errors.
+///
+/// # Panics
+///
+/// Panics if sizes mismatch.
+pub fn build_backup_with_telemetry(
+    cfg: &ClusterConfig,
+    net: NetTopology,
+    seed: u64,
+    telemetry: Option<Arc<Telemetry>>,
+) -> Result<Simulation<BackupNode>, CoreError> {
     assert_eq!(net.len(), cfg.num_nodes());
     let acks = Arc::new(AckTypeRegistry::new());
     let mut nodes = Vec::with_capacity(cfg.num_nodes());
     for i in 0..cfg.num_nodes() {
-        nodes.push(BackupNode::new(
-            cfg.clone(),
-            NodeId(i as u16),
-            Arc::clone(&acks),
-        )?);
+        let mut node = BackupNode::new(cfg.clone(), NodeId(i as u16), Arc::clone(&acks))?;
+        if let Some(hub) = &telemetry {
+            node = node.with_telemetry(hub);
+        }
+        nodes.push(node);
     }
     Ok(Simulation::new(net, nodes, seed))
 }

@@ -11,22 +11,57 @@
 use crate::local::LocalStore;
 use crate::record::KvOp;
 use bytes::Bytes;
-use stabilizer_core::sim_driver::{NoHooks, SimNode};
+use stabilizer_core::sim_driver::{AppHooks, SimNode};
 use stabilizer_core::{
     Action, ClusterConfig, CoreError, FrontierUpdate, NodeId, SeqNo, StabilizerNode, WaitToken,
     WireMsg,
 };
 use stabilizer_dsl::AckTypeRegistry;
 use stabilizer_netsim::{Actor, Ctx, NetTopology, SimTime, Simulation, TimerId};
+use stabilizer_telemetry::{MetricsObserver, Telemetry};
 use std::sync::Arc;
+
+/// Driver hooks for the K/V node: forwards delivery/frontier/wait
+/// events to an optional telemetry observer (no-op when detached).
+#[derive(Default)]
+pub struct KvHooks {
+    observer: Option<MetricsObserver>,
+}
+
+impl AppHooks for KvHooks {
+    fn on_deliver(&mut self, now: SimTime, origin: NodeId, seq: SeqNo, payload: &Bytes) {
+        if let Some(obs) = &mut self.observer {
+            obs.on_deliver(now, origin, seq, payload);
+        }
+    }
+
+    fn on_frontier(&mut self, now: SimTime, update: &FrontierUpdate) {
+        if let Some(obs) = &mut self.observer {
+            obs.on_frontier(now, update);
+        }
+    }
+
+    fn on_wait_done(&mut self, now: SimTime, token: WaitToken) {
+        if let Some(obs) = &mut self.observer {
+            obs.on_wait_done(now, token);
+        }
+    }
+
+    fn on_suspected(&mut self, now: SimTime, node: NodeId) {
+        if let Some(obs) = &mut self.observer {
+            obs.on_suspected(now, node);
+        }
+    }
+}
 
 /// A geo-replicated K/V node running in the simulator.
 ///
 /// Internally this wraps the core [`SimNode`] driver and applies every
 /// delivered record to the mirrored pool of its origin.
 pub struct GeoKvNode {
-    sim: SimNode<NoHooks>,
+    sim: SimNode<KvHooks>,
     pools: Vec<LocalStore>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl GeoKvNode {
@@ -42,9 +77,20 @@ impl GeoKvNode {
     ) -> Result<Self, CoreError> {
         let node = StabilizerNode::new(cfg.clone(), me, acks)?;
         Ok(GeoKvNode {
-            sim: SimNode::new(node, NoHooks).without_delivery_log(),
+            sim: SimNode::new(node, KvHooks::default()).without_delivery_log(),
             pools: (0..cfg.num_nodes()).map(|_| LocalStore::new()).collect(),
+            telemetry: None,
         })
+    }
+
+    /// Attach a telemetry hub: publishes are stamped for stability
+    /// latency, and deliveries / frontier advances / completed waits
+    /// feed the hub's per-node counters and histograms.
+    #[must_use]
+    pub fn with_telemetry(mut self, hub: &Arc<Telemetry>) -> Self {
+        self.sim.hooks.observer = Some(hub.observer(self.me()));
+        self.telemetry = Some(Arc::clone(hub));
+        self
     }
 
     /// Rebuild a K/V node after a primary crash (§III-E): the
@@ -65,8 +111,9 @@ impl GeoKvNode {
         assert_eq!(pools.len(), cfg.num_nodes(), "one pool per origin");
         let node = StabilizerNode::restore(cfg, me, acks, snapshot)?;
         Ok(GeoKvNode {
-            sim: SimNode::new(node, NoHooks).without_delivery_log(),
+            sim: SimNode::new(node, KvHooks::default()).without_delivery_log(),
             pools,
+            telemetry: None,
         })
     }
 
@@ -90,7 +137,12 @@ impl GeoKvNode {
             value: value.clone(),
             timestamp,
         };
-        let seq = self.sim.publish_in(ctx, op.to_bytes())?;
+        let payload = op.to_bytes();
+        let payload_len = payload.len();
+        let seq = self.sim.publish_in(ctx, payload)?;
+        if let Some(t) = &self.telemetry {
+            t.note_publish(timestamp, self.me(), seq, payload_len);
+        }
         let me = self.me().0 as usize;
         self.pools[me].put(key, value, timestamp);
         Ok(seq)
@@ -107,7 +159,12 @@ impl GeoKvNode {
             key: key.to_owned(),
             timestamp,
         };
-        let seq = self.sim.publish_in(ctx, op.to_bytes())?;
+        let payload = op.to_bytes();
+        let payload_len = payload.len();
+        let seq = self.sim.publish_in(ctx, payload)?;
+        if let Some(t) = &self.telemetry {
+            t.note_publish(timestamp, self.me(), seq, payload_len);
+        }
         let me = self.me().0 as usize;
         self.pools[me].delete(key, timestamp);
         Ok(seq)
@@ -204,7 +261,7 @@ impl GeoKvNode {
     /// The embedded simulator driver, exposed read-only so external
     /// observers (e.g. the chaos harness's invariant checker) can view
     /// this node exactly as they view a bare `SimNode` cluster.
-    pub fn driver(&self) -> &SimNode<NoHooks> {
+    pub fn driver(&self) -> &SimNode<KvHooks> {
         &self.sim
     }
 
@@ -273,15 +330,34 @@ pub fn build_kv_cluster(
     net: NetTopology,
     seed: u64,
 ) -> Result<Simulation<GeoKvNode>, CoreError> {
+    build_kv_cluster_with_telemetry(cfg, net, seed, None)
+}
+
+/// [`build_kv_cluster`] with every node reporting into a shared
+/// telemetry hub (per-node counters, stability-latency histograms).
+///
+/// # Errors
+///
+/// Propagates configuration and predicate-compile errors.
+///
+/// # Panics
+///
+/// Panics if the network and cluster sizes differ.
+pub fn build_kv_cluster_with_telemetry(
+    cfg: &ClusterConfig,
+    net: NetTopology,
+    seed: u64,
+    telemetry: Option<Arc<Telemetry>>,
+) -> Result<Simulation<GeoKvNode>, CoreError> {
     assert_eq!(net.len(), cfg.num_nodes());
     let acks = Arc::new(AckTypeRegistry::new());
     let mut nodes = Vec::with_capacity(cfg.num_nodes());
     for i in 0..cfg.num_nodes() {
-        nodes.push(GeoKvNode::new(
-            cfg.clone(),
-            NodeId(i as u16),
-            Arc::clone(&acks),
-        )?);
+        let mut node = GeoKvNode::new(cfg.clone(), NodeId(i as u16), Arc::clone(&acks))?;
+        if let Some(hub) = &telemetry {
+            node = node.with_telemetry(hub);
+        }
+        nodes.push(node);
     }
     Ok(Simulation::new(net, nodes, seed))
 }

@@ -34,7 +34,7 @@ pub mod record;
 pub mod tcp;
 pub mod wal;
 
-pub use geo::{build_kv_cluster, GeoKvNode};
+pub use geo::{build_kv_cluster, build_kv_cluster_with_telemetry, GeoKvNode, KvHooks};
 pub use local::{LocalStore, LogRecord, Version};
 pub use record::KvOp;
 pub use tcp::GeoKvHandle;

@@ -93,6 +93,7 @@ fn check(
             suspected_log: &[],
             recovered_log: &[],
             records_deliveries: i != PUBLISHER,
+            dirty: None,
         })
         .collect();
     checker

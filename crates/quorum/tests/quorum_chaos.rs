@@ -23,6 +23,7 @@ macro_rules! check_all {
                     suspected_log: &[],
                     recovered_log: &[],
                     records_deliveries: false,
+                    dirty: None,
                 }
             })
             .collect();

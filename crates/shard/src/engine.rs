@@ -1,0 +1,579 @@
+//! The sharded node: S independent `StabilizerNode` machines behind one
+//! node-level facade.
+//!
+//! Each shard owns a full stack — sequencer, send buffer, ACK recorder,
+//! frontier engine — over its own per-shard sequence space. The engine
+//! routes publishes across shards (deterministically, see
+//! [`crate::router`]), tags every payload with its node-level global
+//! sequence number ([`crate::codec`]), and recombines per-shard frontier
+//! advances and deliveries through the [`ShardedFrontier`] aggregator so
+//! the application-visible API (`publish`, `waitfor`,
+//! `stability_frontier`, frontier monitors, FIFO delivery) keeps exactly
+//! the unsharded semantics.
+//!
+//! Like `StabilizerNode`, the engine is sans-IO: drivers feed messages
+//! and timer ticks in, and drain [`ShardedAction`]s out.
+
+use crate::codec::{encode_global, GLOBAL_HEADER};
+use crate::frontier::{AggOutput, ShardedFrontier};
+use crate::router::{RoutePolicy, ShardRouter};
+use bytes::Bytes;
+use stabilizer_core::{
+    AckTypeId, Action, ClusterConfig, CoreError, FrontierUpdate, Metrics, NodeId, SeqNo,
+    StabilizerNode, WaitToken, WireMsg,
+};
+use stabilizer_dsl::AckTypeRegistry;
+use std::sync::Arc;
+
+/// Side effects drained from a [`ShardedEngine`], in order.
+#[derive(Debug)]
+pub enum ShardedAction {
+    /// Transmit `msg` to `to` on the sub-stream of `shard`.
+    Send {
+        /// Shard whose machine produced the message; the receiver must
+        /// feed it to the same shard index.
+        shard: u16,
+        /// Destination node.
+        to: NodeId,
+        /// The wire message.
+        msg: WireMsg,
+    },
+    /// Deliver an application payload in **global** FIFO order.
+    Deliver {
+        /// Stream the message belongs to.
+        origin: NodeId,
+        /// Node-level global sequence number.
+        seq: SeqNo,
+        /// The payload (global header stripped).
+        payload: Bytes,
+    },
+    /// The node-level aggregated stability frontier advanced.
+    Frontier(FrontierUpdate),
+    /// A node-level `waitfor` completed.
+    WaitDone {
+        /// The token returned by [`ShardedEngine::waitfor`].
+        token: WaitToken,
+    },
+    /// A peer went silent on at least one shard sub-stream (deduplicated:
+    /// emitted on the first shard to suspect, cleared when every shard
+    /// recovered).
+    Suspected {
+        /// The suspect.
+        node: NodeId,
+    },
+    /// All shards un-suspected the peer.
+    Recovered {
+        /// The returning node.
+        node: NodeId,
+    },
+    /// Auto-exclusion broke a predicate (reported once, from shard 0 —
+    /// shards hold identical predicates so they break in lockstep).
+    PredicateBroken {
+        /// Stream of the broken predicate.
+        stream: NodeId,
+        /// Its key.
+        key: String,
+    },
+    /// Observability: a single shard's own frontier advanced (per-shard
+    /// sequence space). Telemetry and the chaos checker consume these;
+    /// applications should watch [`ShardedAction::Frontier`].
+    ShardFrontier {
+        /// The shard.
+        shard: u16,
+        /// The per-shard update.
+        update: FrontierUpdate,
+    },
+    /// Observability: a shard machine delivered one message (before
+    /// global reassembly).
+    ShardDeliver {
+        /// The shard.
+        shard: u16,
+        /// Stream of the message.
+        origin: NodeId,
+        /// Per-shard sequence number.
+        seq: SeqNo,
+        /// Application payload length (header excluded).
+        len: usize,
+    },
+}
+
+/// S shard machines, a router, and the frontier aggregator.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    me: NodeId,
+    cfg: ClusterConfig,
+    shards: Vec<StabilizerNode>,
+    router: ShardRouter,
+    agg: ShardedFrontier,
+    actions: Vec<ShardedAction>,
+    /// Per peer: how many shards currently suspect it.
+    suspect_counts: Vec<u32>,
+}
+
+impl ShardedEngine {
+    /// Create the sharded node `me` with `cfg.options().shards` shards.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a configured predicate does not compile.
+    pub fn new(
+        cfg: ClusterConfig,
+        me: NodeId,
+        acks: Arc<AckTypeRegistry>,
+        policy: RoutePolicy,
+    ) -> Result<Self, CoreError> {
+        let num_shards = cfg.options().shards.max(1);
+        // Shard machines carry the 8-byte global header on every payload,
+        // so their payload cap is widened to keep the application-visible
+        // cap unchanged.
+        let mut inner_opts = cfg.options().clone();
+        inner_opts.max_payload_bytes += GLOBAL_HEADER;
+        let inner_cfg = cfg.clone().with_options(inner_opts);
+        let mut shards = Vec::with_capacity(num_shards as usize);
+        for _ in 0..num_shards {
+            shards.push(StabilizerNode::new(inner_cfg.clone(), me, acks.clone())?);
+        }
+        let mut agg = ShardedFrontier::new(cfg.num_nodes(), num_shards as usize);
+        for (key, _) in cfg.predicates() {
+            agg.ensure_key(me, key);
+        }
+        let mut engine = ShardedEngine {
+            me,
+            suspect_counts: vec![0; cfg.num_nodes()],
+            cfg,
+            shards,
+            router: ShardRouter::new(num_shards, policy),
+            agg,
+            actions: Vec::new(),
+        };
+        engine.drain_all_shards();
+        Ok(engine)
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The cluster configuration (application-visible options, not the
+    /// widened per-shard ones).
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u16 {
+        self.shards.len() as u16
+    }
+
+    /// Read-only view of one shard machine.
+    pub fn shard(&self, shard: u16) -> &StabilizerNode {
+        &self.shards[shard as usize]
+    }
+
+    /// Mutable access to one shard machine, for drivers that need to run
+    /// per-shard repair (`resend_from`, `announce_acks_to`). Call
+    /// [`ShardedEngine::drain_shard`] afterwards.
+    pub fn shard_mut(&mut self, shard: u16) -> &mut StabilizerNode {
+        &mut self.shards[shard as usize]
+    }
+
+    /// Read-only view of the frontier aggregator.
+    pub fn aggregator(&self) -> &ShardedFrontier {
+        &self.agg
+    }
+
+    /// Drain pending sharded actions, in order.
+    pub fn take_actions(&mut self) -> Vec<ShardedAction> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// True if any actions are pending.
+    pub fn has_actions(&self) -> bool {
+        !self.actions.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
+    /// Publish on this node's stream: assign the next global sequence,
+    /// route to a shard, and hand the header-framed payload to that
+    /// shard's sequencer. Returns the **global** sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::PayloadTooLarge`] or [`CoreError::WouldBlock`] (the
+    /// routed shard's send buffer is full — the failed attempt does not
+    /// consume a global sequence number or perturb routing).
+    pub fn publish(&mut self, payload: Bytes) -> Result<SeqNo, CoreError> {
+        self.publish_routed(payload, None)
+    }
+
+    /// [`ShardedEngine::publish`] with a routing key: under
+    /// [`RoutePolicy::KeyHash`], all publishes sharing `key` land on one
+    /// shard (and therefore stay FIFO relative to each other even before
+    /// global reassembly).
+    pub fn publish_with_key(&mut self, payload: Bytes, key: &[u8]) -> Result<SeqNo, CoreError> {
+        self.publish_routed(payload, Some(key))
+    }
+
+    fn publish_routed(&mut self, payload: Bytes, key: Option<&[u8]>) -> Result<SeqNo, CoreError> {
+        if payload.len() > self.cfg.options().max_payload_bytes {
+            return Err(CoreError::PayloadTooLarge {
+                size: payload.len(),
+                max: self.cfg.options().max_payload_bytes,
+            });
+        }
+        let shard = self.router.route(key);
+        let global = self.agg.peek_next_global();
+        let framed = encode_global(global, &payload);
+        match self.shards[shard as usize].publish(framed) {
+            Ok(_shard_seq) => {
+                let out = self.agg.note_published(self.me, shard, global);
+                self.emit_agg(out);
+                self.drain_shard(shard);
+                Ok(global)
+            }
+            Err(e) => {
+                // Only keyless (round-robin) routes advanced the cursor.
+                if key.is_none() || self.router.policy() == RoutePolicy::RoundRobin {
+                    self.router.rollback_last();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Highest global sequence number assigned to this node's stream.
+    pub fn last_published(&self) -> SeqNo {
+        self.agg.last_published()
+    }
+
+    /// Feed an incoming wire message for shard sub-stream `shard`.
+    pub fn on_message(&mut self, now_nanos: u64, shard: u16, from: NodeId, msg: WireMsg) {
+        self.shards[shard as usize].on_message(now_nanos, from, msg);
+        self.drain_shard(shard);
+    }
+
+    // ------------------------------------------------------------------
+    // Predicates, frontiers, waits
+    // ------------------------------------------------------------------
+
+    /// Register a predicate on every shard and make the aggregated key
+    /// queryable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DSL compile errors (deterministic, so no shard
+    /// registers when the first fails).
+    pub fn register_predicate(
+        &mut self,
+        stream: NodeId,
+        key: &str,
+        source: &str,
+    ) -> Result<(), CoreError> {
+        for shard in &mut self.shards {
+            shard.register_predicate(stream, key, source)?;
+        }
+        self.agg.ensure_key(stream, key);
+        self.sync_key(stream, key);
+        self.drain_all_shards();
+        Ok(())
+    }
+
+    /// Replace the predicate under `key` on every shard, bumping the
+    /// generation everywhere in lockstep.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownPredicate`] or a DSL compile error.
+    pub fn change_predicate(
+        &mut self,
+        stream: NodeId,
+        key: &str,
+        source: &str,
+    ) -> Result<(), CoreError> {
+        for shard in &mut self.shards {
+            shard.change_predicate(stream, key, source)?;
+        }
+        self.sync_key(stream, key);
+        self.drain_all_shards();
+        Ok(())
+    }
+
+    /// Remove a predicate everywhere; pending node-level waiters complete
+    /// immediately.
+    pub fn unregister_predicate(&mut self, stream: NodeId, key: &str) {
+        for shard in &mut self.shards {
+            shard.unregister_predicate(stream, key);
+        }
+        let out = self.agg.unregister_key(stream, key);
+        self.emit_agg(out);
+        self.drain_all_shards();
+    }
+
+    /// Current aggregated `(frontier, generation)` of a predicate, in
+    /// global sequence numbers.
+    pub fn stability_frontier(&self, stream: NodeId, key: &str) -> Option<(SeqNo, u32)> {
+        self.agg.frontier(stream, key)
+    }
+
+    /// Wait for the aggregated frontier of `(stream, key)` to reach the
+    /// global sequence `seq`; completion surfaces as
+    /// [`ShardedAction::WaitDone`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownPredicate`] for an unregistered key.
+    pub fn waitfor(
+        &mut self,
+        stream: NodeId,
+        key: &str,
+        seq: SeqNo,
+    ) -> Result<WaitToken, CoreError> {
+        let (token, out) = self.agg.waitfor(stream, key, seq)?;
+        self.emit_agg(out);
+        Ok(token)
+    }
+
+    /// Node-level waits still blocked.
+    pub fn pending_waiters(&self) -> usize {
+        self.agg.pending_waiters()
+    }
+
+    /// Register an application-defined stability level on every shard.
+    /// The shared registry deduplicates by name, so every shard returns
+    /// the same id.
+    pub fn register_ack_type(&mut self, name: &str) -> AckTypeId {
+        let mut ty = AckTypeId(0);
+        for shard in &mut self.shards {
+            ty = shard.register_ack_type(name);
+        }
+        self.drain_all_shards();
+        ty
+    }
+
+    /// Report stability level `ty` for `stream` up to the **global**
+    /// sequence `seq`. The report is translated into per-shard sequence
+    /// numbers through the mapping this node has learned so far
+    /// (conservative: unknown suffixes are simply not reported yet).
+    pub fn report_stability(&mut self, stream: NodeId, ty: AckTypeId, seq: SeqNo) {
+        for s in 0..self.num_shards() {
+            let shard_seq = self.agg.shard_progress(stream, s, seq);
+            if shard_seq > 0 {
+                self.shards[s as usize].report_stability(stream, ty, shard_seq);
+            }
+        }
+        self.drain_all_shards();
+    }
+
+    // ------------------------------------------------------------------
+    // Timers and membership
+    // ------------------------------------------------------------------
+
+    /// Flush coalesced ACKs on every shard.
+    pub fn on_ack_flush(&mut self) {
+        for shard in &mut self.shards {
+            shard.on_ack_flush();
+        }
+        self.drain_all_shards();
+    }
+
+    /// Heartbeat on every shard sub-stream.
+    pub fn on_heartbeat(&mut self) {
+        for shard in &mut self.shards {
+            shard.on_heartbeat();
+        }
+        self.drain_all_shards();
+    }
+
+    /// Failure detection on every shard.
+    pub fn on_failure_check(&mut self, now_nanos: u64) {
+        for shard in &mut self.shards {
+            shard.on_failure_check(now_nanos);
+        }
+        self.drain_all_shards();
+    }
+
+    /// Retransmission timeout check on every shard.
+    pub fn on_retransmit_check(&mut self, now_nanos: u64) {
+        for shard in &mut self.shards {
+            shard.on_retransmit_check(now_nanos);
+        }
+        self.drain_all_shards();
+    }
+
+    /// True if any shard currently suspects `node`.
+    pub fn is_suspected(&self, node: NodeId) -> bool {
+        self.suspect_counts[node.0 as usize] > 0
+    }
+
+    /// Exclude `node` from every shard's predicates.
+    pub fn exclude_node(&mut self, node: NodeId) {
+        for shard in &mut self.shards {
+            shard.exclude_node(node);
+        }
+        self.drain_all_shards();
+    }
+
+    /// Reinstate `node` into every shard's predicates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard's restore error.
+    pub fn reinstate_node(&mut self, node: NodeId) -> Result<(), CoreError> {
+        for shard in &mut self.shards {
+            shard.reinstate_node(node)?;
+        }
+        self.drain_all_shards();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Traffic counters summed across shards. `data_bytes_sent` includes
+    /// the 8-byte global header each sharded payload carries.
+    pub fn metrics(&self) -> Metrics {
+        let mut total = Metrics::default();
+        for shard in &self.shards {
+            let m = shard.metrics();
+            total.data_msgs_sent += m.data_msgs_sent;
+            total.data_bytes_sent += m.data_bytes_sent;
+            total.control_msgs_sent += m.control_msgs_sent;
+            total.acks_sent += m.acks_sent;
+            total.deliveries += m.deliveries;
+            total.acks_received += m.acks_received;
+            total.acks_stale += m.acks_stale;
+            total.retransmits += m.retransmits;
+            total.predicate_evals += m.predicate_evals;
+            total.frontier_updates += m.frontier_updates;
+        }
+        total
+    }
+
+    /// One shard's own traffic counters.
+    pub fn shard_metrics(&self, shard: u16) -> Metrics {
+        self.shards[shard as usize].metrics()
+    }
+
+    /// Sum of all shard send-buffer occupancies, in bytes.
+    pub fn send_buffer_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(StabilizerNode::send_buffer_bytes)
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Push each shard's current `(frontier, generation)` for
+    /// `(stream, key)` into the aggregator. Used after register/change so
+    /// the aggregate adopts the new generation even on shards whose
+    /// frontier starts at zero (which emit no update action).
+    fn sync_key(&mut self, stream: NodeId, key: &str) {
+        for s in 0..self.num_shards() {
+            if let Some((seq, generation)) = self.shards[s as usize].stability_frontier(stream, key)
+            {
+                let out = self.agg.on_shard_frontier(
+                    s,
+                    &FrontierUpdate {
+                        stream,
+                        key: key.to_owned(),
+                        seq,
+                        generation,
+                    },
+                );
+                self.emit_agg(out);
+            }
+        }
+    }
+
+    /// Drain one shard's pending actions through the aggregator.
+    pub fn drain_shard(&mut self, shard: u16) {
+        let actions = self.shards[shard as usize].take_actions();
+        for action in actions {
+            self.process_shard_action(shard, action);
+        }
+    }
+
+    fn drain_all_shards(&mut self) {
+        for s in 0..self.num_shards() {
+            self.drain_shard(s);
+        }
+    }
+
+    fn emit_agg(&mut self, out: AggOutput) {
+        for update in out.updates {
+            self.actions.push(ShardedAction::Frontier(update));
+        }
+        for token in out.completed {
+            self.actions.push(ShardedAction::WaitDone { token });
+        }
+    }
+
+    fn process_shard_action(&mut self, shard: u16, action: Action) {
+        match action {
+            Action::Send { to, msg } => {
+                self.actions.push(ShardedAction::Send { shard, to, msg });
+            }
+            Action::Deliver {
+                origin,
+                seq,
+                payload,
+            } => {
+                self.actions.push(ShardedAction::ShardDeliver {
+                    shard,
+                    origin,
+                    seq,
+                    len: payload.len().saturating_sub(GLOBAL_HEADER),
+                });
+                let (ready, out) = self
+                    .agg
+                    .on_shard_deliver(shard, origin, &payload)
+                    .expect("sharded payload carried no global-sequence header");
+                for (global, app_payload) in ready {
+                    self.actions.push(ShardedAction::Deliver {
+                        origin,
+                        seq: global,
+                        payload: app_payload,
+                    });
+                }
+                self.emit_agg(out);
+            }
+            Action::Frontier(update) => {
+                let out = self.agg.on_shard_frontier(shard, &update);
+                self.actions
+                    .push(ShardedAction::ShardFrontier { shard, update });
+                self.emit_agg(out);
+            }
+            // Shard-level waits are never created; node-level waits live
+            // in the aggregator.
+            Action::WaitDone { .. } => {}
+            Action::Suspected { node } => {
+                let c = &mut self.suspect_counts[node.0 as usize];
+                *c += 1;
+                if *c == 1 {
+                    self.actions.push(ShardedAction::Suspected { node });
+                }
+            }
+            Action::Recovered { node } => {
+                let c = &mut self.suspect_counts[node.0 as usize];
+                *c = c.saturating_sub(1);
+                if *c == 0 {
+                    self.actions.push(ShardedAction::Recovered { node });
+                }
+            }
+            Action::PredicateBroken { stream, key } => {
+                if shard == 0 {
+                    self.actions
+                        .push(ShardedAction::PredicateBroken { stream, key });
+                }
+            }
+        }
+    }
+}

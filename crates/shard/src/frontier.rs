@@ -1,0 +1,586 @@
+//! The cross-shard stability-frontier aggregator.
+//!
+//! Each shard runs a full `stabilizer-core` frontier engine over its own
+//! per-shard sequence space. The aggregator recombines those per-shard
+//! frontiers into the node-level frontier over **global** sequence
+//! numbers with the min-combine rule:
+//!
+//! > global message `g` is covered ⇔ `g` is covered in the shard it was
+//! > routed to, and the aggregated frontier is the largest `G` such that
+//! > every global message `1..=G` is covered.
+//!
+//! Because global numbers increase monotonically *within* each shard,
+//! the first uncovered global of shard `s` is simply the mapping entry
+//! at the shard's frontier, and the aggregate is
+//! `min over shards of first-uncovered − 1`. Where a mirror does not yet
+//! know a shard's next mapping entry, the aggregate is additionally
+//! bounded by the contiguous prefix of known mappings — conservative
+//! (never claims coverage of a message it cannot place) and monotone
+//! (mappings are append-only, per-shard frontiers are monotone within a
+//! predicate generation, and the known prefix only grows).
+//!
+//! The aggregator also owns the delivery reassembly buffers that merge
+//! the S per-shard FIFO streams back into global FIFO order per origin.
+
+use crate::codec::decode_global;
+use bytes::Bytes;
+use stabilizer_core::{CoreError, FrontierUpdate, NodeId, SeqNo, WaitToken};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Aggregated events produced by feeding the aggregator: node-level
+/// frontier updates and completed node-level `waitfor` tokens.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct AggOutput {
+    /// Node-level frontier advances (global sequence numbers).
+    pub updates: Vec<FrontierUpdate>,
+    /// Completed node-level wait tokens.
+    pub completed: Vec<WaitToken>,
+}
+
+impl AggOutput {
+    /// No events.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty() && self.completed.is_empty()
+    }
+
+    /// Append `other`'s events.
+    pub fn merge(&mut self, other: AggOutput) {
+        self.updates.extend(other.updates);
+        self.completed.extend(other.completed);
+    }
+}
+
+#[derive(Debug)]
+struct KeyState {
+    /// Per-shard frontier (shard-local sequence numbers) for the current
+    /// generation.
+    per_shard: Vec<SeqNo>,
+    generation: u32,
+    /// Current aggregated frontier (global sequence number).
+    agg: SeqNo,
+}
+
+#[derive(Debug)]
+struct OriginState {
+    /// Per shard: global sequence numbers in shard-seq order (entry `q-1`
+    /// is the global number of the shard's `q`-th message). Append-only.
+    mapping: Vec<Vec<SeqNo>>,
+    /// Largest `G` such that the mappings of globals `1..=G` are all
+    /// known here.
+    known_prefix: SeqNo,
+    /// Known globals beyond the contiguous prefix.
+    beyond: BTreeSet<SeqNo>,
+    /// Highest global delivered to the application, and payloads parked
+    /// until their global predecessor arrives (cross-shard reassembly).
+    delivered: SeqNo,
+    pending: BTreeMap<SeqNo, Bytes>,
+}
+
+impl OriginState {
+    fn new(shards: usize) -> Self {
+        OriginState {
+            mapping: vec![Vec::new(); shards],
+            known_prefix: 0,
+            beyond: BTreeSet::new(),
+            delivered: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    fn learn(&mut self, shard: usize, global: SeqNo) {
+        debug_assert!(
+            self.mapping[shard].last().is_none_or(|&g| g < global),
+            "mapping must be learned in increasing global order per shard"
+        );
+        self.mapping[shard].push(global);
+        if global == self.known_prefix + 1 {
+            self.known_prefix = global;
+            while self.beyond.remove(&(self.known_prefix + 1)) {
+                self.known_prefix += 1;
+            }
+        } else if global > self.known_prefix {
+            self.beyond.insert(global);
+        }
+    }
+}
+
+/// Min-combines per-shard frontiers into the node-level stability
+/// frontier and reassembles per-shard deliveries into global FIFO order.
+#[derive(Debug)]
+pub struct ShardedFrontier {
+    shards: usize,
+    origins: Vec<OriginState>,
+    keys: BTreeMap<(NodeId, String), KeyState>,
+    waiters: Vec<(WaitToken, NodeId, String, SeqNo)>,
+    next_token: WaitToken,
+    next_global: SeqNo,
+}
+
+impl ShardedFrontier {
+    /// An aggregator for `num_nodes` origins and `shards` shards.
+    pub fn new(num_nodes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedFrontier {
+            shards,
+            origins: (0..num_nodes).map(|_| OriginState::new(shards)).collect(),
+            keys: BTreeMap::new(),
+            waiters: Vec::new(),
+            next_token: 1,
+            next_global: 0,
+        }
+    }
+
+    /// Number of shards aggregated over.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Reserve the next global sequence number for a publish on `me`'s
+    /// own stream. Commit it with [`ShardedFrontier::note_published`]
+    /// once the shard accepted the message; an uncommitted reservation
+    /// is simply reused by the next publish.
+    pub fn peek_next_global(&self) -> SeqNo {
+        self.next_global + 1
+    }
+
+    /// Record that the global `global` (from
+    /// [`ShardedFrontier::peek_next_global`]) was published on `shard`
+    /// of `me`'s own stream.
+    pub fn note_published(&mut self, me: NodeId, shard: u16, global: SeqNo) -> AggOutput {
+        debug_assert_eq!(global, self.next_global + 1);
+        self.next_global = global;
+        self.learn_mapping(me, shard, global)
+    }
+
+    /// Total globals published locally.
+    pub fn last_published(&self) -> SeqNo {
+        self.next_global
+    }
+
+    /// Record a learned `(shard, shard_seq) → global` mapping entry for
+    /// `origin`'s stream. Must be called in shard-seq order per
+    /// `(origin, shard)` — which both the origin's publish path and the
+    /// mirrors' FIFO shard deliveries naturally satisfy.
+    pub fn learn_mapping(&mut self, origin: NodeId, shard: u16, global: SeqNo) -> AggOutput {
+        self.origins[origin.0 as usize].learn(shard as usize, global);
+        self.recompute_origin(origin)
+    }
+
+    /// A shard machine delivered `(origin, shard_seq)` with the framed
+    /// payload. Returns the globally ordered deliveries this releases
+    /// (possibly none, possibly several parked ones) plus aggregated
+    /// frontier events from the newly learned mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Wire`] if the payload lacks the global-seq header.
+    pub fn on_shard_deliver(
+        &mut self,
+        shard: u16,
+        origin: NodeId,
+        framed: &Bytes,
+    ) -> Result<(Vec<(SeqNo, Bytes)>, AggOutput), CoreError> {
+        let (global, payload) = decode_global(framed)?;
+        let out = self.learn_mapping(origin, shard, global);
+        let o = &mut self.origins[origin.0 as usize];
+        debug_assert!(global > o.delivered, "shard re-delivered a global");
+        o.pending.insert(global, payload);
+        let mut ready = Vec::new();
+        while let Some(p) = o.pending.remove(&(o.delivered + 1)) {
+            o.delivered += 1;
+            ready.push((o.delivered, p));
+        }
+        Ok((ready, out))
+    }
+
+    /// Highest global delivered to the application for `origin`.
+    pub fn delivered_global(&self, origin: NodeId) -> SeqNo {
+        self.origins[origin.0 as usize].delivered
+    }
+
+    /// Globals parked waiting for a cross-shard predecessor of `origin`.
+    pub fn parked(&self, origin: NodeId) -> usize {
+        self.origins[origin.0 as usize].pending.len()
+    }
+
+    /// Number of `origin`'s messages routed to `shard` with global
+    /// sequence ≤ `global` (translates node-level stability reports into
+    /// shard-local ones). Counts only known mappings, so mirrors with
+    /// partial knowledge under-report — conservative by construction.
+    pub fn shard_progress(&self, origin: NodeId, shard: u16, global: SeqNo) -> SeqNo {
+        let m = &self.origins[origin.0 as usize].mapping[shard as usize];
+        m.partition_point(|&g| g <= global) as SeqNo
+    }
+
+    /// Global sequence numbers of `origin`'s messages routed to `shard`,
+    /// in shard-seq order (entry `q-1` is the global of shard seq `q`) —
+    /// the inverse of [`ShardedFrontier::shard_progress`], for telemetry
+    /// that folds per-shard frontier advances back into global terms.
+    pub fn shard_globals(&self, origin: NodeId, shard: u16) -> &[SeqNo] {
+        &self.origins[origin.0 as usize].mapping[shard as usize]
+    }
+
+    /// Make `(stream, key)` queryable (frontier 0) before any shard
+    /// reports — called when a predicate is registered.
+    pub fn ensure_key(&mut self, stream: NodeId, key: &str) {
+        let shards = self.shards;
+        self.keys
+            .entry((stream, key.to_owned()))
+            .or_insert_with(|| KeyState {
+                per_shard: vec![0; shards],
+                generation: 0,
+                agg: 0,
+            });
+    }
+
+    /// Drop `(stream, key)`; its pending waiters complete immediately
+    /// (mirroring the core engine's unregister semantics).
+    pub fn unregister_key(&mut self, stream: NodeId, key: &str) -> AggOutput {
+        self.keys.remove(&(stream, key.to_owned()));
+        let mut out = AggOutput::default();
+        self.waiters.retain(|(token, s, k, _)| {
+            if *s == stream && k == key {
+                out.completed.push(*token);
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// Feed one per-shard frontier advance. Generations bump in lockstep
+    /// across shards (predicate changes fan out to every shard); the
+    /// first update carrying a newer generation resets the per-shard
+    /// frontiers and re-announces the aggregate under the new
+    /// generation, exactly like the core engine's `change_predicate`.
+    pub fn on_shard_frontier(&mut self, shard: u16, update: &FrontierUpdate) -> AggOutput {
+        let shards = self.shards;
+        let st = self
+            .keys
+            .entry((update.stream, update.key.clone()))
+            .or_insert_with(|| KeyState {
+                per_shard: vec![0; shards],
+                generation: update.generation,
+                agg: 0,
+            });
+        let mut force = false;
+        if update.generation > st.generation {
+            st.generation = update.generation;
+            st.per_shard = vec![0; shards];
+            force = true;
+        } else if update.generation < st.generation {
+            return AggOutput::default(); // stale shard update from an old generation
+        }
+        let cell = &mut st.per_shard[shard as usize];
+        if update.seq > *cell {
+            *cell = update.seq;
+        }
+        self.recompute_key(update.stream, &update.key, force)
+    }
+
+    /// Current aggregated `(frontier, generation)` of a predicate.
+    pub fn frontier(&self, stream: NodeId, key: &str) -> Option<(SeqNo, u32)> {
+        self.keys
+            .get(&(stream, key.to_owned()))
+            .map(|st| (st.agg, st.generation))
+    }
+
+    /// Register a node-level wait for the aggregated frontier of
+    /// `(stream, key)` to reach the **global** sequence `seq`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownPredicate`] if the key was never registered.
+    pub fn waitfor(
+        &mut self,
+        stream: NodeId,
+        key: &str,
+        seq: SeqNo,
+    ) -> Result<(WaitToken, AggOutput), CoreError> {
+        let st = self
+            .keys
+            .get(&(stream, key.to_owned()))
+            .ok_or_else(|| CoreError::UnknownPredicate(key.to_owned()))?;
+        let token = self.next_token;
+        self.next_token += 1;
+        let mut out = AggOutput::default();
+        if st.agg >= seq {
+            out.completed.push(token);
+        } else {
+            self.waiters.push((token, stream, key.to_owned(), seq));
+        }
+        Ok((token, out))
+    }
+
+    /// Node-level waits still blocked.
+    pub fn pending_waiters(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// First global of `stream` not yet covered by shard `s` under the
+    /// current per-shard frontier `f`, from this node's knowledge.
+    fn first_uncovered(&self, stream: NodeId, shard: usize, f: SeqNo) -> SeqNo {
+        let o = &self.origins[stream.0 as usize];
+        let m = &o.mapping[shard];
+        if (f as usize) < m.len() {
+            m[f as usize]
+        } else {
+            // The shard's next message (if any) is one we cannot place
+            // yet; bound by the first globally unknown mapping.
+            o.known_prefix + 1
+        }
+    }
+
+    fn recompute_key(&mut self, stream: NodeId, key: &str, force: bool) -> AggOutput {
+        let Some(st) = self.keys.get(&(stream, key.to_owned())) else {
+            return AggOutput::default();
+        };
+        let mut min_first = SeqNo::MAX;
+        for s in 0..self.shards {
+            min_first = min_first.min(self.first_uncovered(stream, s, st.per_shard[s]));
+        }
+        let agg = min_first.saturating_sub(1);
+        let st = self.keys.get_mut(&(stream, key.to_owned())).unwrap();
+        let mut out = AggOutput::default();
+        if agg > st.agg || force {
+            debug_assert!(
+                force || st.generation == 0 || agg >= st.agg,
+                "aggregated frontier regressed within a generation"
+            );
+            st.agg = if force { agg } else { st.agg.max(agg) };
+            out.updates.push(FrontierUpdate {
+                stream,
+                key: key.to_owned(),
+                seq: st.agg,
+                generation: st.generation,
+            });
+            self.drain_waiters(stream, key, &mut out);
+        }
+        out
+    }
+
+    /// Recompute every key of `stream` after its mapping grew (a new
+    /// mapping entry can raise aggregates without any frontier traffic).
+    fn recompute_origin(&mut self, stream: NodeId) -> AggOutput {
+        let keys: Vec<String> = self
+            .keys
+            .range((stream, String::new())..)
+            .take_while(|((s, _), _)| *s == stream)
+            .map(|((_, k), _)| k.clone())
+            .collect();
+        let mut out = AggOutput::default();
+        for key in keys {
+            out.merge(self.recompute_key(stream, &key, false));
+        }
+        out
+    }
+
+    fn drain_waiters(&mut self, stream: NodeId, key: &str, out: &mut AggOutput) {
+        let agg = match self.keys.get(&(stream, key.to_owned())) {
+            Some(st) => st.agg,
+            None => return,
+        };
+        self.waiters.retain(|(token, s, k, seq)| {
+            if *s == stream && k == key && agg >= *seq {
+                out.completed.push(*token);
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_global;
+
+    const ME: NodeId = NodeId(0);
+
+    fn update(stream: NodeId, key: &str, seq: SeqNo, generation: u32) -> FrontierUpdate {
+        FrontierUpdate {
+            stream,
+            key: key.to_owned(),
+            seq,
+            generation,
+        }
+    }
+
+    #[test]
+    fn min_combine_over_two_shards() {
+        let mut agg = ShardedFrontier::new(2, 2);
+        agg.ensure_key(ME, "All");
+        // Globals 1,3 on shard 0; global 2 on shard 1.
+        for (shard, global) in [(0, 1), (1, 2), (0, 3)] {
+            let g = agg.peek_next_global();
+            assert_eq!(g, global);
+            agg.note_published(ME, shard, g);
+        }
+        // Shard 0 covers its first message (global 1): aggregate stops at
+        // 1 because shard 1's first message (global 2) is uncovered.
+        let out = agg.on_shard_frontier(0, &update(ME, "All", 1, 0));
+        assert_eq!(out.updates.len(), 1);
+        assert_eq!(agg.frontier(ME, "All"), Some((1, 0)));
+        // Shard 1 covers global 2: aggregate jumps to 2 (global 3 still
+        // uncovered in shard 0).
+        agg.on_shard_frontier(1, &update(ME, "All", 1, 0));
+        assert_eq!(agg.frontier(ME, "All"), Some((2, 0)));
+        // Shard 0 covers its second message: everything covered.
+        agg.on_shard_frontier(0, &update(ME, "All", 2, 0));
+        assert_eq!(agg.frontier(ME, "All"), Some((3, 0)));
+    }
+
+    #[test]
+    fn stalled_shard_pins_the_aggregate() {
+        let mut agg = ShardedFrontier::new(1, 2);
+        agg.ensure_key(ME, "All");
+        for (shard, _) in [(0, ()), (1, ()), (0, ()), (0, ())] {
+            let g = agg.peek_next_global();
+            agg.note_published(ME, shard, g);
+        }
+        // Shard 0 races ahead; shard 1 (owning global 2) is stalled.
+        agg.on_shard_frontier(0, &update(ME, "All", 3, 0));
+        assert_eq!(agg.frontier(ME, "All"), Some((1, 0)));
+        // Shard 1 catches up: the whole prefix unlocks at once.
+        agg.on_shard_frontier(1, &update(ME, "All", 1, 0));
+        assert_eq!(agg.frontier(ME, "All"), Some((4, 0)));
+    }
+
+    #[test]
+    fn waiters_complete_on_aggregate_not_per_shard() {
+        let mut agg = ShardedFrontier::new(1, 2);
+        agg.ensure_key(ME, "All");
+        for shard in [0u16, 1] {
+            let g = agg.peek_next_global();
+            agg.note_published(ME, shard, g);
+        }
+        let (token, out) = agg.waitfor(ME, "All", 2).unwrap();
+        assert!(out.completed.is_empty());
+        let out = agg.on_shard_frontier(0, &update(ME, "All", 1, 0));
+        assert!(out.completed.is_empty(), "global 2 is in shard 1");
+        let out = agg.on_shard_frontier(1, &update(ME, "All", 1, 0));
+        assert_eq!(out.completed, vec![token]);
+        assert_eq!(agg.pending_waiters(), 0);
+    }
+
+    #[test]
+    fn waitfor_already_satisfied_completes_immediately() {
+        let mut agg = ShardedFrontier::new(1, 1);
+        agg.ensure_key(ME, "All");
+        let g = agg.peek_next_global();
+        agg.note_published(ME, 0, g);
+        agg.on_shard_frontier(0, &update(ME, "All", 1, 0));
+        let (token, out) = agg.waitfor(ME, "All", 1).unwrap();
+        assert_eq!(out.completed, vec![token]);
+    }
+
+    #[test]
+    fn unknown_key_waitfor_errors() {
+        let mut agg = ShardedFrontier::new(1, 1);
+        assert!(matches!(
+            agg.waitfor(ME, "nope", 1),
+            Err(CoreError::UnknownPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn generation_bump_resets_and_reannounces() {
+        let mut agg = ShardedFrontier::new(1, 2);
+        agg.ensure_key(ME, "All");
+        for shard in [0u16, 1] {
+            let g = agg.peek_next_global();
+            agg.note_published(ME, shard, g);
+        }
+        agg.on_shard_frontier(0, &update(ME, "All", 1, 0));
+        agg.on_shard_frontier(1, &update(ME, "All", 1, 0));
+        assert_eq!(agg.frontier(ME, "All"), Some((2, 0)));
+        // A predicate change starts generation 1; the first shard update
+        // under it resets the other shard's contribution.
+        let out = agg.on_shard_frontier(0, &update(ME, "All", 1, 1));
+        assert_eq!(out.updates.len(), 1);
+        let (f, g) = agg.frontier(ME, "All").unwrap();
+        assert_eq!(g, 1);
+        assert_eq!(f, 1, "shard 1 unreported under the new generation");
+        // Stale generation-0 updates are ignored.
+        let out = agg.on_shard_frontier(1, &update(ME, "All", 9, 0));
+        assert!(out.is_empty());
+        assert_eq!(agg.frontier(ME, "All"), Some((1, 1)));
+    }
+
+    #[test]
+    fn mirror_reassembles_global_fifo() {
+        let origin = NodeId(1);
+        let mut agg = ShardedFrontier::new(2, 2);
+        // Origin published globals 1 (shard 0), 2 (shard 1), 3 (shard 0).
+        // Mirror's shard 1 delivers first: global 2 parks.
+        let (ready, _) = agg
+            .on_shard_deliver(1, origin, &encode_global(2, &Bytes::from_static(b"b")))
+            .unwrap();
+        assert!(ready.is_empty());
+        assert_eq!(agg.parked(origin), 1);
+        // Shard 0 delivers global 1: both release in order.
+        let (ready, _) = agg
+            .on_shard_deliver(0, origin, &encode_global(1, &Bytes::from_static(b"a")))
+            .unwrap();
+        assert_eq!(
+            ready,
+            vec![(1, Bytes::from_static(b"a")), (2, Bytes::from_static(b"b"))]
+        );
+        let (ready, _) = agg
+            .on_shard_deliver(0, origin, &encode_global(3, &Bytes::from_static(b"c")))
+            .unwrap();
+        assert_eq!(ready, vec![(3, Bytes::from_static(b"c"))]);
+        assert_eq!(agg.delivered_global(origin), 3);
+    }
+
+    #[test]
+    fn mirror_aggregate_is_bounded_by_known_mappings() {
+        let origin = NodeId(1);
+        let mut agg = ShardedFrontier::new(2, 2);
+        agg.ensure_key(origin, "All");
+        // A remote frontier report says shard 0 covered 5 messages, but
+        // this mirror has placed none of them: the aggregate stays 0.
+        agg.on_shard_frontier(0, &update(origin, "All", 5, 0));
+        agg.on_shard_frontier(1, &update(origin, "All", 5, 0));
+        assert_eq!(agg.frontier(origin, "All"), Some((0, 0)));
+        // Learning globals 1 and 2 (both covered per the shard reports)
+        // advances the aggregate to the known prefix.
+        agg.on_shard_deliver(0, origin, &encode_global(1, &Bytes::new()))
+            .unwrap();
+        let (_, out) = agg
+            .on_shard_deliver(1, origin, &encode_global(2, &Bytes::new()))
+            .unwrap();
+        assert!(!out.updates.is_empty());
+        assert_eq!(agg.frontier(origin, "All"), Some((2, 0)));
+    }
+
+    #[test]
+    fn unregister_completes_waiters() {
+        let mut agg = ShardedFrontier::new(1, 1);
+        agg.ensure_key(ME, "All");
+        let g = agg.peek_next_global();
+        agg.note_published(ME, 0, g);
+        let (token, out) = agg.waitfor(ME, "All", 1).unwrap();
+        assert!(out.completed.is_empty());
+        let out = agg.unregister_key(ME, "All");
+        assert_eq!(out.completed, vec![token]);
+        assert_eq!(agg.frontier(ME, "All"), None);
+    }
+
+    #[test]
+    fn shard_progress_translates_globals() {
+        let mut agg = ShardedFrontier::new(1, 2);
+        for shard in [0u16, 1, 0, 0, 1] {
+            let g = agg.peek_next_global();
+            agg.note_published(ME, shard, g);
+        }
+        // Shard 0 holds globals 1,3,4; shard 1 holds 2,5.
+        assert_eq!(agg.shard_progress(ME, 0, 3), 2);
+        assert_eq!(agg.shard_progress(ME, 0, 4), 3);
+        assert_eq!(agg.shard_progress(ME, 1, 4), 1);
+        assert_eq!(agg.shard_progress(ME, 1, 5), 2);
+        assert_eq!(agg.shard_progress(ME, 0, 0), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # Stabilizer shard
+//!
+//! A sharded multi-stream engine layered over `stabilizer-core`: each
+//! node runs S independent shard instances — each a complete
+//! `StabilizerNode` with its own sequencer, send buffer, ACK recorder
+//! and frontier engine — so publishes, ACK processing and predicate
+//! evaluation parallelize across cores without touching the single-shard
+//! protocol logic.
+//!
+//! The pieces:
+//!
+//! * [`router`] — deterministic publish routing (round-robin or
+//!   key-hash), pure state-machine code so seed replay stays
+//!   byte-identical.
+//! * [`codec`] — the 8-byte global-sequence header every sharded payload
+//!   carries, which teaches mirrors the `(shard, shard_seq) → global`
+//!   mapping for free at delivery time.
+//! * [`frontier`] — the [`ShardedFrontier`] aggregator: min-combines
+//!   per-shard stability frontiers into the node-level frontier (a
+//!   global sequence is covered iff its shard covers it and nothing
+//!   before it is uncovered) and reassembles per-shard FIFO deliveries
+//!   into global FIFO order.
+//! * [`engine`] — the [`ShardedEngine`] facade with the unsharded
+//!   node-level API: `publish`, `register_predicate`/`change_predicate`,
+//!   `stability_frontier`, `waitfor`, stability reports, timers,
+//!   membership — all in global sequence numbers.
+//! * [`sim`] — the deterministic-simulator driver
+//!   ([`ShardedSimNode`], [`build_sharded_cluster`]), mirroring the
+//!   unsharded `sim_driver` so sharded scenarios replay byte-identically
+//!   under the chaos harness.
+//!
+//! The TCP runtime counterpart (one worker thread per shard) lives in
+//! `stabilizer-transport::sharded`.
+
+pub mod codec;
+pub mod engine;
+pub mod frontier;
+pub mod router;
+pub mod sim;
+
+pub use codec::{decode_global, encode_global, GLOBAL_HEADER};
+pub use engine::{ShardedAction, ShardedEngine};
+pub use frontier::{AggOutput, ShardedFrontier};
+pub use router::{fnv1a, RoutePolicy, ShardRouter};
+pub use sim::{build_sharded_cluster, build_sharded_cluster_with_hooks, ShardMsg, ShardedSimNode};

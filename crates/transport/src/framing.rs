@@ -15,14 +15,89 @@ pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 /// Write one frame, returning the number of bytes put on the wire
 /// (length prefix included) so the transport can account traffic.
 ///
+/// Data payloads are written straight from their shared buffer: only the
+/// length prefix and the 15-byte message header are materialized, so a
+/// payload fanned out to N peers is **not** copied into N contiguous
+/// scratch buffers first. Pair with a buffered writer to keep the
+/// prefix+payload pair in one TCP segment for small messages.
+///
 /// # Errors
 ///
 /// Propagates I/O errors from the underlying writer.
 pub fn write_frame<W: Write>(w: &mut W, msg: &WireMsg) -> std::io::Result<usize> {
-    let body = msg.to_bytes();
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
-    w.write_all(&body)?;
-    Ok(4 + body.len())
+    // Reserve the length prefix, encode the body prefix after it, then
+    // patch the real length in — one small buffer, no payload bytes.
+    let mut head = Vec::with_capacity(4 + 32);
+    head.extend_from_slice(&[0u8; 4]);
+    let payload = msg.encode_prefix(&mut head);
+    let body_len = head.len() - 4 + payload.map_or(0, bytes::Bytes::len);
+    head[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    w.write_all(&head)?;
+    if let Some(p) = payload {
+        w.write_all(p)?;
+    }
+    Ok(4 + body_len)
+}
+
+/// Sentinel shard index marking a hello frame on sharded connections.
+pub const HELLO_SHARD: u16 = u16::MAX;
+
+/// Write one **sharded** frame: `u32` little-endian length (covering the
+/// shard index and the body), then the `u16` little-endian shard index,
+/// then the encoded message. Returns bytes put on the wire.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_shard_frame<W: Write>(w: &mut W, shard: u16, msg: &WireMsg) -> std::io::Result<usize> {
+    let mut head = Vec::with_capacity(6 + 32);
+    head.extend_from_slice(&[0u8; 4]);
+    head.extend_from_slice(&shard.to_le_bytes());
+    let payload = msg.encode_prefix(&mut head);
+    let body_len = head.len() - 4 + payload.map_or(0, bytes::Bytes::len);
+    head[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    w.write_all(&head)?;
+    if let Some(p) = payload {
+        w.write_all(p)?;
+    }
+    Ok(4 + body_len)
+}
+
+/// Read one sharded frame; `Ok(None)` on clean EOF at a frame boundary.
+/// Returns `(shard, message, wire_bytes)`.
+///
+/// # Errors
+///
+/// I/O errors, oversized or undersized frames, or undecodable bodies.
+pub fn read_shard_frame_counted<R: Read>(
+    r: &mut R,
+) -> std::io::Result<Option<(u16, WireMsg, usize)>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    if len < 2 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "sharded frame lacks shard index",
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let shard = u16::from_le_bytes(body[..2].try_into().unwrap());
+    let msg = WireMsg::decode(&body[2..]).map_err(|e: CoreError| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    })?;
+    Ok(Some((shard, msg, 4 + len as usize)))
 }
 
 /// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
@@ -144,6 +219,43 @@ mod tests {
         let (got, read) = read_frame_counted(&mut Cursor::new(buf)).unwrap().unwrap();
         assert_eq!(got, msg);
         assert_eq!(read, wrote);
+    }
+
+    #[test]
+    fn shard_frames_roundtrip() {
+        let msgs = vec![
+            (0u16, WireMsg::Heartbeat),
+            (
+                3,
+                WireMsg::Data {
+                    origin: NodeId(1),
+                    seq: 9,
+                    payload: Bytes::from_static(b"payload"),
+                },
+            ),
+            (HELLO_SHARD, hello(4)),
+        ];
+        let mut buf = Vec::new();
+        let mut sizes = Vec::new();
+        for (shard, m) in &msgs {
+            sizes.push(write_shard_frame(&mut buf, *shard, m).unwrap());
+        }
+        let mut cur = Cursor::new(buf);
+        for ((shard, m), wrote) in msgs.iter().zip(sizes) {
+            let (s, got, read) = read_shard_frame_counted(&mut cur).unwrap().unwrap();
+            assert_eq!(s, *shard);
+            assert_eq!(&got, m);
+            assert_eq!(read, wrote);
+        }
+        assert!(read_shard_frame_counted(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn shard_frame_without_index_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0);
+        assert!(read_shard_frame_counted(&mut Cursor::new(buf)).is_err());
     }
 
     #[test]

@@ -260,6 +260,12 @@ impl Deref for StateGuard<'_> {
     }
 }
 
+impl std::ops::DerefMut for StateGuard<'_> {
+    fn deref_mut(&mut self) -> &mut StabilizerNode {
+        &mut self.0
+    }
+}
+
 impl std::fmt::Debug for NodeHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NodeHandle")

@@ -35,9 +35,14 @@ pub mod backoff;
 pub mod framing;
 pub mod handle;
 pub mod runtime;
+pub mod sharded;
 
 pub use handle::{NodeHandle, StateGuard};
 pub use runtime::{
     spawn_local_cluster, spawn_node, spawn_node_with, MetricsDump, SpawnOptions, TcpNode,
     TransportMetrics,
+};
+pub use sharded::{
+    spawn_sharded_local_cluster, spawn_sharded_local_cluster_with, spawn_sharded_node,
+    ShardedHandle, ShardedSpawnOptions, ShardedTcpNode,
 };

@@ -31,6 +31,7 @@ use stabilizer_core::{
 };
 use stabilizer_telemetry::{Counter, Gauge, Telemetry};
 use std::collections::{HashMap, HashSet};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -63,7 +64,7 @@ pub struct TransportMetrics {
 }
 
 impl TransportMetrics {
-    fn new(t: &Telemetry, me: NodeId) -> Self {
+    pub(crate) fn new(t: &Telemetry, me: NodeId) -> Self {
         let id = me.0.to_string();
         let labels: &[(&str, &str)] = &[("node", &id)];
         let reg = t.registry();
@@ -474,7 +475,7 @@ fn writer_loop(
     );
     let mut connects = 0u64;
     'reconnect: while shared.running.load(Ordering::SeqCst) {
-        let mut stream = match connect_with_retry(&shared, addr, &mut backoff, retry_limit) {
+        let stream = match connect_with_retry(&shared, addr, &mut backoff, retry_limit) {
             ConnectOutcome::Connected(s) => s,
             ConnectOutcome::Shutdown => return,
             ConnectOutcome::GaveUp => {
@@ -482,6 +483,11 @@ fn writer_loop(
                 return;
             }
         };
+        // Buffer writes so a frame's length prefix, header, and payload
+        // coalesce into one syscall/segment; flushed whenever the
+        // outbound queue is momentarily empty, so latency is bounded by
+        // the batch, not a timer.
+        let mut stream = std::io::BufWriter::with_capacity(64 * 1024, stream);
         backoff.reset();
         connects += 1;
         if connects > 1 {
@@ -489,7 +495,8 @@ fn writer_loop(
                 m.reconnects.inc();
             }
         }
-        match write_frame(&mut stream, &hello(shared.me.0)) {
+        match write_frame(&mut stream, &hello(shared.me.0)).and_then(|n| stream.flush().map(|()| n))
+        {
             Ok(wire_len) => {
                 if let Some(m) = &shared.metrics {
                     m.frames_out.inc();
@@ -512,21 +519,32 @@ fn writer_loop(
         repair_on_connect = true;
         loop {
             match rx.recv_timeout(Duration::from_millis(100)) {
-                Ok(msg) => match write_frame(&mut stream, &msg) {
-                    Ok(wire_len) => {
-                        if let Some(m) = &shared.metrics {
-                            m.frames_out.inc();
-                            m.bytes_out.add(wire_len as u64);
+                Ok(msg) => {
+                    match write_frame(&mut stream, &msg) {
+                        Ok(wire_len) => {
+                            if let Some(m) = &shared.metrics {
+                                m.frames_out.inc();
+                                m.bytes_out.add(wire_len as u64);
+                            }
                         }
+                        Err(_) => continue 'reconnect,
                     }
-                    Err(_) => continue 'reconnect,
-                },
+                    if rx.is_empty() && stream.flush().is_err() {
+                        continue 'reconnect;
+                    }
+                }
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if stream.flush().is_err() {
+                        continue 'reconnect;
+                    }
                     if !shared.running.load(Ordering::SeqCst) {
                         return;
                     }
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    let _ = stream.flush();
+                    return;
+                }
             }
         }
     }

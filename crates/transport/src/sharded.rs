@@ -1,0 +1,1180 @@
+//! The sharded TCP runtime: S per-core stream shards behind one node.
+//!
+//! Each shard is a full sans-IO [`StabilizerNode`] with its own mutex,
+//! driven by its own **worker thread**, so inbound protocol processing
+//! scales across cores instead of serializing on one state-machine lock.
+//! A [`ShardedFrontier`] aggregator min-combines the per-shard stability
+//! frontiers into the node-level frontier and reassembles per-shard FIFO
+//! deliveries into global FIFO order, keeping the application-visible
+//! semantics (`publish`, `waitfor`, `monitor_stability_frontier`, FIFO
+//! delivery) exactly those of the unsharded [`NodeHandle`].
+//!
+//! Thread layout per node:
+//!
+//! * one **accept** thread, spawning a **reader** thread per inbound
+//!   connection; readers parse sharded frames (`[len][shard][body]`, see
+//!   [`crate::framing::read_shard_frame_counted`]) and dispatch each
+//!   message to its shard's worker over a crossbeam channel;
+//! * one **worker** thread per shard, owning all `on_message` processing
+//!   for that shard's sub-stream;
+//! * one **writer** thread per peer, multiplexing every shard's outbound
+//!   traffic onto a single buffered connection with the shard index in
+//!   the frame header;
+//! * one **dispatcher** thread running application callbacks (delivery
+//!   upcalls, frontier monitors) outside every lock, in the exact order
+//!   node-level events were produced under the aggregator lock;
+//! * one **ticker** thread fanning the ACK-flush / heartbeat / failure /
+//!   retransmit timers across shards and sampling per-shard telemetry
+//!   (queue-depth gauges, per-shard progress gauges).
+//!
+//! Locking discipline, strictly ordered to stay deadlock-free:
+//! `publish` lock (router + global sequencer) → one shard mutex →
+//! aggregator mutex → leaf locks (`completed`, `senders`, `suspects`).
+//! Node-level events are enqueued to the dispatcher *under* the
+//! aggregator lock, so cross-shard delivery order is fixed exactly once;
+//! callbacks then run with no lock held.
+
+use crate::backoff::{link_seed, Backoff};
+use crate::framing::{
+    hello, parse_hello, read_shard_frame_counted, write_shard_frame, HELLO_SHARD,
+};
+use crate::handle::{DeliverFn, MonitorFn};
+use crate::runtime::TransportMetrics;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use stabilizer_core::{
+    AckTypeId, AckTypeRegistry, Action, ClusterConfig, CoreError, FrontierUpdate, Metrics, NodeId,
+    RuntimeObserver, SeqNo, StabilizerNode, WaitToken, WireMsg, RECEIVED,
+};
+use stabilizer_shard::{encode_global, RoutePolicy, ShardRouter, ShardedFrontier, GLOBAL_HEADER};
+use stabilizer_telemetry::{Gauge, LogHistogram, MetricsObserver, MetricsRegistry, Telemetry};
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Node-level events, ordered once under the aggregator lock and drained
+/// by the dispatcher thread.
+enum NodeEvent {
+    Deliver {
+        origin: NodeId,
+        seq: SeqNo,
+        payload: Bytes,
+    },
+    Frontier(FrontierUpdate),
+}
+
+/// Global-sequence assignment and shard routing for local publishes.
+/// One lock holder at a time keeps `(global, shard)` transactional: a
+/// failed shard publish never leaves a hole in the global sequence.
+struct PublishState {
+    router: ShardRouter,
+    next_global: SeqNo,
+}
+
+/// Aggregator plus the origin-side per-shard stability bookkeeping that
+/// must be read under the same lock (the shard→global mapping).
+struct AggState {
+    frontier: ShardedFrontier,
+    /// `stamps[g-1]` = local publish time + 1 of own-stream global `g`
+    /// (0 = unstamped); only maintained when telemetry is attached.
+    stamps: Vec<u64>,
+    /// Per `(key, shard)`: highest own-stream shard frontier already
+    /// folded into that shard's stability histogram.
+    covered: HashMap<(String, u16), SeqNo>,
+    hists: HashMap<(String, u16), Arc<LogHistogram>>,
+}
+
+impl AggState {
+    /// Fold a per-shard frontier advance of the own stream into the
+    /// per-shard stability-latency histogram, translating shard-local
+    /// sequence numbers back to globals through the mapping.
+    fn record_shard_stability(
+        &mut self,
+        registry: &MetricsRegistry,
+        me: NodeId,
+        shard: u16,
+        update: &FrontierUpdate,
+        now: u64,
+    ) {
+        let from = {
+            let cur = self.covered.entry((update.key.clone(), shard)).or_insert(0);
+            if update.seq <= *cur {
+                return;
+            }
+            let from = *cur;
+            *cur = update.seq;
+            from
+        };
+        let hist = match self.hists.get(&(update.key.clone(), shard)) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let sh = shard.to_string();
+                let h = registry.histogram(
+                    "stab_shard_stability_latency_ns",
+                    &[("key", &update.key), ("shard", &sh)],
+                );
+                self.hists
+                    .insert((update.key.clone(), shard), Arc::clone(&h));
+                h
+            }
+        };
+        let globals = self.frontier.shard_globals(me, shard);
+        for q in from + 1..=update.seq {
+            let Some(&g) = globals.get((q - 1) as usize) else {
+                break;
+            };
+            if let Some(&stamp) = self.stamps.get((g - 1) as usize) {
+                if stamp != 0 {
+                    hist.record(now.saturating_sub(stamp - 1));
+                }
+            }
+        }
+    }
+}
+
+/// Per-shard gauges sampled by the ticker (labels `node` + `shard`).
+struct ShardGauges {
+    queue_depth: Gauge,
+    send_buffer_bytes: Gauge,
+    data_msgs_sent: Gauge,
+    deliveries: Gauge,
+    frontier_updates: Gauge,
+    retransmits: Gauge,
+}
+
+impl ShardGauges {
+    fn new(t: &Telemetry, me: NodeId, shard: u16) -> Self {
+        let id = me.0.to_string();
+        let sh = shard.to_string();
+        let labels: &[(&str, &str)] = &[("node", &id), ("shard", &sh)];
+        let reg = t.registry();
+        ShardGauges {
+            queue_depth: reg.gauge("stab_shard_queue_depth", labels),
+            send_buffer_bytes: reg.gauge("stab_shard_send_buffer_bytes", labels),
+            data_msgs_sent: reg.gauge("stab_shard_data_msgs_sent", labels),
+            deliveries: reg.gauge("stab_shard_deliveries", labels),
+            frontier_updates: reg.gauge("stab_shard_frontier_updates", labels),
+            retransmits: reg.gauge("stab_shard_retransmits", labels),
+        }
+    }
+}
+
+/// State shared between the handle and the sharded runtime threads.
+pub struct ShardedShared {
+    me: NodeId,
+    cfg: ClusterConfig,
+    num_shards: u16,
+    shards: Vec<Mutex<StabilizerNode>>,
+    agg: Mutex<AggState>,
+    publish: Mutex<PublishState>,
+    completed: Mutex<HashSet<WaitToken>>,
+    completed_cv: Condvar,
+    monitors: Mutex<HashMap<(NodeId, String), Vec<MonitorFn>>>,
+    deliver_fns: Mutex<Vec<DeliverFn>>,
+    senders: Mutex<HashMap<NodeId, Sender<(u16, WireMsg)>>>,
+    shard_txs: Vec<Sender<(NodeId, WireMsg)>>,
+    event_tx: Sender<NodeEvent>,
+    /// Per peer: how many shards currently suspect it.
+    suspects: Mutex<Vec<u32>>,
+    running: AtomicBool,
+    started: Instant,
+    telemetry: Option<Arc<Telemetry>>,
+    metrics: Option<TransportMetrics>,
+    shard_gauges: Vec<ShardGauges>,
+}
+
+impl ShardedShared {
+    fn now_nanos(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// Mutate one shard under its lock, then run its emitted actions
+    /// through the aggregator with no shard lock held.
+    fn with_shard<R>(&self, shard: u16, f: impl FnOnce(&mut StabilizerNode) -> R) -> R {
+        let (r, actions) = {
+            let mut node = self.shards[shard as usize].lock();
+            let r = f(&mut node);
+            (r, node.take_actions())
+        };
+        self.process_shard_actions(shard, actions);
+        r
+    }
+
+    /// Route one shard's actions: sends to the per-peer writers, shard
+    /// deliveries and frontier advances through the aggregator (which
+    /// orders the resulting node-level events), suspicion into the
+    /// deduplicating per-peer counts.
+    fn process_shard_actions(&self, shard: u16, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    if let Some(tx) = self.senders.lock().get(&to) {
+                        let _ = tx.send((shard, msg)); // writer gone => shutting down
+                    }
+                }
+                Action::Deliver {
+                    origin, payload, ..
+                } => {
+                    let mut agg = self.agg.lock();
+                    let (ready, out) = agg
+                        .frontier
+                        .on_shard_deliver(shard, origin, &payload)
+                        .expect("sharded payload carried no global-sequence header");
+                    for (global, app_payload) in ready {
+                        let _ = self.event_tx.send(NodeEvent::Deliver {
+                            origin,
+                            seq: global,
+                            payload: app_payload,
+                        });
+                    }
+                    self.apply_agg(out);
+                }
+                Action::Frontier(update) => {
+                    let now = self.now_nanos();
+                    let mut agg = self.agg.lock();
+                    if update.stream == self.me {
+                        if let Some(t) = &self.telemetry {
+                            agg.record_shard_stability(t.registry(), self.me, shard, &update, now);
+                        }
+                    }
+                    let out = agg.frontier.on_shard_frontier(shard, &update);
+                    self.apply_agg(out);
+                }
+                // Shard-level waits are never created; node-level waits
+                // live in the aggregator.
+                Action::WaitDone { .. } => {}
+                Action::Suspected { node } => {
+                    self.suspects.lock()[node.0 as usize] += 1;
+                }
+                Action::Recovered { node } => {
+                    let mut counts = self.suspects.lock();
+                    let c = &mut counts[node.0 as usize];
+                    *c = c.saturating_sub(1);
+                }
+                // Shards hold identical predicates, so auto-exclusion
+                // breaks them in lockstep; like the unsharded runtime
+                // this surfaces through monitor silence.
+                Action::PredicateBroken { .. } => {}
+            }
+        }
+    }
+
+    /// Emit aggregated events. Called with the aggregator lock held so
+    /// the dispatcher sees node-level events in a single global order;
+    /// `completed` and the condvar are leaf locks.
+    fn apply_agg(&self, out: stabilizer_shard::AggOutput) {
+        for update in out.updates {
+            let _ = self.event_tx.send(NodeEvent::Frontier(update));
+        }
+        if !out.completed.is_empty() {
+            let mut done = self.completed.lock();
+            for token in out.completed {
+                done.insert(token);
+            }
+            self.completed_cv.notify_all();
+        }
+    }
+
+    /// Stop all runtime threads (idempotent).
+    fn shutdown(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.senders.lock().clear(); // disconnect writer channels
+    }
+}
+
+/// A sharded node running on the TCP runtime. Dropping it does not stop
+/// the node; call [`ShardedHandle::shutdown`].
+pub struct ShardedTcpNode {
+    handle: ShardedHandle,
+}
+
+impl ShardedTcpNode {
+    /// The application handle.
+    pub fn handle(&self) -> ShardedHandle {
+        self.handle.clone()
+    }
+}
+
+/// Extra knobs for [`spawn_sharded_node`].
+pub struct ShardedSpawnOptions {
+    /// Publish routing policy.
+    pub policy: RoutePolicy,
+    /// Telemetry hub: registers this node's transport counters, the
+    /// per-shard gauges/histograms, and node-level latency histograms
+    /// (delivery and frontier upcalls feed a
+    /// [`MetricsObserver`] on the dispatcher thread).
+    pub telemetry: Option<Arc<Telemetry>>,
+    /// Seed for reconnect backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for ShardedSpawnOptions {
+    fn default() -> Self {
+        ShardedSpawnOptions {
+            policy: RoutePolicy::RoundRobin,
+            telemetry: None,
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Launch sharded node `me` of `cfg` (`cfg.options().shards` shards),
+/// listening on `listener` and connecting out to every peer.
+///
+/// # Errors
+///
+/// Fails if a configured predicate does not compile.
+pub fn spawn_sharded_node(
+    cfg: ClusterConfig,
+    me: NodeId,
+    acks: Arc<AckTypeRegistry>,
+    listener: TcpListener,
+    peer_addrs: Vec<(NodeId, SocketAddr)>,
+    opts: ShardedSpawnOptions,
+) -> Result<ShardedTcpNode, CoreError> {
+    let num_shards = cfg.options().shards.max(1);
+    // Shard machines carry the 8-byte global header on every payload;
+    // widen their cap so the application-visible cap is unchanged.
+    let mut inner_opts = cfg.options().clone();
+    inner_opts.max_payload_bytes += GLOBAL_HEADER;
+    let inner_cfg = cfg.clone().with_options(inner_opts);
+    let mut shards = Vec::with_capacity(num_shards as usize);
+    for _ in 0..num_shards {
+        shards.push(Mutex::new(StabilizerNode::new(
+            inner_cfg.clone(),
+            me,
+            Arc::clone(&acks),
+        )?));
+    }
+    let mut frontier = ShardedFrontier::new(cfg.num_nodes(), num_shards as usize);
+    for (key, _) in cfg.predicates() {
+        frontier.ensure_key(me, key);
+    }
+
+    let metrics = opts
+        .telemetry
+        .as_ref()
+        .map(|t| TransportMetrics::new(t, me));
+    let shard_gauges = match &opts.telemetry {
+        Some(t) => (0..num_shards)
+            .map(|s| ShardGauges::new(t, me, s))
+            .collect(),
+        None => Vec::new(),
+    };
+    let observer = opts.telemetry.as_ref().map(|t| t.observer(me));
+
+    let (event_tx, event_rx) = unbounded::<NodeEvent>();
+    let mut shard_txs = Vec::with_capacity(num_shards as usize);
+    let mut shard_rxs = Vec::with_capacity(num_shards as usize);
+    for _ in 0..num_shards {
+        let (tx, rx) = unbounded::<(NodeId, WireMsg)>();
+        shard_txs.push(tx);
+        shard_rxs.push(rx);
+    }
+
+    let shared = Arc::new(ShardedShared {
+        me,
+        num_shards,
+        shards,
+        agg: Mutex::new(AggState {
+            frontier,
+            stamps: Vec::new(),
+            covered: HashMap::new(),
+            hists: HashMap::new(),
+        }),
+        publish: Mutex::new(PublishState {
+            router: ShardRouter::new(num_shards, opts.policy),
+            next_global: 0,
+        }),
+        completed: Mutex::new(HashSet::new()),
+        completed_cv: Condvar::new(),
+        monitors: Mutex::new(HashMap::new()),
+        deliver_fns: Mutex::new(Vec::new()),
+        senders: Mutex::new(HashMap::new()),
+        shard_txs,
+        event_tx,
+        suspects: Mutex::new(vec![0; cfg.num_nodes()]),
+        running: AtomicBool::new(true),
+        started: Instant::now(),
+        telemetry: opts.telemetry,
+        metrics,
+        shard_gauges,
+        cfg,
+    });
+    let retry_limit = shared.cfg.options().connect_retry_limit;
+
+    // Dispatcher thread: application callbacks, outside every lock.
+    {
+        let shared2 = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("stabs-{}-dispatch", me.0))
+            .spawn(move || dispatcher_loop(shared2, event_rx, observer))
+            .expect("spawn dispatcher");
+    }
+
+    // Worker thread per shard.
+    for (s, rx) in shard_rxs.into_iter().enumerate() {
+        let shared2 = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("stabs-{}-s{}", me.0, s))
+            .spawn(move || worker_loop(shared2, s as u16, rx))
+            .expect("spawn shard worker");
+    }
+
+    // Writer thread per peer.
+    for (peer, addr) in &peer_addrs {
+        let (tx, rx) = unbounded::<(u16, WireMsg)>();
+        shared.senders.lock().insert(*peer, tx);
+        let shared2 = Arc::clone(&shared);
+        let peer = *peer;
+        let addr = *addr;
+        let seed = link_seed(opts.jitter_seed, me.0, peer.0);
+        std::thread::Builder::new()
+            .name(format!("stabs-{}-w{}", me.0, peer.0))
+            .spawn(move || writer_loop(shared2, peer, addr, rx, retry_limit, seed))
+            .expect("spawn writer");
+    }
+
+    // Accept thread.
+    {
+        let shared2 = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("stabs-{}-accept", me.0))
+            .spawn(move || accept_loop(shared2, listener))
+            .expect("spawn acceptor");
+    }
+
+    // Ticker thread.
+    {
+        let shared2 = Arc::clone(&shared);
+        let opts = shared.cfg.options().clone();
+        std::thread::Builder::new()
+            .name(format!("stabs-{}-tick", me.0))
+            .spawn(move || ticker_loop(shared2, opts))
+            .expect("spawn ticker");
+    }
+
+    // Flush actions queued during shard construction (configured
+    // predicates can emit initial frontier updates) now that the writer
+    // channels and the dispatcher are in place.
+    for s in 0..num_shards {
+        shared.with_shard(s, |_| ());
+    }
+
+    Ok(ShardedTcpNode {
+        handle: ShardedHandle { shared },
+    })
+}
+
+/// Launch an in-process sharded cluster on localhost, one runtime per
+/// topology node, all with the same routing policy.
+///
+/// # Errors
+///
+/// Propagates listener-bind and predicate-compile failures.
+pub fn spawn_sharded_local_cluster(
+    cfg: &ClusterConfig,
+    policy: RoutePolicy,
+) -> Result<Vec<ShardedTcpNode>, CoreError> {
+    spawn_sharded_local_cluster_with(cfg, policy, None)
+}
+
+/// [`spawn_sharded_local_cluster`] with a shared telemetry hub.
+///
+/// # Errors
+///
+/// Propagates listener-bind and predicate-compile failures.
+pub fn spawn_sharded_local_cluster_with(
+    cfg: &ClusterConfig,
+    policy: RoutePolicy,
+    telemetry: Option<Arc<Telemetry>>,
+) -> Result<Vec<ShardedTcpNode>, CoreError> {
+    let n = cfg.num_nodes();
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| CoreError::Config(format!("bind: {e}")))?;
+        addrs.push(
+            l.local_addr()
+                .map_err(|e| CoreError::Config(format!("addr: {e}")))?,
+        );
+        listeners.push(l);
+    }
+    let acks = Arc::new(AckTypeRegistry::new());
+    let mut nodes = Vec::with_capacity(n);
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let peer_addrs: Vec<(NodeId, SocketAddr)> = (0..n)
+            .filter(|j| *j != i)
+            .map(|j| (NodeId(j as u16), addrs[j]))
+            .collect();
+        nodes.push(spawn_sharded_node(
+            cfg.clone(),
+            NodeId(i as u16),
+            Arc::clone(&acks),
+            listener,
+            peer_addrs,
+            ShardedSpawnOptions {
+                policy,
+                telemetry: telemetry.clone(),
+                jitter_seed: i as u64,
+            },
+        )?);
+    }
+    Ok(nodes)
+}
+
+/// Handle to a sharded node: the [`NodeHandle`](crate::NodeHandle) API
+/// surface over S shards, with global sequence numbers throughout.
+///
+/// Cloning is cheap; all clones talk to the same node.
+#[derive(Clone)]
+pub struct ShardedHandle {
+    shared: Arc<ShardedShared>,
+}
+
+impl ShardedHandle {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.shared.me
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u16 {
+        self.shared.num_shards
+    }
+
+    /// Publish on this node's stream (round-robin routed); returns the
+    /// **global** sequence number. Retries transparently on send-buffer
+    /// backpressure until `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WouldBlock`] if the routed shard's buffer stayed
+    /// full for the whole timeout, or [`CoreError::PayloadTooLarge`].
+    pub fn publish(&self, payload: Bytes, timeout: Duration) -> Result<SeqNo, CoreError> {
+        self.publish_routed(payload, None, timeout)
+    }
+
+    /// [`ShardedHandle::publish`] with a routing key: under
+    /// [`RoutePolicy::KeyHash`] all publishes sharing `key` land on one
+    /// shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedHandle::publish`].
+    pub fn publish_with_key(
+        &self,
+        payload: Bytes,
+        key: &[u8],
+        timeout: Duration,
+    ) -> Result<SeqNo, CoreError> {
+        self.publish_routed(payload, Some(key), timeout)
+    }
+
+    fn publish_routed(
+        &self,
+        payload: Bytes,
+        key: Option<&[u8]>,
+        timeout: Duration,
+    ) -> Result<SeqNo, CoreError> {
+        let max = self.shared.cfg.options().max_payload_bytes;
+        if payload.len() > max {
+            return Err(CoreError::PayloadTooLarge {
+                size: payload.len(),
+                max,
+            });
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.try_publish(&payload, key) {
+                Err(CoreError::WouldBlock { .. }) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn try_publish(&self, payload: &Bytes, key: Option<&[u8]>) -> Result<SeqNo, CoreError> {
+        let sh = &self.shared;
+        let mut pubst = sh.publish.lock();
+        let shard = pubst.router.route(key);
+        let global = pubst.next_global + 1;
+        let framed = encode_global(global, payload);
+        let (result, actions) = {
+            let mut node = sh.shards[shard as usize].lock();
+            let r = node.publish(framed);
+            (r, node.take_actions())
+        };
+        match result {
+            Ok(_shard_seq) => {
+                pubst.next_global = global;
+                {
+                    let mut agg = sh.agg.lock();
+                    if let Some(t) = &sh.telemetry {
+                        let slot = (global - 1) as usize;
+                        if agg.stamps.len() <= slot {
+                            agg.stamps.resize(slot + 1, 0);
+                        }
+                        agg.stamps[slot] = sh.now_nanos() + 1;
+                        t.note_publish_now(sh.me, global, payload.len());
+                    }
+                    let out = agg.frontier.learn_mapping(sh.me, shard, global);
+                    sh.apply_agg(out);
+                }
+                // Still under the publish lock: enqueuing the Send here
+                // keeps same-shard Data frames in sequence order on the
+                // writer channel even with concurrent publishers.
+                sh.process_shard_actions(shard, actions);
+                Ok(global)
+            }
+            Err(e) => {
+                // Only keyless (round-robin) routes advanced the cursor.
+                if key.is_none() || pubst.router.policy() == RoutePolicy::RoundRobin {
+                    pubst.router.rollback_last();
+                }
+                drop(pubst);
+                sh.process_shard_actions(shard, actions);
+                Err(e)
+            }
+        }
+    }
+
+    /// Highest global sequence number published locally.
+    pub fn last_published(&self) -> SeqNo {
+        self.shared.publish.lock().next_global
+    }
+
+    /// Register a predicate for `stream` under `key` on every shard and
+    /// make the aggregated key queryable.
+    ///
+    /// # Errors
+    ///
+    /// DSL compile errors (deterministic, so no shard registers when the
+    /// first fails).
+    pub fn register_predicate(
+        &self,
+        stream: NodeId,
+        key: &str,
+        source: &str,
+    ) -> Result<(), CoreError> {
+        for s in 0..self.shared.num_shards {
+            self.shared
+                .with_shard(s, |n| n.register_predicate(stream, key, source))?;
+        }
+        self.shared.agg.lock().frontier.ensure_key(stream, key);
+        self.sync_key(stream, key);
+        Ok(())
+    }
+
+    /// Replace the predicate under `key` on every shard, bumping the
+    /// generation everywhere in lockstep.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownPredicate`] or a DSL compile error.
+    pub fn change_predicate(
+        &self,
+        stream: NodeId,
+        key: &str,
+        source: &str,
+    ) -> Result<(), CoreError> {
+        for s in 0..self.shared.num_shards {
+            self.shared
+                .with_shard(s, |n| n.change_predicate(stream, key, source))?;
+        }
+        self.sync_key(stream, key);
+        Ok(())
+    }
+
+    /// Push each shard's current `(frontier, generation)` for
+    /// `(stream, key)` into the aggregator, so the aggregate adopts a
+    /// new generation even on shards whose frontier starts at zero
+    /// (which emit no update action).
+    fn sync_key(&self, stream: NodeId, key: &str) {
+        for s in 0..self.shared.num_shards {
+            let f = self.shared.shards[s as usize]
+                .lock()
+                .stability_frontier(stream, key);
+            if let Some((seq, generation)) = f {
+                let mut agg = self.shared.agg.lock();
+                let out = agg.frontier.on_shard_frontier(
+                    s,
+                    &FrontierUpdate {
+                        stream,
+                        key: key.to_owned(),
+                        seq,
+                        generation,
+                    },
+                );
+                self.shared.apply_agg(out);
+            }
+        }
+    }
+
+    /// Current aggregated `(frontier, generation)` of a predicate, in
+    /// global sequence numbers.
+    pub fn stability_frontier(&self, stream: NodeId, key: &str) -> Option<(SeqNo, u32)> {
+        self.shared.agg.lock().frontier.frontier(stream, key)
+    }
+
+    /// Block until the aggregated frontier of `(stream, key)` reaches
+    /// the global sequence `seq`, or `timeout` elapses; `true` on
+    /// success.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownPredicate`] for an unregistered key.
+    pub fn waitfor(
+        &self,
+        stream: NodeId,
+        key: &str,
+        seq: SeqNo,
+        timeout: Duration,
+    ) -> Result<bool, CoreError> {
+        let token = {
+            let mut agg = self.shared.agg.lock();
+            let (token, out) = agg.frontier.waitfor(stream, key, seq)?;
+            self.shared.apply_agg(out);
+            token
+        };
+        let deadline = Instant::now() + timeout;
+        let mut done = self.shared.completed.lock();
+        loop {
+            if done.remove(&token) {
+                return Ok(true);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(false);
+            }
+            self.shared.completed_cv.wait_for(&mut done, deadline - now);
+        }
+    }
+
+    /// Register `lambda` to run on every **aggregated** frontier advance
+    /// of `(stream, key)`.
+    pub fn monitor_stability_frontier(
+        &self,
+        stream: NodeId,
+        key: &str,
+        lambda: impl FnMut(&FrontierUpdate) + Send + 'static,
+    ) {
+        self.shared
+            .monitors
+            .lock()
+            .entry((stream, key.to_owned()))
+            .or_default()
+            .push(Box::new(lambda));
+    }
+
+    /// Register a delivery upcall; payloads arrive in **global** FIFO
+    /// order per origin, header already stripped.
+    pub fn on_deliver(&self, f: impl FnMut(NodeId, SeqNo, &Bytes) + Send + 'static) {
+        self.shared.deliver_fns.lock().push(Box::new(f));
+    }
+
+    /// Register an application-defined stability level on every shard
+    /// (the shared registry deduplicates by name).
+    pub fn register_ack_type(&self, name: &str) -> AckTypeId {
+        let mut ty = AckTypeId(0);
+        for s in 0..self.shared.num_shards {
+            ty = self.shared.with_shard(s, |n| n.register_ack_type(name));
+        }
+        ty
+    }
+
+    /// Report stability level `ty` for `stream` up to the **global**
+    /// sequence `seq`, translated into per-shard sequence numbers
+    /// through the mapping learned so far.
+    pub fn report_stability(&self, stream: NodeId, ty: AckTypeId, seq: SeqNo) {
+        let progress: Vec<SeqNo> = {
+            let agg = self.shared.agg.lock();
+            (0..self.shared.num_shards)
+                .map(|s| agg.frontier.shard_progress(stream, s, seq))
+                .collect()
+        };
+        for (s, p) in progress.into_iter().enumerate() {
+            if p > 0 {
+                self.shared
+                    .with_shard(s as u16, |n| n.report_stability(stream, ty, p));
+            }
+        }
+    }
+
+    /// Highest global sequence of `origin` delivered to the application.
+    pub fn delivered_global(&self, origin: NodeId) -> SeqNo {
+        self.shared.agg.lock().frontier.delivered_global(origin)
+    }
+
+    /// Node-level waits still blocked.
+    pub fn pending_waiters(&self) -> usize {
+        self.shared.agg.lock().frontier.pending_waiters()
+    }
+
+    /// Whether any shard's failure detector currently suspects `node`.
+    pub fn is_suspected(&self, node: NodeId) -> bool {
+        self.shared.suspects.lock()[node.0 as usize] > 0
+    }
+
+    /// Traffic counters summed across shards (`data_bytes_sent` includes
+    /// the 8-byte global header each sharded payload carries).
+    pub fn metrics(&self) -> Metrics {
+        let mut total = Metrics::default();
+        for s in &self.shared.shards {
+            let m = s.lock().metrics();
+            total.data_msgs_sent += m.data_msgs_sent;
+            total.data_bytes_sent += m.data_bytes_sent;
+            total.control_msgs_sent += m.control_msgs_sent;
+            total.acks_sent += m.acks_sent;
+            total.deliveries += m.deliveries;
+            total.acks_received += m.acks_received;
+            total.acks_stale += m.acks_stale;
+            total.retransmits += m.retransmits;
+            total.predicate_evals += m.predicate_evals;
+            total.frontier_updates += m.frontier_updates;
+        }
+        total
+    }
+
+    /// One shard's own traffic counters.
+    pub fn shard_metrics(&self, shard: u16) -> Metrics {
+        self.shared.shards[shard as usize].lock().metrics()
+    }
+
+    /// Ask the runtime to stop its threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ShardedHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHandle")
+            .field("me", &self.shared.me)
+            .field("shards", &self.shared.num_shards)
+            .finish()
+    }
+}
+
+fn dispatcher_loop(
+    shared: Arc<ShardedShared>,
+    rx: Receiver<NodeEvent>,
+    mut observer: Option<MetricsObserver>,
+) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(event) => {
+                let now = shared.now_nanos();
+                match event {
+                    NodeEvent::Deliver {
+                        origin,
+                        seq,
+                        payload,
+                    } => {
+                        if let Some(obs) = observer.as_mut() {
+                            RuntimeObserver::on_deliver(obs, now, origin, seq, &payload);
+                        }
+                        for f in shared.deliver_fns.lock().iter_mut() {
+                            f(origin, seq, &payload);
+                        }
+                    }
+                    NodeEvent::Frontier(update) => {
+                        if let Some(obs) = observer.as_mut() {
+                            RuntimeObserver::on_frontier(obs, now, &update);
+                        }
+                        let mut monitors = shared.monitors.lock();
+                        if let Some(fns) = monitors.get_mut(&(update.stream, update.key.clone())) {
+                            for f in fns.iter_mut() {
+                                f(&update);
+                            }
+                        }
+                    }
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if !shared.running.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<ShardedShared>, shard: u16, rx: Receiver<(NodeId, WireMsg)>) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok((from, msg)) => {
+                let now = shared.now_nanos();
+                shared.with_shard(shard, |n| n.on_message(now, from, msg));
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if !shared.running.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<ShardedShared>, listener: TcpListener) {
+    listener.set_nonblocking(true).ok();
+    while shared.running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).ok();
+                let shared2 = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stabs-{}-r", shared.me.0))
+                    .spawn(move || reader_loop(shared2, stream))
+                    .expect("spawn reader");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn reader_loop(shared: Arc<ShardedShared>, stream: TcpStream) {
+    let mut reader = std::io::BufReader::new(stream);
+    // First frame must be the hello announcing the peer, on the sentinel
+    // shard index.
+    let peer = match read_shard_frame_counted(&mut reader) {
+        Ok(Some((shard, msg, _))) if shard == HELLO_SHARD => match parse_hello(&msg) {
+            Some(id) => NodeId(id),
+            None => return, // protocol violation: drop connection
+        },
+        _ => return,
+    };
+    while shared.running.load(Ordering::SeqCst) {
+        match read_shard_frame_counted(&mut reader) {
+            Ok(Some((shard, msg, wire_len))) => {
+                if let Some(m) = &shared.metrics {
+                    m.frames_in.inc();
+                    m.bytes_in.add(wire_len as u64);
+                }
+                if (shard as usize) < shared.shard_txs.len() {
+                    // Worker gone => shutting down.
+                    let _ = shared.shard_txs[shard as usize].send((peer, msg));
+                }
+                // Unknown shard index: tolerated (a peer configured with
+                // more shards), the traffic is simply not processable.
+            }
+            Ok(None) | Err(_) => return, // EOF or broken pipe
+        }
+    }
+}
+
+fn writer_loop(
+    shared: Arc<ShardedShared>,
+    peer: NodeId,
+    addr: SocketAddr,
+    rx: Receiver<(u16, WireMsg)>,
+    retry_limit: u64,
+    jitter_seed: u64,
+) {
+    let mut backoff = Backoff::new(
+        Duration::from_millis(10),
+        Duration::from_millis(500),
+        jitter_seed,
+    );
+    let mut repair_on_connect = false;
+    'reconnect: while shared.running.load(Ordering::SeqCst) {
+        let stream = match connect_with_retry(&shared, addr, &mut backoff, retry_limit) {
+            Some(s) => s,
+            None => return,
+        };
+        let mut stream = std::io::BufWriter::with_capacity(64 * 1024, stream);
+        backoff.reset();
+        if repair_on_connect {
+            if let Some(m) = &shared.metrics {
+                m.reconnects.inc();
+            }
+        }
+        match write_shard_frame(&mut stream, HELLO_SHARD, &hello(shared.me.0))
+            .and_then(|n| stream.flush().map(|()| n))
+        {
+            Ok(wire_len) => {
+                if let Some(m) = &shared.metrics {
+                    m.frames_out.inc();
+                    m.bytes_out.add(wire_len as u64);
+                }
+            }
+            Err(_) => continue 'reconnect,
+        }
+        if repair_on_connect {
+            // Repair every shard sub-stream: resend unacked data and
+            // re-announce acks, exactly as the unsharded runtime does
+            // per node.
+            for s in 0..shared.num_shards {
+                shared.with_shard(s, |n| {
+                    let from = n.recorder().get(n.me(), peer, RECEIVED) + 1;
+                    n.resend_from(peer, from);
+                    n.announce_acks_to(peer);
+                });
+            }
+        }
+        repair_on_connect = true;
+        loop {
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok((shard, msg)) => {
+                    match write_shard_frame(&mut stream, shard, &msg) {
+                        Ok(wire_len) => {
+                            if let Some(m) = &shared.metrics {
+                                m.frames_out.inc();
+                                m.bytes_out.add(wire_len as u64);
+                            }
+                        }
+                        Err(_) => continue 'reconnect,
+                    }
+                    if rx.is_empty() && stream.flush().is_err() {
+                        continue 'reconnect;
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if stream.flush().is_err() {
+                        continue 'reconnect;
+                    }
+                    if !shared.running.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    let _ = stream.flush();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Connect with capped, seeded-jitter backoff; `None` on shutdown or
+/// after `retry_limit` consecutive failures (`0` = never give up).
+fn connect_with_retry(
+    shared: &Arc<ShardedShared>,
+    addr: SocketAddr,
+    backoff: &mut Backoff,
+    retry_limit: u64,
+) -> Option<TcpStream> {
+    while shared.running.load(Ordering::SeqCst) {
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+            Ok(s) => {
+                s.set_nodelay(true).ok();
+                return Some(s);
+            }
+            Err(_) => {
+                if retry_limit > 0 && backoff.attempts() + 1 >= retry_limit {
+                    return None;
+                }
+                let delay = backoff.next_delay();
+                if let Some(m) = &shared.metrics {
+                    m.connect_attempts.inc();
+                    m.backoff_sleep_ns.add(delay.as_nanos() as u64);
+                }
+                std::thread::sleep(delay);
+            }
+        }
+    }
+    None
+}
+
+fn ticker_loop(shared: Arc<ShardedShared>, opts: stabilizer_core::Options) {
+    let mut last_flush = Instant::now();
+    let mut last_heartbeat = Instant::now();
+    let mut last_failure = Instant::now();
+    let mut last_retransmit = Instant::now();
+    let mut last_sample = Instant::now();
+    let sample_every = Duration::from_millis(20);
+    let tick = Duration::from_micros(if opts.ack_flush_micros > 0 {
+        opts.ack_flush_micros.min(1000)
+    } else {
+        1000
+    });
+    while shared.running.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        let now = Instant::now();
+        if opts.ack_flush_micros > 0
+            && now.duration_since(last_flush) >= Duration::from_micros(opts.ack_flush_micros)
+        {
+            for s in 0..shared.num_shards {
+                shared.with_shard(s, StabilizerNode::on_ack_flush);
+            }
+            last_flush = now;
+        }
+        if opts.heartbeat_millis > 0
+            && now.duration_since(last_heartbeat) >= Duration::from_millis(opts.heartbeat_millis)
+        {
+            for s in 0..shared.num_shards {
+                shared.with_shard(s, StabilizerNode::on_heartbeat);
+            }
+            last_heartbeat = now;
+        }
+        if opts.failure_timeout_millis > 0
+            && now.duration_since(last_failure)
+                >= Duration::from_millis(opts.failure_timeout_millis / 2)
+        {
+            let t = shared.now_nanos();
+            for s in 0..shared.num_shards {
+                shared.with_shard(s, |n| n.on_failure_check(t));
+            }
+            last_failure = now;
+        }
+        if opts.retransmit_millis > 0
+            && now.duration_since(last_retransmit)
+                >= Duration::from_millis((opts.retransmit_millis / 2).max(1))
+        {
+            let t = shared.now_nanos();
+            for s in 0..shared.num_shards {
+                shared.with_shard(s, |n| n.on_retransmit_check(t));
+            }
+            last_retransmit = now;
+        }
+        if let Some(telemetry) = &shared.telemetry {
+            if now.duration_since(last_sample) >= sample_every {
+                let mut total = Metrics::default();
+                let mut total_buf = 0usize;
+                for s in 0..shared.num_shards as usize {
+                    let (m, buf) = {
+                        let node = shared.shards[s].lock();
+                        (node.metrics(), node.send_buffer_bytes())
+                    };
+                    if let Some(g) = shared.shard_gauges.get(s) {
+                        g.queue_depth.set(shared.shard_txs[s].len() as i64);
+                        g.send_buffer_bytes.set(buf as i64);
+                        g.data_msgs_sent.set(m.data_msgs_sent as i64);
+                        g.deliveries.set(m.deliveries as i64);
+                        g.frontier_updates.set(m.frontier_updates as i64);
+                        g.retransmits.set(m.retransmits as i64);
+                    }
+                    total.data_msgs_sent += m.data_msgs_sent;
+                    total.data_bytes_sent += m.data_bytes_sent;
+                    total.control_msgs_sent += m.control_msgs_sent;
+                    total.acks_sent += m.acks_sent;
+                    total.deliveries += m.deliveries;
+                    total.acks_received += m.acks_received;
+                    total.acks_stale += m.acks_stale;
+                    total.retransmits += m.retransmits;
+                    total.predicate_evals += m.predicate_evals;
+                    total.frontier_updates += m.frontier_updates;
+                    total_buf += buf;
+                }
+                if let Some(m) = &shared.metrics {
+                    m.send_buffer_bytes.set(total_buf as i64);
+                    m.pending_waiters
+                        .set(shared.agg.lock().frontier.pending_waiters() as i64);
+                }
+                telemetry.record_node_metrics(shared.me, &total);
+                last_sample = now;
+            }
+        }
+    }
+}

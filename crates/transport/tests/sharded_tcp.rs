@@ -1,0 +1,258 @@
+//! End-to-end tests for the sharded TCP runtime: real sockets, real
+//! threads, S shards per node, application semantics identical to the
+//! unsharded [`stabilizer_transport::NodeHandle`].
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use stabilizer_core::{NodeId, SeqNo};
+use stabilizer_shard::RoutePolicy;
+use stabilizer_transport::{spawn_sharded_local_cluster, ShardedTcpNode};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CFG: &str = "
+az East e1 e2
+az West w1
+option shards 2
+predicate AllRemote MIN($ALLWNODES-$MYWNODE)
+predicate OneRemote MAX($ALLWNODES-$MYWNODE)
+";
+
+fn cluster() -> Vec<ShardedTcpNode> {
+    let cfg = stabilizer_core::ClusterConfig::parse(CFG).expect("config parses");
+    spawn_sharded_local_cluster(&cfg, RoutePolicy::RoundRobin).expect("cluster boots")
+}
+
+fn shutdown(nodes: &[ShardedTcpNode]) {
+    for n in nodes {
+        n.handle().shutdown();
+    }
+}
+
+#[test]
+fn publish_waitfor_roundtrip_across_shards() {
+    let nodes = cluster();
+    let h = nodes[0].handle();
+    assert_eq!(h.num_shards(), 2);
+    // Publish more messages than shards so both sub-streams carry data.
+    let mut last = 0;
+    for i in 0..6u32 {
+        last = h
+            .publish(
+                Bytes::from(format!("m{i}").into_bytes()),
+                Duration::from_secs(1),
+            )
+            .expect("publish");
+    }
+    assert_eq!(last, 6, "global sequence numbers are gapless");
+    assert!(
+        h.waitfor(NodeId(0), "AllRemote", last, Duration::from_secs(10))
+            .expect("known predicate"),
+        "aggregated frontier covers the last global publish"
+    );
+    let (frontier, _) = h.stability_frontier(NodeId(0), "AllRemote").unwrap();
+    assert!(frontier >= last);
+    shutdown(&nodes);
+}
+
+#[test]
+fn deliveries_reach_mirrors_in_global_fifo_order() {
+    let nodes = cluster();
+    let log: Arc<Mutex<Vec<SeqNo>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let log = Arc::clone(&log);
+        nodes[2].handle().on_deliver(move |origin, seq, payload| {
+            assert_eq!(origin, NodeId(0));
+            assert_eq!(payload, &Bytes::from(format!("p{seq}").into_bytes()));
+            log.lock().push(seq);
+        });
+    }
+    let h = nodes[0].handle();
+    let mut last = 0;
+    for i in 1..=50u64 {
+        last = h
+            .publish(
+                Bytes::from(format!("p{i}").into_bytes()),
+                Duration::from_secs(1),
+            )
+            .expect("publish");
+    }
+    assert!(h
+        .waitfor(NodeId(0), "AllRemote", last, Duration::from_secs(10))
+        .unwrap());
+    // Deliveries are asynchronous upcalls; give the dispatcher a moment.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while log.lock().len() < 50 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let seqs = log.lock().clone();
+    assert_eq!(
+        seqs,
+        (1..=50).collect::<Vec<SeqNo>>(),
+        "global FIFO order despite round-robin sharding"
+    );
+    assert_eq!(nodes[2].handle().delivered_global(NodeId(0)), 50);
+    shutdown(&nodes);
+}
+
+#[test]
+fn concurrent_publishers_get_gapless_globals() {
+    let nodes = cluster();
+    let h = nodes[0].handle();
+    let mut seen: Vec<SeqNo> = Vec::new();
+    let mut joins = Vec::new();
+    for _ in 0..4 {
+        let h = h.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut mine = Vec::new();
+            for _ in 0..25 {
+                mine.push(
+                    h.publish(Bytes::from_static(b"x"), Duration::from_secs(5))
+                        .expect("publish"),
+                );
+            }
+            mine
+        }));
+    }
+    for j in joins {
+        seen.extend(j.join().expect("publisher thread"));
+    }
+    seen.sort_unstable();
+    assert_eq!(
+        seen,
+        (1..=100).collect::<Vec<SeqNo>>(),
+        "4 threads x 25 publishes produce globals 1..=100 with no gap or dup"
+    );
+    assert!(h
+        .waitfor(NodeId(0), "AllRemote", 100, Duration::from_secs(10))
+        .unwrap());
+    shutdown(&nodes);
+}
+
+#[test]
+fn monitor_fires_monotonically_on_aggregate() {
+    let nodes = cluster();
+    let h = nodes[0].handle();
+    let seqs: Arc<Mutex<Vec<SeqNo>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let seqs = Arc::clone(&seqs);
+        h.monitor_stability_frontier(NodeId(0), "OneRemote", move |u| {
+            seqs.lock().push(u.seq);
+        });
+    }
+    let mut last = 0;
+    for _ in 0..10 {
+        last = h
+            .publish(Bytes::from_static(b"tick"), Duration::from_secs(1))
+            .expect("publish");
+    }
+    assert!(h
+        .waitfor(NodeId(0), "OneRemote", last, Duration::from_secs(10))
+        .unwrap());
+    // Monitors run on the dispatcher thread; wait for the tail event.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while seqs.lock().last().copied() != Some(last) && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let seqs = seqs.lock().clone();
+    assert!(!seqs.is_empty(), "monitor fired");
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "aggregated frontier advances strictly monotonically: {seqs:?}"
+    );
+    assert_eq!(seqs.last().copied(), Some(last));
+    shutdown(&nodes);
+}
+
+#[test]
+fn key_hash_routing_and_remote_stream_watching() {
+    let cfg = stabilizer_core::ClusterConfig::parse(CFG).expect("config parses");
+    let nodes = spawn_sharded_local_cluster(&cfg, RoutePolicy::KeyHash).expect("cluster boots");
+    let origin = nodes[0].handle();
+    let mirror = nodes[2].handle();
+    // A mirror registering a predicate over the origin's stream sees the
+    // aggregated frontier in global terms.
+    mirror
+        .register_predicate(NodeId(0), "mine", "MAX($3)")
+        .expect("remote predicate registers");
+    let mut last = 0;
+    for i in 0..8u32 {
+        // Two alternating keys: each key's messages stay on one shard.
+        let key = if i % 2 == 0 {
+            b"alpha".as_ref()
+        } else {
+            b"beta".as_ref()
+        };
+        last = origin
+            .publish_with_key(
+                Bytes::from(format!("k{i}").into_bytes()),
+                key,
+                Duration::from_secs(1),
+            )
+            .expect("publish");
+    }
+    assert_eq!(last, 8);
+    assert!(mirror
+        .waitfor(NodeId(0), "mine", last, Duration::from_secs(10))
+        .expect("registered key"));
+    shutdown(&nodes);
+}
+
+#[test]
+fn change_predicate_bumps_generation_everywhere() {
+    let nodes = cluster();
+    let h = nodes[0].handle();
+    let seq = h
+        .publish(Bytes::from_static(b"gen"), Duration::from_secs(1))
+        .expect("publish");
+    assert!(h
+        .waitfor(NodeId(0), "AllRemote", seq, Duration::from_secs(10))
+        .unwrap());
+    let (_, gen_before) = h.stability_frontier(NodeId(0), "AllRemote").unwrap();
+    h.change_predicate(NodeId(0), "AllRemote", "MAX($ALLWNODES-$MYWNODE)")
+        .expect("change predicate");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let (_, generation) = h.stability_frontier(NodeId(0), "AllRemote").unwrap();
+        if generation > gen_before {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "aggregate adopted the new generation"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The relaxed predicate still covers new publishes.
+    let seq = h
+        .publish(Bytes::from_static(b"gen2"), Duration::from_secs(1))
+        .expect("publish");
+    assert!(h
+        .waitfor(NodeId(0), "AllRemote", seq, Duration::from_secs(10))
+        .unwrap());
+    shutdown(&nodes);
+}
+
+#[test]
+fn single_shard_matches_unsharded_semantics() {
+    let cfg = stabilizer_core::ClusterConfig::parse(
+        "
+az East e1 e2
+az West w1
+predicate AllRemote MIN($ALLWNODES-$MYWNODE)
+",
+    )
+    .expect("config parses");
+    // No `option shards` line: defaults to 1 shard.
+    let nodes = spawn_sharded_local_cluster(&cfg, RoutePolicy::RoundRobin).expect("boots");
+    let h = nodes[0].handle();
+    assert_eq!(h.num_shards(), 1);
+    let seq = h
+        .publish(Bytes::from_static(b"solo"), Duration::from_secs(1))
+        .expect("publish");
+    assert_eq!(seq, 1);
+    assert!(h
+        .waitfor(NodeId(0), "AllRemote", seq, Duration::from_secs(10))
+        .unwrap());
+    shutdown(&nodes);
+}

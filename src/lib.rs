@@ -13,7 +13,8 @@
 //! | [`dsl`] | the predicate language: parser, resolver, bytecode compiler, VM |
 //! | [`netsim`] | deterministic discrete-event WAN simulator (Table I/II testbeds) |
 //! | [`core`] | the Stabilizer library: data plane, control plane, sans-IO node |
-//! | [`transport`] | threaded TCP runtime for real deployments |
+//! | [`shard`] | per-core stream shards with an aggregated stability frontier |
+//! | [`transport`] | threaded TCP runtime for real deployments (plain + sharded) |
 //! | [`kvstore`] | geo-replicated K/V store (§V-A) |
 //! | [`quorum`] | quorum replication via predicates (§IV-B) |
 //! | [`paxos`] | multi-Paxos baseline (PhxPaxos stand-in) |
@@ -31,6 +32,7 @@ pub use stabilizer_netsim as netsim;
 pub use stabilizer_paxos as paxos;
 pub use stabilizer_pubsub as pubsub;
 pub use stabilizer_quorum as quorum;
+pub use stabilizer_shard as shard;
 pub use stabilizer_transport as transport;
 
 // The most commonly used items, at the crate root.

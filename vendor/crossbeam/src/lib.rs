@@ -7,7 +7,9 @@ pub mod channel {
     //! Multi-producer channels (single-consumer in this shim — the
     //! workspace never clones receivers).
 
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
+    use std::sync::Arc;
     use std::time::Duration;
 
     /// Error returned by [`Sender::send`] when the receiver is gone.
@@ -39,12 +41,14 @@ pub mod channel {
     /// Sending half of an unbounded channel.
     pub struct Sender<T> {
         inner: mpsc::Sender<T>,
+        depth: Arc<AtomicUsize>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             Sender {
                 inner: self.inner.clone(),
+                depth: Arc::clone(&self.depth),
             }
         }
     }
@@ -52,47 +56,85 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Enqueue `value`; fails only if the receiver was dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|e| SendError(e.0))
+            self.inner.send(value).map_err(|e| SendError(e.0))?;
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+
+        /// Messages currently queued (approximate under concurrency).
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// True when no messages are queued (approximate).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     /// Receiving half of an unbounded channel.
     pub struct Receiver<T> {
         inner: mpsc::Receiver<T>,
+        depth: Arc<AtomicUsize>,
     }
 
     impl<T> Receiver<T> {
         /// Block until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner.recv().map_err(|_| RecvError)
+            let v = self.inner.recv().map_err(|_| RecvError)?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(v)
         }
 
         /// Block up to `timeout` for a message.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.inner.recv_timeout(timeout).map_err(|e| match e {
+            let v = self.inner.recv_timeout(timeout).map_err(|e| match e {
                 mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
                 mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            })?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(v)
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.inner.try_recv().map_err(|e| match e {
+            let v = self.inner.try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            })?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(v)
+        }
+
+        /// Messages currently queued (approximate under concurrency).
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// True when no messages are queued (approximate).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         /// Drain-everything iterator (blocks like `recv` between items).
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.inner.iter()
+            self.inner.iter().inspect(|_| {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+            })
         }
     }
 
     /// Create an unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        let depth = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                inner: tx,
+                depth: Arc::clone(&depth),
+            },
+            Receiver { inner: rx, depth },
+        )
     }
 
     #[cfg(test)]
@@ -105,9 +147,24 @@ pub mod channel {
             tx.send(1).unwrap();
             let tx2 = tx.clone();
             tx2.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
             assert_eq!(rx.recv(), Ok(1));
             assert_eq!(rx.try_recv(), Ok(2));
+            assert!(rx.is_empty());
             assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn depth_tracks_queue_occupancy() {
+            let (tx, rx) = unbounded();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            assert_eq!(tx.len(), 5);
+            assert_eq!(rx.iter().take(3).count(), 3);
+            assert_eq!(rx.len(), 2);
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(3));
+            assert_eq!(rx.len(), 1);
         }
 
         #[test]
