@@ -1,0 +1,230 @@
+//! Predicate dominance: a sound (incomplete) prover for "predicate A's
+//! frontier is always ≤ predicate B's frontier".
+//!
+//! A predicate is *satisfied* at sequence number `s` when its value is
+//! `≥ s`, so `val(A) ≤ val(B)` for every ACK table means satisfying A
+//! implies satisfying B — B is redundant alongside A (its frontier is
+//! simply ≥ A's at all times). The analyzer reports one direction as
+//! [`dominated-predicate`](crate::Lint::DominatedPredicate) (info) and
+//! both directions as
+//! [`equivalent-predicates`](crate::Lint::EquivalentPredicates) (warning).
+//!
+//! The prover works on *resolved, optimized* expressions, normalizing
+//! every reduction to "k-th largest" form (`KTH_MIN(k, n ops)` selects
+//! the same value as `KTH_MAX(n-k+1, ops)`), and applies three sound
+//! rules plus base cases:
+//!
+//! * **base**: `Cell(c) ≤ Cell(c)`, `Const(a) ≤ Const(b)` iff `a ≤ b`,
+//!   `Const(0) ≤ anything` (ACK counters are unsigned).
+//! * **S** (same operands): if two reductions range over the same operand
+//!   multiset, `kth_largest(k1, ops) ≤ kth_largest(k2, ops)` iff
+//!   `k1 ≥ k2`.
+//! * **L** (left): `kth_largest(k, ops) ≤ y` if at least `n-k+1`
+//!   operands are provably `≤ y` (the selected value is one of *every*
+//!   subset of that size's members... specifically at most `k-1` operands
+//!   exceed the selected value, so if `n-k+1` operands are `≤ y` one of
+//!   them is `≥` the selected value).
+//! * **R** (right): `x ≤ kth_largest(k, ops)` if at least `k` operands
+//!   are provably `≥ x` (then the k-th largest is `≥ x`).
+//!
+//! Incompleteness is fine: a missed implication just means no info-level
+//! diagnostic; a proved one is always true.
+
+use stabilizer_dsl::resolve::{Operand, ReduceKind, ResolvedExpr};
+
+/// Normalized "k-th largest" rank of a reduction (1-based).
+fn k_largest(e: &ResolvedExpr) -> usize {
+    match e.kind {
+        ReduceKind::Largest => e.k as usize,
+        ReduceKind::Smallest => e.operands.len() - e.k as usize + 1,
+    }
+}
+
+/// Multiset equality of operand lists (order-insensitive, O(n²) — operand
+/// lists are tiny).
+fn same_operands(a: &[Operand], b: &[Operand]) -> bool {
+    a.len() == b.len()
+        && a.iter().all(|x| {
+            let in_a = a.iter().filter(|y| *y == x).count();
+            let in_b = b.iter().filter(|y| *y == x).count();
+            in_a == in_b
+        })
+}
+
+/// Sound proof attempt of `val(x) ≤ val(y)` for all ACK tables.
+fn op_le(x: &Operand, y: &Operand) -> bool {
+    match (x, y) {
+        (Operand::Const(a), Operand::Const(b)) => a <= b,
+        (Operand::Const(0), _) => true,
+        (Operand::Cell(n1, t1), Operand::Cell(n2, t2)) => n1 == n2 && t1 == t2,
+        _ => {
+            if let (Operand::Nested(a), Operand::Nested(b)) = (x, y) {
+                // S rule.
+                if same_operands(&a.operands, &b.operands) && k_largest(a) >= k_largest(b) {
+                    return true;
+                }
+            }
+            // L rule: enough of x's operands are ≤ y.
+            if let Operand::Nested(a) = x {
+                let need = a.operands.len() - k_largest(a) + 1;
+                if a.operands.iter().filter(|o| op_le(o, y)).count() >= need {
+                    return true;
+                }
+            }
+            // R rule: enough of y's operands are ≥ x.
+            if let Operand::Nested(b) = y {
+                let k = k_largest(b);
+                if b.operands.iter().filter(|o| op_le(x, o)).count() >= k {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Try to prove `val(a) ≤ val(b)` for every ACK table. Sound but
+/// incomplete: `false` means "no proof found", not "not dominated".
+pub fn expr_le(a: &ResolvedExpr, b: &ResolvedExpr) -> bool {
+    op_le(&Operand::Nested(a.clone()), &Operand::Nested(b.clone()))
+}
+
+/// The provable order between two predicates' frontiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominance {
+    /// `val(a) ≤ val(b)` proved, `≥` not proved: a dominates b (a is the
+    /// stricter predicate; b is implied).
+    LeftImpliesRight,
+    /// `val(b) ≤ val(a)` proved, `≤` not proved.
+    RightImpliesLeft,
+    /// Both directions proved: identical frontiers.
+    Equivalent,
+    /// No proof in either direction.
+    Unrelated,
+}
+
+/// Compare two resolved predicates for provable frontier dominance.
+pub fn compare(a: &ResolvedExpr, b: &ResolvedExpr) -> Dominance {
+    match (expr_le(a, b), expr_le(b, a)) {
+        (true, true) => Dominance::Equivalent,
+        (true, false) => Dominance::LeftImpliesRight,
+        (false, true) => Dominance::RightImpliesLeft,
+        (false, false) => Dominance::Unrelated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabilizer_dsl::{optimize, parse, resolve, AckTypeRegistry, NodeId, Topology};
+
+    fn topo() -> Topology {
+        Topology::builder()
+            .az("A", &["a1", "a2"])
+            .az("B", &["b1", "b2"])
+            .az("C", &["c1"])
+            .build()
+            .unwrap()
+    }
+
+    fn res(src: &str) -> ResolvedExpr {
+        let acks = AckTypeRegistry::new();
+        optimize(&resolve(&parse(src).unwrap(), &topo(), &acks, NodeId(0)).unwrap()).expr
+    }
+
+    #[test]
+    fn min_le_kth_le_max_over_same_set() {
+        let min = res("MIN($ALLWNODES-$MYWNODE)");
+        let kth = res("KTH_MAX(2, $ALLWNODES-$MYWNODE)");
+        let max = res("MAX($ALLWNODES-$MYWNODE)");
+        assert!(expr_le(&min, &kth));
+        assert!(expr_le(&kth, &max));
+        assert!(expr_le(&min, &max));
+        assert!(!expr_le(&max, &min));
+        assert_eq!(compare(&min, &max), Dominance::LeftImpliesRight);
+    }
+
+    #[test]
+    fn subset_max_le_superset_max() {
+        let small = res("MAX($AZ_B)");
+        let big = res("MAX($ALLWNODES-$MYWNODE)");
+        assert_eq!(compare(&small, &big), Dominance::LeftImpliesRight);
+    }
+
+    #[test]
+    fn superset_min_le_subset_min() {
+        let big = res("MIN($ALLWNODES)");
+        let small = res("MIN($AZ_A)");
+        assert_eq!(compare(&big, &small), Dominance::LeftImpliesRight);
+    }
+
+    #[test]
+    fn equivalent_spellings_are_detected() {
+        // MIN over the whole deployment, written two ways.
+        let a = res("MIN($ALLWNODES)");
+        let b = res("KTH_MAX(5, $1, $2, $3, $4, $5)");
+        assert_eq!(compare(&a, &b), Dominance::Equivalent);
+    }
+
+    #[test]
+    fn nested_structure_proves_through() {
+        // min(max(A), max(B), max(C)) <= max over everything.
+        let a = res("MIN(MAX($AZ_A), MAX($AZ_B), MAX($AZ_C))");
+        let b = res("MAX($ALLWNODES)");
+        assert!(expr_le(&a, &b));
+        assert!(!expr_le(&b, &a));
+    }
+
+    #[test]
+    fn unrelated_sets_stay_unrelated() {
+        let a = res("MAX($AZ_A)");
+        let b = res("MAX($AZ_B)");
+        assert_eq!(compare(&a, &b), Dominance::Unrelated);
+    }
+
+    #[test]
+    fn constants_compare_numerically() {
+        let a = res("MAX(0)");
+        let b = res("MAX($ALLWNODES)");
+        assert!(expr_le(&a, &b));
+    }
+
+    #[test]
+    fn soundness_spot_check_by_evaluation() {
+        // Every proved pair must hold on a batch of concrete tables.
+        use stabilizer_dsl::{AckTypeId, AckView};
+        struct T(Vec<u64>);
+        impl AckView for T {
+            fn ack(&self, n: NodeId, _t: AckTypeId) -> u64 {
+                self.0[n.0 as usize]
+            }
+        }
+        let preds = [
+            "MIN($ALLWNODES-$MYWNODE)",
+            "KTH_MAX(2, $ALLWNODES-$MYWNODE)",
+            "MAX($ALLWNODES-$MYWNODE)",
+            "MIN(MAX($AZ_A), MAX($AZ_B), MAX($AZ_C))",
+            "MAX($AZ_B)",
+            "MIN($AZ_A)",
+            "MAX($ALLWNODES)",
+        ];
+        let tables = [
+            vec![0, 0, 0, 0, 0],
+            vec![5, 4, 3, 2, 1],
+            vec![1, 2, 3, 4, 5],
+            vec![9, 0, 9, 0, 9],
+            vec![7, 7, 7, 7, 7],
+        ];
+        for pa in &preds {
+            for pb in &preds {
+                if expr_le(&res(pa), &res(pb)) {
+                    for t in &tables {
+                        let va = stabilizer_dsl::interp::eval_resolved(&res(pa), &T(t.clone()));
+                        let vb = stabilizer_dsl::interp::eval_resolved(&res(pb), &T(t.clone()));
+                        assert!(va <= vb, "{pa} <= {pb} proved but {va} > {vb} on {t:?}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Numeric probing of compiled predicates.
+//!
+//! Some semantic properties are easiest to establish by *running* the
+//! compiled program against synthetic ACK tables rather than reasoning
+//! about the expression tree: vacuity (satisfied by the origin alone) and
+//! crash-satisfiability (still able to advance once `f` nodes are dead).
+//! Both exploit predicate monotonicity: every reduction is monotone in
+//! each ACK cell, so probing with a single "high" value `H` against zeros
+//! is conclusive — if the result is `H` (resp. `< H`) at the probe
+//! point, it is for every sequence number.
+
+use stabilizer_dsl::{AckTypeId, AckView, NodeId, Program, Topology};
+
+/// The "high watermark" used by probes; any value would do (monotonicity),
+/// but a large one keeps it visually distinct from real sequence numbers
+/// in debug output.
+pub const PROBE_HIGH: u64 = 1 << 62;
+
+/// An ACK table where a fixed node set has acknowledged everything
+/// (`PROBE_HIGH` at every ACK type) and everyone else nothing.
+struct SubsetView<'a> {
+    up: &'a [NodeId],
+}
+
+impl AckView for SubsetView<'_> {
+    fn ack(&self, node: NodeId, _ty: AckTypeId) -> u64 {
+        if self.up.contains(&node) {
+            PROBE_HIGH
+        } else {
+            0
+        }
+    }
+}
+
+/// True if the predicate is satisfied by the origin's own acknowledgment
+/// alone: with `me` at `H` and every other node at 0 the program already
+/// evaluates to `H`, so the predicate never waits for any remote node.
+pub fn is_vacuous(program: &Program, me: NodeId) -> bool {
+    program.eval(&SubsetView { up: &[me] }) == PROBE_HIGH
+}
+
+/// If some set of `failure_budget` non-origin nodes can, by crashing,
+/// permanently prevent the predicate from advancing, return the
+/// smallest-index such set. `None` means every such crash set still lets
+/// the frontier reach `H` (or the budget is 0).
+///
+/// The probe gives crashed nodes 0 at every ACK type and everyone else
+/// (including `me`) `H`; a result `< H` means the predicate needs an ACK
+/// from inside the crashed set. Note the runtime *can* recover by
+/// explicitly excluding crashed nodes (§III-E rewrites the predicate),
+/// but only when failure detection + `auto_exclude_suspects` are active;
+/// the lint flags deployments that would stall without that.
+pub fn crash_unsatisfiable(
+    program: &Program,
+    topo: &Topology,
+    me: NodeId,
+    failure_budget: usize,
+) -> Option<Vec<NodeId>> {
+    if failure_budget == 0 {
+        return None;
+    }
+    let others: Vec<NodeId> = topo.all_nodes().into_iter().filter(|n| *n != me).collect();
+    let f = failure_budget.min(others.len());
+    let mut crashed: Vec<NodeId> = Vec::with_capacity(f);
+    let mut up: Vec<NodeId> = Vec::with_capacity(others.len() + 1);
+    search_subsets(program, &others, f, 0, &mut crashed, &mut up, me)
+}
+
+/// Depth-first enumeration of `f`-subsets of `others` (lexicographic, so
+/// the reported witness is deterministic). Topologies are small (the
+/// paper deploys 8 nodes); no cap is needed below ~30 nodes with small f.
+fn search_subsets(
+    program: &Program,
+    others: &[NodeId],
+    f: usize,
+    from: usize,
+    crashed: &mut Vec<NodeId>,
+    up: &mut Vec<NodeId>,
+    me: NodeId,
+) -> Option<Vec<NodeId>> {
+    if crashed.len() == f {
+        up.clear();
+        up.push(me);
+        up.extend(others.iter().filter(|n| !crashed.contains(n)));
+        if program.eval(&SubsetView { up }) < PROBE_HIGH {
+            return Some(crashed.clone());
+        }
+        return None;
+    }
+    for i in from..others.len() {
+        crashed.push(others[i]);
+        if let Some(w) = search_subsets(program, others, f, i + 1, crashed, up, me) {
+            return Some(w);
+        }
+        crashed.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stabilizer_dsl::{AckTypeRegistry, Predicate};
+
+    fn topo() -> Topology {
+        Topology::builder()
+            .az("East", &["e1", "e2"])
+            .az("West", &["w1", "w2"])
+            .build()
+            .unwrap()
+    }
+
+    fn prog(src: &str, me: u16) -> Program {
+        let acks = AckTypeRegistry::new();
+        Predicate::compile(src, &topo(), &acks, NodeId(me))
+            .unwrap()
+            .program()
+            .clone()
+    }
+
+    #[test]
+    fn max_including_self_is_vacuous() {
+        assert!(is_vacuous(&prog("MAX($ALLWNODES)", 0), NodeId(0)));
+        assert!(is_vacuous(&prog("MAX($MYWNODE, $3)", 0), NodeId(0)));
+    }
+
+    #[test]
+    fn remote_only_predicates_are_not_vacuous() {
+        assert!(!is_vacuous(&prog("MAX($ALLWNODES-$MYWNODE)", 0), NodeId(0)));
+        assert!(!is_vacuous(&prog("MIN($ALLWNODES)", 0), NodeId(0)));
+    }
+
+    #[test]
+    fn min_of_all_remotes_dies_with_any_crash() {
+        let p = prog("MIN($ALLWNODES-$MYWNODE)", 0);
+        let w = crash_unsatisfiable(&p, &topo(), NodeId(0), 1).unwrap();
+        assert_eq!(w, vec![NodeId(1)]); // lexicographically first witness
+    }
+
+    #[test]
+    fn max_of_remotes_survives_one_crash_but_not_three() {
+        let p = prog("MAX($ALLWNODES-$MYWNODE)", 0);
+        assert!(crash_unsatisfiable(&p, &topo(), NodeId(0), 1).is_none());
+        assert!(crash_unsatisfiable(&p, &topo(), NodeId(0), 2).is_none());
+        let w = crash_unsatisfiable(&p, &topo(), NodeId(0), 3).unwrap();
+        assert_eq!(w, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn quorum_tolerates_exactly_its_slack() {
+        // KTH_MIN(2, all 4) needs 4-2+1 = 3 acks (origin included):
+        // tolerates 1 remote crash, not 2.
+        let p = prog("KTH_MIN(2, $ALLWNODES)", 0);
+        assert!(crash_unsatisfiable(&p, &topo(), NodeId(0), 1).is_none());
+        assert!(crash_unsatisfiable(&p, &topo(), NodeId(0), 2).is_some());
+    }
+
+    #[test]
+    fn zero_budget_never_fires() {
+        let p = prog("MIN($ALLWNODES-$MYWNODE)", 0);
+        assert!(crash_unsatisfiable(&p, &topo(), NodeId(0), 0).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Regression tests for the two halves of the §III-E rank story:
+//!
+//! * **Runtime**: when crash handling shrinks a `KTH_*` operand list below
+//!   the rank, `exclude_node` clamps the rank and the predicate stays
+//!   evaluable.
+//! * **Static**: the same out-of-range rank written directly in the source
+//!   is a bug (there is no crash to blame), and the analyzer surfaces it as
+//!   a `rank-out-of-range` error pointing at the rank argument.
+
+use stabilizer_analyze::{Analyzer, Lint, Severity};
+use stabilizer_dsl::{
+    compile, exclude_node, parse, resolve, AckTypeId, AckTypeRegistry, AckView, NodeId, Topology,
+};
+
+struct Uniform(u64);
+
+impl AckView for Uniform {
+    fn ack(&self, node: NodeId, _ty: AckTypeId) -> u64 {
+        // Distinct per-node values so rank selection is observable.
+        self.0 + node.0 as u64
+    }
+}
+
+fn topo(n: usize) -> Topology {
+    let names: Vec<String> = (1..=n).map(|i| format!("n{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    Topology::builder().az("A", &refs).build().unwrap()
+}
+
+#[test]
+fn runtime_crash_shrink_clamps_rank_and_stays_evaluable() {
+    let topo = topo(5);
+    let acks = AckTypeRegistry::new();
+    let src = "KTH_MIN(4, $ALLWNODES)";
+
+    // The predicate is statically fine on 5 nodes: the analyzer is clean.
+    let report = Analyzer::new(&topo, &acks, NodeId(0)).analyze("Quorum", src);
+    assert!(
+        !report.has_at_least(Severity::Error),
+        "in-range rank must not be flagged:\n{}",
+        report.render_human()
+    );
+
+    // Crash three nodes; the operand list shrinks to 2 < rank 4, so the
+    // clamp must kick in instead of producing an unsatisfiable reduction.
+    let mut resolved = resolve(&parse(src).unwrap(), &topo, &acks, NodeId(0)).unwrap();
+    for dead in [4u16, 3, 2] {
+        resolved = exclude_node(&resolved, NodeId(dead)).unwrap();
+    }
+    assert_eq!(resolved.expr.operands.len(), 2);
+    assert!(resolved.expr.k as usize <= resolved.expr.operands.len());
+
+    // Still evaluable, and KTH_MIN over survivors {n1, n2} with clamped
+    // rank 2 selects the larger of the two remaining cells.
+    let frontier = compile(&resolved).eval(&Uniform(100));
+    assert_eq!(frontier, 101);
+}
+
+#[test]
+fn static_out_of_range_rank_is_an_error_not_a_clamp() {
+    // The same rank 4 on a 3-node topology cannot be blamed on a crash:
+    // it can never be satisfied as written, so analysis rejects it rather
+    // than silently clamping.
+    let topo = topo(3);
+    let acks = AckTypeRegistry::new();
+    let report = Analyzer::new(&topo, &acks, NodeId(0)).analyze("Quorum", "KTH_MIN(4, $ALLWNODES)");
+    let diag = report
+        .diagnostics
+        .iter()
+        .find(|d| d.lint == Lint::RankOutOfRange)
+        .unwrap_or_else(|| panic!("expected rank-out-of-range:\n{}", report.render_human()));
+    assert_eq!(diag.lint.severity(), Severity::Error);
+    // The span anchors on the rank argument, not the whole call.
+    assert_eq!(
+        &"KTH_MIN(4, $ALLWNODES)"[diag.span.start..diag.span.end],
+        "4"
+    );
+}

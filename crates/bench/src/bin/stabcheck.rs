@@ -1,0 +1,204 @@
+//! `stabcheck`: static analysis for stability predicates from the
+//! command line.
+//!
+//! ```text
+//! stabcheck --config configs/fig2-ec2.cfg            # lint a deployment
+//! stabcheck --paper                                  # lint the paper's examples
+//! stabcheck -p 'KTH_MAX(9, $ALLWNODES)'              # lint ad-hoc predicates
+//! stabcheck --config c.cfg --me n3 --failure-budget 1
+//! stabcheck --config c.cfg --json                    # machine-readable output
+//! ```
+//!
+//! Predicates given with `-p` are linted against the deployment from
+//! `--config`, or the paper's Fig. 2 topology when no config is given.
+//! Exit codes: `0` clean (info-level findings allowed; warnings allowed
+//! unless `--deny-warnings`), `1` findings at the enforced level, `2`
+//! usage or I/O error.
+
+use stabilizer_analyze::{json_string, AckEmissions, Analyzer, Report, Severity};
+use stabilizer_core::ClusterConfig;
+use stabilizer_dsl::{AckTypeRegistry, NodeId, Topology};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+usage: stabcheck [options]
+  --config <FILE>        lint the predicates of a cluster config file
+  --paper                lint the paper's example predicates (Fig. 2 topology)
+  -p, --predicate <SRC>  lint an ad-hoc predicate (repeatable)
+  --me <NODE>            node to analyze at (default: first node)
+  --all-nodes            analyze at every node of the topology
+  --failure-budget <N>   crash budget for the crash-unsatisfiable lint
+  --json                 emit JSON instead of human-readable diagnostics
+  --deny-warnings        exit nonzero on warnings, not just errors
+  -h, --help             show this help";
+
+struct Args {
+    config: Option<String>,
+    paper: bool,
+    predicates: Vec<String>,
+    me: Option<String>,
+    all_nodes: bool,
+    failure_budget: Option<usize>,
+    json: bool,
+    deny_warnings: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: None,
+        paper: false,
+        predicates: Vec::new(),
+        me: None,
+        all_nodes: false,
+        failure_budget: None,
+        json: false,
+        deny_warnings: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--config" => args.config = Some(value("--config")?),
+            "--paper" => args.paper = true,
+            "-p" | "--predicate" => args.predicates.push(value("--predicate")?),
+            "--me" => args.me = Some(value("--me")?),
+            "--all-nodes" => args.all_nodes = true,
+            "--failure-budget" => {
+                let v = value("--failure-budget")?;
+                args.failure_budget =
+                    Some(v.parse().map_err(|_| format!("bad failure budget {v}"))?);
+            }
+            "--json" => args.json = true,
+            "--deny-warnings" => args.deny_warnings = true,
+            "-h" | "--help" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    if args.config.is_none() && !args.paper && args.predicates.is_empty() {
+        return Err(format!("nothing to check\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("stabcheck: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    // Assemble topology, ACK registry, emissions model, and corpus.
+    let acks = AckTypeRegistry::new();
+    let mut emissions = AckEmissions::new();
+    let mut failure_budget = 0usize;
+    let mut corpus: Vec<(String, String)> = Vec::new();
+    let topo: Arc<Topology> = if let Some(path) = &args.config {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let cfg = ClusterConfig::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        for (name, emitters) in cfg.ack_types() {
+            let ty = acks.register(name);
+            if !emitters.is_empty() {
+                let ids: Vec<NodeId> = emitters
+                    .iter()
+                    .filter_map(|n| cfg.topology().node(n))
+                    .collect();
+                emissions.restrict(ty, &ids);
+            }
+        }
+        failure_budget = cfg.options().failure_budget as usize;
+        corpus.extend(cfg.predicates().map(|(k, v)| (k.to_owned(), v.to_owned())));
+        Arc::clone(cfg.topology())
+    } else {
+        Arc::new(stabilizer_analyze::paper::fig2_topology())
+    };
+    if args.paper {
+        corpus.extend(stabilizer_analyze::paper::examples());
+    }
+    for (i, src) in args.predicates.iter().enumerate() {
+        corpus.push((format!("arg{}", i + 1), src.clone()));
+    }
+    if let Some(f) = args.failure_budget {
+        failure_budget = f;
+    }
+
+    // Which nodes to analyze at.
+    let nodes: Vec<NodeId> = if args.all_nodes {
+        topo.all_nodes()
+    } else if let Some(name) = &args.me {
+        vec![topo
+            .node(name)
+            .ok_or_else(|| format!("unknown node {name}"))?]
+    } else {
+        vec![NodeId(0)]
+    };
+
+    let mut worst: Option<Severity> = None;
+    let mut out = String::new();
+    let mut json_nodes: Vec<String> = Vec::new();
+    for me in nodes {
+        let analyzer = Analyzer::new(&topo, &acks, me)
+            .with_emissions(&emissions)
+            .with_failure_budget(failure_budget);
+        let reports = analyzer.analyze_set(&corpus);
+        for r in &reports {
+            worst = worst.max(r.worst());
+        }
+        if args.json {
+            let rendered: Vec<String> = reports.iter().map(Report::render_json).collect();
+            json_nodes.push(format!(
+                "{{\"me\":{},\"reports\":[{}]}}",
+                json_string(topo.node_name(me)),
+                rendered.join(",")
+            ));
+        } else {
+            render_node(&mut out, &topo, me, &reports);
+        }
+    }
+
+    let errors = matches!(worst, Some(Severity::Error));
+    let warnings = matches!(worst, Some(Severity::Warning));
+    let failed = errors || (warnings && args.deny_warnings);
+    if args.json {
+        println!(
+            "{{\"clean\":{},\"nodes\":[{}]}}",
+            !errors && !warnings,
+            json_nodes.join(",")
+        );
+    } else {
+        print!("{out}");
+        println!(
+            "stabcheck: {} predicate{} checked, {}",
+            corpus.len(),
+            if corpus.len() == 1 { "" } else { "s" },
+            match worst {
+                Some(Severity::Error) => "errors found",
+                Some(Severity::Warning) => "warnings found",
+                Some(Severity::Info) => "clean (info notes only)",
+                None => "clean",
+            }
+        );
+    }
+    Ok(ExitCode::from(u8::from(failed)))
+}
+
+fn render_node(out: &mut String, topo: &Topology, me: NodeId, reports: &[Report]) {
+    for r in reports {
+        if r.diagnostics.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("checking at {}:\n", topo.node_name(me)));
+        out.push_str(&r.render_human());
+    }
+}

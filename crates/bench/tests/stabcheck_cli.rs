@@ -1,0 +1,94 @@
+//! End-to-end tests of the `stabcheck` binary: exit codes and the JSON
+//! output contract.
+
+use std::process::Command;
+
+fn stabcheck(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stabcheck"))
+        .args(args)
+        .output()
+        .expect("spawn stabcheck");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8(out.stdout).unwrap(),
+        String::from_utf8(out.stderr).unwrap(),
+    )
+}
+
+#[test]
+fn paper_examples_are_clean() {
+    let (code, stdout, _) = stabcheck(&["--paper", "--deny-warnings"]);
+    assert_eq!(code, 0, "paper corpus must lint clean:\n{stdout}");
+    assert!(stdout.contains("clean"));
+}
+
+#[test]
+fn error_findings_exit_one() {
+    let (code, stdout, _) = stabcheck(&["-p", "KTH_MAX(9, $ALLWNODES)"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("rank-out-of-range"), "{stdout}");
+}
+
+#[test]
+fn warnings_gate_only_with_deny_warnings() {
+    let vacuous = "MAX($ALLWNODES)";
+    let (code, stdout, _) = stabcheck(&["-p", vacuous]);
+    assert_eq!(code, 0, "warnings pass by default:\n{stdout}");
+    assert!(stdout.contains("vacuous-predicate"));
+    let (code, _, _) = stabcheck(&["-p", vacuous, "--deny-warnings"]);
+    assert_eq!(code, 1);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let (code, _, stderr) = stabcheck(&["--frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage:"));
+    let (code, _, _) = stabcheck(&[]);
+    assert_eq!(code, 2);
+    let (code, _, stderr) = stabcheck(&["--config", "/nonexistent.cfg"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("nonexistent"));
+}
+
+#[test]
+fn me_and_failure_budget_flags_work() {
+    // OneRegion-style predicate is vacuous when linted inside a waited-on
+    // region (n3), fine at the default n1.
+    let one_region = "MAX(MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))";
+    let (code, _, _) = stabcheck(&["-p", one_region, "--deny-warnings"]);
+    assert_eq!(code, 0);
+    let (code, stdout, _) = stabcheck(&["-p", one_region, "--me", "n3", "--deny-warnings"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("vacuous-predicate"), "{stdout}");
+    // MIN over all remotes stalls if any single node crashes.
+    let fragile = "MIN($ALLWNODES-$MYWNODE)";
+    let (code, _, _) = stabcheck(&["-p", fragile, "--deny-warnings"]);
+    assert_eq!(code, 0);
+    let (code, stdout, _) = stabcheck(&["-p", fragile, "--failure-budget", "1", "--deny-warnings"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("crash-unsatisfiable"), "{stdout}");
+}
+
+#[test]
+fn json_output_has_the_documented_shape() {
+    let (code, stdout, _) = stabcheck(&["-p", "KTH_MAX(9, $ALLWNODES)", "--json"]);
+    assert_eq!(code, 1);
+    let line = stdout.trim();
+    assert!(line.starts_with("{\"clean\":false,\"nodes\":["), "{line}");
+    for needle in [
+        "\"me\":\"n1\"",
+        "\"reports\":[",
+        "\"lint\":\"rank-out-of-range\"",
+        "\"severity\":\"error\"",
+        "\"line\":1",
+        "\"column\":9",
+    ] {
+        assert!(line.contains(needle), "missing {needle} in {line}");
+    }
+    // Clean run: clean:true and no stray human prose on stdout.
+    let (code, stdout, _) = stabcheck(&["--paper", "--json"]);
+    assert_eq!(code, 0);
+    assert!(stdout.trim().starts_with("{\"clean\":true,"));
+    assert!(!stdout.contains("checking at"));
+}

@@ -12,13 +12,31 @@
 //! az North_California n1 n2
 //! az North_Virginia n3 n4 n5 n6
 //! predicate AllWNodes MIN($ALLWNODES-$MYWNODE)
+//! acktype verified n1 n2
 //! option ack_flush_micros 500
+//! option analysis deny
 //! ```
 
 use crate::error::CoreError;
 use stabilizer_dsl::{NodeId, Topology};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// What a node does with static-analysis findings when a predicate is
+/// installed (`register_predicate` / `change_predicate`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisMode {
+    /// Skip analysis entirely.
+    Off,
+    /// Run the analyzer and record its findings (retrievable via
+    /// `StabilizerNode::analysis_report`), but install the predicate
+    /// regardless.
+    #[default]
+    Warn,
+    /// Reject installation of any predicate with error- or warning-level
+    /// findings (info-level findings still install).
+    Deny,
+}
 
 /// Tunable per-node options.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +88,13 @@ pub struct Options {
     /// over shards. `1` (default) keeps the paper's single-stream data
     /// plane.
     pub shards: u16,
+    /// Static-analysis enforcement at predicate-install time.
+    pub analysis: AnalysisMode,
+    /// Crash budget `f` assumed by the `crash-unsatisfiable` lint: the
+    /// analyzer flags predicates that some set of `f` simultaneous
+    /// non-origin crashes would stall forever (absent the §III-E
+    /// exclusion rewrite). `0` (default) disables the check.
+    pub failure_budget: u64,
 }
 
 impl Options {
@@ -126,6 +151,18 @@ impl Options {
         self.shards = v.max(1);
         self
     }
+
+    /// Set the static-analysis enforcement mode.
+    pub fn analysis(mut self, v: AnalysisMode) -> Self {
+        self.analysis = v;
+        self
+    }
+
+    /// Set the crash budget assumed by the `crash-unsatisfiable` lint.
+    pub fn failure_budget(mut self, v: u64) -> Self {
+        self.failure_budget = v;
+        self
+    }
 }
 
 impl Default for Options {
@@ -140,6 +177,8 @@ impl Default for Options {
             retransmit_millis: 0,
             connect_retry_limit: 0,
             shards: 1,
+            analysis: AnalysisMode::default(),
+            failure_budget: 0,
         }
     }
 }
@@ -150,6 +189,7 @@ impl Default for Options {
 pub struct ClusterConfig {
     topology: Arc<Topology>,
     predicates: BTreeMap<String, String>,
+    ack_types: Vec<(String, Vec<String>)>,
     options: Options,
 }
 
@@ -159,6 +199,7 @@ impl ClusterConfig {
         ClusterConfig {
             topology: Arc::new(topology),
             predicates: BTreeMap::new(),
+            ack_types: Vec::new(),
             options: Options::default(),
         }
     }
@@ -166,6 +207,18 @@ impl ClusterConfig {
     /// Add a predicate to be registered at startup.
     pub fn with_predicate(mut self, key: &str, source: &str) -> Self {
         self.predicates.insert(key.to_owned(), source.to_owned());
+        self
+    }
+
+    /// Declare an application ACK type registered at startup. A non-empty
+    /// `emitters` list restricts which nodes ever bump the type (feeding
+    /// the analyzer's `unemitted-ack-type` lint); empty means every node
+    /// emits it.
+    pub fn with_ack_type(mut self, name: &str, emitters: &[&str]) -> Self {
+        self.ack_types.push((
+            name.to_owned(),
+            emitters.iter().map(|s| (*s).to_owned()).collect(),
+        ));
         self
     }
 
@@ -185,6 +238,12 @@ impl ClusterConfig {
         self.predicates
             .iter()
             .map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Declared application ACK types as `(name, emitter-names)` pairs, in
+    /// declaration order. An empty emitter list means unrestricted.
+    pub fn ack_types(&self) -> &[(String, Vec<String>)] {
+        &self.ack_types
     }
 
     /// Node options.
@@ -207,6 +266,7 @@ impl ClusterConfig {
     pub fn parse(text: &str) -> Result<Self, CoreError> {
         let mut builder = Topology::builder();
         let mut predicates = BTreeMap::new();
+        let mut ack_types: Vec<(String, Vec<String>)> = Vec::new();
         let mut options = Options::default();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -234,6 +294,16 @@ impl ClusterConfig {
                         return Err(err(format!("predicate {key} has no body")));
                     }
                     predicates.insert(key.to_owned(), rest.join(" "));
+                }
+                "acktype" => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err("acktype needs a name".into()))?;
+                    if ack_types.iter().any(|(n, _)| n == name) {
+                        return Err(err(format!("duplicate acktype {name}")));
+                    }
+                    let emitters: Vec<String> = parts.map(str::to_owned).collect();
+                    ack_types.push((name.to_owned(), emitters));
                 }
                 "option" => {
                     let key = parts
@@ -270,6 +340,19 @@ impl ClusterConfig {
                                 _ => return Err(err(format!("option {key}: expected true/false"))),
                             }
                         }
+                        "analysis" => {
+                            options.analysis = match val {
+                                "off" => AnalysisMode::Off,
+                                "warn" => AnalysisMode::Warn,
+                                "deny" => AnalysisMode::Deny,
+                                _ => {
+                                    return Err(err(format!(
+                                        "option {key}: expected off/warn/deny"
+                                    )))
+                                }
+                            }
+                        }
+                        "failure_budget" => options.failure_budget = parse_u64(val)?,
                         other => return Err(err(format!("unknown option {other}"))),
                     }
                 }
@@ -279,9 +362,19 @@ impl ClusterConfig {
         let topology = builder
             .build()
             .map_err(|e| CoreError::Config(e.to_string()))?;
+        for (name, emitters) in &ack_types {
+            for node in emitters {
+                if topology.node(node).is_none() {
+                    return Err(CoreError::Config(format!(
+                        "acktype {name}: unknown node {node}"
+                    )));
+                }
+            }
+        }
         Ok(ClusterConfig {
             topology: Arc::new(topology),
             predicates,
+            ack_types,
             options,
         })
     }
@@ -348,6 +441,35 @@ option auto_exclude_suspects true
         let cfg = ClusterConfig::parse("az A x\noption shards 4").unwrap();
         assert_eq!(cfg.options().shards, 4);
         assert_eq!(Options::default().shards(0).shards, 1, "clamped");
+    }
+
+    #[test]
+    fn analysis_and_failure_budget_options_parse() {
+        let cfg = ClusterConfig::parse("az A x y").unwrap();
+        assert_eq!(cfg.options().analysis, AnalysisMode::Warn);
+        assert_eq!(cfg.options().failure_budget, 0);
+        let cfg = ClusterConfig::parse("az A x y\noption analysis deny\noption failure_budget 2")
+            .unwrap();
+        assert_eq!(cfg.options().analysis, AnalysisMode::Deny);
+        assert_eq!(cfg.options().failure_budget, 2);
+        let cfg = ClusterConfig::parse("az A x y\noption analysis off").unwrap();
+        assert_eq!(cfg.options().analysis, AnalysisMode::Off);
+        assert!(ClusterConfig::parse("az A x y\noption analysis always").is_err());
+    }
+
+    #[test]
+    fn acktype_directive_parses_and_validates_nodes() {
+        let cfg = ClusterConfig::parse("az A x y\nacktype verified x\nacktype audit").unwrap();
+        assert_eq!(
+            cfg.ack_types(),
+            &[
+                ("verified".to_string(), vec!["x".to_string()]),
+                ("audit".to_string(), vec![]),
+            ]
+        );
+        assert!(ClusterConfig::parse("az A x y\nacktype verified ghost").is_err());
+        assert!(ClusterConfig::parse("az A x y\nacktype v\nacktype v").is_err());
+        assert!(ClusterConfig::parse("az A x y\nacktype").is_err());
     }
 
     #[test]

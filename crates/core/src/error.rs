@@ -26,6 +26,15 @@ pub enum CoreError {
         /// Configured maximum.
         max: usize,
     },
+    /// A predicate was rejected at install time by static analysis
+    /// (`option analysis deny`): it carried error- or warning-level
+    /// findings. The rendered diagnostics are included verbatim.
+    PredicateRejected {
+        /// The predicate key being installed.
+        key: String,
+        /// Human-rendered analyzer findings.
+        report: String,
+    },
     /// Reference to an unregistered predicate key.
     UnknownPredicate(String),
     /// Reference to a stream whose origin is not in the topology.
@@ -44,6 +53,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::PayloadTooLarge { size, max } => {
                 write!(f, "payload of {size} bytes exceeds maximum {max}")
+            }
+            CoreError::PredicateRejected { key, report } => {
+                write!(
+                    f,
+                    "predicate {key:?} rejected by static analysis:\n{report}"
+                )
             }
             CoreError::UnknownPredicate(k) => write!(f, "unknown predicate {k:?}"),
             CoreError::UnknownStream(s) => write!(f, "unknown stream {s}"),

@@ -61,7 +61,7 @@ pub mod persist;
 pub mod recorder;
 pub mod sim_driver;
 
-pub use config::{ClusterConfig, Options};
+pub use config::{AnalysisMode, ClusterConfig, Options};
 pub use error::CoreError;
 pub use frontier::{FrontierEngine, FrontierUpdate, WaitToken};
 pub use messages::{Ack, WireMsg, WIRE_OVERHEAD};

@@ -10,13 +10,14 @@
 //! the control-plane/data-plane separation of §III-A is structural, not
 //! an artifact of a particular runtime.
 
-use crate::config::ClusterConfig;
+use crate::config::{AnalysisMode, ClusterConfig};
 use crate::data_plane::{ReceiveState, SendBuffer};
 use crate::error::CoreError;
 use crate::frontier::{FrontierEngine, FrontierUpdate, WaitToken};
 use crate::messages::{Ack, WireMsg};
 use crate::recorder::AckRecorder;
 use bytes::Bytes;
+use stabilizer_analyze::{AckEmissions, Analyzer, Report};
 use stabilizer_dsl::{
     AckTypeId, AckTypeRegistry, NodeId, Predicate, SeqNo, DELIVERED, PERSISTED, RECEIVED,
 };
@@ -105,6 +106,10 @@ pub struct StabilizerNode {
     /// `reinstate_node` iterates it and emits frontier updates, whose
     /// order must be stable across processes for deterministic replay.
     predicate_sources: std::collections::BTreeMap<(NodeId, String), String>,
+    /// Analyzer findings recorded at install time per (stream, key) when
+    /// `option analysis` is `warn` or `deny` (a deny-mode install only
+    /// succeeds — and is only recorded — when clean).
+    analysis_reports: std::collections::BTreeMap<(NodeId, String), Report>,
     metrics: Metrics,
     /// Per-peer: `(last received-ack seen, nanos when it last advanced)`,
     /// for the retransmission timeout.
@@ -153,6 +158,11 @@ impl StabilizerNode {
     ) -> Result<Self, CoreError> {
         let n = cfg.num_nodes();
         let peers = cfg.peers(me);
+        // Configured application ACK types exist before any predicate
+        // compiles (or is analyzed) against them.
+        for (name, _) in cfg.ack_types() {
+            acks.register(name);
+        }
         let mut node = StabilizerNode {
             me,
             recorder: AckRecorder::new(n, acks.len()),
@@ -165,6 +175,7 @@ impl StabilizerNode {
             next_token: 1,
             actions: Vec::new(),
             predicate_sources: std::collections::BTreeMap::new(),
+            analysis_reports: std::collections::BTreeMap::new(),
             metrics: Metrics::default(),
             retransmit_state: vec![(0, 0); n],
             peers,
@@ -442,13 +453,16 @@ impl StabilizerNode {
     ///
     /// # Errors
     ///
-    /// Propagates DSL compile errors.
+    /// Propagates DSL compile errors, and under `option analysis deny`
+    /// returns [`CoreError::PredicateRejected`] for any predicate with
+    /// error- or warning-level analyzer findings.
     pub fn register_predicate(
         &mut self,
         stream: NodeId,
         key: &str,
         source: &str,
     ) -> Result<(), CoreError> {
+        let report = self.run_analysis(key, source)?;
         let pred = Predicate::compile(source, self.cfg.topology(), &self.acks, self.me)?;
         let mut updates = Vec::new();
         let mut done = Vec::new();
@@ -456,6 +470,10 @@ impl StabilizerNode {
             .register(stream, key, pred, &self.recorder, &mut updates, &mut done);
         self.predicate_sources
             .insert((stream, key.to_owned()), source.to_owned());
+        if let Some(report) = report {
+            self.analysis_reports
+                .insert((stream, key.to_owned()), report);
+        }
         self.emit(updates, done);
         Ok(())
     }
@@ -465,14 +483,16 @@ impl StabilizerNode {
     ///
     /// # Errors
     ///
-    /// [`CoreError::UnknownPredicate`] if the key was never registered, or
-    /// a DSL compile error.
+    /// [`CoreError::UnknownPredicate`] if the key was never registered, a
+    /// DSL compile error, or (under `option analysis deny`)
+    /// [`CoreError::PredicateRejected`].
     pub fn change_predicate(
         &mut self,
         stream: NodeId,
         key: &str,
         source: &str,
     ) -> Result<(), CoreError> {
+        let report = self.run_analysis(key, source)?;
         let pred = Predicate::compile(source, self.cfg.topology(), &self.acks, self.me)?;
         let mut updates = Vec::new();
         let mut done = Vec::new();
@@ -484,14 +504,60 @@ impl StabilizerNode {
         }
         self.predicate_sources
             .insert((stream, key.to_owned()), source.to_owned());
+        if let Some(report) = report {
+            self.analysis_reports
+                .insert((stream, key.to_owned()), report);
+        }
         self.emit(updates, done);
         Ok(())
+    }
+
+    /// The analyzer findings recorded when `(stream, key)` was installed,
+    /// if analysis is enabled (`option analysis warn|deny`) and the
+    /// predicate is currently registered with findings on record.
+    pub fn analysis_report(&self, stream: NodeId, key: &str) -> Option<&Report> {
+        self.analysis_reports.get(&(stream, key.to_owned()))
+    }
+
+    /// Run the static analyzer per the configured [`AnalysisMode`]:
+    /// `Off` → `None`; `Warn` → `Some(report)`; `Deny` → error unless the
+    /// report is clean (info-level findings tolerated).
+    fn run_analysis(&self, key: &str, source: &str) -> Result<Option<Report>, CoreError> {
+        let opts = self.cfg.options();
+        if opts.analysis == AnalysisMode::Off {
+            return Ok(None);
+        }
+        let mut emissions = AckEmissions::new();
+        for (name, emitters) in self.cfg.ack_types() {
+            if emitters.is_empty() {
+                continue;
+            }
+            if let Some(ty) = self.acks.lookup(name) {
+                let ids: Vec<NodeId> = emitters
+                    .iter()
+                    .filter_map(|n| self.cfg.topology().node(n))
+                    .collect();
+                emissions.restrict(ty, &ids);
+            }
+        }
+        let analyzer = Analyzer::new(self.cfg.topology(), &self.acks, self.me)
+            .with_emissions(&emissions)
+            .with_failure_budget(opts.failure_budget as usize);
+        let report = analyzer.analyze(key, source);
+        if opts.analysis == AnalysisMode::Deny && !report.is_clean() {
+            return Err(CoreError::PredicateRejected {
+                key: key.to_owned(),
+                report: report.render_human(),
+            });
+        }
+        Ok(Some(report))
     }
 
     /// Remove a predicate; any pending waiters complete immediately (with
     /// the frontier they were waiting for never confirmed) so callers are
     /// not stranded.
     pub fn unregister_predicate(&mut self, stream: NodeId, key: &str) {
+        self.analysis_reports.remove(&(stream, key.to_owned()));
         for token in self.engine.unregister(stream, key) {
             self.actions.push(Action::WaitDone { token });
         }

@@ -1,0 +1,147 @@
+//! Install-time static analysis in the simulated runtime: `option
+//! analysis warn` records findings, `option analysis deny` rejects
+//! predicates with error- or warning-level findings before they reach the
+//! frontier engine.
+
+use bytes::Bytes;
+use stabilizer_core::sim_driver::build_cluster;
+use stabilizer_core::{ClusterConfig, CoreError, NodeId};
+use stabilizer_netsim::{NetTopology, SimDuration};
+
+/// East has two nodes, West one: at w1 (node 2) the set
+/// `$MYAZWNODES-$MYWNODE` is empty, which the resolver accepts silently
+/// when it appears inside a larger reduction.
+const BASE: &str = "\
+az East e1 e2
+az West w1
+predicate AllRemote MIN($ALLWNODES-$MYWNODE)
+";
+
+fn net() -> NetTopology {
+    NetTopology::full_mesh(3, SimDuration::from_millis(5), 1e9)
+}
+
+#[test]
+fn warn_mode_installs_but_records_findings() {
+    let cfg = ClusterConfig::parse(BASE).unwrap(); // analysis defaults to warn
+    let mut sim = build_cluster(&cfg, net(), 11).unwrap();
+    // Vacuous predicate: installs fine under warn...
+    sim.with_ctx(0, |n, ctx| {
+        n.register_predicate_in(ctx, NodeId(0), "Weak", "MAX($ALLWNODES)")
+    })
+    .unwrap();
+    // ...but the finding is on record.
+    let report = sim
+        .actor(0)
+        .inner()
+        .analysis_report(NodeId(0), "Weak")
+        .expect("warn mode records a report");
+    assert!(!report.is_clean());
+    assert!(report.render_human().contains("vacuous-predicate"));
+    // Clean predicates get a clean report.
+    let report = sim
+        .actor(0)
+        .inner()
+        .analysis_report(NodeId(0), "AllRemote")
+        .unwrap();
+    assert!(report.is_clean());
+    // The vacuous predicate still works as compiled.
+    sim.with_ctx(0, |n, ctx| n.publish_in(ctx, Bytes::from_static(b"x")))
+        .unwrap();
+    sim.run_until_idle();
+    let (frontier, _) = sim
+        .actor(0)
+        .inner()
+        .stability_frontier(NodeId(0), "Weak")
+        .unwrap();
+    assert_eq!(frontier, 1);
+}
+
+#[test]
+fn deny_mode_rejects_statically_empty_set_at_install() {
+    let cfg = ClusterConfig::parse(&format!("{BASE}option analysis deny\n")).unwrap();
+    let mut sim = build_cluster(&cfg, net(), 12).unwrap();
+    // At w1 the AZ-local remote set is empty; the predicate *compiles*
+    // (the empty set just vanishes from the reduction) but deny-mode
+    // analysis rejects it.
+    let err = sim
+        .with_ctx(2, |n, ctx| {
+            n.register_predicate_in(ctx, NodeId(2), "AzOrFirst", "MAX($3, $MYAZWNODES-$MYWNODE)")
+        })
+        .unwrap_err();
+    match &err {
+        CoreError::PredicateRejected { key, report } => {
+            assert_eq!(key, "AzOrFirst");
+            assert!(report.contains("empty-set"), "report:\n{report}");
+        }
+        other => panic!("expected PredicateRejected, got {other:?}"),
+    }
+    // The rejected predicate is not registered.
+    assert!(sim
+        .actor(2)
+        .inner()
+        .stability_frontier(NodeId(2), "AzOrFirst")
+        .is_none());
+    // The same source is accepted at e1, where the AZ has a peer.
+    sim.with_ctx(0, |n, ctx| {
+        n.register_predicate_in(ctx, NodeId(0), "AzOrFirst", "MAX($3, $MYAZWNODES-$MYWNODE)")
+    })
+    .expect("predicate is clean at a node with an AZ peer");
+}
+
+#[test]
+fn deny_mode_rejects_warnings_and_change_predicate() {
+    let cfg = ClusterConfig::parse(&format!("{BASE}option analysis deny\n")).unwrap();
+    let mut sim = build_cluster(&cfg, net(), 13).unwrap();
+    // Warning-level finding (vacuous) is enough for rejection.
+    let err = sim
+        .with_ctx(0, |n, ctx| {
+            n.register_predicate_in(ctx, NodeId(0), "Weak", "MAX($ALLWNODES)")
+        })
+        .unwrap_err();
+    assert!(matches!(err, CoreError::PredicateRejected { .. }));
+    // change_predicate is guarded identically.
+    let err = sim
+        .with_ctx(0, |n, ctx| {
+            n.change_predicate_in(ctx, NodeId(0), "AllRemote", "MAX($ALLWNODES)")
+        })
+        .unwrap_err();
+    assert!(matches!(err, CoreError::PredicateRejected { .. }));
+    // The original predicate survives the rejected change.
+    sim.with_ctx(0, |n, ctx| n.publish_in(ctx, Bytes::from_static(b"x")))
+        .unwrap();
+    sim.run_until_idle();
+    let (frontier, _) = sim
+        .actor(0)
+        .inner()
+        .stability_frontier(NodeId(0), "AllRemote")
+        .unwrap();
+    assert_eq!(frontier, 1);
+}
+
+#[test]
+fn configured_acktype_restrictions_feed_the_analyzer() {
+    // Only e2 emits .verified; a predicate waiting on w1.verified is
+    // rejected under deny.
+    let cfg = ClusterConfig::parse(&format!(
+        "{BASE}acktype verified e2\noption analysis deny\n"
+    ))
+    .unwrap();
+    let mut sim = build_cluster(&cfg, net(), 14).unwrap();
+    let err = sim
+        .with_ctx(0, |n, ctx| {
+            n.register_predicate_in(ctx, NodeId(0), "V", "MAX($WNODE_w1.verified)")
+        })
+        .unwrap_err();
+    match &err {
+        CoreError::PredicateRejected { report, .. } => {
+            assert!(report.contains("unemitted-ack-type"), "report:\n{report}");
+        }
+        other => panic!("expected PredicateRejected, got {other:?}"),
+    }
+    // Waiting on the declared emitter is fine.
+    sim.with_ctx(0, |n, ctx| {
+        n.register_predicate_in(ctx, NodeId(0), "V", "MAX($WNODE_e2.verified)")
+    })
+    .unwrap();
+}

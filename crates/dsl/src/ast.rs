@@ -1,5 +1,13 @@
 //! Abstract syntax tree for stability-frontier predicates.
+//!
+//! Two parallel tree shapes live here: the plain [`Expr`]/[`SetExpr`]
+//! tree the resolver and interpreter consume, and the span-carrying
+//! [`SpannedExpr`]/[`SpannedSet`] tree the parser actually builds. The
+//! spanned tree records the byte range of every node so the static
+//! analyzer can point diagnostics at the exact offending source text;
+//! [`SpannedExpr::strip`] recovers the plain tree.
 
+use crate::span::Span;
 use std::fmt;
 
 /// The four reduction operators of the DSL (§III-C, eq. 2).
@@ -109,6 +117,116 @@ impl Expr {
         match self {
             Expr::Call(..) | Expr::Int(_) | Expr::Sizeof(_) | Expr::Arith(..) => true,
             Expr::Values(..) => false,
+        }
+    }
+}
+
+/// An ACK-type suffix as written in the source, with the byte range of
+/// the `.name` text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SpannedAck {
+    /// The suffix name (without the leading dot).
+    pub name: AckTypeName,
+    /// Byte range covering `.name` in the source.
+    pub span: Span,
+}
+
+/// A WAN-node set expression with source spans on every node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SpannedSet {
+    /// The set constructor.
+    pub kind: SpannedSetKind,
+    /// Byte range of this (sub-)expression in the source.
+    pub span: Span,
+}
+
+/// The constructors of [`SpannedSet`], mirroring [`SetExpr`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SpannedSetKind {
+    /// `$ALLWNODES`
+    All,
+    /// `$MYAZWNODES`
+    MyAz,
+    /// `$MYWNODE`
+    Me,
+    /// `$<n>` — 1-based node operand.
+    Node(u64),
+    /// `$WNODE_<name>`
+    NodeVar(String),
+    /// `$AZ_<name>`
+    AzVar(String),
+    /// `a - b` — set difference.
+    Diff(Box<SpannedSet>, Box<SpannedSet>),
+}
+
+impl SpannedSet {
+    /// Drop the spans, recovering the plain [`SetExpr`].
+    pub fn strip(&self) -> SetExpr {
+        match &self.kind {
+            SpannedSetKind::All => SetExpr::All,
+            SpannedSetKind::MyAz => SetExpr::MyAz,
+            SpannedSetKind::Me => SetExpr::Me,
+            SpannedSetKind::Node(n) => SetExpr::Node(*n),
+            SpannedSetKind::NodeVar(s) => SetExpr::NodeVar(s.clone()),
+            SpannedSetKind::AzVar(s) => SetExpr::AzVar(s.clone()),
+            SpannedSetKind::Diff(a, b) => SetExpr::Diff(Box::new(a.strip()), Box::new(b.strip())),
+        }
+    }
+}
+
+/// A predicate expression with source spans on every node. This is what
+/// the parser builds; [`SpannedExpr::strip`] recovers the plain [`Expr`]
+/// consumed by the resolver and interpreter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SpannedExpr {
+    /// The expression constructor.
+    pub kind: SpannedExprKind,
+    /// Byte range of this (sub-)expression in the source.
+    pub span: Span,
+}
+
+/// The constructors of [`SpannedExpr`], mirroring [`Expr`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SpannedExprKind {
+    /// A reduction call; the span on the tuple is the operator keyword's.
+    Call(Op, Span, Vec<SpannedExpr>),
+    /// A node set used as per-node values, with an optional ACK suffix.
+    Values(SpannedSet, Option<SpannedAck>),
+    /// Integer literal.
+    Int(u64),
+    /// `SIZEOF(set)`.
+    Sizeof(SpannedSet),
+    /// Integer arithmetic.
+    Arith(BinOp, Box<SpannedExpr>, Box<SpannedExpr>),
+}
+
+impl SpannedExpr {
+    /// Drop the spans, recovering the plain [`Expr`].
+    pub fn strip(&self) -> Expr {
+        match &self.kind {
+            SpannedExprKind::Call(op, _, args) => {
+                Expr::Call(*op, args.iter().map(SpannedExpr::strip).collect())
+            }
+            SpannedExprKind::Values(set, suffix) => {
+                Expr::Values(set.strip(), suffix.as_ref().map(|s| s.name.clone()))
+            }
+            SpannedExprKind::Int(n) => Expr::Int(*n),
+            SpannedExprKind::Sizeof(set) => Expr::Sizeof(set.strip()),
+            SpannedExprKind::Arith(op, l, r) => {
+                Expr::Arith(*op, Box::new(l.strip()), Box::new(r.strip()))
+            }
+        }
+    }
+
+    /// True if this expression is number-valued; mirrors
+    /// [`Expr::is_scalar`].
+    pub fn is_scalar(&self) -> bool {
+        match &self.kind {
+            SpannedExprKind::Call(..)
+            | SpannedExprKind::Int(_)
+            | SpannedExprKind::Sizeof(_)
+            | SpannedExprKind::Arith(..) => true,
+            SpannedExprKind::Values(..) => false,
         }
     }
 }

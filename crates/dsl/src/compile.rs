@@ -17,9 +17,19 @@ pub enum Instr {
     /// Push a constant.
     PushConst(SeqNo),
     /// Pop `n` values, push the `k`-th largest (1-based).
-    KthLargest { n: u32, k: u32 },
+    KthLargest {
+        /// Number of stack values consumed.
+        n: u32,
+        /// 1-based rank to select.
+        k: u32,
+    },
     /// Pop `n` values, push the `k`-th smallest (1-based).
-    KthSmallest { n: u32, k: u32 },
+    KthSmallest {
+        /// Number of stack values consumed.
+        n: u32,
+        /// 1-based rank to select.
+        k: u32,
+    },
 }
 
 /// A compiled predicate program.

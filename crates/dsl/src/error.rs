@@ -1,5 +1,6 @@
 //! Error type for every stage of the DSL pipeline.
 
+use crate::span::Span;
 use std::error::Error;
 use std::fmt;
 
@@ -8,9 +9,19 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DslError {
     /// Lexical error: unexpected character or malformed token.
-    Lex { pos: usize, msg: String },
-    /// Syntax error with the byte position of the offending token.
-    Parse { pos: usize, msg: String },
+    Lex {
+        /// Byte range of the offending source text.
+        span: Span,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Syntax error at the offending token.
+    Parse {
+        /// Byte range of the offending token.
+        span: Span,
+        /// What went wrong.
+        msg: String,
+    },
     /// Name-resolution error (unknown node, AZ, or ACK type).
     Resolve(String),
     /// Type error (e.g. set where a number is required).
@@ -22,11 +33,24 @@ pub enum DslError {
     Topology(String),
 }
 
+impl DslError {
+    /// The source span of the error, when one is known (lexical and
+    /// syntax errors carry token spans; later pipeline stages do not).
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            DslError::Lex { span, .. } | DslError::Parse { span, .. } => Some(*span),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for DslError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DslError::Lex { pos, msg } => write!(f, "lexical error at byte {pos}: {msg}"),
-            DslError::Parse { pos, msg } => write!(f, "syntax error at byte {pos}: {msg}"),
+            DslError::Lex { span, msg } => write!(f, "lexical error at byte {}: {msg}", span.start),
+            DslError::Parse { span, msg } => {
+                write!(f, "syntax error at byte {}: {msg}", span.start)
+            }
             DslError::Resolve(msg) => write!(f, "resolution error: {msg}"),
             DslError::Type(msg) => write!(f, "type error: {msg}"),
             DslError::Invalid(msg) => write!(f, "invalid predicate: {msg}"),
@@ -44,10 +68,20 @@ mod tests {
     #[test]
     fn display_mentions_position() {
         let e = DslError::Parse {
-            pos: 7,
+            span: Span::new(7, 8),
             msg: "expected ','".into(),
         };
         assert_eq!(e.to_string(), "syntax error at byte 7: expected ','");
+    }
+
+    #[test]
+    fn span_accessor_covers_positioned_variants() {
+        let lex = DslError::Lex {
+            span: Span::new(2, 5),
+            msg: "x".into(),
+        };
+        assert_eq!(lex.span(), Some(Span::new(2, 5)));
+        assert_eq!(DslError::Resolve("y".into()).span(), None);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! is tiny).
 
 use crate::error::DslError;
+use crate::span::Span;
 use crate::token::{Spanned, Token};
 
 /// Tokenize `src` into a vector of spanned tokens, terminated by
@@ -30,7 +31,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, DslError> {
                 loop {
                     if i + 1 >= bytes.len() {
                         return Err(DslError::Lex {
-                            pos: start,
+                            span: Span::new(start, bytes.len()),
                             msg: "unterminated comment".into(),
                         });
                     }
@@ -41,59 +42,20 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, DslError> {
                     i += 1;
                 }
             }
-            b'(' => {
+            b'(' | b')' | b',' | b'.' | b'+' | b'-' | b'*' | b'/' => {
+                let tok = match c {
+                    b'(' => Token::LParen,
+                    b')' => Token::RParen,
+                    b',' => Token::Comma,
+                    b'.' => Token::Dot,
+                    b'+' => Token::Plus,
+                    b'-' => Token::Minus,
+                    b'*' => Token::Star,
+                    _ => Token::Slash,
+                };
                 out.push(Spanned {
-                    pos: i,
-                    tok: Token::LParen,
-                });
-                i += 1;
-            }
-            b')' => {
-                out.push(Spanned {
-                    pos: i,
-                    tok: Token::RParen,
-                });
-                i += 1;
-            }
-            b',' => {
-                out.push(Spanned {
-                    pos: i,
-                    tok: Token::Comma,
-                });
-                i += 1;
-            }
-            b'.' => {
-                out.push(Spanned {
-                    pos: i,
-                    tok: Token::Dot,
-                });
-                i += 1;
-            }
-            b'+' => {
-                out.push(Spanned {
-                    pos: i,
-                    tok: Token::Plus,
-                });
-                i += 1;
-            }
-            b'-' => {
-                out.push(Spanned {
-                    pos: i,
-                    tok: Token::Minus,
-                });
-                i += 1;
-            }
-            b'*' => {
-                out.push(Spanned {
-                    pos: i,
-                    tok: Token::Star,
-                });
-                i += 1;
-            }
-            b'/' => {
-                out.push(Spanned {
-                    pos: i,
-                    tok: Token::Slash,
+                    span: Span::new(i, i + 1),
+                    tok,
                 });
                 i += 1;
             }
@@ -104,16 +66,17 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, DslError> {
                 while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
+                let span = Span::new(start, i);
                 let word = &src[word_start..i];
                 if word.is_empty() {
                     return Err(DslError::Lex {
-                        pos: start,
+                        span: Span::new(start, start + 1),
                         msg: "lone '$'".into(),
                     });
                 }
                 let tok = if word.bytes().all(|b| b.is_ascii_digit()) {
                     let n: u64 = word.parse().map_err(|_| DslError::Lex {
-                        pos: start,
+                        span,
                         msg: "node operand overflows".into(),
                     })?;
                     Token::NodeOperand(n)
@@ -130,26 +93,27 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, DslError> {
                                 Token::AzVar(name.to_owned())
                             } else {
                                 return Err(DslError::Lex {
-                                    pos: start,
+                                    span,
                                     msg: format!("unknown macro or variable ${word}"),
                                 });
                             }
                         }
                     }
                 };
-                out.push(Spanned { pos: start, tok });
+                out.push(Spanned { span, tok });
             }
             b'0'..=b'9' => {
                 let start = i;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
+                let span = Span::new(start, i);
                 let n: u64 = src[start..i].parse().map_err(|_| DslError::Lex {
-                    pos: start,
+                    span,
                     msg: "integer overflows".into(),
                 })?;
                 out.push(Spanned {
-                    pos: start,
+                    span,
                     tok: Token::Int(n),
                 });
             }
@@ -167,18 +131,21 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, DslError> {
                     "SIZEOF" => Token::Sizeof,
                     _ => Token::Ident(word.to_owned()),
                 };
-                out.push(Spanned { pos: start, tok });
+                out.push(Spanned {
+                    span: Span::new(start, i),
+                    tok,
+                });
             }
             other => {
                 return Err(DslError::Lex {
-                    pos: i,
+                    span: Span::new(i, i + 1),
                     msg: format!("unexpected character {:?}", other as char),
                 });
             }
         }
     }
     out.push(Spanned {
-        pos: src.len(),
+        span: Span::point(src.len()),
         tok: Token::Eof,
     });
     Ok(out)
@@ -266,7 +233,10 @@ mod tests {
 
     #[test]
     fn rejects_unexpected_character() {
-        assert!(matches!(lex("MAX(#)"), Err(DslError::Lex { pos: 4, .. })));
+        let Err(DslError::Lex { span, .. }) = lex("MAX(#)") else {
+            panic!()
+        };
+        assert_eq!(span, Span::new(4, 5));
     }
 
     #[test]
@@ -277,5 +247,25 @@ mod tests {
     #[test]
     fn whitespace_everywhere_is_fine() {
         assert_eq!(toks("  MAX ( $1 ,\n\t$2 )  "), toks("MAX($1,$2)"));
+    }
+
+    #[test]
+    fn token_spans_cover_their_source_text() {
+        let src = "KTH_MAX(2, $ALLWNODES.persisted)";
+        for s in lex(src).unwrap() {
+            if s.tok == Token::Eof {
+                assert_eq!(s.span, Span::point(src.len()));
+            } else {
+                assert!(s.span.end > s.span.start);
+                assert!(s.span.end <= src.len());
+            }
+        }
+        // Spot-check a multi-byte token: $ALLWNODES starts at byte 11.
+        let toks = lex(src).unwrap();
+        let all = toks
+            .iter()
+            .find(|s| s.tok == Token::AllWNodes)
+            .expect("$ALLWNODES token");
+        assert_eq!(&src[all.span.start..all.span.end], "$ALLWNODES");
     }
 }

@@ -48,6 +48,8 @@
 //! # Ok(()) }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod compile;
 pub mod error;
@@ -57,19 +59,24 @@ pub mod optimize;
 pub mod parser;
 pub mod pretty;
 pub mod resolve;
+pub mod span;
 pub mod token;
 pub mod topology;
 pub mod transform;
 pub mod types;
 pub mod vm;
 
-pub use ast::{AckTypeName, BinOp, Expr, Op, SetExpr};
+pub use ast::{
+    AckTypeName, BinOp, Expr, Op, SetExpr, SpannedAck, SpannedExpr, SpannedExprKind, SpannedSet,
+    SpannedSetKind,
+};
 pub use compile::{compile, Program};
 pub use error::DslError;
 pub use interp::interpret;
 pub use optimize::optimize;
-pub use parser::parse;
-pub use resolve::{resolve, Resolved, ResolvedExpr};
+pub use parser::{parse, parse_spanned};
+pub use resolve::{expand_set, resolve, Resolved, ResolvedExpr};
+pub use span::Span;
 pub use topology::{Topology, TopologyBuilder};
 pub use transform::exclude_node;
 pub use types::{

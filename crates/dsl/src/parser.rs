@@ -13,10 +13,18 @@
 //! primary   := call | SIZEOF '(' expr ')' | INT | set-atom | '(' expr ')'
 //! set-atom  := '$'N | $ALLWNODES | $MYAZWNODES | $MYWNODE | $WNODE_x | $AZ_x
 //! ```
+//!
+//! The parser builds the span-carrying [`SpannedExpr`] tree; [`parse`]
+//! strips spans for callers that only need the plain [`Expr`], while
+//! [`parse_spanned`] hands the full tree to the static analyzer.
 
-use crate::ast::{AckTypeName, BinOp, Expr, Op, SetExpr};
+use crate::ast::{
+    AckTypeName, BinOp, Expr, Op, SpannedAck, SpannedExpr, SpannedExprKind, SpannedSet,
+    SpannedSetKind,
+};
 use crate::error::DslError;
 use crate::lexer::lex;
+use crate::span::Span;
 use crate::token::{Spanned, Token};
 
 /// Parse a predicate source string into an [`Expr`].
@@ -31,6 +39,17 @@ use crate::token::{Spanned, Token};
 /// problem encountered, or [`DslError::Type`] when `-` mixes a set with a
 /// number or a suffix is attached to a non-set.
 pub fn parse(src: &str) -> Result<Expr, DslError> {
+    Ok(parse_spanned(src)?.strip())
+}
+
+/// Like [`parse`], but keeping the byte-offset span of every AST node —
+/// the input to span-aware tooling such as the `stabilizer-analyze` lint
+/// engine.
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_spanned(src: &str) -> Result<SpannedExpr, DslError> {
     let toks = lex(src)?;
     let mut p = Parser { toks, at: 0 };
     let expr = p.parse_call()?;
@@ -48,31 +67,31 @@ impl Parser {
         &self.toks[self.at].tok
     }
 
-    fn pos(&self) -> usize {
-        self.toks[self.at].pos
+    fn span(&self) -> Span {
+        self.toks[self.at].span
     }
 
-    fn bump(&mut self) -> Token {
+    fn bump(&mut self) -> (Token, Span) {
         let t = self.toks[self.at].tok.clone();
+        let s = self.toks[self.at].span;
         if self.at + 1 < self.toks.len() {
             self.at += 1;
         }
-        t
+        (t, s)
     }
 
-    fn expect(&mut self, want: Token) -> Result<(), DslError> {
+    fn expect(&mut self, want: Token) -> Result<Span, DslError> {
         if *self.peek() == want {
-            self.bump();
-            Ok(())
+            Ok(self.bump().1)
         } else {
             Err(DslError::Parse {
-                pos: self.pos(),
+                span: self.span(),
                 msg: format!("expected {want}, found {}", self.peek()),
             })
         }
     }
 
-    fn parse_call(&mut self) -> Result<Expr, DslError> {
+    fn parse_call(&mut self) -> Result<SpannedExpr, DslError> {
         let op = match self.peek() {
             Token::Max => Op::Max,
             Token::Min => Op::Min,
@@ -80,23 +99,26 @@ impl Parser {
             Token::KthMin => Op::KthMin,
             other => {
                 return Err(DslError::Parse {
-                    pos: self.pos(),
+                    span: self.span(),
                     msg: format!("expected MAX, MIN, KTH_MAX or KTH_MIN, found {other}"),
                 })
             }
         };
-        self.bump();
+        let (_, op_span) = self.bump();
         self.expect(Token::LParen)?;
         let mut args = vec![self.parse_expr()?];
         while *self.peek() == Token::Comma {
             self.bump();
             args.push(self.parse_expr()?);
         }
-        self.expect(Token::RParen)?;
-        Ok(Expr::Call(op, args))
+        let close = self.expect(Token::RParen)?;
+        Ok(SpannedExpr {
+            span: op_span.to(close),
+            kind: SpannedExprKind::Call(op, op_span, args),
+        })
     }
 
-    fn parse_expr(&mut self) -> Result<Expr, DslError> {
+    fn parse_expr(&mut self) -> Result<SpannedExpr, DslError> {
         let mut lhs = self.parse_term()?;
         loop {
             let op = match self.peek() {
@@ -104,15 +126,15 @@ impl Parser {
                 Token::Minus => BinOp::Sub,
                 _ => break,
             };
-            let pos = self.pos();
+            let op_span = self.span();
             self.bump();
             let rhs = self.parse_term()?;
-            lhs = combine(lhs, op, rhs, pos)?;
+            lhs = combine(lhs, op, rhs, op_span)?;
         }
         Ok(lhs)
     }
 
-    fn parse_term(&mut self) -> Result<Expr, DslError> {
+    fn parse_term(&mut self) -> Result<SpannedExpr, DslError> {
         let mut lhs = self.parse_postfix()?;
         loop {
             let op = match self.peek() {
@@ -120,32 +142,39 @@ impl Parser {
                 Token::Slash => BinOp::Div,
                 _ => break,
             };
-            let pos = self.pos();
+            let op_span = self.span();
             self.bump();
             let rhs = self.parse_postfix()?;
-            lhs = combine(lhs, op, rhs, pos)?;
+            lhs = combine(lhs, op, rhs, op_span)?;
         }
         Ok(lhs)
     }
 
-    fn parse_postfix(&mut self) -> Result<Expr, DslError> {
+    fn parse_postfix(&mut self) -> Result<SpannedExpr, DslError> {
         let e = self.parse_primary()?;
         if *self.peek() == Token::Dot {
-            let pos = self.pos();
-            self.bump();
-            let name = match self.bump() {
-                Token::Ident(name) => name,
-                other => {
+            let (_, dot_span) = self.bump();
+            let (name, name_span) = match self.bump() {
+                (Token::Ident(name), s) => (name, s),
+                (other, _) => {
                     return Err(DslError::Parse {
-                        pos,
+                        span: dot_span,
                         msg: format!("expected ACK-type name after '.', found {other}"),
                     })
                 }
             };
-            return match e {
-                Expr::Values(set, None) => Ok(Expr::Values(set, Some(AckTypeName(name)))),
-                Expr::Values(_, Some(prev)) => Err(DslError::Type(format!(
-                    "operand already has suffix .{prev}; cannot add .{name}"
+            let suffix = SpannedAck {
+                name: AckTypeName(name.clone()),
+                span: dot_span.to(name_span),
+            };
+            return match e.kind {
+                SpannedExprKind::Values(set, None) => Ok(SpannedExpr {
+                    span: e.span.to(suffix.span),
+                    kind: SpannedExprKind::Values(set, Some(suffix)),
+                }),
+                SpannedExprKind::Values(_, Some(prev)) => Err(DslError::Type(format!(
+                    "operand already has suffix .{}; cannot add .{name}",
+                    prev.name
                 ))),
                 _ => Err(DslError::Type(format!(
                     "suffix .{name} can only be applied to a WAN-node set"
@@ -155,50 +184,39 @@ impl Parser {
         Ok(e)
     }
 
-    fn parse_primary(&mut self) -> Result<Expr, DslError> {
+    fn parse_primary(&mut self) -> Result<SpannedExpr, DslError> {
         match self.peek().clone() {
             Token::Max | Token::Min | Token::KthMax | Token::KthMin => self.parse_call(),
             Token::Sizeof => {
-                self.bump();
+                let (_, kw_span) = self.bump();
                 self.expect(Token::LParen)?;
                 let inner = self.parse_expr()?;
-                self.expect(Token::RParen)?;
-                match inner {
-                    Expr::Values(set, None) => Ok(Expr::Sizeof(set)),
-                    Expr::Values(_, Some(suf)) => Err(DslError::Type(format!(
-                        "SIZEOF takes a bare node set, not one suffixed with .{suf}"
+                let close = self.expect(Token::RParen)?;
+                match inner.kind {
+                    SpannedExprKind::Values(set, None) => Ok(SpannedExpr {
+                        span: kw_span.to(close),
+                        kind: SpannedExprKind::Sizeof(set),
+                    }),
+                    SpannedExprKind::Values(_, Some(suf)) => Err(DslError::Type(format!(
+                        "SIZEOF takes a bare node set, not one suffixed with .{}",
+                        suf.name
                     ))),
                     _ => Err(DslError::Type("SIZEOF requires a WAN-node set".into())),
                 }
             }
             Token::Int(n) => {
-                self.bump();
-                Ok(Expr::Int(n))
+                let (_, span) = self.bump();
+                Ok(SpannedExpr {
+                    span,
+                    kind: SpannedExprKind::Int(n),
+                })
             }
-            Token::NodeOperand(n) => {
-                self.bump();
-                Ok(Expr::Values(SetExpr::Node(n), None))
-            }
-            Token::AllWNodes => {
-                self.bump();
-                Ok(Expr::Values(SetExpr::All, None))
-            }
-            Token::MyAzWNodes => {
-                self.bump();
-                Ok(Expr::Values(SetExpr::MyAz, None))
-            }
-            Token::MyWNode => {
-                self.bump();
-                Ok(Expr::Values(SetExpr::Me, None))
-            }
-            Token::WNodeVar(name) => {
-                self.bump();
-                Ok(Expr::Values(SetExpr::NodeVar(name), None))
-            }
-            Token::AzVar(name) => {
-                self.bump();
-                Ok(Expr::Values(SetExpr::AzVar(name), None))
-            }
+            Token::NodeOperand(n) => Ok(self.set_atom(SpannedSetKind::Node(n))),
+            Token::AllWNodes => Ok(self.set_atom(SpannedSetKind::All)),
+            Token::MyAzWNodes => Ok(self.set_atom(SpannedSetKind::MyAz)),
+            Token::MyWNode => Ok(self.set_atom(SpannedSetKind::Me)),
+            Token::WNodeVar(name) => Ok(self.set_atom(SpannedSetKind::NodeVar(name))),
+            Token::AzVar(name) => Ok(self.set_atom(SpannedSetKind::AzVar(name))),
             Token::LParen => {
                 self.bump();
                 let inner = self.parse_expr()?;
@@ -206,33 +224,61 @@ impl Parser {
                 Ok(inner)
             }
             other => Err(DslError::Parse {
-                pos: self.pos(),
+                span: self.span(),
                 msg: format!("expected an operand, found {other}"),
             }),
+        }
+    }
+
+    fn set_atom(&mut self, kind: SpannedSetKind) -> SpannedExpr {
+        let (_, span) = self.bump();
+        SpannedExpr {
+            span,
+            kind: SpannedExprKind::Values(SpannedSet { kind, span }, None),
         }
     }
 }
 
 /// Combine two operands under a binary operator, giving `-` its
 /// set-difference meaning when both sides are (unsuffixed) sets.
-fn combine(lhs: Expr, op: BinOp, rhs: Expr, pos: usize) -> Result<Expr, DslError> {
-    match (op, &lhs, &rhs) {
-        (BinOp::Sub, Expr::Values(_, None), Expr::Values(_, None)) => {
-            let (Expr::Values(a, None), Expr::Values(b, None)) = (lhs, rhs) else {
+fn combine(
+    lhs: SpannedExpr,
+    op: BinOp,
+    rhs: SpannedExpr,
+    op_span: Span,
+) -> Result<SpannedExpr, DslError> {
+    let span = lhs.span.to(rhs.span);
+    match (op, &lhs.kind, &rhs.kind) {
+        (BinOp::Sub, SpannedExprKind::Values(_, None), SpannedExprKind::Values(_, None)) => {
+            let (SpannedExprKind::Values(a, None), SpannedExprKind::Values(b, None)) =
+                (lhs.kind, rhs.kind)
+            else {
                 unreachable!()
             };
-            Ok(Expr::Values(SetExpr::Diff(Box::new(a), Box::new(b)), None))
+            Ok(SpannedExpr {
+                span,
+                kind: SpannedExprKind::Values(
+                    SpannedSet {
+                        span,
+                        kind: SpannedSetKind::Diff(Box::new(a), Box::new(b)),
+                    },
+                    None,
+                ),
+            })
         }
         _ => {
             if !lhs.is_scalar() || !rhs.is_scalar() {
                 return Err(DslError::Parse {
-                    pos,
+                    span: op_span,
                     msg: format!(
                         "operator '{op}' requires numeric operands (or '-' between two node sets)"
                     ),
                 });
             }
-            Ok(Expr::Arith(op, Box::new(lhs), Box::new(rhs)))
+            Ok(SpannedExpr {
+                span,
+                kind: SpannedExprKind::Arith(op, Box::new(lhs), Box::new(rhs)),
+            })
         }
     }
 }
@@ -240,6 +286,7 @@ fn combine(lhs: Expr, op: BinOp, rhs: Expr, pos: usize) -> Result<Expr, DslError
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::SetExpr;
 
     #[test]
     fn parses_simple_reduction() {
@@ -351,10 +398,10 @@ mod tests {
 
     #[test]
     fn missing_paren_reported_with_position() {
-        let Err(DslError::Parse { pos, .. }) = parse("MAX($1") else {
+        let Err(DslError::Parse { span, .. }) = parse("MAX($1") else {
             panic!()
         };
-        assert_eq!(pos, 6);
+        assert_eq!(span, Span::point(6));
     }
 
     #[test]
@@ -367,5 +414,56 @@ mod tests {
     #[test]
     fn empty_argument_list_rejected() {
         assert!(parse("MAX()").is_err());
+    }
+
+    #[test]
+    fn spanned_tree_matches_source_slices() {
+        let src = "KTH_MAX(2, MAX($AZ_Oregon), $ALLWNODES.persisted)";
+        let e = parse_spanned(src).unwrap();
+        // The whole predicate spans the whole source.
+        assert_eq!(&src[e.span.start..e.span.end], src);
+        let SpannedExprKind::Call(Op::KthMax, op_span, args) = &e.kind else {
+            panic!()
+        };
+        assert_eq!(&src[op_span.start..op_span.end], "KTH_MAX");
+        assert_eq!(&src[args[0].span.start..args[0].span.end], "2");
+        assert_eq!(
+            &src[args[1].span.start..args[1].span.end],
+            "MAX($AZ_Oregon)"
+        );
+        assert_eq!(
+            &src[args[2].span.start..args[2].span.end],
+            "$ALLWNODES.persisted"
+        );
+        let SpannedExprKind::Values(set, Some(suffix)) = &args[2].kind else {
+            panic!()
+        };
+        assert_eq!(&src[set.span.start..set.span.end], "$ALLWNODES");
+        assert_eq!(&src[suffix.span.start..suffix.span.end], ".persisted");
+    }
+
+    #[test]
+    fn set_difference_span_covers_both_operands() {
+        let src = "MAX($ALLWNODES-$MYWNODE)";
+        let e = parse_spanned(src).unwrap();
+        let SpannedExprKind::Call(_, _, args) = &e.kind else {
+            panic!()
+        };
+        assert_eq!(
+            &src[args[0].span.start..args[0].span.end],
+            "$ALLWNODES-$MYWNODE"
+        );
+    }
+
+    #[test]
+    fn strip_of_spanned_equals_plain_parse() {
+        for src in [
+            "MAX($ALLWNODES-$MYWNODE)",
+            "KTH_MIN(SIZEOF($ALLWNODES)/2+1, $ALLWNODES.persisted)",
+            "MIN(MIN($MYAZWNODES-$MYWNODE), MAX($ALLWNODES-$MYAZWNODES))",
+            "KTH_MAX(2, MAX($AZ_North_Virginia), MAX($AZ_Oregon), MAX($AZ_Ohio))",
+        ] {
+            assert_eq!(parse_spanned(src).unwrap().strip(), parse(src).unwrap());
+        }
     }
 }

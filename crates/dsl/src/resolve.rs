@@ -192,43 +192,59 @@ impl Cx<'_> {
 
     /// Expand a set expression to a sorted, deduplicated node list.
     fn eval_set(&self, set: &SetExpr) -> Result<Vec<NodeId>, DslError> {
-        let mut nodes = match set {
-            SetExpr::All => self.topo.all_nodes(),
-            SetExpr::MyAz => self.topo.az_members(self.topo.az_of(self.me)).to_vec(),
-            SetExpr::Me => vec![self.me],
-            SetExpr::Node(n) => {
-                // Paper operands are 1-based ($1 is the first node).
-                if *n == 0 || *n as usize > self.topo.num_nodes() {
-                    return Err(DslError::Resolve(format!(
-                        "node operand ${n} out of range 1..={}",
-                        self.topo.num_nodes()
-                    )));
-                }
-                vec![NodeId((n - 1) as u16)]
-            }
-            SetExpr::NodeVar(name) => {
-                let id = self
-                    .topo
-                    .node(name)
-                    .ok_or_else(|| DslError::Resolve(format!("unknown WAN node $WNODE_{name}")))?;
-                vec![id]
-            }
-            SetExpr::AzVar(name) => {
-                let az = self.topo.az(name).ok_or_else(|| {
-                    DslError::Resolve(format!("unknown availability zone $AZ_{name}"))
-                })?;
-                self.topo.az_members(az).to_vec()
-            }
-            SetExpr::Diff(a, b) => {
-                let left = self.eval_set(a)?;
-                let right = self.eval_set(b)?;
-                left.into_iter().filter(|n| !right.contains(n)).collect()
-            }
-        };
-        nodes.sort_unstable();
-        nodes.dedup();
-        Ok(nodes)
+        expand_set(set, self.topo, self.me)
     }
+}
+
+/// Expand a set expression to the sorted, deduplicated list of nodes it
+/// denotes when evaluated at node `me` under `topo`.
+///
+/// This is the same expansion the resolver performs internally; it is
+/// public so that tooling (notably the `stabilizer-analyze` lint engine)
+/// can reason about individual sub-sets — e.g. to flag a set-difference
+/// that removes nothing, or a sub-set that expands to no nodes inside an
+/// otherwise non-empty reduction.
+///
+/// # Errors
+///
+/// Returns [`DslError::Resolve`] for an unknown node/AZ name or a node
+/// operand outside `1..=num_nodes`.
+pub fn expand_set(set: &SetExpr, topo: &Topology, me: NodeId) -> Result<Vec<NodeId>, DslError> {
+    let mut nodes = match set {
+        SetExpr::All => topo.all_nodes(),
+        SetExpr::MyAz => topo.az_members(topo.az_of(me)).to_vec(),
+        SetExpr::Me => vec![me],
+        SetExpr::Node(n) => {
+            // Paper operands are 1-based ($1 is the first node).
+            if *n == 0 || *n as usize > topo.num_nodes() {
+                return Err(DslError::Resolve(format!(
+                    "node operand ${n} out of range 1..={}",
+                    topo.num_nodes()
+                )));
+            }
+            vec![NodeId((n - 1) as u16)]
+        }
+        SetExpr::NodeVar(name) => {
+            let id = topo
+                .node(name)
+                .ok_or_else(|| DslError::Resolve(format!("unknown WAN node $WNODE_{name}")))?;
+            vec![id]
+        }
+        SetExpr::AzVar(name) => {
+            let az = topo.az(name).ok_or_else(|| {
+                DslError::Resolve(format!("unknown availability zone $AZ_{name}"))
+            })?;
+            topo.az_members(az).to_vec()
+        }
+        SetExpr::Diff(a, b) => {
+            let left = expand_set(a, topo, me)?;
+            let right = expand_set(b, topo, me)?;
+            left.into_iter().filter(|n| !right.contains(n)).collect()
+        }
+    };
+    nodes.sort_unstable();
+    nodes.dedup();
+    Ok(nodes)
 }
 
 impl ResolvedExpr {

@@ -1,0 +1,80 @@
+//! Byte-offset source spans.
+//!
+//! Every token the lexer produces, every node of the spanned AST, and
+//! every lexical/syntax error carries a [`Span`] locating it in the
+//! original predicate source. Spans are half-open byte ranges
+//! (`start..end`), which makes them directly usable for slicing the
+//! source and for rendering caret diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range `start..end` into a predicate source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte covered by the span.
+    pub start: usize,
+    /// Byte offset one past the last byte covered by the span.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `at` (used for end-of-input diagnostics).
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Number of bytes covered (zero for a point span).
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True if the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn point_is_empty() {
+        assert!(Span::point(4).is_empty());
+        assert_eq!(Span::point(4).len(), 0);
+        assert!(!Span::new(4, 6).is_empty());
+        assert_eq!(Span::new(4, 6).len(), 2);
+    }
+
+    #[test]
+    fn displays_as_range() {
+        assert_eq!(Span::new(3, 8).to_string(), "3..8");
+    }
+}

@@ -1,12 +1,13 @@
 //! Token set for the predicate DSL.
 
+use crate::span::Span;
 use std::fmt;
 
-/// A lexical token with its byte position in the source.
+/// A lexical token with the byte range it occupies in the source.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Spanned {
-    /// Byte offset of the first character of the token.
-    pub pos: usize,
+    /// Byte range `start..end` of the token in the source string.
+    pub span: Span,
     /// The token itself.
     pub tok: Token,
 }

@@ -108,11 +108,27 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn pretty_print_roundtrips(src in arb_pred(2)) {
+    fn pretty_print_roundtrips(src in arb_pred(2), me in 0u16..NODES) {
         let ast = parse(&src).unwrap();
         let printed = ast.to_string();
         let reparsed = parse(&printed).unwrap();
-        prop_assert_eq!(ast, reparsed);
+        prop_assert_eq!(&ast, &reparsed);
+        // Syntactic equality is not enough: the printed form must also
+        // resolve to the same program, so nothing the pretty-printer emits
+        // (parentheses, macro spellings) shifts macro expansion.
+        let topo = topo();
+        let acks = AckTypeRegistry::new();
+        match (
+            resolve(&ast, &topo, &acks, NodeId(me)),
+            resolve(&reparsed, &topo, &acks, NodeId(me)),
+        ) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a, &b, "round-trip changed resolution of {}", src);
+                prop_assert_eq!(compile(&a), compile(&b));
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "round-trip changed resolvability of {}: {:?} vs {:?}", src, a.is_ok(), b.is_ok()),
+        }
     }
 
     #[test]

@@ -182,3 +182,38 @@ fn concurrent_publishers_share_one_handle_safely() {
         n.handle().shutdown();
     }
 }
+
+#[test]
+fn deny_mode_rejects_predicate_at_install_over_tcp() {
+    use stabilizer_core::CoreError;
+    // Same deployment plus install-time analysis enforcement.
+    let cfg = ClusterConfig::parse(&format!("{CFG}option analysis deny\n")).unwrap();
+    let nodes = spawn_local_cluster(&cfg).unwrap();
+    // At w1 (node 2, alone in its AZ) $MYAZWNODES-$MYWNODE is empty: the
+    // predicate compiles — the empty set silently drops out of the
+    // reduction — but deny-mode analysis rejects the install.
+    let err = nodes[2]
+        .handle()
+        .register_predicate(NodeId(2), "AzOrFirst", "MAX($3, $MYAZWNODES-$MYWNODE)")
+        .unwrap_err();
+    match &err {
+        CoreError::PredicateRejected { key, report } => {
+            assert_eq!(key, "AzOrFirst");
+            assert!(report.contains("empty-set"), "report:\n{report}");
+        }
+        other => panic!("expected PredicateRejected, got {other:?}"),
+    }
+    assert!(nodes[2]
+        .handle()
+        .stability_frontier(NodeId(2), "AzOrFirst")
+        .is_none());
+    // The same source installs fine at e2 (node 1): its operands are w1
+    // plus its AZ peer e1, both remote.
+    nodes[1]
+        .handle()
+        .register_predicate(NodeId(1), "AzOrFirst", "MAX($3, $MYAZWNODES-$MYWNODE)")
+        .expect("predicate is clean at a node with an AZ peer");
+    for n in &nodes {
+        n.handle().shutdown();
+    }
+}
