@@ -76,11 +76,15 @@ pub enum Lint {
     /// With the configured failure budget `f`, some set of `f` crashed
     /// nodes prevents the predicate from ever advancing.
     CrashUnsatisfiable,
+    /// The predicate waits on a configured member that has not joined
+    /// the cluster yet; its frontier cannot advance until that node
+    /// joins and completes state-transfer catch-up.
+    UnjoinedNode,
 }
 
 impl Lint {
     /// Every lint, in catalog order.
-    pub const ALL: [Lint; 14] = [
+    pub const ALL: [Lint; 15] = [
         Lint::SyntaxError,
         Lint::UnknownName,
         Lint::UnknownAckType,
@@ -95,6 +99,7 @@ impl Lint {
         Lint::DominatedPredicate,
         Lint::EquivalentPredicates,
         Lint::CrashUnsatisfiable,
+        Lint::UnjoinedNode,
     ];
 
     /// Stable kebab-case identifier (used in rendered output and JSON).
@@ -114,6 +119,7 @@ impl Lint {
             Lint::DominatedPredicate => "dominated-predicate",
             Lint::EquivalentPredicates => "equivalent-predicates",
             Lint::CrashUnsatisfiable => "crash-unsatisfiable",
+            Lint::UnjoinedNode => "unjoined-node",
         }
     }
 
@@ -132,7 +138,8 @@ impl Lint {
             | Lint::VacuousPredicate
             | Lint::ConstantFrontier
             | Lint::EquivalentPredicates
-            | Lint::CrashUnsatisfiable => Severity::Warning,
+            | Lint::CrashUnsatisfiable
+            | Lint::UnjoinedNode => Severity::Warning,
             Lint::DominatedPredicate => Severity::Info,
         }
     }

@@ -9,11 +9,13 @@
 //!   with severities, rendered caret-style for humans
 //!   ([`Report::render_human`]) or as JSON for machines
 //!   ([`Report::render_json`]).
-//! * **Lint catalog** ([`Lint`]): fourteen checks ranging from mechanical
+//! * **Lint catalog** ([`Lint`]): fifteen checks ranging from mechanical
 //!   (unknown names, empty sets, `KTH_*` ranks out of range) through
 //!   semantic (vacuous predicates, crash-satisfiability under a failure
 //!   budget) to cross-predicate (dominance/equivalence between
-//!   co-installed predicates, proved on a small implication lattice).
+//!   co-installed predicates, proved on a small implication lattice) and
+//!   membership-aware (a predicate waiting on a configured member that
+//!   has not joined the cluster yet).
 //! * **Entry point** ([`Analyzer`]): configured with a [`Topology`],
 //!   ACK-type registry, executing node, and optionally an ACK-emissions
 //!   model and failure budget.
@@ -55,4 +57,4 @@ pub use diag::{json_string, Diagnostic, Lint, Report, Severity};
 pub use dominance::{compare, expr_le, Dominance};
 pub use emissions::AckEmissions;
 pub use lints::Analyzer;
-pub use probe::{crash_unsatisfiable, is_vacuous, PROBE_HIGH};
+pub use probe::{crash_unsatisfiable, is_vacuous, unjoined_blocked, PROBE_HIGH};

@@ -134,6 +134,10 @@ pub struct ChaosHarness {
     schedule: Vec<Scheduled>,
     next_action: usize,
     crashed: Vec<Option<Snapshot>>,
+    /// Nodes that have not joined the cluster yet ([`Fault::Join`]):
+    /// their links stay down and their workload is skipped until the
+    /// join op boots them fresh.
+    absent: Vec<bool>,
     /// Desired per-link state from partition faults, independent of
     /// crashes. The effective link `a -> b` is up iff `desired_up[a*n+b]`
     /// AND neither endpoint is crashed — so a partition healing during a
@@ -216,7 +220,7 @@ impl ChaosHarness {
             )
             .collect();
         schedule.sort_by_key(|s| s.at); // stable: faults stay before work on ties
-        Ok(ChaosHarness {
+        let mut harness = ChaosHarness {
             sim,
             cfg: cfg.clone(),
             trace,
@@ -224,18 +228,31 @@ impl ChaosHarness {
             schedule,
             next_action: 0,
             crashed: vec![None; n],
+            absent: vec![false; n],
             desired_up: vec![true; n * n],
             steps: 0,
             n,
             telemetry,
-        })
+        };
+        // Late joiners are absent from the first step: cut their links
+        // before any event runs (the pre-join actor idles in isolation
+        // and is replaced wholesale by the join op).
+        for (node, _) in plan.join_nodes() {
+            harness.absent[node] = true;
+            for (a, b) in FaultPlan::crash_pairs(node, n) {
+                harness.sync_link(a, b);
+            }
+        }
+        Ok(harness)
     }
 
     /// Reconcile the simulator's link `a -> b` with the layered state.
     fn sync_link(&mut self, a: usize, b: usize) {
         let up = self.desired_up[a * self.n + b]
             && self.crashed[a].is_none()
-            && self.crashed[b].is_none();
+            && self.crashed[b].is_none()
+            && !self.absent[a]
+            && !self.absent[b];
         self.sim.set_link_up(a, b, up);
     }
 
@@ -386,6 +403,7 @@ impl ChaosHarness {
             }
             Op::Crash { node } => self.crash(at, node),
             Op::Restart { node } => self.restart(at, node),
+            Op::Join { node } => self.join(at, node),
         }
         Ok(())
     }
@@ -440,10 +458,13 @@ impl ChaosHarness {
             self.sync_link(a, b);
         }
         // `replace_actor` does not re-run the actor lifecycle: dispatch
-        // `on_start` manually to re-arm the periodic timers, and drain
-        // the actions the restore + fast-forward queued up.
+        // `on_start` manually to re-arm the periodic timers, begin
+        // §III-E catch-up (a no-op unless `transfer_millis` is set),
+        // and drain the actions the restore + fast-forward queued up.
         self.sim.with_ctx(node, |actor, ctx| {
             actor.on_start(ctx);
+            let now = ctx.now().as_nanos();
+            actor.inner_mut().begin_catch_up(now);
             let actions = actor.inner_mut().take_actions();
             actor.process_actions(ctx, actions);
         });
@@ -455,13 +476,44 @@ impl ChaosHarness {
         self.note(at, node as u16, format!("restart {node}"));
     }
 
+    /// Join: boot a brand-new, history-less node into the running
+    /// cluster. The node gets the cluster configuration (the
+    /// "distribution" step of a membership change), opens its links, and
+    /// starts §III-E catch-up against every live stream.
+    fn join(&mut self, at: SimTime, node: usize) {
+        let acks = Arc::clone(self.sim.actor(node).inner().ack_types());
+        let fresh = StabilizerNode::new(self.cfg.clone(), NodeId(node as u16), acks)
+            .expect("predicates compiled at startup recompile on join");
+        let observer = ChaosObserver::new(node as u16, self.trace.clone()).with_metrics(
+            self.telemetry
+                .as_ref()
+                .map(|t| t.observer(NodeId(node as u16))),
+        );
+        self.sim.replace_actor(node, SimNode::new(fresh, observer));
+        self.absent[node] = false;
+        for (a, b) in FaultPlan::crash_pairs(node, self.n) {
+            self.sync_link(a, b);
+        }
+        self.sim.with_ctx(node, |actor, ctx| {
+            actor.on_start(ctx);
+            let now = ctx.now().as_nanos();
+            actor.inner_mut().begin_catch_up(now);
+            let actions = actor.inner_mut().take_actions();
+            actor.process_actions(ctx, actions);
+        });
+        self.checker
+            .note_restart(node, self.sim.actor(node).inner());
+        self.sim.actor_mut(node).inner_mut().enable_ack_journal();
+        self.note(at, node as u16, format!("join {node}"));
+    }
+
     fn apply_work(&mut self, at: SimTime, item: WorkItem) {
         let node = match &item {
             WorkItem::Publish { node, .. }
             | WorkItem::ChangePredicate { node, .. }
             | WorkItem::WaitFor { node, .. } => *node,
         };
-        if self.crashed[node].is_some() {
+        if self.crashed[node].is_some() || self.absent[node] {
             self.note(at, node as u16, format!("skipped (node down): {item:?}"));
             return;
         }

@@ -43,6 +43,12 @@ pub struct NodeView<'a> {
     pub suspected_log: &'a [(SimTime, NodeId)],
     /// Recovery log.
     pub recovered_log: &'a [(SimTime, NodeId)],
+    /// Out-of-band stream fast-forwards from §III-E state transfer:
+    /// `(time, stream, seq)` — delivery of `stream` resumes *after*
+    /// `seq`. The prefix check merges this log with the delivery log by
+    /// timestamp (catch-ups first on ties: the fast-forward happens
+    /// before the deliveries it releases).
+    pub catchup_log: &'a [(SimTime, NodeId, SeqNo)],
     /// Whether the delivery log is populated.
     pub records_deliveries: bool,
     /// Recorder cells written since the previous check, drained from the
@@ -71,6 +77,7 @@ impl<H: AppHooks> ChaosObservable for SimNode<H> {
             delivery_log: &self.delivery_log,
             suspected_log: &self.suspected_log,
             recovered_log: &self.recovered_log,
+            catchup_log: &self.catchup_log,
             records_deliveries: self.records_deliveries(),
             dirty: None,
         }
@@ -119,6 +126,8 @@ pub struct InvariantChecker {
     frontier_shadow: HashMap<(u16, u16, String), (u32, SeqNo)>,
     /// Per-node cursor into `delivery_log`.
     delivery_cursor: Vec<usize>,
+    /// Per-node cursor into `catchup_log`.
+    catchup_cursor: Vec<usize>,
     /// Last delivered seq per `(node, origin)` in the current
     /// incarnation (prefix check).
     last_delivered: HashMap<(u16, u16), SeqNo>,
@@ -142,6 +151,7 @@ impl InvariantChecker {
             frontier_cursor: vec![0; n],
             frontier_shadow: HashMap::new(),
             delivery_cursor: vec![0; n],
+            catchup_cursor: vec![0; n],
             last_delivered: HashMap::new(),
             delivered_high: HashMap::new(),
             suspected_cursor: vec![0; n],
@@ -163,6 +173,7 @@ impl InvariantChecker {
     pub fn note_restart(&mut self, i: usize, restored: &StabilizerNode) {
         self.frontier_cursor[i] = 0;
         self.delivery_cursor[i] = 0;
+        self.catchup_cursor[i] = 0;
         self.suspected_cursor[i] = 0;
         self.recovered_cursor[i] = 0;
         self.frontier_shadow
@@ -212,7 +223,12 @@ impl InvariantChecker {
         Ok(())
     }
 
-    /// Invariant 4 (and the high-water input to invariant 3).
+    /// Invariant 4 (and the high-water input to invariant 3). The
+    /// delivery log is merged with the catch-up log by timestamp
+    /// (catch-ups first on ties): a §III-E fast-forward to `seq` is the
+    /// out-of-band recovery of the prefix `..=seq`, so delivery resumes
+    /// at `seq + 1` instead of the last in-band delivery + 1, and the
+    /// recovered prefix counts toward the upcall high-water mark.
     fn check_deliveries(
         &mut self,
         now: SimTime,
@@ -221,10 +237,30 @@ impl InvariantChecker {
         for (i, view) in views.iter().enumerate() {
             if !view.records_deliveries {
                 self.delivery_cursor[i] = view.delivery_log.len();
+                self.catchup_cursor[i] = view.catchup_log.len();
                 continue;
             }
-            let log = view.delivery_log;
-            for &(at, origin, seq, _len) in &log[self.delivery_cursor[i]..] {
+            let log = &view.delivery_log[self.delivery_cursor[i]..];
+            let catchups = &view.catchup_log[self.catchup_cursor[i]..];
+            let (mut d, mut c) = (0usize, 0usize);
+            while d < log.len() || c < catchups.len() {
+                let take_catchup = match (log.get(d), catchups.get(c)) {
+                    (Some(&(dat, ..)), Some(&(cat, ..))) => cat <= dat,
+                    (None, Some(_)) => true,
+                    _ => false,
+                };
+                if take_catchup {
+                    let (_, stream, seq) = catchups[c];
+                    c += 1;
+                    let key = (i as u16, stream.0);
+                    let entry = self.last_delivered.entry(key).or_insert(0);
+                    *entry = (*entry).max(seq);
+                    let high = self.delivered_high.entry(key).or_insert(0);
+                    *high = (*high).max(seq);
+                    continue;
+                }
+                let (at, origin, seq, _len) = log[d];
+                d += 1;
                 let key = (i as u16, origin.0);
                 let prev = *self.last_delivered.get(&key).unwrap_or(&0);
                 if seq != prev + 1 {
@@ -242,7 +278,8 @@ impl InvariantChecker {
                 let high = self.delivered_high.entry(key).or_insert(0);
                 *high = (*high).max(seq);
             }
-            self.delivery_cursor[i] = log.len();
+            self.delivery_cursor[i] = view.delivery_log.len();
+            self.catchup_cursor[i] = view.catchup_log.len();
         }
         Ok(())
     }
@@ -537,6 +574,7 @@ mod tests {
             delivery_log: &[],
             suspected_log: &[],
             recovered_log: &[],
+            catchup_log: &[],
             records_deliveries: false,
             dirty: None,
         }
@@ -587,6 +625,60 @@ mod tests {
             view(&nodes[1]),
         ];
         let err = checker.check(SimTime::ZERO, &views).unwrap_err();
+        assert_eq!(err.property, "delivery-prefix");
+    }
+
+    #[test]
+    fn catch_up_bridges_the_delivery_prefix() {
+        // A §III-E fast-forward to seq 5 at t=10 makes the next in-band
+        // delivery seq 6 legal even though seqs 1..=5 were never
+        // up-called; without the catch-up the same log is a violation.
+        let nodes = two_nodes();
+        let delivery = [(SimTime(20), NodeId(1), 6u64, 0usize)];
+        let catchup = [(SimTime(10), NodeId(1), 5u64)];
+        let mut checker = InvariantChecker::new(2, 3);
+        let views = vec![
+            NodeView {
+                delivery_log: &delivery,
+                catchup_log: &catchup,
+                records_deliveries: true,
+                ..view(&nodes[0])
+            },
+            view(&nodes[1]),
+        ];
+        checker.check(SimTime(20), &views).unwrap();
+
+        let mut checker = InvariantChecker::new(2, 3);
+        let views = vec![
+            NodeView {
+                delivery_log: &delivery,
+                records_deliveries: true,
+                ..view(&nodes[0])
+            },
+            view(&nodes[1]),
+        ];
+        let err = checker.check(SimTime(20), &views).unwrap_err();
+        assert_eq!(err.property, "delivery-prefix");
+    }
+
+    #[test]
+    fn catch_up_after_a_gapped_delivery_does_not_excuse_it() {
+        // The merge is timestamp-ordered: a fast-forward at t=30 cannot
+        // retroactively legalize a gapped delivery at t=20.
+        let nodes = two_nodes();
+        let delivery = [(SimTime(20), NodeId(1), 6u64, 0usize)];
+        let catchup = [(SimTime(30), NodeId(1), 5u64)];
+        let mut checker = InvariantChecker::new(2, 3);
+        let views = vec![
+            NodeView {
+                delivery_log: &delivery,
+                catchup_log: &catchup,
+                records_deliveries: true,
+                ..view(&nodes[0])
+            },
+            view(&nodes[1]),
+        ];
+        let err = checker.check(SimTime(30), &views).unwrap_err();
         assert_eq!(err.property, "delivery-prefix");
     }
 

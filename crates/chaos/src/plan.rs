@@ -62,6 +62,15 @@ pub enum Fault {
         /// Time until the skew clears.
         clear_after: SimDuration,
     },
+    /// Membership change: `node` is absent from the cluster at boot and
+    /// joins live at the event time — it boots *fresh* (no snapshot, no
+    /// history), receives the cluster configuration, and catches up on
+    /// every stream via §III-E state transfer. At most one join per
+    /// node, and the node cannot crash before it has joined.
+    Join {
+        /// The late-joining node.
+        node: usize,
+    },
 }
 
 /// A fault with its virtual start time.
@@ -138,6 +147,12 @@ pub enum Op {
         /// The restarting node.
         node: usize,
     },
+    /// Boot a fresh (history-less) node into the running cluster and
+    /// start §III-E catch-up.
+    Join {
+        /// The joining node.
+        node: usize,
+    },
 }
 
 /// An [`Op`] scheduled at a virtual time.
@@ -179,10 +194,12 @@ impl FaultPlan {
     /// # Errors
     ///
     /// Returns the first structural problem found: out-of-range nodes,
-    /// bad probabilities, degenerate partitions, or overlapping crash
-    /// windows on the same node (a node cannot crash while down).
+    /// bad probabilities, degenerate partitions, overlapping crash
+    /// windows on the same node (a node cannot crash while down),
+    /// duplicate joins, or a crash scheduled before its node joins.
     pub fn validate(&self, n: usize) -> Result<(), PlanError> {
         let mut crash_windows: Vec<(usize, SimDuration, SimDuration)> = Vec::new();
+        let mut joins: Vec<(usize, SimDuration)> = Vec::new();
         for (i, ev) in self.events.iter().enumerate() {
             let bad = |msg: String| Err(PlanError(format!("event {i}: {msg}")));
             match &ev.fault {
@@ -246,9 +263,42 @@ impl FaultPlan {
                         return bad(format!("bad skew link {from}->{to} (n={n})"));
                     }
                 }
+                Fault::Join { node } => {
+                    if *node >= n {
+                        return bad(format!("node {node} out of range (n={n})"));
+                    }
+                    if joins.iter().any(|&(j, _)| j == *node) {
+                        return bad(format!("node {node} joins twice"));
+                    }
+                    joins.push((*node, ev.at));
+                }
+            }
+        }
+        // A node that joins late cannot crash before the join: its crash
+        // windows must start strictly after the join time.
+        for &(node, join_at) in &joins {
+            for &(other, s, _) in &crash_windows {
+                if other == node && s <= join_at {
+                    return Err(PlanError(format!(
+                        "node {node} has a crash window starting at {s} but only joins at {join_at}"
+                    )));
+                }
             }
         }
         Ok(())
+    }
+
+    /// The nodes this plan boots *absent* (they enter via
+    /// [`Fault::Join`]), with their join times. Harnesses use this to
+    /// keep those nodes offline from the start of the run.
+    pub fn join_nodes(&self) -> Vec<(usize, SimDuration)> {
+        self.events
+            .iter()
+            .filter_map(|ev| match ev.fault {
+                Fault::Join { node } => Some((node, ev.at)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Lower into primitive timed operations, sorted by time (stable on
@@ -350,6 +400,12 @@ impl FaultPlan {
                             to: *to,
                             extra: SimDuration::ZERO,
                         },
+                    });
+                }
+                Fault::Join { node } => {
+                    ops.push(TimedOp {
+                        at: ev.at,
+                        op: Op::Join { node: *node },
                     });
                 }
             }
@@ -481,5 +537,58 @@ mod tests {
             ],
         };
         assert!(disjoint.validate(4).is_ok());
+    }
+
+    #[test]
+    fn join_validation_and_compilation() {
+        let join = |node, at| FaultEvent {
+            at,
+            fault: Fault::Join { node },
+        };
+        // Out of range.
+        assert!(FaultPlan {
+            events: vec![join(9, ms(100))]
+        }
+        .validate(4)
+        .is_err());
+        // Double join.
+        assert!(FaultPlan {
+            events: vec![join(1, ms(100)), join(1, ms(400))]
+        }
+        .validate(4)
+        .is_err());
+        // A crash before (or at) the join time is impossible.
+        let crash_before_join = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at: ms(50),
+                    fault: Fault::CrashRestart {
+                        node: 2,
+                        down_for: ms(100),
+                    },
+                },
+                join(2, ms(300)),
+            ],
+        };
+        assert!(crash_before_join.validate(4).is_err());
+        // A crash after the join is fine, and compiles to Join + the
+        // crash pair, in time order.
+        let ok = FaultPlan {
+            events: vec![
+                join(2, ms(100)),
+                FaultEvent {
+                    at: ms(400),
+                    fault: Fault::CrashRestart {
+                        node: 2,
+                        down_for: ms(100),
+                    },
+                },
+            ],
+        };
+        assert_eq!(ok.join_nodes(), vec![(2, ms(100))]);
+        let ops = ok.compile(4).unwrap();
+        assert!(matches!(ops[0].op, Op::Join { node: 2 }));
+        assert!(matches!(ops[1].op, Op::Crash { node: 2 }));
+        assert!(matches!(ops[2].op, Op::Restart { node: 2 }));
     }
 }

@@ -195,6 +195,14 @@ impl Scenario {
         cfg.push_str("option heartbeat_millis 50\n");
         cfg.push_str("option failure_timeout_millis 300\n");
         cfg.push_str("option retransmit_millis 100\n");
+        // §III-E state transfer is always armed: crash windows longer
+        // than the failure timeout evict the suspect from send-buffer
+        // retention, and the restarted node must recover through
+        // snapshot + retained-log replay. Fixed values (no RNG draws)
+        // keep the seed -> scenario mapping for everything else stable.
+        cfg.push_str("option retain_log_bytes 1048576\n");
+        cfg.push_str("option transfer_millis 40\n");
+        cfg.push_str("option transfer_window 16\n");
         if rng.gen_bool(0.3) {
             cfg.push_str("option auto_exclude_suspects true\n");
         }
@@ -254,10 +262,11 @@ impl Scenario {
     fn gen_plan(rng: &mut SmallRng, n: usize, active_ms: u64) -> FaultPlan {
         let mut events = Vec::new();
         let mut crashed_nodes: Vec<usize> = Vec::new();
+        let mut joined_nodes: Vec<usize> = Vec::new();
         let count = rng.gen_range(1usize..=5);
         for _ in 0..count {
             let at = ms(rng.gen_range(50..active_ms));
-            let fault = match rng.gen_range(0u32..5) {
+            let fault = match rng.gen_range(0u32..6) {
                 0 => {
                     let size = rng.gen_range(1..n);
                     let mut all: Vec<usize> = (0..n).collect();
@@ -289,9 +298,10 @@ impl Scenario {
                 },
                 3 => {
                     let node = rng.gen_range(0..n);
-                    if crashed_nodes.contains(&node) {
+                    if crashed_nodes.contains(&node) || joined_nodes.contains(&node) {
                         // One crash window per node keeps windows trivially
-                        // disjoint; substitute a loss burst.
+                        // disjoint (and a crash must not precede a join);
+                        // substitute a loss burst.
                         Fault::AsymmetricLoss {
                             from: node,
                             to: (node + 1) % n,
@@ -306,7 +316,7 @@ impl Scenario {
                         }
                     }
                 }
-                _ => {
+                4 => {
                     let from = rng.gen_range(0..n);
                     let to = (from + rng.gen_range(1..n)) % n;
                     Fault::DelaySkew {
@@ -314,6 +324,24 @@ impl Scenario {
                         to,
                         extra: ms(rng.gen_range(20u64..=80)),
                         clear_after: ms(rng.gen_range(100u64..=400)),
+                    }
+                }
+                _ => {
+                    // Membership change: the node sits out from boot and
+                    // joins live, catching up via §III-E transfer. One
+                    // join per node, never for a node that also crashes
+                    // (the join would have to precede the crash).
+                    let node = rng.gen_range(0..n);
+                    if joined_nodes.contains(&node) || crashed_nodes.contains(&node) {
+                        Fault::AsymmetricLoss {
+                            from: node,
+                            to: (node + 1) % n,
+                            probability: 0.3,
+                            clear_after: ms(200),
+                        }
+                    } else {
+                        joined_nodes.push(node);
+                        Fault::Join { node }
                     }
                 }
             };

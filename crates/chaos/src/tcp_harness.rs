@@ -173,6 +173,17 @@ impl ChaosTcpCluster {
         let proxy = ProxyNet::new(n, seed)
             .map_err(|e| ChaosError::Core(CoreError::Config(format!("proxy: {e}"))))?;
 
+        // Late joiners ([`crate::Fault::Join`]) are absent from boot:
+        // cut their links before any node spawns so the placeholder
+        // incarnation idles in isolation until the join op replaces it.
+        let mut down = vec![false; n];
+        for (node, _) in plan.join_nodes() {
+            down[node] = true;
+            for (a, b) in FaultPlan::crash_pairs(node, n) {
+                proxy.set_link_up(a, b, false);
+            }
+        }
+
         // Bind every node's listener and register all destinations
         // before any node spawns, so no proxy connection can observe a
         // missing destination.
@@ -248,7 +259,7 @@ impl ChaosTcpCluster {
             schedule,
             next_action: 0,
             snapshots: vec![None; n],
-            down: vec![false; n],
+            down,
             desired_up: vec![true; n * n],
             restarts: 0,
             checks: 0,
@@ -295,6 +306,7 @@ impl ChaosTcpCluster {
                 delivery_log: &logs[i].delivery_log,
                 suspected_log: &logs[i].suspected_log,
                 recovered_log: &logs[i].recovered_log,
+                catchup_log: &logs[i].catchup_log,
                 records_deliveries: true,
                 dirty: Some(d),
             })
@@ -444,6 +456,7 @@ impl ChaosTcpCluster {
             }
             Op::Crash { node } => self.crash(node),
             Op::Restart { node } => self.restart(node),
+            Op::Join { node } => self.join(node),
         }
     }
 
@@ -520,6 +533,58 @@ impl ChaosTcpCluster {
         }
     }
 
+    /// Join `node` as a brand-new member: discard the boot-era
+    /// placeholder incarnation (a joining node has no history), spawn
+    /// fresh with the distributed cluster config and **no snapshot**,
+    /// open its links, and start §III-E catch-up on every stream.
+    fn join(&mut self, node: usize) {
+        self.proxy.kill_links_of(node);
+        self.proxy.drain_links_of(node, DRAIN_TIMEOUT);
+        self.nodes[node].shutdown();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind join listener");
+        self.proxy
+            .set_dest(node, listener.local_addr().expect("join addr"));
+        let log = shared_runtime_log();
+        let peer_addrs = (0..self.n)
+            .filter(|j| *j != node)
+            .map(|j| (NodeId(j as u16), self.proxy.proxy_addr(node, j)))
+            .collect();
+        self.restarts += 1;
+        let joined = spawn_node_with(
+            self.cfg.clone(),
+            NodeId(node as u16),
+            Arc::clone(&self.acks),
+            listener,
+            peer_addrs,
+            SpawnOptions {
+                observer: Some(make_observer(
+                    &log,
+                    self.telemetry.as_ref(),
+                    NodeId(node as u16),
+                )),
+                snapshot: None,
+                jitter_seed: self.seed ^ (self.restarts << 48),
+                telemetry: self.telemetry.clone(),
+                metrics_dump: None,
+            },
+        )
+        .expect("predicates compiled at startup recompile on join");
+        self.nodes[node] = joined.handle();
+        self.logs[node] = log;
+        {
+            let mut state = self.nodes[node].lock_state();
+            self.checker.note_restart(node, &state);
+            state.enable_ack_journal();
+        }
+        self.down[node] = false;
+        for (a, b) in FaultPlan::crash_pairs(node, self.n) {
+            self.sync_link(a, b);
+        }
+        // Fresh spawns don't auto-request catch-up (only the
+        // restore-from-snapshot path does): kick it off explicitly.
+        self.nodes[node].begin_catch_up();
+    }
+
     fn apply_work(&mut self, item: WorkItem) {
         let node = match &item {
             WorkItem::Publish { node, .. }
@@ -560,6 +625,18 @@ impl ChaosTcpCluster {
                 let _ = self.nodes[node].begin_waitfor(NodeId(stream as u16), &key, seq);
             }
         }
+    }
+
+    /// The §III-E catch-up events observed on `node`'s *current*
+    /// incarnation: `(stream, seq)` fast-forwards, in order. Non-empty
+    /// after a recovery that had to skip past the donor's retained log.
+    pub fn catchup_events(&self, node: usize) -> Vec<(u16, SeqNo)> {
+        self.logs[node]
+            .lock()
+            .catchup_log
+            .iter()
+            .map(|&(_, stream, seq)| (stream.0, seq))
+            .collect()
     }
 
     /// Per-node delivery order `(origin, seq)` as observed by the

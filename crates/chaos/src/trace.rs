@@ -43,6 +43,13 @@ pub enum TraceEventKind {
         /// The suspect.
         peer: u16,
     },
+    /// A §III-E out-of-band stream fast-forward (state transfer).
+    CatchUp {
+        /// The fast-forwarded stream.
+        stream: u16,
+        /// Sequence delivery resumes after.
+        seq: SeqNo,
+    },
     /// A fault operation or workload action applied by the harness.
     Harness {
         /// Human-readable description (stable across runs).
@@ -110,6 +117,11 @@ impl EventTrace {
                 TraceEventKind::Suspected { peer } => {
                     fnv(&mut h, b"S");
                     fnv(&mut h, &peer.to_le_bytes());
+                }
+                TraceEventKind::CatchUp { stream, seq } => {
+                    fnv(&mut h, b"C");
+                    fnv(&mut h, &stream.to_le_bytes());
+                    fnv(&mut h, &seq.to_le_bytes());
                 }
                 TraceEventKind::Harness { what } => {
                     fnv(&mut h, b"H");
@@ -221,6 +233,20 @@ impl AppHooks for ChaosObserver {
         });
         if let Some(m) = &mut self.metrics {
             AppHooks::on_suspected(m, now, node);
+        }
+    }
+
+    fn on_catch_up(&mut self, now: SimTime, stream: NodeId, seq: SeqNo) {
+        self.trace.borrow_mut().events.push(TraceEvent {
+            at_nanos: now.as_nanos(),
+            node: self.node,
+            kind: TraceEventKind::CatchUp {
+                stream: stream.0,
+                seq,
+            },
+        });
+        if let Some(m) = &mut self.metrics {
+            AppHooks::on_catch_up(m, now, stream, seq);
         }
     }
 }

@@ -1,0 +1,443 @@
+//! The §III-E recovery suite: crash-past-eviction and live-join
+//! scenarios on both runtimes, proving snapshot + retained-log catch-up
+//! brings a node all the way back into a satisfied stability frontier.
+//!
+//! Structure:
+//! - simulator: crash past the eviction window (small retained log
+//!   forces a snapshot fast-forward), resumable transfer across a second
+//!   crash, and a live membership join;
+//! - TCP: the same crash-past-eviction and join scenarios over real
+//!   sockets, plus the pre-fix stall regression pin (`transfer_millis
+//!   0` reproduces the permanent stall the detector-off escape hatch
+//!   used to hide; enabling transfer resolves it);
+//! - differential: the same seeded recovery scenario on both runtimes
+//!   must converge to the same post-recovery protocol state.
+
+use stabilizer_chaos::{
+    ChaosHarness, ChaosTcpCluster, Fault, FaultEvent, FaultPlan, TimedWork, WorkItem,
+};
+use stabilizer_core::ClusterConfig;
+use stabilizer_dsl::{NodeId, SeqNo, RECEIVED};
+use stabilizer_netsim::{NetTopology, SimDuration};
+use std::time::Duration;
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+/// Three nodes, failure detector ON, §III-E transfer armed. The tiny
+/// retained log (`retain_log_bytes`) is the point: a crash window longer
+/// than `failure_timeout_millis` evicts the suspect from send-buffer
+/// retention, the retained log only keeps the tail, and recovery *must*
+/// fast-forward over the evicted prefix (a visible catch-up event)
+/// before replaying the rest.
+fn recovery_cfg(transfer_millis: u64, retain_log_bytes: u64) -> ClusterConfig {
+    ClusterConfig::parse(&format!(
+        "az East e1 e2\naz West w1\n\
+         predicate All MIN($ALLWNODES-$MYWNODE)\n\
+         option ack_flush_micros 1000\n\
+         option heartbeat_millis 20\n\
+         option retransmit_millis 40\n\
+         option failure_timeout_millis 120\n\
+         option retain_log_bytes {retain_log_bytes}\n\
+         option transfer_millis {transfer_millis}\n\
+         option transfer_window 4\n"
+    ))
+    .unwrap()
+}
+
+fn publishes(node: usize, count: usize, every_ms: u64, len: usize) -> Vec<TimedWork> {
+    (0..count)
+        .map(|i| TimedWork {
+            at: ms(10 + i as u64 * every_ms),
+            item: WorkItem::Publish { node, len },
+        })
+        .collect()
+}
+
+fn crash(node: usize, at: u64, down_for: u64) -> FaultEvent {
+    FaultEvent {
+        at: ms(at),
+        fault: Fault::CrashRestart {
+            node,
+            down_for: ms(down_for),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------
+
+#[test]
+fn sim_crash_past_eviction_recovers_via_snapshot_catch_up() {
+    let cfg = recovery_cfg(20, 600);
+    let net = NetTopology::full_mesh(3, ms(5), 1e9);
+    let plan = FaultPlan {
+        events: vec![crash(2, 100, 600)],
+    };
+    let mut h = ChaosHarness::new(&cfg, net, 21, &plan, publishes(0, 25, 20, 64)).unwrap();
+    h.run(ms(4000))
+        .unwrap_or_else(|v| panic!("safety violation: {v}"));
+
+    // The restarted node was fast-forwarded out of band at least once:
+    // the donor's retained log (600 bytes) cannot cover the whole
+    // eviction gap, so recovery had to jump via the snapshot.
+    let catchups = &h.sim().actor(2).catchup_log;
+    assert!(
+        catchups.iter().any(|&(_, stream, _)| stream == NodeId(0)),
+        "no catch-up event for stream 0 on the restarted node: {catchups:?}"
+    );
+
+    // Full re-participation: node 2 holds the entire stream again...
+    let n2 = h.sim().actor(2).inner();
+    assert_eq!(n2.recorder().get(NodeId(0), NodeId(2), RECEIVED), 25);
+    // ...and the origin's frontier under the MIN-of-everyone predicate
+    // (which needs node 2's acknowledgments) is fully satisfied.
+    let frontier = h
+        .sim()
+        .actor(0)
+        .inner()
+        .stability_frontier(NodeId(0), "All")
+        .map(|(seq, _)| seq)
+        .unwrap_or(0);
+    assert_eq!(frontier, 25, "origin frontier not satisfied after rejoin");
+}
+
+#[test]
+fn sim_transfer_resumes_across_a_second_crash() {
+    // transfer_window 1 + 5 ms links make the transfer take many
+    // round-trips, so the second crash lands mid-transfer; the third
+    // incarnation restarts catch-up from its (partially caught-up)
+    // snapshot rather than from scratch, and still converges.
+    let cfg = ClusterConfig::parse(
+        "az East e1 e2\naz West w1\n\
+         predicate All MIN($ALLWNODES-$MYWNODE)\n\
+         option ack_flush_micros 1000\n\
+         option heartbeat_millis 20\n\
+         option retransmit_millis 40\n\
+         option failure_timeout_millis 120\n\
+         option retain_log_bytes 600\n\
+         option transfer_millis 20\n\
+         option transfer_window 1\n",
+    )
+    .unwrap();
+    let net = NetTopology::full_mesh(3, ms(5), 1e9);
+    let plan = FaultPlan {
+        events: vec![crash(2, 100, 500), crash(2, 680, 250)],
+    };
+    let mut h = ChaosHarness::new(&cfg, net, 33, &plan, publishes(0, 25, 18, 64)).unwrap();
+    let report = h
+        .run(ms(5000))
+        .unwrap_or_else(|v| panic!("safety violation: {v}"));
+    assert!(report.dropped > 0, "both crash windows should drop traffic");
+
+    let n2 = h.sim().actor(2).inner();
+    assert_eq!(
+        n2.recorder().get(NodeId(0), NodeId(2), RECEIVED),
+        25,
+        "stream 0 did not fully recover across the interrupted transfer"
+    );
+    let frontier = h
+        .sim()
+        .actor(0)
+        .inner()
+        .stability_frontier(NodeId(0), "All")
+        .map(|(seq, _)| seq)
+        .unwrap_or(0);
+    assert_eq!(frontier, 25);
+}
+
+#[test]
+fn sim_live_join_catches_up_and_joins_the_frontier() {
+    // Node 2 is absent from boot and joins at 500 ms — after the whole
+    // stream was published and (past the failure timeout) evicted from
+    // retention for the missing member. The joiner starts from nothing:
+    // everything it gets comes through §III-E transfer.
+    let cfg = recovery_cfg(20, 600);
+    let net = NetTopology::full_mesh(3, ms(5), 1e9);
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            at: ms(500),
+            fault: Fault::Join { node: 2 },
+        }],
+    };
+    let mut h = ChaosHarness::new(&cfg, net, 55, &plan, publishes(0, 20, 20, 64)).unwrap();
+    h.run(ms(4000))
+        .unwrap_or_else(|v| panic!("safety violation: {v}"));
+
+    let n2 = h.sim().actor(2).inner();
+    assert_eq!(
+        n2.recorder().get(NodeId(0), NodeId(2), RECEIVED),
+        20,
+        "the joiner did not catch up on stream 0"
+    );
+    assert!(
+        !h.sim().actor(2).catchup_log.is_empty(),
+        "a fresh joiner past the eviction window must fast-forward"
+    );
+    let frontier = h
+        .sim()
+        .actor(0)
+        .inner()
+        .stability_frontier(NodeId(0), "All")
+        .map(|(seq, _)| seq)
+        .unwrap_or(0);
+    assert_eq!(
+        frontier, 20,
+        "the MIN-of-everyone frontier must be satisfied once the joiner is in"
+    );
+}
+
+#[test]
+fn sim_recovery_replays_deterministically() {
+    let run = || {
+        let cfg = recovery_cfg(20, 600);
+        let net = NetTopology::full_mesh(3, ms(5), 1e9);
+        let plan = FaultPlan {
+            events: vec![
+                crash(2, 100, 600),
+                FaultEvent {
+                    at: ms(150),
+                    fault: Fault::Join { node: 1 },
+                },
+            ],
+        };
+        let mut h = ChaosHarness::new(&cfg, net, 77, &plan, publishes(0, 15, 25, 64)).unwrap();
+        h.run(ms(3500))
+            .unwrap_or_else(|v| panic!("safety violation: {v}"))
+            .trace_hash
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "recovery paths leaked nondeterminism into the trace"
+    );
+}
+
+// ---------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------
+
+#[test]
+fn tcp_crash_past_eviction_recovers_via_snapshot_catch_up() {
+    let cfg = recovery_cfg(20, 1024);
+    let plan = FaultPlan {
+        events: vec![crash(1, 200, 400)],
+    };
+    let mut cluster = ChaosTcpCluster::new(&cfg, 91, &plan, publishes(0, 25, 25, 64)).unwrap();
+    cluster
+        .run(Duration::from_millis(1200))
+        .unwrap_or_else(|v| panic!("safety violation: {v}"));
+    cluster
+        .verify_liveness(Duration::from_secs(30))
+        .unwrap_or_else(|v| panic!("liveness violation: {v}"));
+
+    let catchups = cluster.catchup_events(1);
+    assert!(
+        catchups.iter().any(|&(stream, _)| stream == 0),
+        "restarted node recovered without a catch-up event: {catchups:?}"
+    );
+    let table = cluster.received_table();
+    assert_eq!(table[1][0], 25, "node 1 is missing stream 0 traffic");
+    assert_eq!(
+        cluster.frontier(0, 0, "All").unwrap_or(0),
+        25,
+        "origin frontier not satisfied after the rejoin"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn tcp_live_join_catches_up_and_joins_the_frontier() {
+    let cfg = recovery_cfg(20, 1024);
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            at: ms(500),
+            fault: Fault::Join { node: 2 },
+        }],
+    };
+    let mut cluster = ChaosTcpCluster::new(&cfg, 92, &plan, publishes(0, 20, 20, 64)).unwrap();
+    cluster
+        .run(Duration::from_millis(900))
+        .unwrap_or_else(|v| panic!("safety violation: {v}"));
+    cluster
+        .verify_liveness(Duration::from_secs(30))
+        .unwrap_or_else(|v| panic!("liveness violation: {v}"));
+
+    let table = cluster.received_table();
+    assert_eq!(table[2][0], 20, "the joiner did not catch up on stream 0");
+    assert_eq!(
+        cluster.frontier(0, 0, "All").unwrap_or(0),
+        20,
+        "the frontier must be satisfied once the joiner is in"
+    );
+    cluster.shutdown();
+}
+
+/// The pre-fix permanent stall, pinned: failure detector ON, a crash
+/// window past the eviction timeout, retransmission running — and
+/// `transfer_millis 0` (state transfer disabled). The donor evicts the
+/// tail the restarted node needs, retransmit cannot resupply it, and
+/// liveness never converges. This is exactly the stall the old
+/// `failure-detector-off` escape hatch in these scenarios papered over.
+#[test]
+fn tcp_eviction_without_transfer_stalls_permanently() {
+    let cfg = recovery_cfg(0, 0); // transfer disabled, nothing retained
+    let plan = FaultPlan {
+        events: vec![crash(1, 200, 400)],
+    };
+    let mut cluster = ChaosTcpCluster::new(&cfg, 93, &plan, publishes(0, 20, 25, 64)).unwrap();
+    // Safety still holds throughout — the stall is a liveness failure.
+    cluster
+        .run(Duration::from_millis(1100))
+        .unwrap_or_else(|v| panic!("safety violation: {v}"));
+    let violation = cluster
+        .verify_liveness(Duration::from_secs(2))
+        .expect_err("eviction without state transfer must stall");
+    assert_eq!(violation.property, "post-fault-liveness");
+    cluster.shutdown();
+}
+
+/// The same scenario with transfer enabled converges — the regression
+/// guard for the fix itself.
+#[test]
+fn tcp_transfer_resolves_the_eviction_stall() {
+    let cfg = recovery_cfg(20, 1024);
+    let plan = FaultPlan {
+        events: vec![crash(1, 200, 400)],
+    };
+    let mut cluster = ChaosTcpCluster::new(&cfg, 93, &plan, publishes(0, 20, 25, 64)).unwrap();
+    cluster
+        .run(Duration::from_millis(1100))
+        .unwrap_or_else(|v| panic!("safety violation: {v}"));
+    cluster
+        .verify_liveness(Duration::from_secs(30))
+        .unwrap_or_else(|v| panic!("the stall is supposed to be fixed: {v}"));
+    cluster.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Differential: netsim vs TCP after recovery
+// ---------------------------------------------------------------------
+
+/// Post-recovery protocol state must agree across runtimes for the same
+/// seeded scenario. Exact delivery logs can differ *on the recovering
+/// node only* (its snapshot point, and therefore how much arrives via
+/// fast-forward vs replay, is timing-dependent on TCP); what must match
+/// is everything the protocol defines: final RECEIVED tables, final
+/// frontier sequences, and — per node and origin — that catch-ups plus
+/// deliveries compose to exactly the full published prefix.
+#[test]
+fn netsim_and_tcp_agree_on_post_recovery_state() {
+    const SEED: u64 = 4242;
+    const PUBLISHED: SeqNo = 12;
+    let cfg = recovery_cfg(20, 262_144);
+    let plan = FaultPlan {
+        events: vec![crash(1, 150, 300)],
+    };
+    let workload = publishes(0, PUBLISHED as usize, 30, 48);
+
+    // Simulator leg.
+    let net = NetTopology::full_mesh(3, ms(5), 1e9);
+    let mut h = ChaosHarness::new(&cfg, net, SEED, &plan, workload.clone()).unwrap();
+    h.run(ms(6000))
+        .unwrap_or_else(|v| panic!("sim safety violation: {v}"));
+    let sim_received: Vec<Vec<SeqNo>> = (0..3)
+        .map(|i| {
+            let node = h.sim().actor(i).inner();
+            (0..3)
+                .map(|s| node.recorder().get(NodeId(s as u16), node.me(), RECEIVED))
+                .collect()
+        })
+        .collect();
+    let sim_frontier = h
+        .sim()
+        .actor(0)
+        .inner()
+        .stability_frontier(NodeId(0), "All")
+        .map(|(seq, _)| seq)
+        .unwrap_or(0);
+    let sim_coverage: Vec<SeqNo> = (1..3)
+        .map(|i| {
+            let catchup_floor = h
+                .sim()
+                .actor(i)
+                .catchup_log
+                .iter()
+                .filter(|&&(_, s, _)| s == NodeId(0))
+                .map(|&(_, _, seq)| seq)
+                .max()
+                .unwrap_or(0);
+            covered_prefix(
+                catchup_floor,
+                h.sim()
+                    .actor(i)
+                    .delivery_log
+                    .iter()
+                    .filter(|&&(_, o, _, _)| o == NodeId(0))
+                    .map(|&(_, _, seq, _)| seq),
+            )
+        })
+        .collect();
+
+    // TCP leg.
+    let mut cluster = ChaosTcpCluster::new(&cfg, SEED, &plan, workload).unwrap();
+    cluster
+        .run(Duration::from_millis(1000))
+        .unwrap_or_else(|v| panic!("tcp safety violation: {v}"));
+    cluster
+        .verify_liveness(Duration::from_secs(30))
+        .unwrap_or_else(|v| panic!("tcp liveness violation: {v}"));
+    let tcp_received = cluster.received_table();
+    let tcp_frontier = cluster.frontier(0, 0, "All").unwrap_or(0);
+    let tcp_coverage: Vec<SeqNo> = (1..3)
+        .map(|i| {
+            let catchup_floor = cluster
+                .catchup_events(i)
+                .iter()
+                .filter(|&&(s, _)| s == 0)
+                .map(|&(_, seq)| seq)
+                .max()
+                .unwrap_or(0);
+            covered_prefix(
+                catchup_floor,
+                cluster
+                    .delivery_order(i)
+                    .into_iter()
+                    .filter(|&(o, _)| o == 0)
+                    .map(|(_, seq)| seq),
+            )
+        })
+        .collect();
+    cluster.shutdown();
+
+    assert_eq!(sim_received, tcp_received, "RECEIVED tables diverged");
+    assert_eq!(sim_frontier, tcp_frontier, "frontier sequences diverged");
+    assert_eq!(sim_frontier, PUBLISHED);
+    assert_eq!(
+        sim_coverage, tcp_coverage,
+        "post-recovery stream coverage diverged"
+    );
+    assert!(
+        sim_coverage.iter().all(|&c| c == PUBLISHED),
+        "both runtimes must cover the full published prefix, got {sim_coverage:?}"
+    );
+}
+
+/// Highest `p` such that `1..=p` of the stream is covered by the
+/// catch-up floor plus in-band deliveries (the current incarnation's
+/// view; deliveries before the last restart arrive via the snapshot and
+/// are subsumed by `catchup_floor` or the replayed suffix).
+fn covered_prefix(catchup_floor: SeqNo, delivers: impl Iterator<Item = SeqNo>) -> SeqNo {
+    let mut seqs: Vec<SeqNo> = delivers.filter(|&s| s > catchup_floor).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    let mut covered = catchup_floor;
+    for s in seqs {
+        if s == covered + 1 {
+            covered = s;
+        }
+    }
+    covered
+}

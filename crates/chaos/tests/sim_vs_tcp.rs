@@ -21,12 +21,17 @@ const KEY: &str = "All";
 const SEED: u64 = 1337;
 
 fn cfg() -> ClusterConfig {
+    // Failure detector and §III-E transfer enabled on both runtimes —
+    // every chaos configuration runs with suspicion live.
     ClusterConfig::parse(
         "az East e1 e2\naz West w1\n\
          predicate All MIN($ALLWNODES-$MYWNODE)\n\
          option ack_flush_micros 2000\n\
          option heartbeat_millis 20\n\
-         option retransmit_millis 40\n",
+         option retransmit_millis 40\n\
+         option failure_timeout_millis 150\n\
+         option retain_log_bytes 262144\n\
+         option transfer_millis 20\n",
     )
     .unwrap()
 }

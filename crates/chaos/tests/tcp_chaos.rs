@@ -18,18 +18,20 @@ fn ms(v: u64) -> SimDuration {
 }
 
 fn tcp_cfg() -> ClusterConfig {
-    // No failure detector: a suspected peer is excluded from send-buffer
-    // retention, so a 400 ms crash window would evict the tail the
-    // restarted node still needs (catching up past eviction is §III-E
-    // state transfer, out of scope here). The simulator chaos tests run
-    // the same way; TCP-level suspicion is covered by the transport's
-    // own fault tests.
+    // Failure detector ON: the 400 ms crash window exceeds the 150 ms
+    // suspicion timeout, so the donor evicts the crashed peer from
+    // send-buffer retention mid-window — and the restarted node recovers
+    // the evicted tail via §III-E state transfer (snapshot + retained
+    // log replay) instead of plain retransmission.
     ClusterConfig::parse(
         "az East e1 e2\naz West w1\n\
          predicate All MIN($ALLWNODES-$MYWNODE)\n\
          option ack_flush_micros 2000\n\
          option heartbeat_millis 20\n\
-         option retransmit_millis 40\n",
+         option retransmit_millis 40\n\
+         option failure_timeout_millis 150\n\
+         option retain_log_bytes 262144\n\
+         option transfer_millis 20\n",
     )
     .unwrap()
 }

@@ -88,6 +88,22 @@ pub struct Options {
     /// over shards. `1` (default) keeps the paper's single-stream data
     /// plane.
     pub shards: u16,
+    /// Bytes of already-reclaimed payloads the send buffer retains for
+    /// §III-E catch-up replay (oldest evicted first once exceeded). `0`
+    /// (default) disables retention: a node evicted from the
+    /// acknowledgment set can then only rejoin by fast-forwarding over
+    /// the reclaimed prefix.
+    pub retain_log_bytes: usize,
+    /// Maximum unacknowledged catch-up chunks a donor keeps in flight
+    /// per transfer session — the rate limit that stops replay traffic
+    /// from starving the live data plane.
+    pub transfer_window: u64,
+    /// Transfer-supervision period in milliseconds: a recovering node
+    /// re-issues its `TransferRequest` if an inbound catch-up session
+    /// makes no progress for this long (this is also what resumes a
+    /// transfer after a donor or joiner crash). `0` disables the
+    /// transfer machinery entirely (pre-§III-E behavior).
+    pub transfer_millis: u64,
     /// Static-analysis enforcement at predicate-install time.
     pub analysis: AnalysisMode,
     /// Crash budget `f` assumed by the `crash-unsatisfiable` lint: the
@@ -152,6 +168,25 @@ impl Options {
         self
     }
 
+    /// Set the retained catch-up log capacity in bytes (`0` = off).
+    pub fn retain_log_bytes(mut self, v: usize) -> Self {
+        self.retain_log_bytes = v;
+        self
+    }
+
+    /// Set the per-session transfer window (in-flight chunk cap).
+    pub fn transfer_window(mut self, v: u64) -> Self {
+        self.transfer_window = v.max(1);
+        self
+    }
+
+    /// Enable the transfer machinery with the given supervision period
+    /// (ms); `0` disables state transfer.
+    pub fn transfer_millis(mut self, v: u64) -> Self {
+        self.transfer_millis = v;
+        self
+    }
+
     /// Set the static-analysis enforcement mode.
     pub fn analysis(mut self, v: AnalysisMode) -> Self {
         self.analysis = v;
@@ -177,6 +212,9 @@ impl Default for Options {
             retransmit_millis: 0,
             connect_retry_limit: 0,
             shards: 1,
+            retain_log_bytes: 0,
+            transfer_window: 32,
+            transfer_millis: 0,
             analysis: AnalysisMode::default(),
             failure_budget: 0,
         }
@@ -326,6 +364,15 @@ impl ClusterConfig {
                         "max_payload_bytes" => options.max_payload_bytes = parse_u64(val)? as usize,
                         "retransmit_millis" => options.retransmit_millis = parse_u64(val)?,
                         "connect_retry_limit" => options.connect_retry_limit = parse_u64(val)?,
+                        "retain_log_bytes" => options.retain_log_bytes = parse_u64(val)? as usize,
+                        "transfer_window" => {
+                            let v = parse_u64(val)?;
+                            if v == 0 {
+                                return Err(err("option transfer_window: must be >= 1".into()));
+                            }
+                            options.transfer_window = v;
+                        }
+                        "transfer_millis" => options.transfer_millis = parse_u64(val)?,
                         "shards" => {
                             let v = parse_u64(val)?;
                             if v == 0 || v > u64::from(u16::MAX) {
@@ -455,6 +502,27 @@ option auto_exclude_suspects true
         let cfg = ClusterConfig::parse("az A x y\noption analysis off").unwrap();
         assert_eq!(cfg.options().analysis, AnalysisMode::Off);
         assert!(ClusterConfig::parse("az A x y\noption analysis always").is_err());
+    }
+
+    #[test]
+    fn transfer_options_parse_and_default() {
+        let cfg = ClusterConfig::parse("az A x y").unwrap();
+        assert_eq!(cfg.options().retain_log_bytes, 0);
+        assert_eq!(cfg.options().transfer_window, 32);
+        assert_eq!(cfg.options().transfer_millis, 0);
+        let cfg = ClusterConfig::parse(
+            "az A x y\noption retain_log_bytes 65536\noption transfer_window 8\noption transfer_millis 50",
+        )
+        .unwrap();
+        assert_eq!(cfg.options().retain_log_bytes, 65536);
+        assert_eq!(cfg.options().transfer_window, 8);
+        assert_eq!(cfg.options().transfer_millis, 50);
+        assert!(ClusterConfig::parse("az A x y\noption transfer_window 0").is_err());
+        assert_eq!(
+            Options::default().transfer_window(0).transfer_window,
+            1,
+            "clamped"
+        );
     }
 
     #[test]

@@ -18,6 +18,12 @@ use stabilizer_dsl::SeqNo;
 use std::collections::BTreeMap;
 
 /// The origin-side buffer for this node's own stream.
+///
+/// Besides the live (unacknowledged) window, the buffer keeps a
+/// bounded **retained log** of already-reclaimed payloads so a node that
+/// was evicted from the acknowledgment set can be caught up later by
+/// replay (§III-E). Retention is byte-capped and evicts oldest-first; it
+/// never exerts backpressure on publishes.
 #[derive(Debug)]
 pub struct SendBuffer {
     last_assigned: SeqNo,
@@ -25,17 +31,30 @@ pub struct SendBuffer {
     buffered_bytes: usize,
     capacity: usize,
     reclaimed_up_to: SeqNo,
+    retained: BTreeMap<SeqNo, Bytes>,
+    retained_bytes: usize,
+    retain_capacity: usize,
 }
 
 impl SendBuffer {
-    /// An empty buffer holding at most `capacity` payload bytes.
+    /// An empty buffer holding at most `capacity` payload bytes, with no
+    /// retained catch-up log.
     pub fn new(capacity: usize) -> Self {
+        Self::with_retention(capacity, 0)
+    }
+
+    /// An empty buffer that additionally retains up to `retain_capacity`
+    /// bytes of reclaimed payloads for §III-E catch-up replay.
+    pub fn with_retention(capacity: usize, retain_capacity: usize) -> Self {
         SendBuffer {
             last_assigned: 0,
             buffered: BTreeMap::new(),
             buffered_bytes: 0,
             capacity,
             reclaimed_up_to: 0,
+            retained: BTreeMap::new(),
+            retained_bytes: 0,
+            retain_capacity,
         }
     }
 
@@ -59,7 +78,9 @@ impl SendBuffer {
     }
 
     /// Drop buffered payloads up to and including `min_acked` (every peer
-    /// has them). Returns the number of payloads freed.
+    /// has them). Returns the number of payloads freed. With retention
+    /// configured, reclaimed payloads move to the retained log instead of
+    /// being dropped outright.
     pub fn reclaim(&mut self, min_acked: SeqNo) -> usize {
         let mut freed = 0;
         while let Some((&seq, payload)) = self.buffered.first_key_value() {
@@ -67,8 +88,18 @@ impl SendBuffer {
                 break;
             }
             self.buffered_bytes -= payload.len();
-            self.buffered.remove(&seq);
+            let payload = self.buffered.remove(&seq).expect("peeked entry exists");
             freed += 1;
+            if self.retain_capacity > 0 {
+                self.retained_bytes += payload.len();
+                self.retained.insert(seq, payload);
+            }
+        }
+        while self.retained_bytes > self.retain_capacity {
+            match self.retained.pop_first() {
+                Some((_, p)) => self.retained_bytes -= p.len(),
+                None => break,
+            }
         }
         if min_acked > self.reclaimed_up_to {
             self.reclaimed_up_to = min_acked;
@@ -80,6 +111,40 @@ impl SendBuffer {
     /// resend after a reconnect).
     pub fn get(&self, seq: SeqNo) -> Option<&Bytes> {
         self.buffered.get(&seq)
+    }
+
+    /// The payload for `seq` for catch-up replay: checks the retained
+    /// log first, then the live window.
+    pub fn replay_get(&self, seq: SeqNo) -> Option<&Bytes> {
+        self.retained.get(&seq).or_else(|| self.buffered.get(&seq))
+    }
+
+    /// The lowest sequence number this buffer can still replay. The
+    /// retained log (if any) is a contiguous suffix of the reclaimed
+    /// prefix and the live window sits directly above it, so everything
+    /// in `[first_replayable(), last_assigned()]` is available.
+    pub fn first_replayable(&self) -> SeqNo {
+        match self.retained.first_key_value() {
+            Some((&seq, _)) => seq,
+            None => self.reclaimed_up_to + 1,
+        }
+    }
+
+    /// Bytes currently held in the retained catch-up log.
+    pub fn retained_bytes(&self) -> usize {
+        self.retained_bytes
+    }
+
+    /// Payload count in the retained catch-up log.
+    pub fn retained_len(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Drop the retained catch-up log (used by the restore path, which
+    /// rebuilds sequencing state without the original payloads).
+    pub fn clear_retained(&mut self) {
+        self.retained.clear();
+        self.retained_bytes = 0;
     }
 
     /// Iterate over `(seq, payload)` still buffered, from `from` upward.
@@ -261,6 +326,59 @@ mod tests {
         );
         assert_eq!(rs.delivered(), 3);
         assert_eq!(rs.pending(), 0);
+    }
+
+    #[test]
+    fn retention_keeps_reclaimed_payloads_within_cap() {
+        let mut sb = SendBuffer::with_retention(1024, 25);
+        for _ in 0..5 {
+            sb.publish(b(10)).unwrap();
+        }
+        sb.reclaim(4);
+        // 40 bytes reclaimed but only 25 retained: seqs 1 and 2 evicted.
+        assert_eq!(sb.retained_len(), 2);
+        assert_eq!(sb.retained_bytes(), 20);
+        assert_eq!(sb.first_replayable(), 3);
+        assert!(sb.replay_get(2).is_none());
+        assert!(sb.replay_get(3).is_some());
+        assert!(sb.replay_get(4).is_some());
+        // Seq 5 is still in the live window; replay spans both.
+        assert!(sb.get(5).is_some());
+        assert!(sb.replay_get(5).is_some());
+    }
+
+    #[test]
+    fn no_retention_replays_only_live_window() {
+        let mut sb = SendBuffer::new(1024);
+        for _ in 0..3 {
+            sb.publish(b(10)).unwrap();
+        }
+        sb.reclaim(2);
+        assert_eq!(sb.retained_len(), 0);
+        assert_eq!(sb.first_replayable(), 3);
+        assert!(sb.replay_get(2).is_none());
+        assert!(sb.replay_get(3).is_some());
+    }
+
+    #[test]
+    fn clear_retained_empties_log() {
+        let mut sb = SendBuffer::with_retention(1024, 1024);
+        sb.publish(b(10)).unwrap();
+        sb.reclaim(1);
+        assert_eq!(sb.retained_len(), 1);
+        sb.clear_retained();
+        assert_eq!(sb.retained_len(), 0);
+        assert_eq!(sb.retained_bytes(), 0);
+        assert_eq!(sb.first_replayable(), 2);
+    }
+
+    #[test]
+    fn retention_does_not_count_against_live_capacity() {
+        let mut sb = SendBuffer::with_retention(100, 1000);
+        sb.publish(b(90)).unwrap();
+        sb.reclaim(1);
+        // 90 retained bytes must not block the next publish.
+        assert_eq!(sb.publish(b(90)).unwrap(), 2);
     }
 
     #[test]

@@ -48,12 +48,67 @@ pub enum WireMsg {
     AckBatch(Vec<Ack>),
     /// Control-plane keepalive (also drives failure detection).
     Heartbeat,
+    /// State transfer (§III-E): a recovering or joining node asks a live
+    /// donor to catch it up on `stream`, starting after `have` (the
+    /// highest sequence it already delivered in order).
+    TransferRequest {
+        /// Stream origin to catch up on.
+        stream: NodeId,
+        /// Highest sequence the requester already holds for that stream.
+        have: SeqNo,
+    },
+    /// State transfer (§III-E): the donor's per-stream snapshot header.
+    /// Chunks follow for `(base, high]`; anything at or below `base` was
+    /// evicted from the donor's retained log and is covered by the
+    /// snapshot itself (the requester fast-forwards over it).
+    TransferSnapshot {
+        /// Stream origin being transferred.
+        stream: NodeId,
+        /// Replay starts after this sequence (snapshot point).
+        base: SeqNo,
+        /// Donor's last assigned/known sequence for the stream at the
+        /// time of the request; chunks stop here, later publishes reach
+        /// the requester through the normal fan-out.
+        high: SeqNo,
+        /// The donor's recorded stability cells for this stream, so the
+        /// requester's frontier bookkeeping resumes where the cluster is.
+        acks: Vec<Ack>,
+        /// Opaque application-state hook carried alongside the snapshot
+        /// (the sharded layer uses it for the global fast-forward point).
+        app_mark: u64,
+    },
+    /// State transfer (§III-E): one replayed payload of the donor's
+    /// retained log. Fed through the normal receive path, so delivery
+    /// order and duplicate suppression are unchanged.
+    TransferChunk {
+        /// Stream origin of the replayed payload.
+        stream: NodeId,
+        /// Its original sequence number.
+        seq: SeqNo,
+        /// The payload.
+        payload: Bytes,
+        /// True on the last chunk of this session (seq == high).
+        done: bool,
+    },
+    /// State transfer (§III-E): the requester's cumulative chunk ack;
+    /// the donor slides its rate-limit window and resumes from here if
+    /// either side restarts mid-transfer.
+    TransferAck {
+        /// Stream being transferred.
+        stream: NodeId,
+        /// Every chunk at or below this sequence arrived.
+        through: SeqNo,
+    },
 }
 
 impl WireMsg {
     const TAG_DATA: u8 = 0;
     const TAG_ACKS: u8 = 1;
     const TAG_HEARTBEAT: u8 = 2;
+    const TAG_TRANSFER_REQUEST: u8 = 3;
+    const TAG_TRANSFER_SNAPSHOT: u8 = 4;
+    const TAG_TRANSFER_CHUNK: u8 = 5;
+    const TAG_TRANSFER_ACK: u8 = 6;
 
     /// Encoded size in bytes (without [`WIRE_OVERHEAD`]).
     pub fn encoded_len(&self) -> usize {
@@ -61,6 +116,12 @@ impl WireMsg {
             WireMsg::Data { payload, .. } => 1 + 2 + 8 + 4 + payload.len(),
             WireMsg::AckBatch(acks) => 1 + 2 + acks.len() * (2 + 2 + 8),
             WireMsg::Heartbeat => 1,
+            WireMsg::TransferRequest { .. } => 1 + 2 + 8,
+            WireMsg::TransferSnapshot { acks, .. } => {
+                1 + 2 + 8 + 8 + 8 + 2 + acks.len() * (2 + 2 + 8)
+            }
+            WireMsg::TransferChunk { payload, .. } => 1 + 2 + 8 + 1 + 4 + payload.len(),
+            WireMsg::TransferAck { .. } => 1 + 2 + 8,
         }
     }
 
@@ -107,6 +168,51 @@ impl WireMsg {
                 out.push(Self::TAG_HEARTBEAT);
                 None
             }
+            WireMsg::TransferRequest { stream, have } => {
+                out.push(Self::TAG_TRANSFER_REQUEST);
+                out.extend_from_slice(&stream.0.to_le_bytes());
+                out.extend_from_slice(&have.to_le_bytes());
+                None
+            }
+            WireMsg::TransferSnapshot {
+                stream,
+                base,
+                high,
+                acks,
+                app_mark,
+            } => {
+                out.push(Self::TAG_TRANSFER_SNAPSHOT);
+                out.extend_from_slice(&stream.0.to_le_bytes());
+                out.extend_from_slice(&base.to_le_bytes());
+                out.extend_from_slice(&high.to_le_bytes());
+                out.extend_from_slice(&app_mark.to_le_bytes());
+                out.extend_from_slice(&(acks.len() as u16).to_le_bytes());
+                for a in acks {
+                    out.extend_from_slice(&a.stream.0.to_le_bytes());
+                    out.extend_from_slice(&a.ty.0.to_le_bytes());
+                    out.extend_from_slice(&a.seq.to_le_bytes());
+                }
+                None
+            }
+            WireMsg::TransferChunk {
+                stream,
+                seq,
+                payload,
+                done,
+            } => {
+                out.push(Self::TAG_TRANSFER_CHUNK);
+                out.extend_from_slice(&stream.0.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.push(u8::from(*done));
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                Some(payload)
+            }
+            WireMsg::TransferAck { stream, through } => {
+                out.push(Self::TAG_TRANSFER_ACK);
+                out.extend_from_slice(&stream.0.to_le_bytes());
+                out.extend_from_slice(&through.to_le_bytes());
+                None
+            }
         }
     }
 
@@ -150,6 +256,49 @@ impl WireMsg {
                 WireMsg::AckBatch(acks)
             }
             Self::TAG_HEARTBEAT => WireMsg::Heartbeat,
+            Self::TAG_TRANSFER_REQUEST => WireMsg::TransferRequest {
+                stream: NodeId(r.u16()?),
+                have: r.u64()?,
+            },
+            Self::TAG_TRANSFER_SNAPSHOT => {
+                let stream = NodeId(r.u16()?);
+                let base = r.u64()?;
+                let high = r.u64()?;
+                let app_mark = r.u64()?;
+                let count = r.u16()? as usize;
+                let mut acks = Vec::with_capacity(count);
+                for _ in 0..count {
+                    acks.push(Ack {
+                        stream: NodeId(r.u16()?),
+                        ty: AckTypeId(r.u16()?),
+                        seq: r.u64()?,
+                    });
+                }
+                WireMsg::TransferSnapshot {
+                    stream,
+                    base,
+                    high,
+                    acks,
+                    app_mark,
+                }
+            }
+            Self::TAG_TRANSFER_CHUNK => {
+                let stream = NodeId(r.u16()?);
+                let seq = r.u64()?;
+                let done = r.u8()? != 0;
+                let len = r.u32()? as usize;
+                let payload = Bytes::copy_from_slice(r.take(len)?);
+                WireMsg::TransferChunk {
+                    stream,
+                    seq,
+                    payload,
+                    done,
+                }
+            }
+            Self::TAG_TRANSFER_ACK => WireMsg::TransferAck {
+                stream: NodeId(r.u16()?),
+                through: r.u64()?,
+            },
             tag => return Err(CoreError::Wire(format!("unknown message tag {tag}"))),
         };
         if r.at != buf.len() {
@@ -161,9 +310,11 @@ impl WireMsg {
         Ok(msg)
     }
 
-    /// True for control-plane messages (ACKs and heartbeats).
+    /// True for control-plane messages (ACKs, heartbeats, and transfer
+    /// coordination). Payload-bearing messages — live data and replayed
+    /// transfer chunks — are data-plane.
     pub fn is_control(&self) -> bool {
-        !matches!(self, WireMsg::Data { .. })
+        !matches!(self, WireMsg::Data { .. } | WireMsg::TransferChunk { .. })
     }
 }
 
@@ -256,6 +407,95 @@ mod tests {
     }
 
     #[test]
+    fn transfer_messages_roundtrip() {
+        roundtrip(WireMsg::TransferRequest {
+            stream: NodeId(2),
+            have: 41,
+        });
+        roundtrip(WireMsg::TransferSnapshot {
+            stream: NodeId(2),
+            base: 41,
+            high: 120,
+            acks: vec![
+                Ack {
+                    stream: NodeId(2),
+                    ty: AckTypeId(0),
+                    seq: 100,
+                },
+                Ack {
+                    stream: NodeId(2),
+                    ty: AckTypeId(1),
+                    seq: 90,
+                },
+            ],
+            app_mark: u64::MAX,
+        });
+        roundtrip(WireMsg::TransferSnapshot {
+            stream: NodeId(0),
+            base: 0,
+            high: 0,
+            acks: vec![],
+            app_mark: 0,
+        });
+        roundtrip(WireMsg::TransferChunk {
+            stream: NodeId(5),
+            seq: 42,
+            payload: Bytes::from_static(b"replayed"),
+            done: true,
+        });
+        roundtrip(WireMsg::TransferChunk {
+            stream: NodeId(5),
+            seq: 43,
+            payload: Bytes::new(),
+            done: false,
+        });
+        roundtrip(WireMsg::TransferAck {
+            stream: NodeId(5),
+            through: 42,
+        });
+    }
+
+    #[test]
+    fn transfer_truncation_is_detected() {
+        let msgs = vec![
+            WireMsg::TransferRequest {
+                stream: NodeId(1),
+                have: 7,
+            },
+            WireMsg::TransferSnapshot {
+                stream: NodeId(1),
+                base: 7,
+                high: 9,
+                acks: vec![Ack {
+                    stream: NodeId(1),
+                    ty: AckTypeId(0),
+                    seq: 9,
+                }],
+                app_mark: 3,
+            },
+            WireMsg::TransferChunk {
+                stream: NodeId(1),
+                seq: 8,
+                payload: Bytes::from_static(b"chunk"),
+                done: false,
+            },
+            WireMsg::TransferAck {
+                stream: NodeId(1),
+                through: 8,
+            },
+        ];
+        for msg in msgs {
+            let bytes = msg.to_bytes();
+            for cut in 0..bytes.len() {
+                assert!(
+                    WireMsg::decode(&bytes[..cut]).is_err(),
+                    "cut at {cut} should fail for {msg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn truncation_is_detected() {
         let bytes = WireMsg::Data {
             origin: NodeId(1),
@@ -293,6 +533,23 @@ mod tests {
             payload: Bytes::new()
         }
         .is_control());
+        assert!(WireMsg::TransferRequest {
+            stream: NodeId(0),
+            have: 0
+        }
+        .is_control());
+        assert!(WireMsg::TransferAck {
+            stream: NodeId(0),
+            through: 0
+        }
+        .is_control());
+        assert!(!WireMsg::TransferChunk {
+            stream: NodeId(0),
+            seq: 1,
+            payload: Bytes::new(),
+            done: false
+        }
+        .is_control());
     }
 
     #[test]
@@ -309,6 +566,12 @@ mod tests {
                 seq: 5,
             }]),
             WireMsg::Heartbeat,
+            WireMsg::TransferChunk {
+                stream: NodeId(2),
+                seq: 9,
+                payload: Bytes::from_static(b"replay"),
+                done: true,
+            },
         ];
         for msg in msgs {
             let mut split = Vec::new();

@@ -71,6 +71,47 @@ pub enum Action {
         /// Its key.
         key: String,
     },
+    /// A stream was fast-forwarded out of band (§III-E state transfer):
+    /// local delivery resumes after `seq` without the skipped prefix
+    /// passing through the normal upcall path. External checkers use
+    /// this to adjust their delivery-prefix accounting; the sharded
+    /// layer reads `app_mark` (the donor's opaque application-state
+    /// hook) to fast-forward its global sequence mapping.
+    CatchUp {
+        /// The fast-forwarded stream.
+        stream: NodeId,
+        /// Delivery resumes after this sequence.
+        seq: SeqNo,
+        /// The donor's application-state mark (`0` when the jump did not
+        /// come from a transfer snapshot).
+        app_mark: u64,
+    },
+}
+
+/// Donor-side state of one outbound catch-up session. Keyed by
+/// requester: a donor only ever replays its *own* stream (it is the only
+/// stream whose payloads it stores).
+#[derive(Debug)]
+struct OutboundTransfer {
+    /// Chunks at or below this are acknowledged by the requester.
+    acked: SeqNo,
+    /// Next chunk to send.
+    next: SeqNo,
+    /// Last chunk of the session (the stream head at request time).
+    high: SeqNo,
+}
+
+/// Requester-side state of one inbound catch-up session, keyed by the
+/// stream (whose origin is also the donor).
+#[derive(Debug)]
+struct InboundTransfer {
+    /// Session target (`SeqNo::MAX` until the snapshot arrives).
+    high: SeqNo,
+    /// Delivered position when progress was last observed.
+    last_delivered: SeqNo,
+    /// When progress was last observed; a stalled session re-issues its
+    /// request on the transfer tick.
+    last_nanos: u64,
 }
 
 /// A consistent snapshot of the control-plane state, for crash recovery
@@ -114,6 +155,14 @@ pub struct StabilizerNode {
     /// Per-peer: `(last received-ack seen, nanos when it last advanced)`,
     /// for the retransmission timeout.
     retransmit_state: Vec<(SeqNo, u64)>,
+    /// Inbound catch-up sessions (this node recovering), keyed by stream.
+    transfer_in: BTreeMap<NodeId, InboundTransfer>,
+    /// Outbound catch-up sessions (this node as donor), keyed by
+    /// requester.
+    transfer_out: BTreeMap<NodeId, OutboundTransfer>,
+    /// Opaque application-state mark carried in outgoing transfer
+    /// snapshots (§III-E's app-state hook).
+    app_mark: u64,
 }
 
 /// Traffic counters, split by plane (the §III-A separation is observable
@@ -142,6 +191,17 @@ pub struct Metrics {
     pub predicate_evals: u64,
     /// Frontier-advance actions emitted.
     pub frontier_updates: u64,
+    /// Catch-up requests served as a donor (§III-E state transfer).
+    pub transfer_requests: u64,
+    /// Catch-up chunks replayed to requesters.
+    pub transfer_chunks_sent: u64,
+    /// Payload bytes replayed to requesters.
+    pub transfer_bytes_sent: u64,
+    /// Catch-up chunks received from donors.
+    pub transfer_chunks_received: u64,
+    /// Streams fast-forwarded out of band (snapshot jumps over an
+    /// evicted prefix).
+    pub transfer_fast_forwards: u64,
 }
 
 impl StabilizerNode {
@@ -167,7 +227,10 @@ impl StabilizerNode {
             me,
             recorder: AckRecorder::new(n, acks.len()),
             engine: FrontierEngine::new(),
-            send_buf: SendBuffer::new(cfg.options().send_buffer_bytes),
+            send_buf: SendBuffer::with_retention(
+                cfg.options().send_buffer_bytes,
+                cfg.options().retain_log_bytes,
+            ),
             recv: (0..n).map(|_| ReceiveState::new()).collect(),
             pending_acks: BTreeMap::new(),
             last_heard_nanos: vec![0; n],
@@ -178,6 +241,9 @@ impl StabilizerNode {
             analysis_reports: std::collections::BTreeMap::new(),
             metrics: Metrics::default(),
             retransmit_state: vec![(0, 0); n],
+            transfer_in: BTreeMap::new(),
+            transfer_out: BTreeMap::new(),
+            app_mark: 0,
             peers,
             acks,
             cfg,
@@ -290,6 +356,12 @@ impl StabilizerNode {
         self.send_buf.bytes()
     }
 
+    /// Oldest own-stream sequence still replayable for §III-E catch-up
+    /// (live window plus retained log).
+    pub fn first_replayable(&self) -> SeqNo {
+        self.send_buf.first_replayable()
+    }
+
     /// Payload for a still-buffered own-stream message (transport resend).
     pub fn buffered_payload(&self, seq: SeqNo) -> Option<Bytes> {
         self.send_buf.get(seq).cloned()
@@ -333,6 +405,23 @@ impl StabilizerNode {
             } => self.on_data(origin, seq, payload),
             WireMsg::AckBatch(acks) => self.on_acks(from, &acks),
             WireMsg::Heartbeat => {}
+            WireMsg::TransferRequest { stream, have } => {
+                self.on_transfer_request(from, stream, have)
+            }
+            WireMsg::TransferSnapshot {
+                stream,
+                base,
+                high,
+                acks,
+                app_mark,
+            } => self.on_transfer_snapshot(now_nanos, from, stream, base, high, &acks, app_mark),
+            WireMsg::TransferChunk {
+                stream,
+                seq,
+                payload,
+                ..
+            } => self.on_transfer_chunk(now_nanos, from, stream, seq, payload),
+            WireMsg::TransferAck { stream, through } => self.on_transfer_ack(from, stream, through),
         }
         self.maybe_flush_eager();
     }
@@ -419,10 +508,25 @@ impl StabilizerNode {
     /// shipped from a peer) and resumes live delivery from `seq + 1`.
     /// Parked out-of-order messages beyond `seq` are released in order.
     pub fn fast_forward_stream(&mut self, origin: NodeId, seq: SeqNo) {
+        self.fast_forward_inner(origin, seq, 0);
+    }
+
+    fn fast_forward_inner(&mut self, origin: NodeId, seq: SeqNo, app_mark: u64) {
         if origin == self.me || origin.0 as usize >= self.recv.len() {
             return;
         }
+        let before = self.recv[origin.0 as usize].delivered();
         let released = self.recv[origin.0 as usize].fast_forward(seq);
+        if seq > before {
+            // Announce the jump before the released deliveries so
+            // checkers see the adjusted prefix first.
+            self.metrics.transfer_fast_forwards += 1;
+            self.actions.push(Action::CatchUp {
+                stream: origin,
+                seq,
+                app_mark,
+            });
+        }
         let high = released
             .last()
             .map(|(s, _)| *s)
@@ -647,6 +751,320 @@ impl StabilizerNode {
     }
 
     // ------------------------------------------------------------------
+    // State transfer (§III-E)
+    // ------------------------------------------------------------------
+
+    /// Set the opaque application-state mark carried in this node's
+    /// outgoing [`WireMsg::TransferSnapshot`]s (the sharded layer stores
+    /// its global fast-forward point here).
+    pub fn set_app_mark(&mut self, mark: u64) {
+        self.app_mark = mark;
+    }
+
+    /// Number of live transfer sessions, inbound plus outbound. Tests
+    /// and drivers use this to detect a finished catch-up.
+    pub fn active_transfers(&self) -> usize {
+        self.transfer_in.len() + self.transfer_out.len()
+    }
+
+    /// Start catch-up after a restart or a fresh join: ask every peer
+    /// for its stream, starting after what this node already delivered
+    /// in order. Each stream's origin is its donor — it is the only node
+    /// holding that stream's payloads (live window plus retained log).
+    /// No-op unless `transfer_millis > 0`.
+    pub fn begin_catch_up(&mut self, now_nanos: u64) {
+        if self.cfg.options().transfer_millis == 0 {
+            return;
+        }
+        let peers = self.peers.clone();
+        for peer in peers {
+            self.request_catch_up(peer, now_nanos);
+        }
+    }
+
+    fn request_catch_up(&mut self, donor: NodeId, now_nanos: u64) {
+        if donor == self.me || donor.0 as usize >= self.recv.len() {
+            return;
+        }
+        let have = self.recv[donor.0 as usize].delivered();
+        self.transfer_in.insert(
+            donor,
+            InboundTransfer {
+                high: SeqNo::MAX,
+                last_delivered: have,
+                last_nanos: now_nanos,
+            },
+        );
+        self.actions.push(Action::Send {
+            to: donor,
+            msg: WireMsg::TransferRequest {
+                stream: donor,
+                have,
+            },
+        });
+    }
+
+    /// Donor side: serve a catch-up request for this node's own stream.
+    /// Replies with a [`WireMsg::TransferSnapshot`] whose `base` is the
+    /// later of the requester's position and the oldest sequence still
+    /// replayable (live window plus retained log), then streams chunks
+    /// for `(base, high]` under the `transfer_window` rate limit.
+    fn on_transfer_request(&mut self, from: NodeId, stream: NodeId, have: SeqNo) {
+        if self.cfg.options().transfer_millis == 0 || stream != self.me || from == self.me {
+            return; // transfer disabled, or we are not the origin
+        }
+        self.metrics.transfer_requests += 1;
+        let floor = self.send_buf.first_replayable().saturating_sub(1);
+        let base = have.max(floor);
+        let high = self.send_buf.last_assigned().max(base);
+        // The snapshot carries this node's full recorded column for the
+        // stream: each entry's `stream` field names the *observing node*
+        // (the batch is scoped to one stream, so the field is free).
+        let mut acks = Vec::new();
+        for node in 0..self.recorder.num_nodes() as u16 {
+            for ty in 0..self.recorder.num_types() as u16 {
+                let seq = self.recorder.get(self.me, NodeId(node), AckTypeId(ty));
+                if seq > 0 {
+                    acks.push(Ack {
+                        stream: NodeId(node),
+                        ty: AckTypeId(ty),
+                        seq,
+                    });
+                }
+            }
+        }
+        self.actions.push(Action::Send {
+            to: from,
+            msg: WireMsg::TransferSnapshot {
+                stream,
+                base,
+                high,
+                acks,
+                app_mark: self.app_mark,
+            },
+        });
+        if base < high {
+            self.transfer_out.insert(
+                from,
+                OutboundTransfer {
+                    acked: base,
+                    next: base + 1,
+                    high,
+                },
+            );
+            self.pump_transfer(from);
+        } else {
+            self.transfer_out.remove(&from);
+        }
+    }
+
+    /// Send chunks to `requester` up to the rate-limit window. The
+    /// window bounds catch-up traffic so replay cannot starve the live
+    /// data plane; it slides on [`WireMsg::TransferAck`].
+    fn pump_transfer(&mut self, requester: NodeId) {
+        let window = self.cfg.options().transfer_window;
+        loop {
+            let Some(sess) = self.transfer_out.get(&requester) else {
+                return;
+            };
+            if sess.acked >= sess.high {
+                self.transfer_out.remove(&requester);
+                return;
+            }
+            if sess.next > sess.high || sess.next.saturating_sub(sess.acked + 1) >= window {
+                return; // everything sent or window full: wait for acks
+            }
+            let seq = sess.next;
+            let high = sess.high;
+            let acked = sess.acked;
+            match self.send_buf.replay_get(seq).cloned() {
+                Some(payload) => {
+                    self.metrics.transfer_chunks_sent += 1;
+                    self.metrics.transfer_bytes_sent += payload.len() as u64;
+                    self.actions.push(Action::Send {
+                        to: requester,
+                        msg: WireMsg::TransferChunk {
+                            stream: self.me,
+                            seq,
+                            payload,
+                            done: seq == high,
+                        },
+                    });
+                    self.transfer_out
+                        .get_mut(&requester)
+                        .expect("session checked above")
+                        .next += 1;
+                }
+                None => {
+                    // The retained log evicted this prefix while the
+                    // session ran (or nothing is replayable at all):
+                    // restart the handshake so the requester
+                    // fast-forwards over the new gap.
+                    self.transfer_out.remove(&requester);
+                    if self.send_buf.first_replayable() > seq {
+                        self.on_transfer_request(requester, self.me, acked);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Requester side: apply the donor's snapshot — merge its recorded
+    /// column for the stream, fast-forward over anything below `base`
+    /// (the donor no longer holds it), and open the inbound session.
+    #[allow(clippy::too_many_arguments)] // mirrors WireMsg::TransferSnapshot field for field
+    fn on_transfer_snapshot(
+        &mut self,
+        now_nanos: u64,
+        from: NodeId,
+        stream: NodeId,
+        base: SeqNo,
+        high: SeqNo,
+        acks: &[Ack],
+        app_mark: u64,
+    ) {
+        if self.cfg.options().transfer_millis == 0
+            || stream == self.me
+            || from != stream
+            || stream.0 as usize >= self.recv.len()
+        {
+            return;
+        }
+        for a in acks {
+            // `a.stream` names the observing node here (see the donor
+            // side). Never merge cells about ourselves: our own counters
+            // are ground truth and a stale third-party view must not
+            // claim receipt of data we do not hold.
+            if a.stream == self.me
+                || a.stream.0 as usize >= self.recv.len()
+                || a.ty.0 as usize >= self.recorder.num_types()
+            {
+                continue;
+            }
+            if self.recorder.observe(stream, a.stream, a.ty, a.seq) {
+                self.metrics.acks_received += 1;
+                self.advance(stream, a.stream, a.ty);
+            }
+        }
+        self.fast_forward_inner(stream, base, app_mark);
+        let delivered = self.recv[stream.0 as usize].delivered();
+        self.actions.push(Action::Send {
+            to: from,
+            msg: WireMsg::TransferAck {
+                stream,
+                through: delivered,
+            },
+        });
+        if delivered >= high {
+            self.transfer_in.remove(&stream);
+        } else {
+            self.transfer_in.insert(
+                stream,
+                InboundTransfer {
+                    high,
+                    last_delivered: delivered,
+                    last_nanos: now_nanos,
+                },
+            );
+        }
+    }
+
+    /// Requester side: a replayed chunk. Fed through the normal receive
+    /// path (FIFO reassembly, duplicate suppression, built-in acks),
+    /// then cumulatively acknowledged so the donor's window slides.
+    fn on_transfer_chunk(
+        &mut self,
+        now_nanos: u64,
+        from: NodeId,
+        stream: NodeId,
+        seq: SeqNo,
+        payload: Bytes,
+    ) {
+        if self.cfg.options().transfer_millis == 0
+            || stream == self.me
+            || from != stream
+            || stream.0 as usize >= self.recv.len()
+        {
+            return;
+        }
+        self.metrics.transfer_chunks_received += 1;
+        self.on_data(stream, seq, payload);
+        let delivered = self.recv[stream.0 as usize].delivered();
+        if let Some(sess) = self.transfer_in.get_mut(&stream) {
+            if delivered > sess.last_delivered {
+                sess.last_delivered = delivered;
+                sess.last_nanos = now_nanos;
+            }
+            if delivered >= sess.high {
+                self.transfer_in.remove(&stream);
+            }
+        }
+        self.actions.push(Action::Send {
+            to: from,
+            msg: WireMsg::TransferAck {
+                stream,
+                through: delivered,
+            },
+        });
+    }
+
+    /// Donor side: slide the session window and send more chunks.
+    fn on_transfer_ack(&mut self, from: NodeId, stream: NodeId, through: SeqNo) {
+        if stream != self.me {
+            return;
+        }
+        if let Some(sess) = self.transfer_out.get_mut(&from) {
+            if through > sess.acked {
+                sess.acked = through;
+            }
+            if sess.acked >= sess.high {
+                self.transfer_out.remove(&from);
+            } else {
+                self.pump_transfer(from);
+            }
+        }
+    }
+
+    /// Supervise inbound catch-up (drivers call this on the
+    /// `transfer_millis` period): a session that made no progress for a
+    /// full period re-issues its request from the current delivered
+    /// position — this is what makes a transfer resumable when the
+    /// donor or the requester crashes mid-way, and what retries a
+    /// request lost to the network.
+    pub fn on_transfer_tick(&mut self, now_nanos: u64) {
+        let timeout = self.cfg.options().transfer_millis * 1_000_000;
+        if timeout == 0 {
+            return;
+        }
+        let streams: Vec<NodeId> = self.transfer_in.keys().copied().collect();
+        for stream in streams {
+            let delivered = self.recv[stream.0 as usize].delivered();
+            let sess = self
+                .transfer_in
+                .get_mut(&stream)
+                .expect("keys collected above");
+            if delivered >= sess.high {
+                self.transfer_in.remove(&stream);
+                continue;
+            }
+            if delivered > sess.last_delivered {
+                sess.last_delivered = delivered;
+                sess.last_nanos = now_nanos;
+                continue;
+            }
+            if now_nanos.saturating_sub(sess.last_nanos) < timeout {
+                continue;
+            }
+            if self.suspected[stream.0 as usize] {
+                continue; // donor is down; recovery re-requests (heard)
+            }
+            self.request_catch_up(stream, now_nanos);
+        }
+        self.maybe_flush_eager();
+    }
+
+    // ------------------------------------------------------------------
     // Timers
     // ------------------------------------------------------------------
 
@@ -685,6 +1103,11 @@ impl StabilizerNode {
             }
             self.suspected[idx] = true;
             self.actions.push(Action::Suspected { node: peer });
+            // Drop transfer sessions involving the dead peer: inbound
+            // resumes via the recovery re-request when it returns,
+            // outbound via the peer's own stall re-request.
+            self.transfer_in.remove(&peer);
+            self.transfer_out.remove(&peer);
             if self.cfg.options().auto_exclude_suspects {
                 self.exclude_node(peer);
             }
@@ -853,11 +1276,18 @@ impl StabilizerNode {
         node.recorder.ensure_types(node.acks.len());
         // Restore the sequence counter by replaying publishes of empty
         // payloads is wrong; instead rebuild the send buffer state.
-        let mut sb = SendBuffer::new(node.cfg.options().send_buffer_bytes);
+        let capacity = node.cfg.options().send_buffer_bytes;
+        let retain = node.cfg.options().retain_log_bytes;
+        let mut sb = SendBuffer::with_retention(capacity, retain);
         for _ in 0..snapshot.last_assigned {
             let _ = sb.publish(Bytes::new());
         }
         sb.reclaim(snapshot.last_assigned);
+        // The reclaim above only rebuilt sequencing: the retained log
+        // must not serve those placeholder payloads to a requester — a
+        // restarted donor has nothing replayable, so requesters
+        // fast-forward over its reclaimed prefix instead.
+        sb.clear_retained();
         node.send_buf = sb;
         // Re-evaluate configured predicates against the restored table.
         let keys = node.engine.keys(me);
@@ -894,6 +1324,14 @@ impl StabilizerNode {
                 // recoverable failure.
                 self.reinstate_node(from)
                     .expect("original predicate sources recompile");
+            }
+            if self.cfg.options().transfer_millis > 0 {
+                // Resume any catch-up the peer's absence interrupted and
+                // pick up whatever it published while suspicion stopped
+                // us retransmitting to each other. A donor with nothing
+                // missing answers with an empty session, so this is
+                // cheap when the recovery was a false alarm.
+                self.request_catch_up(from, now_nanos);
             }
         }
     }
@@ -1345,6 +1783,315 @@ mod tests {
             .take_actions()
             .iter()
             .any(|a| matches!(a, Action::Deliver { .. })));
+    }
+
+    fn transfer_cfg() -> ClusterConfig {
+        cfg().with_options(
+            Options::default()
+                .failure_timeout_millis(10)
+                .transfer_millis(20)
+                .retain_log_bytes(1024),
+        )
+    }
+
+    fn transfer_node(me: u16) -> StabilizerNode {
+        StabilizerNode::new(transfer_cfg(), NodeId(me), Arc::new(AckTypeRegistry::new())).unwrap()
+    }
+
+    #[test]
+    fn donor_replays_retained_log_after_eviction() {
+        let mut n = transfer_node(0);
+        for i in 0..3u8 {
+            n.publish(Bytes::from(vec![i; 4])).unwrap();
+        }
+        n.take_actions();
+        n.on_message(
+            1,
+            NodeId(1),
+            WireMsg::AckBatch(vec![Ack {
+                stream: NodeId(0),
+                ty: RECEIVED,
+                seq: 3,
+            }]),
+        );
+        n.on_failure_check(1_000_000_000);
+        n.take_actions();
+        assert!(n.is_suspected(NodeId(2)));
+        assert_eq!(n.send_buffer_bytes(), 0, "live window reclaimed");
+        // The crashed peer rejoins and asks to catch up from scratch.
+        n.on_message(
+            2_000_000_000,
+            NodeId(2),
+            WireMsg::TransferRequest {
+                stream: NodeId(0),
+                have: 0,
+            },
+        );
+        let actions = n.take_actions();
+        let to_rejoiner: Vec<&WireMsg> = sends(&actions)
+            .into_iter()
+            .filter(|(to, _)| *to == NodeId(2))
+            .map(|(_, m)| m)
+            .collect();
+        let snap = to_rejoiner
+            .iter()
+            .find_map(|m| match m {
+                WireMsg::TransferSnapshot { base, high, .. } => Some((*base, *high)),
+                _ => None,
+            })
+            .expect("snapshot sent");
+        assert_eq!(snap, (0, 3), "everything evicted is still retained");
+        let chunks: Vec<(SeqNo, bool, Bytes)> = to_rejoiner
+            .iter()
+            .filter_map(|m| match m {
+                WireMsg::TransferChunk {
+                    seq, done, payload, ..
+                } => Some((*seq, *done, payload.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            chunks.iter().map(|(s, d, _)| (*s, *d)).collect::<Vec<_>>(),
+            vec![(1, false), (2, false), (3, true)]
+        );
+        assert_eq!(chunks[1].2, Bytes::from(vec![1u8; 4]), "payloads intact");
+        assert_eq!(n.metrics().transfer_requests, 1);
+        assert_eq!(n.metrics().transfer_chunks_sent, 3);
+        assert_eq!(n.metrics().transfer_bytes_sent, 12);
+        // Cumulative ack completes the session.
+        n.on_message(
+            2_100_000_000,
+            NodeId(2),
+            WireMsg::TransferAck {
+                stream: NodeId(0),
+                through: 3,
+            },
+        );
+        assert!(n.transfer_out.is_empty());
+    }
+
+    #[test]
+    fn restored_donor_serves_fast_forward_only() {
+        let mut n = transfer_node(0);
+        for _ in 0..3 {
+            n.publish(Bytes::from(vec![7u8; 4])).unwrap();
+        }
+        let snapshot = n.snapshot();
+        let mut n = StabilizerNode::restore(
+            transfer_cfg(),
+            NodeId(0),
+            Arc::new(AckTypeRegistry::new()),
+            snapshot,
+        )
+        .unwrap();
+        n.take_actions();
+        n.on_message(
+            0,
+            NodeId(2),
+            WireMsg::TransferRequest {
+                stream: NodeId(0),
+                have: 1,
+            },
+        );
+        let actions = n.take_actions();
+        let snap = sends(&actions)
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                WireMsg::TransferSnapshot { base, high, .. } => Some((*base, *high)),
+                _ => None,
+            })
+            .expect("snapshot sent");
+        assert_eq!(snap, (3, 3), "nothing replayable after restore");
+        assert!(
+            !actions.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    msg: WireMsg::TransferChunk { .. },
+                    ..
+                }
+            )),
+            "placeholder payloads must never be replayed"
+        );
+    }
+
+    #[test]
+    fn snapshot_fast_forwards_and_chunks_deliver() {
+        let mut n = transfer_node(2);
+        n.begin_catch_up(0);
+        let actions = n.take_actions();
+        let requests: Vec<NodeId> = sends(&actions)
+            .into_iter()
+            .filter(|(_, m)| matches!(m, WireMsg::TransferRequest { .. }))
+            .map(|(to, _)| to)
+            .collect();
+        assert_eq!(requests, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(n.active_transfers(), 2);
+        n.on_message(
+            5,
+            NodeId(0),
+            WireMsg::TransferSnapshot {
+                stream: NodeId(0),
+                base: 3,
+                high: 5,
+                acks: vec![
+                    Ack {
+                        stream: NodeId(1),
+                        ty: RECEIVED,
+                        seq: 5,
+                    },
+                    // A stale claim about ourselves must be ignored.
+                    Ack {
+                        stream: NodeId(2),
+                        ty: RECEIVED,
+                        seq: 4,
+                    },
+                ],
+                app_mark: 7,
+            },
+        );
+        let actions = n.take_actions();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::CatchUp {
+                stream: NodeId(0),
+                seq: 3,
+                app_mark: 7
+            }
+        )));
+        assert_eq!(n.recorder().get(NodeId(0), NodeId(2), RECEIVED), 3);
+        assert_eq!(n.recorder().get(NodeId(0), NodeId(1), RECEIVED), 5);
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    to: NodeId(0),
+                    msg: WireMsg::TransferAck { through: 3, .. }
+                }
+            )),
+            "snapshot position acknowledged"
+        );
+        for (seq, done) in [(4u64, false), (5u64, true)] {
+            n.on_message(
+                6,
+                NodeId(0),
+                WireMsg::TransferChunk {
+                    stream: NodeId(0),
+                    seq,
+                    payload: Bytes::from_static(b"x"),
+                    done,
+                },
+            );
+        }
+        let actions = n.take_actions();
+        let delivered: Vec<SeqNo> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver { seq, .. } => Some(*seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![4, 5]);
+        assert_eq!(n.metrics().transfer_chunks_received, 2);
+        assert_eq!(n.metrics().transfer_fast_forwards, 1);
+        assert_eq!(n.active_transfers(), 1, "stream 1 still catching up");
+    }
+
+    #[test]
+    fn transfer_window_rate_limits_replay() {
+        let cfg = cfg().with_options(
+            Options::default()
+                .failure_timeout_millis(10)
+                .transfer_millis(20)
+                .retain_log_bytes(1024)
+                .transfer_window(2),
+        );
+        let mut n = StabilizerNode::new(cfg, NodeId(0), Arc::new(AckTypeRegistry::new())).unwrap();
+        for _ in 0..5 {
+            n.publish(Bytes::from(vec![9u8; 2])).unwrap();
+        }
+        n.take_actions();
+        n.on_message(
+            0,
+            NodeId(2),
+            WireMsg::TransferRequest {
+                stream: NodeId(0),
+                have: 0,
+            },
+        );
+        n.take_actions();
+        assert_eq!(n.metrics().transfer_chunks_sent, 2, "window caps flight");
+        n.on_message(
+            1,
+            NodeId(2),
+            WireMsg::TransferAck {
+                stream: NodeId(0),
+                through: 2,
+            },
+        );
+        n.take_actions();
+        assert_eq!(n.metrics().transfer_chunks_sent, 4);
+        n.on_message(
+            2,
+            NodeId(2),
+            WireMsg::TransferAck {
+                stream: NodeId(0),
+                through: 4,
+            },
+        );
+        n.take_actions();
+        assert_eq!(n.metrics().transfer_chunks_sent, 5);
+        n.on_message(
+            3,
+            NodeId(2),
+            WireMsg::TransferAck {
+                stream: NodeId(0),
+                through: 5,
+            },
+        );
+        assert!(n.transfer_out.is_empty(), "session completes");
+    }
+
+    #[test]
+    fn stalled_transfer_re_requests_on_tick() {
+        let mut n = transfer_node(2);
+        n.begin_catch_up(0);
+        n.take_actions();
+        n.on_transfer_tick(10_000_000); // 10 ms < 20 ms period
+        assert!(sends(&n.take_actions()).is_empty(), "not stalled yet");
+        n.on_transfer_tick(25_000_000); // 25 ms: both sessions stalled
+        let requests = sends(&n.take_actions())
+            .into_iter()
+            .filter(|(_, m)| matches!(m, WireMsg::TransferRequest { .. }))
+            .count();
+        assert_eq!(requests, 2, "stalled sessions re-request");
+    }
+
+    #[test]
+    fn transfer_disabled_ignores_protocol() {
+        let mut n = node(0);
+        n.publish(Bytes::from_static(b"x")).unwrap();
+        n.take_actions();
+        n.begin_catch_up(0);
+        assert!(n.take_actions().is_empty(), "begin_catch_up is a no-op");
+        n.on_message(
+            0,
+            NodeId(1),
+            WireMsg::TransferRequest {
+                stream: NodeId(0),
+                have: 0,
+            },
+        );
+        assert!(
+            !n.take_actions().iter().any(|a| matches!(
+                a,
+                Action::Send {
+                    msg: WireMsg::TransferSnapshot { .. } | WireMsg::TransferChunk { .. },
+                    ..
+                }
+            )),
+            "requests ignored while transfer is disabled"
+        );
+        assert_eq!(n.metrics().transfer_requests, 0);
     }
 
     #[test]

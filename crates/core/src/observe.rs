@@ -40,6 +40,10 @@ pub trait RuntimeObserver: Send {
     fn on_suspected(&mut self, _now_nanos: u64, _node: NodeId) {}
     /// A suspected peer came back.
     fn on_recovered(&mut self, _now_nanos: u64, _node: NodeId) {}
+    /// A stream was fast-forwarded out of band (§III-E state transfer);
+    /// delivery resumes after `seq` without upcalls for the skipped
+    /// prefix.
+    fn on_catch_up(&mut self, _now_nanos: u64, _stream: NodeId, _seq: SeqNo) {}
     /// A writer gave up (re)connecting to a peer permanently (its
     /// configured retry budget ran out).
     fn on_connect_failed(&mut self, _now_nanos: u64, _peer: NodeId) {}
@@ -62,6 +66,8 @@ pub struct RuntimeLog {
     pub suspected_log: Vec<(SimTime, NodeId)>,
     /// Suspicions cleared.
     pub recovered_log: Vec<(SimTime, NodeId)>,
+    /// Out-of-band stream fast-forwards (§III-E): `(time, stream, seq)`.
+    pub catchup_log: Vec<(SimTime, NodeId, SeqNo)>,
     /// Peers a writer permanently failed to connect to.
     pub connect_failures: Vec<(SimTime, NodeId)>,
 }
@@ -122,6 +128,13 @@ impl RuntimeObserver for LogObserver {
             .lock()
             .recovered_log
             .push((SimTime(now_nanos), node));
+    }
+
+    fn on_catch_up(&mut self, now_nanos: u64, stream: NodeId, seq: SeqNo) {
+        self.log
+            .lock()
+            .catchup_log
+            .push((SimTime(now_nanos), stream, seq));
     }
 
     fn on_connect_failed(&mut self, now_nanos: u64, peer: NodeId) {
@@ -201,6 +214,12 @@ impl RuntimeObserver for ObserverChain {
         }
     }
 
+    fn on_catch_up(&mut self, now_nanos: u64, stream: NodeId, seq: SeqNo) {
+        for obs in &mut self.observers {
+            obs.on_catch_up(now_nanos, stream, seq);
+        }
+    }
+
     fn on_connect_failed(&mut self, now_nanos: u64, peer: NodeId) {
         for obs in &mut self.observers {
             obs.on_connect_failed(now_nanos, peer);
@@ -220,6 +239,7 @@ mod tests {
         obs.on_deliver(9, NodeId(1), 2, &Bytes::from_static(b"yy"));
         obs.on_suspected(11, NodeId(2));
         obs.on_recovered(12, NodeId(2));
+        obs.on_catch_up(12, NodeId(1), 7);
         obs.on_connect_failed(13, NodeId(3));
         let log = log.lock();
         assert_eq!(
@@ -228,6 +248,7 @@ mod tests {
         );
         assert_eq!(log.suspected_log, vec![(SimTime(11), NodeId(2))]);
         assert_eq!(log.recovered_log, vec![(SimTime(12), NodeId(2))]);
+        assert_eq!(log.catchup_log, vec![(SimTime(12), NodeId(1), 7)]);
         assert_eq!(log.connect_failures, vec![(SimTime(13), NodeId(3))]);
     }
 

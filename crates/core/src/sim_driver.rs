@@ -17,6 +17,7 @@ const TAG_ACK_FLUSH: u64 = 1;
 const TAG_HEARTBEAT: u64 = 2;
 const TAG_FAILURE: u64 = 3;
 const TAG_RETRANSMIT: u64 = 4;
+const TAG_TRANSFER: u64 = 5;
 
 /// Application callbacks invoked as the simulation runs. All methods have
 /// default empty bodies; implement only what the experiment needs.
@@ -30,6 +31,8 @@ pub trait AppHooks {
     fn on_wait_done(&mut self, _now: SimTime, _token: WaitToken) {}
     /// A peer became suspected.
     fn on_suspected(&mut self, _now: SimTime, _node: NodeId) {}
+    /// A stream was fast-forwarded out of band (§III-E state transfer).
+    fn on_catch_up(&mut self, _now: SimTime, _stream: NodeId, _seq: SeqNo) {}
 }
 
 /// Hooks that do nothing (logs on [`SimNode`] still record everything).
@@ -55,6 +58,8 @@ pub struct SimNode<H: AppHooks = NoHooks> {
     pub suspected_log: Vec<(SimTime, NodeId)>,
     /// Peers that came back after suspicion.
     pub recovered_log: Vec<(SimTime, NodeId)>,
+    /// Out-of-band stream fast-forwards (§III-E): `(time, stream, seq)`.
+    pub catchup_log: Vec<(SimTime, NodeId, SeqNo)>,
     record_deliveries: bool,
 }
 
@@ -69,6 +74,7 @@ impl<H: AppHooks> SimNode<H> {
             completed_waits: Vec::new(),
             suspected_log: Vec::new(),
             recovered_log: Vec::new(),
+            catchup_log: Vec::new(),
             record_deliveries: true,
         }
     }
@@ -202,6 +208,10 @@ impl<H: AppHooks> SimNode<H> {
                 Action::Recovered { node } => {
                     self.recovered_log.push((ctx.now(), node));
                 }
+                Action::CatchUp { stream, seq, .. } => {
+                    self.hooks.on_catch_up(ctx.now(), stream, seq);
+                    self.catchup_log.push((ctx.now(), stream, seq));
+                }
                 Action::PredicateBroken { .. } => {
                     // Surfaced through the frontier log staying frozen; the
                     // application is expected to re-register.
@@ -240,6 +250,15 @@ impl<H: AppHooks> Actor for SimNode<H> {
                 TAG_RETRANSMIT,
             );
         }
+        if opts.transfer_millis > 0 {
+            ctx.set_timer(
+                SimDuration::from_millis((opts.transfer_millis / 2).max(1)),
+                TAG_TRANSFER,
+            );
+        }
+        // Actions queued before the actor entered the event loop (e.g. a
+        // restarted node's `begin_catch_up` requests) go out now.
+        self.drain(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, WireMsg>, from: usize, msg: WireMsg) {
@@ -277,6 +296,13 @@ impl<H: AppHooks> Actor for SimNode<H> {
                 ctx.set_timer(
                     SimDuration::from_millis((opts.retransmit_millis / 2).max(1)),
                     TAG_RETRANSMIT,
+                );
+            }
+            TAG_TRANSFER => {
+                self.node.on_transfer_tick(ctx.now().as_nanos());
+                ctx.set_timer(
+                    SimDuration::from_millis((opts.transfer_millis / 2).max(1)),
+                    TAG_TRANSFER,
                 );
             }
             _ => {}

@@ -90,6 +90,7 @@ fn check(
             node: sim.actor(i).stabilizer(),
             frontier_log: &[],
             delivery_log: &dlogs[i],
+            catchup_log: &[],
             suspected_log: &[],
             recovered_log: &[],
             records_deliveries: i != PUBLISHER,

@@ -20,6 +20,7 @@ macro_rules! check_all {
                     node: a.stabilizer(),
                     frontier_log: &a.frontier_log,
                     delivery_log: &[],
+                    catchup_log: &[],
                     suspected_log: &[],
                     recovered_log: &[],
                     records_deliveries: false,

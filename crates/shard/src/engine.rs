@@ -83,6 +83,20 @@ pub enum ShardedAction {
         /// The per-shard update.
         update: FrontierUpdate,
     },
+    /// A shard sub-stream fast-forwarded out of band (§III-E state
+    /// transfer): shard seqs up to `seq` were skipped, and global
+    /// reassembly for `stream` resumes after `global` without upcalls
+    /// for the proven-skipped prefix.
+    CatchUp {
+        /// The shard that jumped.
+        shard: u16,
+        /// Stream that was fast-forwarded.
+        stream: NodeId,
+        /// Per-shard sequence jumped to.
+        seq: SeqNo,
+        /// Node-level delivered global after the jump.
+        global: SeqNo,
+    },
     /// Observability: a shard machine delivered one message (before
     /// global reassembly).
     ShardDeliver {
@@ -404,6 +418,33 @@ impl ShardedEngine {
         self.drain_all_shards();
     }
 
+    /// State-transfer progress check on every shard (§III-E).
+    pub fn on_transfer_tick(&mut self, now_nanos: u64) {
+        for shard in &mut self.shards {
+            shard.on_transfer_tick(now_nanos);
+        }
+        self.drain_all_shards();
+    }
+
+    /// Start §III-E catch-up on every shard sub-stream: each shard
+    /// machine asks its per-shard donors for a snapshot plus retained-log
+    /// replay. Resumability is inherited per shard (each shard is a full
+    /// `StabilizerNode`). No-op unless `transfer_millis` is configured.
+    pub fn begin_catch_up(&mut self, now_nanos: u64) {
+        for shard in &mut self.shards {
+            shard.begin_catch_up(now_nanos);
+        }
+        self.drain_all_shards();
+    }
+
+    /// Live transfer sessions summed across shards.
+    pub fn active_transfers(&self) -> usize {
+        self.shards
+            .iter()
+            .map(StabilizerNode::active_transfers)
+            .sum()
+    }
+
     /// True if any shard currently suspects `node`.
     pub fn is_suspected(&self, node: NodeId) -> bool {
         self.suspect_counts[node.0 as usize] > 0
@@ -450,6 +491,11 @@ impl ShardedEngine {
             total.retransmits += m.retransmits;
             total.predicate_evals += m.predicate_evals;
             total.frontier_updates += m.frontier_updates;
+            total.transfer_requests += m.transfer_requests;
+            total.transfer_chunks_sent += m.transfer_chunks_sent;
+            total.transfer_bytes_sent += m.transfer_bytes_sent;
+            total.transfer_chunks_received += m.transfer_chunks_received;
+            total.transfer_fast_forwards += m.transfer_fast_forwards;
         }
         total
     }
@@ -495,9 +541,28 @@ impl ShardedEngine {
 
     /// Drain one shard's pending actions through the aggregator.
     pub fn drain_shard(&mut self, shard: u16) {
+        self.refresh_transfer_mark(shard);
         let actions = self.shards[shard as usize].take_actions();
         for action in actions {
             self.process_shard_action(shard, action);
+        }
+    }
+
+    /// Keep the shard machine's outgoing snapshot mark equal to the
+    /// global of its last non-replayable own-stream message, so a
+    /// requester learns which globals fell in the skipped prefix
+    /// (`ShardedFrontier::fast_forward_origin` relies on every skipped
+    /// global being ≤ mark and every replayable one being > mark).
+    fn refresh_transfer_mark(&mut self, shard: u16) {
+        let floor = self.shards[shard as usize]
+            .first_replayable()
+            .saturating_sub(1);
+        if floor == 0 {
+            return;
+        }
+        let globals = self.agg.shard_globals(self.me, shard);
+        if let Some(&mark) = globals.get(floor as usize - 1) {
+            self.shards[shard as usize].set_app_mark(mark);
         }
     }
 
@@ -573,6 +638,27 @@ impl ShardedEngine {
                     self.actions
                         .push(ShardedAction::PredicateBroken { stream, key });
                 }
+            }
+            Action::CatchUp {
+                stream,
+                seq,
+                app_mark,
+            } => {
+                let (ready, out) = self.agg.fast_forward_origin(stream, shard, seq, app_mark);
+                self.actions.push(ShardedAction::CatchUp {
+                    shard,
+                    stream,
+                    seq,
+                    global: self.agg.delivered_global(stream),
+                });
+                for (global, payload) in ready {
+                    self.actions.push(ShardedAction::Deliver {
+                        origin: stream,
+                        seq: global,
+                        payload,
+                    });
+                }
+                self.emit_agg(out);
             }
         }
     }

@@ -60,13 +60,27 @@ struct KeyState {
     agg: SeqNo,
 }
 
+/// One shard's learned `shard-seq → global` mapping for one origin.
+/// After a §III-E fast-forward the prefix of skipped shard seqs is never
+/// learned: `globals[i]` maps shard seq `base + i + 1`, and `base` is the
+/// highest skipped shard seq (0 before any fast-forward).
+#[derive(Debug, Clone, Default)]
+struct ShardMap {
+    base: SeqNo,
+    globals: Vec<SeqNo>,
+}
+
 #[derive(Debug)]
 struct OriginState {
-    /// Per shard: global sequence numbers in shard-seq order (entry `q-1`
-    /// is the global number of the shard's `q`-th message). Append-only.
-    mapping: Vec<Vec<SeqNo>>,
-    /// Largest `G` such that the mappings of globals `1..=G` are all
-    /// known here.
+    /// Per shard: global sequence numbers in shard-seq order. Append-only
+    /// except for the fast-forward prefix drop.
+    mapping: Vec<ShardMap>,
+    /// Per shard: the fast-forward mark from the donor's snapshot — every
+    /// global skipped on that shard is `≤ mark`, every replayed or future
+    /// global on it is `> mark`.
+    marks: Vec<SeqNo>,
+    /// Largest `G` such that every global `1..=G` is either mapped here
+    /// or known to be skipped (never arriving).
     known_prefix: SeqNo,
     /// Known globals beyond the contiguous prefix.
     beyond: BTreeSet<SeqNo>,
@@ -79,7 +93,8 @@ struct OriginState {
 impl OriginState {
     fn new(shards: usize) -> Self {
         OriginState {
-            mapping: vec![Vec::new(); shards],
+            mapping: vec![ShardMap::default(); shards],
+            marks: vec![0; shards],
             known_prefix: 0,
             beyond: BTreeSet::new(),
             delivered: 0,
@@ -89,18 +104,61 @@ impl OriginState {
 
     fn learn(&mut self, shard: usize, global: SeqNo) {
         debug_assert!(
-            self.mapping[shard].last().is_none_or(|&g| g < global),
+            self.mapping[shard]
+                .globals
+                .last()
+                .is_none_or(|&g| g < global),
             "mapping must be learned in increasing global order per shard"
         );
-        self.mapping[shard].push(global);
-        if global == self.known_prefix + 1 {
-            self.known_prefix = global;
-            while self.beyond.remove(&(self.known_prefix + 1)) {
-                self.known_prefix += 1;
-            }
-        } else if global > self.known_prefix {
+        self.mapping[shard].globals.push(global);
+        if global > self.known_prefix {
             self.beyond.insert(global);
         }
+        self.advance_known();
+    }
+
+    /// True once this node can prove global `g` will never be delivered
+    /// here: on every shard, `g` is either at or below the shard's
+    /// fast-forward mark (so it fell in the skipped prefix if routed
+    /// there) or provably absent from the shard's gapless learned suffix.
+    /// Conservative: a shard with no evidence either way blocks the
+    /// verdict, so reassembly waits instead of dropping data.
+    fn never_arrives(&self, g: SeqNo) -> bool {
+        self.mapping.iter().zip(&self.marks).all(|(m, &mark)| {
+            g <= mark
+                || match m.globals.binary_search(&g) {
+                    Ok(_) => false,
+                    Err(pos) => pos < m.globals.len(),
+                }
+        })
+    }
+
+    /// Grow `known_prefix` over globals that are mapped or never arrive.
+    fn advance_known(&mut self) {
+        loop {
+            let next = self.known_prefix + 1;
+            if self.beyond.remove(&next) || self.never_arrives(next) {
+                self.known_prefix = next;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Release parked deliveries, hopping over globals proven skipped.
+    fn drain_ready(&mut self) -> Vec<(SeqNo, Bytes)> {
+        let mut ready = Vec::new();
+        loop {
+            if let Some(p) = self.pending.remove(&(self.delivered + 1)) {
+                self.delivered += 1;
+                ready.push((self.delivered, p));
+            } else if !self.pending.is_empty() && self.never_arrives(self.delivered + 1) {
+                self.delivered += 1; // skipped prefix: no upcall (§III-E)
+            } else {
+                break;
+            }
+        }
+        ready
     }
 }
 
@@ -185,12 +243,42 @@ impl ShardedFrontier {
         let o = &mut self.origins[origin.0 as usize];
         debug_assert!(global > o.delivered, "shard re-delivered a global");
         o.pending.insert(global, payload);
-        let mut ready = Vec::new();
-        while let Some(p) = o.pending.remove(&(o.delivered + 1)) {
-            o.delivered += 1;
-            ready.push((o.delivered, p));
+        Ok((o.drain_ready(), out))
+    }
+
+    /// A shard machine fast-forwarded `origin`'s sub-stream to
+    /// `shard_seq` (§III-E catch-up): shard seqs `1..=shard_seq` on that
+    /// shard will never be delivered here, and the donor's `mark` bounds
+    /// their globals (every skipped global on the shard is `≤ mark`,
+    /// every replayed or future one is `> mark`). Reassembly and the
+    /// frontier min-combine step over globals once *every* shard rules
+    /// them out, so a shard with no traffic and no mark conservatively
+    /// parks the aggregate rather than risking a drop.
+    pub fn fast_forward_origin(
+        &mut self,
+        origin: NodeId,
+        shard: u16,
+        shard_seq: SeqNo,
+        mark: SeqNo,
+    ) -> (Vec<(SeqNo, Bytes)>, AggOutput) {
+        let o = &mut self.origins[origin.0 as usize];
+        let s = shard as usize;
+        if mark > o.marks[s] {
+            o.marks[s] = mark;
         }
-        Ok((ready, out))
+        let m = &mut o.mapping[s];
+        if shard_seq > m.base {
+            // Entries at or below the new skip point were delivered
+            // before the jump; drop them so index arithmetic stays
+            // aligned with the replayed suffix.
+            let drop_n = ((shard_seq - m.base) as usize).min(m.globals.len());
+            m.globals.drain(..drop_n);
+            m.base = shard_seq;
+        }
+        o.advance_known();
+        let ready = o.drain_ready();
+        let out = self.recompute_origin(origin);
+        (ready, out)
     }
 
     /// Highest global delivered to the application for `origin`.
@@ -209,15 +297,24 @@ impl ShardedFrontier {
     /// partial knowledge under-report — conservative by construction.
     pub fn shard_progress(&self, origin: NodeId, shard: u16, global: SeqNo) -> SeqNo {
         let m = &self.origins[origin.0 as usize].mapping[shard as usize];
-        m.partition_point(|&g| g <= global) as SeqNo
+        let pp = m.globals.partition_point(|&g| g <= global) as SeqNo;
+        if pp > 0 {
+            // Retained entry `pp-1` has global ≤ `global`, so every
+            // skipped predecessor (smaller globals) does too.
+            m.base + pp
+        } else {
+            0
+        }
     }
 
     /// Global sequence numbers of `origin`'s messages routed to `shard`,
-    /// in shard-seq order (entry `q-1` is the global of shard seq `q`) —
-    /// the inverse of [`ShardedFrontier::shard_progress`], for telemetry
-    /// that folds per-shard frontier advances back into global terms.
+    /// in shard-seq order (entry `i` is the global of shard seq
+    /// `skip + i + 1`, where `skip` is the fast-forwarded prefix — 0 on
+    /// the origin itself) — the inverse of
+    /// [`ShardedFrontier::shard_progress`], for telemetry that folds
+    /// per-shard frontier advances back into global terms.
     pub fn shard_globals(&self, origin: NodeId, shard: u16) -> &[SeqNo] {
-        &self.origins[origin.0 as usize].mapping[shard as usize]
+        &self.origins[origin.0 as usize].mapping[shard as usize].globals
     }
 
     /// Make `(stream, key)` queryable (frontier 0) before any shard
@@ -323,8 +420,16 @@ impl ShardedFrontier {
     fn first_uncovered(&self, stream: NodeId, shard: usize, f: SeqNo) -> SeqNo {
         let o = &self.origins[stream.0 as usize];
         let m = &o.mapping[shard];
-        if (f as usize) < m.len() {
-            m[f as usize]
+        if f < m.base {
+            // The shard's frontier has not yet caught up past its
+            // fast-forwarded prefix; the first uncovered message is a
+            // skipped one whose global we will never learn. Pin the
+            // aggregate until the shard frontier clears the skip point.
+            return 1;
+        }
+        let idx = (f - m.base) as usize;
+        if idx < m.globals.len() {
+            m.globals[idx]
         } else {
             // The shard's next message (if any) is one we cannot place
             // yet; bound by the first globally unknown mapping.

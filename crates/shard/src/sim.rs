@@ -21,6 +21,7 @@ const TAG_ACK_FLUSH: u64 = 1;
 const TAG_HEARTBEAT: u64 = 2;
 const TAG_FAILURE: u64 = 3;
 const TAG_RETRANSMIT: u64 = 4;
+const TAG_TRANSFER: u64 = 5;
 
 /// Wire envelope multiplexing shard sub-streams over one simulated link.
 #[derive(Debug, Clone)]
@@ -55,6 +56,9 @@ pub struct ShardedSimNode<H: AppHooks = NoHooks> {
     pub suspected_log: Vec<(SimTime, NodeId)>,
     /// Peers that came back after suspicion.
     pub recovered_log: Vec<(SimTime, NodeId)>,
+    /// Out-of-band global fast-forwards (§III-E state transfer):
+    /// `(time, stream, delivered_global_after_jump)`.
+    pub catchup_log: Vec<(SimTime, NodeId, SeqNo)>,
     /// Per shard: that shard's own frontier log (per-shard sequence
     /// space) — consumed by per-shard invariant checking and telemetry.
     pub shard_frontier_logs: Vec<Vec<(SimTime, FrontierUpdate)>>,
@@ -76,6 +80,7 @@ impl<H: AppHooks> ShardedSimNode<H> {
             completed_waits: Vec::new(),
             suspected_log: Vec::new(),
             recovered_log: Vec::new(),
+            catchup_log: Vec::new(),
             shard_frontier_logs: vec![Vec::new(); shards],
             shard_delivery_logs: vec![Vec::new(); shards],
             record_deliveries: true,
@@ -219,6 +224,10 @@ impl<H: AppHooks> ShardedSimNode<H> {
                 ShardedAction::Recovered { node } => {
                     self.recovered_log.push((ctx.now(), node));
                 }
+                ShardedAction::CatchUp { stream, global, .. } => {
+                    self.hooks.on_catch_up(ctx.now(), stream, global);
+                    self.catchup_log.push((ctx.now(), stream, global));
+                }
                 ShardedAction::PredicateBroken { .. } => {}
                 ShardedAction::ShardFrontier { shard, update } => {
                     self.shard_frontier_logs[shard as usize].push((ctx.now(), update));
@@ -272,6 +281,15 @@ impl<H: AppHooks> Actor for ShardedSimNode<H> {
                 TAG_RETRANSMIT,
             );
         }
+        if opts.transfer_millis > 0 {
+            ctx.set_timer(
+                SimDuration::from_millis((opts.transfer_millis / 2).max(1)),
+                TAG_TRANSFER,
+            );
+        }
+        // A restarted engine may have queued catch-up requests during
+        // construction; flush them now that the context exists.
+        self.drain(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, ShardMsg>, from: usize, msg: ShardMsg) {
@@ -316,6 +334,13 @@ impl<H: AppHooks> Actor for ShardedSimNode<H> {
                 ctx.set_timer(
                     SimDuration::from_millis((opts.retransmit_millis / 2).max(1)),
                     TAG_RETRANSMIT,
+                );
+            }
+            TAG_TRANSFER => {
+                self.engine.on_transfer_tick(ctx.now().as_nanos());
+                ctx.set_timer(
+                    SimDuration::from_millis((opts.transfer_millis / 2).max(1)),
+                    TAG_TRANSFER,
                 );
             }
             _ => {}

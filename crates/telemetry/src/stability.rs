@@ -21,7 +21,7 @@
 //! [`Instant`] epoch and re-timestamps every event against it.
 
 use crate::histogram::{HistogramSnapshot, LogHistogram};
-use crate::registry::{Counter, MetricsRegistry};
+use crate::registry::{Counter, Gauge, MetricsRegistry};
 use crate::trace::{TraceEvent, TraceKind, TraceRing, DEFAULT_TRACE_CAPACITY};
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -189,6 +189,8 @@ impl Telemetry {
             wait_done: self.registry.counter("stab_wait_done_total", labels),
             suspicions: self.registry.counter("stab_suspicions_total", labels),
             recoveries: self.registry.counter("stab_recoveries_total", labels),
+            catch_ups: self.registry.counter("stab_catch_ups_total", labels),
+            catchup_lag: self.registry.gauge("stab_catchup_lag_seq", labels),
             connect_failures: self.registry.counter("stab_connect_failures_total", labels),
         }
     }
@@ -211,6 +213,14 @@ impl Telemetry {
             ("stab_node_retransmits", m.retransmits),
             ("stab_node_predicate_evals", m.predicate_evals),
             ("stab_node_frontier_updates", m.frontier_updates),
+            ("stab_node_transfer_requests", m.transfer_requests),
+            ("stab_node_transfer_chunks_sent", m.transfer_chunks_sent),
+            ("stab_node_transfer_bytes_sent", m.transfer_bytes_sent),
+            (
+                "stab_node_transfer_chunks_received",
+                m.transfer_chunks_received,
+            ),
+            ("stab_node_transfer_fast_forwards", m.transfer_fast_forwards),
         ];
         for (name, v) in pairs {
             self.registry.gauge(name, labels).set(*v as i64);
@@ -331,6 +341,10 @@ pub struct MetricsObserver {
     wait_done: Counter,
     suspicions: Counter,
     recoveries: Counter,
+    catch_ups: Counter,
+    /// Highest sequence jumped to by a §III-E fast-forward — how far the
+    /// out-of-band transfer moved this node past normal delivery.
+    catchup_lag: Gauge,
     connect_failures: Counter,
 }
 
@@ -390,6 +404,17 @@ impl RuntimeObserver for MetricsObserver {
         });
     }
 
+    fn on_catch_up(&mut self, now_nanos: u64, stream: NodeId, seq: SeqNo) {
+        let now = self.hub.event_now(now_nanos);
+        self.catch_ups.inc();
+        self.catchup_lag.set(seq as i64);
+        self.hub.trace.push(TraceEvent {
+            at_nanos: now,
+            node: self.node,
+            kind: TraceKind::CatchUp { stream, seq },
+        });
+    }
+
     fn on_connect_failed(&mut self, now_nanos: u64, peer: NodeId) {
         let now = self.hub.event_now(now_nanos);
         self.connect_failures.inc();
@@ -416,6 +441,10 @@ impl stabilizer_core::sim_driver::AppHooks for MetricsObserver {
 
     fn on_suspected(&mut self, now: SimTime, node: NodeId) {
         RuntimeObserver::on_suspected(self, now.as_nanos(), node);
+    }
+
+    fn on_catch_up(&mut self, now: SimTime, stream: NodeId, seq: SeqNo) {
+        RuntimeObserver::on_catch_up(self, now.as_nanos(), stream, seq);
     }
 }
 

@@ -64,6 +64,13 @@ pub enum TraceKind {
         /// The unreachable peer.
         peer: NodeId,
     },
+    /// A stream was fast-forwarded out of band (§III-E state transfer).
+    CatchUp {
+        /// The fast-forwarded stream.
+        stream: NodeId,
+        /// Sequence delivery resumes after.
+        seq: SeqNo,
+    },
 }
 
 impl TraceKind {
@@ -76,6 +83,7 @@ impl TraceKind {
             TraceKind::Suspected { .. } => "suspected",
             TraceKind::Recovered { .. } => "recovered",
             TraceKind::ConnectFailed { .. } => "connect_failed",
+            TraceKind::CatchUp { .. } => "catch_up",
         }
     }
 }
@@ -127,6 +135,9 @@ impl TraceEvent {
             | TraceKind::Recovered { peer }
             | TraceKind::ConnectFailed { peer } => {
                 s.push_str(&format!(",\"peer\":{}", peer.0));
+            }
+            TraceKind::CatchUp { stream, seq } => {
+                s.push_str(&format!(",\"stream\":{},\"seq\":{seq}", stream.0));
             }
         }
         s.push('}');

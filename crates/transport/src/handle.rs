@@ -161,6 +161,19 @@ impl NodeHandle {
         self.shared.node.lock().is_suspected(node)
     }
 
+    /// Ask every peer for a §III-E snapshot + retained-log replay. The
+    /// restore path does this automatically; call it manually to force a
+    /// re-sync (no-op when `transfer_millis` is 0).
+    pub fn begin_catch_up(&self) {
+        let now = self.shared.now_nanos();
+        self.shared.with_node(|node| node.begin_catch_up(now));
+    }
+
+    /// Number of in-flight state-transfer sessions (inbound + outbound).
+    pub fn active_transfers(&self) -> usize {
+        self.shared.node.lock().active_transfers()
+    }
+
     /// Current traffic counters.
     pub fn metrics(&self) -> stabilizer_core::Metrics {
         self.shared.node.lock().metrics()

@@ -157,6 +157,7 @@ impl Shared {
                     Action::WaitDone { token } => obs.on_wait_done(now, *token),
                     Action::Suspected { node } => obs.on_suspected(now, *node),
                     Action::Recovered { node } => obs.on_recovered(now, *node),
+                    Action::CatchUp { stream, seq, .. } => obs.on_catch_up(now, *stream, *seq),
                     Action::PredicateBroken { .. } => {}
                 }
             }
@@ -196,6 +197,7 @@ impl Shared {
                 }
                 Action::Suspected { .. }
                 | Action::Recovered { .. }
+                | Action::CatchUp { .. }
                 | Action::PredicateBroken { .. } => {
                     // Surfaced through `is_suspected`, the observers, and
                     // monitor silence; a production deployment would plug
@@ -309,6 +311,11 @@ pub fn spawn_node_with(
                 let high = node.recorder().get(*peer, me, RECEIVED);
                 node.fast_forward_stream(*peer, high);
             }
+            // Then ask every live donor for a snapshot + retained-log
+            // replay, covering whatever was published past the durable
+            // acknowledgment while this node was down (no-op unless
+            // `transfer_millis` is configured).
+            node.begin_catch_up(0);
             node
         }
     };
@@ -593,6 +600,7 @@ fn ticker_loop(shared: Arc<Shared>, opts: stabilizer_core::Options, dump: Option
     let mut last_heartbeat = Instant::now();
     let mut last_failure = Instant::now();
     let mut last_retransmit = Instant::now();
+    let mut last_transfer = Instant::now();
     let mut last_sample = Instant::now();
     let mut last_dump = Instant::now();
     let sample_every = Duration::from_millis(20);
@@ -631,6 +639,14 @@ fn ticker_loop(shared: Arc<Shared>, opts: stabilizer_core::Options, dump: Option
             let t = shared.now_nanos();
             shared.with_node(|n| n.on_retransmit_check(t));
             last_retransmit = now;
+        }
+        if opts.transfer_millis > 0
+            && now.duration_since(last_transfer)
+                >= Duration::from_millis((opts.transfer_millis / 2).max(1))
+        {
+            let t = shared.now_nanos();
+            shared.with_node(|n| n.on_transfer_tick(t));
+            last_transfer = now;
         }
         if let Some(telemetry) = &shared.telemetry {
             if now.duration_since(last_sample) >= sample_every {

@@ -65,6 +65,12 @@ enum NodeEvent {
         payload: Bytes,
     },
     Frontier(FrontierUpdate),
+    /// Global reassembly fast-forwarded out of band (§III-E): delivery
+    /// of `stream` resumes after global `seq`.
+    CatchUp {
+        stream: NodeId,
+        seq: SeqNo,
+    },
 }
 
 /// Global-sequence assignment and shard routing for local publishes.
@@ -259,6 +265,57 @@ impl ShardedShared {
                 // breaks them in lockstep; like the unsharded runtime
                 // this surfaces through monitor silence.
                 Action::PredicateBroken { .. } => {}
+                Action::CatchUp {
+                    stream,
+                    seq,
+                    app_mark,
+                } => {
+                    let mut agg = self.agg.lock();
+                    let (ready, out) = agg
+                        .frontier
+                        .fast_forward_origin(stream, shard, seq, app_mark);
+                    let _ = self.event_tx.send(NodeEvent::CatchUp {
+                        stream,
+                        seq: agg.frontier.delivered_global(stream),
+                    });
+                    for (global, payload) in ready {
+                        let _ = self.event_tx.send(NodeEvent::Deliver {
+                            origin: stream,
+                            seq: global,
+                            payload,
+                        });
+                    }
+                    self.apply_agg(out);
+                }
+            }
+        }
+    }
+
+    /// Keep each shard machine's outgoing snapshot mark equal to the
+    /// global of its last non-replayable own-stream message (the
+    /// requester-side aggregator relies on every skipped global being
+    /// ≤ mark and every replayable one being > mark). Run from the
+    /// ticker's transfer branch: a request racing an eviction can see a
+    /// stale mark, which only parks the requester until its next
+    /// re-request picks up a fresh snapshot.
+    fn refresh_transfer_marks(&self) {
+        for s in 0..self.num_shards {
+            let floor = {
+                let node = self.shards[s as usize].lock();
+                node.first_replayable().saturating_sub(1)
+            };
+            if floor == 0 {
+                continue;
+            }
+            let mark = {
+                let agg = self.agg.lock();
+                agg.frontier
+                    .shard_globals(self.me, s)
+                    .get(floor as usize - 1)
+                    .copied()
+            };
+            if let Some(mark) = mark {
+                self.shards[s as usize].lock().set_app_mark(mark);
             }
         }
     }
@@ -822,6 +879,26 @@ impl ShardedHandle {
         self.shared.suspects.lock()[node.0 as usize] > 0
     }
 
+    /// Start §III-E catch-up on every shard sub-stream: each shard
+    /// machine asks its per-shard donors for a snapshot plus
+    /// retained-log replay. Use after joining a fresh node into a
+    /// running cluster. No-op unless `transfer_millis` is configured.
+    pub fn begin_catch_up(&self) {
+        let now = self.shared.now_nanos();
+        for s in 0..self.shared.num_shards {
+            self.shared.with_shard(s, |n| n.begin_catch_up(now));
+        }
+    }
+
+    /// Live transfer sessions summed across shards.
+    pub fn active_transfers(&self) -> usize {
+        self.shared
+            .shards
+            .iter()
+            .map(|s| s.lock().active_transfers())
+            .sum()
+    }
+
     /// Traffic counters summed across shards (`data_bytes_sent` includes
     /// the 8-byte global header each sharded payload carries).
     pub fn metrics(&self) -> Metrics {
@@ -838,6 +915,11 @@ impl ShardedHandle {
             total.retransmits += m.retransmits;
             total.predicate_evals += m.predicate_evals;
             total.frontier_updates += m.frontier_updates;
+            total.transfer_requests += m.transfer_requests;
+            total.transfer_chunks_sent += m.transfer_chunks_sent;
+            total.transfer_bytes_sent += m.transfer_bytes_sent;
+            total.transfer_chunks_received += m.transfer_chunks_received;
+            total.transfer_fast_forwards += m.transfer_fast_forwards;
         }
         total
     }
@@ -893,6 +975,11 @@ fn dispatcher_loop(
                             for f in fns.iter_mut() {
                                 f(&update);
                             }
+                        }
+                    }
+                    NodeEvent::CatchUp { stream, seq } => {
+                        if let Some(obs) = observer.as_mut() {
+                            RuntimeObserver::on_catch_up(obs, now, stream, seq);
                         }
                     }
                 }
@@ -1092,6 +1179,7 @@ fn ticker_loop(shared: Arc<ShardedShared>, opts: stabilizer_core::Options) {
     let mut last_heartbeat = Instant::now();
     let mut last_failure = Instant::now();
     let mut last_retransmit = Instant::now();
+    let mut last_transfer = Instant::now();
     let mut last_sample = Instant::now();
     let sample_every = Duration::from_millis(20);
     let tick = Duration::from_micros(if opts.ack_flush_micros > 0 {
@@ -1137,6 +1225,17 @@ fn ticker_loop(shared: Arc<ShardedShared>, opts: stabilizer_core::Options) {
                 shared.with_shard(s, |n| n.on_retransmit_check(t));
             }
             last_retransmit = now;
+        }
+        if opts.transfer_millis > 0
+            && now.duration_since(last_transfer)
+                >= Duration::from_millis((opts.transfer_millis / 2).max(1))
+        {
+            shared.refresh_transfer_marks();
+            let t = shared.now_nanos();
+            for s in 0..shared.num_shards {
+                shared.with_shard(s, |n| n.on_transfer_tick(t));
+            }
+            last_transfer = now;
         }
         if let Some(telemetry) = &shared.telemetry {
             if now.duration_since(last_sample) >= sample_every {

@@ -16,7 +16,12 @@
 //!
 //! Console commands: `pub <text>`, `frontier <predicate>`,
 //! `wait <predicate> <seq>`, `register <key> <predicate...>`,
-//! `change <key> <predicate...>`, `metrics`, `help`, `quit`.
+//! `change <key> <predicate...>`, `catchup`, `metrics`, `help`, `quit`.
+//!
+//! With `option transfer_millis` set in the config, a node that boots
+//! late (or restarts after a crash long enough to be evicted from its
+//! peers' send buffers) automatically requests §III-E state transfer at
+//! startup; `catchup` re-requests it by hand.
 
 use bytes::Bytes;
 use stabilizer::transport::spawn_node;
@@ -95,6 +100,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             move |u| println!(".. {key} -> {} (gen {})", u.seq, u.generation)
         });
     }
+    // §III-E: if state transfer is configured, ask the stream origins
+    // for snapshot + retained-log catch-up right away — a node booting
+    // into an already-running cluster recovers whatever it missed.
+    if cfg.options().transfer_millis > 0 {
+        h.begin_catch_up();
+        println!("state transfer armed; requesting catch-up from peers");
+    }
 
     let stdin = std::io::stdin();
     print!("> ");
@@ -159,6 +171,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     _ => println!("usage: {cmd} <key> <predicate...>"),
                 }
             }
+            Some("catchup") => {
+                h.begin_catch_up();
+                println!("catch-up requested from all stream origins");
+            }
             Some("metrics") => {
                 let m = h.metrics();
                 println!(
@@ -173,7 +189,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
             Some("help") => {
-                println!("commands: pub <text> | frontier <key> | wait <key> <seq> | register <key> <pred> | change <key> <pred> | metrics | quit");
+                println!("commands: pub <text> | frontier <key> | wait <key> <seq> | register <key> <pred> | change <key> <pred> | catchup | metrics | quit");
             }
             Some("quit") | Some("exit") => break,
             Some(other) => println!("unknown command {other:?} (try `help`)"),
