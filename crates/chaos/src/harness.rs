@@ -144,6 +144,10 @@ pub struct ChaosHarness {
     /// crash window does not resurrect the crashed node's links, and a
     /// restart does not punch through a still-active partition.
     desired_up: Vec<bool>,
+    /// Desired per-node timer-cadence multiplier from clock-skew faults.
+    /// Restart and join rebuild the actor, so the harness re-applies the
+    /// active skew — a reboot does not reset a node's broken clock.
+    timer_scale: Vec<f64>,
     steps: u64,
     n: usize,
     telemetry: Option<Arc<Telemetry>>,
@@ -230,6 +234,7 @@ impl ChaosHarness {
             crashed: vec![None; n],
             absent: vec![false; n],
             desired_up: vec![true; n * n],
+            timer_scale: vec![1.0; n],
             steps: 0,
             n,
             telemetry,
@@ -259,6 +264,12 @@ impl ChaosHarness {
     /// The underlying simulation (for post-run assertions).
     pub fn sim(&self) -> &Simulation<SimNode<ChaosObserver>> {
         &self.sim
+    }
+
+    /// Mutable access to the underlying simulation, for tests that
+    /// probe or drive nodes directly after a run.
+    pub fn sim_mut(&mut self) -> &mut Simulation<SimNode<ChaosObserver>> {
+        &mut self.sim
     }
 
     /// The shared event trace.
@@ -310,6 +321,99 @@ impl ChaosHarness {
             dropped: self.sim.dropped(),
             final_time: self.sim.now(),
         })
+    }
+
+    /// Virtual-time twin of
+    /// [`ChaosTcpCluster::verify_liveness`](crate::tcp_harness::ChaosTcpCluster::verify_liveness):
+    /// call after [`ChaosHarness::run`] has executed the whole schedule
+    /// (every fault cleared, every crashed node restarted). Keeps
+    /// stepping the simulator — safety-checking every step — until every
+    /// published message has stabilized: each node's RECEIVED for every
+    /// stream reaches the origin's last published sequence, and each
+    /// origin's own frontier under every startup predicate reaches it
+    /// too. The wait is bounded by `bound` of *virtual* time past the
+    /// current simulator clock, so a stalled cluster fails fast and
+    /// deterministically instead of wall-clock hanging.
+    ///
+    /// # Errors
+    ///
+    /// A `post-fault-liveness` violation naming the first lagging node,
+    /// or any safety violation observed while waiting.
+    pub fn verify_liveness(&mut self, bound: SimDuration) -> Result<(), InvariantViolation> {
+        let keys: Vec<String> = self.cfg.predicates().map(|(k, _)| k.to_owned()).collect();
+        let targets: Vec<SeqNo> = (0..self.n)
+            .map(|s| self.sim.actor(s).inner().last_published())
+            .collect();
+        let until = self.sim.now() + bound;
+        loop {
+            match self.liveness_gap(&keys, &targets) {
+                None => return Ok(()),
+                Some((node, detail)) => {
+                    // Timers re-arm forever, so the queue only runs dry
+                    // past `until`; either way the gap is now a verdict.
+                    if self.sim.next_event_time().filter(|&t| t <= until).is_none() {
+                        return Err(InvariantViolation {
+                            at: self.sim.now(),
+                            node,
+                            property: "post-fault-liveness",
+                            detail,
+                        });
+                    }
+                    self.sim.step();
+                    self.steps += 1;
+                    self.check()?;
+                }
+            }
+        }
+    }
+
+    /// The first node still short of full stabilization, if any.
+    fn liveness_gap(&self, keys: &[String], targets: &[SeqNo]) -> Option<(u16, String)> {
+        for (s, &target) in targets.iter().enumerate() {
+            if target == 0 {
+                continue;
+            }
+            let stream = NodeId(s as u16);
+            for i in 0..self.n {
+                if i == s {
+                    continue;
+                }
+                let got =
+                    self.sim
+                        .actor(i)
+                        .inner()
+                        .recorder()
+                        .get(stream, NodeId(i as u16), RECEIVED);
+                if got < target {
+                    return Some((
+                        i as u16,
+                        format!(
+                            "node {i} has received only {got}/{target} of stream {s} \
+                             after faults cleared"
+                        ),
+                    ));
+                }
+            }
+            for key in keys {
+                let frontier = self
+                    .sim
+                    .actor(s)
+                    .inner()
+                    .stability_frontier(stream, key)
+                    .map(|(seq, _gen)| seq)
+                    .unwrap_or(0);
+                if frontier < target {
+                    return Some((
+                        s as u16,
+                        format!(
+                            "origin {s}'s frontier for predicate {key} is {frontier}/{target} \
+                             after faults cleared"
+                        ),
+                    ));
+                }
+            }
+        }
+        None
     }
 
     fn check(&mut self) -> Result<(), InvariantViolation> {
@@ -401,11 +505,62 @@ impl ChaosHarness {
                 self.sim.set_link_extra_delay(from, to, extra);
                 self.note(at, from as u16, format!("delay {from}->{to} += {extra}"));
             }
+            Op::SetTimerScale { node, scale } => {
+                self.timer_scale[node] = scale;
+                self.sim.actor_mut(node).set_timer_scale(scale);
+                self.note(at, node as u16, format!("timer scale {node} = {scale}"));
+            }
+            Op::SetDupReorder {
+                from,
+                to,
+                dup,
+                reorder,
+            } => {
+                self.sim.set_link_dup_reorder(from, to, dup, reorder);
+                self.note(
+                    at,
+                    from as u16,
+                    format!("dup/reorder {from}->{to} = {dup}/{reorder}"),
+                );
+            }
+            Op::ForgeAck { node, ahead } => self.forge_ack(at, node, ahead),
             Op::Crash { node } => self.crash(at, node),
             Op::Restart { node } => self.restart(at, node),
             Op::Join { node } => self.join(at, node),
         }
         Ok(())
+    }
+
+    /// Byzantine ACK forgery: the node broadcasts an `AckBatch` claiming
+    /// every stream reached `ahead` past what it actually received. Its
+    /// own recorder is untouched — receivers' journaled belief writes are
+    /// what the `belief-beyond-truth` invariant must flag.
+    fn forge_ack(&mut self, at: SimTime, node: usize, ahead: u64) {
+        if self.crashed[node].is_some() || self.absent[node] {
+            self.note(at, node as u16, "forge_ack skipped (node down)".to_string());
+            return;
+        }
+        let n = self.n;
+        self.sim.with_ctx(node, |actor, ctx| {
+            let me = NodeId(node as u16);
+            let batch: Vec<stabilizer_core::Ack> = (0..n)
+                .map(|s| {
+                    let stream = NodeId(s as u16);
+                    let truth = actor.inner().recorder().get(stream, me, RECEIVED);
+                    stabilizer_core::Ack {
+                        stream,
+                        ty: RECEIVED,
+                        seq: truth + ahead,
+                    }
+                })
+                .collect();
+            for peer in 0..n {
+                if peer != node {
+                    ctx.send(peer, stabilizer_core::WireMsg::AckBatch(batch.clone()));
+                }
+            }
+        });
+        self.note(at, node as u16, format!("forge_ack {node} ahead {ahead}"));
     }
 
     /// Crash: persist the control plane through the byte format (what
@@ -450,8 +605,13 @@ impl ChaosHarness {
                 .as_ref()
                 .map(|t| t.observer(NodeId(node as u16))),
         );
-        self.sim
-            .replace_actor(node, SimNode::new(restored, observer));
+        let mut fresh = SimNode::new(restored, observer);
+        // A reboot does not fix a skewed clock: the timers the restart
+        // arms below must already run at the faulted cadence.
+        if self.timer_scale[node] != 1.0 {
+            fresh.set_timer_scale(self.timer_scale[node]);
+        }
+        self.sim.replace_actor(node, fresh);
         // `crashed[node]` was taken above, so sync restores each link to
         // its partition-desired state (not unconditionally up).
         for (a, b) in FaultPlan::crash_pairs(node, self.n) {
@@ -489,7 +649,11 @@ impl ChaosHarness {
                 .as_ref()
                 .map(|t| t.observer(NodeId(node as u16))),
         );
-        self.sim.replace_actor(node, SimNode::new(fresh, observer));
+        let mut booted = SimNode::new(fresh, observer);
+        if self.timer_scale[node] != 1.0 {
+            booted.set_timer_scale(self.timer_scale[node]);
+        }
+        self.sim.replace_actor(node, booted);
         self.absent[node] = false;
         for (a, b) in FaultPlan::crash_pairs(node, self.n) {
             self.sync_link(a, b);

@@ -29,6 +29,11 @@ use stabilizer_dsl::{AckTypeId, NodeId, SeqNo, DELIVERED, RECEIVED};
 use stabilizer_netsim::SimTime;
 use std::collections::HashMap;
 
+/// Default cadence of the periodic full-table rescan that backstops the
+/// incremental dirty-cell path (see
+/// [`InvariantChecker::with_rescan_every`]).
+pub const DEFAULT_RESCAN_EVERY: u64 = 16;
+
 /// A read-only view of one node's observable state, assembled by
 /// [`ChaosObservable::chaos_view`]. The checker consumes one view per
 /// node per step.
@@ -139,6 +144,15 @@ pub struct InvariantChecker {
     recovered_cursor: Vec<usize>,
     /// Shadow suspicion sets: `suspects[n][p]`.
     suspects: Vec<Vec<bool>>,
+    /// Number of [`InvariantChecker::check`] calls so far.
+    checks: u64,
+    /// Every `rescan_every`-th check ignores the dirty-cell journals and
+    /// rescans every node's full recorder table. The incremental path is
+    /// only sound if **every** write is journaled; this fallback bounds
+    /// the damage of a journal hole (a forged or buggy write that
+    /// bypasses the journal) to at most `rescan_every - 1` checks before
+    /// it is examined.
+    rescan_every: u64,
 }
 
 impl InvariantChecker {
@@ -157,7 +171,25 @@ impl InvariantChecker {
             suspected_cursor: vec![0; n],
             recovered_cursor: vec![0; n],
             suspects: vec![vec![false; n]; n],
+            checks: 0,
+            rescan_every: DEFAULT_RESCAN_EVERY,
         }
+    }
+
+    /// Override the full-rescan cadence (default
+    /// [`DEFAULT_RESCAN_EVERY`]): every `k`-th check bypasses the
+    /// dirty-cell journals and rescans every recorder table, bounding
+    /// how long an unjournaled write can hide. Smaller `k` catches
+    /// journal holes sooner at higher cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0.
+    #[must_use]
+    pub fn with_rescan_every(mut self, k: u64) -> Self {
+        assert!(k > 0, "rescan cadence must be at least 1");
+        self.rescan_every = k;
+        self
     }
 
     /// Cluster size.
@@ -216,6 +248,7 @@ impl InvariantChecker {
         views: &[NodeView<'_>],
     ) -> Result<(), InvariantViolation> {
         assert_eq!(views.len(), self.n, "one view per node");
+        self.checks += 1;
         self.check_deliveries(now, views)?;
         self.check_acks(now, views)?;
         self.check_frontiers(now, views)?;
@@ -295,9 +328,13 @@ impl InvariantChecker {
             if num_types > self.types {
                 self.grow_types(num_types);
             }
+            // The periodic full rescan closes the journal-hole blind
+            // spot: a write that bypassed the journal (forged state, a
+            // journaling bug) is examined here at the latest.
+            let rescan = self.checks.is_multiple_of(self.rescan_every);
             match &view.dirty {
-                Some(cells) => self.check_acks_dirty(now, i, cells, views)?,
-                None => self.check_acks_full(now, i, views)?,
+                Some(cells) if !rescan => self.check_acks_dirty(now, i, cells, views)?,
+                _ => self.check_acks_full(now, i, views)?,
             }
         }
         Ok(())
@@ -742,11 +779,12 @@ mod tests {
     }
 
     #[test]
-    fn incremental_mode_examines_only_dirty_cells() {
-        // A forged belief that is NOT in the journal goes unexamined:
-        // the contract is that every recorder write must be journaled.
-        // This pins down that the dirty path really is incremental (a
-        // full rescan would catch the forgery, as the fallback does).
+    fn unjournaled_write_is_caught_by_periodic_rescan() {
+        // A forged belief that is NOT in the journal slips past the
+        // purely incremental checks (the contract is that every recorder
+        // write is journaled) — but only until the next periodic full
+        // rescan. This asserts the former blind spot is closed: the hole
+        // survives at most `rescan_every - 1` checks.
         let mut nodes = two_nodes();
         use stabilizer_core::{Ack, WireMsg};
         nodes[0].on_message(
@@ -758,23 +796,30 @@ mod tests {
                 seq: 7,
             }]),
         );
-        let mut checker = InvariantChecker::new(2, 3);
-        let views = vec![
-            NodeView {
-                dirty: Some(Vec::new()), // journal silent about the write
-                ..view(&nodes[0])
-            },
-            NodeView {
-                dirty: Some(Vec::new()),
-                ..view(&nodes[1])
-            },
-        ];
-        checker.check(SimTime::ZERO, &views).unwrap();
-        // The same state under the full-rescan fallback trips.
-        let mut checker = InvariantChecker::new(2, 3);
-        let views: Vec<NodeView<'_>> = nodes.iter().map(view).collect();
-        let err = checker.check(SimTime::ZERO, &views).unwrap_err();
+        fn silent(nodes: &[StabilizerNode]) -> Vec<NodeView<'_>> {
+            nodes
+                .iter()
+                .map(|n| NodeView {
+                    dirty: Some(Vec::new()), // journal silent about the write
+                    ..view(n)
+                })
+                .collect()
+        }
+        let rescan_every = 4;
+        let mut checker = InvariantChecker::new(2, 3).with_rescan_every(rescan_every);
+        // The incremental checks miss the forgery...
+        for _ in 0..rescan_every - 1 {
+            checker.check(SimTime::ZERO, &silent(&nodes)).unwrap();
+        }
+        // ...but the k-th check full-rescans and trips on it.
+        let err = checker.check(SimTime::ZERO, &silent(&nodes)).unwrap_err();
         assert_eq!(err.property, "belief-beyond-truth");
+
+        // The default cadence closes the hole too, within its window.
+        let mut checker = InvariantChecker::new(2, 3);
+        let caught = (0..DEFAULT_RESCAN_EVERY)
+            .any(|_| checker.check(SimTime::ZERO, &silent(&nodes)).is_err());
+        assert!(caught, "default rescan cadence must examine the forgery");
     }
 
     #[test]

@@ -71,6 +71,68 @@ pub enum Fault {
         /// The late-joining node.
         node: usize,
     },
+    /// Scale one node's timer cadence: every protocol timer (ACK flush,
+    /// heartbeat, failure detector, retransmit, §III-E transfer pacing)
+    /// fires at `factor ×` its configured interval. `factor < 1` is a
+    /// fast local clock (timers fire early); `factor > 1` is a slow one
+    /// (timers fire late, heartbeats thin out, retransmits lag). Restores
+    /// the nominal cadence after `clear_after`.
+    ClockSkew {
+        /// The node whose clock is skewed.
+        node: usize,
+        /// Multiplier applied to every timer interval (must be positive
+        /// and finite).
+        factor: f64,
+        /// Time until the skew clears.
+        clear_after: SimDuration,
+    },
+    /// Duplicate and reorder control-plane frames on the directed link
+    /// `from -> to`: each frame is independently duplicated with
+    /// `dup_probability` and swapped past its successor with
+    /// `reorder_probability` (breaking the link's FIFO property). The
+    /// protocol must tolerate both — duplicates are idempotent and the
+    /// receive buffer re-sequences — so no invariant may trip. Clears
+    /// after `clear_after`.
+    DupReorder {
+        /// Sender side of the corrupted direction.
+        from: usize,
+        /// Receiver side.
+        to: usize,
+        /// Per-frame duplication probability in `[0, 1]`.
+        dup_probability: f64,
+        /// Per-frame reorder (swap-with-next) probability in `[0, 1]`.
+        reorder_probability: f64,
+        /// Time until the link behaves again.
+        clear_after: SimDuration,
+    },
+    /// A correlated failure: every node in `nodes` crashes within one
+    /// window — the k-th crash lands at `at + k·spread` — and the
+    /// restarts are staggered (the k-th node comes back after `down_for
+    /// + k·stagger`). At least one node must survive.
+    CorrelatedCrash {
+        /// The crashing nodes (distinct, a proper subset).
+        nodes: Vec<usize>,
+        /// Gap between consecutive crashes.
+        spread: SimDuration,
+        /// Base downtime of each node.
+        down_for: SimDuration,
+        /// Extra downtime added per position in the crash order.
+        stagger: SimDuration,
+    },
+    /// A Byzantine adversary: at the event time, `node` forges one ACK
+    /// batch to every peer claiming its RECEIVED columns run `ahead`
+    /// sequence numbers beyond what it has actually recorded — without
+    /// touching its own recorder. This is the PR-2 mutation test promoted
+    /// into the fault vocabulary: the invariant checker is *expected* to
+    /// flag `belief-beyond-truth` at a receiving peer (see
+    /// [`FaultPlan::expected_violation`]).
+    ByzantineAck {
+        /// The forging node.
+        node: usize,
+        /// How far beyond its true RECEIVED state the forged columns
+        /// claim (must be positive).
+        ahead: u64,
+    },
 }
 
 /// A fault with its virtual start time.
@@ -152,6 +214,33 @@ pub enum Op {
     Join {
         /// The joining node.
         node: usize,
+    },
+    /// Scale a node's timer cadence (1.0 restores nominal).
+    SetTimerScale {
+        /// The node.
+        node: usize,
+        /// Interval multiplier.
+        scale: f64,
+    },
+    /// Set duplicate/reorder probabilities on one directed link
+    /// (0.0/0.0 clears).
+    SetDupReorder {
+        /// Sender side.
+        from: usize,
+        /// Receiver side.
+        to: usize,
+        /// Per-frame duplication probability.
+        dup: f64,
+        /// Per-frame swap-with-next probability.
+        reorder: f64,
+    },
+    /// Make `node` forge one ACK batch to every peer, claiming RECEIVED
+    /// columns `ahead` beyond its recorder's truth.
+    ForgeAck {
+        /// The forging node.
+        node: usize,
+        /// Forged lead over the true columns.
+        ahead: u64,
     },
 }
 
@@ -271,6 +360,75 @@ impl FaultPlan {
                         return bad(format!("node {node} joins twice"));
                     }
                     joins.push((*node, ev.at));
+                }
+                Fault::ClockSkew { node, factor, .. } => {
+                    if *node >= n {
+                        return bad(format!("node {node} out of range (n={n})"));
+                    }
+                    if !factor.is_finite() || *factor <= 0.0 {
+                        return bad(format!("clock skew factor {factor} must be positive"));
+                    }
+                }
+                Fault::DupReorder {
+                    from,
+                    to,
+                    dup_probability,
+                    reorder_probability,
+                    ..
+                } => {
+                    if *from >= n || *to >= n || from == to {
+                        return bad(format!("bad dup/reorder link {from}->{to} (n={n})"));
+                    }
+                    for p in [dup_probability, reorder_probability] {
+                        if !(0.0..=1.0).contains(p) {
+                            return bad(format!("dup/reorder probability {p} outside [0,1]"));
+                        }
+                    }
+                }
+                Fault::CorrelatedCrash {
+                    nodes,
+                    spread,
+                    down_for,
+                    stagger,
+                } => {
+                    if nodes.is_empty() || nodes.len() >= n {
+                        return bad(format!(
+                            "correlated crash set must be a non-empty proper subset, got {nodes:?}"
+                        ));
+                    }
+                    if nodes.iter().any(|&x| x >= n) {
+                        return bad(format!(
+                            "correlated crash set {nodes:?} out of range (n={n})"
+                        ));
+                    }
+                    for (a, &x) in nodes.iter().enumerate() {
+                        if nodes[..a].contains(&x) {
+                            return bad(format!("node {x} appears twice in the crash set"));
+                        }
+                    }
+                    if *down_for == SimDuration::ZERO {
+                        return bad("correlated crash downtime must be positive".into());
+                    }
+                    for (k, &node) in nodes.iter().enumerate() {
+                        let start = ev.at + spread.saturating_mul(k as u64);
+                        let end = start + *down_for + stagger.saturating_mul(k as u64);
+                        for &(other, s, e) in &crash_windows {
+                            if other == node && start < e && s < end {
+                                return bad(format!(
+                                    "crash windows overlap on node {node} ([{s}, {e}] vs [{start}, {end}])"
+                                ));
+                            }
+                        }
+                        crash_windows.push((node, start, end));
+                    }
+                }
+                Fault::ByzantineAck { node, ahead } => {
+                    if *node >= n {
+                        return bad(format!("node {node} out of range (n={n})"));
+                    }
+                    if *ahead == 0 {
+                        return bad("forged ack lead must be positive".into());
+                    }
                 }
             }
         }
@@ -408,10 +566,97 @@ impl FaultPlan {
                         op: Op::Join { node: *node },
                     });
                 }
+                Fault::ClockSkew {
+                    node,
+                    factor,
+                    clear_after,
+                } => {
+                    ops.push(TimedOp {
+                        at: ev.at,
+                        op: Op::SetTimerScale {
+                            node: *node,
+                            scale: *factor,
+                        },
+                    });
+                    ops.push(TimedOp {
+                        at: ev.at + *clear_after,
+                        op: Op::SetTimerScale {
+                            node: *node,
+                            scale: 1.0,
+                        },
+                    });
+                }
+                Fault::DupReorder {
+                    from,
+                    to,
+                    dup_probability,
+                    reorder_probability,
+                    clear_after,
+                } => {
+                    ops.push(TimedOp {
+                        at: ev.at,
+                        op: Op::SetDupReorder {
+                            from: *from,
+                            to: *to,
+                            dup: *dup_probability,
+                            reorder: *reorder_probability,
+                        },
+                    });
+                    ops.push(TimedOp {
+                        at: ev.at + *clear_after,
+                        op: Op::SetDupReorder {
+                            from: *from,
+                            to: *to,
+                            dup: 0.0,
+                            reorder: 0.0,
+                        },
+                    });
+                }
+                Fault::CorrelatedCrash {
+                    nodes,
+                    spread,
+                    down_for,
+                    stagger,
+                } => {
+                    // Lowers entirely onto the existing crash/restart
+                    // primitives, so both harnesses execute it unchanged.
+                    for (k, &node) in nodes.iter().enumerate() {
+                        let start = ev.at + spread.saturating_mul(k as u64);
+                        ops.push(TimedOp {
+                            at: start,
+                            op: Op::Crash { node },
+                        });
+                        ops.push(TimedOp {
+                            at: start + *down_for + stagger.saturating_mul(k as u64),
+                            op: Op::Restart { node },
+                        });
+                    }
+                }
+                Fault::ByzantineAck { node, ahead } => {
+                    ops.push(TimedOp {
+                        at: ev.at,
+                        op: Op::ForgeAck {
+                            node: *node,
+                            ahead: *ahead,
+                        },
+                    });
+                }
             }
         }
         ops.sort_by_key(|op| op.at);
         Ok(ops)
+    }
+
+    /// The invariant the checker is *expected* to flag for this plan, if
+    /// any. Benign plans return `None`; a plan containing a
+    /// [`Fault::ByzantineAck`] adversary returns
+    /// `Some("belief-beyond-truth")` — a run of such a plan that finishes
+    /// *clean* means the checker lost its teeth.
+    pub fn expected_violation(&self) -> Option<&'static str> {
+        self.events
+            .iter()
+            .any(|ev| matches!(ev.fault, Fault::ByzantineAck { .. }))
+            .then_some("belief-beyond-truth")
     }
 
     /// Links touched by `Crash`/`Restart` ops for `node` (used by the
@@ -590,5 +835,186 @@ mod tests {
         assert!(matches!(ops[0].op, Op::Join { node: 2 }));
         assert!(matches!(ops[1].op, Op::Crash { node: 2 }));
         assert!(matches!(ops[2].op, Op::Restart { node: 2 }));
+    }
+
+    #[test]
+    fn clock_skew_compiles_to_scale_and_restore() {
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at: ms(100),
+                fault: Fault::ClockSkew {
+                    node: 1,
+                    factor: 3.0,
+                    clear_after: ms(400),
+                },
+            }],
+        };
+        let ops = plan.compile(3).unwrap();
+        assert_eq!(ops.len(), 2);
+        assert!(matches!(
+            ops[0].op,
+            Op::SetTimerScale { node: 1, scale } if scale == 3.0
+        ));
+        assert!(matches!(
+            ops[1].op,
+            Op::SetTimerScale { node: 1, scale } if scale == 1.0
+        ));
+        assert_eq!(ops[1].at, ms(500));
+        // Non-positive and non-finite factors are rejected.
+        for factor in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let bad = FaultPlan {
+                events: vec![FaultEvent {
+                    at: ms(0),
+                    fault: Fault::ClockSkew {
+                        node: 0,
+                        factor,
+                        clear_after: ms(1),
+                    },
+                }],
+            };
+            assert!(bad.validate(3).is_err(), "factor {factor} must be rejected");
+        }
+    }
+
+    #[test]
+    fn dup_reorder_compiles_to_set_and_clear() {
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at: ms(50),
+                fault: Fault::DupReorder {
+                    from: 0,
+                    to: 2,
+                    dup_probability: 0.2,
+                    reorder_probability: 0.3,
+                    clear_after: ms(200),
+                },
+            }],
+        };
+        let ops = plan.compile(3).unwrap();
+        assert!(matches!(
+            ops[0].op,
+            Op::SetDupReorder { from: 0, to: 2, dup, reorder } if dup == 0.2 && reorder == 0.3
+        ));
+        assert!(matches!(
+            ops[1].op,
+            Op::SetDupReorder { from: 0, to: 2, dup, reorder } if dup == 0.0 && reorder == 0.0
+        ));
+        let self_link = FaultPlan {
+            events: vec![FaultEvent {
+                at: ms(0),
+                fault: Fault::DupReorder {
+                    from: 1,
+                    to: 1,
+                    dup_probability: 0.1,
+                    reorder_probability: 0.1,
+                    clear_after: ms(1),
+                },
+            }],
+        };
+        assert!(self_link.validate(3).is_err());
+    }
+
+    #[test]
+    fn correlated_crash_staggers_and_respects_windows() {
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at: ms(100),
+                fault: Fault::CorrelatedCrash {
+                    nodes: vec![1, 3],
+                    spread: ms(20),
+                    down_for: ms(200),
+                    stagger: ms(50),
+                },
+            }],
+        };
+        let ops = plan.compile(5).unwrap();
+        let crash_times: Vec<_> = ops
+            .iter()
+            .filter_map(|o| match o.op {
+                Op::Crash { node } => Some((node, o.at)),
+                _ => None,
+            })
+            .collect();
+        let restart_times: Vec<_> = ops
+            .iter()
+            .filter_map(|o| match o.op {
+                Op::Restart { node } => Some((node, o.at)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crash_times, vec![(1, ms(100)), (3, ms(120))]);
+        assert_eq!(restart_times, vec![(1, ms(300)), (3, ms(370))]);
+        // All nodes crashing at once leaves no survivor: rejected.
+        let total = FaultPlan {
+            events: vec![FaultEvent {
+                at: ms(0),
+                fault: Fault::CorrelatedCrash {
+                    nodes: vec![0, 1, 2],
+                    spread: ms(10),
+                    down_for: ms(100),
+                    stagger: ms(0),
+                },
+            }],
+        };
+        assert!(total.validate(3).is_err());
+        // Overlap with a plain CrashRestart window on a member: rejected.
+        let overlap = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at: ms(0),
+                    fault: Fault::CrashRestart {
+                        node: 1,
+                        down_for: ms(500),
+                    },
+                },
+                FaultEvent {
+                    at: ms(100),
+                    fault: Fault::CorrelatedCrash {
+                        nodes: vec![1, 2],
+                        spread: ms(10),
+                        down_for: ms(50),
+                        stagger: ms(0),
+                    },
+                },
+            ],
+        };
+        assert!(overlap.validate(4).is_err());
+        // Duplicate member: rejected.
+        let dup = FaultPlan {
+            events: vec![FaultEvent {
+                at: ms(0),
+                fault: Fault::CorrelatedCrash {
+                    nodes: vec![1, 1],
+                    spread: ms(10),
+                    down_for: ms(50),
+                    stagger: ms(0),
+                },
+            }],
+        };
+        assert!(dup.validate(4).is_err());
+    }
+
+    #[test]
+    fn byzantine_ack_is_one_shot_and_expected_to_trip() {
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at: ms(150),
+                fault: Fault::ByzantineAck { node: 2, ahead: 40 },
+            }],
+        };
+        assert_eq!(plan.expected_violation(), Some("belief-beyond-truth"));
+        let ops = plan.compile(3).unwrap();
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(ops[0].op, Op::ForgeAck { node: 2, ahead: 40 }));
+        // A zero lead forges nothing: rejected.
+        let zero = FaultPlan {
+            events: vec![FaultEvent {
+                at: ms(0),
+                fault: Fault::ByzantineAck { node: 0, ahead: 0 },
+            }],
+        };
+        assert!(zero.validate(3).is_err());
+        // Benign plans expect no violation.
+        assert_eq!(FaultPlan::default().expected_violation(), None);
     }
 }

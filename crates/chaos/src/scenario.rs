@@ -134,7 +134,14 @@ impl Scenario {
             0 => TopologyKind::Ec2Fig2,
             1 => TopologyKind::CloudlabTable2,
             _ => TopologyKind::FullMesh {
-                n: rng.gen_range(4usize..=6),
+                // Small meshes shake out protocol corner cases; the
+                // 12-16 node draws exercise scale (wide partitions,
+                // correlated crashes, aggregated frontiers).
+                n: if rng.gen_bool(0.6) {
+                    rng.gen_range(4usize..=6)
+                } else {
+                    rng.gen_range(12usize..=16)
+                },
                 one_way_ms: rng.gen_range(2u64..=30),
             },
         };
@@ -155,6 +162,35 @@ impl Scenario {
             plan,
             horizon: ms(horizon_ms),
         }
+    }
+
+    /// [`Scenario::from_seed`], then arm a Byzantine ACK forgery on top:
+    /// after every benign fault has cleared (the forgery is scheduled
+    /// past the original horizon, and the horizon is extended to leave
+    /// delivery runway), a randomly drawn node broadcasts ACKs far ahead
+    /// of its true receive state. The run is *expected* to fail with the
+    /// `belief-beyond-truth` violation
+    /// ([`FaultPlan::expected_violation`]); a byzantine scenario that
+    /// runs clean means the invariant checker has a hole.
+    pub fn from_seed_byzantine(seed: u64) -> Scenario {
+        let mut s = Scenario::from_seed(seed);
+        // Independent RNG stream: the forger draw must not disturb the
+        // benign seed -> scenario mapping above.
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xB12A_47CE_ACC0_FA3E);
+        let n = s.topology.num_nodes();
+        let at = s.horizon + ms(300);
+        s.horizon = s.horizon + ms(800);
+        s.plan.events.push(FaultEvent {
+            at,
+            fault: Fault::ByzantineAck {
+                node: rng.gen_range(0..n),
+                // Far beyond anything the bounded workload publishes, so
+                // honest progress between forgery and check can never
+                // legitimize the claim.
+                ahead: 1_000_000,
+            },
+        });
+        s
     }
 
     fn gen_config(rng: &mut SmallRng, n: usize) -> String {
@@ -266,7 +302,7 @@ impl Scenario {
         let count = rng.gen_range(1usize..=5);
         for _ in 0..count {
             let at = ms(rng.gen_range(50..active_ms));
-            let fault = match rng.gen_range(0u32..6) {
+            let fault = match rng.gen_range(0u32..9) {
                 0 => {
                     let size = rng.gen_range(1..n);
                     let mut all: Vec<usize> = (0..n).collect();
@@ -326,7 +362,7 @@ impl Scenario {
                         clear_after: ms(rng.gen_range(100u64..=400)),
                     }
                 }
-                _ => {
+                5 => {
                     // Membership change: the node sits out from boot and
                     // joins live, catching up via §III-E transfer. One
                     // join per node, never for a node that also crashes
@@ -342,6 +378,65 @@ impl Scenario {
                     } else {
                         joined_nodes.push(node);
                         Fault::Join { node }
+                    }
+                }
+                6 => {
+                    // Clock skew: one node's timers run fast (factor < 1)
+                    // or slow (factor > 1) until the skew clears.
+                    let factor = if rng.gen_bool(0.5) {
+                        rng.gen_range(0.25f64..0.8)
+                    } else {
+                        rng.gen_range(1.5f64..4.0)
+                    };
+                    Fault::ClockSkew {
+                        node: rng.gen_range(0..n),
+                        factor,
+                        clear_after: ms(rng.gen_range(100u64..=400)),
+                    }
+                }
+                7 => {
+                    let from = rng.gen_range(0..n);
+                    let to = (from + rng.gen_range(1..n)) % n;
+                    Fault::DupReorder {
+                        from,
+                        to,
+                        dup_probability: rng.gen_range(0.05f64..0.5),
+                        reorder_probability: rng.gen_range(0.05f64..0.5),
+                        clear_after: ms(rng.gen_range(100u64..=500)),
+                    }
+                }
+                _ => {
+                    // Correlated crash: a batch of nodes goes down within
+                    // one window (a zone outage), restarting staggered.
+                    // Reuses the one-crash-window-per-node budget.
+                    let avail: Vec<usize> = (0..n)
+                        .filter(|i| !crashed_nodes.contains(i) && !joined_nodes.contains(i))
+                        .collect();
+                    // Need >= 2 victims while leaving at least one node up.
+                    let max_k = avail.len().min(n - 1).min(3);
+                    if max_k < 2 {
+                        let from = rng.gen_range(0..n);
+                        Fault::AsymmetricLoss {
+                            from,
+                            to: (from + rng.gen_range(1..n)) % n,
+                            probability: 0.3,
+                            clear_after: ms(200),
+                        }
+                    } else {
+                        let k = rng.gen_range(2..=max_k);
+                        let mut pool = avail;
+                        let mut nodes = Vec::with_capacity(k);
+                        for _ in 0..k {
+                            nodes.push(pool.swap_remove(rng.gen_range(0..pool.len())));
+                        }
+                        nodes.sort_unstable();
+                        crashed_nodes.extend(nodes.iter().copied());
+                        Fault::CorrelatedCrash {
+                            nodes,
+                            spread: ms(rng.gen_range(0u64..=50)),
+                            down_for: ms(rng.gen_range(150u64..=300)),
+                            stagger: ms(rng.gen_range(0u64..=80)),
+                        }
                     }
                 }
             };
@@ -451,6 +546,49 @@ mod tests {
                 .validate(a.topology.num_nodes())
                 .expect("plan validates");
             assert!(!a.workload.is_empty());
+        }
+    }
+
+    #[test]
+    fn generator_draws_the_new_faults_and_large_meshes() {
+        let (mut skew, mut dup, mut corr, mut large) = (false, false, false, false);
+        for seed in 0..400u64 {
+            let s = Scenario::from_seed(seed);
+            if matches!(s.topology, TopologyKind::FullMesh { n, .. } if n >= 12) {
+                large = true;
+            }
+            for ev in &s.plan.events {
+                match ev.fault {
+                    Fault::ClockSkew { .. } => skew = true,
+                    Fault::DupReorder { .. } => dup = true,
+                    Fault::CorrelatedCrash { .. } => corr = true,
+                    _ => {}
+                }
+            }
+        }
+        assert!(skew, "no seed in 0..400 drew ClockSkew");
+        assert!(dup, "no seed in 0..400 drew DupReorder");
+        assert!(corr, "no seed in 0..400 drew CorrelatedCrash");
+        assert!(large, "no seed in 0..400 drew a 12-16 node mesh");
+    }
+
+    #[test]
+    fn byzantine_generation_is_deterministic_and_additive() {
+        for seed in 0..50u64 {
+            let a = Scenario::from_seed_byzantine(seed);
+            let b = Scenario::from_seed_byzantine(seed);
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.horizon, b.horizon);
+            a.plan
+                .validate(a.topology.num_nodes())
+                .expect("byzantine plan validates");
+            assert_eq!(a.plan.expected_violation(), Some("belief-beyond-truth"));
+            // The benign prefix is exactly the benign scenario's plan:
+            // the forgery rides on top without disturbing the mapping.
+            let benign = Scenario::from_seed(seed);
+            let k = benign.plan.events.len();
+            assert_eq!(a.plan.events[..k], benign.plan.events[..]);
+            assert_eq!(a.plan.events.len(), k + 1);
         }
     }
 

@@ -111,6 +111,10 @@ pub struct ChaosTcpCluster {
     /// is up iff desired AND neither endpoint is down (same layering as
     /// the simulator harness).
     desired_up: Vec<bool>,
+    /// Desired per-node timer-cadence multiplier from clock-skew faults;
+    /// re-applied after restart/join (a reboot does not fix a skewed
+    /// clock).
+    timer_scale: Vec<f64>,
     restarts: u64,
     checks: u64,
     started: Instant,
@@ -261,6 +265,7 @@ impl ChaosTcpCluster {
             snapshots: vec![None; n],
             down,
             desired_up: vec![true; n * n],
+            timer_scale: vec![1.0; n],
             restarts: 0,
             checks: 0,
             started: Instant::now(),
@@ -454,9 +459,51 @@ impl ChaosTcpCluster {
             Op::SetDelay { from, to, extra } => {
                 self.proxy.set_delay(from, to, extra.as_nanos());
             }
+            Op::SetTimerScale { node, scale } => {
+                self.timer_scale[node] = scale;
+                self.nodes[node].set_timer_scale(scale);
+            }
+            Op::SetDupReorder {
+                from,
+                to,
+                dup,
+                reorder,
+            } => self.proxy.set_dup_reorder(from, to, dup, reorder),
+            Op::ForgeAck { node, ahead } => self.forge_ack(node, ahead),
             Op::Crash { node } => self.crash(node),
             Op::Restart { node } => self.restart(node),
             Op::Join { node } => self.join(node),
+        }
+    }
+
+    /// Byzantine ACK forgery, mirroring the simulator harness: build the
+    /// over-claiming batch from the forger's real recorder state, then
+    /// deliver it to every peer as if it had arrived from the forger on
+    /// the wire. The forger's own recorder is untouched.
+    fn forge_ack(&mut self, node: usize, ahead: u64) {
+        if self.down[node] {
+            return; // a crashed node cannot forge
+        }
+        let me = NodeId(node as u16);
+        let batch: Vec<stabilizer_core::Ack> = {
+            let state = self.nodes[node].lock_state();
+            (0..self.n)
+                .map(|s| {
+                    let stream = NodeId(s as u16);
+                    let truth = state.recorder().get(stream, me, RECEIVED);
+                    stabilizer_core::Ack {
+                        stream,
+                        ty: RECEIVED,
+                        seq: truth + ahead,
+                    }
+                })
+                .collect()
+        };
+        for peer in 0..self.n {
+            if peer != node && !self.down[peer] {
+                self.nodes[peer]
+                    .inject_message(me, stabilizer_core::WireMsg::AckBatch(batch.clone()));
+            }
         }
     }
 
@@ -516,6 +563,10 @@ impl ChaosTcpCluster {
         )
         .expect("predicates compiled at startup recompile on restore");
         self.nodes[node] = restarted.handle();
+        // A reboot does not fix a skewed clock.
+        if self.timer_scale[node] != 1.0 {
+            self.nodes[node].set_timer_scale(self.timer_scale[node]);
+        }
         self.logs[node] = log;
         // Resync the checker *before* opening the links: once traffic
         // flows, the fresh log gains entries the reset cursors must not
@@ -570,6 +621,9 @@ impl ChaosTcpCluster {
         )
         .expect("predicates compiled at startup recompile on join");
         self.nodes[node] = joined.handle();
+        if self.timer_scale[node] != 1.0 {
+            self.nodes[node].set_timer_scale(self.timer_scale[node]);
+        }
         self.logs[node] = log;
         {
             let mut state = self.nodes[node].lock_state();

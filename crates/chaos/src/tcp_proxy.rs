@@ -79,6 +79,11 @@ struct LinkState {
     up: AtomicBool,
     /// Per-frame drop probability, parts per million.
     loss_ppm: AtomicU32,
+    /// Per-frame duplication probability, parts per million.
+    dup_ppm: AtomicU32,
+    /// Per-frame reorder (swap-with-next) probability, parts per
+    /// million.
+    reorder_ppm: AtomicU32,
     /// Egress rate in bytes/sec (`f64` bits; 0.0 = unlimited).
     rate_bits: AtomicU64,
     /// Extra one-way delay per frame, nanoseconds.
@@ -98,6 +103,8 @@ impl LinkState {
         LinkState {
             up: AtomicBool::new(true),
             loss_ppm: AtomicU32::new(0),
+            dup_ppm: AtomicU32::new(0),
+            reorder_ppm: AtomicU32::new(0),
             rate_bits: AtomicU64::new(0f64.to_bits()),
             delay_nanos: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
@@ -226,6 +233,21 @@ impl ProxyNet {
                     .store(effective.to_bits(), Ordering::SeqCst);
             }
         }
+    }
+
+    /// Per-frame duplicate/reorder probabilities on `from -> to`
+    /// (clamped to `[0, 1]`; `0.0, 0.0` clears). A duplicated frame is
+    /// written twice back-to-back; a reordered frame is held and swapped
+    /// past its successor (released on read-idle if no successor comes),
+    /// so nothing is ever lost — the transport's decoder and the
+    /// protocol's receive buffer must absorb both. The hello (frame 0)
+    /// is exempt, as with loss.
+    pub fn set_dup_reorder(&self, from: usize, to: usize, dup: f64, reorder: f64) {
+        let link = self.link(from, to);
+        link.dup_ppm
+            .store((dup.clamp(0.0, 1.0) * PPM) as u32, Ordering::SeqCst);
+        link.reorder_ppm
+            .store((reorder.clamp(0.0, 1.0) * PPM) as u32, Ordering::SeqCst);
     }
 
     /// Extra one-way delay per frame on `from -> to` (0 clears).
@@ -362,6 +384,39 @@ impl FrameBuf {
     }
 }
 
+/// Write one frame toward node `to`, dialing the destination lazily on
+/// first use (a connection accepted while the destination was down must
+/// dial the *restarted* address, which is only known later). Returns
+/// `false` when the conn should die: destination unregistered, dial
+/// failure (the sender reconnects), or broken pipe.
+fn write_downstream(
+    shared: &ProxyShared,
+    downstream: &mut Option<TcpStream>,
+    to: usize,
+    frame: &[u8],
+) -> bool {
+    let stream = match downstream {
+        Some(s) => s,
+        None => {
+            let dest = shared.dests.lock().unwrap()[to];
+            let Some(dest) = dest else {
+                return false; // destination never registered
+            };
+            match TcpStream::connect_timeout(&dest, Duration::from_millis(500)) {
+                Ok(s) => {
+                    s.set_nodelay(true).ok();
+                    *downstream = Some(s);
+                    downstream.as_mut().expect("just set")
+                }
+                // Destination gone (e.g. crashed before drain): drop the
+                // conn; the sender reconnects.
+                Err(_) => return false,
+            }
+        }
+    };
+    stream.write_all(frame).is_ok()
+}
+
 /// Forward frames from one accepted connection to the destination node,
 /// applying the link's fault state per frame. Exits (closing both
 /// sockets) on EOF, IO error, epoch kill, or proxy shutdown.
@@ -379,13 +434,13 @@ fn conn_loop(
     };
     upstream.set_read_timeout(Some(READ_TIMEOUT)).ok();
 
-    // Connect downstream lazily, once the link passes traffic: a
-    // connection accepted while the destination is down (crashed) must
-    // dial the *restarted* address, which is only known later.
     let mut downstream: Option<TcpStream> = None;
     let mut frames_forwarded: u64 = 0;
     let mut buf = FrameBuf::new();
     let mut chunk = [0u8; 8192];
+    // A frame held back by the reorder fault, waiting to swap past its
+    // successor.
+    let mut held: Option<Vec<u8>> = None;
     loop {
         if killed(link) {
             return;
@@ -398,8 +453,22 @@ fn conn_loop(
         }
         match upstream.suspend_safe_read(&mut chunk) {
             ReadOutcome::Data(n) => buf.extend(&chunk[..n]),
-            ReadOutcome::TimedOut => {}
-            ReadOutcome::Closed => return,
+            ReadOutcome::TimedOut => {
+                // Read-idle with a reorder-held frame: no successor is
+                // coming right behind it, so release it — reorder must
+                // never become loss.
+                if let Some(h) = held.take() {
+                    if !write_downstream(shared, &mut downstream, to, &h) {
+                        return;
+                    }
+                }
+            }
+            ReadOutcome::Closed => {
+                if let Some(h) = held.take() {
+                    let _ = write_downstream(shared, &mut downstream, to, &h);
+                }
+                return;
+            }
         }
         loop {
             let frame = match buf.next_frame() {
@@ -441,29 +510,37 @@ fn conn_loop(
             if killed(link) {
                 return;
             }
-            let stream = match &mut downstream {
-                Some(s) => s,
-                None => {
-                    let dest = shared.dests.lock().unwrap()[to];
-                    let Some(dest) = dest else {
-                        return; // destination never registered
-                    };
-                    match TcpStream::connect_timeout(&dest, Duration::from_millis(500)) {
-                        Ok(s) => {
-                            s.set_nodelay(true).ok();
-                            downstream = Some(s);
-                            downstream.as_mut().expect("just set")
-                        }
-                        // Destination gone (e.g. crashed before drain):
-                        // drop the conn; the sender reconnects.
-                        Err(_) => return,
-                    }
-                }
-            };
-            if stream.write_all(&frame).is_err() {
+            // Reorder: hold this frame back one slot so the next frame
+            // overtakes it (hello exempt; at most one frame held).
+            let reorder_ppm = link.reorder_ppm.load(Ordering::SeqCst);
+            if frames_forwarded > 0
+                && held.is_none()
+                && reorder_ppm > 0
+                && (splitmix_next(&mut rng) % PPM as u64) < u64::from(reorder_ppm)
+            {
+                held = Some(frame);
+                frames_forwarded += 1;
+                continue;
+            }
+            if !write_downstream(shared, &mut downstream, to, &frame) {
+                return;
+            }
+            // Duplicate: the copy follows immediately (hello exempt).
+            let dup_ppm = link.dup_ppm.load(Ordering::SeqCst);
+            if frames_forwarded > 0
+                && dup_ppm > 0
+                && (splitmix_next(&mut rng) % PPM as u64) < u64::from(dup_ppm)
+                && !write_downstream(shared, &mut downstream, to, &frame)
+            {
                 return;
             }
             frames_forwarded += 1;
+            // A held frame swaps out right after its successor.
+            if let Some(h) = held.take() {
+                if !write_downstream(shared, &mut downstream, to, &h) {
+                    return;
+                }
+            }
         }
     }
 }
@@ -583,6 +660,94 @@ mod tests {
             received.extend_from_slice(&buf[..n]);
         }
         assert_eq!(received, frame(b"held"));
+        proxy.shutdown();
+    }
+
+    /// Read framed messages from `got` until `want` frames have arrived.
+    fn read_frames(got: &mut TcpStream, want: usize) -> Vec<Vec<u8>> {
+        got.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let mut fb = FrameBuf::new();
+        let mut out = Vec::new();
+        let mut buf = [0u8; 256];
+        while out.len() < want {
+            let n = got.read(&mut buf).expect("read");
+            assert!(n > 0, "stream closed early");
+            fb.extend(&buf[..n]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                // Strip the length prefix back off for comparison.
+                out.push(f[4..].to_vec());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn dup_link_duplicates_frames_after_hello() {
+        let proxy = ProxyNet::new(2, 4).unwrap();
+        let dest = TcpListener::bind("127.0.0.1:0").unwrap();
+        proxy.set_dest(1, dest.local_addr().unwrap());
+        proxy.set_dup_reorder(0, 1, 1.0, 0.0);
+        let mut up = TcpStream::connect(proxy.proxy_addr(0, 1)).unwrap();
+        up.write_all(&frame(b"hello")).unwrap();
+        up.write_all(&frame(b"a")).unwrap();
+        up.write_all(&frame(b"b")).unwrap();
+        let (mut got, _) = dest.accept().unwrap();
+        // Hello exempt; the two data frames each arrive twice, in order.
+        let frames = read_frames(&mut got, 5);
+        assert_eq!(
+            frames,
+            vec![
+                b"hello".to_vec(),
+                b"a".to_vec(),
+                b"a".to_vec(),
+                b"b".to_vec(),
+                b"b".to_vec()
+            ]
+        );
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn reorder_link_swaps_adjacent_frames_without_loss() {
+        let proxy = ProxyNet::new(2, 5).unwrap();
+        let dest = TcpListener::bind("127.0.0.1:0").unwrap();
+        proxy.set_dest(1, dest.local_addr().unwrap());
+        proxy.set_dup_reorder(0, 1, 0.0, 1.0);
+        let mut up = TcpStream::connect(proxy.proxy_addr(0, 1)).unwrap();
+        for body in [&b"hello"[..], b"a", b"b", b"c", b"d"] {
+            up.write_all(&frame(body)).unwrap();
+        }
+        let (mut got, _) = dest.accept().unwrap();
+        // With p=1.0, each data frame is held until its successor passes:
+        // a is held, b passes, a releases; c is held, d passes, c releases.
+        let frames = read_frames(&mut got, 5);
+        assert_eq!(
+            frames,
+            vec![
+                b"hello".to_vec(),
+                b"b".to_vec(),
+                b"a".to_vec(),
+                b"d".to_vec(),
+                b"c".to_vec()
+            ]
+        );
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn reorder_held_frame_released_on_idle() {
+        let proxy = ProxyNet::new(2, 6).unwrap();
+        let dest = TcpListener::bind("127.0.0.1:0").unwrap();
+        proxy.set_dest(1, dest.local_addr().unwrap());
+        proxy.set_dup_reorder(0, 1, 0.0, 1.0);
+        let mut up = TcpStream::connect(proxy.proxy_addr(0, 1)).unwrap();
+        up.write_all(&frame(b"hello")).unwrap();
+        up.write_all(&frame(b"tail")).unwrap();
+        let (mut got, _) = dest.accept().unwrap();
+        // No successor ever comes: the read-idle path must release the
+        // held frame rather than turn reorder into loss.
+        let frames = read_frames(&mut got, 2);
+        assert_eq!(frames, vec![b"hello".to_vec(), b"tail".to_vec()]);
         proxy.shutdown();
     }
 

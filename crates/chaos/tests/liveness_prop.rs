@@ -1,0 +1,143 @@
+//! Property tests for the full fault vocabulary: randomized topologies
+//! and fault schedules must satisfy every safety invariant on every
+//! step, and — once the schedule is quiet — virtual-time liveness:
+//! everything published stabilizes within a bounded virtual horizon.
+//! Byzantine scenarios must instead trip `belief-beyond-truth`, and
+//! their minimized counterexamples must still reproduce it.
+
+use stabilizer_chaos::{
+    minimize_plan, ChaosHarness, Fault, FaultEvent, FaultPlan, Scenario, TimedWork, WorkItem,
+};
+use stabilizer_core::ClusterConfig;
+use stabilizer_netsim::{NetTopology, SimDuration};
+
+/// Run a generated scenario to its horizon (safety checked every step),
+/// then demand virtual-time liveness.
+fn run_live(s: &Scenario) -> Result<(), String> {
+    let cfg = ClusterConfig::parse(&s.cfg_text).expect("generated config parses");
+    let mut h = ChaosHarness::new(
+        &cfg,
+        s.topology.build(),
+        s.seed,
+        &s.plan,
+        s.workload.clone(),
+    )
+    .expect("generated scenario is valid");
+    h.run(s.horizon).map_err(|v| format!("safety: {v}"))?;
+    h.verify_liveness(SimDuration::from_secs(30))
+        .map_err(|v| format!("liveness: {v}"))?;
+    Ok(())
+}
+
+#[test]
+fn random_scenarios_are_safe_and_live_once_quiet() {
+    // Seed range disjoint from the chaos_sweep's, so the two suites
+    // cover different draws of the vocabulary.
+    for seed in 500..540u64 {
+        let s = Scenario::from_seed(seed);
+        if let Err(e) = run_live(&s) {
+            panic!("seed {seed} ({}): {e}", s.summary());
+        }
+    }
+}
+
+#[test]
+fn byzantine_scenarios_trip_and_minimize_to_the_forgery() {
+    for seed in [11u64, 42, 123] {
+        let s = Scenario::from_seed_byzantine(seed);
+        let expected = s
+            .plan
+            .expected_violation()
+            .expect("byzantine plans declare their violation");
+        let failure = s.run().expect_err("byzantine scenario must trip");
+        assert_eq!(failure.violation.property, expected, "seed {seed}");
+
+        // Greedy minimization strips every benign fault: the forgery
+        // alone is the 1-minimal core, and it still reproduces.
+        let minimized = minimize_plan(&s.plan, |p| {
+            s.run_with_plan(p)
+                .is_err_and(|f| f.violation.property == expected)
+        });
+        assert_eq!(
+            minimized.events.len(),
+            1,
+            "seed {seed}: the forgery alone reproduces"
+        );
+        assert!(
+            matches!(minimized.events[0].fault, Fault::ByzantineAck { .. }),
+            "seed {seed}: the surviving event is the forgery"
+        );
+        let replay = s
+            .run_with_plan(&minimized)
+            .expect_err("minimized plan still reproduces");
+        assert_eq!(replay.violation.property, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn stalled_schedule_trips_post_fault_liveness_that_safety_misses() {
+    // Retransmission disabled: a total loss burst across the publish
+    // window drops frames that are never recovered. Every safety
+    // invariant holds throughout — nothing regresses, no belief runs
+    // ahead of truth, delivery stays a prefix — so only the virtual-time
+    // liveness check can see that the cluster will never stabilize.
+    let cfg = ClusterConfig::parse(
+        "az A a0 a1\naz B b0\n\
+         predicate All MIN($ALLWNODES-$MYWNODE)\n\
+         option ack_flush_micros 2000\n\
+         option heartbeat_millis 50\n\
+         option retransmit_millis 0\n",
+    )
+    .unwrap();
+    let net = NetTopology::full_mesh(3, SimDuration::from_millis(5), 1e9);
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            at: SimDuration::from_millis(5),
+            fault: Fault::AsymmetricLoss {
+                from: 0,
+                to: 1,
+                probability: 1.0,
+                clear_after: SimDuration::from_millis(400),
+            },
+        }],
+    };
+    let workload: Vec<TimedWork> = (0..6)
+        .map(|i| TimedWork {
+            at: SimDuration::from_millis(20 + i * 30),
+            item: WorkItem::Publish { node: 0, len: 64 },
+        })
+        .collect();
+    let mut h = ChaosHarness::new(&cfg, net, 9, &plan, workload).unwrap();
+    // Safety alone is blind to the stall: the run is violation-free.
+    h.run(SimDuration::from_secs(2))
+        .expect("every safety invariant holds on the stalled cluster");
+    // ...but node 1 is missing the whole stream and nothing will ever
+    // resend it: liveness must trip, in bounded virtual time.
+    let err = h
+        .verify_liveness(SimDuration::from_secs(5))
+        .expect_err("a stalled schedule must fail the liveness check");
+    assert_eq!(err.property, "post-fault-liveness");
+    assert_eq!(err.node, 1, "node 1 is the one missing stream 0");
+}
+
+#[test]
+fn seeded_large_mesh_byzantine_scenario_trips_belief_beyond_truth() {
+    // A fixed large-mesh draw (12+ nodes, found by scanning the seed
+    // space once; pinned so CI runs one known scenario end to end):
+    // the forged over-claiming AckBatch must be flagged at scale too.
+    let seed = (0..2000u64)
+        .find(|&s| Scenario::from_seed(s).topology.num_nodes() >= 12)
+        .expect("some seed draws a large mesh");
+    let s = Scenario::from_seed_byzantine(seed);
+    assert!(s.topology.num_nodes() >= 12);
+    let failure = s
+        .run()
+        .expect_err("large-mesh byzantine scenario must trip");
+    assert_eq!(failure.violation.property, "belief-beyond-truth");
+    println!(
+        "seed {seed}: {} tripped {} at node {}",
+        s.summary(),
+        failure.violation.property,
+        failure.violation.node
+    );
+}

@@ -1,5 +1,5 @@
-//! Differential test: one fixed seeded workload, no faults, executed on
-//! both runtimes — the deterministic netsim cluster and the real
+//! Differential tests: the same seeded workload and fault plan executed
+//! on both runtimes — the deterministic netsim cluster and the real
 //! threaded TCP cluster — must converge to the same protocol state.
 //!
 //! The two runtimes schedule differently (virtual event loop vs OS
@@ -8,9 +8,16 @@
 //! delivers and in what per-origin order, every node's final RECEIVED
 //! state, and each origin's final stability frontier. A divergence here
 //! means the transport drives the sans-IO state machine differently
-//! than the simulator — exactly the gap this test pins shut.
+//! than the simulator — exactly the gap these tests pin shut.
+//!
+//! Faulted plans are timed so every publish burst quiesces before a
+//! crash window opens: in-flight traffic at a crash boundary is decided
+//! by racy transport timing, which is exactly the nondeterminism the
+//! final-state comparison must not depend on.
 
-use stabilizer_chaos::{ChaosHarness, ChaosTcpCluster, FaultPlan, TimedWork, WorkItem};
+use stabilizer_chaos::{
+    ChaosHarness, ChaosTcpCluster, Fault, FaultEvent, FaultPlan, TimedWork, WorkItem,
+};
 use stabilizer_core::ClusterConfig;
 use stabilizer_dsl::{NodeId, SeqNo, RECEIVED};
 use stabilizer_netsim::{NetTopology, SimDuration};
@@ -59,11 +66,15 @@ struct FinalState {
     frontiers: Vec<SeqNo>,            // [origin] own-stream frontier under KEY
 }
 
-fn sim_run() -> FinalState {
+fn sim_run(plan: &FaultPlan, workload: Vec<TimedWork>, horizon: SimDuration) -> FinalState {
     let net = NetTopology::full_mesh(N, SimDuration::from_millis(5), 1e9);
-    let mut h = ChaosHarness::new(&cfg(), net, SEED, &FaultPlan::default(), workload()).unwrap();
-    h.run(SimDuration::from_secs(10))
+    let mut h = ChaosHarness::new(&cfg(), net, SEED, plan, workload).unwrap();
+    h.run(horizon)
         .unwrap_or_else(|v| panic!("sim run violated an invariant: {v}"));
+    // Virtual-time liveness doubles as convergence: the final state is
+    // only comparable once every published message has stabilized.
+    h.verify_liveness(SimDuration::from_secs(10))
+        .unwrap_or_else(|v| panic!("sim run did not stabilize: {v}"));
     let deliveries = (0..N)
         .map(|i| {
             (0..N)
@@ -104,11 +115,10 @@ fn sim_run() -> FinalState {
     }
 }
 
-fn tcp_run() -> FinalState {
-    let mut cluster =
-        ChaosTcpCluster::new(&cfg(), SEED, &FaultPlan::default(), workload()).unwrap();
+fn tcp_run(plan: &FaultPlan, workload: Vec<TimedWork>, run_for: Duration) -> FinalState {
+    let mut cluster = ChaosTcpCluster::new(&cfg(), SEED, plan, workload).unwrap();
     cluster
-        .run(Duration::from_millis(400))
+        .run(run_for)
         .unwrap_or_else(|v| panic!("tcp run violated an invariant: {v}"));
     cluster
         .verify_liveness(Duration::from_secs(30))
@@ -141,8 +151,9 @@ fn tcp_run() -> FinalState {
 
 #[test]
 fn netsim_and_tcp_converge_to_identical_final_state() {
-    let sim = sim_run();
-    let tcp = tcp_run();
+    let plan = FaultPlan::default();
+    let sim = sim_run(&plan, workload(), SimDuration::from_secs(10));
+    let tcp = tcp_run(&plan, workload(), Duration::from_millis(400));
     assert_eq!(
         sim, tcp,
         "the two runtimes drove the same state machine to different outcomes"
@@ -158,4 +169,102 @@ fn netsim_and_tcp_converge_to_identical_final_state() {
             assert_eq!(per_origin[2], (1..=5).collect::<Vec<_>>());
         }
     }
+}
+
+#[test]
+fn dup_reorder_converges_to_identical_final_state() {
+    // Duplicate + reorder the busiest link (publisher 0 -> node 1) for
+    // the whole publish window. The per-frame coin flips land differently
+    // on the two runtimes — what must be identical is the converged
+    // protocol state: delivery stays a per-origin prefix, so duplicated
+    // and swapped frames change nothing the protocol defines.
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            at: SimDuration::from_millis(20),
+            fault: Fault::DupReorder {
+                from: 0,
+                to: 1,
+                dup_probability: 0.4,
+                reorder_probability: 0.4,
+                clear_after: SimDuration::from_millis(300),
+            },
+        }],
+    };
+    let sim = sim_run(&plan, workload(), SimDuration::from_secs(10));
+    let tcp = tcp_run(&plan, workload(), Duration::from_millis(500));
+    assert_eq!(
+        sim, tcp,
+        "dup/reorder made the runtimes diverge in converged state"
+    );
+    assert_eq!(sim.frontiers[0], 10);
+    assert_eq!(sim.frontiers[2], 5);
+    for (i, per_origin) in sim.deliveries.iter().enumerate() {
+        if i != 0 {
+            assert_eq!(per_origin[0], (1..=10).collect::<Vec<_>>());
+        }
+    }
+}
+
+/// Workload for the correlated-crash differential: a first burst that
+/// fully quiesces before the crash window at 500ms, and a second burst
+/// well after the last restart, so every delivery is unambiguously on
+/// one side of the crash on both runtimes.
+fn two_phase_workload() -> Vec<TimedWork> {
+    let mut w: Vec<TimedWork> = (0..5)
+        .map(|i| TimedWork {
+            at: SimDuration::from_millis(10 + i * 20),
+            item: WorkItem::Publish { node: 0, len: 48 },
+        })
+        .collect();
+    w.extend((0..3).map(|i| TimedWork {
+        at: SimDuration::from_millis(15 + i * 35),
+        item: WorkItem::Publish { node: 2, len: 96 },
+    }));
+    w.extend((0..5).map(|i| TimedWork {
+        at: SimDuration::from_millis(1100 + i * 20),
+        item: WorkItem::Publish { node: 0, len: 48 },
+    }));
+    w.extend((0..2).map(|i| TimedWork {
+        at: SimDuration::from_millis(1110 + i * 35),
+        item: WorkItem::Publish { node: 2, len: 96 },
+    }));
+    w.sort_by_key(|w| w.at);
+    w
+}
+
+#[test]
+fn correlated_crash_converges_to_identical_final_state() {
+    // Nodes 1 and 2 go down together (spread 20ms), restart staggered.
+    // Both runtimes must resume delivery from the same snapshot point
+    // and converge to the same totals after the second publish burst.
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            at: SimDuration::from_millis(500),
+            fault: Fault::CorrelatedCrash {
+                nodes: vec![1, 2],
+                spread: SimDuration::from_millis(20),
+                down_for: SimDuration::from_millis(200),
+                stagger: SimDuration::from_millis(50),
+            },
+        }],
+    };
+    let sim = sim_run(&plan, two_phase_workload(), SimDuration::from_secs(10));
+    let tcp = tcp_run(&plan, two_phase_workload(), Duration::from_millis(1400));
+    assert_eq!(
+        sim, tcp,
+        "correlated crash made the runtimes diverge in converged state"
+    );
+    // Phase-1 deliveries landed before the crash, so the restarted
+    // incarnations' logs hold exactly the phase-2 suffix.
+    assert_eq!(sim.frontiers[0], 10);
+    assert_eq!(sim.frontiers[2], 5);
+    for i in [1usize, 2] {
+        assert_eq!(
+            sim.deliveries[i][0],
+            (6..=10).collect::<Vec<_>>(),
+            "node {i} should resume stream 0 after the snapshot point"
+        );
+    }
+    assert_eq!(sim.deliveries[0][2], (1..=5).collect::<Vec<_>>());
+    assert_eq!(sim.deliveries[1][2], (4..=5).collect::<Vec<_>>());
 }

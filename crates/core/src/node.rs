@@ -155,6 +155,11 @@ pub struct StabilizerNode {
     /// Per-peer: `(last received-ack seen, nanos when it last advanced)`,
     /// for the retransmission timeout.
     retransmit_state: Vec<(SeqNo, u64)>,
+    /// Per-stream: `(delivered position at the last transfer tick, nanos
+    /// when it last advanced)`, for catch-up-on-lag detection: a node
+    /// that stays behind an origin's self-acknowledged sequence with no
+    /// inbound session open requests a transfer itself.
+    lag_state: Vec<(SeqNo, u64)>,
     /// Inbound catch-up sessions (this node recovering), keyed by stream.
     transfer_in: BTreeMap<NodeId, InboundTransfer>,
     /// Outbound catch-up sessions (this node as donor), keyed by
@@ -241,6 +246,7 @@ impl StabilizerNode {
             analysis_reports: std::collections::BTreeMap::new(),
             metrics: Metrics::default(),
             retransmit_state: vec![(0, 0); n],
+            lag_state: vec![(0, 0); n],
             transfer_in: BTreeMap::new(),
             transfer_out: BTreeMap::new(),
             app_mark: 0,
@@ -814,6 +820,14 @@ impl StabilizerNode {
             return; // transfer disabled, or we are not the origin
         }
         self.metrics.transfer_requests += 1;
+        // A catch-up request means the requester restarted (or newly
+        // joined): its belief table is whatever its snapshot held. Acks
+        // are change-driven, so any of our rows it missed while down —
+        // including its *own* stream's column, which no transfer
+        // snapshot covers (we only donate our own stream) — would stay
+        // stale forever and pin its frontiers. Re-announce our full
+        // stability rows so its beliefs about us resume at the present.
+        self.announce_acks_to(from);
         let floor = self.send_buf.first_replayable().saturating_sub(1);
         let base = have.max(floor);
         let high = self.send_buf.last_assigned().max(base);
@@ -1060,6 +1074,42 @@ impl StabilizerNode {
                 continue; // donor is down; recovery re-requests (heard)
             }
             self.request_catch_up(stream, now_nanos);
+        }
+        // Catch-up on observed lag. Retransmission heals short gaps, but
+        // an origin that reclaimed its live send window (every *other*
+        // peer acked while this node was unreachable) has nothing left
+        // to resend — the retained log, reachable only through a
+        // transfer, holds the sole remaining copy. A node that sees
+        // itself persistently behind an origin's own self-acknowledged
+        // sequence, with no inbound session open, must ask that origin
+        // for a transfer rather than wait for data that will never come.
+        // The grace period covers normal propagation plus a retransmit
+        // round, so a transiently-in-flight suffix never triggers one.
+        let grace = 2 * timeout.max(self.cfg.options().retransmit_millis * 1_000_000);
+        for idx in 0..self.recv.len() {
+            let stream = NodeId(idx as u16);
+            if stream == self.me {
+                continue;
+            }
+            let delivered = self.recv[idx].delivered();
+            let (prev, since) = self.lag_state[idx];
+            if delivered > prev || since == 0 {
+                self.lag_state[idx] = (delivered, now_nanos);
+                continue;
+            }
+            let origin_high = self.recorder.get(stream, stream, RECEIVED);
+            if origin_high <= delivered
+                || self.transfer_in.contains_key(&stream)
+                || self.suspected[idx]
+            {
+                self.lag_state[idx] = (delivered, now_nanos);
+                continue;
+            }
+            if now_nanos.saturating_sub(since) < grace {
+                continue;
+            }
+            self.request_catch_up(stream, now_nanos);
+            self.lag_state[idx] = (delivered, now_nanos);
         }
         self.maybe_flush_eager();
     }

@@ -61,6 +61,10 @@ pub struct SimNode<H: AppHooks = NoHooks> {
     /// Out-of-band stream fast-forwards (§III-E): `(time, stream, seq)`.
     pub catchup_log: Vec<(SimTime, NodeId, SeqNo)>,
     record_deliveries: bool,
+    /// Multiplier on every timer interval (clock-skew fault injection;
+    /// 1.0 = nominal cadence). Applied at each re-arm, so a mid-run
+    /// change takes effect within one timer period.
+    timer_scale: f64,
 }
 
 impl<H: AppHooks> SimNode<H> {
@@ -76,7 +80,38 @@ impl<H: AppHooks> SimNode<H> {
             recovered_log: Vec::new(),
             catchup_log: Vec::new(),
             record_deliveries: true,
+            timer_scale: 1.0,
         }
+    }
+
+    /// Scale every timer interval by `scale` — the simulated equivalent
+    /// of a skewed local clock (`scale < 1` fires timers early, `> 1`
+    /// late). Takes effect at each timer's next re-arm; 1.0 restores the
+    /// nominal cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn set_timer_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "timer scale must be positive and finite"
+        );
+        self.timer_scale = scale;
+    }
+
+    /// The current timer-interval multiplier (1.0 = nominal).
+    pub fn timer_scale(&self) -> f64 {
+        self.timer_scale
+    }
+
+    /// A nominal interval stretched by the current clock skew (never
+    /// rounds below 1 ns, so timers keep firing under extreme factors).
+    fn scaled(&self, d: SimDuration) -> SimDuration {
+        if self.timer_scale == 1.0 {
+            return d;
+        }
+        SimDuration::from_nanos(((d.as_nanos() as f64 * self.timer_scale) as u64).max(1))
     }
 
     /// Disable the delivery log (for multi-hundred-thousand-message runs
@@ -228,31 +263,33 @@ impl<H: AppHooks> Actor for SimNode<H> {
         let opts = self.node.config().options().clone();
         if opts.ack_flush_micros > 0 {
             ctx.set_timer(
-                SimDuration::from_micros(opts.ack_flush_micros),
+                self.scaled(SimDuration::from_micros(opts.ack_flush_micros)),
                 TAG_ACK_FLUSH,
             );
         }
         if opts.heartbeat_millis > 0 {
             ctx.set_timer(
-                SimDuration::from_millis(opts.heartbeat_millis),
+                self.scaled(SimDuration::from_millis(opts.heartbeat_millis)),
                 TAG_HEARTBEAT,
             );
         }
         if opts.failure_timeout_millis > 0 {
             ctx.set_timer(
-                SimDuration::from_millis(opts.failure_timeout_millis / 2),
+                self.scaled(SimDuration::from_millis(opts.failure_timeout_millis / 2)),
                 TAG_FAILURE,
             );
         }
         if opts.retransmit_millis > 0 {
             ctx.set_timer(
-                SimDuration::from_millis((opts.retransmit_millis / 2).max(1)),
+                self.scaled(SimDuration::from_millis(
+                    (opts.retransmit_millis / 2).max(1),
+                )),
                 TAG_RETRANSMIT,
             );
         }
         if opts.transfer_millis > 0 {
             ctx.set_timer(
-                SimDuration::from_millis((opts.transfer_millis / 2).max(1)),
+                self.scaled(SimDuration::from_millis((opts.transfer_millis / 2).max(1))),
                 TAG_TRANSFER,
             );
         }
@@ -273,35 +310,39 @@ impl<H: AppHooks> Actor for SimNode<H> {
             TAG_ACK_FLUSH => {
                 self.node.on_ack_flush();
                 ctx.set_timer(
-                    SimDuration::from_micros(opts.ack_flush_micros.max(1)),
+                    self.scaled(SimDuration::from_micros(opts.ack_flush_micros.max(1))),
                     TAG_ACK_FLUSH,
                 );
             }
             TAG_HEARTBEAT => {
                 self.node.on_heartbeat();
                 ctx.set_timer(
-                    SimDuration::from_millis(opts.heartbeat_millis.max(1)),
+                    self.scaled(SimDuration::from_millis(opts.heartbeat_millis.max(1))),
                     TAG_HEARTBEAT,
                 );
             }
             TAG_FAILURE => {
                 self.node.on_failure_check(ctx.now().as_nanos());
                 ctx.set_timer(
-                    SimDuration::from_millis((opts.failure_timeout_millis / 2).max(1)),
+                    self.scaled(SimDuration::from_millis(
+                        (opts.failure_timeout_millis / 2).max(1),
+                    )),
                     TAG_FAILURE,
                 );
             }
             TAG_RETRANSMIT => {
                 self.node.on_retransmit_check(ctx.now().as_nanos());
                 ctx.set_timer(
-                    SimDuration::from_millis((opts.retransmit_millis / 2).max(1)),
+                    self.scaled(SimDuration::from_millis(
+                        (opts.retransmit_millis / 2).max(1),
+                    )),
                     TAG_RETRANSMIT,
                 );
             }
             TAG_TRANSFER => {
                 self.node.on_transfer_tick(ctx.now().as_nanos());
                 ctx.set_timer(
-                    SimDuration::from_millis((opts.transfer_millis / 2).max(1)),
+                    self.scaled(SimDuration::from_millis((opts.transfer_millis / 2).max(1))),
                     TAG_TRANSFER,
                 );
             }

@@ -10,8 +10,11 @@ use std::collections::{BinaryHeap, HashSet};
 
 /// Wire size of a message, used for serialization-delay modeling.
 /// Implementations should include per-message framing overhead if they
-/// want it modeled.
-pub trait MsgSize {
+/// want it modeled. `Clone` is required because the network may
+/// duplicate a frame in flight (see
+/// [`Simulation::set_link_dup_reorder`]) — anything on a wire is
+/// copyable bytes.
+pub trait MsgSize: Clone {
     /// Bytes this message occupies on the wire.
     fn wire_size(&self) -> usize;
 }
@@ -158,6 +161,9 @@ pub struct Simulation<A: Actor> {
     egress: Vec<Option<(f64, SimTime)>>,
     /// Runtime extra one-way delay per directed link (delay skew).
     extra_delay: Vec<crate::time::SimDuration>,
+    /// Per-directed-link `(duplicate, reorder)` probabilities (chaos
+    /// knobs; both 0 on a healthy link).
+    dup_reorder: Vec<(f64, f64)>,
     rng: SmallRng,
 }
 
@@ -185,6 +191,7 @@ impl<A: Actor> Simulation<A> {
             loss: vec![0.0; n * n],
             egress: vec![None; n],
             extra_delay: vec![crate::time::SimDuration::ZERO; n * n],
+            dup_reorder: vec![(0.0, 0.0); n * n],
             rng: SmallRng::seed_from_u64(seed),
         };
         for i in 0..n {
@@ -284,6 +291,27 @@ impl<A: Actor> Simulation<A> {
     /// The current extra delay injected on the directed link `a -> b`.
     pub fn link_extra_delay(&self, a: usize, b: usize) -> crate::time::SimDuration {
         self.extra_delay[a * self.topo.len() + b]
+    }
+
+    /// Corrupt the directed link `a -> b`: each message is independently
+    /// duplicated with probability `dup` (the copy arrives strictly
+    /// later) and displaced past the FIFO point with probability
+    /// `reorder` (a later message may then overtake it). Both draws come
+    /// from the simulation's seeded RNG, so runs stay deterministic.
+    /// `(0.0, 0.0)` restores a healthy link.
+    pub fn set_link_dup_reorder(&mut self, a: usize, b: usize, dup: f64, reorder: f64) {
+        assert!((0.0..=1.0).contains(&dup), "dup probability in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&reorder),
+            "reorder probability in [0,1]"
+        );
+        let n = self.topo.len();
+        self.dup_reorder[a * n + b] = (dup, reorder);
+    }
+
+    /// The current `(duplicate, reorder)` probabilities on `a -> b`.
+    pub fn link_dup_reorder(&self, a: usize, b: usize) -> (f64, f64) {
+        self.dup_reorder[a * self.topo.len() + b]
     }
 
     /// Messages dropped due to cut or missing links, or injected loss.
@@ -419,10 +447,44 @@ impl<A: Actor> Simulation<A> {
                 } else {
                     0
                 };
+                // Displacement bound for dup/reorder copies: roughly one
+                // propagation delay, floored so zero-latency test links
+                // still displace by a visible amount.
+                let disp_bound = spec.one_way.as_nanos().max(1_000_000);
                 let arrival = self.links[from * n + to]
                     .transmit_jittered(spec, link_clock, size, jitter_ns)
                     + self.extra_delay[from * n + to];
-                self.push(arrival, EventKind::Deliver { to, from, msg });
+                let (dup_p, reorder_p) = self.dup_reorder[from * n + to];
+                if dup_p <= 0.0 && reorder_p <= 0.0 {
+                    self.push(arrival, EventKind::Deliver { to, from, msg });
+                    return;
+                }
+                // Corrupted link: the draws happen in a fixed order
+                // (duplicate, then reorder) so replays stay bit-stable.
+                use rand::Rng;
+                let dup = dup_p > 0.0 && self.rng.gen_bool(dup_p);
+                let reorder = reorder_p > 0.0 && self.rng.gen_bool(reorder_p);
+                if dup {
+                    let copy_at =
+                        arrival + SimDuration::from_nanos(self.rng.gen_range(1..=disp_bound));
+                    self.push(
+                        copy_at,
+                        EventKind::Deliver {
+                            to,
+                            from,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+                // Reorder displaces the primary *past* the FIFO shaper's
+                // clamp: the link's `last_arrival` keeps its un-displaced
+                // value, so the next frame may legitimately overtake.
+                let primary_at = if reorder {
+                    arrival + SimDuration::from_nanos(self.rng.gen_range(1..=disp_bound))
+                } else {
+                    arrival
+                };
+                self.push(primary_at, EventKind::Deliver { to, from, msg });
             }
             Effect::SetTimer { id, delay, tag } => {
                 let at = self.now + delay;
@@ -683,6 +745,55 @@ mod tests {
         sim.with_ctx(0, |_, ctx| ctx.send(1, Num(3)));
         sim.run_until_idle();
         assert_eq!(sim.actor(1).got[1].0, t0 + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn dup_reorder_duplicates_and_breaks_fifo() {
+        // Certain duplication: one send, two deliveries, copy later.
+        let mut sim = two_nodes(10);
+        sim.set_link_dup_reorder(0, 1, 1.0, 0.0);
+        sim.with_ctx(0, |_, ctx| ctx.send(1, Num(7)));
+        sim.run_until_idle();
+        let got = &sim.actor(1).got;
+        assert_eq!(got.len(), 2, "frame must be duplicated");
+        assert_eq!((got[0].2, got[1].2), (7, 7));
+        assert!(got[1].0 > got[0].0, "the copy arrives strictly later");
+        // The reverse direction is untouched.
+        sim.with_ctx(1, |_, ctx| ctx.send(0, Num(1)));
+        sim.run_until_idle();
+        assert_eq!(sim.actor(0).got.len(), 1);
+
+        // Heavy reordering breaks FIFO but loses nothing; clearing the
+        // knob restores in-order delivery.
+        let mut sim = two_nodes(10);
+        sim.set_link_dup_reorder(0, 1, 0.0, 0.7);
+        sim.with_ctx(0, |_, ctx| {
+            for i in 0..50 {
+                ctx.send(1, Num(i));
+            }
+        });
+        sim.run_until_idle();
+        let mut vals: Vec<u64> = sim.actor(1).got.iter().map(|(_, _, v)| *v).collect();
+        assert_ne!(
+            vals,
+            (0..50).collect::<Vec<_>>(),
+            "0.7 reorder on a 50-frame burst left FIFO intact"
+        );
+        vals.sort_unstable();
+        assert_eq!(vals, (0..50).collect::<Vec<_>>(), "reorder must not lose");
+        sim.set_link_dup_reorder(0, 1, 0.0, 0.0);
+        let before = sim.actor(1).got.len();
+        sim.with_ctx(0, |_, ctx| {
+            for i in 100..110 {
+                ctx.send(1, Num(i));
+            }
+        });
+        sim.run_until_idle();
+        let tail: Vec<u64> = sim.actor(1).got[before..]
+            .iter()
+            .map(|(_, _, v)| *v)
+            .collect();
+        assert_eq!(tail, (100..110).collect::<Vec<_>>());
     }
 
     #[test]

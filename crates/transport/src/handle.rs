@@ -245,6 +245,23 @@ impl NodeHandle {
         self.shared.connect_failed.lock().clone()
     }
 
+    /// Scale this node's timer cadence (clock-skew fault injection):
+    /// every ticker interval — ACK flush, heartbeat, failure detector,
+    /// retransmit, transfer pacing — runs at `scale ×` its configured
+    /// length. 1.0 restores nominal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn set_timer_scale(&self, scale: f64) {
+        self.shared.set_timer_scale(scale);
+    }
+
+    /// The current timer-interval multiplier (1.0 = nominal).
+    pub fn timer_scale(&self) -> f64 {
+        self.shared.timer_scale()
+    }
+
     /// Inject a wire message as if it had arrived from `from` — the
     /// chaos harness's seam for forging protocol traffic (mutation
     /// checks that prove the invariant checker catches corrupted state).

@@ -34,7 +34,7 @@ use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -113,6 +113,10 @@ pub struct Shared {
     pub connect_failed: Mutex<Vec<NodeId>>,
     /// Cleared on shutdown.
     pub running: AtomicBool,
+    /// Multiplier on every ticker interval, stored as `f64` bits
+    /// (clock-skew fault injection; 1.0 = nominal cadence). Read by the
+    /// ticker each iteration, so a change takes effect within one tick.
+    pub timer_scale_bits: AtomicU64,
     /// Monotonic epoch for failure-detector timestamps.
     pub started: Instant,
     /// Telemetry hub, when attached via [`SpawnOptions::telemetry`].
@@ -205,6 +209,28 @@ impl Shared {
                 }
             }
         }
+    }
+
+    /// Scale every ticker interval by `scale` — the wall-clock twin of
+    /// the simulator's skewed local clock (`scale < 1` fires timers
+    /// early, `> 1` late). Takes effect within one ticker iteration; 1.0
+    /// restores the nominal cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn set_timer_scale(&self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "timer scale must be positive and finite"
+        );
+        self.timer_scale_bits
+            .store(scale.to_bits(), Ordering::SeqCst);
+    }
+
+    /// The current timer-interval multiplier (1.0 = nominal).
+    pub fn timer_scale(&self) -> f64 {
+        f64::from_bits(self.timer_scale_bits.load(Ordering::SeqCst))
     }
 
     /// A writer exhausted its connect-retry budget for `peer`.
@@ -334,6 +360,7 @@ pub fn spawn_node_with(
         observers: Mutex::new(opts.observer.into_iter().collect()),
         connect_failed: Mutex::new(Vec::new()),
         running: AtomicBool::new(true),
+        timer_scale_bits: AtomicU64::new(1.0f64.to_bits()),
         started: Instant::now(),
         telemetry: opts.telemetry,
         metrics,
@@ -612,21 +639,34 @@ fn ticker_loop(shared: Arc<Shared>, opts: stabilizer_core::Options, dump: Option
     while shared.running.load(Ordering::SeqCst) {
         std::thread::sleep(tick);
         let now = Instant::now();
+        // Clock-skew fault injection: stretch (or shrink) every interval
+        // by the current scale. Re-read each iteration so a mid-run
+        // change takes effect within one tick.
+        let scale = shared.timer_scale();
+        let scaled = |d: Duration| -> Duration {
+            if scale == 1.0 {
+                d
+            } else {
+                Duration::from_nanos(((d.as_nanos() as f64 * scale) as u64).max(1))
+            }
+        };
         if opts.ack_flush_micros > 0
-            && now.duration_since(last_flush) >= Duration::from_micros(opts.ack_flush_micros)
+            && now.duration_since(last_flush)
+                >= scaled(Duration::from_micros(opts.ack_flush_micros))
         {
             shared.with_node(|n| n.on_ack_flush());
             last_flush = now;
         }
         if opts.heartbeat_millis > 0
-            && now.duration_since(last_heartbeat) >= Duration::from_millis(opts.heartbeat_millis)
+            && now.duration_since(last_heartbeat)
+                >= scaled(Duration::from_millis(opts.heartbeat_millis))
         {
             shared.with_node(|n| n.on_heartbeat());
             last_heartbeat = now;
         }
         if opts.failure_timeout_millis > 0
             && now.duration_since(last_failure)
-                >= Duration::from_millis(opts.failure_timeout_millis / 2)
+                >= scaled(Duration::from_millis(opts.failure_timeout_millis / 2))
         {
             let t = shared.now_nanos();
             shared.with_node(|n| n.on_failure_check(t));
@@ -634,7 +674,7 @@ fn ticker_loop(shared: Arc<Shared>, opts: stabilizer_core::Options, dump: Option
         }
         if opts.retransmit_millis > 0
             && now.duration_since(last_retransmit)
-                >= Duration::from_millis((opts.retransmit_millis / 2).max(1))
+                >= scaled(Duration::from_millis((opts.retransmit_millis / 2).max(1)))
         {
             let t = shared.now_nanos();
             shared.with_node(|n| n.on_retransmit_check(t));
@@ -642,7 +682,7 @@ fn ticker_loop(shared: Arc<Shared>, opts: stabilizer_core::Options, dump: Option
         }
         if opts.transfer_millis > 0
             && now.duration_since(last_transfer)
-                >= Duration::from_millis((opts.transfer_millis / 2).max(1))
+                >= scaled(Duration::from_millis((opts.transfer_millis / 2).max(1)))
         {
             let t = shared.now_nanos();
             shared.with_node(|n| n.on_transfer_tick(t));
