@@ -2,29 +2,41 @@
 //! Stabilizer prototype vs the Pulsar-like baseline, per subscriber
 //! site.
 //!
-//! Usage: `fig7 [count] [--metrics-out <path>]` — messages per run
-//! (default 4000; paper: 10000). With `--metrics-out`, every per-message
-//! end-to-end latency is additionally recorded into log-scale telemetry
-//! histograms keyed `{system, site, rate}` and the full snapshot is
-//! written to `path` as JSON (plus `<path>.prom` in Prometheus text).
+//! Usage: `fig7 [count] [--metrics-out <path>] [--serve <addr>]` —
+//! messages per run (default 4000; paper: 10000). With `--metrics-out`
+//! or `--serve`, every per-message end-to-end latency is additionally
+//! recorded into log-scale telemetry histograms keyed
+//! `{system, site, rate}`; `--metrics-out` writes the final snapshot to
+//! `path` as JSON (plus `<path>.prom` in Prometheus text), `--serve`
+//! exposes the hub live over HTTP (`/metrics`, `/metrics.json`,
+//! `/trace`) while the bench runs — point `stabtop` at it — and keeps
+//! serving after the tables print until the process is killed.
 
 use stabilizer_bench::{f, print_table};
 use stabilizer_pubsub::{fig7_point, System};
-use stabilizer_telemetry::{render_json_snapshot, render_prometheus_snapshot, MetricsRegistry};
+use stabilizer_telemetry::{
+    render_json_snapshot, render_prometheus_snapshot, ServerRoutes, Telemetry, TelemetryServer,
+};
+use std::sync::Arc;
 
 fn main() {
     let mut count: u64 = 4000;
     let mut metrics_out: Option<String> = None;
+    let mut serve: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--metrics-out" => match it.next() {
-                Some(path) => metrics_out = Some(path),
-                None => {
-                    eprintln!("usage: fig7 [count] [--metrics-out <path>]");
+            "--metrics-out" | "--serve" => {
+                let usage = || {
+                    eprintln!("usage: fig7 [count] [--metrics-out <path>] [--serve <addr>]");
                     std::process::exit(2);
+                };
+                match (arg.as_str(), it.next()) {
+                    ("--metrics-out", Some(path)) => metrics_out = Some(path),
+                    ("--serve", Some(addr)) => serve = Some(addr),
+                    _ => usage(),
                 }
-            },
+            }
             other => {
                 if let Ok(v) = other.parse() {
                     count = v;
@@ -34,7 +46,24 @@ fn main() {
     }
     let rates = [250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0];
     let sites = ["UT2", "WI", "CLEM", "MA"];
-    let registry = MetricsRegistry::new();
+    // The bench records into a full telemetry hub (rather than a bare
+    // registry) so `--serve` can expose it live; build_info and uptime
+    // come along for free.
+    let telemetry = Telemetry::new_wall_clock();
+    let registry = telemetry.registry();
+    let record = metrics_out.is_some() || serve.is_some();
+    let server = serve.map(|addr| {
+        let server = TelemetryServer::bind(&addr, ServerRoutes::new(Arc::clone(&telemetry)))
+            .unwrap_or_else(|e| {
+                eprintln!("error: serving on {addr}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!(
+            "serving http://{} — /metrics /metrics.json /trace",
+            server.local_addr()
+        );
+        server
+    });
 
     for (label, system) in [
         ("Stabilizer", System::Stabilizer),
@@ -51,7 +80,7 @@ fn main() {
                 let s = r.iter().find(|x| x.name == site).expect("site");
                 lrow.push(f(s.avg_latency.as_millis_f64(), 2));
                 trow.push(f(s.throughput_mbit, 1));
-                if metrics_out.is_some() {
+                if record {
                     let rate_s = format!("{rate}");
                     let labels: &[(&str, &str)] =
                         &[("system", label), ("site", site), ("rate", &rate_s)];
@@ -93,5 +122,14 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("metrics: {path} (json), {prom} (prometheus text)");
+    }
+    if let Some(server) = server {
+        eprintln!(
+            "bench done; still serving http://{} (Ctrl-C to exit)",
+            server.local_addr()
+        );
+        loop {
+            std::thread::park();
+        }
     }
 }

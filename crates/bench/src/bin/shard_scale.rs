@@ -16,8 +16,14 @@
 //! pair or the core count saturates.
 //!
 //! Usage:
-//!   shard_scale [MSGS] [PAYLOAD_BYTES] [PUBLISHERS]
+//!   shard_scale [MSGS] [PAYLOAD_BYTES] [PUBLISHERS] [--serve ADDR]
 //!   shard_scale --replay-hash SEED
+//!
+//! With `--serve ADDR`, every spawned cluster feeds one shared
+//! telemetry hub exposed live over HTTP (`/metrics`, `/metrics.json`,
+//! `/trace`) — scrape or `stabtop` it mid-bench to watch per-shard
+//! queue depths and delivery counters move — and the endpoint stays up
+//! after the table prints until the process is killed.
 //!
 //! The second form runs a deterministic sharded *simulator* scenario and
 //! prints an FNV-1a hash of every observable log (deliveries, per-shard
@@ -30,7 +36,8 @@ use stabilizer_bench::{bytes as fmt_bytes, f, print_table};
 use stabilizer_core::{ClusterConfig, NodeId};
 use stabilizer_netsim::{NetTopology, SimDuration};
 use stabilizer_shard::{build_sharded_cluster, RoutePolicy};
-use stabilizer_transport::spawn_sharded_local_cluster;
+use stabilizer_telemetry::{ServerRoutes, Telemetry, TelemetryServer};
+use stabilizer_transport::spawn_sharded_local_cluster_with;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -68,9 +75,19 @@ struct Point {
 /// simultaneously an origin and a mirror, as in a real deployment), and
 /// the run counts total cross-delivered messages per second plus the
 /// time for both own-stream frontiers to cover the load.
-fn run_tcp(shards: u16, msgs: u64, payload: usize, publishers: usize) -> Point {
-    let nodes = spawn_sharded_local_cluster(&pair_cfg(shards), RoutePolicy::RoundRobin)
-        .expect("localhost pair spawns");
+fn run_tcp(
+    shards: u16,
+    msgs: u64,
+    payload: usize,
+    publishers: usize,
+    telemetry: Option<&Arc<Telemetry>>,
+) -> Point {
+    let nodes = spawn_sharded_local_cluster_with(
+        &pair_cfg(shards),
+        RoutePolicy::RoundRobin,
+        telemetry.map(Arc::clone),
+    )
+    .expect("localhost pair spawns");
     let handles = [nodes[0].handle(), nodes[1].handle()];
     let per_node = msgs / 2;
 
@@ -167,7 +184,7 @@ fn run_tcp(shards: u16, msgs: u64, payload: usize, publishers: usize) -> Point {
 
 const TRIALS: usize = 3;
 
-fn tcp_scaling(msgs: u64, payload: usize, publishers: usize) {
+fn tcp_scaling(msgs: u64, payload: usize, publishers: usize, telemetry: Option<&Arc<Telemetry>>) {
     println!(
         "localhost pair (both directions), {} msgs x {}, {} publisher threads per node, median of {} trials",
         msgs,
@@ -182,7 +199,7 @@ fn tcp_scaling(msgs: u64, payload: usize, publishers: usize) {
     let mut all: Vec<Vec<Point>> = SHARD_COUNTS.iter().map(|_| Vec::new()).collect();
     for _ in 0..TRIALS {
         for (i, &s) in SHARD_COUNTS.iter().enumerate() {
-            all[i].push(run_tcp(s, msgs, payload, publishers));
+            all[i].push(run_tcp(s, msgs, payload, publishers, telemetry));
         }
     }
     let points: Vec<Point> = all
@@ -301,7 +318,7 @@ fn replay_hash(seed: u64) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--replay-hash") {
         let seed = args
             .get(1)
@@ -310,8 +327,43 @@ fn main() {
         replay_hash(seed);
         return;
     }
+    let serve = args.iter().position(|a| a == "--serve").map(|i| {
+        args.remove(i);
+        if i >= args.len() {
+            eprintln!("usage: shard_scale [MSGS] [PAYLOAD] [PUBLISHERS] [--serve ADDR]");
+            std::process::exit(2);
+        }
+        args.remove(i)
+    });
     let msgs = args.first().and_then(|s| s.parse().ok()).unwrap_or(20_000);
     let payload = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
     let publishers = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
-    tcp_scaling(msgs, payload, publishers);
+    // One hub for every trial: series are labelled per node/shard, so
+    // counters accumulate across the whole sweep while gauges (queue
+    // depths) always show the live cluster.
+    let telemetry = serve
+        .as_ref()
+        .map(|_| Telemetry::new_wall_clock_sharded(SHARD_COUNTS[SHARD_COUNTS.len() - 1] as usize));
+    let server = serve.map(|addr| {
+        let t = telemetry.clone().expect("hub exists when serving");
+        let server = TelemetryServer::bind(&addr, ServerRoutes::new(t)).unwrap_or_else(|e| {
+            eprintln!("error: serving on {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "serving http://{} — /metrics /metrics.json /trace",
+            server.local_addr()
+        );
+        server
+    });
+    tcp_scaling(msgs, payload, publishers, telemetry.as_ref());
+    if let Some(server) = server {
+        eprintln!(
+            "bench done; still serving http://{} (Ctrl-C to exit)",
+            server.local_addr()
+        );
+        loop {
+            std::thread::park();
+        }
+    }
 }

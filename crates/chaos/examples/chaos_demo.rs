@@ -1,7 +1,8 @@
 //! Run one randomized chaos scenario from the command line.
 //!
 //! ```text
-//! cargo run -p stabilizer-chaos --example chaos_demo -- <seed> [--metrics-out <path>]
+//! cargo run -p stabilizer-chaos --example chaos_demo -- <seed> \
+//!     [--metrics-out <path>] [--freeze-at <millis>] [--serve <addr>]
 //! ```
 //!
 //! Expands the seed into a `(topology, workload, fault plan)` triple,
@@ -15,25 +16,98 @@
 //! counters, gauges, and the publish→deliver / publish→stable latency
 //! histograms — is written to `path` as JSON (plus a Prometheus text
 //! rendering next to it at `<path>.prom`). Same seed, same bytes.
+//!
+//! With `--freeze-at <millis>`, the virtual clock stops there instead of
+//! the scenario horizon and every node's frontier blame diagnosis is
+//! printed — the way to inspect *mid-fault* stalls that have healed by
+//! the horizon (try seed 503 frozen at 438ms).
+//!
+//! With `--serve <addr>`, after the run completes the telemetry hub is
+//! kept alive behind a live HTTP endpoint (`/metrics`, `/metrics.json`,
+//! `/trace`, `/stall` — the stall route serves the frozen end-of-run
+//! diagnosis) until the process is killed. Point `stabtop` at it.
 
-use stabilizer_chaos::{minimize_plan, Scenario};
-use stabilizer_telemetry::Telemetry;
+use stabilizer_chaos::{minimize_plan, ChaosHarness, Scenario};
+use stabilizer_core::{ClusterConfig, StallReport};
+use stabilizer_netsim::SimDuration;
+use stabilizer_telemetry::{ServerRoutes, StallProvider, Telemetry, TelemetryServer};
 use std::sync::Arc;
 
 fn usage() -> ! {
-    eprintln!("usage: chaos_demo <seed> [--metrics-out <path>]");
+    eprintln!(
+        "usage: chaos_demo <seed> [--metrics-out <path>] [--freeze-at <millis>] [--serve <addr>]"
+    );
     std::process::exit(2);
+}
+
+/// `/stall` body for node-tagged simulator reports: like the runtime
+/// endpoint's `{"reports":[...]}`, with a leading `"observer"` field
+/// carrying the node whose recorder produced each diagnosis.
+fn stall_json(reports: &[(u16, StallReport)]) -> String {
+    let mut s = String::from("{\"reports\":[");
+    for (i, (node, r)) in reports.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let body = r.to_json();
+        s.push_str(&format!("{{\"observer\":{node},{}", &body[1..]));
+    }
+    s.push_str("]}");
+    s
+}
+
+fn write_metrics(path: &str, t: &Telemetry) {
+    if let Err(e) = std::fs::write(path, t.render_json()) {
+        eprintln!("error: writing {path}: {e}");
+        std::process::exit(1);
+    }
+    let prom = format!("{path}.prom");
+    if let Err(e) = std::fs::write(&prom, t.render_prometheus()) {
+        eprintln!("error: writing {prom}: {e}");
+        std::process::exit(1);
+    }
+    println!("metrics: {path} (json), {prom} (prometheus text)");
+}
+
+/// Hold the endpoint open until the process is killed.
+fn serve_forever(addr: &str, telemetry: Arc<Telemetry>, stall_body: String) -> ! {
+    let stall: StallProvider = Arc::new(move || stall_body.clone());
+    let routes = ServerRoutes::new(telemetry).with_stall(stall);
+    let server = match TelemetryServer::bind(addr, routes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: serving on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serving http://{} — /metrics /metrics.json /trace /stall (Ctrl-C to exit)",
+        server.local_addr()
+    );
+    loop {
+        std::thread::park();
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed: Option<u64> = None;
     let mut metrics_out: Option<String> = None;
+    let mut freeze_at: Option<u64> = None;
+    let mut serve: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--metrics-out" => match it.next() {
                 Some(path) => metrics_out = Some(path),
+                None => usage(),
+            },
+            "--freeze-at" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => freeze_at = Some(ms),
+                None => usage(),
+            },
+            "--serve" => match it.next() {
+                Some(addr) => serve = Some(addr),
                 None => usage(),
             },
             _ => match arg.parse() {
@@ -49,9 +123,60 @@ fn main() {
 
     let scenario = Scenario::from_seed(seed);
     println!("scenario: {}", scenario.summary());
-    let telemetry = metrics_out
-        .as_ref()
-        .map(|_| Arc::new(Telemetry::new_sim_with_trace(4096)));
+    let telemetry =
+        (metrics_out.is_some() || serve.is_some()).then(|| Telemetry::new_sim_with_trace(4096));
+
+    if freeze_at.is_some() || serve.is_some() {
+        // The diagnosing path drives the harness directly so the
+        // recorders stay inspectable after the clock stops.
+        let cfg = ClusterConfig::parse(&scenario.cfg_text).expect("generated config parses");
+        let mut harness = ChaosHarness::new_with_telemetry(
+            &cfg,
+            scenario.topology.build(),
+            seed,
+            &scenario.plan,
+            scenario.workload.clone(),
+            telemetry.clone(),
+        )
+        .expect("generated scenario is valid");
+        let horizon = freeze_at.map_or(scenario.horizon, SimDuration::from_millis);
+        match harness.run(horizon) {
+            Ok(report) => println!(
+                "ok: trace_hash={:016x} events={} steps={} dropped={} final_time={:?}",
+                report.trace_hash,
+                report.trace_events,
+                report.steps,
+                report.dropped,
+                report.final_time
+            ),
+            Err(violation) => {
+                eprintln!("{violation}");
+                std::process::exit(1);
+            }
+        }
+        let reports = harness.stall_reports();
+        let stalled: Vec<&(u16, StallReport)> = reports.iter().filter(|(_, r)| r.stalled).collect();
+        println!(
+            "frontiers at {horizon}: {} ok, {} stalled",
+            reports.len() - stalled.len(),
+            stalled.len()
+        );
+        for (node, r) in stalled {
+            println!("  node {node} sees: {}", r.render_human());
+        }
+        if let (Some(path), Some(t)) = (&metrics_out, &telemetry) {
+            write_metrics(path, t);
+        }
+        if let Some(addr) = serve {
+            serve_forever(
+                &addr,
+                telemetry.expect("hub exists when serving"),
+                stall_json(&reports),
+            );
+        }
+        return;
+    }
+
     let result = match &telemetry {
         Some(t) => scenario.run_with_telemetry(Arc::clone(t)),
         None => scenario.run(),
@@ -67,16 +192,7 @@ fn main() {
                 report.final_time
             );
             if let (Some(path), Some(t)) = (&metrics_out, &telemetry) {
-                if let Err(e) = std::fs::write(path, t.render_json()) {
-                    eprintln!("error: writing {path}: {e}");
-                    std::process::exit(1);
-                }
-                let prom = format!("{path}.prom");
-                if let Err(e) = std::fs::write(&prom, t.render_prometheus()) {
-                    eprintln!("error: writing {prom}: {e}");
-                    std::process::exit(1);
-                }
-                println!("metrics: {path} (json), {prom} (prometheus text)");
+                write_metrics(path, t);
             }
         }
         Err(failure) => {

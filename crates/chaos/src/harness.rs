@@ -356,7 +356,7 @@ impl ChaosHarness {
                             at: self.sim.now(),
                             node,
                             property: "post-fault-liveness",
-                            detail,
+                            detail: format!("{detail}{}", self.render_blame()),
                         });
                     }
                     self.sim.step();
@@ -364,6 +364,35 @@ impl ChaosHarness {
                     self.check()?;
                 }
             }
+        }
+    }
+
+    /// Frontier blame from every node's diagnoser, tagged with the
+    /// observing node.
+    pub fn stall_reports(&self) -> Vec<(u16, stabilizer_core::StallReport)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for report in self.sim.actor(i).inner().explain_all() {
+                out.push((i as u16, report));
+            }
+        }
+        out
+    }
+
+    /// One-line blame summary of every stalled frontier, appended to
+    /// `post-fault-liveness` violations so the failure names the actual
+    /// culprit (node, stream) pairs instead of just the first laggard.
+    fn render_blame(&self) -> String {
+        let stalled: Vec<String> = self
+            .stall_reports()
+            .iter()
+            .filter(|(_, r)| r.stalled)
+            .map(|(i, r)| format!("node {i} sees: {}", r.render_human()))
+            .collect();
+        if stalled.is_empty() {
+            String::new()
+        } else {
+            format!("; blame: {}", stalled.join(" | "))
         }
     }
 
@@ -623,8 +652,7 @@ impl ChaosHarness {
         // and drain the actions the restore + fast-forward queued up.
         self.sim.with_ctx(node, |actor, ctx| {
             actor.on_start(ctx);
-            let now = ctx.now().as_nanos();
-            actor.inner_mut().begin_catch_up(now);
+            actor.begin_catch_up_at(ctx.now());
             let actions = actor.inner_mut().take_actions();
             actor.process_actions(ctx, actions);
         });
@@ -660,8 +688,7 @@ impl ChaosHarness {
         }
         self.sim.with_ctx(node, |actor, ctx| {
             actor.on_start(ctx);
-            let now = ctx.now().as_nanos();
-            actor.inner_mut().begin_catch_up(now);
+            actor.begin_catch_up_at(ctx.now());
             let actions = actor.inner_mut().take_actions();
             actor.process_actions(ctx, actions);
         });

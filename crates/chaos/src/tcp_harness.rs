@@ -119,6 +119,9 @@ pub struct ChaosTcpCluster {
     checks: u64,
     started: Instant,
     telemetry: Option<Arc<Telemetry>>,
+    /// Address node 0's runtime serves live telemetry on (re-applied
+    /// when node 0 restarts or joins).
+    serve: Option<String>,
 }
 
 /// Observer for one TCP node: the invariant checker's log, plus the
@@ -172,6 +175,46 @@ impl ChaosTcpCluster {
         workload: Vec<TimedWork>,
         telemetry: Option<Arc<Telemetry>>,
     ) -> Result<Self, ChaosError> {
+        Self::build(cfg, seed, plan, workload, telemetry, None)
+    }
+
+    /// [`ChaosTcpCluster::new_with_telemetry`] that additionally serves
+    /// the hub live over HTTP from node 0's runtime (`/metrics`,
+    /// `/metrics.json`, `/trace`, `/stall`) while the scenario runs;
+    /// read the bound address back with
+    /// [`ChaosTcpCluster::serve_addr`]. Node 0 re-binds the endpoint if
+    /// it is crash-restarted or joined mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ChaosTcpCluster::new`], plus a bind
+    /// failure on `serve_addr`.
+    pub fn new_with_telemetry_serving(
+        cfg: &ClusterConfig,
+        seed: u64,
+        plan: &FaultPlan,
+        workload: Vec<TimedWork>,
+        telemetry: Arc<Telemetry>,
+        serve_addr: &str,
+    ) -> Result<Self, ChaosError> {
+        Self::build(
+            cfg,
+            seed,
+            plan,
+            workload,
+            Some(telemetry),
+            Some(serve_addr.to_string()),
+        )
+    }
+
+    fn build(
+        cfg: &ClusterConfig,
+        seed: u64,
+        plan: &FaultPlan,
+        workload: Vec<TimedWork>,
+        telemetry: Option<Arc<Telemetry>>,
+        serve: Option<String>,
+    ) -> Result<Self, ChaosError> {
         let n = cfg.num_nodes();
         let ops = plan.compile(n)?;
         let proxy = ProxyNet::new(n, seed)
@@ -223,6 +266,7 @@ impl ChaosTcpCluster {
                     jitter_seed: seed,
                     telemetry: telemetry.clone(),
                     metrics_dump: None,
+                    serve_addr: if i == 0 { serve.clone() } else { None },
                 },
             )
             .map_err(ChaosError::Core)?;
@@ -270,12 +314,19 @@ impl ChaosTcpCluster {
             checks: 0,
             started: Instant::now(),
             telemetry,
+            serve,
         })
     }
 
     /// The current handle of node `i` (a frozen zombie while crashed).
     pub fn handle(&self, i: usize) -> NodeHandle {
         self.nodes[i].clone()
+    }
+
+    /// Bound address of the live telemetry endpoint (node 0's), when
+    /// built with [`ChaosTcpCluster::new_with_telemetry_serving`].
+    pub fn serve_addr(&self) -> Option<std::net::SocketAddr> {
+        self.nodes[0].serve_addr()
     }
 
     /// Nanoseconds since the cluster booted, as the checker's timestamp.
@@ -376,11 +427,41 @@ impl ChaosTcpCluster {
                         at: self.now(),
                         node,
                         property: "post-fault-liveness",
-                        detail,
+                        detail: format!("{detail}{}", self.render_blame()),
                     });
                 }
                 Some(_) => std::thread::sleep(Duration::from_millis(10)),
             }
+        }
+    }
+
+    /// Frontier blame from every node's diagnoser, tagged with the
+    /// observing node (crashed nodes' zombie state included — its view
+    /// froze at the crash, which is exactly what stalled).
+    pub fn stall_reports(&self) -> Vec<(u16, stabilizer_core::StallReport)> {
+        let mut out = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for report in node.explain_all() {
+                out.push((i as u16, report));
+            }
+        }
+        out
+    }
+
+    /// One-line blame summary of every stalled frontier, appended to
+    /// `post-fault-liveness` violations so the failure names the actual
+    /// culprit (node, stream) pairs instead of just the first laggard.
+    fn render_blame(&self) -> String {
+        let stalled: Vec<String> = self
+            .stall_reports()
+            .iter()
+            .filter(|(_, r)| r.stalled)
+            .map(|(i, r)| format!("node {i} sees: {}", r.render_human()))
+            .collect();
+        if stalled.is_empty() {
+            String::new()
+        } else {
+            format!("; blame: {}", stalled.join(" | "))
         }
     }
 
@@ -559,6 +640,7 @@ impl ChaosTcpCluster {
                 jitter_seed: self.seed ^ (self.restarts << 48),
                 telemetry: self.telemetry.clone(),
                 metrics_dump: None,
+                serve_addr: if node == 0 { self.serve.clone() } else { None },
             },
         )
         .expect("predicates compiled at startup recompile on restore");
@@ -617,6 +699,7 @@ impl ChaosTcpCluster {
                 jitter_seed: self.seed ^ (self.restarts << 48),
                 telemetry: self.telemetry.clone(),
                 metrics_dump: None,
+                serve_addr: if node == 0 { self.serve.clone() } else { None },
             },
         )
         .expect("predicates compiled at startup recompile on join");

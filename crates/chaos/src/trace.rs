@@ -249,6 +249,29 @@ impl AppHooks for ChaosObserver {
             AppHooks::on_catch_up(m, now, stream, seq);
         }
     }
+
+    // Transfer-chunk and join events feed the telemetry trace ring and
+    // counters only: they are NOT part of the canonical event trace, so
+    // pinned per-seed trace hashes from earlier releases stay valid.
+    fn on_transfer_chunk(
+        &mut self,
+        now: SimTime,
+        to: NodeId,
+        stream: NodeId,
+        seq: SeqNo,
+        len: usize,
+        done: bool,
+    ) {
+        if let Some(m) = &mut self.metrics {
+            AppHooks::on_transfer_chunk(m, now, to, stream, seq, len, done);
+        }
+    }
+
+    fn on_join(&mut self, now: SimTime, streams: usize) {
+        if let Some(m) = &mut self.metrics {
+            AppHooks::on_join(m, now, streams);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -79,6 +79,88 @@ fn chaos_demo_bin() -> PathBuf {
 }
 
 #[test]
+fn exemplars_replay_byte_identically_in_process() {
+    // Exemplars stamp virtual-clock nanos and trace-ring cursors, so on
+    // the simulator two runs of the same seed must render the same
+    // bytes — across the JSON export, the exemplar sub-document, and
+    // the OpenMetrics text with `# {...}` bucket suffixes.
+    for seed in [
+        503,
+        538,
+        seed_with(|f| matches!(f, Fault::ClockSkew { .. })),
+    ] {
+        let run = || {
+            let t = Telemetry::new_sim_with_trace(4096);
+            Scenario::from_seed(seed)
+                .run_with_telemetry(t.clone())
+                .unwrap_or_else(|f| panic!("seed {seed} should run clean: {f}"));
+            (
+                t.render_json(),
+                t.render_exemplars_json(),
+                t.render_prometheus(),
+            )
+        };
+        let (j1, e1, p1) = run();
+        let (j2, e2, p2) = run();
+        assert_eq!(j1, j2, "seed {seed}: metrics JSON differs across runs");
+        assert_eq!(e1, e2, "seed {seed}: exemplar JSON differs across runs");
+        assert_eq!(p1, p2, "seed {seed}: Prometheus text differs across runs");
+        assert!(
+            e1.contains("\"trace_cursor\""),
+            "seed {seed}: run captured no exemplars: {e1}"
+        );
+        assert!(
+            p1.contains(" # {trace_id=\""),
+            "seed {seed}: no OpenMetrics exemplar suffix rendered"
+        );
+    }
+}
+
+#[test]
+fn exemplars_replay_byte_identically_across_processes() {
+    let bin = chaos_demo_bin();
+    let dir = std::env::temp_dir().join(format!("stab_exemplar_replay_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let run = |tag: &str| -> (String, String) {
+        let path = dir.join(format!("metrics_{tag}.json"));
+        let out = Command::new(&bin)
+            .arg("503")
+            .arg("--metrics-out")
+            .arg(&path)
+            .output()
+            .expect("run chaos_demo");
+        assert!(
+            out.status.success(),
+            "chaos_demo failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read_to_string(&path).expect("read metrics json");
+        let prom =
+            std::fs::read_to_string(format!("{}.prom", path.display())).expect("read prom text");
+        (json, prom)
+    };
+    let (j1, p1) = run("a");
+    let (j2, p2) = run("b");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(j1, j2, "cross-process metrics JSON diverged");
+    assert_eq!(p1, p2, "cross-process Prometheus text diverged");
+    assert!(
+        j1.contains("\"exemplars\""),
+        "JSON export carries exemplars"
+    );
+    // And the subprocess bytes match an in-process run of the same seed.
+    let t = Telemetry::new_sim_with_trace(4096);
+    Scenario::from_seed(503)
+        .run_with_telemetry(t.clone())
+        .expect("seed 503 runs clean");
+    assert_eq!(
+        j1,
+        t.render_json(),
+        "subprocess and in-process JSON diverged"
+    );
+}
+
+#[test]
 fn chaos_demo_prints_the_same_hash_across_processes() {
     let bin = chaos_demo_bin();
     let seed = seed_with(|f| matches!(f, Fault::CorrelatedCrash { .. }));

@@ -53,6 +53,7 @@
 pub mod config;
 pub mod data_plane;
 pub mod error;
+pub mod explain;
 pub mod frontier;
 pub mod messages;
 pub mod node;
@@ -63,6 +64,9 @@ pub mod sim_driver;
 
 pub use config::{AnalysisMode, ClusterConfig, Options};
 pub use error::CoreError;
+pub use explain::{
+    render_sharded_stall_reports_json, render_stall_reports_json, BlamedCell, StallReport,
+};
 pub use frontier::{FrontierEngine, FrontierUpdate, WaitToken};
 pub use messages::{Ack, WireMsg, WIRE_OVERHEAD};
 pub use node::{Action, Metrics, Snapshot, StabilizerNode};

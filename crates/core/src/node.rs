@@ -679,6 +679,76 @@ impl StabilizerNode {
         self.engine.frontier(stream, key)
     }
 
+    /// Diagnose one `(stream, key)` frontier: how far behind the highest
+    /// locally-known publish it is, and — via a walk of the resolved
+    /// predicate against the live ACK recorder — the minimal set of
+    /// (node, ACK-type) cells holding it back. `None` if the key is not
+    /// registered for the stream.
+    pub fn explain_frontier(&self, stream: NodeId, key: &str) -> Option<crate::StallReport> {
+        let pred = self.engine.predicate(stream, key)?;
+        let (frontier, generation) = self.engine.frontier(stream, key)?;
+        // The highest sequence this node knows exists on the stream: its
+        // own assignment counter for the local stream, plus the best
+        // `received` cell anyone has reported (the origin self-acks on
+        // publish, so its own cell tracks its high watermark).
+        let mut target = if stream == self.me {
+            self.last_published()
+        } else {
+            0
+        };
+        for node in 0..self.recorder.num_nodes() as u16 {
+            target = target.max(self.recorder.get(stream, NodeId(node), RECEIVED));
+        }
+        let stalled = frontier < target;
+        let (blamed, unsatisfiable) = if stalled {
+            crate::explain::blame_cells(&pred.resolved().expr, target, &self.recorder, stream)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let suspected_peers: Vec<NodeId> = (0..self.suspected.len() as u16)
+            .map(NodeId)
+            .filter(|n| self.suspected[n.0 as usize])
+            .collect();
+        Some(crate::StallReport {
+            stream,
+            key: key.to_owned(),
+            generation,
+            frontier,
+            target,
+            stalled,
+            predicate: pred.source().to_owned(),
+            blamed: blamed
+                .into_iter()
+                .map(|(node, ty, have)| crate::BlamedCell {
+                    node,
+                    ack_type: ty,
+                    ack_type_name: self.acks.name(ty).unwrap_or_else(|| ty.0.to_string()),
+                    have,
+                    need: target,
+                    suspected: self.is_suspected(node),
+                })
+                .collect(),
+            unsatisfiable,
+            suspected_peers,
+        })
+    }
+
+    /// [`StabilizerNode::explain_frontier`] for every registered
+    /// `(stream, key)` pair, in (stream, key) order — the `/stall`
+    /// endpoint body.
+    pub fn explain_all(&self) -> Vec<crate::StallReport> {
+        let mut out = Vec::new();
+        for stream in 0..self.cfg.topology().num_nodes() as u16 {
+            let stream = NodeId(stream);
+            for key in self.engine.keys(stream) {
+                if let Some(report) = self.explain_frontier(stream, &key) {
+                    out.push(report);
+                }
+            }
+        }
+        out
+    }
+
     /// Block until `(stream, key)`'s frontier reaches `seq`; completion is
     /// reported as [`Action::WaitDone`] with the returned token (the
     /// paper's `waitfor`).
@@ -777,20 +847,26 @@ impl StabilizerNode {
     /// for its stream, starting after what this node already delivered
     /// in order. Each stream's origin is its donor — it is the only node
     /// holding that stream's payloads (live window plus retained log).
-    /// No-op unless `transfer_millis > 0`.
-    pub fn begin_catch_up(&mut self, now_nanos: u64) {
+    /// No-op unless `transfer_millis > 0`. Returns the number of peer
+    /// streams catch-up was requested for (0 when transfer is disabled),
+    /// which runtimes surface as a `Join` observability event.
+    pub fn begin_catch_up(&mut self, now_nanos: u64) -> usize {
         if self.cfg.options().transfer_millis == 0 {
-            return;
+            return 0;
         }
         let peers = self.peers.clone();
+        let mut streams = 0;
         for peer in peers {
-            self.request_catch_up(peer, now_nanos);
+            if self.request_catch_up(peer, now_nanos) {
+                streams += 1;
+            }
         }
+        streams
     }
 
-    fn request_catch_up(&mut self, donor: NodeId, now_nanos: u64) {
+    fn request_catch_up(&mut self, donor: NodeId, now_nanos: u64) -> bool {
         if donor == self.me || donor.0 as usize >= self.recv.len() {
-            return;
+            return false;
         }
         let have = self.recv[donor.0 as usize].delivered();
         self.transfer_in.insert(
@@ -808,6 +884,7 @@ impl StabilizerNode {
                 have,
             },
         });
+        true
     }
 
     /// Donor side: serve a catch-up request for this node's own stream.

@@ -47,6 +47,21 @@ pub trait RuntimeObserver: Send {
     /// A writer gave up (re)connecting to a peer permanently (its
     /// configured retry budget ran out).
     fn on_connect_failed(&mut self, _now_nanos: u64, _peer: NodeId) {}
+    /// This node (as donor) sent one retained-log chunk of `stream` to a
+    /// recovering peer (§III-E state transfer, donor side).
+    fn on_transfer_chunk(
+        &mut self,
+        _now_nanos: u64,
+        _to: NodeId,
+        _stream: NodeId,
+        _seq: SeqNo,
+        _len: usize,
+        _done: bool,
+    ) {
+    }
+    /// This node (re)entered the cluster and requested catch-up on
+    /// `streams` peer streams.
+    fn on_join(&mut self, _now_nanos: u64, _streams: usize) {}
 }
 
 /// Timestamped logs of one threaded node's upcalls, shaped exactly like
@@ -223,6 +238,26 @@ impl RuntimeObserver for ObserverChain {
     fn on_connect_failed(&mut self, now_nanos: u64, peer: NodeId) {
         for obs in &mut self.observers {
             obs.on_connect_failed(now_nanos, peer);
+        }
+    }
+
+    fn on_transfer_chunk(
+        &mut self,
+        now_nanos: u64,
+        to: NodeId,
+        stream: NodeId,
+        seq: SeqNo,
+        len: usize,
+        done: bool,
+    ) {
+        for obs in &mut self.observers {
+            obs.on_transfer_chunk(now_nanos, to, stream, seq, len, done);
+        }
+    }
+
+    fn on_join(&mut self, now_nanos: u64, streams: usize) {
+        for obs in &mut self.observers {
+            obs.on_join(now_nanos, streams);
         }
     }
 }

@@ -33,6 +33,21 @@ pub trait AppHooks {
     fn on_suspected(&mut self, _now: SimTime, _node: NodeId) {}
     /// A stream was fast-forwarded out of band (§III-E state transfer).
     fn on_catch_up(&mut self, _now: SimTime, _stream: NodeId, _seq: SeqNo) {}
+    /// This node (as donor) sent one retained-log chunk to a recovering
+    /// peer (§III-E, donor side).
+    fn on_transfer_chunk(
+        &mut self,
+        _now: SimTime,
+        _to: NodeId,
+        _stream: NodeId,
+        _seq: SeqNo,
+        _len: usize,
+        _done: bool,
+    ) {
+    }
+    /// This node (re)entered the cluster and requested catch-up on
+    /// `streams` peer streams.
+    fn on_join(&mut self, _now: SimTime, _streams: usize) {}
 }
 
 /// Hooks that do nothing (logs on [`SimNode`] still record everything).
@@ -139,6 +154,17 @@ impl<H: AppHooks> SimNode<H> {
         &mut self.node
     }
 
+    /// Start §III-E catch-up on every peer stream (restart/join path),
+    /// firing the `on_join` hook when any transfer was actually
+    /// requested. Queued actions stay on the node; the caller drains
+    /// them through [`SimNode::process_actions`] as usual.
+    pub fn begin_catch_up_at(&mut self, now: SimTime) {
+        let streams = self.node.begin_catch_up(now.as_nanos());
+        if streams > 0 {
+            self.hooks.on_join(now, streams);
+        }
+    }
+
     /// Publish inside the simulation (drains actions into sends).
     pub fn publish_in(
         &mut self,
@@ -216,7 +242,25 @@ impl<H: AppHooks> SimNode<H> {
     pub fn process_actions(&mut self, ctx: &mut Ctx<'_, WireMsg>, actions: Vec<Action>) {
         for action in actions {
             match action {
-                Action::Send { to, msg } => ctx.send(to.0 as usize, msg),
+                Action::Send { to, msg } => {
+                    if let WireMsg::TransferChunk {
+                        stream,
+                        seq,
+                        ref payload,
+                        done,
+                    } = msg
+                    {
+                        self.hooks.on_transfer_chunk(
+                            ctx.now(),
+                            to,
+                            stream,
+                            seq,
+                            payload.len(),
+                            done,
+                        );
+                    }
+                    ctx.send(to.0 as usize, msg)
+                }
                 Action::Deliver {
                     origin,
                     seq,

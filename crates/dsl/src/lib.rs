@@ -72,10 +72,10 @@ pub use ast::{
 };
 pub use compile::{compile, Program};
 pub use error::DslError;
-pub use interp::interpret;
+pub use interp::{eval_resolved, interpret};
 pub use optimize::optimize;
 pub use parser::{parse, parse_spanned};
-pub use resolve::{expand_set, resolve, Resolved, ResolvedExpr};
+pub use resolve::{expand_set, resolve, Operand, ReduceKind, Resolved, ResolvedExpr};
 pub use span::Span;
 pub use topology::{Topology, TopologyBuilder};
 pub use transform::exclude_node;

@@ -505,6 +505,20 @@ impl ShardedEngine {
         self.shards[shard as usize].metrics()
     }
 
+    /// Frontier blame for every `(shard, stream, key)`: each shard
+    /// machine diagnoses its own sub-stream (sequence numbers in the
+    /// reports are per-shard). Render with
+    /// [`stabilizer_core::render_sharded_stall_reports_json`].
+    pub fn explain_all(&self) -> Vec<(u16, stabilizer_core::StallReport)> {
+        let mut reports = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            for report in shard.explain_all() {
+                reports.push((s as u16, report));
+            }
+        }
+        reports
+    }
+
     /// Sum of all shard send-buffer occupancies, in bytes.
     pub fn send_buffer_bytes(&self) -> usize {
         self.shards

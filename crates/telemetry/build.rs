@@ -1,0 +1,20 @@
+//! Bakes the short git hash into the crate as `STAB_GIT_HASH` for the
+//! `stab_build_info` metric. Falls back to `unknown` outside a checkout
+//! (e.g. a vendored source tarball) so the build never fails on it.
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    println!("cargo:rustc-env=STAB_GIT_HASH={hash}");
+    // Re-run when HEAD moves so the hash stays honest in dev builds.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -7,10 +7,12 @@
 //! acceptance test pins. Histogram bucket bounds are integers
 //! (nanoseconds), never floats, for the same reason.
 
+use crate::exemplar::Exemplar;
 use crate::histogram::HistogramSnapshot;
 use crate::json::push_key;
 use crate::registry::RegistrySnapshot;
 use crate::stability::Telemetry;
+use std::collections::BTreeMap;
 
 /// Quantiles reported in the JSON export.
 const QUANTILES: &[(&str, f64)] = &[("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)];
@@ -23,12 +25,43 @@ fn series_name(name: &str, labels: &str) -> String {
     }
 }
 
+/// Escape `# HELP` text: backslash and newline per the exposition
+/// format.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 /// Render a snapshot in the Prometheus text exposition format.
 pub fn render_prometheus_snapshot(snap: &RegistrySnapshot) -> String {
+    render_prometheus_with_exemplars(snap, &BTreeMap::new())
+}
+
+/// The OpenMetrics exemplar suffix for one bucket line:
+/// ` # {trace_id="<cursor>"} <latency>`.
+fn exemplar_suffix(ex: &Exemplar) -> String {
+    format!(" # {{trace_id=\"{}\"}} {}", ex.trace_cursor, ex.latency_ns)
+}
+
+/// [`render_prometheus_snapshot`] with OpenMetrics exemplars attached
+/// to histogram buckets. `exemplars` is keyed like the snapshot's
+/// histogram series — `(name, rendered labels)` — with each list in
+/// latency-descending order; at most one exemplar (the worst) is
+/// attached per bucket line.
+pub fn render_prometheus_with_exemplars(
+    snap: &RegistrySnapshot,
+    exemplars: &BTreeMap<(String, String), Vec<Exemplar>>,
+) -> String {
     let mut out = String::new();
     let mut last_type_hdr = String::new();
     let mut type_header = |out: &mut String, name: &str, kind: &str| {
         if last_type_hdr != name {
+            if let Some(help) = snap.help.get(name) {
+                out.push_str("# HELP ");
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(&escape_help(help));
+                out.push('\n');
+            }
             out.push_str("# TYPE ");
             out.push_str(name);
             out.push(' ');
@@ -53,25 +86,44 @@ pub fn render_prometheus_snapshot(snap: &RegistrySnapshot) -> String {
     }
     for ((name, labels), h) in &snap.histograms {
         type_header(&mut out, name, "histogram");
+        let series_exemplars = exemplars
+            .get(&(name.clone(), labels.clone()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
         // Cumulative buckets over the non-empty slots plus +Inf; bounds
         // are integer nanoseconds so the text is bit-stable.
         let mut cumulative = 0u64;
+        let mut prev_upper = 0u64;
         for (upper, count) in h.nonzero_buckets() {
             cumulative += count;
             let le = format!("le=\"{upper}\"");
-            let labels = if labels.is_empty() {
+            let bucket_labels = if labels.is_empty() {
                 le
             } else {
                 format!("{labels},{le}")
             };
-            out.push_str(&format!("{name}_bucket{{{labels}}} {cumulative}\n"));
+            out.push_str(&format!("{name}_bucket{{{bucket_labels}}} {cumulative}"));
+            // Worst exemplar falling inside this bucket's range, if any
+            // (the lists are latency-descending, so first match wins).
+            if let Some(ex) = series_exemplars
+                .iter()
+                .find(|e| e.latency_ns > prev_upper && e.latency_ns <= upper)
+            {
+                out.push_str(&exemplar_suffix(ex));
+            }
+            out.push('\n');
+            prev_upper = upper;
         }
         let inf = if labels.is_empty() {
             "le=\"+Inf\"".to_owned()
         } else {
             format!("{labels},le=\"+Inf\"")
         };
-        out.push_str(&format!("{name}_bucket{{{inf}}} {}\n", h.count));
+        out.push_str(&format!("{name}_bucket{{{inf}}} {}", h.count));
+        if let Some(ex) = series_exemplars.iter().find(|e| e.latency_ns > prev_upper) {
+            out.push_str(&exemplar_suffix(ex));
+        }
+        out.push('\n');
         out.push_str(&series_name(&format!("{name}_sum"), labels));
         out.push_str(&format!(" {}\n", h.sum));
         out.push_str(&series_name(&format!("{name}_count"), labels));
@@ -136,15 +188,25 @@ pub fn render_json_snapshot(snap: &RegistrySnapshot) -> String {
 }
 
 impl Telemetry {
-    /// Prometheus text snapshot of every registered series.
+    /// Prometheus text snapshot of every registered series, with
+    /// OpenMetrics exemplars on the latency histogram buckets.
     pub fn render_prometheus(&self) -> String {
-        render_prometheus_snapshot(&self.registry().snapshot())
+        self.refresh_uptime();
+        render_prometheus_with_exemplars(&self.registry().snapshot(), &self.exemplar_series())
     }
 
     /// JSON snapshot of every registered series (see
-    /// [`render_json_snapshot`]).
+    /// [`render_json_snapshot`]) plus an `"exemplars"` section
+    /// (see [`Telemetry::render_exemplars_json`]).
     pub fn render_json(&self) -> String {
-        render_json_snapshot(&self.registry().snapshot())
+        self.refresh_uptime();
+        let mut out = render_json_snapshot(&self.registry().snapshot());
+        debug_assert!(out.ends_with('}'));
+        out.pop();
+        out.push_str(",\"exemplars\":");
+        out.push_str(&self.render_exemplars_json());
+        out.push('}');
+        out
     }
 }
 
@@ -190,6 +252,100 @@ mod tests {
         assert!(a.contains("\"depth\":-2"));
         assert!(a.contains("\"count\":3,\"sum\":5200"));
         assert!(a.ends_with("}}"));
+    }
+
+    #[test]
+    fn prometheus_conformance_label_escaping_and_single_headers() {
+        let reg = MetricsRegistry::new();
+        reg.describe("odd_total", "A counter with hostile labels.");
+        reg.counter("odd_total", &[("key", "a\\b\"c\nd")]).inc();
+        reg.counter("odd_total", &[("key", "plain")]).add(2);
+        reg.counter("odd_total", &[("key", "other")]).add(3);
+        let text = render_prometheus_snapshot(&reg.snapshot());
+        // Backslash, quote and newline escaped per the text format.
+        assert!(text.contains("odd_total{key=\"a\\\\b\\\"c\\nd\"} 1\n"));
+        // HELP and TYPE exactly once each despite three label sets.
+        assert_eq!(
+            text.matches("# HELP odd_total A counter with hostile labels.\n")
+                .count(),
+            1
+        );
+        assert_eq!(text.matches("# TYPE odd_total counter\n").count(), 1);
+        // HELP precedes TYPE.
+        assert!(text.find("# HELP odd_total").unwrap() < text.find("# TYPE odd_total").unwrap());
+        // No raw (unescaped) newline inside any label value: every line
+        // is either a comment or ends in a sample value.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.rsplit(' ').next().unwrap().parse::<i64>().is_ok(),
+                "malformed line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_with_many_label_sets_has_one_type_header() {
+        let reg = MetricsRegistry::new();
+        for key in ["All", "Maj", "One"] {
+            reg.histogram("lat_ns", &[("key", key)]).record(100);
+        }
+        let text = render_prometheus_snapshot(&reg.snapshot());
+        assert_eq!(text.matches("# TYPE lat_ns histogram").count(), 1);
+    }
+
+    #[test]
+    fn exemplars_attach_to_matching_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_ns", &[]);
+        h.record(100);
+        h.record(5_000);
+        let mut exemplars = BTreeMap::new();
+        exemplars.insert(
+            ("lat_ns".to_owned(), String::new()),
+            vec![
+                Exemplar {
+                    origin: stabilizer_dsl::NodeId(1),
+                    seq: 9,
+                    publish_nanos: 0,
+                    stable_nanos: 5_000,
+                    latency_ns: 5_000,
+                    trace_cursor: 42,
+                },
+                Exemplar {
+                    origin: stabilizer_dsl::NodeId(0),
+                    seq: 3,
+                    publish_nanos: 0,
+                    stable_nanos: 100,
+                    latency_ns: 100,
+                    trace_cursor: 7,
+                },
+            ],
+        );
+        let text = render_prometheus_with_exemplars(&reg.snapshot(), &exemplars);
+        assert!(
+            text.contains("# {trace_id=\"42\"} 5000"),
+            "missing worst exemplar: {text}"
+        );
+        assert!(
+            text.contains("# {trace_id=\"7\"} 100"),
+            "missing small exemplar: {text}"
+        );
+        // Without exemplars the same snapshot renders clean.
+        let plain = render_prometheus_snapshot(&reg.snapshot());
+        assert!(!plain.contains("trace_id"));
+    }
+
+    #[test]
+    fn telemetry_renders_build_info_and_exemplar_section() {
+        let t = crate::Telemetry::new_sim();
+        let text = t.render_prometheus();
+        assert!(text.contains("# TYPE stab_build_info gauge"));
+        assert!(text.contains("stab_build_info{git_hash=\""));
+        assert!(text.contains("shards=\"1\""));
+        assert!(text.contains("stab_uptime_seconds 0\n"));
+        let json = t.render_json();
+        assert!(json.ends_with(",\"exemplars\":{\"deliver\":[],\"stability\":{}}}"));
+        assert!(json.contains("\"stab_uptime_seconds\":0"));
     }
 
     #[test]

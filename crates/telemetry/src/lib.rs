@@ -33,17 +33,26 @@
 
 #![warn(missing_docs)]
 
+mod exemplar;
 mod export;
 mod histogram;
 mod json;
 mod registry;
+mod server;
 mod stability;
 mod trace;
 
-pub use export::{render_json_snapshot, render_prometheus_snapshot};
+pub use exemplar::{Exemplar, ExemplarReservoir, DEFAULT_EXEMPLAR_CAPACITY};
+pub use export::{
+    render_json_snapshot, render_prometheus_snapshot, render_prometheus_with_exemplars,
+};
 pub use histogram::{
     bucket_index, bucket_lower, bucket_upper, HistogramSnapshot, LogHistogram, NUM_BUCKETS,
 };
-pub use registry::{Counter, Gauge, MetricsRegistry, RegistrySnapshot};
+pub use json::{parse_json, JsonValue};
+pub use registry::{
+    register_build_info, Counter, Gauge, MetricsRegistry, RegistrySnapshot, GIT_HASH,
+};
+pub use server::{http_get, ServerRoutes, StallProvider, TelemetryServer};
 pub use stability::{MetricsObserver, Telemetry};
 pub use trace::{TraceEvent, TraceKind, TraceRing, DEFAULT_TRACE_CAPACITY};

@@ -70,6 +70,8 @@ struct Inner {
     counters: BTreeMap<Series, Arc<AtomicU64>>,
     gauges: BTreeMap<Series, Arc<AtomicI64>>,
     histograms: BTreeMap<Series, Arc<LogHistogram>>,
+    /// Optional `# HELP` text per metric family name.
+    help: BTreeMap<String, String>,
 }
 
 /// The registry. Cloning is cheap; clones share all series.
@@ -78,10 +80,24 @@ pub struct MetricsRegistry {
     inner: Arc<Mutex<Inner>>,
 }
 
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double quote and newline must be backslash-escaped.
+fn push_escaped_label_value(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
 /// Render label pairs in the Prometheus inner form: `a="b",c="d"`.
 /// Pairs are sorted by key so the same label set always renders the
-/// same way regardless of call-site ordering.
-fn render_labels(labels: &[(&str, &str)]) -> String {
+/// same way regardless of call-site ordering; values are escaped per
+/// the text exposition format.
+pub(crate) fn render_labels(labels: &[(&str, &str)]) -> String {
     let mut pairs: Vec<&(&str, &str)> = labels.iter().collect();
     pairs.sort();
     let mut out = String::new();
@@ -91,7 +107,7 @@ fn render_labels(labels: &[(&str, &str)]) -> String {
         }
         out.push_str(k);
         out.push_str("=\"");
-        out.push_str(v);
+        push_escaped_label_value(&mut out, v);
         out.push('"');
     }
     out
@@ -123,6 +139,16 @@ impl MetricsRegistry {
         Arc::clone(self.inner.lock().histograms.entry(key).or_default())
     }
 
+    /// Attach `# HELP` text to the metric family `name`. Idempotent;
+    /// the text is emitted once per family in the Prometheus export.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.inner
+            .lock()
+            .help
+            .entry(name.to_owned())
+            .or_insert_with(|| help.to_owned());
+    }
+
     /// A deterministic point-in-time copy of every series, for export.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let inner = self.inner.lock();
@@ -142,6 +168,7 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
+            help: inner.help.clone(),
         }
     }
 }
@@ -167,6 +194,37 @@ pub struct RegistrySnapshot {
     pub gauges: BTreeMap<Series, i64>,
     /// `(name, labels) -> snapshot`.
     pub histograms: BTreeMap<Series, HistogramSnapshot>,
+    /// `name -> # HELP` text for described families.
+    pub help: BTreeMap<String, String>,
+}
+
+/// Short git hash baked in at compile time (build script), `unknown`
+/// outside a git checkout.
+pub const GIT_HASH: &str = env!("STAB_GIT_HASH");
+
+/// Register the standard build-metadata series: a `stab_build_info`
+/// gauge pinned to 1 carrying the crate version, git hash and shard
+/// count as labels, and a `stab_uptime_seconds` gauge (0 until a
+/// wall-clock hub refreshes it at render time). Returns the uptime
+/// gauge so the caller can keep it current.
+pub fn register_build_info(reg: &MetricsRegistry, shards: usize) -> Gauge {
+    reg.describe("stab_build_info", "Build metadata; value is always 1.");
+    reg.gauge(
+        "stab_build_info",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("git_hash", GIT_HASH),
+            ("shards", &shards.to_string()),
+        ],
+    )
+    .set(1);
+    reg.describe(
+        "stab_uptime_seconds",
+        "Seconds since the telemetry epoch (0 under the simulator).",
+    );
+    let uptime = reg.gauge("stab_uptime_seconds", &[]);
+    uptime.set(0);
+    uptime
 }
 
 #[cfg(test)]

@@ -20,8 +20,9 @@
 //! another node. A wall-clock `Telemetry` therefore carries one shared
 //! [`Instant`] epoch and re-timestamps every event against it.
 
+use crate::exemplar::{render_exemplars_json, Exemplar, ExemplarReservoir};
 use crate::histogram::{HistogramSnapshot, LogHistogram};
-use crate::registry::{Counter, Gauge, MetricsRegistry};
+use crate::registry::{register_build_info, Counter, Gauge, MetricsRegistry};
 use crate::trace::{TraceEvent, TraceKind, TraceRing, DEFAULT_TRACE_CAPACITY};
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -51,6 +52,10 @@ struct StampState {
     /// Per predicate key: the stability-latency histogram (also
     /// registered in the registry for export).
     stability: BTreeMap<String, Arc<LogHistogram>>,
+    /// Worst publish→deliver outliers, joined to the trace ring.
+    deliver_exemplars: ExemplarReservoir,
+    /// Per predicate key: worst publish→stable outliers.
+    stability_exemplars: BTreeMap<String, ExemplarReservoir>,
 }
 
 /// The telemetry hub for one cluster (or one node under test). Shared
@@ -63,18 +68,29 @@ pub struct Telemetry {
     /// re-timestamped against. `None` in the simulator.
     wall_epoch: Option<Instant>,
     deliver_latency: Arc<LogHistogram>,
+    uptime: Gauge,
     state: Mutex<StampState>,
 }
 
 impl Telemetry {
-    fn build(wall_epoch: Option<Instant>, trace_capacity: usize) -> Arc<Self> {
+    fn build(wall_epoch: Option<Instant>, trace_capacity: usize, shards: usize) -> Arc<Self> {
         let registry = MetricsRegistry::new();
+        registry.describe(
+            "stab_deliver_latency_ns",
+            "Publish-to-deliver latency in nanoseconds.",
+        );
+        registry.describe(
+            "stab_stability_latency_ns",
+            "Publish-to-stability-frontier latency per predicate key.",
+        );
         let deliver_latency = registry.histogram("stab_deliver_latency_ns", &[]);
+        let uptime = register_build_info(&registry, shards);
         Arc::new(Telemetry {
             registry,
             trace: TraceRing::new(trace_capacity),
             wall_epoch,
             deliver_latency,
+            uptime,
             state: Mutex::new(StampState::default()),
         })
     }
@@ -82,19 +98,34 @@ impl Telemetry {
     /// Telemetry for a simulated run: timestamps are taken verbatim from
     /// the upcalls (virtual time), so exports replay byte-identically.
     pub fn new_sim() -> Arc<Self> {
-        Self::build(None, DEFAULT_TRACE_CAPACITY)
+        Self::build(None, DEFAULT_TRACE_CAPACITY, 1)
     }
 
     /// Like [`Telemetry::new_sim`] with a custom trace-ring capacity
     /// (0 disables tracing).
     pub fn new_sim_with_trace(trace_capacity: usize) -> Arc<Self> {
-        Self::build(None, trace_capacity)
+        Self::build(None, trace_capacity, 1)
     }
 
     /// Telemetry for a TCP run: captures a wall-clock epoch now; every
     /// event is timestamped as monotonic nanoseconds since it.
     pub fn new_wall_clock() -> Arc<Self> {
-        Self::build(Some(Instant::now()), DEFAULT_TRACE_CAPACITY)
+        Self::build(Some(Instant::now()), DEFAULT_TRACE_CAPACITY, 1)
+    }
+
+    /// Like [`Telemetry::new_wall_clock`] for an engine running `shards`
+    /// shards behind one hub; the count lands in `stab_build_info`.
+    pub fn new_wall_clock_sharded(shards: usize) -> Arc<Self> {
+        Self::build(Some(Instant::now()), DEFAULT_TRACE_CAPACITY, shards)
+    }
+
+    /// Refresh the `stab_uptime_seconds` gauge against the wall epoch.
+    /// A no-op in sim mode, where uptime stays 0 so exports replay
+    /// byte-identically. Called by the renderers before each snapshot.
+    pub(crate) fn refresh_uptime(&self) {
+        if let Some(epoch) = self.wall_epoch {
+            self.uptime.set(epoch.elapsed().as_secs() as i64);
+        }
     }
 
     /// The underlying registry, for registering extra series (the
@@ -192,6 +223,10 @@ impl Telemetry {
             catch_ups: self.registry.counter("stab_catch_ups_total", labels),
             catchup_lag: self.registry.gauge("stab_catchup_lag_seq", labels),
             connect_failures: self.registry.counter("stab_connect_failures_total", labels),
+            transfer_chunks: self
+                .registry
+                .counter("stab_transfer_chunks_sent_total", labels),
+            joins: self.registry.counter("stab_joins_total", labels),
         }
     }
 
@@ -240,24 +275,30 @@ impl Telemetry {
 
     /// Record a delivery upcall (shared by both observer impls).
     fn deliver(&self, ev_now: u64, obs_node: NodeId, origin: NodeId, seq: SeqNo, len: usize) {
-        let stamp = {
-            let state = self.state.lock();
-            state
-                .stamps
-                .get(origin.0 as usize)
-                .and_then(|s| s.get((seq as usize).saturating_sub(1)))
-                .copied()
-                .unwrap_or(0)
-        };
-        if stamp != 0 {
-            self.deliver_latency
-                .record(ev_now.saturating_sub(stamp - 1));
-        }
-        self.trace.push(TraceEvent {
+        let cursor = self.trace.push(TraceEvent {
             at_nanos: ev_now,
             node: obs_node,
             kind: TraceKind::Deliver { origin, seq, len },
         });
+        let mut state = self.state.lock();
+        let stamp = state
+            .stamps
+            .get(origin.0 as usize)
+            .and_then(|s| s.get((seq as usize).saturating_sub(1)))
+            .copied()
+            .unwrap_or(0);
+        if stamp != 0 {
+            let latency = ev_now.saturating_sub(stamp - 1);
+            self.deliver_latency.record(latency);
+            state.deliver_exemplars.offer(Exemplar {
+                origin,
+                seq,
+                publish_nanos: stamp - 1,
+                stable_nanos: ev_now,
+                latency_ns: latency,
+                trace_cursor: cursor,
+            });
+        }
     }
 
     /// Record a frontier upcall. Stability latency is folded in only at
@@ -266,6 +307,16 @@ impl Telemetry {
     /// happened, and counting every mirror would multiply the samples
     /// by the cluster size.
     fn frontier(&self, ev_now: u64, obs_node: NodeId, update: &FrontierUpdate) {
+        let cursor = self.trace.push(TraceEvent {
+            at_nanos: ev_now,
+            node: obs_node,
+            kind: TraceKind::Frontier {
+                stream: update.stream,
+                key: update.key.clone(),
+                seq: update.seq,
+                generation: update.generation,
+            },
+        });
         if obs_node == update.stream {
             let mut state = self.state.lock();
             let hist = match state.stability.get(update.key.as_str()) {
@@ -281,11 +332,23 @@ impl Telemetry {
             if !state.covered.contains_key(update.key.as_str()) {
                 state.covered.insert(update.key.clone(), Vec::new());
             }
+            if !state.stability_exemplars.contains_key(update.key.as_str()) {
+                state
+                    .stability_exemplars
+                    .insert(update.key.clone(), ExemplarReservoir::default());
+            }
             let idx = update.stream.0 as usize;
-            // Split-borrow: cursor from `covered`, stamps from `stamps`.
+            // Split-borrow: cursor from `covered`, stamps from `stamps`,
+            // reservoir from `stability_exemplars`.
             let StampState {
-                covered, stamps, ..
+                covered,
+                stamps,
+                stability_exemplars,
+                ..
             } = &mut *state;
+            let reservoir = stability_exemplars
+                .get_mut(update.key.as_str())
+                .expect("just inserted");
             let cursors = covered.get_mut(update.key.as_str()).expect("just inserted");
             if cursors.len() <= idx {
                 cursors.resize(idx + 1, 0);
@@ -296,7 +359,16 @@ impl Telemetry {
                     for s in from + 1..=update.seq {
                         if let Some(&stamp) = stream_stamps.get((s as usize) - 1) {
                             if stamp != 0 {
-                                hist.record(ev_now.saturating_sub(stamp - 1));
+                                let latency = ev_now.saturating_sub(stamp - 1);
+                                hist.record(latency);
+                                reservoir.offer(Exemplar {
+                                    origin: update.stream,
+                                    seq: s,
+                                    publish_nanos: stamp - 1,
+                                    stable_nanos: ev_now,
+                                    latency_ns: latency,
+                                    trace_cursor: cursor,
+                                });
                             }
                         }
                     }
@@ -304,16 +376,39 @@ impl Telemetry {
                 cursors[idx] = update.seq;
             }
         }
-        self.trace.push(TraceEvent {
-            at_nanos: ev_now,
-            node: obs_node,
-            kind: TraceKind::Frontier {
-                stream: update.stream,
-                key: update.key.clone(),
-                seq: update.seq,
-                generation: update.generation,
-            },
-        });
+    }
+
+    /// The exemplar section of the JSON export:
+    /// `{"deliver":[...],"stability":{"<key>":[...]}}`. Deterministic
+    /// under the sim clock — seed replay pins these bytes.
+    pub fn render_exemplars_json(&self) -> String {
+        let state = self.state.lock();
+        render_exemplars_json(&state.deliver_exemplars, &state.stability_exemplars)
+    }
+
+    /// Exemplars keyed the way the Prometheus renderer keys histogram
+    /// series — `(name, rendered labels)` — in export order.
+    pub(crate) fn exemplar_series(&self) -> BTreeMap<(String, String), Vec<Exemplar>> {
+        let state = self.state.lock();
+        let mut out = BTreeMap::new();
+        if !state.deliver_exemplars.is_empty() {
+            out.insert(
+                ("stab_deliver_latency_ns".to_owned(), String::new()),
+                state.deliver_exemplars.sorted(),
+            );
+        }
+        for (key, res) in &state.stability_exemplars {
+            if !res.is_empty() {
+                out.insert(
+                    (
+                        "stab_stability_latency_ns".to_owned(),
+                        crate::registry::render_labels(&[("key", key)]),
+                    ),
+                    res.sorted(),
+                );
+            }
+        }
+        out
     }
 }
 
@@ -346,6 +441,8 @@ pub struct MetricsObserver {
     /// out-of-band transfer moved this node past normal delivery.
     catchup_lag: Gauge,
     connect_failures: Counter,
+    transfer_chunks: Counter,
+    joins: Counter,
 }
 
 impl MetricsObserver {
@@ -424,6 +521,40 @@ impl RuntimeObserver for MetricsObserver {
             kind: TraceKind::ConnectFailed { peer },
         });
     }
+
+    fn on_transfer_chunk(
+        &mut self,
+        now_nanos: u64,
+        to: NodeId,
+        stream: NodeId,
+        seq: SeqNo,
+        len: usize,
+        done: bool,
+    ) {
+        let now = self.hub.event_now(now_nanos);
+        self.transfer_chunks.inc();
+        self.hub.trace.push(TraceEvent {
+            at_nanos: now,
+            node: self.node,
+            kind: TraceKind::TransferChunk {
+                to,
+                stream,
+                seq,
+                len,
+                done,
+            },
+        });
+    }
+
+    fn on_join(&mut self, now_nanos: u64, streams: usize) {
+        let now = self.hub.event_now(now_nanos);
+        self.joins.inc();
+        self.hub.trace.push(TraceEvent {
+            at_nanos: now,
+            node: self.node,
+            kind: TraceKind::Join { streams },
+        });
+    }
 }
 
 impl stabilizer_core::sim_driver::AppHooks for MetricsObserver {
@@ -445,6 +576,22 @@ impl stabilizer_core::sim_driver::AppHooks for MetricsObserver {
 
     fn on_catch_up(&mut self, now: SimTime, stream: NodeId, seq: SeqNo) {
         RuntimeObserver::on_catch_up(self, now.as_nanos(), stream, seq);
+    }
+
+    fn on_transfer_chunk(
+        &mut self,
+        now: SimTime,
+        to: NodeId,
+        stream: NodeId,
+        seq: SeqNo,
+        len: usize,
+        done: bool,
+    ) {
+        RuntimeObserver::on_transfer_chunk(self, now.as_nanos(), to, stream, seq, len, done);
+    }
+
+    fn on_join(&mut self, now: SimTime, streams: usize) {
+        RuntimeObserver::on_join(self, now.as_nanos(), streams);
     }
 }
 

@@ -71,6 +71,26 @@ pub enum TraceKind {
         /// Sequence delivery resumes after.
         seq: SeqNo,
     },
+    /// A donor replayed one retained-log chunk to a recovering peer
+    /// (§III-E state transfer, donor side).
+    TransferChunk {
+        /// The peer being caught up.
+        to: NodeId,
+        /// Stream origin of the replayed payload.
+        stream: NodeId,
+        /// Its original sequence number.
+        seq: SeqNo,
+        /// Payload size in bytes.
+        len: usize,
+        /// True on the last chunk of the session.
+        done: bool,
+    },
+    /// A node (re)entered the cluster as a live member and started
+    /// catch-up on every stream.
+    Join {
+        /// Number of streams the joiner requested catch-up for.
+        streams: usize,
+    },
 }
 
 impl TraceKind {
@@ -84,6 +104,8 @@ impl TraceKind {
             TraceKind::Recovered { .. } => "recovered",
             TraceKind::ConnectFailed { .. } => "connect_failed",
             TraceKind::CatchUp { .. } => "catch_up",
+            TraceKind::TransferChunk { .. } => "transfer_chunk",
+            TraceKind::Join { .. } => "join",
         }
     }
 }
@@ -139,6 +161,21 @@ impl TraceEvent {
             TraceKind::CatchUp { stream, seq } => {
                 s.push_str(&format!(",\"stream\":{},\"seq\":{seq}", stream.0));
             }
+            TraceKind::TransferChunk {
+                to,
+                stream,
+                seq,
+                len,
+                done,
+            } => {
+                s.push_str(&format!(
+                    ",\"to\":{},\"stream\":{},\"seq\":{seq},\"len\":{len},\"done\":{done}",
+                    to.0, stream.0
+                ));
+            }
+            TraceKind::Join { streams } => {
+                s.push_str(&format!(",\"streams\":{streams}"));
+            }
         }
         s.push('}');
         s
@@ -149,6 +186,11 @@ impl TraceEvent {
 struct RingInner {
     events: VecDeque<TraceEvent>,
     dropped: u64,
+    /// Total events ever pushed — the absolute cursor of the *next*
+    /// event. Exemplars store the cursor of the event they correspond
+    /// to, so a trace tail can be joined against an exemplar even after
+    /// the ring has wrapped.
+    pushed: u64,
 }
 
 /// Bounded ring of [`TraceEvent`]s. Thread-safe; pushes from observers
@@ -178,17 +220,27 @@ impl TraceRing {
         }
     }
 
-    /// Append an event, evicting the oldest if full.
-    pub fn push(&self, ev: TraceEvent) {
+    /// Append an event, evicting the oldest if full. Returns the
+    /// event's absolute cursor (total events pushed before it); a
+    /// disabled ring (capacity 0) returns 0 without recording.
+    pub fn push(&self, ev: TraceEvent) -> u64 {
         if self.capacity == 0 {
-            return;
+            return 0;
         }
         let mut inner = self.inner.lock();
         if inner.events.len() == self.capacity {
             inner.events.pop_front();
             inner.dropped += 1;
         }
+        let cursor = inner.pushed;
+        inner.pushed += 1;
         inner.events.push_back(ev);
+        cursor
+    }
+
+    /// Total events ever pushed (the absolute cursor of the next push).
+    pub fn pushed(&self) -> u64 {
+        self.inner.lock().pushed
     }
 
     /// Number of buffered events.
@@ -222,6 +274,20 @@ impl TraceRing {
         }
         out
     }
+
+    /// Render the newest `n` buffered events as JSONL, oldest of the
+    /// tail first (the `/trace?n=` endpoint). `n >= len` is the whole
+    /// buffer.
+    pub fn to_jsonl_tail(&self, n: usize) -> String {
+        let inner = self.inner.lock();
+        let skip = inner.events.len().saturating_sub(n);
+        let mut out = String::with_capacity((inner.events.len() - skip) * 96);
+        for ev in inner.events.iter().skip(skip) {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +313,62 @@ mod tests {
         let snap = ring.snapshot();
         assert_eq!(snap[0].at_nanos, 2);
         assert_eq!(snap[1].at_nanos, 3);
+    }
+
+    #[test]
+    fn push_returns_absolute_cursor_across_eviction() {
+        let ring = TraceRing::new(2);
+        assert_eq!(ring.push(ev(1, 1)), 0);
+        assert_eq!(ring.push(ev(2, 2)), 1);
+        assert_eq!(ring.push(ev(3, 3)), 2);
+        assert_eq!(ring.pushed(), 3);
+    }
+
+    #[test]
+    fn tail_returns_newest_events_oldest_first() {
+        let ring = TraceRing::new(4);
+        for i in 1..=4 {
+            ring.push(ev(i, i));
+        }
+        let tail = ring.to_jsonl_tail(2);
+        let lines: Vec<&str> = tail.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"at_ns\":3"));
+        assert!(lines[1].contains("\"at_ns\":4"));
+        assert_eq!(ring.to_jsonl_tail(100), ring.to_jsonl());
+        assert_eq!(ring.to_jsonl_tail(0), "");
+    }
+
+    #[test]
+    fn transfer_and_join_events_render() {
+        let ring = TraceRing::new(8);
+        ring.push(TraceEvent {
+            at_nanos: 1,
+            node: NodeId(1),
+            kind: TraceKind::TransferChunk {
+                to: NodeId(2),
+                stream: NodeId(0),
+                seq: 7,
+                len: 16,
+                done: true,
+            },
+        });
+        ring.push(TraceEvent {
+            at_nanos: 2,
+            node: NodeId(2),
+            kind: TraceKind::Join { streams: 3 },
+        });
+        let jsonl = ring.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"at_ns\":1,\"node\":1,\"event\":\"transfer_chunk\",\
+             \"to\":2,\"stream\":0,\"seq\":7,\"len\":16,\"done\":true}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"at_ns\":2,\"node\":2,\"event\":\"join\",\"streams\":3}"
+        );
     }
 
     #[test]

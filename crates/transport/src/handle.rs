@@ -6,7 +6,7 @@ use crate::runtime::Shared;
 use bytes::Bytes;
 use stabilizer_core::{
     AckTypeId, CoreError, FrontierUpdate, NodeId, RuntimeObserver, SeqNo, Snapshot, StabilizerNode,
-    WaitToken,
+    StallReport, WaitToken,
 };
 use std::ops::Deref;
 use std::sync::Arc;
@@ -166,12 +166,35 @@ impl NodeHandle {
     /// re-sync (no-op when `transfer_millis` is 0).
     pub fn begin_catch_up(&self) {
         let now = self.shared.now_nanos();
-        self.shared.with_node(|node| node.begin_catch_up(now));
+        let streams = self.shared.with_node(|node| node.begin_catch_up(now));
+        self.shared.notify_join(streams);
     }
 
     /// Number of in-flight state-transfer sessions (inbound + outbound).
     pub fn active_transfers(&self) -> usize {
         self.shared.node.lock().active_transfers()
+    }
+
+    /// Diagnose why `key`'s frontier on `stream` sits where it does
+    /// (`None` if no such predicate is installed).
+    pub fn explain_frontier(&self, stream: NodeId, key: &str) -> Option<StallReport> {
+        self.shared.node.lock().explain_frontier(stream, key)
+    }
+
+    /// Diagnose every installed `(stream, key)` frontier.
+    pub fn explain_all(&self) -> Vec<StallReport> {
+        self.shared.node.lock().explain_all()
+    }
+
+    /// Bound address of the live telemetry endpoint, when spawned with
+    /// [`SpawnOptions::serve_addr`](crate::SpawnOptions::serve_addr)
+    /// (resolves port 0 to the actual port).
+    pub fn serve_addr(&self) -> Option<std::net::SocketAddr> {
+        self.shared
+            .telemetry_server
+            .lock()
+            .as_ref()
+            .map(|s| s.local_addr())
     }
 
     /// Current traffic counters.

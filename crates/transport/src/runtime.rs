@@ -29,7 +29,9 @@ use stabilizer_core::{
     AckTypeRegistry, Action, ClusterConfig, CoreError, NodeId, RuntimeObserver, Snapshot,
     StabilizerNode, WaitToken, WireMsg, RECEIVED,
 };
-use stabilizer_telemetry::{Counter, Gauge, Telemetry};
+use stabilizer_telemetry::{
+    Counter, Gauge, ServerRoutes, StallProvider, Telemetry, TelemetryServer,
+};
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -123,6 +125,9 @@ pub struct Shared {
     pub telemetry: Option<Arc<Telemetry>>,
     /// Transport counters (present iff `telemetry` is).
     pub(crate) metrics: Option<TransportMetrics>,
+    /// Live scrape endpoint (present iff [`SpawnOptions::serve_addr`]
+    /// and `telemetry` are both set); joined on shutdown.
+    pub(crate) telemetry_server: Mutex<Option<TelemetryServer>>,
 }
 
 impl Shared {
@@ -151,6 +156,19 @@ impl Shared {
         for action in actions {
             for obs in observers.iter_mut() {
                 match action {
+                    // Donor-side transfer-chunk sends are the one kind of
+                    // send surfaced to observers (catch-up progress is
+                    // otherwise invisible on the donor).
+                    Action::Send {
+                        to,
+                        msg:
+                            WireMsg::TransferChunk {
+                                stream,
+                                seq,
+                                payload,
+                                done,
+                            },
+                    } => obs.on_transfer_chunk(now, *to, *stream, *seq, payload.len(), *done),
                     Action::Send { .. } => {}
                     Action::Deliver {
                         origin,
@@ -233,6 +251,18 @@ impl Shared {
         f64::from_bits(self.timer_scale_bits.load(Ordering::SeqCst))
     }
 
+    /// Surface a membership (re)join — catch-up requested on `streams`
+    /// peer streams — to the attached observers.
+    pub(crate) fn notify_join(&self, streams: usize) {
+        if streams == 0 {
+            return;
+        }
+        let now = self.now_nanos();
+        for obs in self.observers.lock().iter_mut() {
+            obs.on_join(now, streams);
+        }
+    }
+
     /// A writer exhausted its connect-retry budget for `peer`.
     fn connect_gave_up(&self, peer: NodeId) {
         self.connect_failed.lock().push(peer);
@@ -246,6 +276,9 @@ impl Shared {
     pub fn shutdown(&self) {
         self.running.store(false, Ordering::SeqCst);
         self.senders.lock().clear(); // disconnect writer channels
+        if let Some(mut server) = self.telemetry_server.lock().take() {
+            server.shutdown();
+        }
     }
 
     pub(crate) fn now_nanos(&self) -> u64 {
@@ -292,6 +325,13 @@ pub struct SpawnOptions {
     /// Periodically write a Prometheus text snapshot of the attached
     /// telemetry (no-op without `telemetry`).
     pub metrics_dump: Option<MetricsDump>,
+    /// Serve the attached telemetry over HTTP on this address (e.g.
+    /// `127.0.0.1:9464`; port 0 picks an ephemeral port, readable back
+    /// via [`NodeHandle::serve_addr`]). Routes: `/metrics` (Prometheus
+    /// text with exemplars), `/metrics.json`, `/trace[?n=N]`, and
+    /// `/stall` (live frontier blame from
+    /// [`StabilizerNode::explain_all`]). No-op without `telemetry`.
+    pub serve_addr: Option<String>,
 }
 
 /// Launch node `me` of `cfg`, listening on `listener` and connecting out
@@ -327,6 +367,7 @@ pub fn spawn_node_with(
 ) -> Result<TcpNode, CoreError> {
     let restored = opts.snapshot.is_some();
     let metrics_dump = opts.metrics_dump.take();
+    let mut join_streams = 0;
     let node = match opts.snapshot {
         None => StabilizerNode::new(cfg.clone(), me, acks)?,
         Some(snapshot) => {
@@ -341,7 +382,7 @@ pub fn spawn_node_with(
             // replay, covering whatever was published past the durable
             // acknowledgment while this node was down (no-op unless
             // `transfer_millis` is configured).
-            node.begin_catch_up(0);
+            join_streams = node.begin_catch_up(0);
             node
         }
     };
@@ -364,7 +405,25 @@ pub fn spawn_node_with(
         started: Instant::now(),
         telemetry: opts.telemetry,
         metrics,
+        telemetry_server: Mutex::new(None),
     });
+    if let (Some(addr), Some(telemetry)) = (opts.serve_addr.as_deref(), shared.telemetry.clone()) {
+        // `/stall` locks the node and diagnoses every (stream, key)
+        // frontier live. A weak ref keeps the provider from pinning the
+        // runtime after shutdown takes the server down.
+        let weak = Arc::downgrade(&shared);
+        let stall: StallProvider = Arc::new(move || match weak.upgrade() {
+            Some(shared) => {
+                let node = shared.node.lock();
+                stabilizer_core::render_stall_reports_json(&node.explain_all())
+            }
+            None => "{\"reports\":[]}".to_string(),
+        });
+        let routes = ServerRoutes::new(telemetry).with_stall(stall);
+        let server = TelemetryServer::bind(addr, routes)
+            .map_err(|e| CoreError::Config(format!("telemetry serve_addr {addr}: {e}")))?;
+        *shared.telemetry_server.lock() = Some(server);
+    }
     let retry_limit = cfg.options().connect_retry_limit;
 
     // Writer thread per peer.
@@ -404,6 +463,7 @@ pub fn spawn_node_with(
     // Flush actions queued during construction (a restore re-evaluates
     // every predicate, which can emit frontier updates) now that the
     // writer channels and observers are in place.
+    shared.notify_join(join_streams);
     shared.with_node(|_| ());
 
     Ok(TcpNode {

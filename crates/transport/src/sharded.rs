@@ -48,7 +48,10 @@ use stabilizer_core::{
     RuntimeObserver, SeqNo, StabilizerNode, WaitToken, WireMsg, RECEIVED,
 };
 use stabilizer_shard::{encode_global, RoutePolicy, ShardRouter, ShardedFrontier, GLOBAL_HEADER};
-use stabilizer_telemetry::{Gauge, LogHistogram, MetricsObserver, MetricsRegistry, Telemetry};
+use stabilizer_telemetry::{
+    Gauge, LogHistogram, MetricsObserver, MetricsRegistry, ServerRoutes, StallProvider, Telemetry,
+    TelemetryServer,
+};
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -191,6 +194,10 @@ pub struct ShardedShared {
     telemetry: Option<Arc<Telemetry>>,
     metrics: Option<TransportMetrics>,
     shard_gauges: Vec<ShardGauges>,
+    /// Live scrape endpoint (present iff
+    /// [`ShardedSpawnOptions::serve_addr`] and `telemetry` are both
+    /// set); joined on shutdown.
+    telemetry_server: Mutex<Option<TelemetryServer>>,
 }
 
 impl ShardedShared {
@@ -340,6 +347,22 @@ impl ShardedShared {
     fn shutdown(&self) {
         self.running.store(false, Ordering::SeqCst);
         self.senders.lock().clear(); // disconnect writer channels
+        if let Some(mut server) = self.telemetry_server.lock().take() {
+            server.shutdown();
+        }
+    }
+
+    /// Frontier blame for every `(shard, stream, key)`; sequence numbers
+    /// in the reports are per-shard.
+    fn explain_all(&self) -> Vec<(u16, stabilizer_core::StallReport)> {
+        let mut reports = Vec::new();
+        for s in 0..self.num_shards {
+            let shard = self.shards[s as usize].lock();
+            for report in shard.explain_all() {
+                reports.push((s, report));
+            }
+        }
+        reports
     }
 }
 
@@ -367,6 +390,13 @@ pub struct ShardedSpawnOptions {
     pub telemetry: Option<Arc<Telemetry>>,
     /// Seed for reconnect backoff jitter.
     pub jitter_seed: u64,
+    /// Serve the attached telemetry over HTTP on this address (port 0
+    /// picks an ephemeral port, readable back via
+    /// [`ShardedHandle::serve_addr`]). Routes: `/metrics` (Prometheus
+    /// text, per-shard series aggregated in one registry),
+    /// `/metrics.json`, `/trace[?n=N]`, and `/stall` (per-shard frontier
+    /// blame). No-op without `telemetry`.
+    pub serve_addr: Option<String>,
 }
 
 impl Default for ShardedSpawnOptions {
@@ -375,6 +405,7 @@ impl Default for ShardedSpawnOptions {
             policy: RoutePolicy::RoundRobin,
             telemetry: None,
             jitter_seed: 0,
+            serve_addr: None,
         }
     }
 }
@@ -460,8 +491,25 @@ pub fn spawn_sharded_node(
         telemetry: opts.telemetry,
         metrics,
         shard_gauges,
+        telemetry_server: Mutex::new(None),
         cfg,
     });
+    if let (Some(addr), Some(telemetry)) = (opts.serve_addr.as_deref(), shared.telemetry.clone()) {
+        // `/stall` diagnoses every shard machine's frontiers live. A
+        // weak ref keeps the provider from pinning the runtime after
+        // shutdown takes the server down.
+        let weak = Arc::downgrade(&shared);
+        let stall: StallProvider = Arc::new(move || match weak.upgrade() {
+            Some(shared) => {
+                stabilizer_core::render_sharded_stall_reports_json(&shared.explain_all())
+            }
+            None => "{\"reports\":[]}".to_string(),
+        });
+        let routes = ServerRoutes::new(telemetry).with_stall(stall);
+        let server = TelemetryServer::bind(addr, routes)
+            .map_err(|e| CoreError::Config(format!("telemetry serve_addr {addr}: {e}")))?;
+        *shared.telemetry_server.lock() = Some(server);
+    }
     let retry_limit = shared.cfg.options().connect_retry_limit;
 
     // Dispatcher thread: application callbacks, outside every lock.
@@ -579,6 +627,7 @@ pub fn spawn_sharded_local_cluster_with(
                 policy,
                 telemetry: telemetry.clone(),
                 jitter_seed: i as u64,
+                serve_addr: None,
             },
         )?);
     }
@@ -927,6 +976,25 @@ impl ShardedHandle {
     /// One shard's own traffic counters.
     pub fn shard_metrics(&self, shard: u16) -> Metrics {
         self.shared.shards[shard as usize].lock().metrics()
+    }
+
+    /// Frontier blame for every `(shard, stream, key)`: each shard
+    /// machine diagnoses its own sub-stream (sequence numbers in the
+    /// reports are per-shard). Render with
+    /// [`stabilizer_core::render_sharded_stall_reports_json`].
+    pub fn explain_all(&self) -> Vec<(u16, stabilizer_core::StallReport)> {
+        self.shared.explain_all()
+    }
+
+    /// Bound address of the live telemetry endpoint, when spawned with
+    /// [`ShardedSpawnOptions::serve_addr`] (resolves port 0 to the
+    /// actual port).
+    pub fn serve_addr(&self) -> Option<SocketAddr> {
+        self.shared
+            .telemetry_server
+            .lock()
+            .as_ref()
+            .map(|s| s.local_addr())
     }
 
     /// Ask the runtime to stop its threads. Idempotent.

@@ -3,7 +3,8 @@
 //! inspecting stability frontiers.
 //!
 //! ```text
-//! stabilizer-node <config-file> <my-node-name> <listen-addr> [<peer-name>=<addr> ...]
+//! stabilizer-node <config-file> <my-node-name> <listen-addr> \
+//!     [<peer-name>=<addr> ...] [--serve <addr>]
 //! ```
 //!
 //! Example (three shells on one machine):
@@ -22,9 +23,15 @@
 //! late (or restarts after a crash long enough to be evicted from its
 //! peers' send buffers) automatically requests §III-E state transfer at
 //! startup; `catchup` re-requests it by hand.
+//!
+//! With `--serve <addr>`, the node attaches a telemetry hub and exposes
+//! it live over HTTP — `/metrics` (Prometheus text with exemplars),
+//! `/metrics.json`, `/trace` (event-ring JSONL tail), and `/stall`
+//! (frontier blame diagnosis). Point `stabtop` at it.
 
 use bytes::Bytes;
-use stabilizer::transport::spawn_node;
+use stabilizer::telemetry::Telemetry;
+use stabilizer::transport::{spawn_node_with, SpawnOptions};
 use stabilizer::{AckTypeRegistry, ClusterConfig};
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
@@ -39,9 +46,22 @@ fn main() {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let serve_addr = match args.iter().position(|a| a == "--serve") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err("--serve needs an address".into());
+            }
+            args.remove(i);
+            Some(args.remove(i))
+        }
+        None => None,
+    };
     if args.len() < 3 {
-        return Err("usage: stabilizer-node <config> <name> <listen-addr> [peer=addr ...]".into());
+        return Err(
+            "usage: stabilizer-node <config> <name> <listen-addr> [peer=addr ...] [--serve <addr>]"
+                .into(),
+        );
     }
     let cfg_text = std::fs::read_to_string(&args[0])?;
     let cfg = ClusterConfig::parse(&cfg_text)?;
@@ -72,15 +92,28 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let node = spawn_node(
+    let telemetry = serve_addr.as_ref().map(|_| Telemetry::new_wall_clock());
+    let opts = SpawnOptions {
+        observer: telemetry
+            .as_ref()
+            .map(|t| Box::new(t.observer(me)) as Box<dyn stabilizer::core::RuntimeObserver>),
+        telemetry: telemetry.clone(),
+        serve_addr,
+        ..SpawnOptions::default()
+    };
+    let node = spawn_node_with(
         cfg.clone(),
         me,
         Arc::new(AckTypeRegistry::new()),
         listener,
         peer_addrs,
+        opts,
     )?;
     let h = node.handle();
     println!("node {} up, listening on {}", args[1], args[2]);
+    if let Some(addr) = h.serve_addr() {
+        println!("telemetry: http://{addr} — /metrics /metrics.json /trace /stall");
+    }
 
     // Echo deliveries and frontier advances to the console.
     {
@@ -117,8 +150,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         match parts.next() {
             Some("pub") => {
                 let text = line.split_once(' ').map(|x| x.1).unwrap_or("").to_owned();
+                let len = text.len();
                 match h.publish(Bytes::from(text), Duration::from_secs(5)) {
-                    Ok(seq) => println!("published as seq {seq}"),
+                    Ok(seq) => {
+                        if let Some(t) = &telemetry {
+                            t.note_publish_now(me, seq, len);
+                        }
+                        println!("published as seq {seq}");
+                    }
                     Err(e) => println!("publish failed: {e}"),
                 }
             }

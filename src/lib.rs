@@ -33,6 +33,7 @@ pub use stabilizer_paxos as paxos;
 pub use stabilizer_pubsub as pubsub;
 pub use stabilizer_quorum as quorum;
 pub use stabilizer_shard as shard;
+pub use stabilizer_telemetry as telemetry;
 pub use stabilizer_transport as transport;
 
 // The most commonly used items, at the crate root.
