@@ -80,11 +80,15 @@ pub enum Lint {
     /// the cluster yet; its frontier cannot advance until that node
     /// joins and completes state-transfer catch-up.
     UnjoinedNode,
+    /// The predicate explicitly names a node outside the stream's
+    /// replica set (partial replication): that node never receives or
+    /// acks the stream, so the frontier can never advance past it.
+    NonReplicaOperand,
 }
 
 impl Lint {
     /// Every lint, in catalog order.
-    pub const ALL: [Lint; 15] = [
+    pub const ALL: [Lint; 16] = [
         Lint::SyntaxError,
         Lint::UnknownName,
         Lint::UnknownAckType,
@@ -100,6 +104,7 @@ impl Lint {
         Lint::EquivalentPredicates,
         Lint::CrashUnsatisfiable,
         Lint::UnjoinedNode,
+        Lint::NonReplicaOperand,
     ];
 
     /// Stable kebab-case identifier (used in rendered output and JSON).
@@ -120,6 +125,7 @@ impl Lint {
             Lint::EquivalentPredicates => "equivalent-predicates",
             Lint::CrashUnsatisfiable => "crash-unsatisfiable",
             Lint::UnjoinedNode => "unjoined-node",
+            Lint::NonReplicaOperand => "non-replica-operand",
         }
     }
 
@@ -132,7 +138,8 @@ impl Lint {
             | Lint::EmptySet
             | Lint::RankOutOfRange
             | Lint::BadRank
-            | Lint::UnemittedAckType => Severity::Error,
+            | Lint::UnemittedAckType
+            | Lint::NonReplicaOperand => Severity::Error,
             Lint::DuplicateOperand
             | Lint::UselessDifference
             | Lint::VacuousPredicate

@@ -25,6 +25,7 @@ pub struct Analyzer<'a> {
     emissions: Option<&'a AckEmissions>,
     failure_budget: usize,
     unjoined: &'a [NodeId],
+    replicas: Option<&'a [NodeId]>,
 }
 
 impl<'a> Analyzer<'a> {
@@ -39,6 +40,7 @@ impl<'a> Analyzer<'a> {
             emissions: None,
             failure_budget: 0,
             unjoined: &[],
+            replicas: None,
         }
     }
 
@@ -61,6 +63,17 @@ impl<'a> Analyzer<'a> {
     /// [`unjoined-node`](Lint::UnjoinedNode).
     pub fn with_unjoined(mut self, unjoined: &'a [NodeId]) -> Self {
         self.unjoined = unjoined;
+        self
+    }
+
+    /// Supply the replica set of the stream this predicate stabilizes
+    /// (partial replication), enabling
+    /// [`non-replica-operand`](Lint::NonReplicaOperand): explicitly
+    /// naming a node outside the set is an error, since a non-replica
+    /// never acks the stream. Macro sets (`$ALLWNODES`, `$AZ_*`, ...)
+    /// are exempt — the runtime silently restricts them to the replicas.
+    pub fn with_replicas(mut self, replicas: &'a [NodeId]) -> Self {
+        self.replicas = Some(replicas);
         self
     }
 
@@ -369,7 +382,7 @@ impl<'a> Analyzer<'a> {
         suffix: Option<&SpannedAck>,
         report: &mut Report,
     ) -> Option<Vec<NodeId>> {
-        let nodes = self.walk_set(set, report);
+        let nodes = self.walk_set(set, report, true);
         let ty = match suffix {
             None => Some(stabilizer_dsl::RECEIVED),
             Some(ack) => {
@@ -432,13 +445,17 @@ impl<'a> Analyzer<'a> {
         nodes
     }
 
-    /// Check a set expression: unknown names, useless differences.
-    /// Returns the expansion if all names resolved.
-    fn walk_set(&self, set: &SpannedSet, report: &mut Report) -> Option<Vec<NodeId>> {
+    /// Check a set expression: unknown names, useless differences, and —
+    /// when a replica set is configured — explicitly named non-replicas.
+    /// `waited` is true in positive positions (nodes the reduction waits
+    /// on); the right-hand side of a difference is removed, not waited
+    /// on, so the replica check stays silent there. Returns the
+    /// expansion if all names resolved.
+    fn walk_set(&self, set: &SpannedSet, report: &mut Report, waited: bool) -> Option<Vec<NodeId>> {
         match &set.kind {
             SpannedSetKind::Diff(a, b) => {
-                let left = self.walk_set(a, report);
-                let right = self.walk_set(b, report);
+                let left = self.walk_set(a, report, waited);
+                let right = self.walk_set(b, report, false);
                 let (left, right) = (left?, right?);
                 if !right.is_empty() && !right.iter().any(|n| left.contains(n)) {
                     report.diagnostics.push(
@@ -456,7 +473,35 @@ impl<'a> Analyzer<'a> {
                 Some(left.into_iter().filter(|n| !right.contains(n)).collect())
             }
             _ => match expand_set(&set.strip(), self.topo, self.me) {
-                Ok(nodes) => Some(nodes),
+                Ok(nodes) => {
+                    // Only explicit node references fire the replica
+                    // check: macros restrict silently at install time.
+                    let explicit = matches!(
+                        set.kind,
+                        SpannedSetKind::Node(_) | SpannedSetKind::NodeVar(_)
+                    );
+                    if let (Some(reps), true, true) = (self.replicas, explicit, waited) {
+                        for n in nodes.iter().filter(|n| !reps.contains(n)) {
+                            let members: Vec<&str> =
+                                reps.iter().map(|r| self.topo.node_name(*r)).collect();
+                            report.diagnostics.push(
+                                Diagnostic::new(
+                                    Lint::NonReplicaOperand,
+                                    set.span,
+                                    format!(
+                                        "predicate waits on {}, which is not a replica of this stream",
+                                        self.topo.node_name(*n)
+                                    ),
+                                )
+                                .with_note(format!(
+                                    "the stream's replica set is {{{}}}; a non-replica never receives or acks the stream, so the frontier could never advance",
+                                    members.join(", ")
+                                )),
+                            );
+                        }
+                    }
+                    Some(nodes)
+                }
                 Err(e) => {
                     report.diagnostics.push(Diagnostic::new(
                         Lint::UnknownName,
@@ -474,7 +519,7 @@ impl<'a> Analyzer<'a> {
     fn walk_scalar_sets(&self, expr: &SpannedExpr, report: &mut Report) {
         match &expr.kind {
             SpannedExprKind::Sizeof(set) => {
-                self.walk_set(set, report);
+                self.walk_set(set, report, false);
             }
             SpannedExprKind::Arith(_, l, r) => {
                 self.walk_scalar_sets(l, report);
@@ -708,6 +753,35 @@ mod tests {
         assert_eq!(r.diagnostics[0].lint, Lint::CrashUnsatisfiable);
         // MAX of remotes survives one crash.
         assert!(a.analyze("p", "MAX($ALLWNODES-$MYWNODE)").is_clean());
+    }
+
+    #[test]
+    fn non_replica_operand_needs_a_replica_set() {
+        let acks = AckTypeRegistry::new();
+        let t = topo();
+        // Without a replica set: silent.
+        let a = Analyzer::new(&t, &acks, NodeId(0));
+        assert!(a.analyze("p", "MAX($WNODE_w2)").is_clean());
+        // Stream replicated on {e1, e2, w1}: naming w2 is an error.
+        let reps = [NodeId(0), NodeId(1), NodeId(2)];
+        let a = Analyzer::new(&t, &acks, NodeId(0)).with_replicas(&reps);
+        let r = a.analyze("p", "MAX($WNODE_w2)");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].lint, Lint::NonReplicaOperand);
+        assert!(r.diagnostics[0].message.contains("w2"));
+        // Positional operands fire too ($4 is w2).
+        let r = a.analyze("p", "MIN($2, $4)");
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.lint == Lint::NonReplicaOperand));
+        // Macro sets restrict silently — no finding.
+        assert!(a.analyze("p", "MIN($ALLWNODES-$MYWNODE)").is_clean());
+        // Subtracting a non-replica is removal, not waiting: silent
+        // (the difference is also not useless, w2 is in $ALLWNODES).
+        assert!(a.analyze("p", "MIN($ALLWNODES-$WNODE_w2)").is_clean());
+        // A replica named explicitly is fine.
+        assert!(a.analyze("p", "MAX($WNODE_w1)").is_clean());
     }
 
     #[test]

@@ -110,6 +110,18 @@ fn golden_unemitted_ack_type() {
 }
 
 #[test]
+fn golden_non_replica_operand() {
+    let t = topo();
+    let acks = AckTypeRegistry::new();
+    // Stream replicated on {e1, e2, w1}; the predicate names w2.
+    let reps = [NodeId(0), NodeId(1), NodeId(2)];
+    let report = Analyzer::new(&t, &acks, NodeId(0))
+        .with_replicas(&reps)
+        .analyze("P", "MAX($WNODE_w2)");
+    check(Lint::NonReplicaOperand, &report);
+}
+
+#[test]
 fn golden_duplicate_operand() {
     check(Lint::DuplicateOperand, &analyze_at(0, "P", "MAX($2, $2)"));
 }

@@ -104,6 +104,7 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     let mut emissions = AckEmissions::new();
     let mut failure_budget = 0usize;
     let mut corpus: Vec<(String, String)> = Vec::new();
+    let mut config: Option<ClusterConfig> = None;
     let topo: Arc<Topology> = if let Some(path) = &args.config {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let cfg = ClusterConfig::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -119,7 +120,9 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         }
         failure_budget = cfg.options().failure_budget as usize;
         corpus.extend(cfg.predicates().map(|(k, v)| (k.to_owned(), v.to_owned())));
-        Arc::clone(cfg.topology())
+        let topo = Arc::clone(cfg.topology());
+        config = Some(cfg);
+        topo
     } else {
         Arc::new(stabilizer_analyze::paper::fig2_topology())
     };
@@ -148,9 +151,20 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     let mut out = String::new();
     let mut json_nodes: Vec<String> = Vec::new();
     for me in nodes {
-        let analyzer = Analyzer::new(&topo, &acks, me)
+        // A configured predicate evaluates over the vantage's own
+        // stream; under a `replicate` directive only that stream's
+        // replica set ever acks it, so the analyzer lints explicit
+        // operands against it (non-replica-operand).
+        let replicas: Option<Vec<NodeId>> = config.as_ref().and_then(|cfg| {
+            let p = cfg.placement();
+            (!p.is_full_replication()).then(|| p.replicas(me).to_vec())
+        });
+        let mut analyzer = Analyzer::new(&topo, &acks, me)
             .with_emissions(&emissions)
             .with_failure_budget(failure_budget);
+        if let Some(reps) = &replicas {
+            analyzer = analyzer.with_replicas(reps);
+        }
         let reports = analyzer.analyze_set(&corpus);
         for r in &reports {
             worst = worst.max(r.worst());

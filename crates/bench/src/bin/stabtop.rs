@@ -85,6 +85,43 @@ fn render_metrics(metrics: &JsonValue) -> String {
             ));
         }
     }
+    for (k, _) in gauges {
+        let (name, labels) = split_series(k);
+        if name == "stab_placement_info" {
+            out.push_str(&format!(
+                "place   hash={} partial={}\n",
+                label_value(labels, "placement_hash").unwrap_or("?"),
+                label_value(labels, "partial").unwrap_or("?"),
+            ));
+        }
+    }
+    let mut replica_rows: Vec<String> = gauges
+        .iter()
+        .filter(|(k, _)| split_series(k).0 == "stab_stream_replicas")
+        .filter_map(|(k, _)| {
+            let labels = split_series(k).1;
+            Some(format!(
+                "stream {} -> {{{}}}",
+                label_value(labels, "stream")?,
+                label_value(labels, "replicas")?,
+            ))
+        })
+        .collect();
+    // Only show the per-stream table for partial placements; under full
+    // replication every row would just repeat the whole node set.
+    if gauges.iter().any(|(k, _)| {
+        let (name, labels) = split_series(k);
+        name == "stab_placement_info" && label_value(labels, "partial") == Some("true")
+    }) && !replica_rows.is_empty()
+    {
+        replica_rows.sort_by_key(|r| {
+            r.strip_prefix("stream ")
+                .and_then(|s| s.split(' ').next())
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0)
+        });
+        out.push_str(&format!("replicas  {}\n", replica_rows.join("  ")));
+    }
     if let Some((_, v)) = gauges
         .iter()
         .find(|(k, _)| split_series(k).0 == "stab_uptime_seconds")

@@ -191,6 +191,9 @@ impl ChaosHarness {
     ) -> Result<Self, ChaosError> {
         let n = cfg.num_nodes();
         let ops = plan.compile(n)?;
+        if let Some(t) = &telemetry {
+            t.record_placement(cfg.placement());
+        }
         let trace = shared_trace();
         let hook_trace = trace.clone();
         let hook_telemetry = telemetry.clone();
@@ -228,7 +231,7 @@ impl ChaosHarness {
             sim,
             cfg: cfg.clone(),
             trace,
-            checker: InvariantChecker::new(n, types),
+            checker: InvariantChecker::new(n, types).with_placement(cfg.placement().clone()),
             schedule,
             next_action: 0,
             crashed: vec![None; n],
@@ -396,15 +399,18 @@ impl ChaosHarness {
         }
     }
 
-    /// The first node still short of full stabilization, if any.
+    /// The first node still short of full stabilization, if any. Only a
+    /// stream's replicas are expected to (or allowed to) receive it, so
+    /// the per-node scan is scoped to the replica set.
     fn liveness_gap(&self, keys: &[String], targets: &[SeqNo]) -> Option<(u16, String)> {
+        let placement = self.cfg.placement();
         for (s, &target) in targets.iter().enumerate() {
             if target == 0 {
                 continue;
             }
             let stream = NodeId(s as u16);
             for i in 0..self.n {
-                if i == s {
+                if i == s || !placement.is_replica(stream, NodeId(i as u16)) {
                     continue;
                 }
                 let got =

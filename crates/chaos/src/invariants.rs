@@ -22,12 +22,20 @@
 //! 6. **Suspicion/recovery consistency** — recoveries pair with prior
 //!    suspicions, nodes never suspect themselves, and the logs agree
 //!    with `StabilizerNode::is_suspected`.
+//! 7. **Placement isolation** (only with
+//!    [`InvariantChecker::with_placement`]) — a node never delivers a
+//!    stream it does not replicate, and never holds a non-zero ACK cell
+//!    for a `(stream, node)` pair outside the stream's replica set. The
+//!    prefix/FIFO and belief checks are automatically scoped to the
+//!    replica set because any out-of-set activity already trips this
+//!    invariant.
 
 use stabilizer_core::sim_driver::{AppHooks, SimNode};
-use stabilizer_core::{DirtyCell, FrontierUpdate, StabilizerNode};
+use stabilizer_core::{DirtyCell, FrontierUpdate, PlacementMap, StabilizerNode};
 use stabilizer_dsl::{AckTypeId, NodeId, SeqNo, DELIVERED, RECEIVED};
 use stabilizer_netsim::SimTime;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Default cadence of the periodic full-table rescan that backstops the
 /// incremental dirty-cell path (see
@@ -144,6 +152,9 @@ pub struct InvariantChecker {
     recovered_cursor: Vec<usize>,
     /// Shadow suspicion sets: `suspects[n][p]`.
     suspects: Vec<Vec<bool>>,
+    /// Stream placement, when partial replication is in play
+    /// (invariant 7); `None` checks nothing extra (full replication).
+    placement: Option<Arc<PlacementMap>>,
     /// Number of [`InvariantChecker::check`] calls so far.
     checks: u64,
     /// Every `rescan_every`-th check ignores the dirty-cell journals and
@@ -171,9 +182,29 @@ impl InvariantChecker {
             suspected_cursor: vec![0; n],
             recovered_cursor: vec![0; n],
             suspects: vec![vec![false; n]; n],
+            placement: None,
             checks: 0,
             rescan_every: DEFAULT_RESCAN_EVERY,
         }
+    }
+
+    /// Make the checker placement-aware (invariant 7): deliveries and
+    /// non-zero ACK cells outside a stream's replica set are violations
+    /// in their own right. Full-replication maps are accepted and check
+    /// nothing extra.
+    #[must_use]
+    pub fn with_placement(mut self, placement: Arc<PlacementMap>) -> Self {
+        assert_eq!(
+            placement.num_nodes(),
+            self.n,
+            "placement map is for a different cluster size"
+        );
+        self.placement = if placement.is_full_replication() {
+            None
+        } else {
+            Some(placement)
+        };
+        self
     }
 
     /// Override the full-rescan cadence (default
@@ -283,8 +314,21 @@ impl InvariantChecker {
                     _ => false,
                 };
                 if take_catchup {
-                    let (_, stream, seq) = catchups[c];
+                    let (at, stream, seq) = catchups[c];
                     c += 1;
+                    if let Some(p) = &self.placement {
+                        if !p.is_replica(stream, NodeId(i as u16)) {
+                            return Err(InvariantViolation {
+                                at: now,
+                                node: i as u16,
+                                property: "non-replica-delivery",
+                                detail: format!(
+                                    "caught up stream {stream:?} to {seq} at {at:?} \
+                                     without being one of its replicas"
+                                ),
+                            });
+                        }
+                    }
                     let key = (i as u16, stream.0);
                     let entry = self.last_delivered.entry(key).or_insert(0);
                     *entry = (*entry).max(seq);
@@ -294,6 +338,19 @@ impl InvariantChecker {
                 }
                 let (at, origin, seq, _len) = log[d];
                 d += 1;
+                if let Some(p) = &self.placement {
+                    if !p.is_replica(origin, NodeId(i as u16)) {
+                        return Err(InvariantViolation {
+                            at: now,
+                            node: i as u16,
+                            property: "non-replica-delivery",
+                            detail: format!(
+                                "delivered ({origin:?}, {seq}) at {at:?} without being \
+                                 one of the stream's replicas"
+                            ),
+                        });
+                    }
+                }
                 let key = (i as u16, origin.0);
                 let prev = *self.last_delivered.get(&key).unwrap_or(&0);
                 if seq != prev + 1 {
@@ -353,6 +410,21 @@ impl InvariantChecker {
     ) -> Result<(), InvariantViolation> {
         let (s, m, t) = (stream.0 as usize, peer.0 as usize, ty.0 as usize);
         let cur = views[i].node.recorder().get(stream, peer, ty);
+        if cur > 0 {
+            if let Some(p) = &self.placement {
+                if !p.is_replica(stream, NodeId(i as u16)) || !p.is_replica(stream, peer) {
+                    return Err(InvariantViolation {
+                        at: now,
+                        node: i as u16,
+                        property: "non-replica-ack",
+                        detail: format!(
+                            "cell (stream {s}, node {m}, type {t}) = {cur} involves a \
+                             non-replica of the stream"
+                        ),
+                    });
+                }
+            }
+        }
         let idx = (s * self.n + m) * self.types + t;
         let shadow = &mut self.shadow_acks[i];
         if cur < shadow[idx] {
@@ -820,6 +892,77 @@ mod tests {
         let caught = (0..DEFAULT_RESCAN_EVERY)
             .any(|_| checker.check(SimTime::ZERO, &silent(&nodes)).is_err());
         assert!(caught, "default rescan cadence must examine the forgery");
+    }
+
+    #[test]
+    fn non_replica_delivery_is_a_violation() {
+        // Four nodes; stream 0 lives on {0, 1}. A delivery of stream 0
+        // logged at node 2 trips invariant 7 on its own, even though it
+        // is a perfectly consecutive prefix.
+        let cfg = ClusterConfig::parse("az A 0 1\naz B 2 3\nreplicate 0 0 1\n").unwrap();
+        let acks = Arc::new(AckTypeRegistry::new());
+        let nodes: Vec<StabilizerNode> = (0..4)
+            .map(|i| StabilizerNode::new(cfg.clone(), NodeId(i), Arc::clone(&acks)).unwrap())
+            .collect();
+        let placement = cfg.placement().clone();
+        let rogue_log = [(SimTime::ZERO, NodeId(0), 1u64, 0usize)];
+        let mut checker = InvariantChecker::new(4, 3).with_placement(placement.clone());
+        let views = vec![
+            view(&nodes[0]),
+            view(&nodes[1]),
+            NodeView {
+                delivery_log: &rogue_log,
+                records_deliveries: true,
+                ..view(&nodes[2])
+            },
+            view(&nodes[3]),
+        ];
+        let err = checker.check(SimTime::ZERO, &views).unwrap_err();
+        assert_eq!(err.property, "non-replica-delivery");
+
+        // The same log at replica 1 is fine.
+        let mut checker = InvariantChecker::new(4, 3).with_placement(placement);
+        let views = vec![
+            view(&nodes[0]),
+            NodeView {
+                delivery_log: &rogue_log,
+                records_deliveries: true,
+                ..view(&nodes[1])
+            },
+            view(&nodes[2]),
+            view(&nodes[3]),
+        ];
+        checker.check(SimTime::ZERO, &views).unwrap();
+    }
+
+    #[test]
+    fn non_replica_ack_cell_is_a_violation() {
+        // A recorded ack crediting non-replica 2 on stream 0 must trip
+        // invariant 7. The placement-guarded wire path drops such acks,
+        // so forge the cell by running node 0 on a full-replication
+        // config while the checker holds the partial map — exactly the
+        // drift this invariant exists to catch.
+        let partial = ClusterConfig::parse("az A 0 1\naz B 2 3\nreplicate 0 0 1\n").unwrap();
+        let full = ClusterConfig::parse("az A 0 1\naz B 2 3\n").unwrap();
+        let acks = Arc::new(AckTypeRegistry::new());
+        let mut nodes: Vec<StabilizerNode> = (0..4)
+            .map(|i| StabilizerNode::new(full.clone(), NodeId(i), Arc::clone(&acks)).unwrap())
+            .collect();
+        let placement = partial.placement().clone();
+        use stabilizer_core::{Ack, WireMsg};
+        nodes[0].on_message(
+            0,
+            NodeId(2),
+            WireMsg::AckBatch(vec![Ack {
+                stream: NodeId(0),
+                ty: RECEIVED,
+                seq: 3,
+            }]),
+        );
+        let mut checker = InvariantChecker::new(4, 3).with_placement(placement);
+        let views: Vec<NodeView<'_>> = nodes.iter().map(view).collect();
+        let err = checker.check(SimTime::ZERO, &views).unwrap_err();
+        assert_eq!(err.property, "non-replica-ack");
     }
 
     #[test]

@@ -149,7 +149,7 @@ impl Scenario {
         let horizon_ms = rng.gen_range(1500u64..=2500);
         let active_ms = horizon_ms * 3 / 5;
 
-        let cfg_text = Self::gen_config(&mut rng, n);
+        let cfg_text = Self::gen_config(&mut rng, n, seed);
         let (workload, publishers) = Self::gen_workload(&mut rng, n, active_ms);
         let plan = Self::gen_plan(&mut rng, n, active_ms);
         let _ = publishers;
@@ -193,7 +193,7 @@ impl Scenario {
         s
     }
 
-    fn gen_config(rng: &mut SmallRng, n: usize) -> String {
+    fn gen_config(rng: &mut SmallRng, n: usize, seed: u64) -> String {
         let mut cfg = String::new();
         // Contiguous az split into 2..=3 groups (or fewer for tiny n).
         let az_count = rng.gen_range(2usize..=3.min(n));
@@ -215,8 +215,48 @@ impl Scenario {
             cfg.push('\n');
             start = end;
         }
+        // Partial replication: a slice of seeds pins each stream to a
+        // small replica set instead of the full mesh, so the sweep
+        // exercises placement-scoped routing, acks, and recovery. Two
+        // shapes: disjoint 3-groups (replica sets never share a node
+        // across groups) and an overlapping ring (adjacent sets share
+        // two nodes). Every set keeps >= 3 members so a Byzantine
+        // forger always has honest replica peers to detect it.
+        //
+        // The placement draws come from an independent RNG stream (same
+        // pattern as the byzantine overlay) so the seed -> scenario
+        // mapping for topology, workload, and faults — which the pinned
+        // liveness/blame seeds depend on — is untouched.
+        let mut prng = SmallRng::seed_from_u64(seed ^ 0x0123_4567_89AB_CDEF);
+        if n >= 5 && prng.gen_bool(0.35) {
+            if n >= 6 && prng.gen_bool(0.5) {
+                // Disjoint groups of 3; the last group absorbs the
+                // remainder (a group of 4 or 5 for n % 3 != 0).
+                let groups = n / 3;
+                for i in 0..n {
+                    let g = (i / 3).min(groups - 1);
+                    let start = g * 3;
+                    let end = if g == groups - 1 { n } else { start + 3 };
+                    cfg.push_str(&format!("replicate w{i}"));
+                    for m in start..end {
+                        cfg.push_str(&format!(" w{m}"));
+                    }
+                    cfg.push('\n');
+                }
+            } else {
+                for i in 0..n {
+                    cfg.push_str(&format!(
+                        "replicate w{i} w{i} w{} w{}\n",
+                        (i + 1) % n,
+                        (i + 2) % n
+                    ));
+                }
+            }
+        }
         // Topology-independent predicates over the full node set; "All"
-        // is always present (the workload's change/wait targets).
+        // is always present (the workload's change/wait targets). Under
+        // a partial placement the core restricts each compiled predicate
+        // to the stream's replica set at registration time.
         cfg.push_str("predicate All MIN($ALLWNODES-$MYWNODE)\n");
         if rng.gen_bool(0.6) {
             cfg.push_str("predicate One MAX($ALLWNODES-$MYWNODE)\n");
@@ -570,6 +610,49 @@ mod tests {
         assert!(dup, "no seed in 0..400 drew DupReorder");
         assert!(corr, "no seed in 0..400 drew CorrelatedCrash");
         assert!(large, "no seed in 0..400 drew a 12-16 node mesh");
+    }
+
+    #[test]
+    fn generator_draws_partial_placements() {
+        let (mut ring, mut disjoint, mut large_partial) = (false, false, false);
+        for seed in 0..400u64 {
+            let s = Scenario::from_seed(seed);
+            if !s.cfg_text.contains("replicate ") {
+                continue;
+            }
+            let cfg = ClusterConfig::parse(&s.cfg_text).expect("placement config parses");
+            let p = cfg.placement();
+            let n = s.topology.num_nodes();
+            assert!(
+                !p.is_full_replication(),
+                "seed {seed}: replicate lines but full map"
+            );
+            let sets: Vec<_> = (0..n)
+                .map(|i| p.replicas(stabilizer_core::NodeId(i as u16)).to_vec())
+                .collect();
+            for set in &sets {
+                assert!(set.len() >= 3, "seed {seed}: replica set smaller than 3");
+            }
+            let overlapping = sets.iter().enumerate().any(|(i, a)| {
+                sets.iter()
+                    .enumerate()
+                    .any(|(j, b)| i != j && a != b && a.iter().any(|x| b.contains(x)))
+            });
+            if overlapping {
+                ring = true;
+            } else {
+                disjoint = true;
+            }
+            if n >= 12 {
+                large_partial = true;
+            }
+        }
+        assert!(ring, "no seed in 0..400 drew an overlapping ring placement");
+        assert!(disjoint, "no seed in 0..400 drew disjoint replica groups");
+        assert!(
+            large_partial,
+            "no seed in 0..400 drew a partial placement on a 12-16 node mesh"
+        );
     }
 
     #[test]

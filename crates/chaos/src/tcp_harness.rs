@@ -303,7 +303,7 @@ impl ChaosTcpCluster {
             acks,
             nodes,
             logs,
-            checker: InvariantChecker::new(n, types),
+            checker: InvariantChecker::new(n, types).with_placement(cfg.placement().clone()),
             schedule,
             next_action: 0,
             snapshots: vec![None; n],
@@ -465,14 +465,17 @@ impl ChaosTcpCluster {
         }
     }
 
-    /// The first node still short of full stabilization, if any.
+    /// The first node still short of full stabilization, if any. Only a
+    /// stream's replicas are expected to (or allowed to) receive it, so
+    /// the per-node scan is scoped to the replica set.
     fn liveness_gap(&self, keys: &[String], targets: &[SeqNo]) -> Option<(u16, String)> {
+        let placement = self.cfg.placement();
         for (s, &target) in targets.iter().enumerate() {
             if target == 0 {
                 continue;
             }
             for i in 0..self.n {
-                if i == s {
+                if i == s || !placement.is_replica(NodeId(s as u16), NodeId(i as u16)) {
                     continue;
                 }
                 let got = self.nodes[i].received_of(NodeId(s as u16));

@@ -13,12 +13,19 @@
 //! az North_Virginia n3 n4 n5 n6
 //! predicate AllWNodes MIN($ALLWNODES-$MYWNODE)
 //! acktype verified n1 n2
+//! replicate n1 n1 n2 n3
 //! option ack_flush_micros 500
 //! option analysis deny
 //! ```
+//!
+//! The `replicate` directive (partial replication) places a stream on a
+//! subset of the nodes; streams without one stay fully replicated, so a
+//! `replicate`-free config behaves exactly as before the directive
+//! existed.
 
 use crate::error::CoreError;
 use stabilizer_dsl::{NodeId, Topology};
+use stabilizer_place::{parse_replicate, PlacementMap, ReplicateDirective};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -229,16 +236,19 @@ pub struct ClusterConfig {
     predicates: BTreeMap<String, String>,
     ack_types: Vec<(String, Vec<String>)>,
     options: Options,
+    placement: Arc<PlacementMap>,
 }
 
 impl ClusterConfig {
     /// Build from an existing topology with default options.
     pub fn new(topology: Topology) -> Self {
+        let placement = Arc::new(PlacementMap::full(topology.num_nodes()));
         ClusterConfig {
             topology: Arc::new(topology),
             predicates: BTreeMap::new(),
             ack_types: Vec::new(),
             options: Options::default(),
+            placement,
         }
     }
 
@@ -266,6 +276,41 @@ impl ClusterConfig {
         self
     }
 
+    /// Replace the placement map (partial replication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placement` was built for a different node count than
+    /// this config's topology.
+    pub fn with_placement(mut self, placement: PlacementMap) -> Self {
+        assert_eq!(
+            placement.num_nodes(),
+            self.topology.num_nodes(),
+            "placement map covers {} nodes but topology has {}",
+            placement.num_nodes(),
+            self.topology.num_nodes()
+        );
+        self.placement = Arc::new(placement);
+        self
+    }
+
+    /// Resolve `replicate` directives against this config's topology and
+    /// install the resulting placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] on placement validation failures
+    /// (unknown stream/node, origin excluded, empty set, duplicates).
+    pub fn with_replication(
+        mut self,
+        directives: &[ReplicateDirective],
+    ) -> Result<Self, CoreError> {
+        let placement = PlacementMap::from_directives(&self.topology, directives)
+            .map_err(|e| CoreError::Config(e.to_string()))?;
+        self.placement = Arc::new(placement);
+        Ok(self)
+    }
+
     /// The WAN topology.
     pub fn topology(&self) -> &Arc<Topology> {
         &self.topology
@@ -289,6 +334,11 @@ impl ClusterConfig {
         &self.options
     }
 
+    /// The stream → replica-set placement (full replication by default).
+    pub fn placement(&self) -> &Arc<PlacementMap> {
+        &self.placement
+    }
+
     /// Number of WAN nodes.
     pub fn num_nodes(&self) -> usize {
         self.topology.num_nodes()
@@ -305,6 +355,7 @@ impl ClusterConfig {
         let mut builder = Topology::builder();
         let mut predicates = BTreeMap::new();
         let mut ack_types: Vec<(String, Vec<String>)> = Vec::new();
+        let mut replicates: Vec<ReplicateDirective> = Vec::new();
         let mut options = Options::default();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -342,6 +393,19 @@ impl ClusterConfig {
                     }
                     let emitters: Vec<String> = parts.map(str::to_owned).collect();
                     ack_types.push((name.to_owned(), emitters));
+                }
+                "replicate" => {
+                    // Re-parse the whole line with the span-carrying
+                    // placement parser; name resolution happens once the
+                    // topology is complete.
+                    let d = parse_replicate(line).map_err(|e| err(e.to_string()))?;
+                    if d.nodes.is_empty() {
+                        return Err(err(format!(
+                            "replicate {}: replica set is empty",
+                            d.stream.name
+                        )));
+                    }
+                    replicates.push(d);
                 }
                 "option" => {
                     let key = parts
@@ -418,11 +482,14 @@ impl ClusterConfig {
                 }
             }
         }
+        let placement = PlacementMap::from_directives(&topology, &replicates)
+            .map_err(|e| CoreError::Config(e.to_string()))?;
         Ok(ClusterConfig {
             topology: Arc::new(topology),
             predicates,
             ack_types,
             options,
+            placement: Arc::new(placement),
         })
     }
 
@@ -550,6 +617,30 @@ option auto_exclude_suspects true
     fn comments_and_blanks_ignored() {
         let cfg = ClusterConfig::parse("# hi\n\naz A x y\n").unwrap();
         assert_eq!(cfg.num_nodes(), 2);
+    }
+
+    #[test]
+    fn replicate_directive_parses_and_validates() {
+        let cfg = ClusterConfig::parse("az A x y z\nreplicate x x y").unwrap();
+        let p = cfg.placement();
+        assert!(!p.is_full_replication());
+        assert_eq!(p.replicas(NodeId(0)), &[NodeId(0), NodeId(1)]);
+        assert!(!p.is_replica(NodeId(0), NodeId(2)));
+        assert_eq!(p.replicas(NodeId(1)).len(), 3, "unplaced streams stay full");
+        assert!(ClusterConfig::parse("az A x y\nreplicate ghost ghost").is_err());
+        assert!(ClusterConfig::parse("az A x y\nreplicate x y").is_err());
+        assert!(ClusterConfig::parse("az A x y\nreplicate x").is_err());
+        assert!(ClusterConfig::parse("az A x y\nreplicate x x\nreplicate x x y").is_err());
+    }
+
+    #[test]
+    fn replicate_free_config_is_full_replication() {
+        let cfg = ClusterConfig::parse("az A x y z").unwrap();
+        assert!(cfg.placement().is_full_replication());
+        assert_eq!(
+            cfg.placement().placement_hash(),
+            PlacementMap::full(3).placement_hash()
+        );
     }
 
     #[test]

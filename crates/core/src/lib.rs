@@ -75,6 +75,10 @@ pub use observe::{
 };
 pub use recorder::{AckRecorder, DirtyCell};
 
+// Re-export the placement surface so runtimes and checkers can scope
+// themselves to replica sets without a direct `stabilizer-place` dep.
+pub use stabilizer_place::{PlacementMap, ReplicateDirective};
+
 // Re-export the DSL surface users need to interact with predicates.
 pub use stabilizer_dsl::{
     AckTypeId, AckTypeRegistry, AckView, DslError, NodeId, Predicate, SeqNo, Topology, DELIVERED,

@@ -21,6 +21,7 @@ use stabilizer_analyze::{AckEmissions, Analyzer, Report};
 use stabilizer_dsl::{
     AckTypeId, AckTypeRegistry, NodeId, Predicate, SeqNo, DELIVERED, PERSISTED, RECEIVED,
 };
+use stabilizer_place::PlacementMap;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -131,7 +132,16 @@ pub struct StabilizerNode {
     me: NodeId,
     cfg: ClusterConfig,
     acks: Arc<AckTypeRegistry>,
+    /// Link peers: every other node sharing at least one stream with
+    /// `me` (everyone, under the default full replication). Heartbeats,
+    /// failure detection, and ACK routing are scoped to these.
     peers: Vec<NodeId>,
+    /// Replicas of this node's own stream other than `me` — the
+    /// data-plane fan-out (publish, retransmit) targets.
+    data_peers: Vec<NodeId>,
+    /// The stream → replica-set placement (partial replication). Cloned
+    /// from the config at construction.
+    placement: Arc<PlacementMap>,
     recorder: AckRecorder,
     engine: FrontierEngine,
     send_buf: SendBuffer,
@@ -222,7 +232,13 @@ impl StabilizerNode {
         acks: Arc<AckTypeRegistry>,
     ) -> Result<Self, CoreError> {
         let n = cfg.num_nodes();
-        let peers = cfg.peers(me);
+        let placement = cfg.placement().clone();
+        let peers: Vec<NodeId> = cfg
+            .peers(me)
+            .into_iter()
+            .filter(|p| placement.linked(me, *p))
+            .collect();
+        let data_peers = placement.replica_peers(me, me);
         // Configured application ACK types exist before any predicate
         // compiles (or is analyzed) against them.
         for (name, _) in cfg.ack_types() {
@@ -251,6 +267,8 @@ impl StabilizerNode {
             transfer_out: BTreeMap::new(),
             app_mark: 0,
             peers,
+            data_peers,
+            placement,
             acks,
             cfg,
         };
@@ -278,6 +296,24 @@ impl StabilizerNode {
     /// The ACK-type registry shared with the application.
     pub fn ack_types(&self) -> &Arc<AckTypeRegistry> {
         &self.acks
+    }
+
+    /// The stream → replica-set placement this node runs under.
+    pub fn placement(&self) -> &Arc<PlacementMap> {
+        &self.placement
+    }
+
+    /// Link peers: nodes this node exchanges any traffic with (they
+    /// share at least one stream). Every other node, under the default
+    /// full replication.
+    pub fn link_peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
+    /// Data-plane fan-out targets: replicas of this node's own stream,
+    /// excluding itself.
+    pub fn data_peers(&self) -> &[NodeId] {
+        &self.data_peers
     }
 
     /// Read-only view of the ACK recorder (Fig. 1's table).
@@ -329,7 +365,7 @@ impl StabilizerNode {
             });
         }
         let seq = self.send_buf.publish(payload.clone())?;
-        for &peer in &self.peers {
+        for &peer in &self.data_peers {
             self.metrics.data_msgs_sent += 1;
             self.metrics.data_bytes_sent += payload.len() as u64;
             self.actions.push(Action::Send {
@@ -377,6 +413,9 @@ impl StabilizerNode {
     /// after `from`, to `peer` — used when a transport reconnects and must
     /// restore lossless FIFO.
     pub fn resend_from(&mut self, peer: NodeId, from: SeqNo) {
+        if !self.placement.is_replica(self.me, peer) {
+            return; // non-replicas never receive this stream
+        }
         let me = self.me;
         let msgs: Vec<(SeqNo, Bytes)> = self
             .send_buf
@@ -436,6 +475,9 @@ impl StabilizerNode {
         if origin == self.me || origin.0 as usize >= self.recv.len() {
             return; // nonsensical: we are the origin, or unknown stream
         }
+        if !self.placement.is_replica(origin, self.me) {
+            return; // not a replica of this stream: never receive or ack it
+        }
         let delivered = self.recv[origin.0 as usize].on_data(seq, payload);
         if delivered.is_empty() {
             // A duplicate of an already-delivered message means the
@@ -481,6 +523,14 @@ impl StabilizerNode {
             {
                 continue; // unknown stream/type: ignore (monotonic data, safe to drop)
             }
+            if !self.placement.is_replica(ack.stream, from)
+                || !self.placement.is_replica(ack.stream, self.me)
+            {
+                // A non-replica has no standing to ack a stream, and a
+                // non-replica of the stream has no use for the cell:
+                // the recorder only ever holds replica columns.
+                continue;
+            }
             if self.recorder.observe(ack.stream, from, ack.ty, ack.seq) {
                 self.metrics.acks_received += 1;
                 self.advance(ack.stream, from, ack.ty);
@@ -494,13 +544,14 @@ impl StabilizerNode {
     }
 
     fn try_reclaim(&mut self) {
-        // Reclaim once every live node has received a prefix. Suspected
-        // nodes are excluded so a dead peer cannot pin the buffer.
+        // Reclaim once every live replica has received a prefix (only
+        // replicas ever receive this stream). Suspected nodes are
+        // excluded so a dead peer cannot pin the buffer.
         let live: Vec<NodeId> = self
-            .cfg
-            .topology()
-            .all_nodes()
-            .into_iter()
+            .placement
+            .replicas(self.me)
+            .iter()
+            .copied()
             .filter(|n| !self.suspected[n.0 as usize])
             .collect();
         let min = self.recorder.min_over(self.me, RECEIVED, &live);
@@ -518,7 +569,10 @@ impl StabilizerNode {
     }
 
     fn fast_forward_inner(&mut self, origin: NodeId, seq: SeqNo, app_mark: u64) {
-        if origin == self.me || origin.0 as usize >= self.recv.len() {
+        if origin == self.me
+            || origin.0 as usize >= self.recv.len()
+            || !self.placement.is_replica(origin, self.me)
+        {
             return;
         }
         let before = self.recv[origin.0 as usize].delivered();
@@ -572,8 +626,9 @@ impl StabilizerNode {
         key: &str,
         source: &str,
     ) -> Result<(), CoreError> {
-        let report = self.run_analysis(key, source)?;
-        let pred = Predicate::compile(source, self.cfg.topology(), &self.acks, self.me)?;
+        let report = self.run_analysis(stream, key, source)?;
+        let pred = Predicate::compile(source, self.cfg.topology(), &self.acks, self.me)?
+            .restricted_to(self.placement.replicas(stream))?;
         let mut updates = Vec::new();
         let mut done = Vec::new();
         self.engine
@@ -602,8 +657,9 @@ impl StabilizerNode {
         key: &str,
         source: &str,
     ) -> Result<(), CoreError> {
-        let report = self.run_analysis(key, source)?;
-        let pred = Predicate::compile(source, self.cfg.topology(), &self.acks, self.me)?;
+        let report = self.run_analysis(stream, key, source)?;
+        let pred = Predicate::compile(source, self.cfg.topology(), &self.acks, self.me)?
+            .restricted_to(self.placement.replicas(stream))?;
         let mut updates = Vec::new();
         let mut done = Vec::new();
         if !self
@@ -631,8 +687,14 @@ impl StabilizerNode {
 
     /// Run the static analyzer per the configured [`AnalysisMode`]:
     /// `Off` → `None`; `Warn` → `Some(report)`; `Deny` → error unless the
-    /// report is clean (info-level findings tolerated).
-    fn run_analysis(&self, key: &str, source: &str) -> Result<Option<Report>, CoreError> {
+    /// report is clean (info-level findings tolerated). `stream` scopes
+    /// the `non-replica-operand` lint to the stream's replica set.
+    fn run_analysis(
+        &self,
+        stream: NodeId,
+        key: &str,
+        source: &str,
+    ) -> Result<Option<Report>, CoreError> {
         let opts = self.cfg.options();
         if opts.analysis == AnalysisMode::Off {
             return Ok(None);
@@ -652,7 +714,8 @@ impl StabilizerNode {
         }
         let analyzer = Analyzer::new(self.cfg.topology(), &self.acks, self.me)
             .with_emissions(&emissions)
-            .with_failure_budget(opts.failure_budget as usize);
+            .with_failure_budget(opts.failure_budget as usize)
+            .with_replicas(self.placement.replicas(stream));
         let report = analyzer.analyze(key, source);
         if opts.analysis == AnalysisMode::Deny && !report.is_clean() {
             return Err(CoreError::PredicateRejected {
@@ -807,6 +870,9 @@ impl StabilizerNode {
     pub fn announce_acks_to(&mut self, peer: NodeId) {
         let mut acks = Vec::new();
         for stream in 0..self.recorder.num_nodes() as u16 {
+            if !self.placement.is_replica(NodeId(stream), peer) {
+                continue; // the peer neither stores nor evaluates this stream
+            }
             for ty in 0..self.recorder.num_types() as u16 {
                 let seq = self.recorder.get(NodeId(stream), self.me, AckTypeId(ty));
                 if seq > 0 {
@@ -865,8 +931,11 @@ impl StabilizerNode {
     }
 
     fn request_catch_up(&mut self, donor: NodeId, now_nanos: u64) -> bool {
-        if donor == self.me || donor.0 as usize >= self.recv.len() {
-            return false;
+        if donor == self.me
+            || donor.0 as usize >= self.recv.len()
+            || !self.placement.is_replica(donor, self.me)
+        {
+            return false; // we do not replicate the donor's stream
         }
         let have = self.recv[donor.0 as usize].delivered();
         self.transfer_in.insert(
@@ -893,8 +962,12 @@ impl StabilizerNode {
     /// replayable (live window plus retained log), then streams chunks
     /// for `(base, high]` under the `transfer_window` rate limit.
     fn on_transfer_request(&mut self, from: NodeId, stream: NodeId, have: SeqNo) {
-        if self.cfg.options().transfer_millis == 0 || stream != self.me || from == self.me {
-            return; // transfer disabled, or we are not the origin
+        if self.cfg.options().transfer_millis == 0
+            || stream != self.me
+            || from == self.me
+            || !self.placement.is_replica(self.me, from)
+        {
+            return; // transfer disabled, not the origin, or a non-replica asking
         }
         self.metrics.transfer_requests += 1;
         // A catch-up request means the requester restarted (or newly
@@ -1019,6 +1092,7 @@ impl StabilizerNode {
             || stream == self.me
             || from != stream
             || stream.0 as usize >= self.recv.len()
+            || !self.placement.is_replica(stream, self.me)
         {
             return;
         }
@@ -1030,6 +1104,7 @@ impl StabilizerNode {
             if a.stream == self.me
                 || a.stream.0 as usize >= self.recv.len()
                 || a.ty.0 as usize >= self.recorder.num_types()
+                || !self.placement.is_replica(stream, a.stream)
             {
                 continue;
             }
@@ -1076,6 +1151,7 @@ impl StabilizerNode {
             || stream == self.me
             || from != stream
             || stream.0 as usize >= self.recv.len()
+            || !self.placement.is_replica(stream, self.me)
         {
             return;
         }
@@ -1165,8 +1241,8 @@ impl StabilizerNode {
         let grace = 2 * timeout.max(self.cfg.options().retransmit_millis * 1_000_000);
         for idx in 0..self.recv.len() {
             let stream = NodeId(idx as u16);
-            if stream == self.me {
-                continue;
+            if stream == self.me || !self.placement.is_replica(stream, self.me) {
+                continue; // never catch up on streams we do not replicate
             }
             let delivered = self.recv[idx].delivered();
             let (prev, since) = self.lag_state[idx];
@@ -1255,7 +1331,9 @@ impl StabilizerNode {
             return;
         }
         let last_sent = self.send_buf.last_assigned();
-        let peers = self.peers.clone();
+        // Go-back-N targets only the stream's replicas: a non-replica
+        // never acks, and resending to it would loop forever.
+        let peers = self.data_peers.clone();
         for peer in peers {
             if self.suspected[peer.0 as usize] {
                 continue;
@@ -1339,7 +1417,8 @@ impl StabilizerNode {
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
         for ((stream, key), source) in sources {
-            let pred = Predicate::compile(&source, self.cfg.topology(), &self.acks, self.me)?;
+            let pred = Predicate::compile(&source, self.cfg.topology(), &self.acks, self.me)?
+                .restricted_to(self.placement.replicas(stream))?;
             // Only touch predicates that currently lack the node.
             let has_node = self
                 .engine
@@ -1504,12 +1583,34 @@ impl StabilizerNode {
             .map(|(&(stream, ty), &seq)| Ack { stream, ty, seq })
             .collect();
         self.pending_acks.clear();
+        if self.placement.is_full_replication() {
+            for &peer in &self.peers {
+                self.metrics.control_msgs_sent += 1;
+                self.metrics.acks_sent += acks.len() as u64;
+                self.actions.push(Action::Send {
+                    to: peer,
+                    msg: WireMsg::AckBatch(acks.clone()),
+                });
+            }
+            return;
+        }
+        // Partial replication: each peer gets only the cells for streams
+        // it replicates (a non-replica neither stores the stream nor
+        // evaluates predicates over it).
         for &peer in &self.peers {
+            let batch: Vec<Ack> = acks
+                .iter()
+                .filter(|a| self.placement.is_replica(a.stream, peer))
+                .cloned()
+                .collect();
+            if batch.is_empty() {
+                continue;
+            }
             self.metrics.control_msgs_sent += 1;
-            self.metrics.acks_sent += acks.len() as u64;
+            self.metrics.acks_sent += batch.len() as u64;
             self.actions.push(Action::Send {
                 to: peer,
-                msg: WireMsg::AckBatch(acks.clone()),
+                msg: WireMsg::AckBatch(batch),
             });
         }
     }
@@ -2219,6 +2320,125 @@ mod tests {
             "requests ignored while transfer is disabled"
         );
         assert_eq!(n.metrics().transfer_requests, 0);
+    }
+
+    /// Five nodes, stream `a` replicated on {a, b, c} only.
+    fn partial_cfg() -> ClusterConfig {
+        ClusterConfig::parse(
+            "az A a b c\naz B d e\nreplicate a a b c\n\
+             predicate All MIN($ALLWNODES-$MYWNODE)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn publish_fans_out_to_replicas_only() {
+        let mut n = StabilizerNode::new(partial_cfg(), NodeId(0), Arc::new(AckTypeRegistry::new()))
+            .unwrap();
+        n.publish(Bytes::from_static(b"x")).unwrap();
+        let actions = n.take_actions();
+        let data_to: Vec<NodeId> = sends(&actions)
+            .into_iter()
+            .filter(|(_, m)| matches!(m, WireMsg::Data { .. }))
+            .map(|(to, _)| to)
+            .collect();
+        assert_eq!(
+            data_to,
+            vec![NodeId(1), NodeId(2)],
+            "non-replicas get no data"
+        );
+    }
+
+    #[test]
+    fn min_predicate_stabilizes_without_non_replica_acks() {
+        // The acceptance pin: a MIN predicate over a 3-replica stream must
+        // reach stability from the two replica acks alone — it must never
+        // wait on (or even count) the non-replicas d and e.
+        let mut n = StabilizerNode::new(partial_cfg(), NodeId(0), Arc::new(AckTypeRegistry::new()))
+            .unwrap();
+        n.publish(Bytes::from_static(b"x")).unwrap();
+        n.take_actions();
+        assert_eq!(n.stability_frontier(NodeId(0), "All").unwrap().0, 0);
+        for peer in [1u16, 2] {
+            n.on_message(
+                0,
+                NodeId(peer),
+                WireMsg::AckBatch(vec![Ack {
+                    stream: NodeId(0),
+                    ty: RECEIVED,
+                    seq: 1,
+                }]),
+            );
+        }
+        n.take_actions();
+        assert_eq!(
+            n.stability_frontier(NodeId(0), "All").unwrap().0,
+            1,
+            "replica acks alone must satisfy MIN over the replica set"
+        );
+        // A stray ack from a non-replica is discarded, not recorded.
+        n.on_message(
+            0,
+            NodeId(3),
+            WireMsg::AckBatch(vec![Ack {
+                stream: NodeId(0),
+                ty: RECEIVED,
+                seq: 1,
+            }]),
+        );
+        n.take_actions();
+        assert_eq!(n.recorder().get(NodeId(0), NodeId(3), RECEIVED), 0);
+    }
+
+    #[test]
+    fn non_replica_drops_foreign_data() {
+        let mut n = StabilizerNode::new(partial_cfg(), NodeId(3), Arc::new(AckTypeRegistry::new()))
+            .unwrap();
+        n.on_message(
+            0,
+            NodeId(0),
+            WireMsg::Data {
+                origin: NodeId(0),
+                seq: 1,
+                payload: Bytes::from_static(b"p"),
+            },
+        );
+        let actions = n.take_actions();
+        assert!(
+            !actions.iter().any(|a| matches!(a, Action::Deliver { .. })),
+            "a non-replica must not deliver a stream it does not host"
+        );
+        assert_eq!(n.recorder().get(NodeId(0), NodeId(3), RECEIVED), 0);
+        assert!(
+            !sends(&actions)
+                .iter()
+                .any(|(_, m)| matches!(m, WireMsg::AckBatch(_))),
+            "and it must not ack it either"
+        );
+    }
+
+    #[test]
+    fn explicit_full_replication_matches_default_behavior() {
+        // `replicate` lines listing every node are byte-identical to a
+        // replicate-free config: same placement hash, same fan-out.
+        let explicit = ClusterConfig::parse(
+            "az A a b\naz B c\nreplicate a a b c\nreplicate b a b c\nreplicate c a b c\n\
+             predicate All MIN($ALLWNODES-$MYWNODE)\n",
+        )
+        .unwrap();
+        assert_eq!(
+            explicit.placement().placement_hash(),
+            cfg().placement().placement_hash()
+        );
+        let mut n =
+            StabilizerNode::new(explicit, NodeId(0), Arc::new(AckTypeRegistry::new())).unwrap();
+        let mut base = node(0);
+        n.publish(Bytes::from_static(b"x")).unwrap();
+        base.publish(Bytes::from_static(b"x")).unwrap();
+        assert_eq!(
+            format!("{:?}", n.take_actions()),
+            format!("{:?}", base.take_actions())
+        );
     }
 
     #[test]

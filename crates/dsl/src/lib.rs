@@ -78,7 +78,7 @@ pub use parser::{parse, parse_spanned};
 pub use resolve::{expand_set, resolve, Operand, ReduceKind, Resolved, ResolvedExpr};
 pub use span::Span;
 pub use topology::{Topology, TopologyBuilder};
-pub use transform::exclude_node;
+pub use transform::{exclude_node, restrict_nodes};
 pub use types::{
     AckTypeId, AckTypeRegistry, AckView, AzId, NodeId, SeqNo, DELIVERED, PERSISTED, RECEIVED,
 };
@@ -194,6 +194,28 @@ impl Predicate {
         let program = compile(&resolved);
         Ok(Predicate {
             source: format!("{} /* -{} */", self.source, node.0),
+            resolved,
+            program,
+        })
+    }
+
+    /// Rewrite this predicate so it reads ACKs only from `allowed` — the
+    /// partial-replication restriction: a predicate installed for a stream
+    /// placed on a replica set must not wait on non-replicas, which never
+    /// ack the stream. No-op (returns a clone) when nothing is removed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the restriction would leave a reduction with no operands
+    /// (the predicate reads only non-replicas).
+    pub fn restricted_to(&self, allowed: &[NodeId]) -> Result<Self, DslError> {
+        if self.dependencies().iter().all(|(n, _)| allowed.contains(n)) {
+            return Ok(self.clone());
+        }
+        let resolved = restrict_nodes(&self.resolved, allowed)?;
+        let program = compile(&resolved);
+        Ok(Predicate {
+            source: self.source.clone(),
             resolved,
             program,
         })

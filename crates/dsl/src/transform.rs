@@ -52,6 +52,52 @@ fn exclude_in(expr: &ResolvedExpr, node: NodeId) -> Result<ResolvedExpr, DslErro
     })
 }
 
+/// Rewrite `resolved` so every operand reads ACKs only from nodes in
+/// `allowed` — the partial-replication counterpart of [`exclude_node`]:
+/// when a stream is placed on a replica set, macro-expanded predicates
+/// (`$ALLWNODES`, `$AZ_*`, ...) must shrink to the replicas instead of
+/// waiting forever on nodes that will never ack the stream.
+///
+/// Rank clamping follows [`exclude_node`]: a rank equal to the original
+/// operand count (an "all of them" MIN) tracks the shrunk count, any
+/// other rank is preserved when possible and clamped otherwise.
+///
+/// # Errors
+///
+/// Returns [`DslError::Invalid`] if any reduction would be left with no
+/// operands at all (the predicate reads only non-replicas).
+pub fn restrict_nodes(resolved: &Resolved, allowed: &[NodeId]) -> Result<Resolved, DslError> {
+    Ok(Resolved {
+        expr: restrict_in(&resolved.expr, allowed)?,
+        me: resolved.me,
+    })
+}
+
+fn restrict_in(expr: &ResolvedExpr, allowed: &[NodeId]) -> Result<ResolvedExpr, DslError> {
+    let mut operands = Vec::with_capacity(expr.operands.len());
+    for op in &expr.operands {
+        match op {
+            Operand::Cell(n, _) if !allowed.contains(n) => {}
+            Operand::Nested(inner) => operands.push(Operand::Nested(restrict_in(inner, allowed)?)),
+            other => operands.push(other.clone()),
+        }
+    }
+    if operands.is_empty() {
+        return Err(DslError::Invalid(
+            "restricting to the replica set leaves a reduction with no operands".to_owned(),
+        ));
+    }
+    let k = match expr.kind {
+        _ if expr.k as usize == expr.operands.len() => operands.len() as u32,
+        _ => expr.k.min(operands.len() as u32),
+    };
+    Ok(ResolvedExpr {
+        kind: expr.kind,
+        k,
+        operands,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +175,48 @@ mod tests {
         let r = res("MAX($1, $2)");
         let r2 = exclude_node(&r, NodeId(4)).unwrap();
         assert_eq!(r.expr, r2.expr);
+    }
+
+    #[test]
+    fn restrict_drops_non_replica_cells() {
+        let r = res("MIN($ALLWNODES-$MYWNODE)");
+        let allowed = [NodeId(0), NodeId(1), NodeId(2)];
+        let r2 = restrict_nodes(&r, &allowed).unwrap();
+        assert_eq!(r2.expr.operands.len(), 2); // replicas minus me
+        assert!(r2
+            .expr
+            .dependencies()
+            .iter()
+            .all(|(n, _)| allowed.contains(n)));
+    }
+
+    #[test]
+    fn restrict_tracks_all_of_them_rank() {
+        // MIN over 5 == KTH_MAX(5); restricted to 3 replicas it must
+        // become KTH_MAX(3), not wait on a rank past the operand count.
+        let r = res("KTH_MAX(5, $ALLWNODES)");
+        let r2 = restrict_nodes(&r, &[NodeId(0), NodeId(2), NodeId(4)]).unwrap();
+        assert_eq!(r2.expr.operands.len(), 3);
+        assert_eq!(r2.expr.k, 3);
+    }
+
+    #[test]
+    fn restrict_preserves_quorum_rank_when_possible() {
+        let r = res("KTH_MIN(2, $ALLWNODES)");
+        let r2 = restrict_nodes(&r, &[NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(r2.expr.k, 2);
+    }
+
+    #[test]
+    fn restrict_to_superset_is_identity() {
+        let r = res("MAX($1, $2)");
+        let all: Vec<NodeId> = (0..5).map(NodeId).collect();
+        assert_eq!(restrict_nodes(&r, &all).unwrap().expr, r.expr);
+    }
+
+    #[test]
+    fn restrict_emptying_a_reduction_is_an_error() {
+        let r = res("MAX($3, $4)");
+        assert!(restrict_nodes(&r, &[NodeId(0), NodeId(1)]).is_err());
     }
 }

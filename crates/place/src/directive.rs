@@ -1,0 +1,164 @@
+//! The `replicate` config directive: span-carrying parser and
+//! pretty-printer.
+//!
+//! Grammar (one directive per line, whitespace-separated):
+//!
+//! ```text
+//! replicate <stream> [node ...]
+//! ```
+//!
+//! `<stream>` is the name of the origin node whose stream is being placed;
+//! the node list is its replica set. Every token carries a byte-offset
+//! [`Span`] into the directive line so config-level diagnostics can point
+//! at the offending name, mirroring the predicate DSL's caret rendering.
+
+use crate::PlaceError;
+use stabilizer_dsl::Span;
+use std::fmt;
+
+/// A name token with its byte span in the directive line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedName {
+    /// The bare name as written.
+    pub name: String,
+    /// Byte range of the name within the directive line.
+    pub span: Span,
+}
+
+/// One parsed `replicate` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicateDirective {
+    /// The stream (origin node) being placed.
+    pub stream: SpannedName,
+    /// The declared replica set, in written order (may repeat; the
+    /// placement map dedups).
+    pub nodes: Vec<SpannedName>,
+    /// Span of the whole directive (keyword through last name).
+    pub span: Span,
+}
+
+impl ReplicateDirective {
+    /// Construct a directive programmatically (spans are zero-width).
+    pub fn new(stream: &str, nodes: &[&str]) -> Self {
+        ReplicateDirective {
+            stream: SpannedName {
+                name: stream.to_owned(),
+                span: Span::default(),
+            },
+            nodes: nodes
+                .iter()
+                .map(|n| SpannedName {
+                    name: (*n).to_owned(),
+                    span: Span::default(),
+                })
+                .collect(),
+            span: Span::default(),
+        }
+    }
+}
+
+impl fmt::Display for ReplicateDirective {
+    /// Canonical rendering: `replicate <stream> <node> ...`. Parsing the
+    /// rendering reproduces the directive (modulo spans).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "replicate {}", self.stream.name)?;
+        for n in &self.nodes {
+            write!(f, " {}", n.name)?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse one `replicate` directive line.
+///
+/// # Errors
+///
+/// Returns [`PlaceError::Syntax`] if the line does not start with the
+/// `replicate` keyword or names no stream. (Name resolution — unknown
+/// stream/node, empty set — happens later against the topology, where
+/// the error can be precise.)
+pub fn parse_replicate(line: &str) -> Result<ReplicateDirective, PlaceError> {
+    let syntax = |msg: &str| PlaceError::Syntax {
+        line: line.trim().to_owned(),
+        msg: msg.to_owned(),
+    };
+    let mut tokens = tokenize(line);
+    let Some(kw) = tokens.next() else {
+        return Err(syntax("empty directive"));
+    };
+    if kw.name != "replicate" {
+        return Err(syntax("expected 'replicate' keyword"));
+    }
+    let stream = tokens.next().ok_or_else(|| syntax("missing stream name"))?;
+    let nodes: Vec<SpannedName> = tokens.collect();
+    let end = nodes.last().map_or(stream.span.end, |n| n.span.end);
+    Ok(ReplicateDirective {
+        span: Span::new(kw.span.start, end),
+        stream,
+        nodes,
+    })
+}
+
+/// Split a line into whitespace-separated name tokens with byte spans.
+fn tokenize(line: &str) -> impl Iterator<Item = SpannedName> + '_ {
+    line.split_whitespace().map(move |word| {
+        // `split_whitespace` yields subslices of `line`, so pointer
+        // arithmetic recovers the byte offset.
+        let start = word.as_ptr() as usize - line.as_ptr() as usize;
+        SpannedName {
+            name: word.to_owned(),
+            span: Span::new(start, start + word.len()),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_spans() {
+        let d = parse_replicate("replicate  e1 e2  w1").unwrap();
+        assert_eq!(d.stream.name, "e1");
+        assert_eq!(d.stream.span, Span::new(11, 13));
+        assert_eq!(d.nodes.len(), 2);
+        assert_eq!(d.nodes[1].name, "w1");
+        assert_eq!(d.nodes[1].span, Span::new(18, 20));
+        assert_eq!(d.span, Span::new(0, 20));
+    }
+
+    #[test]
+    fn rejects_wrong_keyword_and_missing_stream() {
+        assert!(matches!(
+            parse_replicate("replica e1 e2"),
+            Err(PlaceError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_replicate("replicate"),
+            Err(PlaceError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse_replicate("   "),
+            Err(PlaceError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let d = parse_replicate("replicate   e1   e1 e2 w1").unwrap();
+        assert_eq!(d.to_string(), "replicate e1 e1 e2 w1");
+        let d2 = parse_replicate(&d.to_string()).unwrap();
+        assert_eq!(d2.stream.name, d.stream.name);
+        assert_eq!(
+            d2.nodes.iter().map(|n| &n.name).collect::<Vec<_>>(),
+            d.nodes.iter().map(|n| &n.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bare_stream_parses_but_has_no_nodes() {
+        // Validation of the empty set happens at map-build time.
+        let d = parse_replicate("replicate e1").unwrap();
+        assert!(d.nodes.is_empty());
+    }
+}

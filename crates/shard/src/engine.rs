@@ -180,6 +180,16 @@ impl ShardedEngine {
         self.shards.len() as u16
     }
 
+    /// The cluster's stream placement. Every shard machine carries the
+    /// same map, so the node-level view is authoritative: a stream's
+    /// shard sub-streams live exactly on that stream's replica set, and
+    /// the aggregated frontier min-combines over replica shards only
+    /// (each shard machine's predicates are already restricted to the
+    /// replica set).
+    pub fn placement(&self) -> &Arc<stabilizer_place::PlacementMap> {
+        self.cfg.placement()
+    }
+
     /// Read-only view of one shard machine.
     pub fn shard(&self, shard: u16) -> &StabilizerNode {
         &self.shards[shard as usize]

@@ -98,6 +98,59 @@ fn sharded_end_to_end_reaches_full_stability() {
     assert_eq!(origin.send_buffer_bytes(), 0);
 }
 
+#[test]
+fn sharded_placement_scopes_streams_to_replicas() {
+    // Six nodes; stream a lives on {a, b, c} only. The sharded engine
+    // must keep every sub-stream of a off the non-replicas, and the
+    // aggregated frontier must stabilize from replica acks alone.
+    let cfg = ClusterConfig::parse(
+        "az A a b c\naz B d e f\nreplicate a a b c\n\
+         predicate All MIN($ALLWNODES-$MYWNODE)\noption shards 4\n",
+    )
+    .unwrap();
+    let mut sim = build_sharded_cluster(&cfg, mesh(6), 11, RoutePolicy::RoundRobin).unwrap();
+    for i in 1..3 {
+        sim.with_ctx(i, |n, ctx| {
+            n.register_predicate_in(ctx, N0, "All", "MIN($ALLWNODES-$MYWNODE)")
+        })
+        .unwrap();
+    }
+    let total = 20u64;
+    for i in 0..total {
+        sim.with_ctx(0, |n, ctx| {
+            n.publish_in(ctx, Bytes::from(vec![i as u8; 32]))
+        })
+        .unwrap();
+    }
+    sim.run_until_idle();
+    // Replicas converge on the full global prefix.
+    for i in 0..3 {
+        assert_eq!(
+            sim.actor(i).inner().stability_frontier(N0, "All"),
+            Some((total, 0)),
+            "replica {i}"
+        );
+    }
+    // Non-replicas saw nothing of stream a: no deliveries, no ack cells.
+    for i in 3..6 {
+        assert!(
+            sim.actor(i)
+                .delivery_log
+                .iter()
+                .all(|(_, o, _, _)| *o != N0),
+            "node {i} must not deliver stream a"
+        );
+        for s in 0..4 {
+            assert_eq!(sim.actor(i).inner().shard_metrics(s).deliveries, 0);
+        }
+    }
+    // And the origin never addressed them.
+    assert_eq!(
+        sim.actor(0).inner().placement().replicas(N0),
+        &[NodeId(0), NodeId(1), NodeId(2)]
+    );
+}
+
 /// Flatten every observable log of a simulation into one string — the
 /// "byte stream" compared across replays.
 fn transcript(sim: &stabilizer_netsim::Simulation<ShardedSimNode>) -> String {

@@ -230,6 +230,58 @@ impl Telemetry {
         }
     }
 
+    /// Register the placement-identity series: one
+    /// `stab_stream_replicas{stream=...,replicas=...}` gauge per stream
+    /// carrying the replica-set size (the membership itself rides in
+    /// the `replicas` label), plus a `stab_placement_info` gauge pinned
+    /// to 1 whose labels — `stab_build_info`-style — carry the
+    /// deterministic placement hash, so dashboards can tell at a glance
+    /// which placement a node runs and whether two nodes disagree.
+    pub fn record_placement(&self, placement: &stabilizer_core::PlacementMap) {
+        self.registry.describe(
+            "stab_placement_info",
+            "Placement identity; value is always 1.",
+        );
+        self.registry
+            .gauge(
+                "stab_placement_info",
+                &[
+                    (
+                        "placement_hash",
+                        &format!("{:016x}", placement.placement_hash()),
+                    ),
+                    (
+                        "partial",
+                        if placement.is_full_replication() {
+                            "false"
+                        } else {
+                            "true"
+                        },
+                    ),
+                ],
+            )
+            .set(1);
+        self.registry.describe(
+            "stab_stream_replicas",
+            "Replica-set size per stream; the set itself is the `replicas` label.",
+        );
+        for s in 0..placement.num_nodes() {
+            let stream = NodeId(s as u16);
+            let members = placement
+                .replicas(stream)
+                .iter()
+                .map(|n| n.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            self.registry
+                .gauge(
+                    "stab_stream_replicas",
+                    &[("stream", &s.to_string()), ("replicas", &members)],
+                )
+                .set(placement.replicas(stream).len() as i64);
+        }
+    }
+
     /// Mirror a node's control-plane counters
     /// ([`stabilizer_core::Metrics`]) into gauges. Runtimes call this
     /// periodically (TCP ticker) or at end of run (sim harness); the
@@ -692,6 +744,44 @@ mod tests {
         let snap = t.deliver_latency();
         assert_eq!(snap.count, 1);
         assert_eq!(snap.min, 40);
+    }
+
+    #[test]
+    fn placement_series_carry_hash_and_replica_sets() {
+        let t = Telemetry::new_sim();
+        let p = stabilizer_core::PlacementMap::from_sets(
+            4,
+            &[
+                (NodeId(0), vec![NodeId(0), NodeId(1), NodeId(2)]),
+                (NodeId(1), vec![NodeId(0), NodeId(1), NodeId(2)]),
+                (NodeId(2), vec![NodeId(1), NodeId(2), NodeId(3)]),
+                (NodeId(3), vec![NodeId(2), NodeId(3), NodeId(0)]),
+            ],
+        )
+        .unwrap();
+        t.record_placement(&p);
+        let hash = format!("{:016x}", p.placement_hash());
+        assert_eq!(
+            t.registry()
+                .gauge(
+                    "stab_placement_info",
+                    &[("placement_hash", &hash), ("partial", "true")]
+                )
+                .get(),
+            1
+        );
+        assert_eq!(
+            t.registry()
+                .gauge(
+                    "stab_stream_replicas",
+                    &[("stream", "3"), ("replicas", "0,2,3")]
+                )
+                .get(),
+            3
+        );
+        let prom = t.render_prometheus();
+        assert!(prom.contains("stab_placement_info{"), "{prom}");
+        assert!(prom.contains("replicas=\"0,1,2\""), "{prom}");
     }
 
     #[test]

@@ -365,6 +365,13 @@ pub fn spawn_node_with(
     peer_addrs: Vec<(NodeId, SocketAddr)>,
     mut opts: SpawnOptions,
 ) -> Result<TcpNode, CoreError> {
+    // Under partial replication a link only exists between nodes sharing
+    // at least one stream; skip the writer thread (and the reconnect
+    // spin) for everyone else. Full replication keeps every link.
+    let peer_addrs: Vec<(NodeId, SocketAddr)> = peer_addrs
+        .into_iter()
+        .filter(|(peer, _)| cfg.placement().linked(me, *peer))
+        .collect();
     let restored = opts.snapshot.is_some();
     let metrics_dump = opts.metrics_dump.take();
     let mut join_streams = 0;
@@ -390,6 +397,9 @@ pub fn spawn_node_with(
         .telemetry
         .as_ref()
         .map(|t| TransportMetrics::new(t, me));
+    if let Some(t) = &opts.telemetry {
+        t.record_placement(cfg.placement());
+    }
     let shared = Arc::new(Shared {
         me,
         node: Mutex::new(node),

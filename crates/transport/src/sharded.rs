@@ -424,6 +424,13 @@ pub fn spawn_sharded_node(
     peer_addrs: Vec<(NodeId, SocketAddr)>,
     opts: ShardedSpawnOptions,
 ) -> Result<ShardedTcpNode, CoreError> {
+    // As in the unsharded runtime, a link only exists between nodes that
+    // share at least one stream; every shard machine carries the same
+    // placement, so one node-level filter covers them all.
+    let peer_addrs: Vec<(NodeId, SocketAddr)> = peer_addrs
+        .into_iter()
+        .filter(|(peer, _)| cfg.placement().linked(me, *peer))
+        .collect();
     let num_shards = cfg.options().shards.max(1);
     // Shard machines carry the 8-byte global header on every payload;
     // widen their cap so the application-visible cap is unchanged.
@@ -453,6 +460,9 @@ pub fn spawn_sharded_node(
             .collect(),
         None => Vec::new(),
     };
+    if let Some(t) = &opts.telemetry {
+        t.record_placement(cfg.placement());
+    }
     let observer = opts.telemetry.as_ref().map(|t| t.observer(me));
 
     let (event_tx, event_rx) = unbounded::<NodeEvent>();
