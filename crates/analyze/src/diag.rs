@@ -84,11 +84,21 @@ pub enum Lint {
     /// replica set (partial replication): that node never receives or
     /// acks the stream, so the frontier can never advance past it.
     NonReplicaOperand,
+    /// The availability prover found `f* = 0`: a single crash of the
+    /// wrong node stalls the frontier forever.
+    ZeroFaultTolerance,
+    /// The predicate tolerates crashes (`f* ≥ 1`) but a single-AZ
+    /// network cut still strands the vantage from every blocking-set
+    /// complement.
+    PartitionVulnerable,
+    /// The same predicate has different crash tolerance `f*` at
+    /// different vantages; the weakest vantage bounds the deployment.
+    ToleranceAsymmetry,
 }
 
 impl Lint {
     /// Every lint, in catalog order.
-    pub const ALL: [Lint; 16] = [
+    pub const ALL: [Lint; 19] = [
         Lint::SyntaxError,
         Lint::UnknownName,
         Lint::UnknownAckType,
@@ -105,6 +115,9 @@ impl Lint {
         Lint::CrashUnsatisfiable,
         Lint::UnjoinedNode,
         Lint::NonReplicaOperand,
+        Lint::ZeroFaultTolerance,
+        Lint::PartitionVulnerable,
+        Lint::ToleranceAsymmetry,
     ];
 
     /// Stable kebab-case identifier (used in rendered output and JSON).
@@ -126,6 +139,9 @@ impl Lint {
             Lint::CrashUnsatisfiable => "crash-unsatisfiable",
             Lint::UnjoinedNode => "unjoined-node",
             Lint::NonReplicaOperand => "non-replica-operand",
+            Lint::ZeroFaultTolerance => "zero-fault-tolerance",
+            Lint::PartitionVulnerable => "partition-vulnerable",
+            Lint::ToleranceAsymmetry => "tolerance-asymmetry",
         }
     }
 
@@ -146,8 +162,10 @@ impl Lint {
             | Lint::ConstantFrontier
             | Lint::EquivalentPredicates
             | Lint::CrashUnsatisfiable
-            | Lint::UnjoinedNode => Severity::Warning,
-            Lint::DominatedPredicate => Severity::Info,
+            | Lint::UnjoinedNode
+            | Lint::ZeroFaultTolerance
+            | Lint::PartitionVulnerable => Severity::Warning,
+            Lint::DominatedPredicate | Lint::ToleranceAsymmetry => Severity::Info,
         }
     }
 }

@@ -9,13 +9,19 @@
 //!   with severities, rendered caret-style for humans
 //!   ([`Report::render_human`]) or as JSON for machines
 //!   ([`Report::render_json`]).
-//! * **Lint catalog** ([`Lint`]): fifteen checks ranging from mechanical
+//! * **Lint catalog** ([`Lint`]): nineteen checks ranging from mechanical
 //!   (unknown names, empty sets, `KTH_*` ranks out of range) through
 //!   semantic (vacuous predicates, crash-satisfiability under a failure
 //!   budget) to cross-predicate (dominance/equivalence between
-//!   co-installed predicates, proved on a small implication lattice) and
+//!   co-installed predicates, proved on a small implication lattice),
 //!   membership-aware (a predicate waiting on a configured member that
-//!   has not joined the cluster yet).
+//!   has not joined the cluster yet), and availability-audit findings
+//!   (zero crash tolerance, partition vulnerability, cross-vantage
+//!   tolerance asymmetry).
+//! * **Availability prover** ([`avail`]): exact crash tolerance `f*`,
+//!   all minimal blocking sets via structural recursion over the
+//!   monotone threshold form of the predicate, and placement-aware
+//!   partition-cut analysis.
 //! * **Entry point** ([`Analyzer`]): configured with a [`Topology`],
 //!   ACK-type registry, executing node, and optionally an ACK-emissions
 //!   model and failure budget.
@@ -46,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod avail;
 pub mod diag;
 pub mod dominance;
 pub mod emissions;
@@ -53,8 +60,12 @@ pub mod lints;
 pub mod paper;
 pub mod probe;
 
+pub use avail::{
+    asymmetry_diagnostic, availability, brute_force_availability, crash_witness, render_sets,
+    single_az_cut, stranding_cuts, worst_cut, Availability, PartitionCut,
+};
 pub use diag::{json_string, Diagnostic, Lint, Report, Severity};
 pub use dominance::{compare, expr_le, Dominance};
 pub use emissions::AckEmissions;
 pub use lints::Analyzer;
-pub use probe::{crash_unsatisfiable, is_vacuous, unjoined_blocked, PROBE_HIGH};
+pub use probe::{blocked_with_down, crash_unsatisfiable, is_vacuous, unjoined_blocked, PROBE_HIGH};

@@ -6,6 +6,7 @@
 //! walker records a diagnostic and keeps going, so one `stabcheck` run
 //! reports everything wrong with a predicate at once.
 
+use crate::avail;
 use crate::diag::{Diagnostic, Lint, Report, Severity};
 use crate::dominance::{compare, Dominance};
 use crate::emissions::AckEmissions;
@@ -14,6 +15,7 @@ use stabilizer_dsl::{
     expand_set, optimize, parse_spanned, resolve, AckTypeRegistry, DslError, NodeId, Op, Predicate,
     Span, SpannedAck, SpannedExpr, SpannedExprKind, SpannedSet, SpannedSetKind, Topology,
 };
+use stabilizer_place::PlacementMap;
 
 /// A configured analyzer: topology, ACK registry, executing node, and the
 /// optional deployment knowledge (emissions model, failure budget) that
@@ -26,6 +28,8 @@ pub struct Analyzer<'a> {
     failure_budget: usize,
     unjoined: &'a [NodeId],
     replicas: Option<&'a [NodeId]>,
+    audit: bool,
+    placement: Option<&'a PlacementMap>,
 }
 
 impl<'a> Analyzer<'a> {
@@ -41,6 +45,8 @@ impl<'a> Analyzer<'a> {
             failure_budget: 0,
             unjoined: &[],
             replicas: None,
+            audit: false,
+            placement: None,
         }
     }
 
@@ -74,6 +80,26 @@ impl<'a> Analyzer<'a> {
     /// are exempt — the runtime silently restricts them to the replicas.
     pub fn with_replicas(mut self, replicas: &'a [NodeId]) -> Self {
         self.replicas = Some(replicas);
+        self
+    }
+
+    /// Enable the availability audit lints
+    /// ([`zero-fault-tolerance`](Lint::ZeroFaultTolerance) and
+    /// [`partition-vulnerable`](Lint::PartitionVulnerable)): the
+    /// [availability prover](crate::avail) runs on every predicate that
+    /// compiles, restricted to the replica set when one is supplied, so
+    /// the verdict matches what the runtime installs. Off by default —
+    /// audit findings are advisory deployment review, not install-time
+    /// gating.
+    pub fn with_availability_audit(mut self) -> Self {
+        self.audit = true;
+        self
+    }
+
+    /// Supply the placement map so the audit's partition-cut costing
+    /// counts only `linked` node pairs (full replication otherwise).
+    pub fn with_placement(mut self, placement: &'a PlacementMap) -> Self {
+        self.placement = Some(placement);
         self
     }
 
@@ -133,7 +159,7 @@ impl<'a> Analyzer<'a> {
             );
         }
         if let Some(witness) =
-            probe::crash_unsatisfiable(compiled.program(), self.topo, self.me, self.failure_budget)
+            probe::crash_unsatisfiable(&compiled, self.topo, self.me, self.failure_budget)
         {
             let names: Vec<&str> = witness.iter().map(|n| self.topo.node_name(*n)).collect();
             report.diagnostics.push(
@@ -151,6 +177,7 @@ impl<'a> Analyzer<'a> {
                 ),
             );
         }
+        self.audit_availability(&compiled, whole, &mut report);
         // Only name the unjoined members the predicate actually reads —
         // an absent node a predicate never waits on is not its problem.
         let referenced: Vec<NodeId> = self
@@ -177,6 +204,72 @@ impl<'a> Analyzer<'a> {
             );
         }
         report
+    }
+
+    /// The availability-audit lints: run the prover on the predicate as
+    /// the runtime would install it (restricted to the replica set under
+    /// partial replication) and flag `f* = 0` or a single-AZ cut that
+    /// strands the vantage. A predicate already blocked with zero
+    /// crashes (tolerance `-1`) is covered by the constant/unemitted
+    /// lints and stays silent here, as does `partition-vulnerable` on a
+    /// zero-tolerance predicate — the crash warning subsumes the cut.
+    fn audit_availability(&self, compiled: &Predicate, whole: Span, report: &mut Report) {
+        if !self.audit || compiled.dependencies().is_empty() {
+            return;
+        }
+        let installed = match self.replicas {
+            Some(reps) => match compiled.restricted_to(reps) {
+                Ok(p) => p,
+                Err(_) => return, // nothing installable to audit
+            },
+            None => compiled.clone(),
+        };
+        if installed.dependencies().is_empty() {
+            return;
+        }
+        let avail = avail::availability(&installed, self.topo, self.me);
+        match avail.min_blocking() {
+            Some(1) => {
+                let singles: Vec<&str> = avail
+                    .blocking_sets
+                    .iter()
+                    .take_while(|s| s.len() == 1)
+                    .map(|s| self.topo.node_name(s[0]))
+                    .collect();
+                let list = singles.join(", ");
+                let message = if singles.len() == 1 {
+                    format!("crash tolerance f* = 0: a single crash of {{{list}}} stalls this predicate forever")
+                } else {
+                    format!("crash tolerance f* = 0: a single crash of any of {{{list}}} stalls this predicate forever")
+                };
+                report.diagnostics.push(
+                    Diagnostic::new(Lint::ZeroFaultTolerance, whole, message).with_note(
+                        "stabcheck --audit lists every minimal blocking set; a quorum predicate (KTH_*) survives crashes a MIN cannot",
+                    ),
+                );
+            }
+            Some(n) if n >= 2 => {
+                if let Some(cut) = avail::single_az_cut(&avail, self.topo, self.placement) {
+                    report.diagnostics.push(
+                        Diagnostic::new(
+                            Lint::PartitionVulnerable,
+                            whole,
+                            format!(
+                                "a single-AZ partition (isolating {}, severing {} link{}) stalls this predicate despite f* = {}",
+                                cut.far_azs.join(", "),
+                                cut.severed_links,
+                                if cut.severed_links == 1 { "" } else { "s" },
+                                avail.tolerance,
+                            ),
+                        )
+                        .with_note(
+                            "nodes unreachable from the vantage behave as crashed: the cut strands every blocking-set complement",
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
     }
 
     /// Analyze a set of co-installed predicates: each one individually,

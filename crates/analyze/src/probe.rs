@@ -9,7 +9,7 @@
 //! is conclusive — if the result is `H` (resp. `< H`) at the probe
 //! point, it is for every sequence number.
 
-use stabilizer_dsl::{AckTypeId, AckView, NodeId, Program, Topology};
+use stabilizer_dsl::{AckTypeId, AckView, NodeId, Predicate, Program, Topology};
 
 /// The "high watermark" used by probes; any value would do (monotonicity),
 /// but a large one keeps it visually distinct from real sequence numbers
@@ -64,19 +64,36 @@ pub fn unjoined_blocked(
     program.eval(&SubsetView { up: &up }) < PROBE_HIGH
 }
 
+/// Evaluate `program` with the nodes in `down_mask` (a bitmask over node
+/// ids) crashed and everyone else up; true if the predicate is blocked —
+/// it needs an ACK from inside the crashed set. The workhorse probe of
+/// the [availability prover](crate::avail).
+pub fn blocked_with_down(program: &Program, topo: &Topology, down_mask: u64) -> bool {
+    let up: Vec<NodeId> = topo
+        .all_nodes()
+        .into_iter()
+        .filter(|n| down_mask & (1u64 << n.0) == 0)
+        .collect();
+    program.eval(&SubsetView { up: &up }) < PROBE_HIGH
+}
+
 /// If some set of `failure_budget` non-origin nodes can, by crashing,
 /// permanently prevent the predicate from advancing, return the
 /// smallest-index such set. `None` means every such crash set still lets
 /// the frontier reach `H` (or the budget is 0).
 ///
-/// The probe gives crashed nodes 0 at every ACK type and everyone else
-/// (including `me`) `H`; a result `< H` means the predicate needs an ACK
-/// from inside the crashed set. Note the runtime *can* recover by
-/// explicitly excluding crashed nodes (§III-E rewrites the predicate),
-/// but only when failure detection + `auto_exclude_suspects` are active;
-/// the lint flags deployments that would stall without that.
+/// The witness is derived from the [availability
+/// prover](crate::avail)'s minimal blocking sets — each small-enough set
+/// completed with the lowest free node ids, lexicographic minimum taken
+/// — which reproduces, byte for byte, the witness the exhaustive
+/// lexicographic subset DFS this replaced used to report, without its
+/// `C(n, f)` blow-up on the 12–16-node topologies the scenario generator
+/// draws. Note the runtime *can* recover by explicitly excluding crashed
+/// nodes (§III-E rewrites the predicate), but only when failure
+/// detection + `auto_exclude_suspects` are active; the lint flags
+/// deployments that would stall without that.
 pub fn crash_unsatisfiable(
-    program: &Program,
+    pred: &Predicate,
     topo: &Topology,
     me: NodeId,
     failure_budget: usize,
@@ -84,48 +101,14 @@ pub fn crash_unsatisfiable(
     if failure_budget == 0 {
         return None;
     }
-    let others: Vec<NodeId> = topo.all_nodes().into_iter().filter(|n| *n != me).collect();
-    let f = failure_budget.min(others.len());
-    let mut crashed: Vec<NodeId> = Vec::with_capacity(f);
-    let mut up: Vec<NodeId> = Vec::with_capacity(others.len() + 1);
-    search_subsets(program, &others, f, 0, &mut crashed, &mut up, me)
-}
-
-/// Depth-first enumeration of `f`-subsets of `others` (lexicographic, so
-/// the reported witness is deterministic). Topologies are small (the
-/// paper deploys 8 nodes); no cap is needed below ~30 nodes with small f.
-fn search_subsets(
-    program: &Program,
-    others: &[NodeId],
-    f: usize,
-    from: usize,
-    crashed: &mut Vec<NodeId>,
-    up: &mut Vec<NodeId>,
-    me: NodeId,
-) -> Option<Vec<NodeId>> {
-    if crashed.len() == f {
-        up.clear();
-        up.push(me);
-        up.extend(others.iter().filter(|n| !crashed.contains(n)));
-        if program.eval(&SubsetView { up }) < PROBE_HIGH {
-            return Some(crashed.clone());
-        }
-        return None;
-    }
-    for i in from..others.len() {
-        crashed.push(others[i]);
-        if let Some(w) = search_subsets(program, others, f, i + 1, crashed, up, me) {
-            return Some(w);
-        }
-        crashed.pop();
-    }
-    None
+    let avail = crate::avail::availability(pred, topo, me);
+    crate::avail::crash_witness(&avail, topo, failure_budget)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stabilizer_dsl::{AckTypeRegistry, Predicate};
+    use stabilizer_dsl::AckTypeRegistry;
 
     fn topo() -> Topology {
         Topology::builder()
@@ -135,24 +118,27 @@ mod tests {
             .unwrap()
     }
 
-    fn prog(src: &str, me: u16) -> Program {
+    fn prog(src: &str, me: u16) -> Predicate {
         let acks = AckTypeRegistry::new();
-        Predicate::compile(src, &topo(), &acks, NodeId(me))
-            .unwrap()
-            .program()
-            .clone()
+        Predicate::compile(src, &topo(), &acks, NodeId(me)).unwrap()
     }
 
     #[test]
     fn max_including_self_is_vacuous() {
-        assert!(is_vacuous(&prog("MAX($ALLWNODES)", 0), NodeId(0)));
-        assert!(is_vacuous(&prog("MAX($MYWNODE, $3)", 0), NodeId(0)));
+        assert!(is_vacuous(prog("MAX($ALLWNODES)", 0).program(), NodeId(0)));
+        assert!(is_vacuous(
+            prog("MAX($MYWNODE, $3)", 0).program(),
+            NodeId(0)
+        ));
     }
 
     #[test]
     fn remote_only_predicates_are_not_vacuous() {
-        assert!(!is_vacuous(&prog("MAX($ALLWNODES-$MYWNODE)", 0), NodeId(0)));
-        assert!(!is_vacuous(&prog("MIN($ALLWNODES)", 0), NodeId(0)));
+        assert!(!is_vacuous(
+            prog("MAX($ALLWNODES-$MYWNODE)", 0).program(),
+            NodeId(0)
+        ));
+        assert!(!is_vacuous(prog("MIN($ALLWNODES)", 0).program(), NodeId(0)));
     }
 
     #[test]
@@ -183,22 +169,27 @@ mod tests {
     #[test]
     fn min_over_everyone_blocks_on_an_unjoined_member() {
         let p = prog("MIN($ALLWNODES-$MYWNODE)", 0);
-        assert!(unjoined_blocked(&p, &topo(), NodeId(0), &[NodeId(3)]));
-        assert!(!unjoined_blocked(&p, &topo(), NodeId(0), &[]));
+        assert!(unjoined_blocked(
+            p.program(),
+            &topo(),
+            NodeId(0),
+            &[NodeId(3)]
+        ));
+        assert!(!unjoined_blocked(p.program(), &topo(), NodeId(0), &[]));
     }
 
     #[test]
     fn max_of_remotes_tolerates_unjoined_members() {
         let p = prog("MAX($ALLWNODES-$MYWNODE)", 0);
         assert!(!unjoined_blocked(
-            &p,
+            p.program(),
             &topo(),
             NodeId(0),
             &[NodeId(2), NodeId(3)]
         ));
         // ...until every remote is unjoined.
         assert!(unjoined_blocked(
-            &p,
+            p.program(),
             &topo(),
             NodeId(0),
             &[NodeId(1), NodeId(2), NodeId(3)]

@@ -4,8 +4,8 @@
 //! Regenerate fixtures after an intentional renderer/message change with
 //! `GOLDEN_UPDATE=1 cargo test -p stabilizer-analyze --test golden`.
 
-use stabilizer_analyze::{AckEmissions, Analyzer, Lint, Report};
-use stabilizer_dsl::{AckTypeRegistry, NodeId, Topology};
+use stabilizer_analyze::{asymmetry_diagnostic, AckEmissions, Analyzer, Lint, Report};
+use stabilizer_dsl::{AckTypeRegistry, NodeId, Span, Topology};
 use std::path::PathBuf;
 
 fn topo() -> Topology {
@@ -191,6 +191,53 @@ fn golden_dominated_predicate() {
         ("One".to_string(), "MAX($ALLWNODES-$MYWNODE)".to_string()),
     ]);
     check(Lint::DominatedPredicate, &reports[1]);
+}
+
+#[test]
+fn golden_zero_fault_tolerance() {
+    // The audit lints stay silent unless enabled.
+    let t = topo();
+    let acks = AckTypeRegistry::new();
+    let src = "MIN($ALLWNODES-$MYWNODE)";
+    assert!(Analyzer::new(&t, &acks, NodeId(0))
+        .analyze("P", src)
+        .is_clean());
+    let report = Analyzer::new(&t, &acks, NodeId(0))
+        .with_availability_audit()
+        .analyze("P", src);
+    check(Lint::ZeroFaultTolerance, &report);
+}
+
+#[test]
+fn golden_partition_vulnerable() {
+    // Needs 3 of the 4 remotes: f* = 1 (no zero-fault warning), but
+    // cutting off AZ West (2 nodes) strands the vantage.
+    let t = topo();
+    let acks = AckTypeRegistry::new();
+    let report = Analyzer::new(&t, &acks, NodeId(0))
+        .with_availability_audit()
+        .analyze("P", "KTH_MAX(3, $ALLWNODES-$MYWNODE)");
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.lint == Lint::ZeroFaultTolerance));
+    check(Lint::PartitionVulnerable, &report);
+}
+
+#[test]
+fn golden_tolerance_asymmetry() {
+    // Inside East the predicate reads one node (the other East peer);
+    // outside it reads two, so f* differs by vantage. The per-vantage
+    // tolerances below match what the prover computes for this source.
+    let src = "MAX($AZ_East-$MYWNODE)";
+    let d = asymmetry_diagnostic(
+        &[("e1", 0), ("e2", 0), ("w1", 1), ("w2", 1), ("s1", 1)],
+        Span::new(0, src.len()),
+    )
+    .expect("differing tolerances must fire");
+    let mut report = Report::new("P", src);
+    report.diagnostics.push(d);
+    check(Lint::ToleranceAsymmetry, &report);
 }
 
 #[test]

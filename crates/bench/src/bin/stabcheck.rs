@@ -15,9 +15,13 @@
 //! unless `--deny-warnings`), `1` findings at the enforced level, `2`
 //! usage or I/O error.
 
-use stabilizer_analyze::{json_string, AckEmissions, Analyzer, Report, Severity};
+use stabilizer_analyze::{
+    asymmetry_diagnostic, availability, json_string, render_sets, worst_cut, AckEmissions,
+    Analyzer, Availability, PartitionCut, Report, Severity,
+};
 use stabilizer_core::ClusterConfig;
-use stabilizer_dsl::{AckTypeRegistry, NodeId, Topology};
+use stabilizer_dsl::{AckTypeRegistry, NodeId, Predicate, Span, Topology};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -29,6 +33,11 @@ usage: stabcheck [options]
   --me <NODE>            node to analyze at (default: first node)
   --all-nodes            analyze at every node of the topology
   --failure-budget <N>   crash budget for the crash-unsatisfiable lint
+  --audit                availability audit: exact crash tolerance f*, minimal
+                         blocking sets, and partition cuts per predicate, plus
+                         the zero-fault-tolerance / partition-vulnerable /
+                         tolerance-asymmetry lints (implies --all-nodes for
+                         the asymmetry check unless --me is given)
   --json                 emit JSON instead of human-readable diagnostics
   --deny-warnings        exit nonzero on warnings, not just errors
   -h, --help             show this help";
@@ -40,6 +49,7 @@ struct Args {
     me: Option<String>,
     all_nodes: bool,
     failure_budget: Option<usize>,
+    audit: bool,
     json: bool,
     deny_warnings: bool,
 }
@@ -52,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         me: None,
         all_nodes: false,
         failure_budget: None,
+        audit: false,
         json: false,
         deny_warnings: false,
     };
@@ -69,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
                 args.failure_budget =
                     Some(v.parse().map_err(|_| format!("bad failure budget {v}"))?);
             }
+            "--audit" => args.audit = true,
             "--json" => args.json = true,
             "--deny-warnings" => args.deny_warnings = true,
             "-h" | "--help" => return Err(USAGE.to_owned()),
@@ -136,8 +148,9 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         failure_budget = f;
     }
 
-    // Which nodes to analyze at.
-    let nodes: Vec<NodeId> = if args.all_nodes {
+    // Which nodes to analyze at. An audit defaults to every vantage so
+    // the cross-vantage asymmetry check has something to compare.
+    let nodes: Vec<NodeId> = if args.all_nodes || (args.audit && args.me.is_none()) {
         topo.all_nodes()
     } else if let Some(name) = &args.me {
         vec![topo
@@ -150,6 +163,10 @@ fn run(args: &Args) -> Result<ExitCode, String> {
     let mut worst: Option<Severity> = None;
     let mut out = String::new();
     let mut json_nodes: Vec<String> = Vec::new();
+    let mut json_audit: Vec<String> = Vec::new();
+    // Per predicate key: (vantage name, f*) rows in vantage order, for
+    // the cross-vantage asymmetry diagnostic.
+    let mut tol_by_key: BTreeMap<String, Vec<(String, i64)>> = BTreeMap::new();
     for me in nodes {
         // A configured predicate evaluates over the vantage's own
         // stream; under a `replicate` directive only that stream's
@@ -165,6 +182,13 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         if let Some(reps) = &replicas {
             analyzer = analyzer.with_replicas(reps);
         }
+        let placement = config.as_ref().map(|cfg| cfg.placement().as_ref());
+        if args.audit {
+            analyzer = analyzer.with_availability_audit();
+            if let Some(p) = placement {
+                analyzer = analyzer.with_placement(p);
+            }
+        }
         let reports = analyzer.analyze_set(&corpus);
         for r in &reports {
             worst = worst.max(r.worst());
@@ -179,16 +203,67 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         } else {
             render_node(&mut out, &topo, me, &reports);
         }
+        if args.audit {
+            audit_node(
+                &topo,
+                &acks,
+                me,
+                &corpus,
+                replicas.as_deref(),
+                placement,
+                args.json,
+                &mut out,
+                &mut json_audit,
+                &mut tol_by_key,
+            );
+        }
+    }
+
+    // Cross-vantage asymmetry: a predicate whose f* depends on where it
+    // is evaluated is bounded by its weakest vantage.
+    let mut asymmetry_reports: Vec<Report> = Vec::new();
+    if args.audit {
+        for (key, rows) in &tol_by_key {
+            let per_vantage: Vec<(&str, i64)> =
+                rows.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            let source = corpus
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, s)| s.clone())
+                .unwrap_or_default();
+            if let Some(d) = asymmetry_diagnostic(&per_vantage, Span::new(0, source.len())) {
+                let mut report = Report::new(key, &source);
+                report.diagnostics.push(d);
+                worst = worst.max(report.worst());
+                asymmetry_reports.push(report);
+            }
+        }
+        if !args.json {
+            for r in &asymmetry_reports {
+                out.push_str(&r.render_human());
+            }
+        }
     }
 
     let errors = matches!(worst, Some(Severity::Error));
     let warnings = matches!(worst, Some(Severity::Warning));
     let failed = errors || (warnings && args.deny_warnings);
     if args.json {
+        let audit_tail = if args.audit {
+            let asym: Vec<String> = asymmetry_reports.iter().map(Report::render_json).collect();
+            format!(
+                ",\"audit\":[{}],\"asymmetry\":[{}]",
+                json_audit.join(","),
+                asym.join(",")
+            )
+        } else {
+            String::new()
+        };
         println!(
-            "{{\"clean\":{},\"nodes\":[{}]}}",
+            "{{\"clean\":{},\"nodes\":[{}]{}}}",
             !errors && !warnings,
-            json_nodes.join(",")
+            json_nodes.join(","),
+            audit_tail
         );
     } else {
         print!("{out}");
@@ -205,6 +280,142 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         );
     }
     Ok(ExitCode::from(u8::from(failed)))
+}
+
+/// Render the audit table for one vantage: per predicate, exact crash
+/// tolerance `f*`, every minimal blocking set, and the cheapest
+/// AZ-partition cut that strands the vantage (placement-aware link
+/// counting). Also accumulates `tol_by_key` for the asymmetry check.
+#[allow(clippy::too_many_arguments)]
+fn audit_node(
+    topo: &Topology,
+    acks: &AckTypeRegistry,
+    me: NodeId,
+    corpus: &[(String, String)],
+    replicas: Option<&[NodeId]>,
+    placement: Option<&stabilizer_core::PlacementMap>,
+    json: bool,
+    out: &mut String,
+    json_audit: &mut Vec<String>,
+    tol_by_key: &mut BTreeMap<String, Vec<(String, i64)>>,
+) {
+    let mut text_rows: Vec<String> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    for (name, source) in corpus {
+        let Ok(compiled) = Predicate::compile(source, topo, acks, me) else {
+            continue; // the lint pass already reported it
+        };
+        let installed = match replicas {
+            Some(reps) => match compiled.restricted_to(reps) {
+                Ok(p) => p,
+                Err(_) => continue,
+            },
+            None => compiled,
+        };
+        if installed.dependencies().is_empty() {
+            continue; // vacuous: trivially available everywhere
+        }
+        let avail = availability(&installed, topo, me);
+        let cut = worst_cut(&avail, topo, placement);
+        tol_by_key
+            .entry(name.clone())
+            .or_default()
+            .push((topo.node_name(me).to_owned(), avail.tolerance));
+        if json {
+            json_rows.push(render_audit_json(name, &avail, cut.as_ref(), topo));
+        } else {
+            text_rows.push(render_audit_row(name, &avail, cut.as_ref(), topo));
+        }
+    }
+    if json {
+        json_audit.push(format!(
+            "{{\"me\":{},\"predicates\":[{}]}}",
+            json_string(topo.node_name(me)),
+            json_rows.join(",")
+        ));
+    } else if !text_rows.is_empty() {
+        out.push_str(&format!("availability at {}:\n", topo.node_name(me)));
+        for row in text_rows {
+            out.push_str(&row);
+        }
+    }
+}
+
+fn render_audit_row(
+    name: &str,
+    avail: &Availability,
+    cut: Option<&PartitionCut>,
+    topo: &Topology,
+) -> String {
+    const MAX_SETS: usize = 8;
+    let fstar = if avail.unbounded() {
+        "unbounded".to_owned()
+    } else if avail.tolerance < 0 {
+        "blocked".to_owned()
+    } else {
+        avail.tolerance.to_string()
+    };
+    let blocking = if avail.unbounded() {
+        "none".to_owned()
+    } else {
+        let shown = &avail.blocking_sets[..avail.blocking_sets.len().min(MAX_SETS)];
+        let mut s = render_sets(shown, topo);
+        if avail.blocking_sets.len() > MAX_SETS {
+            s.push_str(&format!(
+                " (+{} more)",
+                avail.blocking_sets.len() - MAX_SETS
+            ));
+        }
+        s
+    };
+    let cut = match cut {
+        Some(c) => format!(
+            "isolate {} severing {} link{}",
+            c.far_azs.join("+"),
+            c.severed_links,
+            if c.severed_links == 1 { "" } else { "s" }
+        ),
+        None => "none".to_owned(),
+    };
+    format!("  {name}: f* = {fstar}  blocking: {blocking}  worst cut: {cut}\n")
+}
+
+fn render_audit_json(
+    name: &str,
+    avail: &Availability,
+    cut: Option<&PartitionCut>,
+    topo: &Topology,
+) -> String {
+    let sets: Vec<String> = avail
+        .blocking_sets
+        .iter()
+        .map(|set| {
+            let names: Vec<String> = set
+                .iter()
+                .map(|n| json_string(topo.node_name(*n)))
+                .collect();
+            format!("[{}]", names.join(","))
+        })
+        .collect();
+    let cut = match cut {
+        Some(c) => {
+            let azs: Vec<String> = c.far_azs.iter().map(|a| json_string(a)).collect();
+            format!(
+                "{{\"azs\":[{}],\"severed_links\":{}}}",
+                azs.join(","),
+                c.severed_links
+            )
+        }
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\"name\":{},\"tolerance\":{},\"unbounded\":{},\"blocking_sets\":[{}],\"worst_cut\":{}}}",
+        json_string(name),
+        avail.tolerance,
+        avail.unbounded(),
+        sets.join(","),
+        cut
+    )
 }
 
 fn render_node(out: &mut String, topo: &Topology, me: NodeId, reports: &[Report]) {

@@ -122,6 +122,27 @@ fn render_metrics(metrics: &JsonValue) -> String {
         });
         out.push_str(&format!("replicas  {}\n", replica_rows.join("  ")));
     }
+    // Exact crash tolerance per predicate key, as the availability
+    // prover computed it at install time (min across vantages).
+    let mut tol_rows: Vec<(String, i64)> = gauges
+        .iter()
+        .filter(|(k, _)| split_series(k).0 == "stab_predicate_tolerance")
+        .filter_map(|(k, v)| {
+            let key = label_value(split_series(k).1, "key")?;
+            Some((key.to_owned(), num(v) as i64))
+        })
+        .collect();
+    if !tol_rows.is_empty() {
+        tol_rows.sort();
+        let rendered: Vec<String> = tol_rows
+            .iter()
+            .map(|(key, tol)| match tol {
+                -1 => format!("{key}=blocked"),
+                t => format!("{key}=f*{t}"),
+            })
+            .collect();
+        out.push_str(&format!("f*      {}\n", rendered.join("  ")));
+    }
     if let Some((_, v)) = gauges
         .iter()
         .find(|(k, _)| split_series(k).0 == "stab_uptime_seconds")

@@ -71,6 +71,86 @@ fn me_and_failure_budget_flags_work() {
 }
 
 #[test]
+fn audit_renders_tolerance_table_and_gates_with_deny_warnings() {
+    let cfg = "../../configs/demo-3node.cfg";
+    let (code, stdout, _) = stabcheck(&["--config", cfg, "--audit"]);
+    assert_eq!(
+        code, 0,
+        "audit warnings pass without --deny-warnings:\n{stdout}"
+    );
+    assert!(stdout.contains("availability at e1:"), "{stdout}");
+    assert!(stdout.contains("AllRemote: f* = 0"), "{stdout}");
+    assert!(stdout.contains("OneRemote: f* = 1"), "{stdout}");
+    assert!(stdout.contains("zero-fault-tolerance"), "{stdout}");
+    // w1's only remotes both live in East: losing the East link strands it.
+    assert!(stdout.contains("partition-vulnerable"), "{stdout}");
+    let (code, _, _) = stabcheck(&["--config", cfg, "--audit", "--deny-warnings"]);
+    assert_eq!(code, 1);
+}
+
+#[test]
+fn audit_defaults_to_every_vantage_unless_me_is_given() {
+    let cfg = "../../configs/demo-3node.cfg";
+    let (_, stdout, _) = stabcheck(&["--config", cfg, "--audit"]);
+    for vantage in ["e1", "e2", "w1"] {
+        assert!(
+            stdout.contains(&format!("availability at {vantage}:")),
+            "{stdout}"
+        );
+    }
+    let (_, stdout, _) = stabcheck(&["--config", cfg, "--audit", "--me", "e2"]);
+    assert!(stdout.contains("availability at e2:"), "{stdout}");
+    assert!(!stdout.contains("availability at e1:"), "{stdout}");
+}
+
+#[test]
+fn audit_reports_cross_vantage_asymmetry() {
+    // One East peer from inside East, two from outside: f* differs.
+    let (code, stdout, _) = stabcheck(&[
+        "--config",
+        "../../configs/demo-3node.cfg",
+        "--audit",
+        "-p",
+        "MAX($AZ_East-$MYWNODE)",
+    ]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("tolerance-asymmetry"), "{stdout}");
+    assert!(
+        stdout.contains("crash tolerance f* differs across vantages"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn audit_json_carries_audit_and_asymmetry_sections() {
+    let (code, stdout, _) = stabcheck(&[
+        "--config",
+        "../../configs/demo-3node.cfg",
+        "--audit",
+        "--json",
+    ]);
+    assert_eq!(code, 0);
+    let line = stdout.trim();
+    assert!(line.starts_with("{\"clean\":false,\"nodes\":["), "{line}");
+    for needle in [
+        "\"audit\":[",
+        "\"me\":\"e1\"",
+        "\"predicates\":[",
+        "\"name\":\"AllRemote\"",
+        "\"tolerance\":0",
+        "\"unbounded\":false",
+        "\"blocking_sets\":[[\"e2\"],[\"w1\"]]",
+        "\"worst_cut\":{\"azs\":[\"West\"],\"severed_links\":2}",
+        "\"asymmetry\":[",
+    ] {
+        assert!(line.contains(needle), "missing {needle} in {line}");
+    }
+    // Without --audit the wrapper keeps its original two-key shape.
+    let (_, stdout, _) = stabcheck(&["--config", "../../configs/demo-3node.cfg", "--json"]);
+    assert!(!stdout.contains("\"audit\":"), "{stdout}");
+}
+
+#[test]
 fn json_output_has_the_documented_shape() {
     let (code, stdout, _) = stabcheck(&["-p", "KTH_MAX(9, $ALLWNODES)", "--json"]);
     assert_eq!(code, 1);

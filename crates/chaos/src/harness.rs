@@ -210,6 +210,20 @@ impl ChaosHarness {
         for i in 0..n {
             sim.actor_mut(i).inner_mut().enable_ack_journal();
         }
+        if let Some(t) = &telemetry {
+            // f* per key across every vantage in the cluster: the
+            // weakest vantage bounds the deployment, so record the min.
+            let mut min_tol = std::collections::BTreeMap::new();
+            for i in 0..n {
+                for (_stream, key, tol) in sim.actor(i).inner().predicate_tolerances() {
+                    let e = min_tol.entry(key.to_owned()).or_insert(tol);
+                    *e = (*e).min(tol);
+                }
+            }
+            for (key, tol) in min_tol {
+                t.record_predicate_tolerance(&key, tol);
+            }
+        }
         let types = sim.actor(0).inner().recorder().num_types();
         let mut schedule: Vec<Scheduled> = ops
             .into_iter()

@@ -161,6 +161,11 @@ pub struct StabilizerNode {
     /// `option analysis` is `warn` or `deny` (a deny-mode install only
     /// succeeds — and is only recorded — when clean).
     analysis_reports: std::collections::BTreeMap<(NodeId, String), Report>,
+    /// Exact crash tolerance `f*` per installed (stream, key), computed
+    /// by the availability prover against the predicate as restricted to
+    /// the stream's replica set. `-1` means blocked even with zero
+    /// crashes; `num_nodes - 1` means no crash set can block it.
+    predicate_tolerance: std::collections::BTreeMap<(NodeId, String), i64>,
     metrics: Metrics,
     /// Per-peer: `(last received-ack seen, nanos when it last advanced)`,
     /// for the retransmission timeout.
@@ -260,6 +265,7 @@ impl StabilizerNode {
             actions: Vec::new(),
             predicate_sources: std::collections::BTreeMap::new(),
             analysis_reports: std::collections::BTreeMap::new(),
+            predicate_tolerance: std::collections::BTreeMap::new(),
             metrics: Metrics::default(),
             retransmit_state: vec![(0, 0); n],
             lag_state: vec![(0, 0); n],
@@ -629,10 +635,13 @@ impl StabilizerNode {
         let report = self.run_analysis(stream, key, source)?;
         let pred = Predicate::compile(source, self.cfg.topology(), &self.acks, self.me)?
             .restricted_to(self.placement.replicas(stream))?;
+        let tolerance = self.compute_tolerance(&pred);
         let mut updates = Vec::new();
         let mut done = Vec::new();
         self.engine
             .register(stream, key, pred, &self.recorder, &mut updates, &mut done);
+        self.predicate_tolerance
+            .insert((stream, key.to_owned()), tolerance);
         self.predicate_sources
             .insert((stream, key.to_owned()), source.to_owned());
         if let Some(report) = report {
@@ -660,6 +669,7 @@ impl StabilizerNode {
         let report = self.run_analysis(stream, key, source)?;
         let pred = Predicate::compile(source, self.cfg.topology(), &self.acks, self.me)?
             .restricted_to(self.placement.replicas(stream))?;
+        let tolerance = self.compute_tolerance(&pred);
         let mut updates = Vec::new();
         let mut done = Vec::new();
         if !self
@@ -668,6 +678,8 @@ impl StabilizerNode {
         {
             return Err(CoreError::UnknownPredicate(key.to_owned()));
         }
+        self.predicate_tolerance
+            .insert((stream, key.to_owned()), tolerance);
         self.predicate_sources
             .insert((stream, key.to_owned()), source.to_owned());
         if let Some(report) = report {
@@ -683,6 +695,29 @@ impl StabilizerNode {
     /// predicate is currently registered with findings on record.
     pub fn analysis_report(&self, stream: NodeId, key: &str) -> Option<&Report> {
         self.analysis_reports.get(&(stream, key.to_owned()))
+    }
+
+    /// Exact crash tolerance `f*` recorded when `(stream, key)` was
+    /// installed: the largest number of non-origin crashes the predicate
+    /// survives at this vantage (`-1` if it is blocked outright,
+    /// `num_nodes - 1` if no crash set can ever block it).
+    pub fn predicate_tolerance(&self, stream: NodeId, key: &str) -> Option<i64> {
+        self.predicate_tolerance
+            .get(&(stream, key.to_owned()))
+            .copied()
+    }
+
+    /// All recorded `(stream, key) -> f*` entries, for telemetry export.
+    pub fn predicate_tolerances(&self) -> impl Iterator<Item = (NodeId, &str, i64)> + '_ {
+        self.predicate_tolerance
+            .iter()
+            .map(|((stream, key), &tol)| (*stream, key.as_str(), tol))
+    }
+
+    /// Run the availability prover on an installed (replica-restricted)
+    /// predicate to get its exact crash tolerance at this vantage.
+    fn compute_tolerance(&self, pred: &Predicate) -> i64 {
+        stabilizer_analyze::availability(pred, self.cfg.topology(), self.me).tolerance
     }
 
     /// Run the static analyzer per the configured [`AnalysisMode`]:
@@ -731,6 +766,7 @@ impl StabilizerNode {
     /// not stranded.
     pub fn unregister_predicate(&mut self, stream: NodeId, key: &str) {
         self.analysis_reports.remove(&(stream, key.to_owned()));
+        self.predicate_tolerance.remove(&(stream, key.to_owned()));
         for token in self.engine.unregister(stream, key) {
             self.actions.push(Action::WaitDone { token });
         }

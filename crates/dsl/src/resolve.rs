@@ -269,6 +269,20 @@ impl ResolvedExpr {
             }
         }
     }
+
+    /// The monotone-threshold view of this reduction: how many of its
+    /// operands must reach a value `v` for the reduction itself to reach
+    /// `v`. The `k`-th largest is ≥ `v` iff at least `k` operands are;
+    /// the `k`-th smallest iff at least `len − k + 1` are. Availability
+    /// analysis builds on this: an operand's value under a crash probe
+    /// is binary (high or low), so the whole tree is a composition of
+    /// threshold functions over node-up sets.
+    pub fn up_requirement(&self) -> usize {
+        match self.kind {
+            ReduceKind::Largest => self.k as usize,
+            ReduceKind::Smallest => self.operands.len() - self.k as usize + 1,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -282,6 +282,21 @@ impl Telemetry {
         }
     }
 
+    /// Record the availability prover's exact crash tolerance `f*` for
+    /// one installed predicate key, as computed at install time. `-1`
+    /// means the predicate is blocked even with zero crashes; runtimes
+    /// that install the same key on several nodes record the minimum
+    /// across vantages (the weakest vantage bounds the deployment).
+    pub fn record_predicate_tolerance(&self, key: &str, tolerance: i64) {
+        self.registry.describe(
+            "stab_predicate_tolerance",
+            "Exact crash tolerance f* per predicate key (min across vantages).",
+        );
+        self.registry
+            .gauge("stab_predicate_tolerance", &[("key", key)])
+            .set(tolerance);
+    }
+
     /// Mirror a node's control-plane counters
     /// ([`stabilizer_core::Metrics`]) into gauges. Runtimes call this
     /// periodically (TCP ticker) or at end of run (sim harness); the

@@ -399,6 +399,16 @@ pub fn spawn_node_with(
         .map(|t| TransportMetrics::new(t, me));
     if let Some(t) = &opts.telemetry {
         t.record_placement(cfg.placement());
+        // f* per key as the availability prover computed it at install
+        // time; a key registered on several streams reports the weakest.
+        let mut min_tol = std::collections::BTreeMap::new();
+        for (_stream, key, tol) in node.predicate_tolerances() {
+            let e = min_tol.entry(key.to_owned()).or_insert(tol);
+            *e = (*e).min(tol);
+        }
+        for (key, tol) in min_tol {
+            t.record_predicate_tolerance(&key, tol);
+        }
     }
     let shared = Arc::new(Shared {
         me,

@@ -462,6 +462,18 @@ pub fn spawn_sharded_node(
     };
     if let Some(t) = &opts.telemetry {
         t.record_placement(cfg.placement());
+        // Every shard installs the same predicates at the same vantage,
+        // so shard 0 speaks for all of them.
+        let shard0 = shards[0].lock();
+        let mut min_tol = std::collections::BTreeMap::new();
+        for (_stream, key, tol) in shard0.predicate_tolerances() {
+            let e = min_tol.entry(key.to_owned()).or_insert(tol);
+            *e = (*e).min(tol);
+        }
+        drop(shard0);
+        for (key, tol) in min_tol {
+            t.record_predicate_tolerance(&key, tol);
+        }
     }
     let observer = opts.telemetry.as_ref().map(|t| t.observer(me));
 
